@@ -1,0 +1,54 @@
+//! Distance-kernel micro-benchmarks: the innermost loops of the system,
+//! across the dimensionalities that matter (2560 = Qwen3-Embedding-4B).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::{Rng, SeedableRng};
+use vq_core::distance::{cosine, dot, l1, l2_squared};
+
+fn vectors(dim: usize) -> (Vec<f32>, Vec<f32>) {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+    let a = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    let b = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+    (a, b)
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("distance");
+    for dim in [64usize, 256, 1024, 2560] {
+        let (a, b) = vectors(dim);
+        group.throughput(Throughput::Bytes((dim * 4 * 2) as u64));
+        group.bench_with_input(BenchmarkId::new("dot", dim), &dim, |bch, _| {
+            bch.iter(|| dot(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("l2_squared", dim), &dim, |bch, _| {
+            bch.iter(|| l2_squared(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("l1", dim), &dim, |bch, _| {
+            bch.iter(|| l1(black_box(&a), black_box(&b)))
+        });
+        group.bench_with_input(BenchmarkId::new("cosine", dim), &dim, |bch, _| {
+            bch.iter(|| cosine(black_box(&a), black_box(&b)))
+        });
+    }
+    group.finish();
+
+    // Naive (non-unrolled) baseline at the paper's dimensionality, to
+    // quantify what the 8-lane unrolling buys.
+    let (a, b) = vectors(2560);
+    c.bench_function("distance/naive_dot/2560", |bch| {
+        bch.iter(|| {
+            let mut s = 0.0f32;
+            for i in 0..a.len() {
+                s += black_box(a[i]) * black_box(b[i]);
+            }
+            s
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Embedding-pipeline benchmarks (Table 2 machinery).
+//!
+//! Measures the real code in the pipeline — the packing heuristic and the
+//! orchestrator's discrete-event execution — since the GPU time itself is
+//! a cost model. A 100-job virtual campaign simulating in ~milliseconds
+//! is the property that makes the paper-scale Table 2 regeneration cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vq_embed::{BatchingHeuristic, Orchestrator, OrchestratorConfig};
+use vq_hpc::{JobQueue, JobQueueConfig, NodeSpec, SimDuration};
+use vq_workload::{CorpusSpec, PaperMeta};
+
+fn bench_embed(c: &mut Criterion) {
+    // The packing heuristic over realistic paper-length distributions.
+    let corpus = CorpusSpec::pes2o();
+    let papers: Vec<PaperMeta> = corpus.papers_in(0..20_000).collect();
+    let mut group = c.benchmark_group("embed/heuristic_pack");
+    for n in [1_000usize, 20_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let h = BatchingHeuristic::default();
+            b.iter(|| h.pack(&papers[..n]))
+        });
+    }
+    group.finish();
+
+    // Whole-campaign virtual execution speed (jobs simulated per second).
+    let mut group = c.benchmark_group("embed/orchestrator_campaign");
+    group.sample_size(10);
+    for jobs in [10u64, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let orchestrator = Orchestrator::new(
+                    OrchestratorConfig::default(),
+                    CorpusSpec::pes2o(),
+                    NodeSpec::polaris(),
+                );
+                let queues = vec![JobQueue::new(JobQueueConfig {
+                    max_running: 4,
+                    dispatch_delay: SimDuration::from_secs(30),
+                })];
+                orchestrator.run(&queues, 0..jobs * 4000, None)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_embed);
+criterion_main!(benches);

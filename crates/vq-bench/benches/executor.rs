@@ -1,0 +1,88 @@
+//! Executor ablation: the §3.2 recommendation quantified.
+//!
+//! Two views of "multiprocessing beats asyncio for CPU-bound ingest":
+//!
+//! 1. *live* — one client thread vs four against a real 4-worker cluster;
+//! 2. *simulated* — the calibrated asyncio and multiprocess pipelines at
+//!    1 GB scale (the criterion numbers measure how fast the DES itself
+//!    runs; the interesting output is the virtual seconds, printed once).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vq_client::{simulate_upload, ExecutorKind, InsertCostModel, LiveUploader};
+use vq_cluster::{Cluster, ClusterConfig};
+use vq_collection::{CollectionConfig, IndexingPolicy};
+use vq_core::Distance;
+use vq_workload::{CorpusSpec, DatasetSpec, EmbeddingModel};
+
+fn bench_executor(c: &mut Criterion) {
+    // Print the simulated comparison once (virtual time, not criterion's
+    // wall time).
+    let m = InsertCostModel::default();
+    let one_gb = 96_974u64;
+    let asy = simulate_upload(one_gb, 32, ExecutorKind::Asyncio { in_flight: 2 }, 4, &m);
+    let multi = simulate_upload(
+        one_gb,
+        32,
+        ExecutorKind::MultiProcess { in_flight: 2 },
+        4,
+        &m,
+    );
+    println!(
+        "[virtual] 1 GB to 4 workers: asyncio {:.0} s vs multiprocess {:.0} s ({:.2}x)",
+        asy.wall_secs,
+        multi.wall_secs,
+        asy.wall_secs / multi.wall_secs
+    );
+
+    // Live comparison at laptop scale.
+    let corpus = CorpusSpec::small(3_000).seed(23);
+    let model = EmbeddingModel::small(&corpus, 64);
+    let d = DatasetSpec::with_vectors(corpus, model, 3_000);
+    let config = CollectionConfig::new(64, Distance::Cosine)
+        .max_segment_points(2048)
+        .indexing(IndexingPolicy::Deferred);
+
+    let mut group = c.benchmark_group("executor/live_upload");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("single_client", |b| {
+        b.iter_with_large_drop(|| {
+            let cluster = Cluster::start(ClusterConfig::new(4), config).unwrap();
+            let out = LiveUploader::new(32, 1).upload(&cluster, &d).unwrap();
+            cluster.shutdown();
+            out
+        })
+    });
+    group.bench_function("client_per_worker", |b| {
+        b.iter_with_large_drop(|| {
+            let cluster = Cluster::start(ClusterConfig::new(4), config).unwrap();
+            let out = LiveUploader::new(32, 4).upload(&cluster, &d).unwrap();
+            cluster.shutdown();
+            out
+        })
+    });
+    group.finish();
+
+    // DES throughput itself (how cheap is a virtual experiment).
+    let mut group = c.benchmark_group("executor/sim_speed");
+    group.bench_function("table3_cell", |b| {
+        b.iter(|| {
+            simulate_upload(
+                7_757_952,
+                32,
+                ExecutorKind::MultiProcess { in_flight: 2 },
+                32,
+                &m,
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_executor
+}
+criterion_main!(benches);

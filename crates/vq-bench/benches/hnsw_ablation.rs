@@ -1,0 +1,84 @@
+//! HNSW design-choice ablations: `m`, `ef_search`, and the
+//! neighbor-selection heuristic (Algorithm 4 vs closest-m).
+//!
+//! Complements the DESIGN.md ablation list: these knobs trade build time
+//! against search latency/recall, the trade-off space §2.1 describes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vq_core::Distance;
+use vq_index::{DenseVectors, HnswConfig, HnswIndex};
+use vq_workload::{CorpusSpec, EmbeddingModel, TermWorkload};
+
+const N: u64 = 8_000;
+const DIM: usize = 64;
+
+fn source() -> (DenseVectors, Vec<Vec<f32>>) {
+    let corpus = CorpusSpec::small(N).seed(3);
+    let model = EmbeddingModel::small(&corpus, DIM);
+    let mut s = DenseVectors::new(DIM);
+    for i in 0..N {
+        s.push(&model.embed(i, corpus.paper(i).topic));
+    }
+    let queries = TermWorkload::generate(&corpus, 64).query_vectors(&model);
+    (s, queries)
+}
+
+fn bench_ablation(c: &mut Criterion) {
+    let (s, queries) = source();
+
+    let mut group = c.benchmark_group("hnsw/search_ef");
+    let idx = HnswIndex::build(&s, Distance::Cosine, HnswConfig::default().seed(1));
+    for ef in [16usize, 64, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(ef), &ef, |b, &ef| {
+            b.iter(|| {
+                for q in &queries {
+                    idx.search(&s, q, 10, ef, None);
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hnsw/search_m");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for m in [8usize, 16, 32] {
+        let idx = HnswIndex::build(&s, Distance::Cosine, HnswConfig::with_m(m).seed(2));
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                for q in &queries {
+                    idx.search(&s, q, 10, 64, None);
+                }
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("hnsw/build_selection");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.bench_function("heuristic", |b| {
+        b.iter(|| {
+            HnswIndex::build(
+                &s,
+                Distance::Cosine,
+                HnswConfig::default().use_heuristic(true).seed(4),
+            )
+        })
+    });
+    group.bench_function("closest_m", |b| {
+        b.iter(|| {
+            HnswIndex::build(
+                &s,
+                Distance::Cosine,
+                HnswConfig::default().use_heuristic(false).seed(4),
+            )
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Index build benchmarks — the real-engine half of Figure 3.
+//!
+//! Measures HNSW construction time vs segment size (superlinear growth is
+//! the mechanism the Figure-3 model extrapolates) and parallel-vs-
+//! sequential construction speedup on this machine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use vq_core::Distance;
+use vq_index::{DenseVectors, HnswConfig, HnswIndex, IvfConfig, IvfIndex};
+use vq_workload::{CorpusSpec, EmbeddingModel};
+
+fn source(n: u64, dim: usize) -> DenseVectors {
+    let corpus = CorpusSpec::small(n.max(1)).seed(5);
+    let model = EmbeddingModel::small(&corpus, dim);
+    let mut s = DenseVectors::new(dim);
+    for i in 0..n {
+        s.push(&model.embed(i, corpus.paper(i).topic));
+    }
+    s
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("index_build");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for n in [1_000u64, 4_000, 16_000] {
+        let s = source(n, 64);
+        group.bench_with_input(BenchmarkId::new("hnsw_parallel", n), &n, |b, _| {
+            b.iter(|| HnswIndex::build(&s, Distance::Cosine, HnswConfig::default().seed(1)))
+        });
+        if n <= 4_000 {
+            group.bench_with_input(BenchmarkId::new("hnsw_sequential", n), &n, |b, _| {
+                b.iter(|| {
+                    HnswIndex::build_sequential(
+                        &s,
+                        Distance::Cosine,
+                        HnswConfig::default().seed(1),
+                    )
+                })
+            });
+        }
+        group.bench_with_input(BenchmarkId::new("ivf_train", n), &n, |b, _| {
+            b.iter(|| IvfIndex::build(&s, Distance::Cosine, IvfConfig::with_nlist(32).seed(2)))
+        });
+    }
+    group.finish();
+
+    // ef_construct ablation at fixed size.
+    let s = source(4_000, 64);
+    let mut group = c.benchmark_group("index_build/ef_construct");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for ef in [50usize, 100, 200] {
+        group.bench_with_input(BenchmarkId::from_parameter(ef), &ef, |b, &ef| {
+            b.iter(|| {
+                HnswIndex::build(
+                    &s,
+                    Distance::Cosine,
+                    HnswConfig::default().ef_construct(ef).seed(3),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Index-family ablation: flat vs HNSW vs IVF vs PQ search latency on
+//! identical clustered data (the index landscape of §2.1).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use vq_core::Distance;
+use vq_index::{
+    DenseVectors, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, PqCodec, PqConfig,
+    SqCodec, SqConfig,
+};
+use vq_workload::{CorpusSpec, EmbeddingModel, TermWorkload};
+
+const N: u64 = 10_000;
+const DIM: usize = 64;
+
+fn bench_family(c: &mut Criterion) {
+    let corpus = CorpusSpec::small(N).seed(17);
+    let model = EmbeddingModel::small(&corpus, DIM);
+    let mut s = DenseVectors::new(DIM);
+    for i in 0..N {
+        s.push(&model.embed(i, corpus.paper(i).topic));
+    }
+    let queries = TermWorkload::generate(&corpus, 32).query_vectors(&model);
+
+    let flat = FlatIndex::new(Distance::Cosine);
+    let hnsw = HnswIndex::build(&s, Distance::Cosine, HnswConfig::default().seed(1));
+    let ivf = IvfIndex::build(&s, Distance::Cosine, IvfConfig::with_nlist(64).seed(2));
+    let pq = PqCodec::build(&s, Distance::Cosine, PqConfig::with_m(8).ks(64).seed(3));
+
+    let mut group = c.benchmark_group("index_family/search32q");
+    group.bench_function("flat_exact", |b| {
+        b.iter(|| {
+            for q in &queries {
+                flat.search(&s, q, 10, None);
+            }
+        })
+    });
+    group.bench_function("hnsw_ef64", |b| {
+        b.iter(|| {
+            for q in &queries {
+                hnsw.search(&s, q, 10, 64, None);
+            }
+        })
+    });
+    group.bench_function("ivf_nprobe8", |b| {
+        b.iter(|| {
+            for q in &queries {
+                ivf.search(&s, q, 10, Some(8), None);
+            }
+        })
+    });
+    group.bench_function("pq_adc", |b| {
+        b.iter(|| {
+            for q in &queries {
+                pq.search(q, 10, None, None);
+            }
+        })
+    });
+    let sq = SqCodec::build(&s, Distance::Cosine, SqConfig::default());
+    group.bench_function("sq_int8", |b| {
+        b.iter(|| {
+            for q in &queries {
+                sq.search::<DenseVectors>(q, 10, None, None);
+            }
+        })
+    });
+    group.bench_function("sq_int8_rescored", |b| {
+        b.iter(|| {
+            for q in &queries {
+                sq.search(q, 10, Some(&s), None);
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_family
+}
+criterion_main!(benches);

@@ -1,0 +1,103 @@
+//! Insertion benchmarks — the real-engine half of Figure 2 / Table 3.
+//!
+//! Live cluster (worker threads) upload throughput vs batch size and vs
+//! client count, at laptop scale. The shapes validate what the calibrated
+//! simulation extrapolates: batching amortizes per-request cost, and
+//! multiple client processes scale where a single asyncio-style client
+//! cannot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use vq_client::LiveUploader;
+use vq_cluster::{Cluster, ClusterConfig};
+use vq_collection::{CollectionConfig, IndexingPolicy};
+use vq_core::Distance;
+use vq_workload::{CorpusSpec, DatasetSpec, EmbeddingModel};
+
+const N: u64 = 4_000;
+const DIM: usize = 64;
+
+fn dataset() -> DatasetSpec {
+    let corpus = CorpusSpec::small(N).seed(9);
+    let model = EmbeddingModel::small(&corpus, DIM);
+    DatasetSpec::with_vectors(corpus, model, N)
+}
+
+fn config() -> CollectionConfig {
+    CollectionConfig::new(DIM, Distance::Cosine)
+        .max_segment_points(2048)
+        .indexing(IndexingPolicy::Deferred)
+}
+
+fn bench_insert(c: &mut Criterion) {
+    let d = dataset();
+
+    let mut group = c.benchmark_group("insert/batch_size");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for batch in [1usize, 8, 32, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            b.iter_with_large_drop(|| {
+                let cluster = Cluster::start(ClusterConfig::new(1), config()).unwrap();
+                let out = LiveUploader::new(batch, 1).upload(&cluster, &d).unwrap();
+                cluster.shutdown();
+                out
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("insert/clients");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for clients in [1u32, 2, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(clients),
+            &clients,
+            |b, &clients| {
+                b.iter_with_large_drop(|| {
+                    let cluster =
+                        Cluster::start(ClusterConfig::new(clients), config()).unwrap();
+                    let out = LiveUploader::new(32, clients).upload(&cluster, &d).unwrap();
+                    cluster.shutdown();
+                    out
+                })
+            },
+        );
+    }
+    group.finish();
+
+    // Deferred vs on-seal indexing during ingest (the §3.3 bulk-upload
+    // recommendation).
+    let mut group = c.benchmark_group("insert/indexing_policy");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for (name, policy) in [
+        ("deferred", IndexingPolicy::Deferred),
+        ("on_seal", IndexingPolicy::OnSeal),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter_with_large_drop(|| {
+                let cfg = config().indexing(policy);
+                let cluster = Cluster::start(ClusterConfig::new(1), cfg).unwrap();
+                let out = LiveUploader::new(32, 1).upload(&cluster, &d).unwrap();
+                if policy == IndexingPolicy::OnSeal {
+                    // Let the worker finish its in-line builds via an
+                    // explicit pass so the comparison is fair.
+                    let mut client = cluster.client();
+                    let _ = client.build_indexes();
+                }
+                let c2: Arc<Cluster> = cluster.clone();
+                c2.shutdown();
+                out
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert);
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! Query benchmarks — the real-engine half of Figures 4 and 5.
+//!
+//! Live broadcast–reduce searches against clusters of 1/2/4 workers, with
+//! query batch size swept. At laptop scale the broadcast overhead visibly
+//! dominates (the small-dataset regime of Figure 5, where more workers
+//! *lose*).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::sync::Arc;
+use vq_client::{LiveQueryRunner, LiveUploader};
+use vq_cluster::{Cluster, ClusterConfig};
+use vq_collection::CollectionConfig;
+use vq_core::Distance;
+use vq_workload::{CorpusSpec, DatasetSpec, EmbeddingModel, TermWorkload};
+
+const N: u64 = 8_000;
+const DIM: usize = 64;
+
+fn dataset() -> DatasetSpec {
+    let corpus = CorpusSpec::small(N).seed(13);
+    let model = EmbeddingModel::small(&corpus, DIM);
+    DatasetSpec::with_vectors(corpus, model, N)
+}
+
+fn loaded_cluster(workers: u32) -> Arc<Cluster> {
+    let config = CollectionConfig::new(DIM, Distance::Cosine).max_segment_points(2048);
+    let cluster = Cluster::start(ClusterConfig::new(workers), config).unwrap();
+    let d = dataset();
+    LiveUploader::new(64, workers).upload(&cluster, &d).unwrap();
+    let mut client = cluster.client();
+    client.build_indexes().unwrap();
+    cluster
+}
+
+fn bench_query(c: &mut Criterion) {
+    let d = dataset();
+    let terms = TermWorkload::generate(d.corpus(), 256);
+    let queries = terms.query_vectors(d.model());
+
+    // Batch-size sweep on one worker (Figure 4's first panel).
+    let single = loaded_cluster(1);
+    let mut group = c.benchmark_group("query/batch_size");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for batch in [1usize, 4, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(batch), &batch, |b, &batch| {
+            let runner = LiveQueryRunner::new(batch, 10);
+            b.iter(|| runner.run(&single, &queries).unwrap())
+        });
+    }
+    group.finish();
+    single.shutdown();
+
+    // Worker sweep at fixed batch (Figure 5's small-dataset regime).
+    let mut group = c.benchmark_group("query/workers");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for workers in [1u32, 2, 4] {
+        let cluster = loaded_cluster(workers);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, _| {
+                let runner = LiveQueryRunner::new(16, 10);
+                b.iter(|| runner.run(&cluster, &queries).unwrap())
+            },
+        );
+        cluster.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

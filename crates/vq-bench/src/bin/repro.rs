@@ -1,0 +1,785 @@
+//! `repro` — regenerate every table and figure of the paper.
+//!
+//! ```sh
+//! cargo run --release -p vq-bench --bin repro -- all
+//! cargo run --release -p vq-bench --bin repro -- fig2
+//! cargo run --release -p vq-bench --bin repro -- table3 --json
+//! ```
+//!
+//! Paper-scale experiments run through the calibrated discrete-event
+//! simulation (virtual time — an "8.22 hour" cell takes milliseconds);
+//! the criterion benches under `benches/` exercise the real engine at
+//! laptop scale. `EXPERIMENTS.md` records both against the paper.
+
+use serde::Serialize;
+use vq_bench::calib::Calibration;
+use vq_bench::report::{human_secs, write_result, TextTable};
+use vq_bench::table1;
+use vq_client::{simulate_query_run, simulate_upload, ExecutorKind};
+use vq_client::{sweep_batch_size, sweep_concurrency, tuning::SweepTarget};
+use vq_core::size::GB;
+use vq_embed::{Orchestrator, OrchestratorConfig};
+use vq_hpc::{JobQueue, JobQueueConfig, NodeSpec, SimDuration};
+use vq_workload::CorpusSpec;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .unwrap_or("all");
+
+    let calib = Calibration::default();
+    let known = [
+        "table1", "table2", "fig2", "table3", "fig3", "fig4", "fig5", "ablation",
+        "variability", "pipeline", "all",
+    ];
+    if !known.contains(&which) {
+        eprintln!("unknown experiment `{which}`; one of: {}", known.join(", "));
+        std::process::exit(2);
+    }
+    let run = |name: &str| which == "all" || which == name;
+
+    if run("table1") {
+        print_table1(json);
+    }
+    if run("table2") {
+        print_table2(&calib, json);
+    }
+    if run("fig2") {
+        print_fig2(&calib, json);
+    }
+    if run("table3") {
+        print_table3(&calib, json);
+    }
+    if run("fig3") {
+        print_fig3(&calib, json);
+    }
+    if run("fig4") {
+        print_fig4(&calib, json);
+    }
+    if run("fig5") {
+        print_fig5(&calib, json);
+    }
+    if run("ablation") {
+        print_ablation(json);
+    }
+    if run("variability") {
+        print_variability(&calib, json);
+    }
+    if run("pipeline") {
+        print_pipeline(&calib, json);
+    }
+}
+
+#[derive(Serialize)]
+struct PipelineOut {
+    workers: u32,
+    sequential_secs: f64,
+    overlapped_secs: f64,
+    saved_secs: f64,
+}
+
+/// End-to-end workflow study (beyond the paper): the paper measures
+/// embedding generation and insertion as separate phases; a scientific
+/// campaign would stream embeddings into the database as jobs finish.
+/// This computes the overlapped makespan from the orchestrator's job
+/// completion curve and the calibrated insertion rate.
+fn print_pipeline(calib: &Calibration, json: bool) {
+    section("End-to-end campaign: sequential phases vs embed→insert overlap");
+    // Embed a 2-million-paper slice (≈520 jobs) through 3 queues.
+    let orchestrator = Orchestrator::new(
+        OrchestratorConfig::default(),
+        CorpusSpec::pes2o(),
+        NodeSpec::polaris(),
+    );
+    let queues: Vec<JobQueue> = (0..3)
+        .map(|_| {
+            JobQueue::new(JobQueueConfig {
+                max_running: 8,
+                dispatch_delay: SimDuration::from_secs(45),
+            })
+        })
+        .collect();
+    let papers = 2_000_000u64;
+    let report = orchestrator.run(&queues, 0..papers, None);
+    println!(
+        "embedding: {} jobs over {} (3 queues x 8 nodes)",
+        report.jobs.len(),
+        human_secs(report.wall_secs)
+    );
+
+    let mut t = TextTable::new(["Workers", "Sequential", "Overlapped", "Saved"]);
+    let mut out = Vec::new();
+    for &w in &Calibration::WORKER_GRID {
+        // Insertion rate (points/s): W clients at batch 32, 2 in flight.
+        let per_batch = (calib.insert.cpu_secs(32) + calib.insert.asyncio_overhead)
+            / calib.insert.contention_factor(w);
+        let rate = w as f64 * 32.0 / per_batch;
+        // Sequential: all embedding, then all insertion.
+        let sequential = report.wall_secs + papers as f64 / rate;
+        // Overlapped: insertion consumes job outputs as they complete;
+        // finish = max over jobs of (completion + points-still-to-come/rate),
+        // the work-conserving bound.
+        let per_job: Vec<u64> = report.jobs.iter().map(|j| j.papers).collect();
+        let total: u64 = per_job.iter().sum();
+        let mut remaining = total;
+        let mut overlapped: f64 = 0.0;
+        for (c, p) in report.completions_secs.iter().zip(&per_job) {
+            overlapped = overlapped.max(c + remaining as f64 / rate);
+            remaining -= p;
+        }
+        t.row([
+            w.to_string(),
+            human_secs(sequential),
+            human_secs(overlapped),
+            format!("{:.0} %", 100.0 * (sequential - overlapped) / sequential),
+        ]);
+        out.push(PipelineOut {
+            workers: w,
+            sequential_secs: sequential,
+            overlapped_secs: overlapped,
+            saved_secs: sequential - overlapped,
+        });
+    }
+    print!("{}", t.render());
+    println!("(streaming embeddings into the cluster hides most of the insertion time — the end-to-end win the paper's intro motivates)");
+    emit(json, "pipeline", &out);
+}
+
+#[derive(Serialize)]
+struct VariabilityRow {
+    cv: f64,
+    wall_secs: f64,
+    p50_ms: f64,
+    p95_ms: f64,
+    p99_ms: f64,
+}
+
+/// The paper's stated future work, implemented: how service-time
+/// dispersion on a shared system turns into tail latency through queueing
+/// at the serial worker.
+fn print_variability(calib: &Calibration, json: bool) {
+    use vq_client::simulate_query_run_stochastic;
+    section("Variability (paper future work): tails vs service-time dispersion");
+    println!("1 GB, batch 16, 2 in flight, single worker; log-normal service times.");
+    let mut rows = Vec::new();
+    let mut t = TextTable::new(["CV", "Run time", "p50/batch", "p95/batch", "p99/batch"]);
+    for cv in [0.0f64, 0.1, 0.3, 0.5, 1.0] {
+        let out = simulate_query_run_stochastic(
+            Calibration::QUERY_TERMS,
+            16,
+            2,
+            1,
+            GB as f64,
+            &calib.query,
+            cv,
+            7,
+        );
+        t.row([
+            format!("{cv:.1}"),
+            human_secs(out.wall_secs),
+            format!("{:.1} ms", out.p50_secs * 1e3),
+            format!("{:.1} ms", out.p95_secs * 1e3),
+            format!("{:.1} ms", out.p99_secs * 1e3),
+        ]);
+        rows.push(VariabilityRow {
+            cv,
+            wall_secs: out.wall_secs,
+            p50_ms: out.p50_secs * 1e3,
+            p95_ms: out.p95_secs * 1e3,
+            p99_ms: out.p99_secs * 1e3,
+        });
+    }
+    print!("{}", t.render());
+    println!("(tail inflation ≫ dispersion: queueing amplifies variance at a saturated worker)");
+    emit(json, "variability", &rows);
+}
+
+#[derive(Serialize)]
+struct AblationRow {
+    index: String,
+    build_ms: f64,
+    query_us: f64,
+    recall_at_10: f64,
+}
+
+/// Real-engine recall/latency trade-off on clustered synthetic data — the
+/// ann-benchmarks-style measurement the related-work section alludes to,
+/// run live on this machine (not simulated).
+fn print_ablation(json: bool) {
+    use std::time::Instant;
+    use vq_core::Distance;
+    use vq_index::{
+        DenseVectors, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, IvfPqConfig,
+        IvfPqIndex, PqCodec, PqConfig, SqCodec, SqConfig, VectorSource,
+    };
+    use vq_workload::{CorpusSpec, EmbeddingModel, TermWorkload};
+
+    section("Index ablation (live, this machine): recall vs latency");
+    let n = 20_000u64;
+    let dim = 64;
+    let corpus = CorpusSpec::small(n).seed(31);
+    let model = EmbeddingModel::small(&corpus, dim);
+    let mut source = DenseVectors::new(dim);
+    for i in 0..n {
+        source.push(&model.embed(i, corpus.paper(i).topic));
+    }
+    let queries: Vec<Vec<f32>> = TermWorkload::generate(&corpus, 200).query_vectors(&model);
+    let flat = FlatIndex::new(Distance::Cosine);
+    let truth: Vec<Vec<u32>> = queries
+        .iter()
+        .map(|q| flat.search(&source, q, 10, None).iter().map(|h| h.0).collect())
+        .collect();
+
+    let mut rows: Vec<AblationRow> = Vec::new();
+    let mut measure = |name: &str,
+                       build: &mut dyn FnMut() -> Box<dyn Fn(&[f32]) -> Vec<u32>>| {
+        let t0 = Instant::now();
+        let search = build();
+        let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let results: Vec<Vec<u32>> = queries.iter().map(|q| search(q)).collect();
+        let query_us = t0.elapsed().as_secs_f64() * 1e6 / queries.len() as f64;
+        let recall = results
+            .iter()
+            .zip(&truth)
+            .map(|(got, want)| vq_index::recall_at_k(got, want))
+            .sum::<f64>()
+            / queries.len() as f64;
+        rows.push(AblationRow {
+            index: name.to_string(),
+            build_ms,
+            query_us,
+            recall_at_10: recall,
+        });
+    };
+
+    measure("flat (exact)", &mut || {
+        let flat = FlatIndex::new(Distance::Cosine);
+        let source = &source;
+        Box::new(move |q: &[f32]| flat.search(source, q, 10, None).iter().map(|h| h.0).collect())
+    });
+    for ef in [32usize, 128] {
+        measure(&format!("hnsw m16 ef{ef}"), &mut || {
+            let idx = HnswIndex::build(&source, Distance::Cosine, HnswConfig::default().seed(1));
+            let source = &source;
+            Box::new(move |q: &[f32]| {
+                idx.search(source, q, 10, ef, None).iter().map(|h| h.0).collect()
+            })
+        });
+    }
+    for nprobe in [4usize, 16] {
+        measure(&format!("ivf64 nprobe{nprobe}"), &mut || {
+            let idx =
+                IvfIndex::build(&source, Distance::Cosine, IvfConfig::with_nlist(64).seed(2));
+            let source = &source;
+            Box::new(move |q: &[f32]| {
+                idx.search(source, q, 10, Some(nprobe), None)
+                    .iter()
+                    .map(|h| h.0)
+                    .collect()
+            })
+        });
+    }
+    measure("pq m8 ks64", &mut || {
+        let pq = PqCodec::build(&source, Distance::Cosine, PqConfig::with_m(8).ks(64).seed(3));
+        Box::new(move |q: &[f32]| pq.search(q, 10, None, None).iter().map(|h| h.0).collect())
+    });
+    measure("pq m8 ks64 + rescore", &mut || {
+        let pq = PqCodec::build(&source, Distance::Cosine, PqConfig::with_m(8).ks(64).seed(3));
+        let source = &source;
+        Box::new(move |q: &[f32]| {
+            // The standard compressed pipeline: oversample with ADC, then
+            // re-rank the survivors at full precision.
+            let cands: Vec<u32> = pq.search(q, 100, None, None).iter().map(|h| h.0).collect();
+            let mut rescored: Vec<(f32, u32)> = cands
+                .into_iter()
+                .map(|o| (Distance::Cosine.score(q, source.vector(o)), o))
+                .collect();
+            rescored.sort_by(|a, b| b.0.total_cmp(&a.0));
+            rescored.into_iter().take(10).map(|(_, o)| o).collect()
+        })
+    });
+    measure("ivf-pq nprobe8 + rescore", &mut || {
+        let idx = IvfPqIndex::build(
+            &source,
+            Distance::Cosine,
+            IvfPqConfig {
+                ivf: IvfConfig::with_nlist(64).seed(5),
+                pq: PqConfig::with_m(8).ks(64).seed(6),
+                oversample: 8,
+            },
+        );
+        let source = &source;
+        Box::new(move |q: &[f32]| {
+            idx.search(source, q, 10, Some(8), None)
+                .iter()
+                .map(|h| h.0)
+                .collect()
+        })
+    });
+    measure("sq int8 + rescore", &mut || {
+        let sq = SqCodec::build(&source, Distance::Cosine, SqConfig::default());
+        let source = &source;
+        Box::new(move |q: &[f32]| {
+            sq.search(q, 10, Some(source), None).iter().map(|h| h.0).collect()
+        })
+    });
+
+    let mut t = TextTable::new(["Index", "Build", "Query", "Recall@10"]);
+    for r in &rows {
+        t.row([
+            r.index.clone(),
+            format!("{:.0} ms", r.build_ms),
+            format!("{:.0} us", r.query_us),
+            format!("{:.3}", r.recall_at_10),
+        ]);
+    }
+    print!("{}", t.render());
+    emit(json, "ablation", &rows);
+}
+
+fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn emit<T: Serialize>(json: bool, name: &str, value: &T) {
+    if json {
+        match write_result(name, value) {
+            Ok(path) => println!("[wrote {}]", path.display()),
+            Err(e) => eprintln!("[failed to write results/{name}.json: {e}]"),
+        }
+    }
+}
+
+fn print_table1(json: bool) {
+    section("Table 1: distributed vector database features");
+    let mut t = TextTable::new(
+        ["System"]
+            .into_iter()
+            .chain(table1::FEATURES)
+            .collect::<Vec<_>>(),
+    );
+    let mut all = table1::rows();
+    all.push(table1::vq_row());
+    for r in &all {
+        t.row([
+            r.system,
+            r.parallel_rw.glyph(),
+            r.compute_storage_separation.glyph(),
+            r.autoscaling.glyph(),
+            r.replication.glyph(),
+            r.gpu_indexing.glyph(),
+            r.gpu_ann.glyph(),
+        ]);
+    }
+    print!("{}", t.render());
+    emit(json, "table1", &all);
+}
+
+#[derive(Serialize)]
+struct Table2Out {
+    jobs: usize,
+    mean_model_load_secs: f64,
+    mean_io_secs: f64,
+    mean_inference_secs: f64,
+    total_mean_secs: f64,
+    total_std_secs: f64,
+    inference_fraction: f64,
+    sequential_fraction: f64,
+}
+
+fn print_table2(_calib: &Calibration, json: bool) {
+    section("Table 2: embedding generation runtime breakdown");
+    let orchestrator = Orchestrator::new(
+        OrchestratorConfig::default(),
+        CorpusSpec::pes2o(),
+        NodeSpec::polaris(),
+    );
+    let queues: Vec<JobQueue> = (0..3)
+        .map(|_| {
+            JobQueue::new(JobQueueConfig {
+                max_running: 8,
+                dispatch_delay: SimDuration::from_secs(45),
+            })
+        })
+        .collect();
+    // 200 jobs ≈ 800 k papers: enough for stable means; the full 2,079-job
+    // campaign runs in a few seconds more if you want it (0..8_293_485).
+    let report = orchestrator.run(&queues, 0..800_000, None);
+    let (mean, std) = report.total_mean_std();
+    let mut t = TextTable::new(["Phase", "Ours (s)", "Paper (s)"]);
+    t.row([
+        "Model loading".to_string(),
+        format!("{:.2}", report.mean_model_load()),
+        format!("{:.2}", Calibration::TABLE2_MODEL_LOAD),
+    ])
+    .row([
+        "I/O".to_string(),
+        format!("{:.2}", report.mean_io()),
+        format!("{:.2}", Calibration::TABLE2_IO),
+    ])
+    .row([
+        "Inference".to_string(),
+        format!("{:.2}", report.mean_inference()),
+        format!("{:.2}", Calibration::TABLE2_INFERENCE),
+    ])
+    .row([
+        "Total".to_string(),
+        format!("{mean:.2} ± {std:.2}"),
+        format!(
+            "{:.2} ± {:.2}",
+            Calibration::TABLE2_TOTAL_MEAN,
+            Calibration::TABLE2_TOTAL_STD
+        ),
+    ]);
+    print!("{}", t.render());
+    println!(
+        "inference share: {:.1} % (paper: 98.5 %)   sequential papers: {:.3} % (paper: <0.10 %)",
+        100.0 * report.inference_fraction(),
+        100.0 * report.sequential_fraction()
+    );
+    for (i, q) in queues.iter().enumerate() {
+        if let Some(wait) = q.mean_wait() {
+            println!(
+                "queue {i}: {} jobs, mean queue wait {}",
+                q.completed(),
+                human_secs(wait.as_secs_f64())
+            );
+        }
+    }
+
+    // GPU-count ablation (the paper's future-work direction: per-node
+    // accelerator utilization).
+    let gpu_grid = [1u32, 2, 4];
+    let inference: Vec<f64> = gpu_grid
+        .iter()
+        .map(|&gpus| {
+            let mut node = NodeSpec::polaris();
+            node.gpus = gpus;
+            let orchestrator =
+                Orchestrator::new(OrchestratorConfig::default(), CorpusSpec::pes2o(), node);
+            let q = vec![JobQueue::new(JobQueueConfig {
+                max_running: 8,
+                dispatch_delay: SimDuration::from_secs(45),
+            })];
+            orchestrator.run(&q, 0..80_000, None).mean_inference()
+        })
+        .collect();
+    let base = inference[2]; // 4 GPUs
+    let mut t = TextTable::new(["GPUs/node", "Mean inference (s)", "vs 4 GPUs"]);
+    for (i, &gpus) in gpu_grid.iter().enumerate() {
+        t.row([
+            gpus.to_string(),
+            format!("{:.0}", inference[i]),
+            format!("{:.2}x", inference[i] / base),
+        ]);
+    }
+    print!("{}", t.render());
+    emit(
+        json,
+        "table2",
+        &Table2Out {
+            jobs: report.jobs.len(),
+            mean_model_load_secs: report.mean_model_load(),
+            mean_io_secs: report.mean_io(),
+            mean_inference_secs: report.mean_inference(),
+            total_mean_secs: mean,
+            total_std_secs: std,
+            inference_fraction: report.inference_fraction(),
+            sequential_fraction: report.sequential_fraction(),
+        },
+    );
+}
+
+#[derive(Serialize)]
+struct SweepOut {
+    param: usize,
+    secs: f64,
+}
+
+#[derive(Serialize)]
+struct Fig2Out {
+    batch_sweep: Vec<SweepOut>,
+    concurrency_sweep: Vec<SweepOut>,
+}
+
+fn print_fig2(calib: &Calibration, json: bool) {
+    section("Figure 2: 1 GB insertion — batch size and parallel requests");
+    let points = Calibration::one_gb_points();
+    let target = SweepTarget::Insert {
+        points,
+        model: &calib.insert,
+    };
+    let batches = sweep_batch_size(target, &[1, 2, 4, 8, 16, 32, 64, 128, 256], 1);
+    let mut t = TextTable::new(["Batch size", "Ours", "Paper"]);
+    for p in &batches {
+        let paper = match p.param {
+            1 => "468 s",
+            32 => "381 s (optimum)",
+            _ => "-",
+        };
+        t.row([p.param.to_string(), human_secs(p.secs), paper.to_string()]);
+    }
+    print!("{}", t.render());
+
+    let conc = sweep_concurrency(target, 32, &[1, 2, 4, 8, 16]);
+    let mut t = TextTable::new(["Parallel requests", "Ours", "Paper"]);
+    for p in &conc {
+        let paper = match p.param {
+            1 => "381 s",
+            2 => "367 s (optimum)",
+            _ => "worse (asyncio)",
+        };
+        t.row([p.param.to_string(), human_secs(p.secs), paper.to_string()]);
+    }
+    print!("{}", t.render());
+    println!(
+        "asyncio Amdahl ceiling at batch 32: {:.2}x (paper derives 1.31x from the conversion/RPC pair)",
+        calib.insert.amdahl_ceiling(32)
+    );
+    emit(
+        json,
+        "fig2",
+        &Fig2Out {
+            batch_sweep: batches
+                .iter()
+                .map(|p| SweepOut {
+                    param: p.param,
+                    secs: p.secs,
+                })
+                .collect(),
+            concurrency_sweep: conc
+                .iter()
+                .map(|p| SweepOut {
+                    param: p.param,
+                    secs: p.secs,
+                })
+                .collect(),
+        },
+    );
+}
+
+#[derive(Serialize)]
+struct Table3Out {
+    workers: u32,
+    secs: f64,
+    paper_secs: f64,
+}
+
+fn print_table3(calib: &Calibration, json: bool) {
+    section("Table 3: full 80 GB insertion time vs workers");
+    let points = Calibration::full_dataset_points();
+    let mut t = TextTable::new(["Workers", "Ours", "Paper", "Error"]);
+    let mut out = Vec::new();
+    for (i, &w) in Calibration::WORKER_GRID.iter().enumerate() {
+        let got = simulate_upload(
+            points,
+            32,
+            ExecutorKind::MultiProcess { in_flight: 2 },
+            w,
+            &calib.insert,
+        )
+        .wall_secs;
+        let paper = Calibration::TABLE3_HOURS[i] * 3600.0;
+        t.row([
+            w.to_string(),
+            human_secs(got),
+            human_secs(paper),
+            format!("{:+.1} %", 100.0 * (got - paper) / paper),
+        ]);
+        out.push(Table3Out {
+            workers: w,
+            secs: got,
+            paper_secs: paper,
+        });
+    }
+    print!("{}", t.render());
+    emit(json, "table3", &out);
+}
+
+#[derive(Serialize)]
+struct Fig3Out {
+    workers: u32,
+    gb: f64,
+    secs: f64,
+}
+
+fn print_fig3(calib: &Calibration, json: bool) {
+    section("Figure 3: index build time vs dataset size and workers");
+    let sizes = [1.0f64, 5.0, 10.0, 20.0, 40.0, 80.0];
+    let mut header: Vec<String> = vec!["GB \\ workers".into()];
+    header.extend(Calibration::WORKER_GRID.iter().map(|w| w.to_string()));
+    let mut t = TextTable::new(header);
+    let mut out = Vec::new();
+    for &gb in &sizes {
+        let mut row = vec![format!("{gb:.0}")];
+        for &w in &Calibration::WORKER_GRID {
+            let secs = calib.index_build.build_secs(w, gb);
+            row.push(human_secs(secs));
+            out.push(Fig3Out { workers: w, gb, secs });
+        }
+        t.row(row);
+    }
+    print!("{}", t.render());
+    println!(
+        "speedups at 80 GB: 4 workers {:.2}x (paper 1.27x), 32 workers {:.2}x (paper 21.32x)",
+        calib.index_build.speedup(4, 80.0),
+        calib.index_build.speedup(32, 80.0),
+    );
+    // Placement ablation: what 1-worker-per-node deployment would buy
+    // (the paper's takeaway that co-locating 4 workers is wasteful for
+    // CPU index builds).
+    let mut t = TextTable::new(["Workers", "4/node (paper)", "1/node (spread)", "Gain"]);
+    for &w in &[4u32, 8, 16, 32] {
+        let packed = calib.index_build.build_secs_with_colocation(w, 80.0, 4);
+        let spread = calib.index_build.build_secs_with_colocation(w, 80.0, 1);
+        t.row([
+            w.to_string(),
+            human_secs(packed),
+            human_secs(spread),
+            format!("{:.2}x", packed / spread),
+        ]);
+    }
+    print!("{}", t.render());
+    emit(json, "fig3", &out);
+}
+
+#[derive(Serialize)]
+struct Fig4Out {
+    batch_sweep: Vec<SweepOut>,
+    concurrency_sweep: Vec<SweepOut>,
+    call_times_ms: Vec<(usize, f64)>,
+}
+
+fn print_fig4(calib: &Calibration, json: bool) {
+    section("Figure 4: 1 GB query run — batch size and parallel requests");
+    let target = SweepTarget::Query {
+        queries: Calibration::QUERY_TERMS,
+        dataset_bytes: GB as f64,
+        model: &calib.query,
+    };
+    let batches = sweep_batch_size(target, &[1, 2, 4, 8, 16, 32, 64, 128], 1);
+    let mut t = TextTable::new(["Batch size", "Ours", "Paper"]);
+    for p in &batches {
+        let paper = match p.param {
+            1 => "139 s",
+            16 => "73 s (then flat)",
+            _ => "-",
+        };
+        t.row([p.param.to_string(), human_secs(p.secs), paper.to_string()]);
+    }
+    print!("{}", t.render());
+
+    let conc = sweep_concurrency(target, 16, &[1, 2, 4, 8]);
+    let mut t = TextTable::new(["Parallel requests", "Ours", "Paper"]);
+    for p in &conc {
+        let paper = match p.param {
+            2 => "optimum",
+            _ => "-",
+        };
+        t.row([p.param.to_string(), human_secs(p.secs), paper.to_string()]);
+    }
+    print!("{}", t.render());
+
+    // Per-batch call-time inflation (§3.4 follow-up probe).
+    let mut call_times = Vec::new();
+    let mut t = TextTable::new(["In flight", "Ours (ms/batch)", "Paper (ms/batch)"]);
+    for (c, paper_ms) in Calibration::FIG4_CALL_TIMES_MS {
+        let run = simulate_query_run(
+            Calibration::QUERY_TERMS,
+            16,
+            c,
+            1,
+            GB as f64,
+            &calib.query,
+        );
+        let ms = run.mean_batch_call_secs * 1e3;
+        t.row([
+            c.to_string(),
+            format!("{ms:.1}"),
+            format!("{paper_ms:.1}"),
+        ]);
+        call_times.push((c, ms));
+    }
+    print!("{}", t.render());
+    println!("(absolute call times differ — ours measure full sojourn — but the ~2x-per-step inflation shape matches)");
+    emit(
+        json,
+        "fig4",
+        &Fig4Out {
+            batch_sweep: batches
+                .iter()
+                .map(|p| SweepOut {
+                    param: p.param,
+                    secs: p.secs,
+                })
+                .collect(),
+            concurrency_sweep: conc
+                .iter()
+                .map(|p| SweepOut {
+                    param: p.param,
+                    secs: p.secs,
+                })
+                .collect(),
+            call_times_ms: call_times,
+        },
+    );
+}
+
+#[derive(Serialize)]
+struct Fig5Out {
+    workers: u32,
+    gb: f64,
+    secs: f64,
+}
+
+fn print_fig5(calib: &Calibration, json: bool) {
+    section("Figure 5: query time vs dataset size and workers");
+    let sizes = [1.0f64, 5.0, 10.0, 20.0, 30.0, 50.0, 80.0];
+    let mut header: Vec<String> = vec!["GB \\ workers".into()];
+    header.extend(Calibration::WORKER_GRID.iter().map(|w| w.to_string()));
+    let mut t = TextTable::new(header);
+    let mut out = Vec::new();
+    for &gb in &sizes {
+        let mut row = vec![format!("{gb:.0}")];
+        for &w in &Calibration::WORKER_GRID {
+            let secs = simulate_query_run(
+                Calibration::QUERY_TERMS,
+                16,
+                2,
+                w,
+                gb * GB as f64,
+                &calib.query,
+            )
+            .wall_secs;
+            row.push(human_secs(secs));
+            out.push(Fig5Out { workers: w, gb, secs });
+        }
+        t.row(row);
+    }
+    print!("{}", t.render());
+    let t1 = simulate_query_run(Calibration::QUERY_TERMS, 16, 2, 1, 80.0 * GB as f64, &calib.query)
+        .wall_secs;
+    let best = Calibration::WORKER_GRID[1..]
+        .iter()
+        .map(|&w| {
+            t1 / simulate_query_run(
+                Calibration::QUERY_TERMS,
+                16,
+                2,
+                w,
+                80.0 * GB as f64,
+                &calib.query,
+            )
+            .wall_secs
+        })
+        .fold(0.0, f64::max);
+    println!(
+        "best speedup at 80 GB: {best:.2}x (paper 3.57x); multi-worker wins only past ~25-30 GB (paper: ~30 GB)"
+    );
+    emit(json, "fig5", &out);
+}

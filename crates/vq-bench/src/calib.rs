@@ -1,0 +1,115 @@
+//! Calibration: every paper-derived number, in one place.
+//!
+//! The experiment harness and the cost models consume these values; no
+//! other module hard-codes a figure from the paper. Each constant's doc
+//! comment names its source.
+
+use vq_client::{InsertCostModel, QueryCostModel};
+use vq_core::size::GB;
+use vq_core::VectorLayout;
+
+/// The paper's experiment-scale facts and the calibrated cost models.
+#[derive(Debug, Clone)]
+pub struct Calibration {
+    /// Insert-path cost model (Figure 2 / Table 3 anchors — see
+    /// [`vq_client::costs`] for the per-constant derivations).
+    pub insert: InsertCostModel,
+    /// Query-path cost model (Figure 4 / Figure 5 anchors).
+    pub query: QueryCostModel,
+    /// Index-build scaling model (Figure 3 anchors).
+    pub index_build: crate::fig3::IndexBuildModel,
+}
+
+impl Default for Calibration {
+    fn default() -> Self {
+        Calibration {
+            insert: InsertCostModel::default(),
+            query: QueryCostModel::default(),
+            index_build: crate::fig3::IndexBuildModel::default(),
+        }
+    }
+}
+
+impl Calibration {
+    /// §3.1: total papers embedded ("a total of 8,293,485 embeddings").
+    pub const TOTAL_PAPERS: u64 = 8_293_485;
+
+    /// §3: query terms ("a small subset of 22,723 terms related to
+    /// genomes available through BV-BRC").
+    pub const QUERY_TERMS: u64 = 22_723;
+
+    /// §3.2: worker grid ("1, 4, 8, 16, and 32" Qdrant workers).
+    pub const WORKER_GRID: [u32; 5] = [1, 4, 8, 16, 32];
+
+    /// §3.2: the full dataset is "≈80 GB"; in vectors of the Qwen3
+    /// layout that is:
+    pub fn full_dataset_points() -> u64 {
+        VectorLayout::QWEN3_4B.vectors_in(80 * GB)
+    }
+
+    /// The 1 GB tuning subset of §3.2/§3.4, in vectors.
+    pub fn one_gb_points() -> u64 {
+        VectorLayout::QWEN3_4B.vectors_in(GB)
+    }
+
+    /// Table 2 reference row: mean seconds per job batch.
+    pub const TABLE2_MODEL_LOAD: f64 = 28.17;
+    /// Table 2: I/O seconds.
+    pub const TABLE2_IO: f64 = 7.49;
+    /// Table 2: inference seconds.
+    pub const TABLE2_INFERENCE: f64 = 2381.97;
+    /// §3.1: total job runtime 2,417.84 ± 113.92 s; inference is 98.5 %.
+    pub const TABLE2_TOTAL_MEAN: f64 = 2417.84;
+    /// §3.1 jitter band.
+    pub const TABLE2_TOTAL_STD: f64 = 113.92;
+
+    /// Table 3 reference cells, hours, for workers [1, 4, 8, 16, 32].
+    pub const TABLE3_HOURS: [f64; 5] = [8.22, 2.11, 1.14, 35.92 / 60.0, 21.67 / 60.0];
+
+    /// Figure 2 anchors: 1 GB insert seconds at (batch 1, c=1),
+    /// (batch 32, c=1), (batch 32, c=2).
+    pub const FIG2_ANCHORS: [(usize, usize, f64); 3] =
+        [(1, 1, 468.0), (32, 1, 381.0), (32, 2, 367.0)];
+
+    /// Figure 4 anchors: 1 GB query seconds at (batch 1) and (batch 16).
+    pub const FIG4_ANCHORS: [(usize, f64); 2] = [(1, 139.0), (16, 73.0)];
+
+    /// §3.4 follow-up: per-batch call times at 2/4/8 in-flight (ms).
+    pub const FIG4_CALL_TIMES_MS: [(usize, f64); 3] = [(2, 30.7), (4, 76.4), (8, 170.0)];
+
+    /// §3.3: best index-build speedup at 32 workers.
+    pub const FIG3_MAX_SPEEDUP: f64 = 21.32;
+    /// §3.3: 1→4 workers speedup.
+    pub const FIG3_SPEEDUP_AT_4: f64 = 1.27;
+
+    /// §3.4: best query speedup and the size where parallelism starts
+    /// winning.
+    pub const FIG5_MAX_SPEEDUP: f64 = 3.57;
+    /// §3.4 crossover dataset size (GB).
+    pub const FIG5_CROSSOVER_GB: f64 = 30.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_scale_math() {
+        // 80 GB of 10,312-byte records ≈ 7.76 M vectors — consistent with
+        // the corpus's 8.29 M papers ("up to 8 million full-text papers").
+        let pts = Calibration::full_dataset_points();
+        assert!((7_000_000..8_300_000).contains(&pts), "{pts}");
+        assert!(pts < Calibration::TOTAL_PAPERS);
+        let one = Calibration::one_gb_points();
+        // 1 GB ≈ 1/80th of the full set (up to per-GB flooring).
+        assert!((one as i64 - (pts / 80) as i64).abs() <= 1, "{one} vs {pts}");
+    }
+
+    #[test]
+    fn calibration_is_constructible() {
+        let c = Calibration::default();
+        assert!(c.insert.amdahl_ceiling(32) > 1.0);
+        assert!(c.query.bcast_overhead(4) > 0.0);
+        assert!(c.index_build.alpha > 1.0);
+    }
+}

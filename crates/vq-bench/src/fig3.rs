@@ -1,0 +1,189 @@
+//! The index-build scaling model (Figure 3).
+//!
+//! Figure 3 plots HNSW (re)build time against dataset size for 1–32
+//! workers. The paper reports two quantitative anchors:
+//!
+//! * maximum speedup **21.32×** at 32 workers, and
+//! * a **1.27×** maximum speedup when going from one worker to four
+//!   (four workers share one 32-core node, and a single worker already
+//!   saturates 90–97 % of that node during builds).
+//!
+//! A per-worker build-time model `t = T_ref · (s/80 GB)^α · r(w)` with a
+//! per-worker slowdown `r(w)` for co-located deployments fits both
+//! anchors exactly:
+//!
+//! * solving `8^α = 21.32 / 1.27` gives **α ≈ 1.357** — per-segment
+//!   build cost is superlinear in segment size (the O(log n) insertion
+//!   factor of HNSW compounded by cache/memory-hierarchy effects on
+//!   bigger graphs);
+//! * solving the 4-worker anchor then gives `r(colocated) ≈ 5.17` — a
+//!   co-located worker builds ≈5× slower per (GB^α): 32/4 = 8 cores
+//!   instead of the ~30 a lone worker uses (×3.75), the rest
+//!   memory-bandwidth contention between four concurrent graph builds.
+//!
+//! The absolute scale `T_ref` (single worker, 80 GB) is **not** printed
+//! in the paper; we anchor it at 8 h — ≈270 vectors/s for d=2560 HNSW on
+//! a saturated 32-core node, and consistent with insertion's 8.22 h
+//! including background indexing. Only relative shape is asserted
+//! anywhere.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the Figure 3 model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IndexBuildModel {
+    /// Single-worker full-dataset (80 GB) build time, seconds.
+    pub t_ref_secs: f64,
+    /// Superlinear per-segment exponent.
+    pub alpha: f64,
+    /// Per-worker slowdown when workers are co-located 4-per-node.
+    pub colocated_slowdown: f64,
+    /// Reference dataset size in GB (the paper's full set).
+    pub ref_gb: f64,
+}
+
+impl Default for IndexBuildModel {
+    fn default() -> Self {
+        IndexBuildModel {
+            t_ref_secs: 8.0 * 3600.0,
+            // 8^α = 21.32/1.27 → α = ln(16.787)/ln(8)
+            alpha: (21.32f64 / 1.27).ln() / 8f64.ln(),
+            // r = 4^α / 1.27 (from the 1→4 anchor)
+            colocated_slowdown: 4f64.powf((21.32f64 / 1.27).ln() / 8f64.ln()) / 1.27,
+            ref_gb: 80.0,
+        }
+    }
+}
+
+impl IndexBuildModel {
+    /// Wall time to (re)build all indexes for `gb` of data spread over
+    /// `workers` workers (4 per node, as deployed in the paper).
+    pub fn build_secs(&self, workers: u32, gb: f64) -> f64 {
+        self.build_secs_with_colocation(workers, gb, 4)
+    }
+
+    /// Build time with an explicit co-location factor — the placement
+    /// ablation. `workers_per_node = 1` gives each worker a full node
+    /// (no contention slowdown), the deployment §3.3 suggests the
+    /// workload actually wants; 2 interpolates; 4 is the paper's layout.
+    pub fn build_secs_with_colocation(
+        &self,
+        workers: u32,
+        gb: f64,
+        workers_per_node: u32,
+    ) -> f64 {
+        assert!(workers >= 1 && workers_per_node >= 1);
+        let per_worker_gb = gb / workers as f64;
+        let shape = (per_worker_gb / self.ref_gb).powf(self.alpha);
+        let occupancy = workers_per_node.min(workers);
+        // Interpolate the per-worker slowdown between "whole node to
+        // myself" (1.0) and the calibrated 4-per-node value, proportional
+        // to how much of the node each worker loses: a worker sharing
+        // k-ways keeps 1/k of the cores the lone worker enjoyed.
+        let slowdown = match occupancy {
+            1 => 1.0,
+            k => {
+                let full = self.colocated_slowdown; // at k = 4
+                1.0 + (full - 1.0) * (k.min(4) as f64 - 1.0) / 3.0
+            }
+        };
+        self.t_ref_secs * shape * slowdown
+    }
+
+    /// Speedup over the single-worker build at the same size.
+    pub fn speedup(&self, workers: u32, gb: f64) -> f64 {
+        self.build_secs(1, gb) / self.build_secs(workers, gb)
+    }
+
+    /// Speedup of the spread deployment (1 worker/node) over the paper's
+    /// co-located one at the same worker count and size — what the
+    /// cluster would gain by not packing 4 workers per node (at 4× the
+    /// node allocation).
+    pub fn spread_gain(&self, workers: u32, gb: f64) -> f64 {
+        self.build_secs_with_colocation(workers, gb, 4)
+            / self.build_secs_with_colocation(workers, gb, 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anchors_reproduce_paper() {
+        let m = IndexBuildModel::default();
+        let s4 = m.speedup(4, 80.0);
+        let s32 = m.speedup(32, 80.0);
+        assert!((s4 - 1.27).abs() < 0.02, "1→4 speedup {s4:.3}");
+        assert!((s32 - 21.32).abs() < 0.3, "32-worker speedup {s32:.2}");
+    }
+
+    #[test]
+    fn speedups_monotone_in_workers() {
+        let m = IndexBuildModel::default();
+        let grid = [1u32, 4, 8, 16, 32];
+        let mut last = 0.0;
+        for &w in &grid {
+            let s = m.speedup(w, 80.0);
+            assert!(s > last, "speedup must grow: {s} after {last}");
+            last = s;
+        }
+        // Sub-linear overall ("the scaling falls short of linear").
+        assert!(last < 32.0);
+    }
+
+    #[test]
+    fn build_time_grows_with_size() {
+        let m = IndexBuildModel::default();
+        for w in [1u32, 4, 32] {
+            let mut last = 0.0;
+            for gb in [1.0, 10.0, 40.0, 80.0] {
+                let t = m.build_secs(w, gb);
+                assert!(t > last);
+                last = t;
+            }
+        }
+    }
+
+    #[test]
+    fn superlinearity_in_segment_size() {
+        let m = IndexBuildModel::default();
+        // Doubling per-worker data more than doubles build time.
+        let t40 = m.build_secs(1, 40.0);
+        let t80 = m.build_secs(1, 80.0);
+        assert!(t80 > 2.0 * t40);
+        assert!(t80 < 3.0 * t40, "but not wildly so");
+    }
+
+    #[test]
+    fn spread_placement_ablation() {
+        let m = IndexBuildModel::default();
+        // One worker per node: no contention slowdown at all.
+        let spread = m.build_secs_with_colocation(4, 80.0, 1);
+        let packed = m.build_secs_with_colocation(4, 80.0, 4);
+        assert!((m.spread_gain(4, 80.0) - packed / spread).abs() < 1e-9);
+        assert!(
+            packed / spread > 4.0,
+            "unpacking 4 workers should win big: {:.2}x",
+            packed / spread
+        );
+        // Intermediate occupancy sits between the extremes.
+        let two = m.build_secs_with_colocation(4, 80.0, 2);
+        assert!(spread < two && two < packed);
+        // A single worker is unaffected by the co-location factor.
+        assert_eq!(
+            m.build_secs_with_colocation(1, 80.0, 1),
+            m.build_secs_with_colocation(1, 80.0, 4)
+        );
+    }
+
+    #[test]
+    fn speedup_is_size_independent_in_this_model() {
+        // The power law makes relative speedups constant across sizes —
+        // consistent with Figure 3's visually parallel curves.
+        let m = IndexBuildModel::default();
+        let a = m.speedup(8, 10.0);
+        let b = m.speedup(8, 80.0);
+        assert!((a - b).abs() < 1e-9);
+    }
+}

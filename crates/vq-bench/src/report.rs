@@ -1,0 +1,135 @@
+//! Table rendering and JSON result emission for the `repro` binary.
+
+use serde::Serialize;
+
+/// A simple aligned-column text table.
+#[derive(Debug, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Start a table with the given column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TextTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header width).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    /// Render with aligned columns.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths = vec![0usize; cols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.len();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", c, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Format seconds as the paper does (h / m / s as appropriate).
+pub fn human_secs(secs: f64) -> String {
+    if secs >= 3600.0 {
+        format!("{:.2} h", secs / 3600.0)
+    } else if secs >= 60.0 {
+        format!("{:.2} m", secs / 60.0)
+    } else if secs >= 1.0 {
+        format!("{:.2} s", secs)
+    } else {
+        format!("{:.1} ms", secs * 1e3)
+    }
+}
+
+/// Serialize a result struct to pretty JSON (stdout or a results file).
+pub fn to_json<T: Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).expect("results are serializable")
+}
+
+/// Write a JSON result next to the repo's EXPERIMENTS.md
+/// (`results/<name>.json`), creating the directory if needed.
+pub fn write_result<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    let dir = std::path::Path::new("results");
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(format!("{name}.json"));
+    std::fs::write(&path, to_json(value))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_alignment() {
+        let mut t = TextTable::new(["Workers", "Time"]);
+        t.row(["1", "8.22 h"]).row(["32", "21.67 m"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Workers"));
+        assert!(lines[2].starts_with("1 "));
+        assert!(lines[3].starts_with("32"));
+        // Columns aligned: "Time" starts at the same offset everywhere.
+        let col = lines[0].find("Time").unwrap();
+        assert_eq!(&lines[2][col..col + 4], "8.22");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_ragged_rows() {
+        TextTable::new(["a", "b"]).row(["only one"]);
+    }
+
+    #[test]
+    fn human_times() {
+        assert_eq!(human_secs(8.22 * 3600.0), "8.22 h");
+        assert_eq!(human_secs(21.67 * 60.0), "21.67 m");
+        assert_eq!(human_secs(59.0), "59.00 s");
+        assert_eq!(human_secs(73.0), "1.22 m");
+        assert_eq!(human_secs(0.0307), "30.7 ms");
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        #[derive(serde::Serialize)]
+        struct R {
+            x: u32,
+        }
+        let s = to_json(&R { x: 7 });
+        assert!(s.contains("\"x\": 7"));
+    }
+}

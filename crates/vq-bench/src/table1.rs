@@ -1,0 +1,173 @@
+//! Table 1: the feature comparison of distributed vector databases.
+//!
+//! A static matrix transcribed from the paper (§2.2), rendered by the
+//! `repro` binary. "Paid" marks features only available in the vendor's
+//! paid cloud offering (the table's half-filled squares).
+
+use serde::{Deserialize, Serialize};
+
+/// Support level for one feature.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Support {
+    /// Available in the open-source offering.
+    Yes,
+    /// Not available.
+    No,
+    /// Available only in the paid cloud offering.
+    Paid,
+}
+
+impl Support {
+    /// Render as the paper's glyphs.
+    pub fn glyph(&self) -> &'static str {
+        match self {
+            Support::Yes => "yes",
+            Support::No => "no",
+            Support::Paid => "paid",
+        }
+    }
+}
+
+/// One system's row.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SystemRow {
+    /// System name.
+    pub system: &'static str,
+    /// Parallel reads/writes.
+    pub parallel_rw: Support,
+    /// Compute/storage separation (stateless workers).
+    pub compute_storage_separation: Support,
+    /// Load-balanced autoscaling.
+    pub autoscaling: Support,
+    /// Shard replication.
+    pub replication: Support,
+    /// GPU-accelerated index construction.
+    pub gpu_indexing: Support,
+    /// GPU-accelerated ANN search.
+    pub gpu_ann: Support,
+}
+
+/// The feature names, in column order.
+pub const FEATURES: [&str; 6] = [
+    "Parallel Read/Write",
+    "Compute/Storage Separation",
+    "Load Balanced Autoscaling",
+    "Replication",
+    "GPU Indexing",
+    "GPU ANN",
+];
+
+/// Table 1's rows as printed in the paper.
+pub fn rows() -> Vec<SystemRow> {
+    use Support::{No, Paid, Yes};
+    vec![
+        SystemRow {
+            system: "Vespa",
+            parallel_rw: Yes,
+            compute_storage_separation: Yes,
+            autoscaling: Paid,
+            replication: Yes,
+            gpu_indexing: No,
+            gpu_ann: No,
+        },
+        SystemRow {
+            system: "Vald",
+            parallel_rw: Yes,
+            compute_storage_separation: No,
+            autoscaling: Yes,
+            replication: Yes,
+            gpu_indexing: Yes,
+            gpu_ann: Yes,
+        },
+        SystemRow {
+            system: "Weaviate",
+            parallel_rw: Yes,
+            compute_storage_separation: No,
+            autoscaling: Yes,
+            replication: Yes,
+            gpu_indexing: Yes,
+            gpu_ann: Yes,
+        },
+        SystemRow {
+            system: "Qdrant",
+            parallel_rw: Yes,
+            compute_storage_separation: No,
+            autoscaling: Paid,
+            replication: Yes,
+            gpu_indexing: Yes,
+            gpu_ann: No,
+        },
+        SystemRow {
+            system: "Milvus",
+            parallel_rw: Yes,
+            compute_storage_separation: Yes,
+            autoscaling: Yes,
+            replication: Yes,
+            gpu_indexing: Yes,
+            gpu_ann: Yes,
+        },
+    ]
+}
+
+/// Which of Table 1's architectures `vq` itself implements (stateful
+/// sharding, like Qdrant) — used by the repro output footer.
+pub fn vq_row() -> SystemRow {
+    use Support::{No, Yes};
+    SystemRow {
+        system: "vq (this repo)",
+        parallel_rw: Yes,
+        compute_storage_separation: No, // stateful by design, like Qdrant
+        autoscaling: Yes,               // scale_out() + rebalancing
+        replication: Yes,
+        gpu_indexing: No, // modeled hook only (paper's future work)
+        gpu_ann: No,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matrix_matches_paper_highlights() {
+        let rows = rows();
+        assert_eq!(rows.len(), 5);
+        // "only a subset—Vespa and Milvus—support compute-storage
+        // separation"
+        let sep: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.compute_storage_separation == Support::Yes)
+            .map(|r| r.system)
+            .collect();
+        assert_eq!(sep, vec!["Vespa", "Milvus"]);
+        // "only Vald, Weaviate, and Milvus support both GPU-accelerated
+        // indexing and ANN search"
+        let gpu_both: Vec<&str> = rows
+            .iter()
+            .filter(|r| r.gpu_indexing == Support::Yes && r.gpu_ann == Support::Yes)
+            .map(|r| r.system)
+            .collect();
+        assert_eq!(gpu_both, vec!["Vald", "Weaviate", "Milvus"]);
+        // All systems: parallel R/W and replication.
+        assert!(rows.iter().all(|r| r.parallel_rw == Support::Yes));
+        assert!(rows.iter().all(|r| r.replication != Support::No));
+        // Qdrant: GPU indexing yes, GPU ANN no.
+        let qdrant = rows.iter().find(|r| r.system == "Qdrant").unwrap();
+        assert_eq!(qdrant.gpu_indexing, Support::Yes);
+        assert_eq!(qdrant.gpu_ann, Support::No);
+    }
+
+    #[test]
+    fn vq_mirrors_qdrants_architecture() {
+        let vq = vq_row();
+        assert_eq!(vq.compute_storage_separation, Support::No);
+        assert_eq!(vq.replication, Support::Yes);
+    }
+
+    #[test]
+    fn glyphs_render() {
+        assert_eq!(Support::Yes.glyph(), "yes");
+        assert_eq!(Support::No.glyph(), "no");
+        assert_eq!(Support::Paid.glyph(), "paid");
+    }
+}

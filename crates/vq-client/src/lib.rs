@@ -1,0 +1,33 @@
+//! # vq-client
+//!
+//! The client stack — both halves of it:
+//!
+//! * [`live`] — drivers that exercise a **real** [`vq_cluster::Cluster`]:
+//!   multi-threaded batched upload (one client per worker, like the
+//!   paper's multiprocessing layout) and batched query execution. These
+//!   run at laptop scale and validate every mechanism end to end.
+//! * [`costs`] + [`sim`] — the **calibrated cost models** and
+//!   discrete-event drivers that replay the same client logic at Polaris
+//!   scale in virtual time: Python-asyncio event-loop semantics (CPU-bound
+//!   batch conversion serializes; only RPC awaits overlap — the §3.2
+//!   observation that caps single-client speedup at 1.31×), the
+//!   multiprocessing layout of Table 3, and the broadcast–reduce query
+//!   model behind Figures 4 and 5.
+//! * [`tuning`] — parameter sweeps (batch size, in-flight requests)
+//!   reproducing the tuning methodology of §3.2/§3.4.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod costs;
+pub mod live;
+pub mod sim;
+pub mod tuning;
+
+pub use costs::{InsertCostModel, QueryCostModel};
+pub use live::{LiveUploader, LiveQueryRunner, UploadOutcome};
+pub use sim::{
+    simulate_query_run, simulate_query_run_stochastic, simulate_upload, ExecutorKind,
+    SimOutcome, StochasticOutcome,
+};
+pub use tuning::{sweep_batch_size, sweep_concurrency, SweepPoint};

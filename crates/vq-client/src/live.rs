@@ -1,0 +1,251 @@
+//! Live drivers against a real cluster.
+//!
+//! These run the same client shapes as [`crate::sim`] but for real: OS
+//! threads, real batches, real broadcast–reduce searches against
+//! [`vq_cluster::Cluster`] worker threads. Used by the integration tests,
+//! the examples, and the laptop-scale halves of the benches — they
+//! *validate mechanisms* (batching wins, multiprocess beats one client,
+//! deferred indexing speeds ingest) that the simulator then extrapolates.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use vq_cluster::Cluster;
+use vq_collection::SearchRequest;
+use vq_core::{Point, ScoredPoint, VqError, VqResult};
+use vq_workload::DatasetSpec;
+
+/// Outcome of a live upload run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UploadOutcome {
+    /// Wall time of the whole upload.
+    pub elapsed: Duration,
+    /// Points uploaded.
+    pub points: u64,
+    /// Upload batches issued (across all client threads).
+    pub batches: u64,
+}
+
+impl UploadOutcome {
+    /// Points per second.
+    pub fn throughput(&self) -> f64 {
+        self.points as f64 / self.elapsed.as_secs_f64().max(1e-12)
+    }
+}
+
+/// Multi-threaded batched uploader: `clients` threads, each owning a
+/// contiguous partition of the dataset (the paper's one-client-per-worker
+/// multiprocessing layout).
+pub struct LiveUploader {
+    /// Points per upload request.
+    pub batch_size: usize,
+    /// Parallel client threads.
+    pub clients: u32,
+}
+
+impl LiveUploader {
+    /// Uploader with the paper's tuned defaults (batch 32).
+    pub fn new(batch_size: usize, clients: u32) -> Self {
+        assert!(batch_size > 0 && clients > 0);
+        LiveUploader {
+            batch_size,
+            clients,
+        }
+    }
+
+    /// Upload the whole dataset into the cluster.
+    pub fn upload(&self, cluster: &Arc<Cluster>, dataset: &DatasetSpec) -> VqResult<UploadOutcome> {
+        let start = Instant::now();
+        let parts = dataset.partition(self.clients);
+        let batches = std::sync::atomic::AtomicU64::new(0);
+        let first_err: parking_lot::Mutex<Option<VqError>> = parking_lot::Mutex::new(None);
+        std::thread::scope(|scope| {
+            for part in parts {
+                let cluster = cluster.clone();
+                let batches = &batches;
+                let first_err = &first_err;
+                let batch_size = self.batch_size;
+                scope.spawn(move || {
+                    let mut client = cluster.client();
+                    let mut start = part.start;
+                    while start < part.end {
+                        let end = (start + batch_size as u64).min(part.end);
+                        // "Conversion": materialize the points for this
+                        // request (the CPU-bound step the paper profiles).
+                        let points: Vec<Point> = dataset.points_in(start..end);
+                        if let Err(e) = client.upsert_batch(points) {
+                            first_err.lock().get_or_insert(e);
+                            return;
+                        }
+                        batches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                        start = end;
+                    }
+                });
+            }
+        });
+        if let Some(e) = first_err.lock().take() {
+            return Err(e);
+        }
+        Ok(UploadOutcome {
+            elapsed: start.elapsed(),
+            points: dataset.len(),
+            batches: batches.into_inner(),
+        })
+    }
+}
+
+/// Outcome of a live query run.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Wall time of the whole run.
+    pub elapsed: Duration,
+    /// Per-query result lists, in query order.
+    pub results: Vec<Vec<ScoredPoint>>,
+    /// Per-batch round-trip latencies, in issue order.
+    pub batch_latencies: Vec<Duration>,
+}
+
+impl QueryOutcome {
+    /// Latency percentile over the per-batch round trips (`p` in 0..=100).
+    /// Uses the nearest-rank method; `None` for an empty run.
+    pub fn latency_percentile(&self, p: f64) -> Option<Duration> {
+        if self.batch_latencies.is_empty() {
+            return None;
+        }
+        let mut sorted = self.batch_latencies.clone();
+        sorted.sort_unstable();
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        Some(sorted[rank.saturating_sub(1).min(sorted.len() - 1)])
+    }
+
+    /// Mean per-batch latency; `None` for an empty run.
+    pub fn mean_latency(&self) -> Option<Duration> {
+        if self.batch_latencies.is_empty() {
+            return None;
+        }
+        let total: Duration = self.batch_latencies.iter().sum();
+        Some(total / self.batch_latencies.len() as u32)
+    }
+}
+
+/// Batched query runner.
+pub struct LiveQueryRunner {
+    /// Queries per request.
+    pub batch_size: usize,
+    /// Results per query.
+    pub k: usize,
+    /// Beam width (None = collection default).
+    pub ef: Option<usize>,
+}
+
+impl LiveQueryRunner {
+    /// Runner with top-`k` and the given batch size.
+    pub fn new(batch_size: usize, k: usize) -> Self {
+        assert!(batch_size > 0 && k > 0);
+        LiveQueryRunner {
+            batch_size,
+            k,
+            ef: None,
+        }
+    }
+
+    /// Run all queries (vectors) through the cluster, preserving order.
+    pub fn run(
+        &self,
+        cluster: &Arc<Cluster>,
+        queries: &[Vec<f32>],
+    ) -> VqResult<QueryOutcome> {
+        let start = Instant::now();
+        let mut client = cluster.client();
+        let mut results = Vec::with_capacity(queries.len());
+        let mut batch_latencies = Vec::with_capacity(queries.len() / self.batch_size + 1);
+        for chunk in queries.chunks(self.batch_size) {
+            let requests: Vec<SearchRequest> = chunk
+                .iter()
+                .map(|q| {
+                    let mut r = SearchRequest::new(q.clone(), self.k);
+                    if let Some(ef) = self.ef {
+                        r = r.ef(ef);
+                    }
+                    r
+                })
+                .collect();
+            let t0 = Instant::now();
+            results.extend(client.search_batch(requests)?);
+            batch_latencies.push(t0.elapsed());
+        }
+        Ok(QueryOutcome {
+            elapsed: start.elapsed(),
+            results,
+            batch_latencies,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vq_cluster::ClusterConfig;
+    use vq_collection::CollectionConfig;
+    use vq_core::Distance;
+    use vq_workload::{CorpusSpec, EmbeddingModel};
+
+    fn dataset(n: u64) -> DatasetSpec {
+        let corpus = CorpusSpec::small(10_000);
+        let model = EmbeddingModel::small(&corpus, 16);
+        DatasetSpec::with_vectors(corpus, model, n)
+    }
+
+    fn collection() -> CollectionConfig {
+        CollectionConfig::new(16, Distance::Cosine).max_segment_points(256)
+    }
+
+    #[test]
+    fn upload_then_query_end_to_end() {
+        let cluster = Cluster::start(ClusterConfig::new(2), collection()).unwrap();
+        let d = dataset(500);
+        let out = LiveUploader::new(32, 2).upload(&cluster, &d).unwrap();
+        assert_eq!(out.points, 500);
+        assert_eq!(out.batches, 16); // 2 partitions of 250 → 8 batches each
+        assert!(out.throughput() > 0.0);
+
+        let mut client = cluster.client();
+        assert_eq!(client.stats().unwrap().live_points, 500);
+
+        let queries: Vec<Vec<f32>> = (0..20).map(|i| d.point(i).vector).collect();
+        let q = LiveQueryRunner::new(8, 3).run(&cluster, &queries).unwrap();
+        assert_eq!(q.results.len(), 20);
+        assert_eq!(q.batch_latencies.len(), 3); // ceil(20/8)
+        let p50 = q.latency_percentile(50.0).unwrap();
+        let p100 = q.latency_percentile(100.0).unwrap();
+        assert!(p50 <= p100);
+        assert!(q.mean_latency().unwrap() <= p100);
+        // A document queried by its own vector must return itself first
+        // (cosine, exact via flat scan on unsealed segments).
+        for (i, hits) in q.results.iter().enumerate() {
+            assert_eq!(hits[0].id, i as u64, "self-query {i}");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn more_clients_dont_lose_data() {
+        let cluster = Cluster::start(ClusterConfig::new(4), collection()).unwrap();
+        let d = dataset(1000);
+        LiveUploader::new(16, 4).upload(&cluster, &d).unwrap();
+        let mut client = cluster.client();
+        assert_eq!(client.stats().unwrap().live_points, 1000);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn ragged_partitions_upload_fully() {
+        let cluster = Cluster::start(ClusterConfig::new(3), collection()).unwrap();
+        let d = dataset(101); // does not divide by 3 or 16
+        let out = LiveUploader::new(16, 3).upload(&cluster, &d).unwrap();
+        assert_eq!(out.points, 101);
+        let mut client = cluster.client();
+        assert_eq!(client.stats().unwrap().live_points, 101);
+        cluster.shutdown();
+    }
+}

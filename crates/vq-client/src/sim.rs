@@ -1,0 +1,685 @@
+//! Discrete-event client simulations at Polaris scale.
+//!
+//! These drivers replay the paper's client logic in virtual time against
+//! the calibrated cost models:
+//!
+//! * **Asyncio executor** — one OS thread runs the event loop. CPU-bound
+//!   work (reading points, converting them to wire batch objects) runs
+//!   *on* the loop and serializes; only the RPC awaits overlap, and only
+//!   up to the configured in-flight window. This is the §3.2 mechanism
+//!   that makes concurrency > 2 useless for inserts.
+//! * **Multiprocess executor** — P independent client processes (the
+//!   paper runs one per Qdrant worker on a dedicated client node), each
+//!   an asyncio pipeline against its own worker; the run ends when the
+//!   slowest finishes.
+//!
+//! The query driver models the worker as a serial service point (a batch
+//! occupies the worker's search threads for its whole service time), so
+//! extra in-flight batches queue — reproducing §3.4's growing per-batch
+//! call times at 4 and 8 in-flight requests.
+
+use crate::costs::{InsertCostModel, QueryCostModel};
+use std::cell::RefCell;
+use std::rc::Rc;
+use vq_hpc::{Engine, FifoServer, SimDuration};
+
+/// Which client executor to simulate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutorKind {
+    /// Python-asyncio-like single-threaded loop with an in-flight window.
+    Asyncio {
+        /// Max outstanding RPCs.
+        in_flight: usize,
+    },
+    /// One process per worker, each an asyncio loop with the given
+    /// window.
+    MultiProcess {
+        /// In-flight window within each process.
+        in_flight: usize,
+    },
+}
+
+/// Result of a simulated run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimOutcome {
+    /// Virtual wall time of the whole run, seconds.
+    pub wall_secs: f64,
+    /// Batches issued.
+    pub batches: u64,
+    /// Mean client-observed per-batch call time (submit → response),
+    /// seconds.
+    pub mean_batch_call_secs: f64,
+}
+
+/// Simulate uploading `n_points` split over `workers` workers.
+///
+/// With [`ExecutorKind::Asyncio`] a single client feeds worker 0 with all
+/// points (the 1 GB tuning setup of Figure 2). With
+/// [`ExecutorKind::MultiProcess`] each worker gets `n_points / workers`
+/// from its own client process (the Table 3 setup).
+///
+/// ```
+/// use vq_client::{simulate_upload, ExecutorKind, InsertCostModel};
+///
+/// // The paper's Figure-2 anchor: 1 GB (≈97 k vectors), batch 32,
+/// // serial client → ≈381 s of virtual time, computed in microseconds.
+/// let out = simulate_upload(
+///     96_974,
+///     32,
+///     ExecutorKind::Asyncio { in_flight: 1 },
+///     1,
+///     &InsertCostModel::default(),
+/// );
+/// assert!((out.wall_secs - 381.0).abs() < 20.0);
+/// ```
+pub fn simulate_upload(
+    n_points: u64,
+    batch_size: usize,
+    executor: ExecutorKind,
+    workers: u32,
+    model: &InsertCostModel,
+) -> SimOutcome {
+    assert!(batch_size > 0);
+    match executor {
+        ExecutorKind::Asyncio { in_flight } => {
+            run_upload_pipeline(n_points, batch_size, in_flight, workers, model)
+        }
+        ExecutorKind::MultiProcess { in_flight } => {
+            // Independent pipelines; identical load ⇒ identical times, so
+            // simulate one lane with its share and take it as the max.
+            let share = n_points.div_ceil(workers as u64);
+            let lane = run_upload_pipeline(share, batch_size, in_flight, workers, model);
+            SimOutcome {
+                wall_secs: lane.wall_secs,
+                batches: lane.batches * workers as u64,
+                mean_batch_call_secs: lane.mean_batch_call_secs,
+            }
+        }
+    }
+}
+
+fn run_upload_pipeline(
+    n_points: u64,
+    batch_size: usize,
+    in_flight: usize,
+    workers: u32,
+    model: &InsertCostModel,
+) -> SimOutcome {
+    let in_flight = in_flight.max(1);
+    let factor = model.contention_factor(workers);
+    let total_batches = n_points.div_ceil(batch_size as u64);
+    // Per-batch service times (last batch may be ragged; the effect is
+    // < 1/batches and ignored).
+    let cpu = SimDuration::from_secs_f64(
+        (model.cpu_secs(batch_size)
+            + model.asyncio_overhead * in_flight.saturating_sub(1) as f64)
+            / factor,
+    );
+    let rpc = SimDuration::from_secs_f64(model.rpc_secs(batch_size, in_flight) / factor);
+
+    let mut engine = Engine::new();
+    let loop_cpu = FifoServer::new(1); // the event loop thread
+    let state = Rc::new(RefCell::new(PipelineState {
+        issued: 0,
+        outstanding: 0,
+        done: 0,
+        total: total_batches,
+        call_time_sum: 0.0,
+    }));
+
+    fn pump(
+        e: &mut Engine,
+        loop_cpu: &FifoServer,
+        state: &Rc<RefCell<PipelineState>>,
+        cpu: SimDuration,
+        rpc: SimDuration,
+        window: usize,
+    ) {
+        loop {
+            {
+                let mut s = state.borrow_mut();
+                if s.issued >= s.total || s.outstanding >= window as u64 {
+                    return;
+                }
+                s.issued += 1;
+                s.outstanding += 1;
+            }
+            let state2 = state.clone();
+            let loop_cpu2 = loop_cpu.clone();
+            loop_cpu.submit(e, cpu, move |e, t0| {
+                let state3 = state2.clone();
+                let loop_cpu3 = loop_cpu2.clone();
+                e.schedule_in(rpc, move |e| {
+                    {
+                        let mut s = state3.borrow_mut();
+                        s.outstanding -= 1;
+                        s.done += 1;
+                        s.call_time_sum += (e.now() - t0).as_secs_f64() + 0.0;
+                    }
+                    pump(e, &loop_cpu3, &state3, cpu, rpc, window);
+                });
+            });
+        }
+    }
+
+    pump(&mut engine, &loop_cpu, &state, cpu, rpc, in_flight);
+    let end = engine.run_until_idle();
+    let s = state.borrow();
+    SimOutcome {
+        wall_secs: end.as_secs_f64(),
+        batches: s.done,
+        mean_batch_call_secs: if s.done > 0 {
+            s.call_time_sum / s.done as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+struct PipelineState {
+    issued: u64,
+    outstanding: u64,
+    done: u64,
+    total: u64,
+    call_time_sum: f64,
+}
+
+/// Simulate running `n_queries` against a `workers`-worker cluster
+/// holding `dataset_bytes` total, in batches of `batch_size` with
+/// `in_flight` outstanding batches.
+pub fn simulate_query_run(
+    n_queries: u64,
+    batch_size: usize,
+    in_flight: usize,
+    workers: u32,
+    dataset_bytes: f64,
+    model: &QueryCostModel,
+) -> SimOutcome {
+    assert!(batch_size > 0);
+    let in_flight = in_flight.max(1);
+    let total_batches = n_queries.div_ceil(batch_size as u64);
+    let bytes_per_worker = dataset_bytes / workers.max(1) as f64;
+    let service = SimDuration::from_secs_f64(model.batch_secs(
+        batch_size,
+        workers,
+        bytes_per_worker,
+        in_flight,
+    ));
+    // Client-side CPU per batch: building the query batch object. Small
+    // next to search time, but it is what stops c=1 from overlapping.
+    let client_cpu = SimDuration::from_secs_f64(0.5e-3 + 0.05e-3 * batch_size as f64);
+
+    let mut engine = Engine::new();
+    let loop_cpu = FifoServer::new(1);
+    // The contacted worker's search path: serial (a batch saturates the
+    // worker's cores for its service time, per §3.4's follow-up probe).
+    let worker = FifoServer::new(1);
+    let state = Rc::new(RefCell::new(PipelineState {
+        issued: 0,
+        outstanding: 0,
+        done: 0,
+        total: total_batches,
+        call_time_sum: 0.0,
+    }));
+
+    fn pump(
+        e: &mut Engine,
+        loop_cpu: &FifoServer,
+        worker: &FifoServer,
+        state: &Rc<RefCell<PipelineState>>,
+        client_cpu: SimDuration,
+        service: SimDuration,
+        window: usize,
+    ) {
+        loop {
+            {
+                let mut s = state.borrow_mut();
+                if s.issued >= s.total || s.outstanding >= window as u64 {
+                    return;
+                }
+                s.issued += 1;
+                s.outstanding += 1;
+            }
+            let state2 = state.clone();
+            let loop_cpu2 = loop_cpu.clone();
+            let worker2 = worker.clone();
+            loop_cpu.submit(e, client_cpu, move |e, t0| {
+                let state3 = state2.clone();
+                let loop_cpu3 = loop_cpu2.clone();
+                let worker3 = worker2.clone();
+                worker2.submit(e, service, move |e, _| {
+                    {
+                        let mut s = state3.borrow_mut();
+                        s.outstanding -= 1;
+                        s.done += 1;
+                        s.call_time_sum += (e.now() - t0).as_secs_f64();
+                    }
+                    pump(e, &loop_cpu3, &worker3, &state3, client_cpu, service, window);
+                });
+            });
+        }
+    }
+
+    pump(
+        &mut engine,
+        &loop_cpu,
+        &worker,
+        &state,
+        client_cpu,
+        service,
+        in_flight,
+    );
+    let end = engine.run_until_idle();
+    let s = state.borrow();
+    SimOutcome {
+        wall_secs: end.as_secs_f64(),
+        batches: s.done,
+        mean_batch_call_secs: if s.done > 0 {
+            s.call_time_sum / s.done as f64
+        } else {
+            0.0
+        },
+    }
+}
+
+/// Outcome of a stochastic query simulation (per-batch sojourn
+/// distribution included).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StochasticOutcome {
+    /// Virtual wall time of the run, seconds.
+    pub wall_secs: f64,
+    /// Mean per-batch sojourn, seconds.
+    pub mean_secs: f64,
+    /// Median per-batch sojourn, seconds.
+    pub p50_secs: f64,
+    /// 95th-percentile sojourn, seconds.
+    pub p95_secs: f64,
+    /// 99th-percentile sojourn, seconds.
+    pub p99_secs: f64,
+}
+
+/// Stochastic variant of [`simulate_query_run`]: per-batch service times
+/// are log-normally distributed around the cost model's mean with the
+/// given coefficient of variation, seeded deterministically.
+///
+/// This implements the paper's stated future work ("we did not focus on
+/// runtime variability... Future work could investigate the performance
+/// variability"): on a shared HPC system, service-time dispersion turns
+/// into queueing at the serial worker and inflates tail latencies far
+/// beyond the dispersion itself.
+pub fn simulate_query_run_stochastic(
+    n_queries: u64,
+    batch_size: usize,
+    in_flight: usize,
+    workers: u32,
+    dataset_bytes: f64,
+    model: &QueryCostModel,
+    cv: f64,
+    seed: u64,
+) -> StochasticOutcome {
+    use rand_distr::{Distribution, LogNormal};
+
+    assert!(batch_size > 0);
+    let in_flight = in_flight.max(1);
+    let total_batches = n_queries.div_ceil(batch_size as u64);
+    let bytes_per_worker = dataset_bytes / workers.max(1) as f64;
+    let mean_service =
+        model.batch_secs(batch_size, workers, bytes_per_worker, in_flight);
+    // Log-normal with matching mean and CV.
+    let sigma2 = (1.0 + cv * cv).ln();
+    let mu = mean_service.ln() - sigma2 / 2.0;
+    let lognormal = LogNormal::new(mu, sigma2.sqrt()).expect("valid log-normal");
+    let mut rng = vq_core::seed_rng(seed, 0x5704A57);
+    let services: Vec<SimDuration> = (0..total_batches)
+        .map(|_| {
+            if cv <= 0.0 {
+                SimDuration::from_secs_f64(mean_service)
+            } else {
+                SimDuration::from_secs_f64(lognormal.sample(&mut rng).max(1e-9))
+            }
+        })
+        .collect();
+    let client_cpu = SimDuration::from_secs_f64(0.5e-3 + 0.05e-3 * batch_size as f64);
+
+    let mut engine = Engine::new();
+    let loop_cpu = FifoServer::new(1);
+    let worker = FifoServer::new(1);
+    let sojourns: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
+    let state = Rc::new(RefCell::new(PipelineState {
+        issued: 0,
+        outstanding: 0,
+        done: 0,
+        total: total_batches,
+        call_time_sum: 0.0,
+    }));
+    let services = Rc::new(services);
+
+    fn pump(
+        e: &mut Engine,
+        loop_cpu: &FifoServer,
+        worker: &FifoServer,
+        state: &Rc<RefCell<PipelineState>>,
+        sojourns: &Rc<RefCell<Vec<f64>>>,
+        services: &Rc<Vec<SimDuration>>,
+        client_cpu: SimDuration,
+        window: usize,
+    ) {
+        loop {
+            let batch_idx = {
+                let mut s = state.borrow_mut();
+                if s.issued >= s.total || s.outstanding >= window as u64 {
+                    return;
+                }
+                let idx = s.issued;
+                s.issued += 1;
+                s.outstanding += 1;
+                idx
+            };
+            let service = services[batch_idx as usize];
+            let state2 = state.clone();
+            let sojourns2 = sojourns.clone();
+            let loop_cpu2 = loop_cpu.clone();
+            let worker2 = worker.clone();
+            let services2 = services.clone();
+            loop_cpu.submit(e, client_cpu, move |e, t0| {
+                let state3 = state2.clone();
+                let sojourns3 = sojourns2.clone();
+                let loop_cpu3 = loop_cpu2.clone();
+                let worker3 = worker2.clone();
+                let services3 = services2.clone();
+                worker2.submit(e, service, move |e, _| {
+                    {
+                        let mut s = state3.borrow_mut();
+                        s.outstanding -= 1;
+                        s.done += 1;
+                    }
+                    sojourns3.borrow_mut().push((e.now() - t0).as_secs_f64());
+                    pump(
+                        e, &loop_cpu3, &worker3, &state3, &sojourns3, &services3, client_cpu,
+                        window,
+                    );
+                });
+            });
+        }
+    }
+
+    pump(
+        &mut engine,
+        &loop_cpu,
+        &worker,
+        &state,
+        &sojourns,
+        &services,
+        client_cpu,
+        in_flight,
+    );
+    let end = engine.run_until_idle();
+    let mut sojourns = Rc::try_unwrap(sojourns)
+        .map(RefCell::into_inner)
+        .unwrap_or_default();
+    sojourns.sort_by(f64::total_cmp);
+    let pct = |p: f64| -> f64 {
+        if sojourns.is_empty() {
+            return 0.0;
+        }
+        let rank = ((p / 100.0) * sojourns.len() as f64).ceil() as usize;
+        sojourns[rank.saturating_sub(1).min(sojourns.len() - 1)]
+    };
+    let mean = if sojourns.is_empty() {
+        0.0
+    } else {
+        sojourns.iter().sum::<f64>() / sojourns.len() as f64
+    };
+    StochasticOutcome {
+        wall_secs: end.as_secs_f64(),
+        mean_secs: mean,
+        p50_secs: pct(50.0),
+        p95_secs: pct(95.0),
+        p99_secs: pct(99.0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vq_core::size::GB;
+
+    const ONE_GB_POINTS: u64 = 96_974; // 1 GB / 10,312 B per vector
+    const FULL_POINTS: u64 = 7_757_952; // 80 GB
+    const QUERIES: u64 = 22_723;
+
+    fn insert_model() -> InsertCostModel {
+        InsertCostModel::default()
+    }
+
+    #[test]
+    fn figure2_batch_size_curve() {
+        let m = insert_model();
+        let t = |b: usize| {
+            simulate_upload(
+                ONE_GB_POINTS,
+                b,
+                ExecutorKind::Asyncio { in_flight: 1 },
+                1,
+                &m,
+            )
+            .wall_secs
+        };
+        let t1 = t(1);
+        let t32 = t(32);
+        let t256 = t(256);
+        assert!((t1 - 468.0).abs() < 30.0, "batch 1: {t1:.0} s (paper 468)");
+        assert!((t32 - 381.0).abs() < 20.0, "batch 32: {t32:.0} s (paper 381)");
+        assert!(
+            t256 > t32 && t256 < 1.25 * t32,
+            "gradual degradation: {t256:.0} vs {t32:.0}"
+        );
+    }
+
+    #[test]
+    fn figure2_concurrency_curve() {
+        let m = insert_model();
+        let t = |c: usize| {
+            simulate_upload(
+                ONE_GB_POINTS,
+                32,
+                ExecutorKind::Asyncio { in_flight: c },
+                1,
+                &m,
+            )
+            .wall_secs
+        };
+        let t1 = t(1);
+        let t2 = t(2);
+        let t4 = t(4);
+        let t8 = t(8);
+        assert!((t2 - 367.0).abs() < 20.0, "c=2: {t2:.0} s (paper 367)");
+        assert!(t2 < t1, "two in flight beats one: {t2:.0} vs {t1:.0}");
+        assert!(t4 > t2, "degrades past 2: {t4:.0} vs {t2:.0}");
+        assert!(t8 > t4);
+        // Overall effect stays under the Amdahl ceiling.
+        assert!(t1 / t2 < m.amdahl_ceiling(32));
+    }
+
+    #[test]
+    fn table3_insert_scaling() {
+        let m = insert_model();
+        let t = |w: u32| {
+            simulate_upload(
+                FULL_POINTS,
+                32,
+                ExecutorKind::MultiProcess { in_flight: 2 },
+                w,
+                &m,
+            )
+            .wall_secs
+        };
+        let hours = |s: f64| s / 3600.0;
+        let cells = [
+            (1u32, 8.22),
+            (4, 2.11),
+            (8, 1.14),
+            (16, 35.92 / 60.0),
+            (32, 21.67 / 60.0),
+        ];
+        for (w, paper_h) in cells {
+            let got = hours(t(w));
+            let err = (got - paper_h).abs() / paper_h;
+            assert!(
+                err < 0.08,
+                "W={w}: {got:.3} h vs paper {paper_h:.3} h ({:.1} % off)",
+                err * 100.0
+            );
+        }
+    }
+
+    #[test]
+    fn figure4_query_batch_curve() {
+        let m = QueryCostModel::default();
+        let t = |b: usize| {
+            simulate_query_run(QUERIES, b, 1, 1, GB as f64, &m).wall_secs
+        };
+        let t1 = t(1);
+        let t16 = t(16);
+        let t64 = t(64);
+        assert!((t1 - 139.0).abs() < 15.0, "batch 1: {t1:.0} s (paper 139)");
+        assert!((t16 - 73.0).abs() < 8.0, "batch 16: {t16:.0} s (paper 73)");
+        assert!(
+            t64 < t16 && t64 > 0.85 * t16,
+            "minimal benefit past 16: {t64:.0} vs {t16:.0}"
+        );
+    }
+
+    #[test]
+    fn figure4_concurrency_minimum_at_two() {
+        let m = QueryCostModel::default();
+        let t = |c: usize| simulate_query_run(QUERIES, 16, c, 1, GB as f64, &m);
+        let r1 = t(1);
+        let r2 = t(2);
+        let r4 = t(4);
+        let r8 = t(8);
+        assert!(r2.wall_secs < r1.wall_secs, "c=2 best");
+        assert!(r4.wall_secs > r2.wall_secs, "worse past 2");
+        assert!(r8.wall_secs > r4.wall_secs);
+        // Per-batch call time inflates with concurrency (§3.4 follow-up:
+        // 30.7 → 76.4 → 170 ms — roughly doubling per step).
+        assert!(r4.mean_batch_call_secs > 1.7 * r2.mean_batch_call_secs);
+        assert!(r8.mean_batch_call_secs > 1.7 * r4.mean_batch_call_secs);
+    }
+
+    #[test]
+    fn figure5_crossover_and_peak_speedup() {
+        let m = QueryCostModel::default();
+        let run = |w: u32, gb: u32| {
+            simulate_query_run(QUERIES, 16, 2, w, gb as f64 * GB as f64, &m).wall_secs
+        };
+        // Small data: broadcast overhead makes multi-worker *slower*.
+        for w in [4u32, 8, 16, 32] {
+            assert!(
+                run(w, 10) > run(1, 10),
+                "at 10 GB, {w} workers must lose to 1"
+            );
+        }
+        // Large data: multi-worker wins, peak speedup ≈ 3.5×.
+        let t1 = run(1, 80);
+        let best = [4u32, 8, 16, 32]
+            .iter()
+            .map(|&w| t1 / run(w, 80))
+            .fold(0.0, f64::max);
+        assert!((3.0..4.0).contains(&best), "peak speedup {best:.2}");
+        // Beyond 4 workers: marginal gains (§3.4).
+        let s4 = t1 / run(4, 80);
+        let s32 = t1 / run(32, 80);
+        assert!(s32 > s4, "more workers still help a little");
+        assert!(s32 < 2.0 * s4, "but far from proportionally");
+    }
+
+    #[test]
+    fn multiprocess_beats_asyncio_for_upload() {
+        // The §3.2 recommendation: multiprocessing over asyncio for
+        // CPU-bound insert pipelines.
+        let m = insert_model();
+        let asyncio = simulate_upload(
+            ONE_GB_POINTS,
+            32,
+            ExecutorKind::Asyncio { in_flight: 2 },
+            4,
+            &m,
+        );
+        let multi = simulate_upload(
+            ONE_GB_POINTS,
+            32,
+            ExecutorKind::MultiProcess { in_flight: 2 },
+            4,
+            &m,
+        );
+        assert!(
+            multi.wall_secs < asyncio.wall_secs / 3.0,
+            "4 processes ≈ 4×: {:.0} vs {:.0}",
+            multi.wall_secs,
+            asyncio.wall_secs
+        );
+    }
+
+    #[test]
+    fn stochastic_zero_cv_matches_deterministic() {
+        let m = QueryCostModel::default();
+        let det = simulate_query_run(5_000, 16, 2, 1, GB as f64, &m);
+        let sto = crate::simulate_query_run_stochastic(5_000, 16, 2, 1, GB as f64, &m, 0.0, 7);
+        assert!(
+            (det.wall_secs - sto.wall_secs).abs() < 0.01 * det.wall_secs,
+            "{} vs {}",
+            det.wall_secs,
+            sto.wall_secs
+        );
+        assert!((sto.p50_secs - sto.p99_secs).abs() < 1e-9, "no dispersion at cv=0");
+    }
+
+    #[test]
+    fn variability_inflates_tails_superlinearly() {
+        let m = QueryCostModel::default();
+        let calm = crate::simulate_query_run_stochastic(QUERIES, 16, 2, 1, GB as f64, &m, 0.1, 7);
+        let noisy = crate::simulate_query_run_stochastic(QUERIES, 16, 2, 1, GB as f64, &m, 1.0, 7);
+        // Tails blow up far more than medians: queueing amplifies
+        // dispersion (the variability the paper defers to future work).
+        let calm_tail = calm.p99_secs / calm.p50_secs;
+        let noisy_tail = noisy.p99_secs / noisy.p50_secs;
+        assert!(
+            noisy_tail > 2.0 * calm_tail,
+            "p99/p50 calm {calm_tail:.2} vs noisy {noisy_tail:.2}"
+        );
+        // Mean-preserving noise leaves throughput roughly unchanged (the
+        // serial worker just works through the same total service time);
+        // the damage is all in the tails.
+        assert!(
+            (noisy.wall_secs - calm.wall_secs).abs() < 0.1 * calm.wall_secs,
+            "wall calm {} vs noisy {}",
+            calm.wall_secs,
+            noisy.wall_secs
+        );
+    }
+
+    #[test]
+    fn stochastic_is_seed_deterministic() {
+        let m = QueryCostModel::default();
+        let a = crate::simulate_query_run_stochastic(2_000, 16, 2, 1, GB as f64, &m, 0.5, 42);
+        let b = crate::simulate_query_run_stochastic(2_000, 16, 2, 1, GB as f64, &m, 0.5, 42);
+        assert_eq!(a, b);
+        let c = crate::simulate_query_run_stochastic(2_000, 16, 2, 1, GB as f64, &m, 0.5, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn outcome_bookkeeping() {
+        let m = insert_model();
+        let out = simulate_upload(
+            100,
+            32,
+            ExecutorKind::Asyncio { in_flight: 2 },
+            1,
+            &m,
+        );
+        assert_eq!(out.batches, 4); // ceil(100/32)
+        assert!(out.mean_batch_call_secs > 0.0);
+    }
+}

@@ -1,0 +1,155 @@
+//! Parameter sweeps (the tuning methodology of §3.2/§3.4).
+//!
+//! The paper tunes batch size first on a 1 GB subset, then fixes the
+//! optimal batch size and tunes the number of parallel requests. These
+//! helpers run those sweeps against the simulated client and return the
+//! `(parameter, seconds)` series the benches print.
+
+use crate::costs::{InsertCostModel, QueryCostModel};
+use crate::sim::{simulate_query_run, simulate_upload, ExecutorKind};
+use serde::{Deserialize, Serialize};
+
+/// One sweep sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Swept parameter value (batch size or in-flight requests).
+    pub param: usize,
+    /// Run time in seconds.
+    pub secs: f64,
+}
+
+/// Which pipeline a sweep drives.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SweepTarget<'a> {
+    /// Insertion of `points` into a single worker (Figure 2 setup).
+    Insert {
+        /// Points to upload.
+        points: u64,
+        /// Cost model.
+        model: &'a InsertCostModel,
+    },
+    /// Query run against `dataset_bytes` on a single worker (Figure 4).
+    Query {
+        /// Queries to run.
+        queries: u64,
+        /// Total data size in bytes.
+        dataset_bytes: f64,
+        /// Cost model.
+        model: &'a QueryCostModel,
+    },
+}
+
+/// Sweep batch sizes at a fixed in-flight window.
+pub fn sweep_batch_size(
+    target: SweepTarget<'_>,
+    batch_sizes: &[usize],
+    in_flight: usize,
+) -> Vec<SweepPoint> {
+    batch_sizes
+        .iter()
+        .map(|&b| SweepPoint {
+            param: b,
+            secs: run(target, b, in_flight),
+        })
+        .collect()
+}
+
+/// Sweep the in-flight window at a fixed batch size.
+pub fn sweep_concurrency(
+    target: SweepTarget<'_>,
+    batch_size: usize,
+    in_flights: &[usize],
+) -> Vec<SweepPoint> {
+    in_flights
+        .iter()
+        .map(|&c| SweepPoint {
+            param: c,
+            secs: run(target, batch_size, c),
+        })
+        .collect()
+}
+
+/// The best (minimum-time) point of a sweep.
+pub fn best(points: &[SweepPoint]) -> Option<SweepPoint> {
+    points
+        .iter()
+        .copied()
+        .min_by(|a, b| a.secs.total_cmp(&b.secs))
+}
+
+fn run(target: SweepTarget<'_>, batch: usize, in_flight: usize) -> f64 {
+    match target {
+        SweepTarget::Insert { points, model } => simulate_upload(
+            points,
+            batch,
+            ExecutorKind::Asyncio { in_flight },
+            1,
+            model,
+        )
+        .wall_secs,
+        SweepTarget::Query {
+            queries,
+            dataset_bytes,
+            model,
+        } => simulate_query_run(queries, batch, in_flight, 1, dataset_bytes, model).wall_secs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vq_core::size::GB;
+
+    #[test]
+    fn insert_sweep_finds_paper_optimum() {
+        let model = InsertCostModel::default();
+        let target = SweepTarget::Insert {
+            points: 96_974,
+            model: &model,
+        };
+        let batches = sweep_batch_size(target, &[1, 2, 4, 8, 16, 32, 64, 128, 256], 1);
+        let opt = best(&batches).unwrap();
+        assert!(
+            (16..=64).contains(&opt.param),
+            "optimal batch {} (paper: 32)",
+            opt.param
+        );
+        let conc = sweep_concurrency(target, opt.param, &[1, 2, 4, 8, 16]);
+        let opt_c = best(&conc).unwrap();
+        assert_eq!(opt_c.param, 2, "optimal in-flight (paper: 2)");
+    }
+
+    #[test]
+    fn query_sweep_finds_paper_optimum() {
+        let model = QueryCostModel::default();
+        let target = SweepTarget::Query {
+            queries: 22_723,
+            dataset_bytes: GB as f64,
+            model: &model,
+        };
+        let batches =
+            sweep_batch_size(target, &[1, 2, 4, 8, 16, 32, 64, 128], 1);
+        // Past 16 the curve is flat: the optimum must not be below 16.
+        let opt = best(&batches).unwrap();
+        assert!(opt.param >= 16, "optimal query batch {}", opt.param);
+        let t16 = batches.iter().find(|p| p.param == 16).unwrap().secs;
+        assert!(opt.secs > 0.85 * t16, "flat tail past 16");
+        let conc = sweep_concurrency(target, 16, &[1, 2, 4, 8]);
+        assert_eq!(best(&conc).unwrap().param, 2);
+    }
+
+    #[test]
+    fn sweep_shapes_are_well_formed() {
+        let model = InsertCostModel::default();
+        let target = SweepTarget::Insert {
+            points: 10_000,
+            model: &model,
+        };
+        let pts = sweep_batch_size(target, &[1, 32], 1);
+        assert_eq!(pts.len(), 2);
+        assert_eq!(pts[0].param, 1);
+        assert!(pts[0].secs > pts[1].secs);
+        assert!(best(&[]).is_none());
+    }
+
+}

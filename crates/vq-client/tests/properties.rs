@@ -1,0 +1,95 @@
+//! Property-based tests for the client simulations: monotonicity and
+//! conservation laws that must hold for any parameters, not just the
+//! calibrated ones.
+
+use proptest::prelude::*;
+use vq_client::{simulate_query_run, simulate_upload, ExecutorKind, InsertCostModel, QueryCostModel};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn upload_time_monotone_in_points(
+        n in 100u64..20_000,
+        extra in 1u64..20_000,
+        batch in 1usize..128
+    ) {
+        let m = InsertCostModel::default();
+        let run = |n: u64| simulate_upload(n, batch, ExecutorKind::Asyncio { in_flight: 1 }, 1, &m);
+        let small = run(n);
+        let large = run(n + extra);
+        // The simulation works in whole batches (a ragged tail counts as
+        // full): time is non-decreasing always, and strictly increasing
+        // whenever the batch count grows.
+        prop_assert!(large.wall_secs >= small.wall_secs);
+        if large.batches > small.batches {
+            prop_assert!(large.wall_secs > small.wall_secs);
+        }
+        prop_assert_eq!(small.batches, n.div_ceil(batch as u64));
+    }
+
+    #[test]
+    fn multiprocess_never_loses_to_asyncio(
+        n in 1_000u64..50_000,
+        workers in 2u32..16,
+        batch in prop::sample::select(vec![8usize, 32, 128])
+    ) {
+        let m = InsertCostModel::default();
+        let asy = simulate_upload(n, batch, ExecutorKind::Asyncio { in_flight: 2 }, workers, &m);
+        let multi =
+            simulate_upload(n, batch, ExecutorKind::MultiProcess { in_flight: 2 }, workers, &m);
+        // One asyncio client feeding W workers cannot beat W independent
+        // clients (§3.2's recommendation, as an invariant).
+        prop_assert!(multi.wall_secs <= asy.wall_secs * 1.001,
+            "multi {} vs asyncio {}", multi.wall_secs, asy.wall_secs);
+    }
+
+    #[test]
+    fn asyncio_speedup_respects_amdahl(
+        n in 1_000u64..30_000,
+        c in 2usize..8
+    ) {
+        let m = InsertCostModel::default();
+        let serial = simulate_upload(n, 32, ExecutorKind::Asyncio { in_flight: 1 }, 1, &m);
+        let conc = simulate_upload(n, 32, ExecutorKind::Asyncio { in_flight: c }, 1, &m);
+        let speedup = serial.wall_secs / conc.wall_secs;
+        prop_assert!(
+            speedup <= m.amdahl_ceiling(32) + 1e-6,
+            "speedup {speedup} exceeds the CPU-bound ceiling {}",
+            m.amdahl_ceiling(32)
+        );
+    }
+
+    #[test]
+    fn query_time_monotone_in_data_per_worker(
+        gb in 1u64..60,
+        extra in 1u64..40,
+        workers in prop::sample::select(vec![1u32, 4, 8])
+    ) {
+        let m = QueryCostModel::default();
+        let bytes = |g: u64| g as f64 * 1e9;
+        let small = simulate_query_run(5_000, 16, 2, workers, bytes(gb), &m);
+        let large = simulate_query_run(5_000, 16, 2, workers, bytes(gb + extra), &m);
+        prop_assert!(large.wall_secs > small.wall_secs);
+    }
+
+    #[test]
+    fn broadcast_overhead_hurts_exactly_when_data_is_small(workers in 2u32..32) {
+        let m = QueryCostModel::default();
+        // At tiny data sizes a multi-worker cluster must lose to one
+        // worker; at huge sizes it must win (the Figure-5 crossover
+        // exists for every worker count).
+        let run = |w: u32, gb: f64| simulate_query_run(2_000, 16, 2, w, gb * 1e9, &m).wall_secs;
+        prop_assert!(run(workers, 1.0) > run(1, 1.0), "small data: broadcast must hurt");
+        prop_assert!(run(workers, 500.0) < run(1, 500.0), "huge data: sharding must win");
+    }
+
+    #[test]
+    fn batch_call_times_scale_with_in_flight(c in 3usize..10) {
+        let m = QueryCostModel::default();
+        let base = simulate_query_run(5_000, 16, 2, 1, 1e9, &m);
+        let loaded = simulate_query_run(5_000, 16, c, 1, 1e9, &m);
+        // Sojourn grows with queue depth (the §3.4 saturation probe).
+        prop_assert!(loaded.mean_batch_call_secs > base.mean_batch_call_secs);
+    }
+}

@@ -1,0 +1,1001 @@
+//! Cluster bring-up and the client handle.
+//!
+//! [`Cluster`] spawns worker threads, wires them through a
+//! [`Switchboard`], and owns the shared placement. [`ClusterClient`] is
+//! the application's handle: it routes upserts to shard owners
+//! (client-side routing by id hash, like Qdrant's client SDK), submits
+//! searches to *one* worker that then coordinates the broadcast–reduce,
+//! and drives administrative actions (seal, index builds, rebalance,
+//! shutdown).
+
+use crate::messages::{ClusterMsg, Request, Response};
+use crate::placement::{Placement, ShardId, WorkerId};
+use crate::worker::{alloc_ephemeral_id, Worker};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use vq_collection::{CollectionConfig, CollectionStats, SearchRequest};
+use vq_core::{Point, PointId, ScoredPoint, VqError, VqResult};
+use vq_net::{Endpoint, NetworkModel, Switchboard};
+
+/// How a cluster is laid out.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterConfig {
+    /// Number of workers.
+    pub workers: u32,
+    /// Workers packed per node (the paper deploys 4 per Polaris node).
+    pub workers_per_node: u32,
+    /// Shards (defaults to one per worker when `None`).
+    pub shards: Option<u32>,
+    /// Replication factor.
+    pub replication: u32,
+    /// Optional network model imposing modeled delays on the transport.
+    pub network: Option<NetworkModel>,
+}
+
+impl ClusterConfig {
+    /// `workers` workers, one shard each, unreplicated, instant network.
+    pub fn new(workers: u32) -> Self {
+        ClusterConfig {
+            workers,
+            workers_per_node: 4,
+            shards: None,
+            replication: 1,
+            network: None,
+        }
+    }
+
+    /// Builder-style setter for replication.
+    pub fn replication(mut self, r: u32) -> Self {
+        self.replication = r;
+        self
+    }
+
+    /// Builder-style setter for the shard count.
+    pub fn shards(mut self, shards: u32) -> Self {
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Builder-style setter for a modeled network.
+    pub fn network(mut self, model: NetworkModel) -> Self {
+        self.network = Some(model);
+        self
+    }
+}
+
+/// A running cluster of worker threads.
+pub struct Cluster {
+    switchboard: Switchboard<ClusterMsg>,
+    placement: Arc<RwLock<Placement>>,
+    workers: RwLock<Vec<Worker>>,
+    collection_config: CollectionConfig,
+    cluster_config: ClusterConfig,
+    rr_worker: AtomicU64,
+}
+
+impl Cluster {
+    /// Start a cluster.
+    pub fn start(
+        cluster_config: ClusterConfig,
+        collection_config: CollectionConfig,
+    ) -> VqResult<Arc<Self>> {
+        let worker_ids: Vec<WorkerId> = (0..cluster_config.workers).collect();
+        let shards = cluster_config.shards.unwrap_or(cluster_config.workers);
+        let placement = Arc::new(RwLock::new(Placement::round_robin(
+            shards,
+            &worker_ids,
+            cluster_config.replication,
+        )?));
+        let switchboard = match cluster_config.network {
+            Some(model) => Switchboard::with_model(model),
+            None => Switchboard::new(),
+        };
+        let workers = worker_ids
+            .iter()
+            .map(|&id| {
+                let node = id / cluster_config.workers_per_node.max(1);
+                Worker::spawn(
+                    id,
+                    node,
+                    collection_config,
+                    placement.clone(),
+                    switchboard.clone(),
+                )
+            })
+            .collect();
+        Ok(Arc::new(Cluster {
+            switchboard,
+            placement,
+            workers: RwLock::new(workers),
+            collection_config,
+            cluster_config,
+            rr_worker: AtomicU64::new(0),
+        }))
+    }
+
+    /// Current placement snapshot.
+    pub fn placement(&self) -> Placement {
+        self.placement.read().clone()
+    }
+
+    /// Collection parameters this cluster hosts.
+    pub fn collection_config(&self) -> &CollectionConfig {
+        &self.collection_config
+    }
+
+    /// Worker count.
+    pub fn worker_count(&self) -> usize {
+        self.workers.read().len()
+    }
+
+    /// Aggregate transport traffic (messages, bytes, fabric bytes) since
+    /// the cluster started — the broadcast–reduce communication overhead
+    /// §3.4 discusses, made observable.
+    pub fn network_stats(&self) -> vq_net::TransportStats {
+        self.switchboard.stats()
+    }
+
+    /// Create a client handle. Clients are cheap; one per driver thread.
+    pub fn client(self: &Arc<Self>) -> ClusterClient {
+        // Client endpoints share the ephemeral id space (above worker ids).
+        let id = alloc_ephemeral_id();
+        // Clients run on a notional "client node" beyond every worker node:
+        // the paper runs all clients on one separate compute node (§3.2).
+        let client_node = u32::MAX;
+        let endpoint = self.switchboard.register(id, client_node);
+        ClusterClient {
+            cluster: self.clone(),
+            endpoint,
+            id,
+            next_tag: 0,
+        }
+    }
+
+    fn pick_first_contact(&self) -> VqResult<WorkerId> {
+        let placement = self.placement.read();
+        let workers = placement.workers();
+        if workers.is_empty() {
+            return Err(VqError::NoAvailableWorker);
+        }
+        let i = self.rr_worker.fetch_add(1, Ordering::Relaxed) as usize % workers.len();
+        Ok(workers[i])
+    }
+
+    /// Grow the cluster by `extra` workers and rebalance shards onto them
+    /// (the expensive stateful-architecture step of §2.2). Returns the
+    /// number of shards moved.
+    pub fn scale_out(self: &Arc<Self>, extra: u32) -> VqResult<usize> {
+        let new_ids: Vec<WorkerId> = {
+            let workers = self.workers.read();
+            let max_id = workers.iter().map(Worker::id).max().unwrap_or(0);
+            (max_id + 1..=max_id + extra).collect()
+        };
+        // Spawn the new workers first (empty).
+        {
+            let mut workers = self.workers.write();
+            for &id in &new_ids {
+                let node = id / self.cluster_config.workers_per_node.max(1);
+                workers.push(Worker::spawn(
+                    id,
+                    node,
+                    self.collection_config,
+                    self.placement.clone(),
+                    self.switchboard.clone(),
+                ));
+            }
+        }
+        // Compute the new placement and the moves it requires.
+        let all_ids: Vec<WorkerId> = self.workers.read().iter().map(Worker::id).collect();
+        let (next, moves) = self.placement.read().rebalanced(&all_ids)?;
+        // Three-phase handoff so reads never observe a gap:
+        //   1. copy each moving shard (donor keeps serving; the
+        //      broadcast–reduce dedupe makes dual ownership read-safe);
+        //   2. publish the new placement (writes now route to the new
+        //      owners);
+        //   3. drop the donor copies.
+        // Writes issued against a *moving* shard during phase 1–2 are not
+        // diff-shipped (no update streaming); callers should quiesce
+        // ingest while rebalancing — the same advice the paper gives for
+        // stateful architectures (§2.2).
+        let mut client = self.client();
+        for mv in &moves {
+            let from = mv.from.ok_or_else(|| {
+                VqError::Internal("rebalance from empty placement".into())
+            })?;
+            client.transfer_shard(mv.shard, from, mv.to)?;
+        }
+        *self.placement.write() = next;
+        for mv in &moves {
+            let from = mv.from.expect("checked above");
+            client.drop_shard(mv.shard, from)?;
+        }
+        Ok(moves.len())
+    }
+
+    /// Stop every worker and wait for their threads.
+    pub fn shutdown(self: &Arc<Self>) {
+        let mut client = self.client();
+        let workers: Vec<WorkerId> = self.workers.read().iter().map(Worker::id).collect();
+        for w in workers {
+            let _ = client.request(w, Request::Shutdown);
+        }
+        let mut workers = self.workers.write();
+        for w in workers.drain(..) {
+            w.join();
+        }
+    }
+}
+
+/// Application handle to the cluster.
+pub struct ClusterClient {
+    cluster: Arc<Cluster>,
+    endpoint: Endpoint<ClusterMsg>,
+    id: u32,
+    next_tag: u64,
+}
+
+impl ClusterClient {
+    /// This client's endpoint id (diagnostics).
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Send `body` to `worker` and wait for the matching response.
+    pub fn request(&mut self, worker: WorkerId, body: Request) -> VqResult<Response> {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        let msg = ClusterMsg::Request {
+            reply_to: self.endpoint.id(),
+            tag,
+            body,
+        };
+        let bytes = msg.approx_wire_bytes();
+        self.endpoint.send_sized(worker, msg, bytes)?;
+        loop {
+            let env = self.endpoint.recv_timeout(Duration::from_secs(120))?;
+            if let ClusterMsg::Response { tag: t, body } = env.payload {
+                if t == tag {
+                    return Ok(body);
+                }
+                // Stale response from a timed-out request; drop it.
+            }
+        }
+    }
+
+    /// Upsert points, routed to shard owners (all replicas).
+    pub fn upsert_batch(&mut self, points: Vec<Point>) -> VqResult<()> {
+        // Group by (worker, shard).
+        let mut grouped: HashMap<(WorkerId, ShardId), Vec<Point>> = HashMap::new();
+        {
+            let placement = self.cluster.placement.read();
+            for p in points {
+                let shard = placement.shard_of(p.id);
+                let owners = placement.owners_of(shard)?.to_vec();
+                // Clone for all replicas but the last, which takes the
+                // original (no copy in the common unreplicated case).
+                let (last, rest) = owners.split_last().expect("placement non-empty");
+                for owner in rest {
+                    grouped.entry((*owner, shard)).or_default().push(p.clone());
+                }
+                grouped.entry((*last, shard)).or_default().push(p);
+            }
+        }
+        for ((worker, shard), points) in grouped {
+            match self.request(worker, Request::UpsertBatch { shard, points })? {
+                Response::Ok => {}
+                Response::Error(e) => return Err(e),
+                other => {
+                    return Err(VqError::Internal(format!(
+                        "unexpected response to upsert: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Delete a point on every replica.
+    pub fn delete(&mut self, id: PointId) -> VqResult<()> {
+        let (shard, owners) = {
+            let placement = self.cluster.placement.read();
+            let shard = placement.shard_of(id);
+            (shard, placement.owners_of(shard)?.to_vec())
+        };
+        for owner in owners {
+            match self.request(owner, Request::Delete { shard, id })? {
+                Response::Ok => {}
+                Response::Error(e) => return Err(e),
+                other => {
+                    return Err(VqError::Internal(format!(
+                        "unexpected response to delete: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Fetch a point from its shard's primary.
+    pub fn get(&mut self, id: PointId) -> VqResult<Option<Point>> {
+        let (shard, primary) = {
+            let placement = self.cluster.placement.read();
+            let shard = placement.shard_of(id);
+            (shard, placement.primary_of(shard)?)
+        };
+        match self.request(primary, Request::Get { shard, id })? {
+            Response::Point(p) => Ok(p),
+            Response::Error(e) => Err(e),
+            other => Err(VqError::Internal(format!(
+                "unexpected response to get: {other:?}"
+            ))),
+        }
+    }
+
+    /// Batch search through one first-contact worker (round-robin), which
+    /// coordinates the broadcast–reduce (§3.4). An unreachable first
+    /// contact is retried through the remaining workers before giving up.
+    pub fn search_batch(
+        &mut self,
+        queries: Vec<SearchRequest>,
+    ) -> VqResult<Vec<Vec<ScoredPoint>>> {
+        let attempts = self.cluster.worker_count().max(1);
+        let mut last_err = VqError::NoAvailableWorker;
+        for _ in 0..attempts {
+            let first_contact = self.cluster.pick_first_contact()?;
+            match self.request(first_contact, Request::SearchBatch { queries: queries.clone() })
+            {
+                Ok(Response::Results(r)) => return Ok(r),
+                Ok(Response::Error(e)) => return Err(e),
+                Ok(other) => {
+                    return Err(VqError::Internal(format!(
+                        "unexpected response to search: {other:?}"
+                    )))
+                }
+                Err(e) if e.is_retriable() => last_err = e,
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err)
+    }
+
+    /// Single-query convenience over [`Self::search_batch`].
+    pub fn search(&mut self, query: SearchRequest) -> VqResult<Vec<ScoredPoint>> {
+        Ok(self
+            .search_batch(vec![query])?
+            .pop()
+            .unwrap_or_default())
+    }
+
+    /// Recommend points near positive example ids and away from negative
+    /// ones (the client fetches example vectors from their shards,
+    /// combines them with the average-vector strategy, and runs a normal
+    /// broadcast–reduce search excluding the examples).
+    pub fn recommend(
+        &mut self,
+        request: vq_collection::RecommendRequest,
+    ) -> VqResult<Vec<ScoredPoint>> {
+        let mut fetch = |ids: &[PointId]| -> VqResult<Vec<Vec<f32>>> {
+            ids.iter()
+                .map(|&id| {
+                    self.get(id)?
+                        .map(|p| p.vector)
+                        .ok_or(VqError::PointNotFound(id))
+                })
+                .collect()
+        };
+        let positives = fetch(&request.positives)?;
+        let negatives = fetch(&request.negatives)?;
+        let target =
+            vq_collection::RecommendRequest::target_vector(&positives, &negatives)?;
+        let exclude: std::collections::HashSet<PointId> = request
+            .positives
+            .iter()
+            .chain(&request.negatives)
+            .copied()
+            .collect();
+        let mut search = SearchRequest::new(target, request.k + exclude.len());
+        search.ef = request.ef;
+        search.filter = request.filter.clone();
+        search.with_payload = request.with_payload;
+        let mut hits = self.search(search)?;
+        hits.retain(|h| !exclude.contains(&h.id));
+        hits.truncate(request.k);
+        Ok(hits)
+    }
+
+    /// Seal all active segments cluster-wide.
+    pub fn seal_all(&mut self) -> VqResult<()> {
+        for worker in self.worker_ids() {
+            match self.request(worker, Request::SealAll)? {
+                Response::Ok => {}
+                Response::Error(e) => return Err(e),
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Build every missing index cluster-wide (the explicit rebuild of
+    /// §3.3); workers build in parallel. Returns total indexes built.
+    pub fn build_indexes(&mut self) -> VqResult<usize> {
+        // Fire all requests first so builds overlap across workers,
+        // then gather.
+        let workers = self.worker_ids();
+        let mut tags = Vec::with_capacity(workers.len());
+        for &worker in &workers {
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            let msg = ClusterMsg::Request {
+                reply_to: self.endpoint.id(),
+                tag,
+                body: Request::BuildIndexes,
+            };
+            self.endpoint.send(worker, msg)?;
+            tags.push(tag);
+        }
+        let mut built = 0;
+        let mut remaining: std::collections::HashSet<u64> = tags.into_iter().collect();
+        while !remaining.is_empty() {
+            let env = self.endpoint.recv_timeout(Duration::from_secs(600))?;
+            if let ClusterMsg::Response { tag, body } = env.payload {
+                if remaining.remove(&tag) {
+                    match body {
+                        Response::Built(n) => built += n,
+                        Response::Error(e) => return Err(e),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Ok(built)
+    }
+
+    /// Aggregated stats across workers.
+    pub fn stats(&mut self) -> VqResult<CollectionStats> {
+        let mut total = CollectionStats::default();
+        for worker in self.worker_ids() {
+            match self.request(worker, Request::Stats)? {
+                Response::Stats(s) => {
+                    total.segments += s.segments;
+                    total.sealed_segments += s.sealed_segments;
+                    total.indexed_segments += s.indexed_segments;
+                    total.live_points += s.live_points;
+                    total.total_offsets += s.total_offsets;
+                    total.indexed_points += s.indexed_points;
+                    total.approx_bytes += s.approx_bytes;
+                }
+                Response::Error(e) => return Err(e),
+                _ => {}
+            }
+        }
+        Ok(total)
+    }
+
+    /// Count live points cluster-wide (replicas counted once per copy on
+    /// unreplicated clusters; with replication, divide by the factor).
+    pub fn count(&mut self, filter: Option<vq_core::Filter>) -> VqResult<usize> {
+        let mut total = 0;
+        for worker in self.worker_ids() {
+            match self.request(worker, Request::Count { filter: filter.clone() })? {
+                Response::Count(n) => total += n,
+                Response::Error(e) => return Err(e),
+                other => {
+                    return Err(VqError::Internal(format!(
+                        "unexpected response to count: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(total)
+    }
+
+    /// Id-ordered page of live points across the whole cluster: up to
+    /// `limit` points with id > `after`. The last id returned is the
+    /// cursor for the next page.
+    pub fn scroll(
+        &mut self,
+        after: Option<PointId>,
+        limit: usize,
+        filter: Option<vq_core::Filter>,
+    ) -> VqResult<Vec<Point>> {
+        let mut merged: Vec<Point> = Vec::new();
+        for worker in self.worker_ids() {
+            match self.request(
+                worker,
+                Request::Scroll {
+                    after,
+                    limit,
+                    filter: filter.clone(),
+                },
+            )? {
+                Response::Points(page) => merged.extend(page),
+                Response::Error(e) => return Err(e),
+                other => {
+                    return Err(VqError::Internal(format!(
+                        "unexpected response to scroll: {other:?}"
+                    )))
+                }
+            }
+        }
+        merged.sort_unstable_by_key(|p| p.id);
+        merged.dedup_by_key(|p| p.id); // replicas
+        merged.truncate(limit);
+        Ok(merged)
+    }
+
+    /// Export one shard's segments from its primary.
+    pub fn export_shard(
+        &mut self,
+        shard: ShardId,
+    ) -> VqResult<Vec<vq_storage::SegmentSnapshot>> {
+        let primary = self.cluster.placement.read().primary_of(shard)?;
+        match self.request(primary, Request::ExportShard { shard })? {
+            Response::Segments(s) => Ok(s),
+            Response::Error(e) => Err(e),
+            other => Err(VqError::Internal(format!(
+                "unexpected response to export: {other:?}"
+            ))),
+        }
+    }
+
+    /// Snapshot the whole cluster to `dir` (one subdirectory per shard,
+    /// in the `vq_collection::persist` format). Returns shards saved.
+    pub fn save_to_dir(&mut self, dir: &std::path::Path) -> VqResult<usize> {
+        let shard_count = self.cluster.placement.read().shard_count();
+        let config = *self.cluster.collection_config();
+        for shard in 0..shard_count {
+            let segments = self.export_shard(shard)?;
+            vq_collection::persist::save_snapshots_to_dir(
+                &config,
+                &segments,
+                &dir.join(format!("shard-{shard}")),
+            )?;
+        }
+        Ok(shard_count as usize)
+    }
+
+    /// Restore a cluster snapshot taken with [`Self::save_to_dir`] into
+    /// this (same-shard-count) cluster: each shard's data is installed on
+    /// its current primary, replacing whatever it held.
+    pub fn load_from_dir(&mut self, dir: &std::path::Path) -> VqResult<usize> {
+        let shard_count = self.cluster.placement.read().shard_count();
+        let mut loaded = 0;
+        for shard in 0..shard_count {
+            let path = dir.join(format!("shard-{shard}"));
+            if !path.exists() {
+                return Err(VqError::InvalidRequest(format!(
+                    "snapshot missing shard {shard} at {path:?}"
+                )));
+            }
+            let (_, segments) = vq_collection::persist::load_snapshots_from_dir(&path)?;
+            let owners = self.cluster.placement.read().owners_of(shard)?.to_vec();
+            for owner in owners {
+                match self.request(
+                    owner,
+                    Request::InstallShard {
+                        shard,
+                        segments: segments.clone(),
+                    },
+                )? {
+                    Response::Ok => loaded += 1,
+                    Response::Error(e) => return Err(e),
+                    _ => {}
+                }
+            }
+        }
+        Ok(loaded)
+    }
+
+    /// Operational info for every worker (shards hosted, counters).
+    pub fn worker_info(&mut self) -> VqResult<Vec<crate::messages::WorkerInfo>> {
+        let mut out = Vec::new();
+        for worker in self.worker_ids() {
+            match self.request(worker, Request::WorkerInfo)? {
+                Response::WorkerInfo(info) => out.push(info),
+                Response::Error(e) => return Err(e),
+                other => {
+                    return Err(VqError::Internal(format!(
+                        "unexpected response to worker info: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Drop a worker's copy of a shard (rebalancing step 3).
+    pub fn drop_shard(&mut self, shard: ShardId, from: WorkerId) -> VqResult<()> {
+        match self.request(from, Request::DropShard { shard })? {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(VqError::Internal(format!(
+                "unexpected response to drop: {other:?}"
+            ))),
+        }
+    }
+
+    /// Copy one shard between workers (rebalancing step 1: the donor
+    /// keeps serving until [`Self::drop_shard`]).
+    pub fn transfer_shard(
+        &mut self,
+        shard: ShardId,
+        from: WorkerId,
+        to: WorkerId,
+    ) -> VqResult<()> {
+        match self.request(from, Request::TransferShard { shard, to })? {
+            Response::Ok => Ok(()),
+            Response::Error(e) => Err(e),
+            other => Err(VqError::Internal(format!(
+                "unexpected response to transfer: {other:?}"
+            ))),
+        }
+    }
+
+    fn worker_ids(&self) -> Vec<WorkerId> {
+        self.cluster.placement.read().workers().to_vec()
+    }
+}
+
+impl Drop for ClusterClient {
+    fn drop(&mut self) {
+        self.cluster.switchboard.deregister(self.endpoint.id());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vq_core::Distance;
+
+    fn small_collection() -> CollectionConfig {
+        CollectionConfig::new(4, Distance::Euclid).max_segment_points(64)
+    }
+
+    fn line_points(n: usize) -> Vec<Point> {
+        (0..n)
+            .map(|i| Point::new(i as PointId, vec![i as f32, 0.0, 0.0, 0.0]))
+            .collect()
+    }
+
+    #[test]
+    fn single_worker_roundtrip() {
+        let cluster = Cluster::start(ClusterConfig::new(1), small_collection()).unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(100)).unwrap();
+        let hits = client
+            .search(SearchRequest::new(vec![42.3, 0.0, 0.0, 0.0], 3))
+            .unwrap();
+        let ids: Vec<PointId> = hits.iter().map(|h| h.id).collect();
+        assert_eq!(ids, vec![42, 43, 41]);
+        assert_eq!(client.stats().unwrap().live_points, 100);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn multi_worker_search_covers_all_shards() {
+        let cluster = Cluster::start(ClusterConfig::new(4), small_collection()).unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(200)).unwrap();
+        // Every point findable regardless of owning shard.
+        for probe in [0usize, 57, 123, 199] {
+            let hits = client
+                .search(SearchRequest::new(vec![probe as f32, 0.0, 0.0, 0.0], 1))
+                .unwrap();
+            assert_eq!(hits[0].id, probe as PointId, "probe {probe}");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn batch_search_matches_singles() {
+        let cluster = Cluster::start(ClusterConfig::new(3), small_collection()).unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(150)).unwrap();
+        let queries: Vec<SearchRequest> = (0..10)
+            .map(|i| SearchRequest::new(vec![i as f32 * 13.0, 0.0, 0.0, 0.0], 2))
+            .collect();
+        let batched = client.search_batch(queries.clone()).unwrap();
+        for (q, want) in queries.into_iter().zip(&batched) {
+            let single = client.search(q).unwrap();
+            assert_eq!(
+                single.iter().map(|h| h.id).collect::<Vec<_>>(),
+                want.iter().map(|h| h.id).collect::<Vec<_>>()
+            );
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn get_and_delete_route_to_owner() {
+        let cluster = Cluster::start(ClusterConfig::new(4), small_collection()).unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(50)).unwrap();
+        assert_eq!(
+            client.get(17).unwrap().unwrap().vector,
+            vec![17.0, 0.0, 0.0, 0.0]
+        );
+        client.delete(17).unwrap();
+        assert_eq!(client.get(17).unwrap(), None);
+        let hits = client
+            .search(SearchRequest::new(vec![17.0, 0.0, 0.0, 0.0], 1))
+            .unwrap();
+        assert_ne!(hits[0].id, 17);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn deferred_build_indexes_cluster_wide() {
+        let config = small_collection().indexing(vq_collection::IndexingPolicy::Deferred);
+        let cluster = Cluster::start(ClusterConfig::new(2), config).unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(300)).unwrap();
+        let before = client.stats().unwrap();
+        assert_eq!(before.indexed_segments, 0, "deferred: nothing indexed yet");
+        let built = client.build_indexes().unwrap();
+        assert!(built > 0);
+        let after = client.stats().unwrap();
+        assert_eq!(after.indexed_segments, after.sealed_segments);
+        // Searches still exact on this small set.
+        let hits = client
+            .search(SearchRequest::new(vec![123.0, 0.0, 0.0, 0.0], 1))
+            .unwrap();
+        assert_eq!(hits[0].id, 123);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn replicated_cluster_dedupes_results() {
+        let config = small_collection();
+        let cluster =
+            Cluster::start(ClusterConfig::new(3).replication(2), config).unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(60)).unwrap();
+        // Each point stored twice; stats see both copies...
+        assert_eq!(client.stats().unwrap().live_points, 120);
+        // ...but search returns each id once.
+        let hits = client
+            .search(SearchRequest::new(vec![30.0, 0.0, 0.0, 0.0], 5))
+            .unwrap();
+        let mut ids: Vec<PointId> = hits.iter().map(|h| h.id).collect();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate ids in {ids:?}");
+        assert_eq!(hits[0].id, 30);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn scale_out_moves_shards_and_keeps_data() {
+        let cluster = Cluster::start(
+            ClusterConfig::new(2).shards(8),
+            small_collection(),
+        )
+        .unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(120)).unwrap();
+        let moved = cluster.scale_out(2).unwrap();
+        assert!(moved > 0, "growing 2→4 workers must move shards");
+        assert_eq!(cluster.worker_count(), 4);
+        // All data still reachable after rebalancing.
+        assert_eq!(client.stats().unwrap().live_points, 120);
+        for probe in [0usize, 61, 119] {
+            let hits = client
+                .search(SearchRequest::new(vec![probe as f32, 0.0, 0.0, 0.0], 1))
+                .unwrap();
+            assert_eq!(hits[0].id, probe as PointId);
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn count_and_scroll_cluster_wide() {
+        let cluster = Cluster::start(ClusterConfig::new(3), small_collection()).unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(50)).unwrap();
+        client.delete(10).unwrap();
+        assert_eq!(client.count(None).unwrap(), 49);
+
+        // Full pagination covers every live id exactly once, in order.
+        let mut seen = Vec::new();
+        let mut cursor = None;
+        loop {
+            let page = client.scroll(cursor, 7, None).unwrap();
+            if page.is_empty() {
+                break;
+            }
+            cursor = Some(page.last().unwrap().id);
+            seen.extend(page.iter().map(|p| p.id));
+        }
+        let expected: Vec<PointId> = (0..50).filter(|&i| i != 10).collect();
+        assert_eq!(seen, expected);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn count_and_scroll_with_replication() {
+        let cluster = Cluster::start(
+            ClusterConfig::new(3).replication(2),
+            small_collection(),
+        )
+        .unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(30)).unwrap();
+        // Count sees both copies (documented); scroll dedupes ids.
+        assert_eq!(client.count(None).unwrap(), 60);
+        let page = client.scroll(None, 100, None).unwrap();
+        let ids: Vec<PointId> = page.iter().map(|p| p.id).collect();
+        assert_eq!(ids, (0..30).collect::<Vec<_>>());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn cluster_snapshot_roundtrip() {
+        let dir = std::env::temp_dir().join(format!("vq-cluster-snap-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        let cluster = Cluster::start(ClusterConfig::new(3), small_collection()).unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(120)).unwrap();
+        client.delete(60).unwrap();
+        let saved = client.save_to_dir(&dir).unwrap();
+        assert_eq!(saved, 3);
+        cluster.shutdown();
+
+        // A fresh, empty cluster with the same shard count restores it.
+        let fresh = Cluster::start(ClusterConfig::new(3), small_collection()).unwrap();
+        let mut client = fresh.client();
+        assert_eq!(client.stats().unwrap().live_points, 0);
+        client.load_from_dir(&dir).unwrap();
+        assert_eq!(client.stats().unwrap().live_points, 119);
+        assert_eq!(client.get(60).unwrap(), None);
+        let hits = client
+            .search(SearchRequest::new(vec![77.0, 0.0, 0.0, 0.0], 1))
+            .unwrap();
+        assert_eq!(hits[0].id, 77);
+        fresh.shutdown();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn worker_info_reflects_traffic() {
+        let cluster = Cluster::start(ClusterConfig::new(3), small_collection()).unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(90)).unwrap();
+        for i in 0..5 {
+            client
+                .search(SearchRequest::new(vec![i as f32, 0.0, 0.0, 0.0], 1))
+                .unwrap();
+        }
+        let infos = client.worker_info().unwrap();
+        assert_eq!(infos.len(), 3);
+        let total_written: u64 = infos.iter().map(|i| i.points_written).sum();
+        assert_eq!(total_written, 90);
+        // Every search is coordinated by exactly one worker but served
+        // locally by all three.
+        let coords: u64 = infos.iter().map(|i| i.coordinations).sum();
+        assert_eq!(coords, 5);
+        let served: u64 = infos.iter().map(|i| i.queries_served).sum();
+        assert_eq!(served, 15, "each query answered by all 3 workers");
+        // Shard inventories are disjoint and complete.
+        let mut all_shards: Vec<u32> = infos.iter().flat_map(|i| i.shards.clone()).collect();
+        all_shards.sort_unstable();
+        assert_eq!(all_shards, vec![0, 1, 2]);
+        for info in &infos {
+            assert!(info.node <= 1, "3 workers pack onto nodes 0..=0 at 4/node");
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn recommend_across_shards() {
+        let cluster = Cluster::start(ClusterConfig::new(4), small_collection()).unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(100)).unwrap();
+        // Positives at 20 and 24 (likely on different shards) → best
+        // non-example hit is 22.
+        let req = vq_collection::RecommendRequest::new(vec![20, 24], 3);
+        let hits = client.recommend(req).unwrap();
+        assert_eq!(hits[0].id, 22, "{hits:?}");
+        assert!(hits.iter().all(|h| h.id != 20 && h.id != 24));
+        // Unknown example surfaces a clean error.
+        let bad = vq_collection::RecommendRequest::new(vec![5000], 3);
+        assert!(matches!(
+            client.recommend(bad),
+            Err(VqError::PointNotFound(5000))
+        ));
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn search_degrades_gracefully_when_a_worker_dies() {
+        let cluster = Cluster::start(ClusterConfig::new(3), small_collection()).unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(90)).unwrap();
+        // Kill worker 2 without going through Cluster::shutdown.
+        match client.request(2, Request::Shutdown).unwrap() {
+            Response::Ok => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        // Searches still answer from the survivors; points on the dead
+        // worker's shard are simply missing (stateful architecture: the
+        // data went down with the worker).
+        let placement = cluster.placement();
+        let hits = client
+            .search(SearchRequest::new(vec![45.0, 0.0, 0.0, 0.0], 90))
+            .unwrap();
+        assert!(!hits.is_empty());
+        for h in &hits {
+            let shard = placement.shard_of(h.id);
+            assert_ne!(
+                placement.primary_of(shard).unwrap(),
+                2,
+                "id {} lives on the dead worker and must not surface",
+                h.id
+            );
+        }
+        // Roughly a third of the data is gone.
+        let frac = hits.len() as f64 / 90.0;
+        assert!((0.4..0.95).contains(&frac), "{} of 90 survived", hits.len());
+        // Round-robin will eventually pick the dead worker as first
+        // contact; the client must fail over to a live one.
+        for _ in 0..6 {
+            let hits = client
+                .search(SearchRequest::new(vec![3.0, 0.0, 0.0, 0.0], 1))
+                .unwrap();
+            assert!(!hits.is_empty());
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn replicated_cluster_survives_worker_death_with_full_results() {
+        let cluster = Cluster::start(
+            ClusterConfig::new(3).replication(2),
+            small_collection(),
+        )
+        .unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(60)).unwrap();
+        client.request(1, Request::Shutdown).unwrap();
+        // Every point has a second replica: full coverage despite the
+        // dead worker.
+        let hits = client
+            .search(SearchRequest::new(vec![30.0, 0.0, 0.0, 0.0], 60))
+            .unwrap();
+        let mut ids: Vec<PointId> = hits.iter().map(|h| h.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..60).collect::<Vec<_>>(), "replication covers the gap");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn concurrent_clients_do_not_deadlock() {
+        let cluster = Cluster::start(ClusterConfig::new(4), small_collection()).unwrap();
+        let mut seed_client = cluster.client();
+        seed_client.upsert_batch(line_points(200)).unwrap();
+        // Many clients search simultaneously: every search coordinates a
+        // broadcast across all 4 workers.
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let cluster = cluster.clone();
+                std::thread::spawn(move || {
+                    let mut client = cluster.client();
+                    for i in 0..20 {
+                        let x = ((t * 20 + i) % 200) as f32;
+                        let hits = client
+                            .search(SearchRequest::new(vec![x, 0.0, 0.0, 0.0], 1))
+                            .unwrap();
+                        assert_eq!(hits[0].id, x as PointId);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        cluster.shutdown();
+    }
+}

@@ -1,0 +1,262 @@
+//! Worker RPC protocol.
+//!
+//! Messages travel between endpoints through the in-process transport.
+//! Every [`Request`] carries the endpoint to answer (`reply_to`) and an
+//! opaque correlation tag chosen by the requester, echoed in the
+//! [`Response`] — coordinators use it to match scattered partials.
+
+use crate::placement::ShardId;
+use vq_collection::{CollectionStats, SearchRequest};
+use vq_core::{Point, PointId, ScoredPoint, VqError};
+use vq_storage::SegmentSnapshot;
+
+/// A search carried over the wire (SearchRequest minus the non-Send parts
+/// — which there are none of; alias kept for protocol clarity).
+pub type WireSearch = SearchRequest;
+
+/// Request bodies.
+#[derive(Debug)]
+pub enum Request {
+    /// Insert/replace points into one shard this worker owns.
+    UpsertBatch {
+        /// Target shard.
+        shard: ShardId,
+        /// Points to write.
+        points: Vec<Point>,
+    },
+    /// Delete a point from a shard.
+    Delete {
+        /// Target shard.
+        shard: ShardId,
+        /// Point to delete.
+        id: PointId,
+    },
+    /// Fetch a point from a shard.
+    Get {
+        /// Target shard.
+        shard: ShardId,
+        /// Point to fetch.
+        id: PointId,
+    },
+    /// Client-facing batch search: the receiving worker coordinates the
+    /// broadcast–reduce across all workers and replies with merged
+    /// results per query.
+    SearchBatch {
+        /// Queries to answer.
+        queries: Vec<WireSearch>,
+    },
+    /// Coordinator-internal: search only the shards local to this worker
+    /// and return per-query partials.
+    LocalSearchBatch {
+        /// Queries to answer locally.
+        queries: Vec<WireSearch>,
+    },
+    /// Count live points across local shards, optionally filtered.
+    Count {
+        /// Conjunctive payload filter.
+        filter: Option<vq_core::Filter>,
+    },
+    /// Id-ordered page of live points across local shards.
+    Scroll {
+        /// Exclusive lower bound on ids (cursor).
+        after: Option<PointId>,
+        /// Page size.
+        limit: usize,
+        /// Conjunctive payload filter.
+        filter: Option<vq_core::Filter>,
+    },
+    /// Seal active segments of all local shards (bulk-upload boundary).
+    SealAll,
+    /// Build every missing index on local shards (the explicit rebuild of
+    /// §3.3). Replies with the number of indexes built.
+    BuildIndexes,
+    /// Collection stats aggregated over local shards.
+    Stats,
+    /// Per-worker operational info (shards hosted, request counters).
+    WorkerInfo,
+    /// Copy one shard's data to another worker (rebalancing step 1).
+    /// The donor *keeps serving* its copy until a later
+    /// [`Request::DropShard`]; broadcast–reduce deduplication makes the
+    /// dual-ownership window safe for reads.
+    TransferShard {
+        /// Shard to copy.
+        shard: ShardId,
+        /// Receiving worker.
+        to: u32,
+    },
+    /// Drop a local shard copy (rebalancing step 3, after the new
+    /// placement is visible).
+    DropShard {
+        /// Shard to drop.
+        shard: ShardId,
+    },
+    /// Export a shard's segment snapshots to the requester (cluster
+    /// snapshots; unlike `TransferShard` the data goes to the client).
+    ExportShard {
+        /// Shard to export.
+        shard: ShardId,
+    },
+    /// Install a shard received from a donor.
+    InstallShard {
+        /// Shard being installed.
+        shard: ShardId,
+        /// Segment snapshots composing the shard.
+        segments: Vec<SegmentSnapshot>,
+    },
+    /// Liveness probe.
+    Ping,
+    /// Stop serving after replying.
+    Shutdown,
+}
+
+/// Response bodies.
+#[derive(Debug)]
+pub enum Response {
+    /// Generic success.
+    Ok,
+    /// Point fetched (or absent).
+    Point(Option<Point>),
+    /// Merged results, one list per query (SearchBatch).
+    Results(Vec<Vec<ScoredPoint>>),
+    /// Per-query partials from one worker (LocalSearchBatch).
+    Partials(Vec<Vec<ScoredPoint>>),
+    /// Indexes built.
+    Built(usize),
+    /// Aggregated local stats.
+    Stats(CollectionStats),
+    /// Per-worker operational info.
+    WorkerInfo(WorkerInfo),
+    /// Exported shard segments.
+    Segments(Vec<SegmentSnapshot>),
+    /// Count result.
+    Count(usize),
+    /// A scroll page (id-ordered).
+    Points(Vec<Point>),
+    /// The request failed.
+    Error(VqError),
+}
+
+/// Operational snapshot of one worker.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct WorkerInfo {
+    /// Worker id.
+    pub worker: u32,
+    /// Node hosting the worker.
+    pub node: u32,
+    /// Shards currently hosted.
+    pub shards: Vec<ShardId>,
+    /// Upsert batches served.
+    pub upsert_batches: u64,
+    /// Points written.
+    pub points_written: u64,
+    /// Local search batches served (including coordinator-issued).
+    pub search_batches: u64,
+    /// Queries answered locally.
+    pub queries_served: u64,
+    /// Fan-out searches this worker coordinated.
+    pub coordinations: u64,
+}
+
+/// What actually moves through the transport.
+#[derive(Debug)]
+pub enum ClusterMsg {
+    /// A request, with reply routing info.
+    Request {
+        /// Endpoint to send the [`ClusterMsg::Response`] to.
+        reply_to: u32,
+        /// Correlation tag echoed in the response.
+        tag: u64,
+        /// Body.
+        body: Request,
+    },
+    /// A response to an earlier request.
+    Response {
+        /// Correlation tag from the request.
+        tag: u64,
+        /// Body.
+        body: Response,
+    },
+}
+
+impl ClusterMsg {
+    /// Approximate wire size in bytes, used for modeled-latency transports
+    /// (vectors dominate; everything else is bookkeeping).
+    pub fn approx_wire_bytes(&self) -> u64 {
+        fn points_bytes(points: &[Point]) -> u64 {
+            points.iter().map(|p| p.approx_bytes() as u64).sum()
+        }
+        fn results_bytes(lists: &[Vec<ScoredPoint>]) -> u64 {
+            lists.iter().map(|l| 16 * l.len() as u64).sum()
+        }
+        match self {
+            ClusterMsg::Request { body, .. } => match body {
+                Request::UpsertBatch { points, .. } => 32 + points_bytes(points),
+                Request::SearchBatch { queries } | Request::LocalSearchBatch { queries } => {
+                    32 + queries.iter().map(|q| 4 * q.vector.len() as u64 + 32).sum::<u64>()
+                }
+                Request::InstallShard { segments, .. } => {
+                    32 + segments
+                        .iter()
+                        .map(|s| 4 * s.vectors.len() as u64 + 32 * s.ids.len() as u64)
+                        .sum::<u64>()
+                }
+                _ => 64,
+            },
+            ClusterMsg::Response { body, .. } => match body {
+                Response::Results(r) | Response::Partials(r) => 32 + results_bytes(r),
+                Response::Point(Some(p)) => 32 + p.approx_bytes() as u64,
+                Response::Points(points) => 32 + points_bytes(points),
+                Response::Segments(segments) => {
+                    32 + segments
+                        .iter()
+                        .map(|s| 4 * s.vectors.len() as u64 + 32 * s.ids.len() as u64)
+                        .sum::<u64>()
+                }
+                _ => 64,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_scales_with_payload() {
+        let small = ClusterMsg::Request {
+            reply_to: 0,
+            tag: 0,
+            body: Request::Ping,
+        };
+        let big = ClusterMsg::Request {
+            reply_to: 0,
+            tag: 0,
+            body: Request::UpsertBatch {
+                shard: 0,
+                points: vec![Point::new(1, vec![0.0; 2560]); 8],
+            },
+        };
+        assert!(big.approx_wire_bytes() > 8 * 4 * 2560);
+        assert!(small.approx_wire_bytes() < 100);
+    }
+
+    #[test]
+    fn search_wire_size_counts_queries() {
+        let one = ClusterMsg::Request {
+            reply_to: 0,
+            tag: 0,
+            body: Request::SearchBatch {
+                queries: vec![SearchRequest::new(vec![0.0; 128], 10)],
+            },
+        };
+        let four = ClusterMsg::Request {
+            reply_to: 0,
+            tag: 0,
+            body: Request::SearchBatch {
+                queries: vec![SearchRequest::new(vec![0.0; 128], 10); 4],
+            },
+        };
+        assert!(four.approx_wire_bytes() > 3 * one.approx_wire_bytes());
+    }
+}

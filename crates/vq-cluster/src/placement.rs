@@ -1,0 +1,245 @@
+//! Shard placement.
+//!
+//! A collection is split into a fixed number of shards; each shard is
+//! owned by one worker (plus optional replicas). Points map to shards by
+//! a stable hash of their id, so any client computes the same routing
+//! without coordination — the standard stateful-sharding scheme (§2.1).
+
+use serde::{Deserialize, Serialize};
+use vq_core::{splitmix64, PointId, VqError, VqResult};
+
+/// Shard identifier.
+pub type ShardId = u32;
+/// Worker identifier (also its transport endpoint id).
+pub type WorkerId = u32;
+
+/// The shard → workers map.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    shard_count: u32,
+    replication: u32,
+    /// `owners[shard][r]` = the r-th replica owner.
+    owners: Vec<Vec<WorkerId>>,
+    workers: Vec<WorkerId>,
+}
+
+impl Placement {
+    /// Round-robin placement of `shard_count` shards over `workers`,
+    /// `replication` copies each (clamped to the worker count).
+    ///
+    /// Replicas of a shard land on distinct consecutive workers, so
+    /// losing one worker never loses a fully-replicated shard.
+    pub fn round_robin(shard_count: u32, workers: &[WorkerId], replication: u32) -> VqResult<Self> {
+        if workers.is_empty() {
+            return Err(VqError::InvalidRequest("no workers".into()));
+        }
+        if shard_count == 0 {
+            return Err(VqError::InvalidRequest("no shards".into()));
+        }
+        let replication = replication.clamp(1, workers.len() as u32);
+        let owners = (0..shard_count)
+            .map(|s| {
+                (0..replication)
+                    .map(|r| workers[((s + r) as usize) % workers.len()])
+                    .collect()
+            })
+            .collect();
+        Ok(Placement {
+            shard_count,
+            replication,
+            owners,
+            workers: workers.to_vec(),
+        })
+    }
+
+    /// One shard per worker, unreplicated — the paper's deployment shape
+    /// ("the data is partitioned across workers, with each worker
+    /// responsible for approximately 80 GB/#Workers of data", §3.2).
+    pub fn one_shard_per_worker(workers: &[WorkerId]) -> VqResult<Self> {
+        Self::round_robin(workers.len() as u32, workers, 1)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> u32 {
+        self.shard_count
+    }
+
+    /// Replication factor.
+    pub fn replication(&self) -> u32 {
+        self.replication
+    }
+
+    /// All workers known to the placement.
+    pub fn workers(&self) -> &[WorkerId] {
+        &self.workers
+    }
+
+    /// The shard a point id belongs to (stable hash).
+    pub fn shard_of(&self, id: PointId) -> ShardId {
+        (splitmix64(id) % self.shard_count as u64) as ShardId
+    }
+
+    /// Owners (primary first) of a shard.
+    pub fn owners_of(&self, shard: ShardId) -> VqResult<&[WorkerId]> {
+        self.owners
+            .get(shard as usize)
+            .map(Vec::as_slice)
+            .ok_or(VqError::ShardNotFound(shard))
+    }
+
+    /// Primary owner of a shard.
+    pub fn primary_of(&self, shard: ShardId) -> VqResult<WorkerId> {
+        Ok(self.owners_of(shard)?[0])
+    }
+
+    /// Shards whose replica set includes `worker`.
+    pub fn shards_of(&self, worker: WorkerId) -> Vec<ShardId> {
+        self.owners
+            .iter()
+            .enumerate()
+            .filter(|(_, owners)| owners.contains(&worker))
+            .map(|(s, _)| s as ShardId)
+            .collect()
+    }
+
+    /// Re-place all shards over a new worker set, keeping the shard count
+    /// and replication factor. Returns the moves required:
+    /// `(shard, from_primary_if_any, to)` for every *new* owner of a
+    /// shard. This is the (expensive) rebalance step stateful
+    /// architectures pay when scaling — the compute/storage-separation
+    /// trade-off §2.2 discusses.
+    pub fn rebalanced(&self, workers: &[WorkerId]) -> VqResult<(Placement, Vec<ShardMove>)> {
+        let next = Placement::round_robin(self.shard_count, workers, self.replication)?;
+        let mut moves = Vec::new();
+        for shard in 0..self.shard_count {
+            let old = self.owners_of(shard)?;
+            for &new_owner in next.owners_of(shard)? {
+                if !old.contains(&new_owner) {
+                    moves.push(ShardMove {
+                        shard,
+                        from: old.first().copied(),
+                        to: new_owner,
+                    });
+                }
+            }
+        }
+        Ok((next, moves))
+    }
+
+    /// Imbalance: max shards on any worker minus min shards on any worker.
+    pub fn imbalance(&self) -> u32 {
+        let counts: Vec<usize> = self
+            .workers
+            .iter()
+            .map(|&w| self.shards_of(w).len())
+            .collect();
+        let max = counts.iter().copied().max().unwrap_or(0);
+        let min = counts.iter().copied().min().unwrap_or(0);
+        (max - min) as u32
+    }
+}
+
+/// A required shard data movement during rebalancing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMove {
+    /// Shard being copied.
+    pub shard: ShardId,
+    /// A current owner able to donate the data (`None` if the shard had
+    /// no owner — fresh cluster).
+    pub from: Option<WorkerId>,
+    /// The new owner.
+    pub to: WorkerId,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_robin_is_balanced() {
+        let p = Placement::round_robin(8, &[0, 1, 2, 3], 1).unwrap();
+        for w in 0..4 {
+            assert_eq!(p.shards_of(w).len(), 2);
+        }
+        assert_eq!(p.imbalance(), 0);
+    }
+
+    #[test]
+    fn uneven_counts_stay_near_balanced() {
+        let p = Placement::round_robin(10, &[0, 1, 2], 1).unwrap();
+        assert!(p.imbalance() <= 1);
+    }
+
+    #[test]
+    fn replicas_on_distinct_workers() {
+        let p = Placement::round_robin(4, &[0, 1, 2], 2).unwrap();
+        for s in 0..4 {
+            let owners = p.owners_of(s).unwrap();
+            assert_eq!(owners.len(), 2);
+            assert_ne!(owners[0], owners[1]);
+        }
+    }
+
+    #[test]
+    fn replication_clamped_to_worker_count() {
+        let p = Placement::round_robin(2, &[0, 1], 5).unwrap();
+        assert_eq!(p.replication(), 2);
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_spread() {
+        let p = Placement::round_robin(16, &[0, 1, 2, 3], 1).unwrap();
+        let mut counts = vec![0u32; 16];
+        for id in 0..16_000u64 {
+            let s = p.shard_of(id);
+            assert_eq!(s, p.shard_of(id), "stable");
+            counts[s as usize] += 1;
+        }
+        // Roughly uniform: every shard within 3x of the mean.
+        for &c in &counts {
+            assert!((300..3000).contains(&c), "skewed shard: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn one_shard_per_worker_layout() {
+        let p = Placement::one_shard_per_worker(&[10, 11, 12]).unwrap();
+        assert_eq!(p.shard_count(), 3);
+        assert_eq!(p.primary_of(0).unwrap(), 10);
+        assert_eq!(p.primary_of(2).unwrap(), 12);
+    }
+
+    #[test]
+    fn rebalance_reports_required_moves() {
+        let p = Placement::round_robin(8, &[0, 1], 1).unwrap();
+        let (next, moves) = p.rebalanced(&[0, 1, 2, 3]).unwrap();
+        assert_eq!(next.workers(), &[0, 1, 2, 3]);
+        // Shards previously on {0,1} spread over 4 workers: any shard whose
+        // new primary is 2 or 3 must move, with a valid donor.
+        for m in &moves {
+            assert!(m.from.is_some());
+            assert!(m.to == 2 || m.to == 3, "{moves:?}");
+        }
+        // 8 shards round-robin over 4 workers puts 4 shards on the new
+        // workers: exactly those must move.
+        assert_eq!(moves.len(), 4);
+        assert_eq!(next.imbalance(), 0);
+    }
+
+    #[test]
+    fn rebalance_with_too_few_shards_moves_nothing() {
+        // 2 shards cannot occupy 4 workers; growing the pool changes no
+        // ownership (the "cannot fully utilize new resources" corner).
+        let p = Placement::one_shard_per_worker(&[0, 1]).unwrap();
+        let (_, moves) = p.rebalanced(&[0, 1, 2, 3]).unwrap();
+        assert!(moves.is_empty());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(Placement::round_robin(4, &[], 1).is_err());
+        assert!(Placement::round_robin(0, &[0], 1).is_err());
+        let p = Placement::round_robin(2, &[0], 1).unwrap();
+        assert!(p.owners_of(5).is_err());
+    }
+}

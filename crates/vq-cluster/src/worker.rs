@@ -1,0 +1,489 @@
+//! A worker node.
+//!
+//! Each worker runs a serve loop on its own OS thread: it owns a set of
+//! shards (each a [`LocalCollection`]) and answers protocol requests from
+//! the transport. Client-facing `SearchBatch` requests are coordinated on
+//! a *spawned* thread with an ephemeral reply endpoint, so two workers
+//! coordinating queries that fan out to each other can never deadlock
+//! their serve loops — the scatter–gather pattern every broadcast–reduce
+//! vector database implements.
+
+use crate::messages::{ClusterMsg, Request, Response};
+use crate::placement::{Placement, ShardId, WorkerId};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use vq_collection::{CollectionConfig, CollectionStats, LocalCollection, SearchRequest};
+use vq_core::{point::merge_top_k, ScoredPoint, VqError, VqResult};
+use vq_net::{Endpoint, Switchboard};
+
+/// Ephemeral (scatter-gather reply) endpoints live above this id.
+const EPHEMERAL_BASE: u32 = 1 << 20;
+static NEXT_EPHEMERAL: AtomicU32 = AtomicU32::new(EPHEMERAL_BASE);
+
+/// Allocate a process-unique ephemeral endpoint id.
+pub(crate) fn alloc_ephemeral_id() -> u32 {
+    NEXT_EPHEMERAL.fetch_add(1, Ordering::Relaxed)
+}
+
+struct WorkerState {
+    id: WorkerId,
+    node: u32,
+    config: CollectionConfig,
+    shards: RwLock<HashMap<ShardId, Arc<LocalCollection>>>,
+    placement: Arc<RwLock<Placement>>,
+    switchboard: Switchboard<ClusterMsg>,
+    /// In-flight outbound shard copies: internal tag → (requester,
+    /// requester's tag). The install confirmation from the receiver is
+    /// forwarded to the original requester.
+    pending_transfers: parking_lot::Mutex<HashMap<u64, (u32, u64)>>,
+    next_internal_tag: std::sync::atomic::AtomicU64,
+    counters: Counters,
+}
+
+#[derive(Default)]
+struct Counters {
+    upsert_batches: std::sync::atomic::AtomicU64,
+    points_written: std::sync::atomic::AtomicU64,
+    search_batches: std::sync::atomic::AtomicU64,
+    queries_served: std::sync::atomic::AtomicU64,
+    coordinations: std::sync::atomic::AtomicU64,
+}
+
+/// A running worker (serve thread + state handle).
+pub struct Worker {
+    state: Arc<WorkerState>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Worker {
+    /// Spawn a worker with endpoint `id` on `node`, hosting its share of
+    /// `placement`'s shards.
+    pub fn spawn(
+        id: WorkerId,
+        node: u32,
+        config: CollectionConfig,
+        placement: Arc<RwLock<Placement>>,
+        switchboard: Switchboard<ClusterMsg>,
+    ) -> Self {
+        let endpoint = switchboard.register(id, node);
+        let shards: HashMap<ShardId, Arc<LocalCollection>> = placement
+            .read()
+            .shards_of(id)
+            .into_iter()
+            .map(|s| (s, Arc::new(LocalCollection::new(config))))
+            .collect();
+        let state = Arc::new(WorkerState {
+            id,
+            node,
+            config,
+            shards: RwLock::new(shards),
+            placement,
+            switchboard,
+            pending_transfers: parking_lot::Mutex::new(HashMap::new()),
+            next_internal_tag: std::sync::atomic::AtomicU64::new(1),
+            counters: Counters::default(),
+        });
+        let state2 = state.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("vq-worker-{id}"))
+            .spawn(move || serve_loop(state2, endpoint))
+            .expect("spawn worker thread");
+        Worker {
+            state,
+            handle: Some(handle),
+        }
+    }
+
+    /// Worker id.
+    pub fn id(&self) -> WorkerId {
+        self.state.id
+    }
+
+    /// Node hosting this worker.
+    pub fn node(&self) -> u32 {
+        self.state.node
+    }
+
+    /// Wait for the serve loop to exit (after a `Shutdown` request).
+    pub fn join(mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_loop(state: Arc<WorkerState>, endpoint: Endpoint<ClusterMsg>) {
+    loop {
+        let Ok(env) = endpoint.recv() else {
+            return; // transport gone
+        };
+        let (reply_to, tag, body) = match env.payload {
+            ClusterMsg::Request {
+                reply_to,
+                tag,
+                body,
+            } => (reply_to, tag, body),
+            ClusterMsg::Response { tag, body } => {
+                // Install confirmation for an outbound shard copy:
+                // forward the outcome to the original requester.
+                let pending = state.pending_transfers.lock().remove(&tag);
+                if let Some((orig_reply_to, orig_tag)) = pending {
+                    let _ = endpoint.send(orig_reply_to, ClusterMsg::Response {
+                        tag: orig_tag,
+                        body,
+                    });
+                }
+                continue;
+            }
+        };
+        let shutdown = matches!(body, Request::Shutdown);
+        match body {
+            Request::SearchBatch { queries } => {
+                // Coordinate on a separate thread; keep serving.
+                state
+                    .counters
+                    .coordinations
+                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let state = state.clone();
+                std::thread::spawn(move || {
+                    coordinate_search(&state, reply_to, tag, queries);
+                });
+                continue;
+            }
+            body => {
+                let response = handle_local(&state, &endpoint, reply_to, tag, body);
+                if let Some(response) = response {
+                    let _ = endpoint.send(reply_to, ClusterMsg::Response {
+                        tag,
+                        body: response,
+                    });
+                }
+            }
+        }
+        if shutdown {
+            state.switchboard.deregister(state.id);
+            return;
+        }
+    }
+}
+
+/// Handle every request kind except the coordinated `SearchBatch`.
+/// Returns `None` when the handler forwarded responsibility elsewhere
+/// (shard transfer).
+fn handle_local(
+    state: &Arc<WorkerState>,
+    endpoint: &Endpoint<ClusterMsg>,
+    reply_to: u32,
+    tag: u64,
+    body: Request,
+) -> Option<Response> {
+    Some(match body {
+        Request::UpsertBatch { shard, points } => {
+            use std::sync::atomic::Ordering::Relaxed;
+            let n = points.len() as u64;
+            match state.shards.read().get(&shard) {
+                Some(c) => match c.upsert_batch(points) {
+                    Ok(()) => {
+                        state.counters.upsert_batches.fetch_add(1, Relaxed);
+                        state.counters.points_written.fetch_add(n, Relaxed);
+                        Response::Ok
+                    }
+                    Err(e) => Response::Error(e),
+                },
+                None => Response::Error(VqError::ShardNotFound(shard)),
+            }
+        }
+        Request::Delete { shard, id } => match state.shards.read().get(&shard) {
+            Some(c) => match c.delete(id) {
+                Ok(()) => Response::Ok,
+                Err(e) => Response::Error(e),
+            },
+            None => Response::Error(VqError::ShardNotFound(shard)),
+        },
+        Request::Get { shard, id } => match state.shards.read().get(&shard) {
+            Some(c) => Response::Point(c.get(id)),
+            None => Response::Error(VqError::ShardNotFound(shard)),
+        },
+        Request::LocalSearchBatch { queries } => {
+            use std::sync::atomic::Ordering::Relaxed;
+            state.counters.search_batches.fetch_add(1, Relaxed);
+            state
+                .counters
+                .queries_served
+                .fetch_add(queries.len() as u64, Relaxed);
+            match local_search(state, &queries) {
+                Ok(partials) => Response::Partials(partials),
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::Count { filter } => {
+            let total: usize = state
+                .shards
+                .read()
+                .values()
+                .map(|c| c.count(filter.as_ref()))
+                .sum();
+            Response::Count(total)
+        }
+        Request::Scroll {
+            after,
+            limit,
+            filter,
+        } => {
+            // Merge the per-shard id-ordered pages into one local page.
+            let mut merged: Vec<vq_core::Point> = Vec::new();
+            for c in state.shards.read().values() {
+                merged.extend(c.scroll(after, limit, filter.as_ref()));
+            }
+            merged.sort_unstable_by_key(|p| p.id);
+            merged.truncate(limit);
+            Response::Points(merged)
+        }
+        Request::SealAll => {
+            for c in state.shards.read().values() {
+                c.seal_active();
+            }
+            Response::Ok
+        }
+        Request::BuildIndexes => {
+            let shards: Vec<Arc<LocalCollection>> =
+                state.shards.read().values().cloned().collect();
+            let mut built = 0;
+            let mut error = None;
+            for c in shards {
+                c.seal_active();
+                match c.build_all_indexes() {
+                    Ok(n) => built += n,
+                    Err(e) => {
+                        error = Some(e);
+                        break;
+                    }
+                }
+            }
+            match error {
+                Some(e) => Response::Error(e),
+                None => Response::Built(built),
+            }
+        }
+        Request::Stats => {
+            let mut total = CollectionStats::default();
+            for c in state.shards.read().values() {
+                let s = c.stats();
+                total.segments += s.segments;
+                total.sealed_segments += s.sealed_segments;
+                total.indexed_segments += s.indexed_segments;
+                total.live_points += s.live_points;
+                total.total_offsets += s.total_offsets;
+                total.indexed_points += s.indexed_points;
+                total.approx_bytes += s.approx_bytes;
+            }
+            Response::Stats(total)
+        }
+        Request::WorkerInfo => {
+            use std::sync::atomic::Ordering::Relaxed;
+            let mut shards: Vec<crate::placement::ShardId> =
+                state.shards.read().keys().copied().collect();
+            shards.sort_unstable();
+            Response::WorkerInfo(crate::messages::WorkerInfo {
+                worker: state.id,
+                node: state.node,
+                shards,
+                upsert_batches: state.counters.upsert_batches.load(Relaxed),
+                points_written: state.counters.points_written.load(Relaxed),
+                search_batches: state.counters.search_batches.load(Relaxed),
+                queries_served: state.counters.queries_served.load(Relaxed),
+                coordinations: state.counters.coordinations.load(Relaxed),
+            })
+        }
+        Request::TransferShard { shard, to } => {
+            // Copy while continuing to serve the shard; the donor drops
+            // its copy only on a later DropShard (after the requester has
+            // published the new placement).
+            let collection = state.shards.read().get(&shard).cloned();
+            match collection {
+                Some(c) => {
+                    let segments = c.export_segments();
+                    let internal_tag = state
+                        .next_internal_tag
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    state
+                        .pending_transfers
+                        .lock()
+                        .insert(internal_tag, (reply_to, tag));
+                    let msg = ClusterMsg::Request {
+                        reply_to: state.id,
+                        tag: internal_tag,
+                        body: Request::InstallShard { shard, segments },
+                    };
+                    let bytes = msg.approx_wire_bytes();
+                    match endpoint.send_sized(to, msg, bytes) {
+                        // The install confirmation comes back to this
+                        // worker's endpoint and is forwarded from there.
+                        Ok(()) => return None,
+                        Err(e) => {
+                            state.pending_transfers.lock().remove(&internal_tag);
+                            Response::Error(e)
+                        }
+                    }
+                }
+                None => Response::Error(VqError::ShardNotFound(shard)),
+            }
+        }
+        Request::DropShard { shard } => {
+            if state.shards.write().remove(&shard).is_some() {
+                Response::Ok
+            } else {
+                Response::Error(VqError::ShardNotFound(shard))
+            }
+        }
+        Request::ExportShard { shard } => match state.shards.read().get(&shard) {
+            Some(c) => Response::Segments(c.export_segments()),
+            None => Response::Error(VqError::ShardNotFound(shard)),
+        },
+        Request::InstallShard { shard, segments } => {
+            match LocalCollection::from_segments(state.config, segments) {
+                Ok(c) => {
+                    state.shards.write().insert(shard, Arc::new(c));
+                    Response::Ok
+                }
+                Err(e) => Response::Error(e),
+            }
+        }
+        Request::Ping => Response::Ok,
+        Request::Shutdown => Response::Ok,
+        Request::SearchBatch { .. } => unreachable!("handled by serve_loop"),
+    })
+}
+
+/// Search this worker's shards: one merged partial list per query.
+fn local_search(
+    state: &WorkerState,
+    queries: &[SearchRequest],
+) -> VqResult<Vec<Vec<ScoredPoint>>> {
+    let shards: Vec<Arc<LocalCollection>> = state.shards.read().values().cloned().collect();
+    queries
+        .iter()
+        .map(|q| {
+            let per_shard: VqResult<Vec<Vec<ScoredPoint>>> =
+                shards.iter().map(|c| c.search(q)).collect();
+            Ok(merge_top_k(per_shard?, q.k))
+        })
+        .collect()
+}
+
+/// The broadcast–reduce coordinator (§3.4): scatter `LocalSearchBatch` to
+/// every peer, search own shards, gather, merge, reply to the client.
+fn coordinate_search(
+    state: &Arc<WorkerState>,
+    reply_to: u32,
+    tag: u64,
+    queries: Vec<SearchRequest>,
+) {
+    let peers: Vec<WorkerId> = state
+        .placement
+        .read()
+        .workers()
+        .iter()
+        .copied()
+        .filter(|&w| w != state.id)
+        .collect();
+    // Ephemeral endpoint for gathering partials.
+    let eph_id = alloc_ephemeral_id();
+    let eph = state.switchboard.register(eph_id, state.node);
+
+    let mut scattered = 0usize;
+    for &peer in &peers {
+        let msg = ClusterMsg::Request {
+            reply_to: eph_id,
+            tag: peer as u64,
+            body: Request::LocalSearchBatch {
+                queries: queries.clone(),
+            },
+        };
+        let bytes = msg.approx_wire_bytes();
+        if eph.send_sized(peer, msg, bytes).is_ok() {
+            scattered += 1;
+        }
+    }
+
+    // Local partials while peers work.
+    state
+        .counters
+        .search_batches
+        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+    state
+        .counters
+        .queries_served
+        .fetch_add(queries.len() as u64, std::sync::atomic::Ordering::Relaxed);
+    let local = local_search(state, &queries);
+
+    // Gather.
+    let mut partials_per_query: Vec<Vec<Vec<ScoredPoint>>> =
+        vec![Vec::with_capacity(scattered + 1); queries.len()];
+    let mut failure: Option<VqError> = None;
+    match local {
+        Ok(lists) => {
+            for (q, list) in lists.into_iter().enumerate() {
+                partials_per_query[q].push(list);
+            }
+        }
+        Err(e) => failure = Some(e),
+    }
+    for _ in 0..scattered {
+        match eph.recv_timeout(std::time::Duration::from_secs(60)) {
+            Ok(env) => match env.payload {
+                ClusterMsg::Response {
+                    body: Response::Partials(lists),
+                    ..
+                } => {
+                    for (q, list) in lists.into_iter().enumerate() {
+                        if q < partials_per_query.len() {
+                            partials_per_query[q].push(list);
+                        }
+                    }
+                }
+                ClusterMsg::Response {
+                    body: Response::Error(e),
+                    ..
+                } => failure = Some(e),
+                _ => {}
+            },
+            Err(e) => {
+                failure = Some(e);
+                break;
+            }
+        }
+    }
+    let body = match failure {
+        Some(e) => Response::Error(e),
+        None => {
+            let results = queries
+                .iter()
+                .zip(partials_per_query)
+                .map(|(q, partials)| {
+                    // Merge, then drop replica duplicates (same id from two
+                    // owners of a replicated shard), keeping best rank.
+                    let merged = merge_top_k(partials, q.k * 2);
+                    let mut seen = std::collections::HashSet::new();
+                    let mut out = Vec::with_capacity(q.k);
+                    for p in merged {
+                        if seen.insert(p.id) {
+                            out.push(p);
+                            if out.len() == q.k {
+                                break;
+                            }
+                        }
+                    }
+                    out
+                })
+                .collect();
+            Response::Results(results)
+        }
+    };
+    let msg = ClusterMsg::Response { tag, body };
+    let bytes = msg.approx_wire_bytes();
+    let _ = eph.send_sized(reply_to, msg, bytes);
+    state.switchboard.deregister(eph_id);
+}

@@ -1,0 +1,76 @@
+//! Property-based tests for placement and cluster-level invariants.
+
+use proptest::prelude::*;
+use vq_cluster::Placement;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_robin_balance_bound(
+        shards in 1u32..64,
+        n_workers in 1usize..16,
+        replication in 1u32..5
+    ) {
+        let workers: Vec<u32> = (0..n_workers as u32).collect();
+        let p = Placement::round_robin(shards, &workers, replication).unwrap();
+        // Balance: per-worker shard counts differ by at most the
+        // replication factor.
+        prop_assert!(p.imbalance() <= p.replication());
+        // Every shard has exactly `replication` distinct owners.
+        for s in 0..shards {
+            let owners = p.owners_of(s).unwrap();
+            prop_assert_eq!(owners.len() as u32, p.replication());
+            let set: std::collections::HashSet<_> = owners.iter().collect();
+            prop_assert_eq!(set.len(), owners.len(), "duplicate replica owner");
+        }
+        // Total ownership conserved.
+        let total: usize = workers.iter().map(|&w| p.shards_of(w).len()).sum();
+        prop_assert_eq!(total as u32, shards * p.replication());
+    }
+
+    #[test]
+    fn shard_of_total_and_stable(shards in 1u32..64, ids in prop::collection::vec(any::<u64>(), 0..100)) {
+        let workers = [0u32, 1, 2];
+        let p = Placement::round_robin(shards, &workers, 1).unwrap();
+        for id in ids {
+            let s = p.shard_of(id);
+            prop_assert!(s < shards);
+            prop_assert_eq!(s, p.shard_of(id));
+        }
+    }
+
+    #[test]
+    fn rebalance_covers_every_new_owner(
+        shards in 1u32..40,
+        old_n in 1usize..8,
+        add_n in 1usize..8
+    ) {
+        let old: Vec<u32> = (0..old_n as u32).collect();
+        let new: Vec<u32> = (0..(old_n + add_n) as u32).collect();
+        let p = Placement::round_robin(shards, &old, 1).unwrap();
+        let (next, moves) = p.rebalanced(&new).unwrap();
+        // Every shard owned by a brand-new worker in the new placement
+        // must appear in the move list with a valid donor.
+        for s in 0..shards {
+            for &owner in next.owners_of(s).unwrap() {
+                let was_owner = p.owners_of(s).unwrap().contains(&owner);
+                let moved = moves.iter().any(|m| m.shard == s && m.to == owner);
+                prop_assert!(was_owner || moved, "shard {s} → {owner} unaccounted");
+            }
+        }
+        for m in &moves {
+            prop_assert!(m.from.is_some());
+            prop_assert!(p.owners_of(m.shard).unwrap().contains(&m.from.unwrap()));
+        }
+    }
+
+    #[test]
+    fn rebalance_to_same_workers_is_noop(shards in 1u32..40, n in 1usize..8) {
+        let workers: Vec<u32> = (0..n as u32).collect();
+        let p = Placement::round_robin(shards, &workers, 1).unwrap();
+        let (next, moves) = p.rebalanced(&workers).unwrap();
+        prop_assert_eq!(next, p);
+        prop_assert!(moves.is_empty());
+    }
+}

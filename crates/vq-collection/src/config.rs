@@ -1,0 +1,103 @@
+//! Collection configuration.
+
+use serde::{Deserialize, Serialize};
+use vq_core::Distance;
+use vq_index::HnswConfig;
+
+/// When indexes get built.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum IndexingPolicy {
+    /// Build an HNSW graph for a segment as soon as it seals — Qdrant's
+    /// default behaviour (indexes built incrementally as data arrives).
+    OnSeal,
+    /// Never build automatically; the caller triggers builds explicitly.
+    /// This is the paper's bulk-upload flow (§3.3): "Qdrant's
+    /// documentation suggests deferring index construction to accelerate
+    /// insertion in certain cases, necessitating a complete index
+    /// rebuild."
+    Deferred,
+}
+
+/// Parameters of a collection (shared by every shard).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CollectionConfig {
+    /// Vector dimensionality.
+    pub dim: usize,
+    /// Distance metric.
+    pub metric: Distance,
+    /// HNSW parameters for segment indexes.
+    pub hnsw: HnswConfig,
+    /// Default `ef` for searches that don't specify one.
+    pub ef_search: usize,
+    /// Seal the active segment when it reaches this many points.
+    pub max_segment_points: usize,
+    /// Vacuum a sealed segment when its tombstone ratio exceeds this.
+    pub vacuum_threshold: f64,
+    /// Indexing policy.
+    pub indexing: IndexingPolicy,
+}
+
+impl CollectionConfig {
+    /// A collection with everything defaulted except dimension/metric.
+    pub fn new(dim: usize, metric: Distance) -> Self {
+        CollectionConfig {
+            dim,
+            metric,
+            hnsw: HnswConfig::default(),
+            ef_search: 100,
+            max_segment_points: 20_000,
+            vacuum_threshold: 0.5,
+            indexing: IndexingPolicy::OnSeal,
+        }
+    }
+
+    /// Builder-style setter for the HNSW parameters.
+    pub fn hnsw(mut self, hnsw: HnswConfig) -> Self {
+        self.hnsw = hnsw;
+        self
+    }
+
+    /// Builder-style setter for the segment size.
+    pub fn max_segment_points(mut self, n: usize) -> Self {
+        assert!(n > 0);
+        self.max_segment_points = n;
+        self
+    }
+
+    /// Builder-style setter for the indexing policy.
+    pub fn indexing(mut self, policy: IndexingPolicy) -> Self {
+        self.indexing = policy;
+        self
+    }
+
+    /// Builder-style setter for the default search beam width.
+    pub fn ef_search(mut self, ef: usize) -> Self {
+        self.ef_search = ef;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_qdrant_flavor() {
+        let c = CollectionConfig::new(2560, Distance::Cosine);
+        assert_eq!(c.hnsw.m, 16);
+        assert_eq!(c.hnsw.ef_construct, 100);
+        assert_eq!(c.indexing, IndexingPolicy::OnSeal);
+        assert!(c.max_segment_points > 0);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = CollectionConfig::new(8, Distance::Euclid)
+            .max_segment_points(100)
+            .indexing(IndexingPolicy::Deferred)
+            .ef_search(42);
+        assert_eq!(c.max_segment_points, 100);
+        assert_eq!(c.indexing, IndexingPolicy::Deferred);
+        assert_eq!(c.ef_search, 42);
+    }
+}

@@ -1,0 +1,163 @@
+//! # vq-collection
+//!
+//! The single-worker collection layer — what one Qdrant worker keeps for
+//! one shard of a collection:
+//!
+//! * [`config`] — collection parameters (dimension, metric, HNSW settings,
+//!   segment sizing, indexing policy).
+//! * [`segment`] — a searchable segment: [`vq_storage::SegmentStore`]
+//!   plus an optional HNSW graph. Unindexed segments answer queries by
+//!   exact scan (exactly how Qdrant serves data whose index build was
+//!   deferred during bulk upload).
+//! * [`collection`] — [`LocalCollection`]: an active (growable) segment
+//!   plus sealed segments, upsert/delete/search/get across all of them,
+//!   WAL-backed durability and recovery.
+//! * [`optimizer`] — the background index builder: seals oversized
+//!   segments, builds HNSW graphs for sealed segments, vacuums
+//!   tombstone-heavy ones. Runs inline (`optimize_once`) or as a
+//!   background thread ([`optimizer::OptimizerThread`]).
+//! * [`stats`] — observable collection state (segment counts, index
+//!   coverage, byte sizes) used by benches and the cluster layer.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod collection;
+pub mod config;
+pub mod optimizer;
+pub mod persist;
+pub mod segment;
+pub mod stats;
+
+pub use collection::LocalCollection;
+pub use config::{CollectionConfig, IndexingPolicy};
+pub use optimizer::OptimizerThread;
+pub use segment::Segment;
+pub use stats::CollectionStats;
+
+/// Search request against a collection (local or routed).
+#[derive(Debug, Clone)]
+pub struct SearchRequest {
+    /// Query vector.
+    pub vector: Vec<f32>,
+    /// Number of results.
+    pub k: usize,
+    /// HNSW beam width (defaults to the collection's `ef_search`).
+    pub ef: Option<usize>,
+    /// Payload filter (conjunctive), if any.
+    pub filter: Option<vq_core::payload::Filter>,
+    /// Attach payloads to results.
+    pub with_payload: bool,
+}
+
+/// Recommendation request: find points similar to positive examples and
+/// dissimilar from negative ones (the API RAG pipelines use for
+/// "more like these papers, less like those").
+#[derive(Debug, Clone)]
+pub struct RecommendRequest {
+    /// Ids of liked examples (must exist; at least one).
+    pub positives: Vec<vq_core::PointId>,
+    /// Ids of disliked examples.
+    pub negatives: Vec<vq_core::PointId>,
+    /// Number of results (examples themselves are excluded).
+    pub k: usize,
+    /// HNSW beam width (defaults to the collection's `ef_search`).
+    pub ef: Option<usize>,
+    /// Payload filter, if any.
+    pub filter: Option<vq_core::payload::Filter>,
+    /// Attach payloads to results.
+    pub with_payload: bool,
+}
+
+impl RecommendRequest {
+    /// Recommend `k` points near the given positive examples.
+    pub fn new(positives: Vec<vq_core::PointId>, k: usize) -> Self {
+        RecommendRequest {
+            positives,
+            negatives: Vec::new(),
+            k,
+            ef: None,
+            filter: None,
+            with_payload: false,
+        }
+    }
+
+    /// Add negative examples.
+    pub fn negatives(mut self, negatives: Vec<vq_core::PointId>) -> Self {
+        self.negatives = negatives;
+        self
+    }
+
+    /// Set the beam width.
+    pub fn ef(mut self, ef: usize) -> Self {
+        self.ef = Some(ef);
+        self
+    }
+
+    /// Set a payload filter.
+    pub fn filter(mut self, filter: vq_core::payload::Filter) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// Request payloads with results.
+    pub fn with_payload(mut self) -> Self {
+        self.with_payload = true;
+        self
+    }
+
+    /// Combine example vectors into the search target using the
+    /// average-vector strategy: `avg(pos)` alone, or
+    /// `avg(pos) + (avg(pos) − avg(neg))` when negatives are present.
+    pub fn target_vector(
+        positives: &[Vec<f32>],
+        negatives: &[Vec<f32>],
+    ) -> vq_core::VqResult<Vec<f32>> {
+        let pos_refs: Vec<&[f32]> = positives.iter().map(Vec::as_slice).collect();
+        let avg_pos = vq_core::vector::mean_vector(&pos_refs).ok_or_else(|| {
+            vq_core::VqError::InvalidRequest("recommend needs at least one positive".into())
+        })?;
+        if negatives.is_empty() {
+            return Ok(avg_pos);
+        }
+        let neg_refs: Vec<&[f32]> = negatives.iter().map(Vec::as_slice).collect();
+        let avg_neg =
+            vq_core::vector::mean_vector(&neg_refs).expect("non-empty negatives");
+        Ok(avg_pos
+            .iter()
+            .zip(&avg_neg)
+            .map(|(&p, &n)| p + (p - n))
+            .collect())
+    }
+}
+
+impl SearchRequest {
+    /// Plain top-`k` request.
+    pub fn new(vector: Vec<f32>, k: usize) -> Self {
+        SearchRequest {
+            vector,
+            k,
+            ef: None,
+            filter: None,
+            with_payload: false,
+        }
+    }
+
+    /// Set the beam width.
+    pub fn ef(mut self, ef: usize) -> Self {
+        self.ef = Some(ef);
+        self
+    }
+
+    /// Set a payload filter.
+    pub fn filter(mut self, filter: vq_core::payload::Filter) -> Self {
+        self.filter = Some(filter);
+        self
+    }
+
+    /// Request payloads with results.
+    pub fn with_payload(mut self) -> Self {
+        self.with_payload = true;
+        self
+    }
+}

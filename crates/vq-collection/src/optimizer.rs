@@ -1,0 +1,121 @@
+//! Background optimizer thread.
+//!
+//! Qdrant builds indexes "in the background" while data streams in — the
+//! paper calls this out as one reason insertion throughput is below wire
+//! speed (§3.2: "Qdrant is storing the data, optimizing the data layout
+//! [...] and building indexes in the background"). The
+//! [`OptimizerThread`] reproduces that behaviour: it repeatedly calls
+//! [`LocalCollection::optimize_once`] on its own OS thread until asked to
+//! stop, competing with foreground inserts for CPU exactly like the real
+//! system.
+
+use crate::collection::LocalCollection;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Handle to a running optimizer thread.
+pub struct OptimizerThread {
+    stop: Arc<AtomicBool>,
+    passes: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl OptimizerThread {
+    /// Spawn an optimizer over `collection`, polling with `idle_backoff`
+    /// between passes that found no work.
+    pub fn spawn(collection: Arc<LocalCollection>, idle_backoff: Duration) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let passes = Arc::new(AtomicU64::new(0));
+        let stop2 = stop.clone();
+        let passes2 = passes.clone();
+        let handle = std::thread::Builder::new()
+            .name("vq-optimizer".into())
+            .spawn(move || {
+                while !stop2.load(Ordering::Relaxed) {
+                    let worked = collection.optimize_once().unwrap_or(false);
+                    passes2.fetch_add(1, Ordering::Relaxed);
+                    if !worked {
+                        std::thread::sleep(idle_backoff);
+                    }
+                }
+            })
+            .expect("spawn optimizer thread");
+        OptimizerThread {
+            stop,
+            passes,
+            handle: Some(handle),
+        }
+    }
+
+    /// Passes executed so far.
+    pub fn passes(&self) -> u64 {
+        self.passes.load(Ordering::Relaxed)
+    }
+
+    /// Stop and join the thread.
+    pub fn shutdown(mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for OptimizerThread {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CollectionConfig;
+    use vq_core::{Distance, Point};
+
+    #[test]
+    fn background_indexing_catches_up() {
+        let config = CollectionConfig::new(2, Distance::Euclid).max_segment_points(50);
+        let collection = Arc::new(LocalCollection::new(config));
+        let optimizer = OptimizerThread::spawn(collection.clone(), Duration::from_millis(1));
+        for i in 0..500u64 {
+            collection
+                .upsert(Point::new(i, vec![i as f32, 0.0]))
+                .unwrap();
+        }
+        // Wait (bounded) for the optimizer to index every sealed segment.
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        loop {
+            let stats = collection.stats();
+            if stats.indexed_segments == stats.sealed_segments && stats.sealed_segments > 0 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "optimizer never caught up: {stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        assert!(optimizer.passes() > 0);
+        optimizer.shutdown();
+        // Data remains correct under concurrent optimization.
+        let hits = collection
+            .search(&crate::SearchRequest::new(vec![123.0, 0.0], 1))
+            .unwrap();
+        assert_eq!(hits[0].id, 123);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent_and_prompt() {
+        let config = CollectionConfig::new(2, Distance::Euclid);
+        let collection = Arc::new(LocalCollection::new(config));
+        let optimizer = OptimizerThread::spawn(collection, Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(10));
+        optimizer.shutdown(); // explicit; Drop path also exercised elsewhere
+    }
+}

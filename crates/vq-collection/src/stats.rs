@@ -1,0 +1,49 @@
+//! Observable collection state.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters describing a [`crate::LocalCollection`]'s current shape.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CollectionStats {
+    /// Total segments (active + sealed).
+    pub segments: usize,
+    /// Sealed segments.
+    pub sealed_segments: usize,
+    /// Segments with an installed HNSW index.
+    pub indexed_segments: usize,
+    /// Live (searchable) points.
+    pub live_points: usize,
+    /// Allocated offsets (live + tombstones).
+    pub total_offsets: usize,
+    /// Offsets covered by an index.
+    pub indexed_points: usize,
+    /// Approximate stored bytes.
+    pub approx_bytes: usize,
+}
+
+impl CollectionStats {
+    /// Fraction of stored offsets served by an index rather than a flat
+    /// scan (1.0 = fully indexed; bulk-upload leaves this at 0 until the
+    /// explicit rebuild).
+    pub fn index_coverage(&self) -> f64 {
+        if self.total_offsets == 0 {
+            0.0
+        } else {
+            self.indexed_points as f64 / self.total_offsets as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coverage_math() {
+        let mut s = CollectionStats::default();
+        assert_eq!(s.index_coverage(), 0.0);
+        s.total_offsets = 100;
+        s.indexed_points = 25;
+        assert!((s.index_coverage() - 0.25).abs() < 1e-12);
+    }
+}

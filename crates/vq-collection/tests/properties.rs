@@ -1,0 +1,182 @@
+//! Property-based tests for collections: arbitrary mutation sequences
+//! against a HashMap reference model, with invariants checked after
+//! optimizer passes.
+
+use proptest::prelude::*;
+use std::collections::HashMap;
+use vq_collection::{CollectionConfig, IndexingPolicy, LocalCollection, SearchRequest};
+use vq_core::{Distance, Point, PointId};
+
+#[derive(Debug, Clone)]
+enum Op {
+    Upsert(PointId, Vec<f32>),
+    Delete(PointId),
+    SealActive,
+    Optimize,
+}
+
+fn arb_op(dim: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        6 => (0u64..40, prop::collection::vec(-10.0f32..10.0, dim))
+            .prop_map(|(id, v)| Op::Upsert(id, v)),
+        2 => (0u64..40).prop_map(Op::Delete),
+        1 => Just(Op::SealActive),
+        1 => Just(Op::Optimize),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn collection_matches_model(
+        ops in prop::collection::vec(arb_op(3), 0..120),
+        seg in 4usize..32
+    ) {
+        let config = CollectionConfig::new(3, Distance::Euclid).max_segment_points(seg);
+        let collection = LocalCollection::new(config);
+        let mut model: HashMap<PointId, Vec<f32>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Upsert(id, v) => {
+                    collection.upsert(Point::new(id, v.clone())).unwrap();
+                    model.insert(id, v);
+                }
+                Op::Delete(id) => {
+                    let ours = collection.delete(id);
+                    let theirs = model.remove(&id);
+                    prop_assert_eq!(ours.is_ok(), theirs.is_some());
+                }
+                Op::SealActive => collection.seal_active(),
+                Op::Optimize => {
+                    collection.optimize_once().unwrap();
+                }
+            }
+            prop_assert_eq!(collection.len(), model.len());
+        }
+        // Every model point is retrievable and correct.
+        for (id, v) in &model {
+            let got = collection.get(*id);
+            prop_assert_eq!(got.as_ref().map(|p| &p.vector), Some(v), "id {}", id);
+        }
+        // Deleted/absent ids are not retrievable.
+        for id in 0..40u64 {
+            if !model.contains_key(&id) {
+                prop_assert_eq!(collection.get(id), None);
+            }
+        }
+    }
+
+    #[test]
+    fn search_returns_only_live_points_sorted(
+        ops in prop::collection::vec(arb_op(3), 1..100),
+        q in prop::collection::vec(-10.0f32..10.0, 3),
+        k in 1usize..15
+    ) {
+        let config = CollectionConfig::new(3, Distance::Euclid).max_segment_points(8);
+        let collection = LocalCollection::new(config);
+        let mut model: HashMap<PointId, Vec<f32>> = HashMap::new();
+        for op in ops {
+            match op {
+                Op::Upsert(id, v) => {
+                    collection.upsert(Point::new(id, v.clone())).unwrap();
+                    model.insert(id, v);
+                }
+                Op::Delete(id) => {
+                    let _ = collection.delete(id);
+                    model.remove(&id);
+                }
+                Op::SealActive => collection.seal_active(),
+                Op::Optimize => {
+                    collection.optimize_once().unwrap();
+                }
+            }
+        }
+        let hits = collection.search(&SearchRequest::new(q.clone(), k).ef(256)).unwrap();
+        prop_assert!(hits.len() <= k);
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score || w[0].id < w[1].id);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for h in &hits {
+            prop_assert!(model.contains_key(&h.id), "dead id {} surfaced", h.id);
+            prop_assert!(seen.insert(h.id), "duplicate id {}", h.id);
+            // Score must match the live copy's true score.
+            let truth = Distance::Euclid.score(&q, &model[&h.id]);
+            prop_assert!((h.score - truth).abs() < 1e-3, "stale vector surfaced for {}", h.id);
+        }
+    }
+
+    #[test]
+    fn prefilter_equals_postfilter_on_any_data(
+        points in prop::collection::vec(
+            (prop::collection::vec(-10.0f32..10.0, 3), 0u8..5),
+            5..150
+        ),
+        q in prop::collection::vec(-10.0f32..10.0, 3),
+        probe_tag in 0u8..5
+    ) {
+        use vq_core::Filter;
+        // Two collections with identical data; one gets its filter
+        // answered via the payload index (tiny segments force HNSW +
+        // prefilter decisions per segment), the other is checked by
+        // brute force over the model.
+        let config = CollectionConfig::new(3, Distance::Euclid).max_segment_points(16);
+        let collection = LocalCollection::new(config);
+        let mut model: Vec<(u64, Vec<f32>, u8)> = Vec::new();
+        for (i, (v, tag)) in points.into_iter().enumerate() {
+            let p = Point::with_payload(
+                i as u64,
+                v.clone(),
+                vq_core::Payload::from_pairs([("tag", tag as i64)]),
+            );
+            collection.upsert(p).unwrap();
+            model.push((i as u64, v, tag));
+        }
+        collection.seal_active();
+        collection.build_all_indexes().unwrap();
+
+        let filter = Filter::must_match("tag", probe_tag as i64);
+        let req = SearchRequest::new(q.clone(), 10).ef(4096).filter(filter);
+        let got: Vec<u64> = collection.search(&req).unwrap().iter().map(|h| h.id).collect();
+
+        let mut expected: Vec<(f32, u64)> = model
+            .iter()
+            .filter(|(_, _, tag)| *tag == probe_tag)
+            .map(|(id, v, _)| (Distance::Euclid.score(&q, v), *id))
+            .collect();
+        expected.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        expected.truncate(10);
+        let expected: Vec<u64> = expected.into_iter().map(|(_, id)| id).collect();
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn full_optimization_preserves_exactness(
+        points in prop::collection::vec(
+            (0u64..1000, prop::collection::vec(-10.0f32..10.0, 4)),
+            1..80
+        ),
+        q in prop::collection::vec(-10.0f32..10.0, 4)
+    ) {
+        // Exact (flat) results before indexing must equal results after
+        // every segment is sealed + indexed, for ef ≥ n (beam covers all).
+        let config = CollectionConfig::new(4, Distance::Euclid)
+            .max_segment_points(16)
+            .indexing(IndexingPolicy::Deferred);
+        let collection = LocalCollection::new(config);
+        let mut dedup = HashMap::new();
+        for (id, v) in points {
+            collection.upsert(Point::new(id, v.clone())).unwrap();
+            dedup.insert(id, v);
+        }
+        let req = SearchRequest::new(q.clone(), 10).ef(4096);
+        let before: Vec<PointId> =
+            collection.search(&req).unwrap().iter().map(|h| h.id).collect();
+        collection.seal_active();
+        collection.build_all_indexes().unwrap();
+        let after: Vec<PointId> =
+            collection.search(&req).unwrap().iter().map(|h| h.id).collect();
+        prop_assert_eq!(before, after);
+    }
+}

@@ -1,0 +1,132 @@
+//! The crate-wide error type.
+//!
+//! `vq` layers (storage, index, collection, cluster, client) all surface
+//! failures through [`VqError`]. The variants are intentionally coarse:
+//! each one corresponds to a category a *caller* could plausibly react to
+//! differently (retry, re-shard, fix the request, give up), rather than to
+//! an internal implementation detail.
+
+use std::fmt;
+
+/// Result alias used across all `vq` crates.
+pub type VqResult<T> = Result<T, VqError>;
+
+/// Error type shared by every `vq` layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VqError {
+    /// A vector had the wrong dimensionality for the target collection.
+    DimensionMismatch {
+        /// Dimension the collection was created with.
+        expected: usize,
+        /// Dimension of the offending vector.
+        got: usize,
+    },
+    /// The requested point id does not exist.
+    PointNotFound(u64),
+    /// The requested collection does not exist.
+    CollectionNotFound(String),
+    /// A collection with this name already exists.
+    CollectionExists(String),
+    /// The requested shard id is not hosted on this worker.
+    ShardNotFound(u32),
+    /// The requested worker/node is not a member of the cluster.
+    NodeNotFound(u32),
+    /// The cluster has no live worker able to serve the request.
+    NoAvailableWorker,
+    /// A request was malformed (empty batch, zero `k`, bad parameter...).
+    InvalidRequest(String),
+    /// Storage-level corruption or an inconsistent WAL record.
+    Corruption(String),
+    /// An index was required but has not been built yet
+    /// (e.g. searching an optimizer-deferred HNSW segment in strict mode).
+    IndexNotBuilt,
+    /// The simulated transport dropped or refused the message.
+    Network(String),
+    /// A simulated device ran out of memory (GPU OOM during embedding).
+    OutOfMemory {
+        /// Device that ran out of memory, e.g. `"gpu:3"`.
+        device: String,
+    },
+    /// The operation timed out (virtual or wall-clock, depending on mode).
+    Timeout,
+    /// The component was asked to do something after shutdown.
+    ShuttingDown,
+    /// Internal invariant violation; indicates a bug in `vq` itself.
+    Internal(String),
+}
+
+impl fmt::Display for VqError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VqError::DimensionMismatch { expected, got } => {
+                write!(f, "dimension mismatch: expected {expected}, got {got}")
+            }
+            VqError::PointNotFound(id) => write!(f, "point {id} not found"),
+            VqError::CollectionNotFound(name) => write!(f, "collection `{name}` not found"),
+            VqError::CollectionExists(name) => write!(f, "collection `{name}` already exists"),
+            VqError::ShardNotFound(id) => write!(f, "shard {id} not hosted on this worker"),
+            VqError::NodeNotFound(id) => write!(f, "node {id} is not a cluster member"),
+            VqError::NoAvailableWorker => write!(f, "no available worker"),
+            VqError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            VqError::Corruption(msg) => write!(f, "storage corruption: {msg}"),
+            VqError::IndexNotBuilt => write!(f, "index not built"),
+            VqError::Network(msg) => write!(f, "network error: {msg}"),
+            VqError::OutOfMemory { device } => write!(f, "out of memory on {device}"),
+            VqError::Timeout => write!(f, "operation timed out"),
+            VqError::ShuttingDown => write!(f, "component is shutting down"),
+            VqError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VqError {}
+
+impl VqError {
+    /// Whether a client could reasonably retry the failed operation
+    /// without modification (transient failures).
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            VqError::Network(_)
+                | VqError::Timeout
+                | VqError::NoAvailableWorker
+                | VqError::OutOfMemory { .. }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = VqError::DimensionMismatch {
+            expected: 2560,
+            got: 768,
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: expected 2560, got 768");
+        assert_eq!(
+            VqError::CollectionNotFound("papers".into()).to_string(),
+            "collection `papers` not found"
+        );
+    }
+
+    #[test]
+    fn retriability_classification() {
+        assert!(VqError::Timeout.is_retriable());
+        assert!(VqError::Network("link down".into()).is_retriable());
+        assert!(VqError::OutOfMemory {
+            device: "gpu:0".into()
+        }
+        .is_retriable());
+        assert!(!VqError::PointNotFound(7).is_retriable());
+        assert!(!VqError::InvalidRequest("k=0".into()).is_retriable());
+    }
+
+    #[test]
+    fn error_trait_object_safe() {
+        let e: Box<dyn std::error::Error> = Box::new(VqError::Timeout);
+        assert_eq!(e.to_string(), "operation timed out");
+    }
+}

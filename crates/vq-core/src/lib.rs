@@ -1,0 +1,37 @@
+//! # vq-core
+//!
+//! Core data types shared by every layer of the `vq` distributed vector
+//! database: dense vectors, distance metrics and their scoring kernels,
+//! point records with payloads, scored search results, dataset sizing math,
+//! deterministic RNG utilities, and the common error type.
+//!
+//! The design mirrors the data model of stateful sharded vector databases
+//! such as Qdrant: a *point* is an `(id, vector, payload)` triple, a
+//! *collection* stores points of a fixed dimensionality under a chosen
+//! [`Distance`] metric, and search returns [`ScoredPoint`]s ordered by
+//! similarity.
+//!
+//! Everything in this crate is deliberately dependency-light and allocation
+//! conscious; the scoring kernels in [`distance`] are the innermost loops of
+//! the whole system and are written to vectorize.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod distance;
+pub mod error;
+pub mod payload;
+pub mod point;
+pub mod rng;
+pub mod size;
+pub mod topk;
+pub mod vector;
+
+pub use distance::{Distance, ScoreKind};
+pub use error::{VqError, VqResult};
+pub use payload::{Filter, Payload, PayloadValue};
+pub use point::{Point, PointId, ScoredPoint};
+pub use rng::{seed_rng, splitmix64, DeterministicSeed};
+pub use size::{DataSize, VectorLayout};
+pub use topk::TopK;
+pub use vector::VectorRef;

@@ -1,0 +1,240 @@
+//! Point payloads: small typed key-value metadata attached to each point.
+//!
+//! Payloads carry application metadata alongside vectors (paper title, BV-BRC
+//! term, corpus offsets...). `vq` supports the payload value kinds that
+//! matter for the workloads in the paper — strings, integers, floats, bools,
+//! and keyword lists — plus simple match-based filtering used by predicated
+//! search.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// A single payload value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PayloadValue {
+    /// UTF-8 string.
+    Str(String),
+    /// Signed integer.
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// List of keywords (e.g. MeSH terms for a paper).
+    Keywords(Vec<String>),
+}
+
+impl PayloadValue {
+    /// Approximate in-memory size in bytes, used by storage accounting.
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            PayloadValue::Str(s) => 24 + s.len(),
+            PayloadValue::Int(_) | PayloadValue::Float(_) => 8,
+            PayloadValue::Bool(_) => 1,
+            PayloadValue::Keywords(ks) => 24 + ks.iter().map(|k| 24 + k.len()).sum::<usize>(),
+        }
+    }
+
+    /// Whether this value "matches" another for filtering purposes.
+    ///
+    /// Scalars match by equality; a `Keywords` list matches a `Str` probe if
+    /// it contains it.
+    pub fn matches(&self, probe: &PayloadValue) -> bool {
+        match (self, probe) {
+            (PayloadValue::Keywords(ks), PayloadValue::Str(s)) => ks.iter().any(|k| k == s),
+            (a, b) => a == b,
+        }
+    }
+}
+
+impl From<&str> for PayloadValue {
+    fn from(s: &str) -> Self {
+        PayloadValue::Str(s.to_owned())
+    }
+}
+impl From<String> for PayloadValue {
+    fn from(s: String) -> Self {
+        PayloadValue::Str(s)
+    }
+}
+impl From<i64> for PayloadValue {
+    fn from(v: i64) -> Self {
+        PayloadValue::Int(v)
+    }
+}
+impl From<f64> for PayloadValue {
+    fn from(v: f64) -> Self {
+        PayloadValue::Float(v)
+    }
+}
+impl From<bool> for PayloadValue {
+    fn from(v: bool) -> Self {
+        PayloadValue::Bool(v)
+    }
+}
+
+/// Ordered key → value payload map.
+///
+/// A `BTreeMap` keeps serialization deterministic (important for WAL replay
+/// equality checks and reproducible snapshots).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Payload(pub BTreeMap<String, PayloadValue>);
+
+impl Payload {
+    /// Empty payload.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Build a payload from `(key, value)` pairs.
+    pub fn from_pairs<K, V, I>(pairs: I) -> Self
+    where
+        K: Into<String>,
+        V: Into<PayloadValue>,
+        I: IntoIterator<Item = (K, V)>,
+    {
+        Payload(
+            pairs
+                .into_iter()
+                .map(|(k, v)| (k.into(), v.into()))
+                .collect(),
+        )
+    }
+
+    /// Insert a value, returning the previous one if present.
+    pub fn insert(
+        &mut self,
+        key: impl Into<String>,
+        value: impl Into<PayloadValue>,
+    ) -> Option<PayloadValue> {
+        self.0.insert(key.into(), value.into())
+    }
+
+    /// Look up a value.
+    pub fn get(&self, key: &str) -> Option<&PayloadValue> {
+        self.0.get(key)
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload has no keys.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Approximate in-memory size in bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.0
+            .iter()
+            .map(|(k, v)| 24 + k.len() + v.approx_bytes())
+            .sum()
+    }
+}
+
+/// A conjunctive payload filter: every condition must match.
+///
+/// This is the "predicated query" support mentioned in the paper's §2.1
+/// footnote — enough to exercise prefiltering paths without reproducing a
+/// full query DSL.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Filter {
+    /// `(key, probe)` pairs; a point matches if for every pair the payload
+    /// has `key` and its value [`PayloadValue::matches`] the probe.
+    pub must: Vec<(String, PayloadValue)>,
+}
+
+impl Filter {
+    /// Filter with a single equality/containment condition.
+    pub fn must_match(key: impl Into<String>, value: impl Into<PayloadValue>) -> Self {
+        Filter {
+            must: vec![(key.into(), value.into())],
+        }
+    }
+
+    /// Add another condition.
+    pub fn and(mut self, key: impl Into<String>, value: impl Into<PayloadValue>) -> Self {
+        self.must.push((key.into(), value.into()));
+        self
+    }
+
+    /// Whether the filter is vacuous (matches everything).
+    pub fn is_empty(&self) -> bool {
+        self.must.is_empty()
+    }
+
+    /// Evaluate the filter against a payload.
+    pub fn matches(&self, payload: &Payload) -> bool {
+        self.must
+            .iter()
+            .all(|(k, probe)| payload.get(k).is_some_and(|v| v.matches(probe)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut p = Payload::new();
+        assert!(p.is_empty());
+        p.insert("title", "On Bacterial Genomes");
+        p.insert("year", 2024i64);
+        assert_eq!(p.len(), 2);
+        assert_eq!(
+            p.get("title"),
+            Some(&PayloadValue::Str("On Bacterial Genomes".into()))
+        );
+        assert_eq!(p.get("missing"), None);
+    }
+
+    #[test]
+    fn from_pairs_builder() {
+        let p = Payload::from_pairs([("a", 1i64), ("b", 2i64)]);
+        assert_eq!(p.get("b"), Some(&PayloadValue::Int(2)));
+    }
+
+    #[test]
+    fn keyword_containment_matches() {
+        let v = PayloadValue::Keywords(vec!["genome".into(), "virus".into()]);
+        assert!(v.matches(&PayloadValue::Str("virus".into())));
+        assert!(!v.matches(&PayloadValue::Str("plasmid".into())));
+    }
+
+    #[test]
+    fn filter_conjunction() {
+        let p = Payload::from_pairs([("corpus", "pes2o")]).tap_year(2023);
+        let f = Filter::must_match("corpus", "pes2o").and("year", 2023i64);
+        assert!(f.matches(&p));
+        let f2 = Filter::must_match("corpus", "pes2o").and("year", 1999i64);
+        assert!(!f2.matches(&p));
+        assert!(Filter::default().matches(&Payload::new()));
+    }
+
+    impl Payload {
+        fn tap_year(mut self, y: i64) -> Self {
+            self.insert("year", y);
+            self
+        }
+    }
+
+    #[test]
+    fn approx_bytes_counts_content() {
+        let small = Payload::from_pairs([("k", "v")]);
+        let big = Payload::from_pairs([("k", "v".repeat(100))]);
+        assert!(big.approx_bytes() > small.approx_bytes() + 90);
+    }
+
+    #[test]
+    fn serde_deterministic_order() {
+        let mut p = Payload::new();
+        p.insert("z", 1i64);
+        p.insert("a", 2i64);
+        let j = serde_json::to_string(&p).unwrap();
+        // BTreeMap serializes keys in sorted order.
+        assert!(j.find("\"a\"").unwrap() < j.find("\"z\"").unwrap());
+    }
+}

@@ -1,0 +1,169 @@
+//! Points and scored search results.
+
+use crate::payload::Payload;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// Identifier of a point within a collection.
+///
+/// `vq` uses dense `u64` ids (Qdrant additionally supports UUIDs; the
+/// workloads in the paper use integer ids, and dense ids let storage use
+/// them as offsets).
+pub type PointId = u64;
+
+/// A point: id + dense vector + payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// Point identifier, unique within its collection.
+    pub id: PointId,
+    /// Dense embedding vector.
+    pub vector: Vec<f32>,
+    /// Application metadata.
+    pub payload: Payload,
+}
+
+impl Point {
+    /// Construct a point with an empty payload.
+    pub fn new(id: PointId, vector: Vec<f32>) -> Self {
+        Point {
+            id,
+            vector,
+            payload: Payload::new(),
+        }
+    }
+
+    /// Construct a point with a payload.
+    pub fn with_payload(id: PointId, vector: Vec<f32>, payload: Payload) -> Self {
+        Point {
+            id,
+            vector,
+            payload,
+        }
+    }
+
+    /// Approximate wire/storage size in bytes: 8 (id) + 4·dim (f32 vector)
+    /// + payload. This is the figure used for "GB of dataset" accounting to
+    /// mirror the paper's ≈80 GB dataset sizing.
+    pub fn approx_bytes(&self) -> usize {
+        8 + 4 * self.vector.len() + self.payload.approx_bytes()
+    }
+}
+
+/// A search hit: point id plus its score (**larger is better**, see
+/// [`crate::Distance::score`]) and optionally the payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScoredPoint {
+    /// Id of the matching point.
+    pub id: PointId,
+    /// Uniform score: larger is more similar, for every metric.
+    pub score: f32,
+    /// Payload, when the request asked for it.
+    pub payload: Option<Payload>,
+}
+
+impl ScoredPoint {
+    /// Construct a scored point without payload.
+    pub fn new(id: PointId, score: f32) -> Self {
+        ScoredPoint {
+            id,
+            score,
+            payload: None,
+        }
+    }
+
+    /// Total ordering: by score descending, ties broken by ascending id so
+    /// results are deterministic across shard merges.
+    pub fn cmp_ranked(&self, other: &Self) -> Ordering {
+        match other.score.partial_cmp(&self.score) {
+            Some(Ordering::Equal) | None => self.id.cmp(&other.id),
+            Some(ord) => ord,
+        }
+    }
+}
+
+/// Merge several per-shard top-k result lists (each already sorted by
+/// [`ScoredPoint::cmp_ranked`]) into a single global top-k.
+///
+/// This is the *reduce* half of the broadcast–reduce query flow: each worker
+/// returns its local top-k and the first-contacted worker merges them.
+pub fn merge_top_k(mut partials: Vec<Vec<ScoredPoint>>, k: usize) -> Vec<ScoredPoint> {
+    // k-way merge via repeated selection is O(k · shards); for the shard
+    // counts here (≤ hundreds) this beats building a heap of cursors.
+    let mut out = Vec::with_capacity(k);
+    let mut cursors = vec![0usize; partials.len()];
+    while out.len() < k {
+        let mut best: Option<usize> = None;
+        for (i, list) in partials.iter().enumerate() {
+            if cursors[i] >= list.len() {
+                continue;
+            }
+            best = match best {
+                None => Some(i),
+                Some(b) => {
+                    if list[cursors[i]].cmp_ranked(&partials[b][cursors[b]]) == Ordering::Less {
+                        Some(i)
+                    } else {
+                        Some(b)
+                    }
+                }
+            };
+        }
+        match best {
+            Some(i) => {
+                out.push(std::mem::replace(
+                    &mut partials[i][cursors[i]],
+                    ScoredPoint::new(0, 0.0),
+                ));
+                cursors[i] += 1;
+            }
+            None => break,
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_size_accounting() {
+        let p = Point::new(1, vec![0.0; 2560]);
+        assert_eq!(p.approx_bytes(), 8 + 4 * 2560);
+    }
+
+    #[test]
+    fn ranked_ordering_desc_score_then_asc_id() {
+        let a = ScoredPoint::new(5, 0.9);
+        let b = ScoredPoint::new(3, 0.7);
+        assert_eq!(a.cmp_ranked(&b), Ordering::Less); // a ranks first
+        let c = ScoredPoint::new(1, 0.9);
+        assert_eq!(c.cmp_ranked(&a), Ordering::Less); // tie → smaller id first
+    }
+
+    #[test]
+    fn merge_two_shards() {
+        let s1 = vec![ScoredPoint::new(1, 0.9), ScoredPoint::new(2, 0.5)];
+        let s2 = vec![ScoredPoint::new(3, 0.8), ScoredPoint::new(4, 0.6)];
+        let merged = merge_top_k(vec![s1, s2], 3);
+        let ids: Vec<_> = merged.iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![1, 3, 4]);
+    }
+
+    #[test]
+    fn merge_handles_short_lists_and_empty() {
+        let merged = merge_top_k(vec![vec![], vec![ScoredPoint::new(9, 1.0)]], 5);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(merged[0].id, 9);
+        assert!(merge_top_k(vec![], 5).is_empty());
+    }
+
+    #[test]
+    fn merge_is_deterministic_on_ties() {
+        let s1 = vec![ScoredPoint::new(7, 0.5)];
+        let s2 = vec![ScoredPoint::new(2, 0.5)];
+        let merged = merge_top_k(vec![s1, s2], 2);
+        assert_eq!(merged[0].id, 2);
+        assert_eq!(merged[1].id, 7);
+    }
+}

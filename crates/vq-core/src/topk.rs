@@ -1,0 +1,167 @@
+//! Bounded top-k collector.
+//!
+//! Used by every search path (flat scan, HNSW beam, IVF probe) to keep the
+//! best `k` candidates seen so far. Implemented as a binary min-heap on
+//! score: the root is the *worst* retained candidate, so `offer` is O(1)
+//! for the common case of a candidate worse than the current floor.
+
+use crate::point::ScoredPoint;
+use std::cmp::Ordering;
+
+/// Wrapper giving `ScoredPoint` the reversed ordering a min-heap needs.
+#[derive(Debug, Clone)]
+struct MinByScore(ScoredPoint);
+
+impl PartialEq for MinByScore {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for MinByScore {}
+impl PartialOrd for MinByScore {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for MinByScore {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap and `cmp_ranked` orders better points
+        // as `Less`, so using the ranked order directly puts the
+        // lowest-ranked (worst) retained point at the root.
+        self.0.cmp_ranked(&other.0)
+    }
+}
+
+/// A bounded collector retaining the `k` best-scored points.
+#[derive(Debug)]
+pub struct TopK {
+    k: usize,
+    heap: std::collections::BinaryHeap<MinByScore>,
+}
+
+impl TopK {
+    /// New collector for the best `k` points. `k == 0` collects nothing.
+    pub fn new(k: usize) -> Self {
+        TopK {
+            k,
+            heap: std::collections::BinaryHeap::with_capacity(k + 1),
+        }
+    }
+
+    /// Offer a candidate; it is retained iff it ranks among the best `k`
+    /// seen so far. Returns `true` if it was retained.
+    pub fn offer(&mut self, candidate: ScoredPoint) -> bool {
+        if self.k == 0 {
+            return false;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(MinByScore(candidate));
+            return true;
+        }
+        // Full: compare against the current floor.
+        let floor = self.heap.peek().expect("non-empty");
+        if candidate.cmp_ranked(&floor.0) == Ordering::Less {
+            self.heap.pop();
+            self.heap.push(MinByScore(candidate));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Current number of retained points.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The score a candidate must beat to be retained, once full.
+    /// `None` while fewer than `k` points are held.
+    pub fn floor_score(&self) -> Option<f32> {
+        if self.heap.len() < self.k {
+            None
+        } else {
+            self.heap.peek().map(|m| m.0.score)
+        }
+    }
+
+    /// Consume the collector, returning points sorted best-first.
+    pub fn into_sorted(self) -> Vec<ScoredPoint> {
+        let mut v: Vec<ScoredPoint> = self.heap.into_iter().map(|m| m.0).collect();
+        v.sort_by(|a, b| a.cmp_ranked(b));
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_best_k() {
+        let mut t = TopK::new(3);
+        for (id, score) in [(1, 0.1), (2, 0.9), (3, 0.5), (4, 0.7), (5, 0.3)] {
+            t.offer(ScoredPoint::new(id, score));
+        }
+        let ids: Vec<_> = t.into_sorted().iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![2, 4, 3]);
+    }
+
+    #[test]
+    fn k_zero_collects_nothing() {
+        let mut t = TopK::new(0);
+        assert!(!t.offer(ScoredPoint::new(1, 1.0)));
+        assert!(t.is_empty());
+        assert!(t.into_sorted().is_empty());
+    }
+
+    #[test]
+    fn floor_score_available_when_full() {
+        let mut t = TopK::new(2);
+        assert_eq!(t.floor_score(), None);
+        t.offer(ScoredPoint::new(1, 0.5));
+        assert_eq!(t.floor_score(), None);
+        t.offer(ScoredPoint::new(2, 0.8));
+        assert_eq!(t.floor_score(), Some(0.5));
+        t.offer(ScoredPoint::new(3, 0.9));
+        assert_eq!(t.floor_score(), Some(0.8));
+    }
+
+    #[test]
+    fn rejects_below_floor() {
+        let mut t = TopK::new(1);
+        assert!(t.offer(ScoredPoint::new(1, 0.9)));
+        assert!(!t.offer(ScoredPoint::new(2, 0.1)));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn ties_prefer_smaller_id() {
+        let mut t = TopK::new(1);
+        t.offer(ScoredPoint::new(10, 0.5));
+        t.offer(ScoredPoint::new(2, 0.5));
+        let out = t.into_sorted();
+        assert_eq!(out[0].id, 2);
+    }
+
+    #[test]
+    fn matches_full_sort_on_random_input() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(42);
+        let pts: Vec<ScoredPoint> = (0..500)
+            .map(|i| ScoredPoint::new(i, rng.gen_range(-1.0..1.0)))
+            .collect();
+        let mut t = TopK::new(25);
+        for p in &pts {
+            t.offer(p.clone());
+        }
+        let mut sorted = pts.clone();
+        sorted.sort_by(|a, b| a.cmp_ranked(b));
+        sorted.truncate(25);
+        assert_eq!(t.into_sorted(), sorted);
+    }
+}

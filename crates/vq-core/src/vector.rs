@@ -1,0 +1,152 @@
+//! Dense vector utilities.
+//!
+//! Vectors are stored as plain `Vec<f32>` / `&[f32]` throughout `vq`; this
+//! module provides the small amount of structure we want on top: dimension
+//! checks, L2 normalization (needed for cosine collections, which — like
+//! Qdrant — normalize on ingest so queries reduce to dot products), and a
+//! cheap borrowed view type used at API boundaries.
+
+use crate::error::{VqError, VqResult};
+
+/// A borrowed dense vector with its dimensionality made explicit.
+///
+/// This is a zero-cost wrapper used at API boundaries so signatures say
+/// "vector" instead of "slice of floats", and so dimension validation has
+/// one canonical home.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VectorRef<'a>(pub &'a [f32]);
+
+impl<'a> VectorRef<'a> {
+    /// Dimensionality of the vector.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Validate this vector against an expected collection dimension.
+    #[inline]
+    pub fn check_dim(&self, expected: usize) -> VqResult<()> {
+        if self.0.len() == expected {
+            Ok(())
+        } else {
+            Err(VqError::DimensionMismatch {
+                expected,
+                got: self.0.len(),
+            })
+        }
+    }
+
+    /// Access the underlying slice.
+    #[inline]
+    pub fn as_slice(&self) -> &'a [f32] {
+        self.0
+    }
+}
+
+impl<'a> From<&'a [f32]> for VectorRef<'a> {
+    fn from(s: &'a [f32]) -> Self {
+        VectorRef(s)
+    }
+}
+
+impl<'a> From<&'a Vec<f32>> for VectorRef<'a> {
+    fn from(v: &'a Vec<f32>) -> Self {
+        VectorRef(v.as_slice())
+    }
+}
+
+/// Squared L2 norm of `v`.
+#[inline]
+pub fn norm_squared(v: &[f32]) -> f32 {
+    crate::distance::dot(v, v)
+}
+
+/// L2 norm of `v`.
+#[inline]
+pub fn norm(v: &[f32]) -> f32 {
+    norm_squared(v).sqrt()
+}
+
+/// Normalize `v` in place to unit L2 length.
+///
+/// A zero vector is left untouched (there is no meaningful direction to
+/// preserve, and cosine similarity against it is undefined anyway); callers
+/// that care should check [`norm`] first.
+pub fn normalize_in_place(v: &mut [f32]) {
+    let n = norm(v);
+    if n > f32::EPSILON {
+        let inv = 1.0 / n;
+        for x in v.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+/// Return a normalized copy of `v`.
+pub fn normalized(v: &[f32]) -> Vec<f32> {
+    let mut out = v.to_vec();
+    normalize_in_place(&mut out);
+    out
+}
+
+/// Mean of a set of equal-dimension vectors; used by IVF (k-means) training.
+///
+/// Returns `None` for an empty input.
+pub fn mean_vector(vectors: &[&[f32]]) -> Option<Vec<f32>> {
+    let first = vectors.first()?;
+    let dim = first.len();
+    let mut acc = vec![0.0f64; dim];
+    for v in vectors {
+        debug_assert_eq!(v.len(), dim);
+        for (a, &x) in acc.iter_mut().zip(v.iter()) {
+            *a += x as f64;
+        }
+    }
+    let inv = 1.0 / vectors.len() as f64;
+    Some(acc.into_iter().map(|a| (a * inv) as f32).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dim_check() {
+        let v = vec![1.0, 2.0, 3.0];
+        let r = VectorRef::from(&v);
+        assert_eq!(r.dim(), 3);
+        assert!(r.check_dim(3).is_ok());
+        assert_eq!(
+            r.check_dim(4),
+            Err(VqError::DimensionMismatch {
+                expected: 4,
+                got: 3
+            })
+        );
+    }
+
+    #[test]
+    fn normalize_unit_length() {
+        let mut v = vec![3.0, 4.0];
+        normalize_in_place(&mut v);
+        assert!((norm(&v) - 1.0).abs() < 1e-6);
+        assert!((v[0] - 0.6).abs() < 1e-6);
+        assert!((v[1] - 0.8).abs() < 1e-6);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = vec![0.0; 8];
+        normalize_in_place(&mut v);
+        assert_eq!(v, vec![0.0; 8]);
+    }
+
+    #[test]
+    fn mean_of_vectors() {
+        let a = [1.0f32, 2.0];
+        let b = [3.0f32, 6.0];
+        let m = mean_vector(&[&a, &b]).unwrap();
+        assert_eq!(m, vec![2.0, 4.0]);
+        assert!(mean_vector(&[]).is_none());
+    }
+}

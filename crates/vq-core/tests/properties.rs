@@ -1,0 +1,161 @@
+//! Property-based tests for the core types.
+
+use proptest::prelude::*;
+use vq_core::distance::{cosine, dot, l1, l2_squared};
+use vq_core::point::merge_top_k;
+use vq_core::{Distance, Payload, PayloadValue, ScoredPoint, TopK};
+
+fn vec_pair(dim: usize) -> impl Strategy<Value = (Vec<f32>, Vec<f32>)> {
+    let elem = -100.0f32..100.0f32;
+    (
+        prop::collection::vec(elem.clone(), dim),
+        prop::collection::vec(elem, dim),
+    )
+}
+
+proptest! {
+    #[test]
+    fn dot_is_symmetric((a, b) in vec_pair(37)) {
+        let ab = dot(&a, &b);
+        let ba = dot(&b, &a);
+        prop_assert!((ab - ba).abs() <= 1e-3 * (1.0 + ab.abs()));
+    }
+
+    #[test]
+    fn l2_is_symmetric_and_nonnegative((a, b) in vec_pair(29)) {
+        let ab = l2_squared(&a, &b);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - l2_squared(&b, &a)).abs() <= 1e-2 * (1.0 + ab));
+        prop_assert_eq!(l2_squared(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn l1_triangle_inequality((a, b) in vec_pair(16), c in prop::collection::vec(-100.0f32..100.0, 16)) {
+        let ab = l1(&a, &b);
+        let bc = l1(&b, &c);
+        let ac = l1(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-2 * (1.0 + ab + bc));
+    }
+
+    #[test]
+    fn cosine_bounded((a, b) in vec_pair(24)) {
+        let c = cosine(&a, &b);
+        prop_assert!((-1.0 - 1e-4..=1.0 + 1e-4).contains(&c), "cosine {c}");
+    }
+
+    #[test]
+    fn scores_rank_identically_to_raw_metrics((q, x) in vec_pair(12), y in prop::collection::vec(-100.0f32..100.0, 12)) {
+        // For distance-like metrics: smaller raw distance ⇔ larger score.
+        for metric in [Distance::Euclid, Distance::Manhattan] {
+            let (rx, ry) = (metric.raw(&q, &x), metric.raw(&q, &y));
+            let (sx, sy) = (metric.score(&q, &x), metric.score(&q, &y));
+            if rx + 1e-3 < ry {
+                prop_assert!(sx > sy, "{metric}: raw {rx} < {ry} but score {sx} <= {sy}");
+            }
+        }
+    }
+
+    #[test]
+    fn topk_matches_full_sort(
+        scores in prop::collection::vec(-1000.0f32..1000.0, 0..200),
+        k in 0usize..32
+    ) {
+        let pts: Vec<ScoredPoint> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| ScoredPoint::new(i as u64, s))
+            .collect();
+        let mut top = TopK::new(k);
+        for p in &pts {
+            top.offer(p.clone());
+        }
+        let got = top.into_sorted();
+        let mut want = pts;
+        want.sort_by(|a, b| a.cmp_ranked(b));
+        want.truncate(k);
+        prop_assert_eq!(got, want);
+    }
+
+    #[test]
+    fn merge_top_k_equals_global_sort(
+        lists in prop::collection::vec(
+            prop::collection::vec((-1000i32..1000, 0u64..10_000), 0..30),
+            0..6
+        ),
+        k in 1usize..20
+    ) {
+        // Build per-list sorted inputs with unique ids.
+        let mut next_id = 0u64;
+        let lists: Vec<Vec<ScoredPoint>> = lists
+            .into_iter()
+            .map(|l| {
+                let mut v: Vec<ScoredPoint> = l
+                    .into_iter()
+                    .map(|(s, _)| {
+                        next_id += 1;
+                        ScoredPoint::new(next_id, s as f32)
+                    })
+                    .collect();
+                v.sort_by(|a, b| a.cmp_ranked(b));
+                v
+            })
+            .collect();
+        let mut all: Vec<ScoredPoint> = lists.iter().flatten().cloned().collect();
+        all.sort_by(|a, b| a.cmp_ranked(b));
+        all.truncate(k);
+        let merged = merge_top_k(lists, k);
+        prop_assert_eq!(merged, all);
+    }
+
+    #[test]
+    fn payload_filter_conjunction_semantics(
+        kv in prop::collection::btree_map("[a-c]", -3i64..3, 0..4),
+        probe_key in "[a-c]",
+        probe_val in -3i64..3
+    ) {
+        let payload = Payload::from_pairs(kv.clone());
+        let f = vq_core::Filter::must_match(probe_key.clone(), probe_val);
+        let expected = kv.get(&probe_key) == Some(&probe_val);
+        prop_assert_eq!(f.matches(&payload), expected);
+    }
+
+    #[test]
+    fn payload_bytes_monotone_under_insert(
+        base in prop::collection::btree_map("[a-z]{1,4}", any::<bool>(), 0..5),
+        key in "[a-z]{5,8}",
+        val in ".*"
+    ) {
+        let mut p = Payload::from_pairs(base);
+        let before = p.approx_bytes();
+        p.insert(key, PayloadValue::Str(val));
+        prop_assert!(p.approx_bytes() >= before);
+    }
+
+    #[test]
+    fn normalize_produces_unit_or_zero(v in prop::collection::vec(-50.0f32..50.0, 1..64)) {
+        let n = vq_core::vector::normalized(&v);
+        let len = vq_core::vector::norm(&n);
+        let orig = vq_core::vector::norm(&v);
+        if orig > 1e-6 {
+            prop_assert!((len - 1.0).abs() < 1e-3, "norm {len}");
+        } else {
+            prop_assert!(len <= orig + 1e-6);
+        }
+    }
+
+    #[test]
+    fn seed_streams_never_collide_trivially(root in any::<u64>(), s1 in 0u64..1000, s2 in 0u64..1000) {
+        prop_assume!(s1 != s2);
+        let seed = vq_core::DeterministicSeed(root);
+        prop_assert_ne!(seed.stream(s1), seed.stream(s2));
+    }
+
+    #[test]
+    fn size_roundtrip(gb in 1u64..200) {
+        use vq_core::{DataSize, VectorLayout};
+        let n = DataSize::gb(gb).vectors(VectorLayout::QWEN3_4B);
+        let bytes = VectorLayout::QWEN3_4B.bytes_for(n);
+        prop_assert!(bytes <= DataSize::gb(gb).0);
+        prop_assert!(DataSize::gb(gb).0 - bytes < VectorLayout::QWEN3_4B.bytes_per_vector());
+    }
+}

@@ -1,0 +1,173 @@
+//! The micro-batch packing heuristic.
+//!
+//! §3.1: "Each GPU uses a simple heuristic — based on limits for total
+//! characters and the number of papers per batch — to determine how many
+//! papers to process in each batch. [...] we define each batch as 4,000
+//! papers and set the total batch character limit and maximum batch size
+//! to 150,000 and 8, respectively."
+//!
+//! Greedy first-fit in arrival order: a paper joins the open micro-batch
+//! unless it would exceed the character cap or the paper cap, in which
+//! case the open batch closes and a new one starts. A paper larger than
+//! the cap by itself becomes a singleton batch (it cannot be split — the
+//! pipeline guarantees "no possibility of truncated papers").
+
+use serde::{Deserialize, Serialize};
+use vq_workload::PaperMeta;
+
+/// Packing limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BatchingHeuristic {
+    /// Total characters allowed per micro-batch.
+    pub char_limit: u64,
+    /// Papers allowed per micro-batch.
+    pub max_papers: usize,
+}
+
+impl Default for BatchingHeuristic {
+    fn default() -> Self {
+        // The paper's tuned values.
+        BatchingHeuristic {
+            char_limit: 150_000,
+            max_papers: 8,
+        }
+    }
+}
+
+/// One packed micro-batch.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MicroBatch {
+    /// Paper ids in the batch.
+    pub papers: Vec<u64>,
+    /// Total characters.
+    pub chars: u64,
+}
+
+impl MicroBatch {
+    /// Paper count.
+    pub fn len(&self) -> usize {
+        self.papers.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.papers.is_empty()
+    }
+}
+
+impl BatchingHeuristic {
+    /// Pack papers (in order) into micro-batches.
+    pub fn pack(&self, papers: &[PaperMeta]) -> Vec<MicroBatch> {
+        let mut out = Vec::new();
+        let mut open = MicroBatch {
+            papers: Vec::new(),
+            chars: 0,
+        };
+        for p in papers {
+            let would_overflow = !open.is_empty()
+                && (open.chars + p.chars > self.char_limit || open.len() >= self.max_papers);
+            if would_overflow {
+                out.push(std::mem::replace(
+                    &mut open,
+                    MicroBatch {
+                        papers: Vec::new(),
+                        chars: 0,
+                    },
+                ));
+            }
+            open.papers.push(p.id);
+            open.chars += p.chars;
+            // A single paper over the cap leaves as its own batch
+            // immediately (nothing else can join it anyway).
+            if open.chars > self.char_limit {
+                out.push(std::mem::replace(
+                    &mut open,
+                    MicroBatch {
+                        papers: Vec::new(),
+                        chars: 0,
+                    },
+                ));
+            }
+        }
+        if !open.is_empty() {
+            out.push(open);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper(id: u64, chars: u64) -> PaperMeta {
+        PaperMeta {
+            id,
+            chars,
+            topic: 0,
+            year: 2020,
+        }
+    }
+
+    #[test]
+    fn respects_char_limit() {
+        let h = BatchingHeuristic {
+            char_limit: 100,
+            max_papers: 8,
+        };
+        let papers: Vec<_> = (0..6).map(|i| paper(i, 40)).collect();
+        let batches = h.pack(&papers);
+        // 40+40 = 80 fits, +40 = 120 doesn't → pairs.
+        assert_eq!(batches.len(), 3);
+        for b in &batches {
+            assert!(b.chars <= 100);
+            assert_eq!(b.len(), 2);
+        }
+    }
+
+    #[test]
+    fn respects_paper_limit() {
+        let h = BatchingHeuristic {
+            char_limit: 1_000_000,
+            max_papers: 8,
+        };
+        let papers: Vec<_> = (0..20).map(|i| paper(i, 10)).collect();
+        let batches = h.pack(&papers);
+        assert_eq!(batches.len(), 3); // 8 + 8 + 4
+        assert_eq!(batches[0].len(), 8);
+        assert_eq!(batches[2].len(), 4);
+    }
+
+    #[test]
+    fn oversized_paper_is_singleton() {
+        let h = BatchingHeuristic::default();
+        let papers = vec![paper(0, 50_000), paper(1, 400_000), paper(2, 50_000)];
+        let batches = h.pack(&papers);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[1].papers, vec![1]);
+        assert_eq!(batches[1].chars, 400_000);
+        // Order preserved, nothing lost or truncated.
+        let all: Vec<u64> = batches.iter().flat_map(|b| b.papers.clone()).collect();
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn covers_everything_exactly_once() {
+        let h = BatchingHeuristic::default();
+        let corpus = vq_workload::CorpusSpec::small(5000);
+        let papers: Vec<_> = corpus.papers_in(0..2000).collect();
+        let batches = h.pack(&papers);
+        let mut ids: Vec<u64> = batches.iter().flat_map(|b| b.papers.clone()).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..2000).collect::<Vec<_>>());
+        for b in &batches {
+            assert!(b.len() <= 8);
+            assert!(b.chars <= 150_000 || b.len() == 1, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        assert!(BatchingHeuristic::default().pack(&[]).is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! The adaptive pipeline orchestrator.
+//!
+//! §3.1: "we design an adaptive pipeline overseen by an orchestrator.
+//! Based on user-controlled parameters, the orchestrator batches the
+//! input text into single-node jobs to minimize queue wait time and
+//! monitors a user-defined set of queues. As availability within a queue
+//! opens, the orchestrator submits the next batch. The orchestrator can
+//! be paused and resumed as needed."
+//!
+//! The orchestrator runs on the discrete-event engine against PBS-like
+//! [`JobQueue`]s; each job's internal phase times come from the
+//! [`EmbeddingJob`] cost model. The result aggregates to Table 2.
+
+use crate::heuristic::BatchingHeuristic;
+use crate::job::{EmbeddingJob, JobCosts, JobReport};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::rc::Rc;
+use vq_core::DeterministicSeed;
+use vq_hpc::{Engine, JobQueue, NodeSpec, SimDuration, SimTime};
+use vq_workload::CorpusSpec;
+
+/// Orchestrator parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OrchestratorConfig {
+    /// Papers per single-node job (the paper uses ≈4,000).
+    pub papers_per_job: u64,
+    /// Max jobs the orchestrator keeps in flight per queue.
+    pub jobs_per_queue: usize,
+    /// Phase cost model.
+    pub costs: JobCosts,
+    /// Micro-batch packing limits.
+    pub heuristic: BatchingHeuristic,
+    /// Root seed.
+    pub seed: DeterministicSeed,
+}
+
+impl Default for OrchestratorConfig {
+    fn default() -> Self {
+        OrchestratorConfig {
+            papers_per_job: 4000,
+            jobs_per_queue: 4,
+            costs: JobCosts::default(),
+            heuristic: BatchingHeuristic::default(),
+            seed: DeterministicSeed::default(),
+        }
+    }
+}
+
+/// Aggregated pipeline outcome (Table 2 plus wall time).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineReport {
+    /// Per-job reports, in completion order.
+    pub jobs: Vec<JobReport>,
+    /// Virtual completion instant of each job in [`Self::jobs`] order,
+    /// seconds since campaign start (drives downstream-overlap studies).
+    pub completions_secs: Vec<f64>,
+    /// Virtual wall time from first submission to last completion.
+    pub wall_secs: f64,
+}
+
+impl PipelineReport {
+    /// Mean of a per-job field.
+    fn mean(&self, f: impl Fn(&JobReport) -> f64) -> f64 {
+        if self.jobs.is_empty() {
+            return 0.0;
+        }
+        self.jobs.iter().map(&f).sum::<f64>() / self.jobs.len() as f64
+    }
+
+    /// Std-dev of a per-job field.
+    fn std(&self, f: impl Fn(&JobReport) -> f64) -> f64 {
+        if self.jobs.len() < 2 {
+            return 0.0;
+        }
+        let m = self.mean(&f);
+        (self.jobs.iter().map(|j| (f(j) - m).powi(2)).sum::<f64>()
+            / (self.jobs.len() - 1) as f64)
+            .sqrt()
+    }
+
+    /// Mean model-loading seconds (Table 2, column 1).
+    pub fn mean_model_load(&self) -> f64 {
+        self.mean(|j| j.model_load_secs)
+    }
+
+    /// Mean I/O seconds (Table 2, column 2).
+    pub fn mean_io(&self) -> f64 {
+        self.mean(|j| j.io_secs)
+    }
+
+    /// Mean inference seconds (Table 2, column 3).
+    pub fn mean_inference(&self) -> f64 {
+        self.mean(|j| j.inference_secs)
+    }
+
+    /// Mean ± std of total job runtime (the paper's 2,417.84 ± 113.92 s).
+    pub fn total_mean_std(&self) -> (f64, f64) {
+        (self.mean(JobReport::total_secs), self.std(JobReport::total_secs))
+    }
+
+    /// Inference share of total runtime (the paper's 98.5 %).
+    pub fn inference_fraction(&self) -> f64 {
+        let total = self.mean(JobReport::total_secs);
+        if total == 0.0 {
+            0.0
+        } else {
+            self.mean_inference() / total
+        }
+    }
+
+    /// Fraction of papers processed sequentially (paper: < 0.10 %).
+    pub fn sequential_fraction(&self) -> f64 {
+        let papers: u64 = self.jobs.iter().map(|j| j.papers).sum();
+        let seq: u64 = self.jobs.iter().map(|j| j.sequential_papers).sum();
+        if papers == 0 {
+            0.0
+        } else {
+            seq as f64 / papers as f64
+        }
+    }
+}
+
+/// The orchestrator.
+pub struct Orchestrator {
+    config: OrchestratorConfig,
+    corpus: CorpusSpec,
+    node: NodeSpec,
+}
+
+impl Orchestrator {
+    /// New orchestrator over a corpus and node type.
+    pub fn new(config: OrchestratorConfig, corpus: CorpusSpec, node: NodeSpec) -> Self {
+        Orchestrator {
+            config,
+            corpus,
+            node,
+        }
+    }
+
+    /// Embed papers `range` using the given queues. `pause_between`
+    /// optionally pauses the orchestrator after every submission wave
+    /// (exercising the pause/resume capability; `None` = run freely).
+    pub fn run(
+        &self,
+        queues: &[JobQueue],
+        range: std::ops::Range<u64>,
+        pause_between: Option<SimDuration>,
+    ) -> PipelineReport {
+        assert!(!queues.is_empty(), "need at least one queue");
+        let mut engine = Engine::new();
+        let reports: Rc<RefCell<Vec<(JobReport, f64)>>> = Rc::new(RefCell::new(Vec::new()));
+        let last_done: Rc<RefCell<SimTime>> = Rc::new(RefCell::new(SimTime::ZERO));
+
+        // Slice the range into jobs.
+        let mut jobs: Vec<EmbeddingJob> = Vec::new();
+        let mut start = range.start;
+        let mut id = 0;
+        while start < range.end {
+            let end = (start + self.config.papers_per_job).min(range.end);
+            jobs.push(EmbeddingJob {
+                id,
+                papers: start..end,
+            });
+            id += 1;
+            start = end;
+        }
+
+        // Submission waves: keep up to `jobs_per_queue` in flight per
+        // queue; submit the next job whenever one completes ("as
+        // availability within a queue opens, the orchestrator submits the
+        // next batch").
+        let pending: Rc<RefCell<std::collections::VecDeque<EmbeddingJob>>> =
+            Rc::new(RefCell::new(jobs.into_iter().collect()));
+
+        // Pre-compute job runtimes lazily at submission (cost model).
+        let corpus = self.corpus;
+        let node = self.node;
+        let cfg = self.config;
+
+        fn submit_next(
+            engine: &mut Engine,
+            queue: &JobQueue,
+            pending: &Rc<RefCell<std::collections::VecDeque<EmbeddingJob>>>,
+            reports: &Rc<RefCell<Vec<(JobReport, f64)>>>,
+            last_done: &Rc<RefCell<SimTime>>,
+            corpus: CorpusSpec,
+            node: NodeSpec,
+            cfg: OrchestratorConfig,
+            delay: SimDuration,
+        ) {
+            let Some(job) = pending.borrow_mut().pop_front() else {
+                return;
+            };
+            let report = job.run(&corpus, &node, cfg.heuristic, cfg.costs, cfg.seed);
+            let runtime = SimDuration::from_secs_f64(report.total_secs());
+            let queue2 = queue.clone();
+            let pending = pending.clone();
+            let reports = reports.clone();
+            let last_done = last_done.clone();
+            let submit = move |e: &mut Engine| {
+                let q_for_next = queue2.clone();
+                let pending2 = pending.clone();
+                let reports2 = reports.clone();
+                let last_done2 = last_done.clone();
+                queue2.submit(
+                    e,
+                    runtime,
+                    |_, _| {},
+                    move |e, t| {
+                        reports2.borrow_mut().push((report, t.as_secs_f64()));
+                        *last_done2.borrow_mut() = t;
+                        submit_next(
+                            e,
+                            &q_for_next,
+                            &pending2,
+                            &reports2,
+                            &last_done2,
+                            corpus,
+                            node,
+                            cfg,
+                            SimDuration::ZERO,
+                        );
+                    },
+                );
+            };
+            if delay > SimDuration::ZERO {
+                engine.schedule_in(delay, submit);
+            } else {
+                // Immediate submission still goes through the engine so
+                // ordering stays deterministic.
+                engine.schedule_in(SimDuration::ZERO, submit);
+            }
+        }
+
+        // Initial wave across all queues, optionally staggered (pause /
+        // resume between waves).
+        for (qi, queue) in queues.iter().enumerate() {
+            for slot in 0..cfg.jobs_per_queue {
+                let delay = match pause_between {
+                    Some(p) => p * (qi * cfg.jobs_per_queue + slot) as u64,
+                    None => SimDuration::ZERO,
+                };
+                submit_next(
+                    &mut engine,
+                    queue,
+                    &pending,
+                    &reports,
+                    &last_done,
+                    corpus,
+                    node,
+                    cfg,
+                    delay,
+                );
+            }
+        }
+        engine.run_until_idle();
+
+        let wall_secs = last_done.borrow().as_secs_f64();
+        let (jobs, completions_secs) = Rc::try_unwrap(reports)
+            .map(RefCell::into_inner)
+            .unwrap_or_default()
+            .into_iter()
+            .unzip();
+        PipelineReport {
+            jobs,
+            completions_secs,
+            wall_secs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vq_hpc::JobQueueConfig;
+
+    fn queue(slots: usize) -> JobQueue {
+        JobQueue::new(JobQueueConfig {
+            max_running: slots,
+            dispatch_delay: SimDuration::from_secs(30),
+        })
+    }
+
+    fn orch() -> Orchestrator {
+        Orchestrator::new(
+            OrchestratorConfig::default(),
+            CorpusSpec::pes2o(),
+            NodeSpec::polaris(),
+        )
+    }
+
+    #[test]
+    fn all_papers_embedded_exactly_once() {
+        let o = orch();
+        let report = o.run(&[queue(4)], 0..20_000, None);
+        assert_eq!(report.jobs.len(), 5);
+        let papers: u64 = report.jobs.iter().map(|j| j.papers).sum();
+        assert_eq!(papers, 20_000);
+        assert!(report.wall_secs > 0.0);
+    }
+
+    #[test]
+    fn table2_shape_holds() {
+        let o = orch();
+        let report = o.run(&[queue(4), queue(4)], 0..40_000, None);
+        assert!(report.inference_fraction() > 0.95, "{}", report.inference_fraction());
+        assert!(report.sequential_fraction() < 0.001);
+        let (mean, std) = report.total_mean_std();
+        assert!((1500.0..3500.0).contains(&mean), "total {mean}");
+        assert!(std < 0.2 * mean, "std {std} vs mean {mean}");
+        // Phase ordering: inference ≫ model load > I/O-per-job magnitudes
+        // as in Table 2.
+        assert!(report.mean_inference() > 50.0 * report.mean_model_load());
+        assert!(report.mean_model_load() > report.mean_io());
+    }
+
+    #[test]
+    fn more_queue_slots_less_wall_time() {
+        let o = orch();
+        let narrow = o.run(&[queue(1)], 0..40_000, None);
+        let wide = o.run(&[queue(8)], 0..40_000, None);
+        assert!(
+            wide.wall_secs < narrow.wall_secs / 3.0,
+            "wide {} vs narrow {}",
+            wide.wall_secs,
+            narrow.wall_secs
+        );
+        // Same total work either way.
+        assert_eq!(narrow.jobs.len(), wide.jobs.len());
+    }
+
+    #[test]
+    fn pause_between_waves_stretches_schedule() {
+        let o = orch();
+        let free = o.run(&[queue(2)], 0..16_000, None);
+        let paused = o.run(
+            &[queue(2)],
+            0..16_000,
+            Some(SimDuration::from_secs(5000)),
+        );
+        assert!(paused.wall_secs > free.wall_secs);
+        assert_eq!(paused.jobs.len(), free.jobs.len());
+    }
+
+    #[test]
+    fn completions_are_recorded_in_order() {
+        let o = orch();
+        let report = o.run(&[queue(2)], 0..20_000, None);
+        assert_eq!(report.completions_secs.len(), report.jobs.len());
+        for w in report.completions_secs.windows(2) {
+            assert!(w[0] <= w[1], "completion order");
+        }
+        let last = report.completions_secs.last().copied().unwrap();
+        assert!((last - report.wall_secs).abs() < 1e-9);
+        assert!(report.completions_secs[0] > 0.0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let o = orch();
+        let a = o.run(&[queue(3)], 0..12_000, None);
+        let b = o.run(&[queue(3)], 0..12_000, None);
+        assert_eq!(a, b);
+    }
+}

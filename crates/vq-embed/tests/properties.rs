@@ -1,0 +1,104 @@
+//! Property-based tests for the embedding pipeline: the packing
+//! heuristic's caps/coverage/order invariants hold for any input, and
+//! the job cost model behaves monotonically.
+
+use proptest::prelude::*;
+use vq_core::DeterministicSeed;
+use vq_embed::{BatchingHeuristic, EmbeddingJob};
+use vq_embed::job::JobCosts;
+use vq_hpc::NodeSpec;
+use vq_workload::{CorpusSpec, PaperMeta};
+
+fn arb_papers() -> impl Strategy<Value = Vec<PaperMeta>> {
+    prop::collection::vec((200u64..500_000, 0u32..8), 0..300).prop_map(|rows| {
+        rows.into_iter()
+            .enumerate()
+            .map(|(i, (chars, topic))| PaperMeta {
+                id: i as u64,
+                chars,
+                topic,
+                year: 2020,
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn packing_respects_caps_and_covers_everything(
+        papers in arb_papers(),
+        char_limit in 1_000u64..200_000,
+        max_papers in 1usize..16
+    ) {
+        let h = BatchingHeuristic { char_limit, max_papers };
+        let batches = h.pack(&papers);
+        // Coverage: every paper exactly once, in order.
+        let flattened: Vec<u64> = batches.iter().flat_map(|b| b.papers.clone()).collect();
+        let expected: Vec<u64> = papers.iter().map(|p| p.id).collect();
+        prop_assert_eq!(flattened, expected);
+        // Caps: every multi-paper batch within both limits; only
+        // singleton batches may exceed the char cap (unsplittable).
+        for b in &batches {
+            prop_assert!(b.len() <= max_papers);
+            if b.len() > 1 {
+                prop_assert!(b.chars <= char_limit, "batch over cap: {b:?}");
+            }
+            let true_chars: u64 = b
+                .papers
+                .iter()
+                .map(|&id| papers[id as usize].chars)
+                .sum();
+            prop_assert_eq!(b.chars, true_chars, "char accounting");
+        }
+    }
+
+    #[test]
+    fn packing_is_maximal(papers in arb_papers()) {
+        // Greedy invariant: no batch could have absorbed the first paper
+        // of the next batch without violating a cap.
+        let h = BatchingHeuristic::default();
+        let batches = h.pack(&papers);
+        for w in batches.windows(2) {
+            let (cur, next) = (&w[0], &w[1]);
+            let first_next = papers[next.papers[0] as usize].chars;
+            let could_fit = cur.len() < h.max_papers
+                && cur.chars + first_next <= h.char_limit
+                && cur.chars <= h.char_limit; // oversized singletons close themselves
+            prop_assert!(!could_fit, "batch left room: {cur:?} then {next:?}");
+        }
+    }
+
+    #[test]
+    fn job_time_monotone_in_papers(extra in 1u64..2000) {
+        let corpus = CorpusSpec::pes2o();
+        let node = NodeSpec::polaris();
+        let run = |n: u64| {
+            EmbeddingJob { id: 0, papers: 0..n }
+                .run(
+                    &corpus,
+                    &node,
+                    BatchingHeuristic::default(),
+                    JobCosts {
+                        jitter: 0.0, // determinize for the comparison
+                        ..JobCosts::default()
+                    },
+                    DeterministicSeed(1),
+                )
+        };
+        let small = run(1000);
+        let large = run(1000 + extra);
+        // Inference is the max over the node's GPUs: adding papers to a
+        // non-critical GPU leaves it unchanged, so only ≥ holds in
+        // general; I/O is total chars and is strictly monotone.
+        prop_assert!(large.inference_secs >= small.inference_secs);
+        prop_assert!(large.io_secs > small.io_secs);
+        if extra >= 8 {
+            // Enough extra papers to reach every GPU: strictly slower.
+            prop_assert!(large.inference_secs > small.inference_secs);
+        }
+        prop_assert_eq!(small.papers, 1000);
+        prop_assert_eq!(large.papers, 1000 + extra);
+    }
+}

@@ -1,0 +1,291 @@
+//! Deterministic discrete-event engine.
+//!
+//! The engine owns a priority queue of `(time, sequence)`-ordered events;
+//! each event is a closure that may mutate shared model state and schedule
+//! further events. Determinism comes from the total event order: ties on
+//! time break by insertion sequence, so a given model replays identically
+//! every run.
+//!
+//! The engine is deliberately single-threaded — discrete-event simulation
+//! is a sequential dependency chain by construction. Parallelism in `vq`
+//! lives in the *real* engine (rayon kernels, worker threads); the
+//! simulator's job is to be exact and fast, and it advances an "8 hour"
+//! experiment in milliseconds.
+//!
+//! Model components (servers, CPUs, queues) hold their state in
+//! `Rc<RefCell<...>>` handles captured by event closures.
+
+use crate::time::{SimDuration, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet};
+
+/// Identifier of a scheduled event; usable to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+type Callback = Box<dyn FnOnce(&mut Engine)>;
+
+struct Scheduled {
+    at: SimTime,
+    seq: u64,
+    callback: Callback,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        (self.at, self.seq) == (other.at, other.seq)
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at, self.seq).cmp(&(other.at, other.seq))
+    }
+}
+
+/// The discrete-event engine.
+///
+/// ```
+/// use vq_hpc::{Engine, SimDuration};
+/// use std::{cell::RefCell, rc::Rc};
+///
+/// let mut engine = Engine::new();
+/// let fired = Rc::new(RefCell::new(Vec::new()));
+/// let f = fired.clone();
+/// engine.schedule_in(SimDuration::from_secs(3600), move |e| {
+///     f.borrow_mut().push(e.now());
+///     e.schedule_in(SimDuration::from_secs(1800), |_| {});
+/// });
+/// let end = engine.run_until_idle();
+/// // A 90-minute simulation completes instantly in virtual time.
+/// assert_eq!(end.as_secs_f64(), 5400.0);
+/// assert_eq!(fired.borrow().len(), 1);
+/// ```
+pub struct Engine {
+    now: SimTime,
+    queue: BinaryHeap<Reverse<Scheduled>>,
+    next_seq: u64,
+    cancelled: HashSet<u64>,
+    executed: u64,
+}
+
+impl Engine {
+    /// Fresh engine at `t = 0`.
+    pub fn new() -> Self {
+        Engine {
+            now: SimTime::ZERO,
+            queue: BinaryHeap::new(),
+            next_seq: 0,
+            cancelled: HashSet::new(),
+            executed: 0,
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events executed so far.
+    pub fn executed_events(&self) -> u64 {
+        self.executed
+    }
+
+    /// Number of pending (scheduled, not yet executed or cancelled) events.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len() - self.cancelled.len()
+    }
+
+    /// Schedule `callback` at absolute time `at` (clamped to `now`).
+    pub fn schedule_at<F>(&mut self, at: SimTime, callback: F) -> EventId
+    where
+        F: FnOnce(&mut Engine) + 'static,
+    {
+        let at = at.max(self.now);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.queue.push(Reverse(Scheduled {
+            at,
+            seq,
+            callback: Box::new(callback),
+        }));
+        EventId(seq)
+    }
+
+    /// Schedule `callback` after a delay.
+    pub fn schedule_in<F>(&mut self, delay: SimDuration, callback: F) -> EventId
+    where
+        F: FnOnce(&mut Engine) + 'static,
+    {
+        self.schedule_at(self.now + delay, callback)
+    }
+
+    /// Cancel a scheduled event. Cancelling an already-executed event is a
+    /// no-op.
+    pub fn cancel(&mut self, id: EventId) {
+        self.cancelled.insert(id.0);
+    }
+
+    /// Execute the next event, if any. Returns `false` when idle.
+    pub fn step(&mut self) -> bool {
+        while let Some(Reverse(ev)) = self.queue.pop() {
+            if self.cancelled.remove(&ev.seq) {
+                continue;
+            }
+            debug_assert!(ev.at >= self.now, "time must be monotonic");
+            self.now = ev.at;
+            self.executed += 1;
+            (ev.callback)(self);
+            return true;
+        }
+        false
+    }
+
+    /// Run until no events remain. Returns the final time.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        while self.step() {}
+        self.now
+    }
+
+    /// Run until virtual time would exceed `deadline`; events at exactly
+    /// `deadline` still execute. Returns the current time afterwards.
+    pub fn run_until(&mut self, deadline: SimTime) -> SimTime {
+        loop {
+            let Some(Reverse(head)) = self.queue.peek() else {
+                break;
+            };
+            if head.at > deadline {
+                break;
+            }
+            // A cancelled head must still be drained.
+            if !self.step() {
+                break;
+            }
+        }
+        if self.now < deadline {
+            self.now = deadline;
+        }
+        self.now
+    }
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field("pending", &self.queue.len())
+            .field("executed", &self.executed)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    #[test]
+    fn events_run_in_time_order() {
+        let mut e = Engine::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for (t, tag) in [(30u64, "c"), (10, "a"), (20, "b")] {
+            let log = log.clone();
+            e.schedule_at(SimTime(t), move |_| log.borrow_mut().push(tag));
+        }
+        e.run_until_idle();
+        assert_eq!(*log.borrow(), vec!["a", "b", "c"]);
+        assert_eq!(e.now(), SimTime(30));
+        assert_eq!(e.executed_events(), 3);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut e = Engine::new();
+        let log = Rc::new(RefCell::new(Vec::new()));
+        for tag in ["first", "second", "third"] {
+            let log = log.clone();
+            e.schedule_at(SimTime(5), move |_| log.borrow_mut().push(tag));
+        }
+        e.run_until_idle();
+        assert_eq!(*log.borrow(), vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn callbacks_can_schedule_more() {
+        let mut e = Engine::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        let hits2 = hits.clone();
+        e.schedule_in(SimDuration::from_secs(1), move |e| {
+            *hits2.borrow_mut() += 1;
+            let hits3 = hits2.clone();
+            e.schedule_in(SimDuration::from_secs(1), move |_| {
+                *hits3.borrow_mut() += 1;
+            });
+        });
+        let end = e.run_until_idle();
+        assert_eq!(*hits.borrow(), 2);
+        assert_eq!(end, SimTime::ZERO + SimDuration::from_secs(2));
+    }
+
+    #[test]
+    fn cancel_prevents_execution() {
+        let mut e = Engine::new();
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = hits.clone();
+        let id = e.schedule_in(SimDuration::from_secs(1), move |_| {
+            *h.borrow_mut() += 1;
+        });
+        e.cancel(id);
+        e.run_until_idle();
+        assert_eq!(*hits.borrow(), 0);
+        assert_eq!(e.pending_events(), 0);
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut e = Engine::new();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        for t in [1u64, 2, 3] {
+            let h = hits.clone();
+            e.schedule_at(SimTime(t * 1_000_000_000), move |_| {
+                h.borrow_mut().push(t)
+            });
+        }
+        e.run_until(SimTime(2_000_000_000));
+        assert_eq!(*hits.borrow(), vec![1, 2]);
+        assert_eq!(e.now(), SimTime(2_000_000_000));
+        e.run_until_idle();
+        assert_eq!(*hits.borrow(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn past_scheduling_clamps_to_now() {
+        let mut e = Engine::new();
+        e.schedule_at(SimTime(10), |e| {
+            // Try to schedule in the past; must run at `now`, not break
+            // monotonicity.
+            e.schedule_at(SimTime(1), |_| {});
+        });
+        e.run_until_idle();
+        assert_eq!(e.now(), SimTime(10));
+    }
+
+    #[test]
+    fn run_until_with_empty_queue_advances_clock() {
+        let mut e = Engine::new();
+        e.run_until(SimTime(500));
+        assert_eq!(e.now(), SimTime(500));
+    }
+}

@@ -1,0 +1,252 @@
+//! PBS-like batch job queue.
+//!
+//! Models the scheduler the paper's embedding orchestrator submits
+//! single-node jobs to (§3.1): each named queue admits a bounded number of
+//! concurrently running jobs and imposes a queue-dependent wait before a
+//! job starts. The orchestrator "monitors a user-defined set of queues
+//! [and] as availability within a queue opens, submits the next batch".
+
+use crate::engine::Engine;
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// Static queue parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JobQueueConfig {
+    /// Jobs this queue runs concurrently (node allocation limit).
+    pub max_running: usize,
+    /// Scheduler dispatch latency once a slot is free.
+    pub dispatch_delay: SimDuration,
+}
+
+impl Default for JobQueueConfig {
+    fn default() -> Self {
+        JobQueueConfig {
+            max_running: 4,
+            dispatch_delay: SimDuration::from_secs(30),
+        }
+    }
+}
+
+struct Pending {
+    runtime: SimDuration,
+    on_start: Box<dyn FnOnce(&mut Engine, SimTime)>,
+    on_done: Box<dyn FnOnce(&mut Engine, SimTime)>,
+}
+
+struct QueueState {
+    config: JobQueueConfig,
+    running: usize,
+    waiting: VecDeque<Pending>,
+    completed: u64,
+    total_wait: SimDuration,
+    submit_times: VecDeque<SimTime>,
+}
+
+/// Shared handle to one batch queue.
+#[derive(Clone)]
+pub struct JobQueue {
+    state: Rc<RefCell<QueueState>>,
+}
+
+impl JobQueue {
+    /// New queue.
+    pub fn new(config: JobQueueConfig) -> Self {
+        JobQueue {
+            state: Rc::new(RefCell::new(QueueState {
+                config,
+                running: 0,
+                waiting: VecDeque::new(),
+                completed: 0,
+                total_wait: SimDuration::ZERO,
+                submit_times: VecDeque::new(),
+            })),
+        }
+    }
+
+    /// Free run slots right now.
+    pub fn available_slots(&self) -> usize {
+        let s = self.state.borrow();
+        s.config.max_running - s.running
+    }
+
+    /// Jobs waiting for a slot.
+    pub fn waiting(&self) -> usize {
+        self.state.borrow().waiting.len()
+    }
+
+    /// Jobs completed.
+    pub fn completed(&self) -> u64 {
+        self.state.borrow().completed
+    }
+
+    /// Mean queue wait (submission → start), if any job completed.
+    pub fn mean_wait(&self) -> Option<SimDuration> {
+        let s = self.state.borrow();
+        if s.completed == 0 {
+            None
+        } else {
+            Some(SimDuration(s.total_wait.0 / s.completed))
+        }
+    }
+
+    /// Submit a job of length `runtime`. `on_start` fires when the job
+    /// begins executing, `on_done` at completion.
+    pub fn submit<S, D>(&self, engine: &mut Engine, runtime: SimDuration, on_start: S, on_done: D)
+    where
+        S: FnOnce(&mut Engine, SimTime) + 'static,
+        D: FnOnce(&mut Engine, SimTime) + 'static,
+    {
+        {
+            let mut s = self.state.borrow_mut();
+            s.submit_times.push_back(engine.now());
+            s.waiting.push_back(Pending {
+                runtime,
+                on_start: Box::new(on_start),
+                on_done: Box::new(on_done),
+            });
+        }
+        self.try_dispatch(engine);
+    }
+
+    fn try_dispatch(&self, engine: &mut Engine) {
+        loop {
+            let job = {
+                let mut s = self.state.borrow_mut();
+                if s.running >= s.config.max_running || s.waiting.is_empty() {
+                    return;
+                }
+                s.running += 1;
+                let submitted = s.submit_times.pop_front().expect("in lockstep");
+                let job = s.waiting.pop_front().expect("non-empty");
+                (job, submitted, s.config.dispatch_delay)
+            };
+            let (job, submitted, delay) = job;
+            let this = self.clone();
+            engine.schedule_in(delay, move |e| {
+                let start = e.now();
+                {
+                    let mut s = this.state.borrow_mut();
+                    s.total_wait += start - submitted;
+                }
+                (job.on_start)(e, start);
+                let this2 = this.clone();
+                e.schedule_in(job.runtime, move |e| {
+                    {
+                        let mut s = this2.state.borrow_mut();
+                        s.running -= 1;
+                        s.completed += 1;
+                    }
+                    (job.on_done)(e, e.now());
+                    this2.try_dispatch(e);
+                });
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(max_running: usize, dispatch_secs: u64) -> JobQueueConfig {
+        JobQueueConfig {
+            max_running,
+            dispatch_delay: SimDuration::from_secs(dispatch_secs),
+        }
+    }
+
+    #[test]
+    fn jobs_beyond_capacity_wait() {
+        let mut e = Engine::new();
+        let q = JobQueue::new(cfg(1, 0));
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..3u32 {
+            let d = done.clone();
+            q.submit(
+                &mut e,
+                SimDuration::from_secs(10),
+                |_, _| {},
+                move |_, t| d.borrow_mut().push((i, t.as_secs_f64())),
+            );
+        }
+        assert_eq!(q.waiting(), 2);
+        e.run_until_idle();
+        assert_eq!(
+            *done.borrow(),
+            vec![(0, 10.0), (1, 20.0), (2, 30.0)],
+            "serial execution through one slot"
+        );
+        assert_eq!(q.completed(), 3);
+    }
+
+    #[test]
+    fn parallel_slots_overlap() {
+        let mut e = Engine::new();
+        let q = JobQueue::new(cfg(4, 0));
+        let done = Rc::new(RefCell::new(0u32));
+        for _ in 0..4 {
+            let d = done.clone();
+            q.submit(
+                &mut e,
+                SimDuration::from_secs(100),
+                |_, _| {},
+                move |_, _| *d.borrow_mut() += 1,
+            );
+        }
+        let end = e.run_until_idle();
+        assert_eq!(*done.borrow(), 4);
+        assert_eq!(end.as_secs_f64(), 100.0);
+    }
+
+    #[test]
+    fn dispatch_delay_applies() {
+        let mut e = Engine::new();
+        let q = JobQueue::new(cfg(1, 30));
+        let started = Rc::new(RefCell::new(None));
+        let s = started.clone();
+        q.submit(
+            &mut e,
+            SimDuration::from_secs(5),
+            move |_, t| *s.borrow_mut() = Some(t.as_secs_f64()),
+            |_, _| {},
+        );
+        e.run_until_idle();
+        assert_eq!(*started.borrow(), Some(30.0));
+    }
+
+    #[test]
+    fn mean_wait_tracks_queueing() {
+        let mut e = Engine::new();
+        let q = JobQueue::new(cfg(1, 0));
+        for _ in 0..2 {
+            q.submit(&mut e, SimDuration::from_secs(10), |_, _| {}, |_, _| {});
+        }
+        e.run_until_idle();
+        // First waits 0, second waits 10 → mean 5.
+        assert_eq!(q.mean_wait().unwrap().as_secs_f64(), 5.0);
+    }
+
+    #[test]
+    fn slot_frees_allow_later_submissions() {
+        let mut e = Engine::new();
+        let q = JobQueue::new(cfg(1, 0));
+        let done = Rc::new(RefCell::new(Vec::new()));
+        let d = done.clone();
+        q.submit(&mut e, SimDuration::from_secs(10), |_, _| {}, move |_, t| {
+            d.borrow_mut().push(t.as_secs_f64())
+        });
+        let q2 = q.clone();
+        let d2 = done.clone();
+        e.schedule_at(SimTime(50_000_000_000), move |e| {
+            q2.submit(e, SimDuration::from_secs(10), |_, _| {}, move |_, t| {
+                d2.borrow_mut().push(t.as_secs_f64())
+            });
+        });
+        e.run_until_idle();
+        assert_eq!(*done.borrow(), vec![10.0, 60.0]);
+    }
+}

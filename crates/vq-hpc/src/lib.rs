@@ -1,0 +1,42 @@
+//! # vq-hpc
+//!
+//! The HPC-platform model `vq` uses to reproduce cluster-scale experiments
+//! on a single machine. The paper ran on Polaris (8 nodes × 32-core EPYC
+//! 7543P × 4 A100s, Slingshot-11 Dragonfly); this crate supplies the
+//! simulated equivalents:
+//!
+//! * [`time`] — nanosecond-resolution virtual time ([`SimTime`],
+//!   [`SimDuration`]).
+//! * [`engine`] — a deterministic discrete-event engine: schedule closures
+//!   at virtual times, run to quiescence. Regenerating an "8.22 hour"
+//!   table cell costs milliseconds of wall time.
+//! * [`server`] — FIFO queueing servers with bounded concurrency (RPC
+//!   handlers, event loops).
+//! * [`cpu`] — malleable-task processor sharing: the core-contention model
+//!   behind Figure 3's "4 workers per 32-core node" sub-linear scaling.
+//! * [`gpu`] — A100-style device model with memory-pressure OOM used by
+//!   the embedding pipeline (Table 2).
+//! * [`jobqueue`] — a PBS-like batch queue the embedding orchestrator
+//!   submits jobs to.
+//! * [`platform`] — the Polaris node/cluster spec plus calibrated service
+//!   -time parameters, each documented against the paper sentence it
+//!   derives from.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cpu;
+pub mod engine;
+pub mod gpu;
+pub mod jobqueue;
+pub mod platform;
+pub mod server;
+pub mod time;
+
+pub use cpu::{MalleableCpu, TaskHandle};
+pub use engine::{Engine, EventId};
+pub use gpu::{GpuBatchOutcome, GpuDevice, GpuSpec};
+pub use jobqueue::{JobQueue, JobQueueConfig};
+pub use platform::{NodeSpec, PlatformSpec};
+pub use server::FifoServer;
+pub use time::{SimDuration, SimTime};

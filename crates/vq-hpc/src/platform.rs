@@ -1,0 +1,129 @@
+//! Platform specifications.
+//!
+//! Describes the hardware the simulated experiments run on. The default is
+//! the paper's testbed: Polaris at ALCF — per node a 2.8 GHz AMD EPYC
+//! Milan 7543P (32 cores), 512 GB DDR4, four NVIDIA A100 GPUs; nodes
+//! joined by HPE Slingshot 11 in a Dragonfly topology (§3).
+
+use crate::gpu::GpuSpec;
+use serde::{Deserialize, Serialize};
+
+/// One compute node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// Physical cores.
+    pub cores: u32,
+    /// Node DRAM in bytes.
+    pub memory_bytes: u64,
+    /// GPUs per node.
+    pub gpus: u32,
+    /// GPU model.
+    pub gpu: GpuSpec,
+}
+
+impl NodeSpec {
+    /// A Polaris compute node.
+    pub fn polaris() -> Self {
+        NodeSpec {
+            cores: 32,
+            memory_bytes: 512_000_000_000,
+            gpus: 4,
+            gpu: GpuSpec::a100_qwen3_4b(),
+        }
+    }
+}
+
+/// A whole platform: homogeneous nodes plus interconnect parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Node description.
+    pub node: NodeSpec,
+    /// Number of nodes available to the experiment.
+    pub nodes: u32,
+    /// Interconnect one-way small-message latency in seconds. Slingshot
+    /// 11 delivers ~2 µs MPI latency; a full RPC through a userspace
+    /// TCP/gRPC stack (what Qdrant actually uses) costs far more — this
+    /// is the *application-level* per-hop latency.
+    pub net_latency_secs: f64,
+    /// Per-link application-level bandwidth in bytes/second (Slingshot 11
+    /// is 25 GB/s per NIC; a single gRPC stream sustains much less).
+    pub net_bandwidth_bps: f64,
+    /// Workers co-located per node in the Qdrant deployment (§3.2: "four
+    /// Qdrant workers per machine").
+    pub workers_per_node: u32,
+}
+
+impl PlatformSpec {
+    /// The paper's Polaris deployment (8 nodes hosting up to 32 workers).
+    pub fn polaris() -> Self {
+        PlatformSpec {
+            node: NodeSpec::polaris(),
+            nodes: 8,
+            net_latency_secs: 150e-6,
+            net_bandwidth_bps: 2.5e9,
+            workers_per_node: 4,
+        }
+    }
+
+    /// Nodes needed to host `workers` Qdrant workers at the configured
+    /// co-location factor.
+    pub fn nodes_for_workers(&self, workers: u32) -> u32 {
+        workers.div_ceil(self.workers_per_node)
+    }
+
+    /// Cores available to each of `workers` workers, assuming the
+    /// deployment packs `workers_per_node` per node before opening a new
+    /// one (the paper's layout).
+    pub fn cores_per_worker(&self, workers: u32) -> f64 {
+        let per_node = self.workers_per_node.min(workers).max(1);
+        self.node.cores as f64 / per_node as f64
+    }
+
+    /// Time to move `bytes` across one link, including latency.
+    pub fn transfer_secs(&self, bytes: u64) -> f64 {
+        self.net_latency_secs + bytes as f64 / self.net_bandwidth_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn polaris_shape() {
+        let p = PlatformSpec::polaris();
+        assert_eq!(p.node.cores, 32);
+        assert_eq!(p.node.gpus, 4);
+        assert_eq!(p.nodes, 8);
+        assert_eq!(p.workers_per_node, 4);
+    }
+
+    #[test]
+    fn nodes_for_workers_matches_paper_layout() {
+        let p = PlatformSpec::polaris();
+        assert_eq!(p.nodes_for_workers(1), 1);
+        assert_eq!(p.nodes_for_workers(4), 1);
+        assert_eq!(p.nodes_for_workers(8), 2);
+        assert_eq!(p.nodes_for_workers(32), 8);
+    }
+
+    #[test]
+    fn cores_per_worker_contention() {
+        let p = PlatformSpec::polaris();
+        assert_eq!(p.cores_per_worker(1), 32.0);
+        assert_eq!(p.cores_per_worker(2), 16.0);
+        assert_eq!(p.cores_per_worker(4), 8.0);
+        // Beyond one node the per-worker share stays at the co-location
+        // limit.
+        assert_eq!(p.cores_per_worker(32), 8.0);
+    }
+
+    #[test]
+    fn transfer_time_includes_latency_and_bandwidth() {
+        let p = PlatformSpec::polaris();
+        let t_small = p.transfer_secs(0);
+        assert!((t_small - 150e-6).abs() < 1e-12);
+        let t_big = p.transfer_secs(2_500_000_000);
+        assert!((t_big - (150e-6 + 1.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests for the discrete-event substrate: conservation
+//! laws and ordering invariants on arbitrary workloads.
+
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+use vq_hpc::{Engine, FifoServer, MalleableCpu, SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_executes_in_nondecreasing_time(times in prop::collection::vec(0u64..1_000_000, 0..50)) {
+        let mut e = Engine::new();
+        let log: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for &t in &times {
+            let log = log.clone();
+            e.schedule_at(SimTime(t), move |e| log.borrow_mut().push(e.now().0));
+        }
+        e.run_until_idle();
+        let log = log.borrow();
+        prop_assert_eq!(log.len(), times.len());
+        for w in log.windows(2) {
+            prop_assert!(w[0] <= w[1], "time went backwards");
+        }
+        let mut sorted = times.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(log.clone(), sorted);
+    }
+
+    #[test]
+    fn fifo_server_conserves_work(
+        services in prop::collection::vec(1u64..10_000, 1..40),
+        capacity in 1usize..6
+    ) {
+        // Makespan of jobs all submitted at t=0 to a k-server:
+        //   lower bound: total work / k, and the longest single job;
+        //   upper bound: total work (fully serial).
+        let mut e = Engine::new();
+        let server = FifoServer::new(capacity);
+        for &s in &services {
+            server.submit(&mut e, SimDuration::from_micros(s), |_, _| {});
+        }
+        let end = e.run_until_idle().0;
+        let total: u64 = services.iter().map(|s| s * 1000).sum();
+        let longest = services.iter().max().copied().unwrap_or(0) * 1000;
+        prop_assert!(end >= total / capacity as u64, "end {end} < work/k");
+        prop_assert!(end >= longest);
+        prop_assert!(end <= total, "end {end} > serial bound {total}");
+        prop_assert_eq!(server.served(), services.len() as u64);
+        prop_assert_eq!(server.busy_time().as_nanos(), total);
+    }
+
+    #[test]
+    fn malleable_cpu_conserves_work(
+        works in prop::collection::vec(1.0f64..500.0, 1..10),
+        caps in prop::collection::vec(1.0f64..16.0, 10),
+        cores in 1.0f64..32.0
+    ) {
+        let mut e = Engine::new();
+        let cpu = MalleableCpu::new(cores);
+        let finish: Rc<RefCell<f64>> = Rc::new(RefCell::new(0.0));
+        for (i, &w) in works.iter().enumerate() {
+            let f = finish.clone();
+            cpu.submit(&mut e, w, caps[i % caps.len()], move |_, t| {
+                let t = t.as_secs_f64();
+                let mut f = f.borrow_mut();
+                if t > *f {
+                    *f = t;
+                }
+            });
+        }
+        e.run_until_idle();
+        let makespan = *finish.borrow();
+        let total: f64 = works.iter().sum();
+        // Work conservation: can't beat total/cores; can't be slower
+        // than running every task alone back-to-back at rate 1.
+        prop_assert!(makespan >= total / cores - 1e-6, "makespan {makespan}");
+        let serial_worst: f64 = works
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| w / caps[i % caps.len()].min(cores))
+            .sum();
+        prop_assert!(makespan <= serial_worst + 1e-6, "makespan {makespan} > {serial_worst}");
+        prop_assert_eq!(cpu.active_tasks(), 0);
+    }
+
+    #[test]
+    fn run_until_never_overshoots(
+        times in prop::collection::vec(0u64..1000, 0..20),
+        deadline in 0u64..1200
+    ) {
+        let mut e = Engine::new();
+        let ran: Rc<RefCell<Vec<u64>>> = Rc::new(RefCell::new(Vec::new()));
+        for &t in &times {
+            let ran = ran.clone();
+            e.schedule_at(SimTime(t), move |_| ran.borrow_mut().push(t));
+        }
+        e.run_until(SimTime(deadline));
+        for &t in ran.borrow().iter() {
+            prop_assert!(t <= deadline);
+        }
+        let expected = times.iter().filter(|&&t| t <= deadline).count();
+        prop_assert_eq!(ran.borrow().len(), expected);
+        prop_assert_eq!(e.now(), SimTime(deadline.max(ran.borrow().iter().copied().max().unwrap_or(0))));
+    }
+
+    #[test]
+    fn cancelled_events_never_fire(
+        n in 1usize..30,
+        cancel_mask in prop::collection::vec(any::<bool>(), 30)
+    ) {
+        let mut e = Engine::new();
+        let fired: Rc<RefCell<Vec<usize>>> = Rc::new(RefCell::new(Vec::new()));
+        let mut ids = Vec::new();
+        for i in 0..n {
+            let fired = fired.clone();
+            ids.push(e.schedule_at(SimTime(i as u64 * 10), move |_| {
+                fired.borrow_mut().push(i)
+            }));
+        }
+        for (i, id) in ids.iter().enumerate() {
+            if cancel_mask[i] {
+                e.cancel(*id);
+            }
+        }
+        e.run_until_idle();
+        for &i in fired.borrow().iter() {
+            prop_assert!(!cancel_mask[i], "cancelled event {i} fired");
+        }
+        let expected = (0..n).filter(|&i| !cancel_mask[i]).count();
+        prop_assert_eq!(fired.borrow().len(), expected);
+    }
+}

@@ -1,0 +1,185 @@
+//! Exact brute-force ("flat") search.
+//!
+//! Scores the query against every stored vector. O(n·d) per query but
+//! exact; it serves three roles in `vq`:
+//!
+//! 1. the search path for segments whose HNSW build the optimizer has
+//!    deferred (the paper's bulk-upload flow searches unindexed segments
+//!    this way),
+//! 2. the ground-truth oracle for recall measurements, and
+//! 3. the baseline in the index-family ablation.
+//!
+//! Scans parallelize over rayon with a per-chunk [`TopK`] and a final
+//! merge, which is the textbook reduction for top-k selection.
+
+use crate::source::VectorSource;
+use crate::{OffsetFilter, OffsetHit};
+use rayon::prelude::*;
+use vq_core::{Distance, ScoredPoint, TopK};
+
+/// Minimum number of vectors before a scan bothers with rayon; below this
+/// the spawn overhead exceeds the scan cost.
+const PARALLEL_THRESHOLD: usize = 4096;
+
+/// Exact scan "index". Stateless: it is a strategy over a [`VectorSource`].
+#[derive(Debug, Clone, Copy)]
+pub struct FlatIndex {
+    metric: Distance,
+}
+
+impl FlatIndex {
+    /// Create a flat scanner for the given metric.
+    pub fn new(metric: Distance) -> Self {
+        FlatIndex { metric }
+    }
+
+    /// Metric used for scoring.
+    pub fn metric(&self) -> Distance {
+        self.metric
+    }
+
+    /// Exact top-`k` search over `source`, optionally filtered.
+    pub fn search<S: VectorSource>(
+        &self,
+        source: &S,
+        query: &[f32],
+        k: usize,
+        filter: Option<OffsetFilter<'_>>,
+    ) -> Vec<OffsetHit> {
+        let n = source.len();
+        if n == 0 || k == 0 {
+            return Vec::new();
+        }
+        debug_assert_eq!(query.len(), source.dim());
+        if n < PARALLEL_THRESHOLD {
+            self.scan_range(source, query, k, filter, 0, n)
+        } else {
+            // Chunked parallel scan; each chunk keeps its own top-k, the
+            // partials are merged at the end.
+            let chunk = n.div_ceil(rayon::current_num_threads().max(1));
+            let partials: Vec<Vec<OffsetHit>> = (0..n)
+                .into_par_iter()
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(n);
+                    self.scan_range(source, query, k, filter, start, end)
+                })
+                .collect();
+            let lists: Vec<Vec<ScoredPoint>> = partials
+                .into_iter()
+                .map(|hits| {
+                    hits.into_iter()
+                        .map(|(o, s)| ScoredPoint::new(o as u64, s))
+                        .collect()
+                })
+                .collect();
+            vq_core::point::merge_top_k(lists, k)
+                .into_iter()
+                .map(|p| (p.id as u32, p.score))
+                .collect()
+        }
+    }
+
+    /// Number of distance computations an unfiltered scan performs
+    /// (used by the cost model: flat search work is linear in segment size).
+    pub fn scan_cost<S: VectorSource>(&self, source: &S) -> u64 {
+        source.len() as u64
+    }
+
+    fn scan_range<S: VectorSource>(
+        &self,
+        source: &S,
+        query: &[f32],
+        k: usize,
+        filter: Option<OffsetFilter<'_>>,
+        start: usize,
+        end: usize,
+    ) -> Vec<OffsetHit> {
+        let mut top = TopK::new(k);
+        for offset in start..end {
+            let offset = offset as u32;
+            if let Some(f) = filter {
+                if !f(offset) {
+                    continue;
+                }
+            }
+            let score = self.metric.score(query, source.vector(offset));
+            top.offer(ScoredPoint::new(offset as u64, score));
+        }
+        top.into_sorted()
+            .into_iter()
+            .map(|p| (p.id as u32, p.score))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::DenseVectors;
+    use rand::{Rng, SeedableRng};
+
+    fn grid_source() -> DenseVectors {
+        // Points at x = 0, 1, 2, ..., 9 on a line.
+        DenseVectors::from_flat(2, (0..10).flat_map(|i| [i as f32, 0.0]).collect())
+    }
+
+    #[test]
+    fn finds_nearest_under_euclid() {
+        let s = grid_source();
+        let idx = FlatIndex::new(Distance::Euclid);
+        let hits = idx.search(&s, &[3.2, 0.0], 3, None);
+        let ids: Vec<u32> = hits.iter().map(|h| h.0).collect();
+        assert_eq!(ids, vec![3, 4, 2]);
+    }
+
+    #[test]
+    fn respects_filter() {
+        let s = grid_source();
+        let idx = FlatIndex::new(Distance::Euclid);
+        let even = |o: u32| o % 2 == 0;
+        let hits = idx.search(&s, &[3.0, 0.0], 2, Some(&even));
+        let ids: Vec<u32> = hits.iter().map(|h| h.0).collect();
+        assert_eq!(ids, vec![2, 4]);
+    }
+
+    #[test]
+    fn empty_and_zero_k() {
+        let s = DenseVectors::new(2);
+        let idx = FlatIndex::new(Distance::Dot);
+        assert!(idx.search(&s, &[1.0, 0.0], 5, None).is_empty());
+        let s = grid_source();
+        assert!(idx.search(&s, &[1.0, 0.0], 0, None).is_empty());
+    }
+
+    #[test]
+    fn parallel_path_matches_sequential() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let n = PARALLEL_THRESHOLD * 2 + 17;
+        let dim = 16;
+        let mut s = DenseVectors::new(dim);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            s.push(&v);
+        }
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let idx = FlatIndex::new(Distance::Cosine);
+        let par = idx.search(&s, &q, 10, None);
+        let seq = idx.scan_range(&s, &q, 10, None, 0, n);
+        assert_eq!(par, seq);
+    }
+
+    #[test]
+    fn k_larger_than_n_returns_all() {
+        let s = grid_source();
+        let idx = FlatIndex::new(Distance::Euclid);
+        let hits = idx.search(&s, &[0.0, 0.0], 100, None);
+        assert_eq!(hits.len(), 10);
+    }
+
+    #[test]
+    fn scan_cost_is_len() {
+        let s = grid_source();
+        assert_eq!(FlatIndex::new(Distance::Dot).scan_cost(&s), 10);
+    }
+}

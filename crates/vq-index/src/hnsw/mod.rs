@@ -1,0 +1,614 @@
+//! Hierarchical Navigable Small World (HNSW) graph index.
+//!
+//! A faithful implementation of Malkov & Yashunin's algorithm — the index
+//! family Qdrant builds per segment and the one whose construction time the
+//! paper's Figure 3 measures:
+//!
+//! * geometric layer assignment with multiplier `1/ln(m)`;
+//! * greedy descent on upper layers, `ef`-bounded beam search on the
+//!   target layers (Algorithm 2);
+//! * the neighbor-selection *heuristic* (Algorithm 4) for link pruning,
+//!   with the simple closest-`m` rule available for ablation;
+//! * lock-striped parallel construction in the style of hnswlib: one
+//!   `RwLock` per node's per-layer link list plus a global entry-point
+//!   lock, so rayon can insert many points concurrently.
+//!
+//! Defaults (`m = 16`, `ef_construct = 100`) match Qdrant's, which the
+//! paper says it used ("the default HNSW index settings", §3.3).
+
+mod select;
+mod visited;
+
+use crate::source::VectorSource;
+use crate::{OffsetFilter, OffsetHit};
+use parking_lot::{Mutex, RwLock};
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use visited::VisitedPool;
+use vq_core::{seed_rng, Distance};
+
+/// HNSW construction/search parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HnswConfig {
+    /// Max links per node on layers above 0.
+    pub m: usize,
+    /// Max links per node on layer 0; conventionally `2 * m`.
+    pub m0: usize,
+    /// Beam width during construction.
+    pub ef_construct: usize,
+    /// Use the neighbor-selection heuristic (Algorithm 4). `false` falls
+    /// back to "closest `m`", which is cheaper but yields worse graphs on
+    /// clustered data; exposed for the ablation bench.
+    pub heuristic: bool,
+    /// Seed for layer assignment.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        // Qdrant defaults: m = 16, ef_construct = 100.
+        HnswConfig {
+            m: 16,
+            m0: 32,
+            ef_construct: 100,
+            heuristic: true,
+            seed: 0,
+        }
+    }
+}
+
+impl HnswConfig {
+    /// Config with a given `m` (and `m0 = 2m`).
+    pub fn with_m(m: usize) -> Self {
+        HnswConfig {
+            m,
+            m0: 2 * m,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style setter for `ef_construct`.
+    pub fn ef_construct(mut self, ef: usize) -> Self {
+        self.ef_construct = ef;
+        self
+    }
+
+    /// Builder-style setter for the selection strategy.
+    pub fn use_heuristic(mut self, h: bool) -> Self {
+        self.heuristic = h;
+        self
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Level multiplier `1 / ln(m)`.
+    pub fn level_mult(&self) -> f64 {
+        1.0 / (self.m.max(2) as f64).ln()
+    }
+}
+
+/// One node's link lists, innermost-lock granularity for parallel build.
+struct Node {
+    /// `links[l]` = neighbors at layer `l`, `l ∈ 0..=level`.
+    links: Vec<RwLock<Vec<u32>>>,
+}
+
+impl Node {
+    fn new(level: usize, cfg: &HnswConfig) -> Self {
+        let links = (0..=level)
+            .map(|l| {
+                let cap = if l == 0 { cfg.m0 } else { cfg.m };
+                RwLock::new(Vec::with_capacity(cap + 1))
+            })
+            .collect();
+        Node { links }
+    }
+
+    fn level(&self) -> usize {
+        self.links.len() - 1
+    }
+}
+
+/// Entry point of the graph: the node reachable from nowhere.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+struct Entry {
+    node: u32,
+    level: usize,
+}
+
+/// Aggregate counters, primarily for tests and the cost model.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HnswStats {
+    /// Total distance computations since construction / last reset.
+    pub distance_computations: u64,
+}
+
+/// An HNSW graph over a [`VectorSource`].
+///
+/// The index stores only graph structure (offsets); vectors stay in the
+/// source, which is passed to every operation. This mirrors how segment
+/// storage and index are separate objects in Qdrant.
+///
+/// ```
+/// use vq_index::{DenseVectors, HnswConfig, HnswIndex};
+/// use vq_core::Distance;
+///
+/// let mut vectors = DenseVectors::new(2);
+/// for i in 0..100 {
+///     vectors.push(&[i as f32, 0.0]);
+/// }
+/// let index = HnswIndex::build(&vectors, Distance::Euclid, HnswConfig::default());
+/// let hits = index.search(&vectors, &[41.9, 0.0], 3, 64, None);
+/// assert_eq!(hits[0].0, 42);
+/// ```
+pub struct HnswIndex {
+    config: HnswConfig,
+    metric: Distance,
+    nodes: Vec<Node>,
+    entry: RwLock<Option<Entry>>,
+    visited_pool: VisitedPool,
+    dist_count: AtomicU64,
+    /// Serializes entry-point *upgrades* so two concurrent high-level
+    /// inserts cannot race past each other.
+    entry_upgrade: Mutex<()>,
+}
+
+impl std::fmt::Debug for HnswIndex {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("HnswIndex")
+            .field("len", &self.nodes.len())
+            .field("top_level", &self.top_level())
+            .field("metric", &self.metric)
+            .field("config", &self.config)
+            .finish()
+    }
+}
+
+impl HnswIndex {
+    /// Build an index over all vectors in `source`, inserting in parallel.
+    pub fn build<S: VectorSource>(source: &S, metric: Distance, config: HnswConfig) -> Self {
+        let n = source.len();
+        let index = Self::with_levels(n, metric, config);
+        if n == 0 {
+            return index;
+        }
+        // Insert the entry (deepest) node first so every other insert can
+        // descend from it; remaining nodes go in parallel.
+        let entry_node = (*index.entry.read()).expect("set by with_levels").node;
+        index.link_node(source, entry_node);
+        (0..n as u32)
+            .into_par_iter()
+            .filter(|&o| o != entry_node)
+            .for_each(|o| index.link_node(source, o));
+        index
+    }
+
+    /// Build sequentially (deterministic graph; used by differential tests).
+    pub fn build_sequential<S: VectorSource>(
+        source: &S,
+        metric: Distance,
+        config: HnswConfig,
+    ) -> Self {
+        let n = source.len();
+        let index = Self::with_levels(n, metric, config);
+        if n == 0 {
+            return index;
+        }
+        let entry_node = (*index.entry.read()).expect("set by with_levels").node;
+        index.link_node(source, entry_node);
+        for o in 0..n as u32 {
+            if o != entry_node {
+                index.link_node(source, o);
+            }
+        }
+        index
+    }
+
+    /// Allocate nodes with pre-drawn levels; entry = deepest node
+    /// (ties → smallest offset).
+    fn with_levels(n: usize, metric: Distance, config: HnswConfig) -> Self {
+        let mult = config.level_mult();
+        let mut best: Option<Entry> = None;
+        let mut nodes = Vec::with_capacity(n);
+        for offset in 0..n as u32 {
+            let level = draw_level(config.seed, offset, mult);
+            if best.map_or(true, |b| level > b.level) {
+                best = Some(Entry {
+                    node: offset,
+                    level,
+                });
+            }
+            nodes.push(Node::new(level, &config));
+        }
+        HnswIndex {
+            config,
+            metric,
+            nodes,
+            entry: RwLock::new(best),
+            visited_pool: VisitedPool::new(n),
+            dist_count: AtomicU64::new(0),
+            entry_upgrade: Mutex::new(()),
+        }
+    }
+
+    /// Append one vector (already pushed to `source` at `offset`) to the
+    /// graph. Single-writer incremental insertion.
+    pub fn insert<S: VectorSource>(&mut self, source: &S, offset: u32) {
+        assert_eq!(offset as usize, self.nodes.len(), "offsets must be dense");
+        let mult = self.config.level_mult();
+        let level = draw_level(self.config.seed, offset, mult);
+        self.nodes.push(Node::new(level, &self.config));
+        self.visited_pool.grow(self.nodes.len());
+        if self.entry.read().is_none() {
+            *self.entry.write() = Some(Entry {
+                node: offset,
+                level,
+            });
+            return;
+        }
+        self.link_node(source, offset);
+    }
+
+    /// Number of indexed vectors.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Configured parameters.
+    pub fn config(&self) -> &HnswConfig {
+        &self.config
+    }
+
+    /// Metric the graph was built under.
+    pub fn metric(&self) -> Distance {
+        self.metric
+    }
+
+    /// Level of the node at `offset` (for tests/introspection).
+    pub fn node_level(&self, offset: u32) -> usize {
+        self.nodes[offset as usize].level()
+    }
+
+    /// Current top level of the graph, if non-empty.
+    pub fn top_level(&self) -> Option<usize> {
+        self.entry.read().map(|e| e.level)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> HnswStats {
+        HnswStats {
+            distance_computations: self.dist_count.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Reset counters.
+    pub fn reset_stats(&self) {
+        self.dist_count.store(0, Ordering::Relaxed);
+    }
+
+    /// Top-`k` ANN search with beam width `ef` (clamped to ≥ `k`).
+    ///
+    /// `filter` restricts which offsets may appear in results; the beam
+    /// still traverses non-matching nodes (post-filtering, like Qdrant's
+    /// unpredicated HNSW path).
+    pub fn search<S: VectorSource>(
+        &self,
+        source: &S,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        filter: Option<OffsetFilter<'_>>,
+    ) -> Vec<OffsetHit> {
+        let Some(entry) = *self.entry.read() else {
+            return Vec::new();
+        };
+        if k == 0 {
+            return Vec::new();
+        }
+        let ef = ef.max(k);
+        let mut ep = entry.node;
+        let mut ep_score = self.score(source, query, ep);
+        for layer in (1..=entry.level).rev() {
+            (ep, ep_score) = self.greedy_descend(source, query, ep, ep_score, layer);
+        }
+        let mut hits = self.search_layer(source, query, &[(ep, ep_score)], 0, ef);
+        if let Some(f) = filter {
+            hits.retain(|&(o, _)| f(o));
+        }
+        hits.truncate(k);
+        hits
+    }
+
+    /// Export the adjacency structure for snapshots:
+    /// `links[offset][layer] = neighbors`.
+    pub fn export_links(&self) -> Vec<Vec<Vec<u32>>> {
+        self.nodes
+            .iter()
+            .map(|n| n.links.iter().map(|l| l.read().clone()).collect())
+            .collect()
+    }
+
+    /// Rebuild an index from exported adjacency (inverse of
+    /// [`export_links`](Self::export_links)).
+    pub fn import_links(
+        links: Vec<Vec<Vec<u32>>>,
+        metric: Distance,
+        config: HnswConfig,
+    ) -> Self {
+        let n = links.len();
+        let mut entry: Option<Entry> = None;
+        let nodes: Vec<Node> = links
+            .into_iter()
+            .enumerate()
+            .map(|(offset, layers)| {
+                let level = layers.len().saturating_sub(1);
+                if entry.map_or(true, |e| level > e.level) {
+                    entry = Some(Entry {
+                        node: offset as u32,
+                        level,
+                    });
+                }
+                Node {
+                    links: layers.into_iter().map(RwLock::new).collect(),
+                }
+            })
+            .collect();
+        HnswIndex {
+            config,
+            metric,
+            nodes,
+            entry: RwLock::new(entry),
+            visited_pool: VisitedPool::new(n),
+            dist_count: AtomicU64::new(0),
+            entry_upgrade: Mutex::new(()),
+        }
+    }
+
+    // ---- internals ----------------------------------------------------
+
+    #[inline]
+    fn score<S: VectorSource>(&self, source: &S, query: &[f32], offset: u32) -> f32 {
+        self.dist_count.fetch_add(1, Ordering::Relaxed);
+        self.metric.score(query, source.vector(offset))
+    }
+
+    /// Greedy best-first descent on one layer (ef = 1).
+    fn greedy_descend<S: VectorSource>(
+        &self,
+        source: &S,
+        query: &[f32],
+        mut ep: u32,
+        mut ep_score: f32,
+        layer: usize,
+    ) -> (u32, f32) {
+        let mut scratch: Vec<u32> = Vec::with_capacity(self.config.m);
+        loop {
+            let mut improved = false;
+            {
+                let node = &self.nodes[ep as usize];
+                if layer >= node.links.len() {
+                    return (ep, ep_score);
+                }
+                scratch.clear();
+                scratch.extend_from_slice(&node.links[layer].read());
+            }
+            for &cand in &scratch {
+                let s = self.score(source, query, cand);
+                if s > ep_score {
+                    ep = cand;
+                    ep_score = s;
+                    improved = true;
+                }
+            }
+            if !improved {
+                return (ep, ep_score);
+            }
+        }
+    }
+
+    /// Algorithm 2: `ef`-bounded best-first beam search on `layer`.
+    /// Returns hits sorted best-first.
+    fn search_layer<S: VectorSource>(
+        &self,
+        source: &S,
+        query: &[f32],
+        entries: &[(u32, f32)],
+        layer: usize,
+        ef: usize,
+    ) -> Vec<OffsetHit> {
+        use std::cmp::Reverse;
+        use std::collections::BinaryHeap;
+
+        let mut visited = self.visited_pool.take(self.nodes.len());
+        // Max-heap of frontier candidates by score.
+        let mut frontier: BinaryHeap<(OrdF32, u32)> = BinaryHeap::new();
+        // Min-heap of current best `ef` results (root = worst kept).
+        let mut results: BinaryHeap<Reverse<(OrdF32, u32)>> = BinaryHeap::new();
+
+        for &(o, s) in entries {
+            if visited.insert(o) {
+                frontier.push((OrdF32(s), o));
+                results.push(Reverse((OrdF32(s), o)));
+            }
+        }
+        let mut scratch: Vec<u32> = Vec::with_capacity(self.config.m0);
+        while let Some((OrdF32(c_score), c)) = frontier.pop() {
+            let worst = results.peek().map(|Reverse((s, _))| s.0).unwrap_or(f32::MIN);
+            if results.len() >= ef && c_score < worst {
+                break;
+            }
+            {
+                let node = &self.nodes[c as usize];
+                if layer >= node.links.len() {
+                    continue;
+                }
+                scratch.clear();
+                scratch.extend_from_slice(&node.links[layer].read());
+            }
+            for &nb in &scratch {
+                if !visited.insert(nb) {
+                    continue;
+                }
+                let s = self.score(source, query, nb);
+                let worst = results.peek().map(|Reverse((w, _))| w.0).unwrap_or(f32::MIN);
+                if results.len() < ef || s > worst {
+                    frontier.push((OrdF32(s), nb));
+                    results.push(Reverse((OrdF32(s), nb)));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        self.visited_pool.put(visited);
+        let mut out: Vec<OffsetHit> = results
+            .into_iter()
+            .map(|Reverse((OrdF32(s), o))| (o, s))
+            .collect();
+        out.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        out
+    }
+
+    /// Insert `offset` into the graph (node must already exist).
+    fn link_node<S: VectorSource>(&self, source: &S, offset: u32) {
+        let node_level = self.nodes[offset as usize].level();
+        let query = source.vector(offset);
+
+        let entry = (*self.entry.read()).expect("graph non-empty");
+        if entry.node == offset {
+            // The bootstrap node: nothing to link against yet.
+            return;
+        }
+        let mut ep = entry.node;
+        let mut ep_score = self.score(source, query, ep);
+        let top = entry.level;
+
+        // Phase 1: greedy descent through layers above our level.
+        for layer in ((node_level + 1)..=top).rev() {
+            (ep, ep_score) = self.greedy_descend(source, query, ep, ep_score, layer);
+        }
+
+        // Phase 2: beam search + connect on each layer we participate in.
+        let mut entries = vec![(ep, ep_score)];
+        for layer in (0..=node_level.min(top)).rev() {
+            let m_max = if layer == 0 {
+                self.config.m0
+            } else {
+                self.config.m
+            };
+            let candidates =
+                self.search_layer(source, query, &entries, layer, self.config.ef_construct);
+            let selected = self.select_neighbors(source, query, &candidates, self.config.m);
+            // Set our links.
+            {
+                let mut links = self.nodes[offset as usize].links[layer].write();
+                links.clear();
+                links.extend(selected.iter().map(|&(o, _)| o));
+            }
+            // Add backlinks, pruning overfull neighbors.
+            for &(nb, _) in &selected {
+                self.add_backlink(source, nb, offset, layer, m_max);
+            }
+            entries = candidates;
+            if entries.is_empty() {
+                entries = vec![(ep, ep_score)];
+            }
+        }
+
+        // Phase 3: upgrade the entry point if we are the new deepest node.
+        if node_level > top {
+            let _guard = self.entry_upgrade.lock();
+            let mut e = self.entry.write();
+            if e.map_or(true, |cur| node_level > cur.level) {
+                *e = Some(Entry {
+                    node: offset,
+                    level: node_level,
+                });
+            }
+        }
+    }
+
+    /// Add `new` to `node`'s layer-`layer` links, pruning to `m_max` with
+    /// the configured selection rule if the list overflows.
+    fn add_backlink<S: VectorSource>(
+        &self,
+        source: &S,
+        node: u32,
+        new: u32,
+        layer: usize,
+        m_max: usize,
+    ) {
+        let mut links = self.nodes[node as usize].links[layer].write();
+        if links.contains(&new) {
+            return;
+        }
+        links.push(new);
+        if links.len() <= m_max {
+            return;
+        }
+        // Overflow: re-select the best m_max among current links.
+        let base = source.vector(node);
+        let scored: Vec<OffsetHit> = links
+            .iter()
+            .map(|&o| (o, self.score(source, base, o)))
+            .collect();
+        let mut sorted = scored;
+        sorted.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let kept = self.select_neighbors(source, base, &sorted, m_max);
+        links.clear();
+        links.extend(kept.iter().map(|&(o, _)| o));
+    }
+
+    fn select_neighbors<S: VectorSource>(
+        &self,
+        source: &S,
+        query: &[f32],
+        candidates: &[OffsetHit],
+        m: usize,
+    ) -> Vec<OffsetHit> {
+        if self.config.heuristic {
+            select::heuristic(source, self.metric, query, candidates, m, &self.dist_count)
+        } else {
+            select::closest(candidates, m)
+        }
+    }
+}
+
+/// f32 wrapper with a total order (NaN sorts lowest); scores never contain
+/// NaN for finite inputs but the heap needs `Ord`.
+#[derive(Clone, Copy, PartialEq)]
+struct OrdF32(f32);
+
+impl Eq for OrdF32 {}
+impl PartialOrd for OrdF32 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdF32 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Draw the level for `offset` from the geometric distribution
+/// `P(level ≥ l) = exp(-l / mult)`, deterministically per (seed, offset).
+fn draw_level(seed: u64, offset: u32, mult: f64) -> usize {
+    let mut rng = seed_rng(seed, offset as u64 | (1 << 40));
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    (-u.ln() * mult) as usize
+}
+
+#[cfg(test)]
+mod tests;

@@ -1,0 +1,132 @@
+//! Neighbor-selection strategies for link pruning.
+
+use crate::source::VectorSource;
+use crate::OffsetHit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use vq_core::Distance;
+
+/// Simple selection: keep the `m` highest-scored candidates.
+///
+/// `candidates` must already be sorted best-first.
+pub(super) fn closest(candidates: &[OffsetHit], m: usize) -> Vec<OffsetHit> {
+    candidates.iter().copied().take(m).collect()
+}
+
+/// Algorithm 4 of the HNSW paper (without `extendCandidates`): a candidate
+/// is kept only if it is closer to the query than to every already-kept
+/// neighbor. This spreads links across clusters instead of piling them
+/// into the nearest one, which is what preserves graph navigability.
+///
+/// `candidates` must be sorted best-first. Falls back to topping up with
+/// skipped candidates if fewer than `m` survive the rule (matching
+/// `keepPrunedConnections` behaviour).
+pub(super) fn heuristic<S: VectorSource>(
+    source: &S,
+    metric: Distance,
+    query: &[f32],
+    candidates: &[OffsetHit],
+    m: usize,
+    dist_count: &AtomicU64,
+) -> Vec<OffsetHit> {
+    if candidates.len() <= m {
+        return candidates.to_vec();
+    }
+    let mut kept: Vec<OffsetHit> = Vec::with_capacity(m);
+    let mut skipped: Vec<OffsetHit> = Vec::new();
+    for &(cand, cand_score) in candidates {
+        if kept.len() >= m {
+            break;
+        }
+        let cand_vec = source.vector(cand);
+        let mut dominated = false;
+        for &(r, _) in &kept {
+            dist_count.fetch_add(1, Ordering::Relaxed);
+            let to_kept = metric.score(cand_vec, source.vector(r));
+            if to_kept > cand_score {
+                dominated = true;
+                break;
+            }
+        }
+        if dominated {
+            skipped.push((cand, cand_score));
+        } else {
+            kept.push((cand, cand_score));
+        }
+    }
+    // keepPrunedConnections: top up from the skipped list, best first.
+    for &hit in &skipped {
+        if kept.len() >= m {
+            break;
+        }
+        kept.push(hit);
+    }
+    let _ = query; // query only participates via precomputed cand_score
+    kept
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::DenseVectors;
+
+    #[test]
+    fn closest_takes_prefix() {
+        let c = vec![(1, 0.9), (2, 0.8), (3, 0.7)];
+        assert_eq!(closest(&c, 2), vec![(1, 0.9), (2, 0.8)]);
+        assert_eq!(closest(&c, 5).len(), 3);
+    }
+
+    #[test]
+    fn heuristic_spreads_across_clusters() {
+        // Query at origin. Two tight clusters: A = {(1,0) x3} and one
+        // farther point B = (0, 2). Simple selection with m=2 would pick
+        // two A points; the heuristic must keep one A and B.
+        let mut s = DenseVectors::new(2);
+        let a0 = s.push(&[1.0, 0.0]);
+        let a1 = s.push(&[1.01, 0.0]);
+        let a2 = s.push(&[0.99, 0.01]);
+        let b = s.push(&[0.0, 2.0]);
+        let q = [0.0f32, 0.0];
+        let metric = Distance::Euclid;
+        let mut cands: Vec<OffsetHit> = [a0, a1, a2, b]
+            .iter()
+            .map(|&o| (o, metric.score(&q, s.vector(o))))
+            .collect();
+        cands.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap());
+        let counter = AtomicU64::new(0);
+        let kept = heuristic(&s, metric, &q, &cands, 2, &counter);
+        let ids: Vec<u32> = kept.iter().map(|h| h.0).collect();
+        assert!(ids.contains(&b), "heuristic must keep the far cluster: {ids:?}");
+        assert_eq!(kept.len(), 2);
+        assert!(counter.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn heuristic_passthrough_when_few_candidates() {
+        let s = DenseVectors::from_flat(1, vec![0.0, 1.0]);
+        let cands = vec![(0, 0.0), (1, -1.0)];
+        let counter = AtomicU64::new(0);
+        let kept = heuristic(&s, Distance::Euclid, &[0.5], &cands, 4, &counter);
+        assert_eq!(kept, cands);
+        assert_eq!(counter.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn heuristic_tops_up_with_pruned() {
+        // All candidates in one tight cluster: rule would keep only 1, the
+        // top-up must restore m.
+        let mut s = DenseVectors::new(1);
+        for i in 0..5 {
+            s.push(&[1.0 + i as f32 * 1e-4]);
+        }
+        let q = [0.0f32];
+        let metric = Distance::Euclid;
+        let mut cands: Vec<OffsetHit> = (0..5u32)
+            .map(|o| (o, metric.score(&q, s.vector(o))))
+            .collect();
+        cands.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap());
+        let counter = AtomicU64::new(0);
+        let kept = heuristic(&s, metric, &q, &cands, 3, &counter);
+        assert_eq!(kept.len(), 3);
+    }
+}

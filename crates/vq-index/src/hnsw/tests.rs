@@ -1,0 +1,280 @@
+use super::*;
+use crate::flat::FlatIndex;
+use crate::recall::recall_at_k;
+use crate::source::DenseVectors;
+use rand::{Rng, SeedableRng};
+
+fn random_source(n: usize, dim: usize, seed: u64) -> DenseVectors {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+    let mut s = DenseVectors::new(dim);
+    for _ in 0..n {
+        let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        s.push(&v);
+    }
+    s
+}
+
+#[test]
+fn empty_graph_searches_empty() {
+    let s = DenseVectors::new(4);
+    let idx = HnswIndex::build(&s, Distance::Euclid, HnswConfig::default());
+    assert!(idx.is_empty());
+    assert!(idx.search(&s, &[0.0; 4], 5, 50, None).is_empty());
+}
+
+#[test]
+fn single_point_graph() {
+    let mut s = DenseVectors::new(2);
+    s.push(&[1.0, 1.0]);
+    let idx = HnswIndex::build(&s, Distance::Euclid, HnswConfig::default());
+    let hits = idx.search(&s, &[0.0, 0.0], 3, 10, None);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].0, 0);
+}
+
+#[test]
+fn exact_on_tiny_dataset() {
+    // With n << ef_construct the beam covers everything: results are exact.
+    let s = random_source(50, 8, 1);
+    let idx = HnswIndex::build(&s, Distance::Euclid, HnswConfig::default().seed(9));
+    let flat = FlatIndex::new(Distance::Euclid);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(2);
+    for _ in 0..10 {
+        let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let got: Vec<u32> = idx.search(&s, &q, 5, 64, None).iter().map(|h| h.0).collect();
+        let want: Vec<u32> = flat.search(&s, &q, 5, None).iter().map(|h| h.0).collect();
+        assert_eq!(got, want);
+    }
+}
+
+#[test]
+fn recall_above_90_percent_on_random_data() {
+    let n = 2000;
+    let dim = 24;
+    let s = random_source(n, dim, 3);
+    let idx = HnswIndex::build(&s, Distance::Cosine, HnswConfig::default().seed(4));
+    let flat = FlatIndex::new(Distance::Cosine);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+    let mut recalls = Vec::new();
+    for _ in 0..50 {
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let got: Vec<u32> = idx.search(&s, &q, 10, 100, None).iter().map(|h| h.0).collect();
+        let truth: Vec<u32> = flat.search(&s, &q, 10, None).iter().map(|h| h.0).collect();
+        recalls.push(recall_at_k(&got, &truth));
+    }
+    let mean = recalls.iter().sum::<f64>() / recalls.len() as f64;
+    assert!(mean > 0.9, "mean recall@10 = {mean}");
+}
+
+#[test]
+fn higher_ef_does_not_reduce_expected_recall() {
+    let s = random_source(1500, 16, 11);
+    let idx = HnswIndex::build(&s, Distance::Euclid, HnswConfig::default().seed(12));
+    let flat = FlatIndex::new(Distance::Euclid);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(13);
+    let mut lo = 0.0;
+    let mut hi = 0.0;
+    for _ in 0..30 {
+        let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let truth: Vec<u32> = flat.search(&s, &q, 10, None).iter().map(|h| h.0).collect();
+        let a: Vec<u32> = idx.search(&s, &q, 10, 16, None).iter().map(|h| h.0).collect();
+        let b: Vec<u32> = idx.search(&s, &q, 10, 200, None).iter().map(|h| h.0).collect();
+        lo += recall_at_k(&a, &truth);
+        hi += recall_at_k(&b, &truth);
+    }
+    assert!(
+        hi >= lo,
+        "recall should not degrade with larger ef: ef16 {lo} vs ef200 {hi}"
+    );
+}
+
+#[test]
+fn parallel_build_recall_matches_sequential_band() {
+    let s = random_source(1200, 16, 21);
+    let cfg = HnswConfig::default().seed(22);
+    let par = HnswIndex::build(&s, Distance::Euclid, cfg);
+    let seq = HnswIndex::build_sequential(&s, Distance::Euclid, cfg);
+    let flat = FlatIndex::new(Distance::Euclid);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(23);
+    let (mut rp, mut rs) = (0.0, 0.0);
+    for _ in 0..40 {
+        let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let truth: Vec<u32> = flat.search(&s, &q, 10, None).iter().map(|h| h.0).collect();
+        let p: Vec<u32> = par.search(&s, &q, 10, 80, None).iter().map(|h| h.0).collect();
+        let sq: Vec<u32> = seq.search(&s, &q, 10, 80, None).iter().map(|h| h.0).collect();
+        rp += recall_at_k(&p, &truth);
+        rs += recall_at_k(&sq, &truth);
+    }
+    rp /= 40.0;
+    rs /= 40.0;
+    assert!(rp > 0.85, "parallel-build recall {rp}");
+    assert!(rs > 0.85, "sequential-build recall {rs}");
+}
+
+#[test]
+fn incremental_insert_matches_build() {
+    let s = random_source(300, 8, 31);
+    let cfg = HnswConfig::default().seed(32);
+    let mut inc = HnswIndex::with_levels(0, Distance::Euclid, cfg);
+    // Incrementally grown index over a growing source.
+    let mut grow = DenseVectors::new(8);
+    for o in 0..300u32 {
+        grow.push(s.vector(o));
+        inc.insert(&grow, o);
+    }
+    assert_eq!(inc.len(), 300);
+    let flat = FlatIndex::new(Distance::Euclid);
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(33);
+    let mut recall = 0.0;
+    for _ in 0..20 {
+        let q: Vec<f32> = (0..8).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+        let truth: Vec<u32> = flat.search(&s, &q, 5, None).iter().map(|h| h.0).collect();
+        let got: Vec<u32> = inc.search(&grow, &q, 5, 80, None).iter().map(|h| h.0).collect();
+        recall += recall_at_k(&got, &truth);
+    }
+    assert!(recall / 20.0 > 0.9, "incremental recall {}", recall / 20.0);
+}
+
+#[test]
+fn link_degree_bounds_hold() {
+    let s = random_source(800, 12, 41);
+    let cfg = HnswConfig::with_m(8).seed(42);
+    let idx = HnswIndex::build(&s, Distance::Euclid, cfg);
+    for (offset, layers) in idx.export_links().into_iter().enumerate() {
+        for (layer, links) in layers.iter().enumerate() {
+            let cap = if layer == 0 { cfg.m0 } else { cfg.m };
+            assert!(
+                links.len() <= cap,
+                "node {offset} layer {layer} has {} links (cap {cap})",
+                links.len()
+            );
+            for &nb in links {
+                assert_ne!(nb as usize, offset, "self-link at node {offset}");
+                assert!((nb as usize) < idx.len(), "dangling link");
+                assert!(
+                    idx.node_level(nb) >= layer,
+                    "link to node below its level"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn layer0_is_connected_for_modest_graphs() {
+    // BFS from the entry point along layer-0 links must reach every node
+    // (navigability invariant; guaranteed in practice for random data).
+    let s = random_source(500, 8, 51);
+    let idx = HnswIndex::build(&s, Distance::Euclid, HnswConfig::default().seed(52));
+    let links = idx.export_links();
+    let n = links.len();
+    let mut seen = vec![false; n];
+    let mut stack = vec![0u32];
+    seen[0] = true;
+    let mut reached = 1;
+    while let Some(u) = stack.pop() {
+        for &v in &links[u as usize][0] {
+            if !seen[v as usize] {
+                seen[v as usize] = true;
+                reached += 1;
+                stack.push(v);
+            }
+        }
+        // Treat layer-0 links as undirected for reachability: HNSW prunes
+        // can drop one direction, so also follow reverse edges.
+    }
+    // Follow reverse edges for any unreached node (pruning can orphan
+    // forward direction); do a symmetric pass.
+    if reached < n {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for (u, layers) in links.iter().enumerate() {
+            for &v in &layers[0] {
+                adj[u].push(v);
+                adj[v as usize].push(u as u32);
+            }
+        }
+        seen = vec![false; n];
+        seen[0] = true;
+        stack = vec![0];
+        reached = 1;
+        while let Some(u) = stack.pop() {
+            for &v in &adj[u as usize] {
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    reached += 1;
+                    stack.push(v);
+                }
+            }
+        }
+    }
+    assert!(
+        reached as f64 >= 0.99 * n as f64,
+        "only {reached}/{n} nodes reachable on layer 0"
+    );
+}
+
+#[test]
+fn export_import_roundtrip_preserves_search() {
+    let s = random_source(400, 8, 61);
+    let cfg = HnswConfig::default().seed(62);
+    let idx = HnswIndex::build(&s, Distance::Dot, cfg);
+    let q: Vec<f32> = vec![0.3; 8];
+    let before = idx.search(&s, &q, 7, 60, None);
+    let rebuilt = HnswIndex::import_links(idx.export_links(), Distance::Dot, cfg);
+    let after = rebuilt.search(&s, &q, 7, 60, None);
+    assert_eq!(before, after);
+    assert_eq!(rebuilt.top_level(), idx.top_level());
+}
+
+#[test]
+fn filtered_search_excludes_non_matching() {
+    let s = random_source(600, 8, 71);
+    let idx = HnswIndex::build(&s, Distance::Euclid, HnswConfig::default().seed(72));
+    let filter = |o: u32| o % 3 == 0;
+    let hits = idx.search(&s, &[0.0; 8], 10, 120, Some(&filter));
+    assert!(!hits.is_empty());
+    for (o, _) in hits {
+        assert_eq!(o % 3, 0);
+    }
+}
+
+#[test]
+fn stats_count_distance_computations() {
+    let s = random_source(200, 8, 81);
+    let idx = HnswIndex::build(&s, Distance::Euclid, HnswConfig::default());
+    let built = idx.stats().distance_computations;
+    assert!(built > 200, "build must compute many distances: {built}");
+    idx.reset_stats();
+    idx.search(&s, &[0.1; 8], 5, 40, None);
+    let searched = idx.stats().distance_computations;
+    assert!(searched > 0 && searched < built);
+}
+
+#[test]
+fn level_distribution_is_geometric() {
+    let cfg = HnswConfig::default().seed(91);
+    let mult = cfg.level_mult();
+    let n = 20_000;
+    let mut counts = [0usize; 8];
+    for o in 0..n as u32 {
+        let l = draw_level(cfg.seed, o, mult).min(7);
+        counts[l] += 1;
+    }
+    // P(level ≥ 1) = exp(-1/mult) = 1/m = 1/16 ≈ 6.25 %.
+    let frac_l1 = counts[1..].iter().sum::<usize>() as f64 / n as f64;
+    assert!(
+        (0.04..0.09).contains(&frac_l1),
+        "fraction above level 0 = {frac_l1}"
+    );
+    assert!(counts[0] > counts[1]);
+}
+
+#[test]
+fn search_deterministic_for_fixed_graph() {
+    let s = random_source(500, 8, 101);
+    let idx = HnswIndex::build_sequential(&s, Distance::Euclid, HnswConfig::default().seed(102));
+    let q = vec![0.25; 8];
+    let a = idx.search(&s, &q, 10, 64, None);
+    let b = idx.search(&s, &q, 10, 64, None);
+    assert_eq!(a, b);
+}

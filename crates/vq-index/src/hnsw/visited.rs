@@ -1,0 +1,133 @@
+//! Epoch-tagged visited lists, pooled across searches.
+//!
+//! Every beam search needs a "have I visited this node" set. Allocating a
+//! fresh bitset per query would dominate small-graph searches, and a
+//! `HashSet` is slow in the hot loop. The classic fix (used by faiss and
+//! hnswlib alike) is an epoch-tagged `Vec<u32>`: clearing is one counter
+//! bump, and the buffers are recycled through a pool so concurrent
+//! searches don't contend.
+
+use parking_lot::Mutex;
+
+/// One visited list: `marks[i] == epoch` means "visited this search".
+pub(super) struct VisitedList {
+    marks: Vec<u32>,
+    epoch: u32,
+}
+
+impl VisitedList {
+    fn new(n: usize) -> Self {
+        VisitedList {
+            marks: vec![0; n],
+            epoch: 0,
+        }
+    }
+
+    fn begin(&mut self, n: usize) {
+        if self.marks.len() < n {
+            self.marks.resize(n, 0);
+        }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped: every stale mark would read as "visited".
+            self.marks.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Mark `offset` visited. Returns `true` if it was *not* visited before.
+    #[inline]
+    pub(super) fn insert(&mut self, offset: u32) -> bool {
+        let slot = &mut self.marks[offset as usize];
+        if *slot == self.epoch {
+            false
+        } else {
+            *slot = self.epoch;
+            true
+        }
+    }
+}
+
+/// Pool of [`VisitedList`]s sized for a graph of `n` nodes.
+pub(super) struct VisitedPool {
+    pool: Mutex<Vec<VisitedList>>,
+    n: Mutex<usize>,
+}
+
+impl VisitedPool {
+    pub(super) fn new(n: usize) -> Self {
+        VisitedPool {
+            pool: Mutex::new(Vec::new()),
+            n: Mutex::new(n),
+        }
+    }
+
+    /// Record that the graph grew; future lists will be sized accordingly.
+    pub(super) fn grow(&self, n: usize) {
+        let mut cur = self.n.lock();
+        if n > *cur {
+            *cur = n;
+        }
+    }
+
+    /// Take a cleared list sized for at least `n` nodes.
+    pub(super) fn take(&self, n: usize) -> VisitedList {
+        let mut list = self
+            .pool
+            .lock()
+            .pop()
+            .unwrap_or_else(|| VisitedList::new(n.max(*self.n.lock())));
+        list.begin(n);
+        list
+    }
+
+    /// Return a list to the pool.
+    pub(super) fn put(&self, list: VisitedList) {
+        let mut pool = self.pool.lock();
+        // Cap the pool: more lists than threads is waste.
+        if pool.len() < 64 {
+            pool.push(list);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_reports_first_visit_only() {
+        let pool = VisitedPool::new(10);
+        let mut v = pool.take(10);
+        assert!(v.insert(3));
+        assert!(!v.insert(3));
+        assert!(v.insert(4));
+    }
+
+    #[test]
+    fn recycled_list_is_clear() {
+        let pool = VisitedPool::new(4);
+        let mut v = pool.take(4);
+        v.insert(1);
+        pool.put(v);
+        let mut v2 = pool.take(4);
+        assert!(v2.insert(1), "recycled list must forget previous epoch");
+    }
+
+    #[test]
+    fn epoch_wrap_resets_marks() {
+        let mut v = VisitedList::new(2);
+        v.epoch = u32::MAX - 1;
+        v.begin(2); // -> MAX
+        v.insert(0);
+        v.begin(2); // wraps -> fill(0), epoch = 1
+        assert!(v.insert(0));
+    }
+
+    #[test]
+    fn take_grows_for_larger_n() {
+        let pool = VisitedPool::new(2);
+        let mut v = pool.take(100);
+        assert!(v.insert(99));
+    }
+}

@@ -1,0 +1,52 @@
+//! # vq-index
+//!
+//! Approximate-nearest-neighbor indexes for the `vq` vector database:
+//!
+//! * [`hnsw`] — a complete Hierarchical Navigable Small World graph
+//!   implementation (Malkov & Yashunin) with parallel construction, the
+//!   neighbor-selection heuristic, and tunable `m` / `ef_construct` /
+//!   `ef_search`. This is the index family Qdrant uses by default and the
+//!   one the paper's index-building experiments (Fig. 3) measure.
+//! * [`flat`] — exact brute-force scan; the recall ground truth and the
+//!   baseline unindexed search path.
+//! * [`ivf`] — inverted-file index over a k-means coarse quantizer with
+//!   `nprobe` search.
+//! * [`ivf_pq`] — the IVF-PQ composition: PQ-encoded residuals scanned
+//!   per probed cell with per-cell ADC tables and rescoring.
+//! * [`pq`] — product quantization codec with asymmetric-distance (ADC)
+//!   scoring, composable with IVF.
+//! * [`sq`] — int8 scalar quantization with full-precision rescoring
+//!   (the quantization mode Qdrant itself ships).
+//!
+//! Indexes address vectors by dense `u32` *offsets* into a
+//! [`VectorSource`]; the collection layer owns the mapping between offsets
+//! and user-visible point ids. This keeps graph nodes at 4 bytes per link
+//! and lets the same index code run over any storage backend.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod flat;
+pub mod hnsw;
+pub mod ivf;
+pub mod ivf_pq;
+pub mod pq;
+pub mod recall;
+pub mod source;
+pub mod sq;
+
+pub use flat::FlatIndex;
+pub use hnsw::{HnswConfig, HnswIndex};
+pub use ivf::{IvfConfig, IvfIndex};
+pub use ivf_pq::{IvfPqConfig, IvfPqIndex};
+pub use pq::{PqCodec, PqConfig};
+pub use recall::recall_at_k;
+pub use source::{DenseVectors, VectorSource};
+pub use sq::{SqCodec, SqConfig};
+
+/// A search hit expressed in index-internal coordinates: `(offset, score)`.
+/// Score follows the crate-wide convention: **larger is better**.
+pub type OffsetHit = (u32, f32);
+
+/// Optional per-offset predicate used for filtered (predicated) search.
+pub type OffsetFilter<'a> = &'a (dyn Fn(u32) -> bool + Sync);

@@ -1,0 +1,423 @@
+//! Product quantization (PQ) codec.
+//!
+//! Jégou et al.'s compression scheme: a `dim`-dimensional vector is split
+//! into `m` contiguous sub-vectors, each quantized to one of `ks ≤ 256`
+//! codewords trained per subspace, giving an `m`-byte code. Search uses
+//! *asymmetric distance computation* (ADC): the query stays full-precision
+//! and a per-query lookup table turns each stored code into an approximate
+//! score with `m` table lookups.
+//!
+//! In `vq` the codec composes with [`crate::ivf`]: IVF narrows the
+//! candidate set, PQ makes scanning the survivors cheap — the standard
+//! IVF-PQ configuration the paper's background section describes.
+
+use crate::source::VectorSource;
+use crate::{OffsetFilter, OffsetHit};
+use rand::Rng;
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use vq_core::{seed_rng, Distance, ScoredPoint, TopK};
+
+/// PQ parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PqConfig {
+    /// Number of subspaces (`dim` must be divisible by `m`).
+    pub m: usize,
+    /// Codewords per subspace (≤ 256; codes are `u8`).
+    pub ks: usize,
+    /// Lloyd iterations per subspace during training.
+    pub train_iters: usize,
+    /// Training sample cap.
+    pub train_sample: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for PqConfig {
+    fn default() -> Self {
+        PqConfig {
+            m: 8,
+            ks: 256,
+            train_iters: 8,
+            train_sample: 20_000,
+            seed: 0,
+        }
+    }
+}
+
+impl PqConfig {
+    /// Config with `m` subspaces.
+    pub fn with_m(m: usize) -> Self {
+        PqConfig {
+            m,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style setter for the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder-style setter for codewords per subspace.
+    pub fn ks(mut self, ks: usize) -> Self {
+        assert!(ks >= 1 && ks <= 256, "ks must be in 1..=256");
+        self.ks = ks;
+        self
+    }
+}
+
+/// A trained product quantizer plus the codes of every encoded vector.
+pub struct PqCodec {
+    config: PqConfig,
+    metric: Distance,
+    dim: usize,
+    sub_dim: usize,
+    /// Codebooks: `[m][ks][sub_dim]` flattened.
+    codebooks: Vec<f32>,
+    /// Codes: `[n][m]` flattened.
+    codes: Vec<u8>,
+}
+
+impl PqCodec {
+    /// Train on `source` and encode all of it.
+    ///
+    /// Supports `Euclid` (ADC on squared L2) and `Dot`/`Cosine` (ADC on
+    /// inner product; cosine assumes ingest-normalized vectors, as
+    /// everywhere in `vq`).
+    pub fn build<S: VectorSource>(source: &S, metric: Distance, config: PqConfig) -> Self {
+        let dim = source.dim();
+        assert!(
+            dim % config.m == 0,
+            "dim {dim} not divisible by m {}",
+            config.m
+        );
+        let sub_dim = dim / config.m;
+        let n = source.len();
+        let ks = config.ks.min(n.max(1));
+        let mut codec = PqCodec {
+            config: PqConfig { ks, ..config },
+            metric,
+            dim,
+            sub_dim,
+            codebooks: vec![0.0; config.m * ks * sub_dim],
+            codes: Vec::new(),
+        };
+        if n == 0 {
+            return codec;
+        }
+        codec.train(source);
+        codec.codes = (0..n as u32)
+            .into_par_iter()
+            .flat_map_iter(|o| codec.encode(source.vector(o)))
+            .collect();
+        codec
+    }
+
+    /// Number of encoded vectors.
+    pub fn len(&self) -> usize {
+        if self.config.m == 0 {
+            0
+        } else {
+            self.codes.len() / self.config.m
+        }
+    }
+
+    /// Whether anything is encoded.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Configured parameters.
+    pub fn config(&self) -> &PqConfig {
+        &self.config
+    }
+
+    /// Bytes per stored code (the compression payoff: `m` vs `4·dim`).
+    pub fn code_bytes(&self) -> usize {
+        self.config.m
+    }
+
+    /// Compression ratio vs f32 storage.
+    pub fn compression_ratio(&self) -> f64 {
+        (4 * self.dim) as f64 / self.config.m as f64
+    }
+
+    /// Encode one vector to its `m`-byte code.
+    pub fn encode(&self, v: &[f32]) -> Vec<u8> {
+        assert_eq!(v.len(), self.dim);
+        (0..self.config.m)
+            .map(|sub| {
+                let sv = &v[sub * self.sub_dim..(sub + 1) * self.sub_dim];
+                self.nearest_codeword(sub, sv).0
+            })
+            .collect()
+    }
+
+    /// Decode a code back to its reconstruction (centroid concatenation).
+    pub fn decode(&self, code: &[u8]) -> Vec<f32> {
+        assert_eq!(code.len(), self.config.m);
+        let mut out = Vec::with_capacity(self.dim);
+        for (sub, &c) in code.iter().enumerate() {
+            out.extend_from_slice(self.codeword(sub, c as usize));
+        }
+        out
+    }
+
+    /// The stored code of vector `offset`.
+    pub fn code(&self, offset: u32) -> &[u8] {
+        let m = self.config.m;
+        &self.codes[offset as usize * m..(offset as usize + 1) * m]
+    }
+
+    /// Build the per-query ADC lookup table: `table[sub][k]` = score
+    /// contribution of codeword `k` in subspace `sub`.
+    /// Contributions sum to the full approximate score.
+    pub fn adc_table(&self, query: &[f32]) -> Vec<f32> {
+        assert_eq!(query.len(), self.dim);
+        let ks = self.config.ks;
+        let mut table = vec![0.0f32; self.config.m * ks];
+        for sub in 0..self.config.m {
+            let qv = &query[sub * self.sub_dim..(sub + 1) * self.sub_dim];
+            for k in 0..ks {
+                let cw = self.codeword(sub, k);
+                table[sub * ks + k] = match self.metric {
+                    Distance::Cosine | Distance::Dot => vq_core::distance::dot(qv, cw),
+                    Distance::Euclid => -vq_core::distance::l2_squared(qv, cw),
+                    Distance::Manhattan => -vq_core::distance::l1(qv, cw),
+                };
+            }
+        }
+        table
+    }
+
+    /// Approximate score of stored vector `offset` from a prebuilt table.
+    #[inline]
+    pub fn adc_score(&self, table: &[f32], offset: u32) -> f32 {
+        let ks = self.config.ks;
+        let code = self.code(offset);
+        let mut s = 0.0;
+        for (sub, &c) in code.iter().enumerate() {
+            s += table[sub * ks + c as usize];
+        }
+        s
+    }
+
+    /// Approximate top-`k` over all codes (or a candidate subset).
+    pub fn search(
+        &self,
+        query: &[f32],
+        k: usize,
+        candidates: Option<&[u32]>,
+        filter: Option<OffsetFilter<'_>>,
+    ) -> Vec<OffsetHit> {
+        if self.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let table = self.adc_table(query);
+        let mut top = TopK::new(k);
+        let mut offer = |o: u32| {
+            if let Some(f) = filter {
+                if !f(o) {
+                    return;
+                }
+            }
+            top.offer(ScoredPoint::new(o as u64, self.adc_score(&table, o)));
+        };
+        match candidates {
+            Some(cands) => cands.iter().copied().for_each(&mut offer),
+            None => (0..self.len() as u32).for_each(&mut offer),
+        }
+        top.into_sorted()
+            .into_iter()
+            .map(|p| (p.id as u32, p.score))
+            .collect()
+    }
+
+    fn codeword(&self, sub: usize, k: usize) -> &[f32] {
+        let ks = self.config.ks;
+        let start = (sub * ks + k) * self.sub_dim;
+        &self.codebooks[start..start + self.sub_dim]
+    }
+
+    fn nearest_codeword(&self, sub: usize, sv: &[f32]) -> (u8, f32) {
+        let mut best = (0u8, f32::MAX);
+        for k in 0..self.config.ks {
+            let d = vq_core::distance::l2_squared(sv, self.codeword(sub, k));
+            if d < best.1 {
+                best = (k as u8, d);
+            }
+        }
+        best
+    }
+
+    /// Per-subspace k-means over a deterministic sample.
+    fn train<S: VectorSource>(&mut self, source: &S) {
+        let n = source.len();
+        let sample: Vec<u32> = if n <= self.config.train_sample {
+            (0..n as u32).collect()
+        } else {
+            let step = n as f64 / self.config.train_sample as f64;
+            (0..self.config.train_sample)
+                .map(|i| ((i as f64 * step) as usize).min(n - 1) as u32)
+                .collect()
+        };
+        let ks = self.config.ks;
+        let sub_dim = self.sub_dim;
+        for sub in 0..self.config.m {
+            let mut rng = seed_rng(self.config.seed, sub as u64);
+            // Random init from distinct sample points where possible.
+            for k in 0..ks {
+                let o = sample[if sample.len() >= ks {
+                    k * sample.len() / ks
+                } else {
+                    rng.gen_range(0..sample.len())
+                }];
+                let sv = &source.vector(o)[sub * sub_dim..(sub + 1) * sub_dim];
+                let start = (sub * ks + k) * sub_dim;
+                self.codebooks[start..start + sub_dim].copy_from_slice(sv);
+            }
+            for _ in 0..self.config.train_iters {
+                let mut sums = vec![0.0f64; ks * sub_dim];
+                let mut counts = vec![0u64; ks];
+                for &o in &sample {
+                    let sv = &source.vector(o)[sub * sub_dim..(sub + 1) * sub_dim];
+                    let (k, _) = self.nearest_codeword(sub, sv);
+                    counts[k as usize] += 1;
+                    let row = &mut sums[k as usize * sub_dim..(k as usize + 1) * sub_dim];
+                    for (a, &x) in row.iter_mut().zip(sv) {
+                        *a += x as f64;
+                    }
+                }
+                for k in 0..ks {
+                    let start = (sub * ks + k) * sub_dim;
+                    if counts[k] == 0 {
+                        let o = sample[rng.gen_range(0..sample.len())];
+                        let sv = &source.vector(o)[sub * sub_dim..(sub + 1) * sub_dim];
+                        self.codebooks[start..start + sub_dim].copy_from_slice(sv);
+                    } else {
+                        let inv = 1.0 / counts[k] as f64;
+                        for d in 0..sub_dim {
+                            self.codebooks[start + d] = (sums[k * sub_dim + d] * inv) as f32;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use crate::recall::recall_at_k;
+    use crate::source::DenseVectors;
+    use rand::{Rng, SeedableRng};
+
+    fn random_source(n: usize, dim: usize, seed: u64) -> DenseVectors {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut s = DenseVectors::new(dim);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    #[test]
+    fn encode_decode_reduces_error_with_more_codewords() {
+        let s = random_source(500, 16, 1);
+        let coarse = PqCodec::build(&s, Distance::Euclid, PqConfig::with_m(4).ks(4).seed(2));
+        let fine = PqCodec::build(&s, Distance::Euclid, PqConfig::with_m(4).ks(64).seed(2));
+        let mut err_coarse = 0.0;
+        let mut err_fine = 0.0;
+        for o in 0..100u32 {
+            let v = s.vector(o);
+            err_coarse += vq_core::distance::l2_squared(v, &coarse.decode(coarse.code(o)));
+            err_fine += vq_core::distance::l2_squared(v, &fine.decode(fine.code(o)));
+        }
+        assert!(
+            err_fine < err_coarse,
+            "fine {err_fine} should beat coarse {err_coarse}"
+        );
+    }
+
+    #[test]
+    fn adc_matches_reconstruction_score() {
+        let s = random_source(200, 8, 3);
+        let pq = PqCodec::build(&s, Distance::Euclid, PqConfig::with_m(4).ks(16).seed(4));
+        let q: Vec<f32> = vec![0.1; 8];
+        let table = pq.adc_table(&q);
+        for o in [0u32, 7, 100, 199] {
+            let adc = pq.adc_score(&table, o);
+            let recon = pq.decode(pq.code(o));
+            let direct = -vq_core::distance::l2_squared(&q, &recon);
+            assert!(
+                (adc - direct).abs() < 1e-3,
+                "offset {o}: adc {adc} vs direct {direct}"
+            );
+        }
+    }
+
+    #[test]
+    fn pq_search_recall_beats_random() {
+        let s = random_source(1000, 16, 5);
+        let pq = PqCodec::build(&s, Distance::Euclid, PqConfig::with_m(8).ks(64).seed(6));
+        let flat = FlatIndex::new(Distance::Euclid);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+        let mut recall = 0.0;
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let got: Vec<u32> = pq.search(&q, 10, None, None).iter().map(|h| h.0).collect();
+            let want: Vec<u32> = flat.search(&s, &q, 10, None).iter().map(|h| h.0).collect();
+            recall += recall_at_k(&got, &want);
+        }
+        recall /= 20.0;
+        // Random guessing would give 10/1000 = 1 %; PQ should land far above.
+        assert!(recall > 0.3, "recall {recall}");
+    }
+
+    #[test]
+    fn candidate_restriction() {
+        let s = random_source(100, 8, 8);
+        let pq = PqCodec::build(&s, Distance::Dot, PqConfig::with_m(4).ks(16).seed(9));
+        let cands = [3u32, 14, 15, 92];
+        let hits = pq.search(&[0.5; 8], 10, Some(&cands), None);
+        assert!(hits.iter().all(|&(o, _)| cands.contains(&o)));
+        assert_eq!(hits.len(), 4);
+    }
+
+    #[test]
+    fn compression_ratio() {
+        let s = random_source(10, 32, 10);
+        let pq = PqCodec::build(&s, Distance::Euclid, PqConfig::with_m(8).seed(11));
+        assert_eq!(pq.code_bytes(), 8);
+        assert_eq!(pq.compression_ratio(), (4.0 * 32.0) / 8.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn dim_must_divide() {
+        let s = random_source(10, 10, 12);
+        PqCodec::build(&s, Distance::Euclid, PqConfig::with_m(3));
+    }
+
+    #[test]
+    fn empty_source_is_fine() {
+        let s = DenseVectors::new(8);
+        let pq = PqCodec::build(&s, Distance::Euclid, PqConfig::with_m(4));
+        assert!(pq.is_empty());
+        assert!(pq.search(&[0.0; 8], 3, None, None).is_empty());
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let s = random_source(300, 8, 13);
+        let a = PqCodec::build(&s, Distance::Euclid, PqConfig::with_m(4).ks(16).seed(14));
+        let b = PqCodec::build(&s, Distance::Euclid, PqConfig::with_m(4).ks(16).seed(14));
+        assert_eq!(a.codebooks, b.codebooks);
+        assert_eq!(a.codes, b.codes);
+    }
+}

@@ -1,0 +1,64 @@
+//! Recall measurement.
+
+/// Fraction of `truth` found in `got` (recall@k with `k = truth.len()`).
+///
+/// Standard ANN-benchmarks definition: order does not matter, only set
+/// overlap. Returns 1.0 for an empty truth set (nothing to miss).
+pub fn recall_at_k(got: &[u32], truth: &[u32]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    let hits = truth.iter().filter(|t| got.contains(t)).count();
+    hits as f64 / truth.len() as f64
+}
+
+/// Mean recall over many `(got, truth)` pairs.
+pub fn mean_recall<'a, I>(pairs: I) -> f64
+where
+    I: IntoIterator<Item = (&'a [u32], &'a [u32])>,
+{
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (got, truth) in pairs {
+        sum += recall_at_k(got, truth);
+        n += 1;
+    }
+    if n == 0 {
+        1.0
+    } else {
+        sum / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_recall() {
+        assert_eq!(recall_at_k(&[1, 2, 3], &[3, 2, 1]), 1.0);
+    }
+
+    #[test]
+    fn partial_recall() {
+        assert_eq!(recall_at_k(&[1, 2, 9], &[1, 2, 3, 4]), 0.5);
+    }
+
+    #[test]
+    fn zero_recall() {
+        assert_eq!(recall_at_k(&[9, 10], &[1, 2]), 0.0);
+    }
+
+    #[test]
+    fn empty_truth_is_full_recall() {
+        assert_eq!(recall_at_k(&[1], &[]), 1.0);
+    }
+
+    #[test]
+    fn mean_over_pairs() {
+        let pairs: Vec<(&[u32], &[u32])> =
+            vec![(&[1, 2][..], &[1, 2][..]), (&[9][..], &[1][..])];
+        assert_eq!(mean_recall(pairs), 0.5);
+        assert_eq!(mean_recall(Vec::<(&[u32], &[u32])>::new()), 1.0);
+    }
+}

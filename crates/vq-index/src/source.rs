@@ -1,0 +1,146 @@
+//! Vector sources: the storage abstraction indexes are built over.
+
+/// Read access to a dense array of equal-dimension vectors.
+///
+/// Offsets are dense `0..len()`. Implementations must be `Sync` because
+/// index construction reads from many rayon workers at once.
+pub trait VectorSource: Sync {
+    /// Dimensionality of every vector.
+    fn dim(&self) -> usize;
+    /// Number of vectors.
+    fn len(&self) -> usize;
+    /// Whether the source is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// Borrow the vector at `offset`. Panics if out of range.
+    fn vector(&self, offset: u32) -> &[f32];
+}
+
+/// The simplest [`VectorSource`]: one contiguous `Vec<f32>`.
+///
+/// Used by tests, benches, and as the in-memory half of storage segments.
+#[derive(Debug, Clone, Default)]
+pub struct DenseVectors {
+    dim: usize,
+    data: Vec<f32>,
+}
+
+impl DenseVectors {
+    /// Create an empty source of the given dimensionality.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        DenseVectors {
+            dim,
+            data: Vec::new(),
+        }
+    }
+
+    /// Create from a flat buffer; `data.len()` must be a multiple of `dim`.
+    pub fn from_flat(dim: usize, data: Vec<f32>) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert_eq!(
+            data.len() % dim,
+            0,
+            "flat buffer length {} not a multiple of dim {}",
+            data.len(),
+            dim
+        );
+        DenseVectors { dim, data }
+    }
+
+    /// Create from a list of vectors.
+    pub fn from_vectors<'a, I>(dim: usize, vectors: I) -> Self
+    where
+        I: IntoIterator<Item = &'a [f32]>,
+    {
+        let mut s = Self::new(dim);
+        for v in vectors {
+            s.push(v);
+        }
+        s
+    }
+
+    /// Append a vector, returning its offset.
+    pub fn push(&mut self, v: &[f32]) -> u32 {
+        assert_eq!(v.len(), self.dim, "vector dim mismatch");
+        let offset = self.len() as u32;
+        self.data.extend_from_slice(v);
+        offset
+    }
+
+    /// Reserve room for `n` more vectors.
+    pub fn reserve(&mut self, n: usize) {
+        self.data.reserve(n * self.dim);
+    }
+}
+
+impl VectorSource for DenseVectors {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+
+    fn len(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    fn vector(&self, offset: u32) -> &[f32] {
+        let start = offset as usize * self.dim;
+        &self.data[start..start + self.dim]
+    }
+}
+
+impl<S: VectorSource + ?Sized> VectorSource for &S {
+    fn dim(&self) -> usize {
+        (**self).dim()
+    }
+    fn len(&self) -> usize {
+        (**self).len()
+    }
+    fn vector(&self, offset: u32) -> &[f32] {
+        (**self).vector(offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_read_back() {
+        let mut s = DenseVectors::new(3);
+        assert!(s.is_empty());
+        let o0 = s.push(&[1.0, 2.0, 3.0]);
+        let o1 = s.push(&[4.0, 5.0, 6.0]);
+        assert_eq!((o0, o1), (0, 1));
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.vector(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn from_flat_checks_multiple() {
+        let s = DenseVectors::from_flat(2, vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.vector(0), &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn from_flat_rejects_ragged() {
+        DenseVectors::from_flat(3, vec![1.0; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "dim mismatch")]
+    fn push_rejects_wrong_dim() {
+        DenseVectors::new(4).push(&[0.0; 3]);
+    }
+
+    #[test]
+    fn reference_impl_delegates() {
+        let s = DenseVectors::from_flat(1, vec![9.0]);
+        let r: &DenseVectors = &s;
+        assert_eq!(VectorSource::len(&r), 1);
+        assert_eq!(VectorSource::vector(&r, 0), &[9.0]);
+    }
+}

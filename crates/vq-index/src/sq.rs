@@ -1,0 +1,365 @@
+//! Scalar quantization (SQ): int8 compression with optional rescoring.
+//!
+//! The simplest quantization family production vector databases offer
+//! (Qdrant ships exactly this as "scalar quantization"): each dimension
+//! is affinely mapped to `i8` using per-dimension min/max learned from
+//! the data. Vectors shrink 4×, distance evaluation runs on bytes, and an
+//! optional *rescoring* pass re-ranks the top candidates with the
+//! full-precision vectors to recover accuracy — the standard
+//! compressed-search pipeline.
+
+use crate::source::VectorSource;
+use crate::{OffsetFilter, OffsetHit};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+use vq_core::{Distance, ScoredPoint, TopK};
+
+/// SQ parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SqConfig {
+    /// Quantile trimmed from each end when learning per-dimension ranges
+    /// (guards against outliers stretching the grid; 0.0 = exact
+    /// min/max).
+    pub quantile: f64,
+    /// Multiply the candidate pool by this factor before rescoring
+    /// (`rescore(k · oversample)` candidates with full precision).
+    pub oversample: usize,
+}
+
+impl Default for SqConfig {
+    fn default() -> Self {
+        SqConfig {
+            quantile: 0.01,
+            oversample: 4,
+        }
+    }
+}
+
+/// An int8 scalar quantizer plus the codes of every encoded vector.
+pub struct SqCodec {
+    config: SqConfig,
+    metric: Distance,
+    dim: usize,
+    /// Per-dimension affine transform: `q = round((x - lo) * scale) - 128`.
+    lo: Vec<f32>,
+    scale: Vec<f32>,
+    inv_scale: Vec<f32>,
+    codes: Vec<i8>,
+}
+
+impl SqCodec {
+    /// Learn per-dimension ranges from `source` and encode all of it.
+    pub fn build<S: VectorSource>(source: &S, metric: Distance, config: SqConfig) -> Self {
+        let dim = source.dim();
+        let n = source.len();
+        let (lo, hi) = learn_ranges(source, config.quantile);
+        let scale: Vec<f32> = lo
+            .iter()
+            .zip(&hi)
+            .map(|(&l, &h)| {
+                let span = (h - l).max(1e-12);
+                255.0 / span
+            })
+            .collect();
+        let inv_scale: Vec<f32> = scale.iter().map(|&s| 1.0 / s).collect();
+        let mut codec = SqCodec {
+            config,
+            metric,
+            dim,
+            lo,
+            scale,
+            inv_scale,
+            codes: Vec::new(),
+        };
+        codec.codes = (0..n as u32)
+            .into_par_iter()
+            .flat_map_iter(|o| codec.encode(source.vector(o)))
+            .collect();
+        codec
+    }
+
+    /// Number of encoded vectors.
+    pub fn len(&self) -> usize {
+        if self.dim == 0 {
+            0
+        } else {
+            self.codes.len() / self.dim
+        }
+    }
+
+    /// Whether anything is encoded.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// Compression ratio vs f32 (always 4× for int8).
+    pub fn compression_ratio(&self) -> f64 {
+        4.0
+    }
+
+    /// Encode one vector (values clamp to the learned range).
+    pub fn encode(&self, v: &[f32]) -> Vec<i8> {
+        assert_eq!(v.len(), self.dim);
+        v.iter()
+            .enumerate()
+            .map(|(d, &x)| {
+                let q = ((x - self.lo[d]) * self.scale[d]).round();
+                (q.clamp(0.0, 255.0) as i16 - 128) as i8
+            })
+            .collect()
+    }
+
+    /// Decode a code back to (approximate) floats.
+    pub fn decode(&self, code: &[i8]) -> Vec<f32> {
+        assert_eq!(code.len(), self.dim);
+        code.iter()
+            .enumerate()
+            .map(|(d, &q)| (q as i16 + 128) as f32 * self.inv_scale[d] + self.lo[d])
+            .collect()
+    }
+
+    /// The stored code of vector `offset`.
+    pub fn code(&self, offset: u32) -> &[i8] {
+        &self.codes[offset as usize * self.dim..(offset as usize + 1) * self.dim]
+    }
+
+    /// Approximate score of stored vector `offset` against a pre-encoded
+    /// query (integer arithmetic in the hot loop).
+    #[inline]
+    pub fn score_quantized(&self, q_code: &[i8], offset: u32) -> f32 {
+        let code = self.code(offset);
+        match self.metric {
+            Distance::Cosine | Distance::Dot => {
+                let mut acc: i32 = 0;
+                for (&a, &b) in q_code.iter().zip(code) {
+                    acc += (a as i32) * (b as i32);
+                }
+                acc as f32
+            }
+            Distance::Euclid | Distance::Manhattan => {
+                let mut acc: i32 = 0;
+                for (&a, &b) in q_code.iter().zip(code) {
+                    let d = a as i32 - b as i32;
+                    acc += if self.metric == Distance::Euclid {
+                        d * d
+                    } else {
+                        d.abs()
+                    };
+                }
+                -(acc as f32)
+            }
+        }
+    }
+
+    /// Approximate top-`k` over all codes, optionally rescoring the top
+    /// `k · oversample` candidates with full-precision vectors from
+    /// `source` (pass `None` to skip rescoring).
+    pub fn search<S: VectorSource>(
+        &self,
+        query: &[f32],
+        k: usize,
+        rescore_source: Option<&S>,
+        filter: Option<OffsetFilter<'_>>,
+    ) -> Vec<OffsetHit> {
+        if self.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let q_code = self.encode(query);
+        let pool = if rescore_source.is_some() {
+            k * self.config.oversample.max(1)
+        } else {
+            k
+        };
+        let mut top = TopK::new(pool);
+        for o in 0..self.len() as u32 {
+            if let Some(f) = filter {
+                if !f(o) {
+                    continue;
+                }
+            }
+            top.offer(ScoredPoint::new(o as u64, self.score_quantized(&q_code, o)));
+        }
+        let candidates = top.into_sorted();
+        match rescore_source {
+            None => candidates
+                .into_iter()
+                .map(|p| (p.id as u32, p.score))
+                .collect(),
+            Some(source) => {
+                let mut rescored = TopK::new(k);
+                for p in candidates {
+                    let o = p.id as u32;
+                    let s = self.metric.score(query, source.vector(o));
+                    rescored.offer(ScoredPoint::new(p.id, s));
+                }
+                rescored
+                    .into_sorted()
+                    .into_iter()
+                    .map(|p| (p.id as u32, p.score))
+                    .collect()
+            }
+        }
+    }
+}
+
+/// Per-dimension `(lo, hi)` at the trimmed quantiles.
+fn learn_ranges<S: VectorSource>(source: &S, quantile: f64) -> (Vec<f32>, Vec<f32>) {
+    let dim = source.dim();
+    let n = source.len();
+    if n == 0 {
+        return (vec![0.0; dim], vec![1.0; dim]);
+    }
+    // Sample up to 10k vectors for range estimation.
+    let sample: Vec<u32> = if n <= 10_000 {
+        (0..n as u32).collect()
+    } else {
+        let step = n as f64 / 10_000.0;
+        (0..10_000).map(|i| (i as f64 * step) as u32).collect()
+    };
+    let mut lo = vec![f32::MAX; dim];
+    let mut hi = vec![f32::MIN; dim];
+    if quantile <= 0.0 {
+        for &o in &sample {
+            for (d, &x) in source.vector(o).iter().enumerate() {
+                lo[d] = lo[d].min(x);
+                hi[d] = hi[d].max(x);
+            }
+        }
+    } else {
+        // Per-dimension trimmed quantiles via a sorted column sample.
+        let cut = ((sample.len() as f64 * quantile) as usize).min(sample.len() / 2);
+        let mut column = vec![0.0f32; sample.len()];
+        for d in 0..dim {
+            for (i, &o) in sample.iter().enumerate() {
+                column[i] = source.vector(o)[d];
+            }
+            column.sort_by(f32::total_cmp);
+            lo[d] = column[cut];
+            hi[d] = column[sample.len() - 1 - cut];
+            if hi[d] <= lo[d] {
+                hi[d] = lo[d] + 1e-6;
+            }
+        }
+    }
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use crate::recall::recall_at_k;
+    use crate::source::DenseVectors;
+    use rand::{Rng, SeedableRng};
+
+    fn random_source(n: usize, dim: usize, seed: u64) -> DenseVectors {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(seed);
+        let mut s = DenseVectors::new(dim);
+        for _ in 0..n {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            s.push(&v);
+        }
+        s
+    }
+
+    #[test]
+    fn roundtrip_error_is_sub_grid() {
+        let s = random_source(500, 16, 1);
+        let sq = SqCodec::build(&s, Distance::Euclid, SqConfig::default());
+        for o in [0u32, 100, 499] {
+            let v = s.vector(o);
+            let r = sq.decode(sq.code(o));
+            for (a, b) in v.iter().zip(&r) {
+                // Grid step ≈ range/255 ≈ 2/255; allow 2 steps for the
+                // quantile trim.
+                assert!((a - b).abs() < 0.02, "{a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_search_recall_without_rescore() {
+        let s = random_source(2000, 24, 2);
+        let sq = SqCodec::build(&s, Distance::Euclid, SqConfig::default());
+        let flat = FlatIndex::new(Distance::Euclid);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(3);
+        let mut recall = 0.0;
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..24).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let got: Vec<u32> = sq
+                .search::<DenseVectors>(&q, 10, None, None)
+                .iter()
+                .map(|h| h.0)
+                .collect();
+            let want: Vec<u32> = flat.search(&s, &q, 10, None).iter().map(|h| h.0).collect();
+            recall += recall_at_k(&got, &want);
+        }
+        recall /= 20.0;
+        assert!(recall > 0.8, "int8 recall {recall}");
+    }
+
+    #[test]
+    fn rescoring_improves_or_matches() {
+        let s = random_source(2000, 16, 4);
+        let sq = SqCodec::build(&s, Distance::Cosine, SqConfig::default());
+        let flat = FlatIndex::new(Distance::Cosine);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(5);
+        let (mut plain, mut rescored) = (0.0, 0.0);
+        for _ in 0..20 {
+            let q: Vec<f32> = (0..16).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let want: Vec<u32> = flat.search(&s, &q, 10, None).iter().map(|h| h.0).collect();
+            let a: Vec<u32> = sq
+                .search::<DenseVectors>(&q, 10, None, None)
+                .iter()
+                .map(|h| h.0)
+                .collect();
+            let b: Vec<u32> = sq.search(&q, 10, Some(&s), None).iter().map(|h| h.0).collect();
+            plain += recall_at_k(&a, &want);
+            rescored += recall_at_k(&b, &want);
+        }
+        assert!(rescored >= plain, "rescoring must not hurt: {rescored} vs {plain}");
+        assert!(rescored / 20.0 > 0.9, "rescored recall {}", rescored / 20.0);
+    }
+
+    #[test]
+    fn filter_respected() {
+        let s = random_source(300, 8, 6);
+        let sq = SqCodec::build(&s, Distance::Dot, SqConfig::default());
+        let f = |o: u32| o < 50;
+        let hits = sq.search(&vec![0.5; 8], 10, Some(&s), Some(&f));
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|&(o, _)| o < 50));
+    }
+
+    #[test]
+    fn empty_source_ok() {
+        let s = DenseVectors::new(4);
+        let sq = SqCodec::build(&s, Distance::Euclid, SqConfig::default());
+        assert!(sq.is_empty());
+        assert!(sq.search::<DenseVectors>(&[0.0; 4], 3, None, None).is_empty());
+    }
+
+    #[test]
+    fn outliers_do_not_stretch_grid() {
+        // One huge outlier; with quantile trimming the rest of the data
+        // keeps fine resolution.
+        let mut s = DenseVectors::new(2);
+        for i in 0..200 {
+            s.push(&[(i as f32) * 0.01, 0.0]);
+        }
+        s.push(&[1e6, 1e6]);
+        let trimmed = SqCodec::build(&s, Distance::Euclid, SqConfig::default());
+        let untrimmed = SqCodec::build(
+            &s,
+            Distance::Euclid,
+            SqConfig {
+                quantile: 0.0,
+                oversample: 4,
+            },
+        );
+        let v = s.vector(100);
+        let err_t = vq_core::distance::l2_squared(v, &trimmed.decode(trimmed.code(100)));
+        let err_u = vq_core::distance::l2_squared(v, &untrimmed.decode(untrimmed.code(100)));
+        assert!(err_t < err_u, "trimmed {err_t} vs untrimmed {err_u}");
+    }
+}

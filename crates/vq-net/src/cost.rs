@@ -1,0 +1,178 @@
+//! Analytic network cost model.
+//!
+//! Transfer time = `hops × latency + bytes / bandwidth`, with the hop
+//! count derived from the topology. Two topologies are provided:
+//!
+//! * [`Topology::Flat`] — every pair of distinct nodes is one hop apart
+//!   (a non-blocking crossbar; good default for small clusters).
+//! * [`Topology::Dragonfly`] — nodes grouped as on Polaris's Slingshot
+//!   11: one hop within a group, three hops (local–global–local) between
+//!   groups.
+//!
+//! Co-located endpoints (same node) pay a loopback latency and are not
+//! bandwidth-limited by the NIC: Qdrant workers on one node talk over
+//! loopback, which matters for the paper's 4-workers-per-node layout.
+
+use serde::{Deserialize, Serialize};
+
+/// Point-to-point link parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkModel {
+    /// One-way per-hop latency in seconds (application level).
+    pub latency_secs: f64,
+    /// Sustained per-stream bandwidth in bytes/second.
+    pub bandwidth_bps: f64,
+    /// Loopback latency for same-node messages, in seconds.
+    pub loopback_secs: f64,
+    /// Loopback bandwidth (memory-speed; effectively the serialization
+    /// cost of the local RPC stack).
+    pub loopback_bps: f64,
+}
+
+impl LinkModel {
+    /// Application-level Slingshot-11 figures: the fabric offers ~2 µs /
+    /// 25 GB/s, but a Qdrant RPC traverses gRPC + TCP, landing near
+    /// 150 µs / 2.5 GB/s per stream.
+    pub fn slingshot11_app() -> Self {
+        LinkModel {
+            latency_secs: 150e-6,
+            bandwidth_bps: 2.5e9,
+            loopback_secs: 40e-6,
+            loopback_bps: 8e9,
+        }
+    }
+}
+
+/// Inter-node wiring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Topology {
+    /// All distinct nodes one hop apart.
+    Flat,
+    /// Dragonfly with `nodes_per_group` nodes per group: 1 hop within a
+    /// group, 3 hops across groups.
+    Dragonfly {
+        /// Group size in nodes.
+        nodes_per_group: u32,
+    },
+}
+
+impl Topology {
+    /// Hop count between two nodes (0 for the same node).
+    pub fn hops(&self, a: u32, b: u32) -> u32 {
+        if a == b {
+            return 0;
+        }
+        match *self {
+            Topology::Flat => 1,
+            Topology::Dragonfly { nodes_per_group } => {
+                let g = nodes_per_group.max(1);
+                if a / g == b / g {
+                    1
+                } else {
+                    3
+                }
+            }
+        }
+    }
+}
+
+/// The full network model: link parameters + topology.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Link parameters.
+    pub link: LinkModel,
+    /// Topology.
+    pub topology: Topology,
+}
+
+impl NetworkModel {
+    /// The Polaris deployment model: Slingshot-11 application-level link
+    /// figures in a Dragonfly with (by default) 8-node groups.
+    pub fn polaris() -> Self {
+        NetworkModel {
+            link: LinkModel::slingshot11_app(),
+            topology: Topology::Dragonfly { nodes_per_group: 8 },
+        }
+    }
+
+    /// One-way transfer time in seconds for `bytes` from node `a` to `b`.
+    pub fn transfer_secs(&self, a: u32, b: u32, bytes: u64) -> f64 {
+        let hops = self.topology.hops(a, b);
+        if hops == 0 {
+            self.link.loopback_secs + bytes as f64 / self.link.loopback_bps
+        } else {
+            hops as f64 * self.link.latency_secs + bytes as f64 / self.link.bandwidth_bps
+        }
+    }
+
+    /// Round-trip time for a request of `req_bytes` and a response of
+    /// `resp_bytes`.
+    pub fn rtt_secs(&self, a: u32, b: u32, req_bytes: u64, resp_bytes: u64) -> f64 {
+        self.transfer_secs(a, b, req_bytes) + self.transfer_secs(b, a, resp_bytes)
+    }
+
+    /// Time for node `a` to broadcast `bytes` to every node in `peers`
+    /// over independent streams (the slowest peer bounds the broadcast —
+    /// how Qdrant fans a query out to all workers).
+    pub fn broadcast_secs(&self, a: u32, peers: &[u32], bytes: u64) -> f64 {
+        peers
+            .iter()
+            .map(|&p| self.transfer_secs(a, p, bytes))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_node_is_loopback() {
+        let m = NetworkModel::polaris();
+        let t = m.transfer_secs(3, 3, 0);
+        assert!((t - m.link.loopback_secs).abs() < 1e-12);
+        // Loopback must beat the fabric for small messages.
+        assert!(t < m.transfer_secs(3, 4, 0));
+    }
+
+    #[test]
+    fn flat_topology_single_hop() {
+        let t = Topology::Flat;
+        assert_eq!(t.hops(0, 0), 0);
+        assert_eq!(t.hops(0, 1), 1);
+        assert_eq!(t.hops(5, 900), 1);
+    }
+
+    #[test]
+    fn dragonfly_group_locality() {
+        let t = Topology::Dragonfly { nodes_per_group: 4 };
+        assert_eq!(t.hops(0, 3), 1, "same group");
+        assert_eq!(t.hops(0, 4), 3, "adjacent group");
+        assert_eq!(t.hops(5, 6), 1);
+        assert_eq!(t.hops(1, 1), 0);
+    }
+
+    #[test]
+    fn bandwidth_term_dominates_large_transfers() {
+        let m = NetworkModel::polaris();
+        let one_gb = m.transfer_secs(0, 9, 1_000_000_000);
+        // 1 GB at 2.5 GB/s = 0.4 s ≫ 3 hops × 150 µs.
+        assert!((one_gb - (3.0 * 150e-6 + 0.4)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rtt_is_symmetric_sum() {
+        let m = NetworkModel::polaris();
+        let rtt = m.rtt_secs(0, 1, 1000, 500);
+        assert!((rtt - (m.transfer_secs(0, 1, 1000) + m.transfer_secs(1, 0, 500))).abs() < 1e-15);
+    }
+
+    #[test]
+    fn broadcast_bounded_by_slowest_peer() {
+        let m = NetworkModel::polaris();
+        // Peers: same node (0), same group (1), other group (9).
+        let t = m.broadcast_secs(0, &[0, 1, 9], 10_000);
+        assert!((t - m.transfer_secs(0, 9, 10_000)).abs() < 1e-15);
+        assert_eq!(m.broadcast_secs(0, &[], 10_000), 0.0);
+    }
+}

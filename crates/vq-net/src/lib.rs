@@ -1,0 +1,26 @@
+//! # vq-net
+//!
+//! The interconnect layer, in two halves:
+//!
+//! * [`cost`] — an analytic network **cost model**: per-hop latency,
+//!   per-link bandwidth, and topology-dependent hop counts (flat crossbar
+//!   or a Dragonfly like Polaris's Slingshot 11). The discrete-event
+//!   simulation asks this model "how long does moving N bytes from node A
+//!   to node B take?" — it never moves real bytes.
+//! * [`transport`] — a real in-process **message transport** built on
+//!   crossbeam channels, used when the distributed engine actually runs
+//!   (worker threads exchanging real requests). The transport can
+//!   optionally impose the cost model's delays on delivery so live runs
+//!   exhibit HPC-like latency ratios.
+//!
+//! Keeping cost and transport separate means the same model constants
+//! drive both the simulator and the live engine.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cost;
+pub mod transport;
+
+pub use cost::{LinkModel, NetworkModel, Topology};
+pub use transport::{Endpoint, Switchboard, TransportStats};

@@ -1,0 +1,348 @@
+//! Real in-process message transport.
+//!
+//! When the distributed engine actually runs (worker threads serving real
+//! requests), messages travel through this transport: a [`Switchboard`]
+//! hands out [`Endpoint`]s keyed by node id, and any endpoint can send to
+//! any other. Built on crossbeam's unbounded channels.
+//!
+//! Optionally a [`cost::NetworkModel`](crate::cost::NetworkModel) can be
+//! attached; delivery then sleeps the modeled transfer time, so live
+//! laptop-scale runs preserve the latency *ratios* of the modeled fabric
+//! (loopback vs intra-group vs inter-group). Zero-latency delivery is the
+//! default for unit tests.
+
+use crate::cost::NetworkModel;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+use vq_core::{VqError, VqResult};
+
+/// A transport message: source, destination, payload.
+#[derive(Debug)]
+pub struct Envelope<M> {
+    /// Sending endpoint id.
+    pub from: u32,
+    /// Receiving endpoint id.
+    pub to: u32,
+    /// Application payload.
+    pub payload: M,
+}
+
+struct Shared<M> {
+    inboxes: RwLock<HashMap<u32, Sender<Envelope<M>>>>,
+    /// Node id of each endpoint (for the cost model; multiple endpoints
+    /// may live on one node).
+    placement: RwLock<HashMap<u32, u32>>,
+    model: Option<NetworkModel>,
+    messages_sent: std::sync::atomic::AtomicU64,
+    bytes_sent: std::sync::atomic::AtomicU64,
+    /// Bytes that crossed node boundaries (fabric traffic, as opposed to
+    /// loopback) — the number an interconnect dashboard would show.
+    fabric_bytes: std::sync::atomic::AtomicU64,
+}
+
+/// Aggregate transport counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TransportStats {
+    /// Messages delivered.
+    pub messages: u64,
+    /// Declared payload bytes (all traffic).
+    pub bytes: u64,
+    /// Declared payload bytes between distinct nodes only.
+    pub fabric_bytes: u64,
+}
+
+/// Registry connecting endpoints. Clone freely; clones share the wiring.
+pub struct Switchboard<M> {
+    shared: Arc<Shared<M>>,
+}
+
+impl<M> Clone for Switchboard<M> {
+    fn clone(&self) -> Self {
+        Switchboard {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<M: Send + 'static> Switchboard<M> {
+    /// Switchboard with instantaneous delivery.
+    pub fn new() -> Self {
+        Switchboard {
+            shared: Arc::new(Shared {
+                inboxes: RwLock::new(HashMap::new()),
+                placement: RwLock::new(HashMap::new()),
+                model: None,
+                messages_sent: std::sync::atomic::AtomicU64::new(0),
+                bytes_sent: std::sync::atomic::AtomicU64::new(0),
+                fabric_bytes: std::sync::atomic::AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Switchboard that delays deliveries per the cost model, using each
+    /// endpoint's registered node placement. Payload size for the
+    /// bandwidth term is provided per send via
+    /// [`Endpoint::send_sized`].
+    pub fn with_model(model: NetworkModel) -> Self {
+        Switchboard {
+            shared: Arc::new(Shared {
+                inboxes: RwLock::new(HashMap::new()),
+                placement: RwLock::new(HashMap::new()),
+                model: Some(model),
+                messages_sent: std::sync::atomic::AtomicU64::new(0),
+                bytes_sent: std::sync::atomic::AtomicU64::new(0),
+                fabric_bytes: std::sync::atomic::AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Register endpoint `id` hosted on `node`. Returns its endpoint.
+    ///
+    /// Re-registering an id replaces the previous endpoint (its receiver
+    /// starts draining new messages).
+    pub fn register(&self, id: u32, node: u32) -> Endpoint<M> {
+        let (tx, rx) = unbounded();
+        self.shared.inboxes.write().insert(id, tx);
+        self.shared.placement.write().insert(id, node);
+        Endpoint {
+            id,
+            rx,
+            shared: self.shared.clone(),
+        }
+    }
+
+    /// Remove an endpoint; future sends to it fail.
+    pub fn deregister(&self, id: u32) {
+        self.shared.inboxes.write().remove(&id);
+        self.shared.placement.write().remove(&id);
+    }
+
+    /// Aggregate traffic counters since creation.
+    pub fn stats(&self) -> TransportStats {
+        use std::sync::atomic::Ordering::Relaxed;
+        TransportStats {
+            messages: self.shared.messages_sent.load(Relaxed),
+            bytes: self.shared.bytes_sent.load(Relaxed),
+            fabric_bytes: self.shared.fabric_bytes.load(Relaxed),
+        }
+    }
+
+    /// Ids of all registered endpoints, ascending.
+    pub fn endpoints(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.shared.inboxes.read().keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+impl<M: Send + 'static> Default for Switchboard<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One endpoint: can send to any registered id and receive its own inbox.
+pub struct Endpoint<M> {
+    id: u32,
+    rx: Receiver<Envelope<M>>,
+    shared: Arc<Shared<M>>,
+}
+
+impl<M: Send + 'static> Endpoint<M> {
+    /// This endpoint's id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Send `payload` to endpoint `to` (treated as zero-sized for the
+    /// bandwidth term).
+    pub fn send(&self, to: u32, payload: M) -> VqResult<()> {
+        self.send_sized(to, payload, 0)
+    }
+
+    /// Send `payload`, declaring its wire size for the cost model.
+    ///
+    /// With a model attached, the *sender* bears the transfer delay
+    /// (stream semantics: the send call returns when the bytes are on the
+    /// wire); this keeps the live engine simple while preserving ordering.
+    pub fn send_sized(&self, to: u32, payload: M, bytes: u64) -> VqResult<()> {
+        use std::sync::atomic::Ordering::Relaxed;
+        let (src, dst) = {
+            let placement = self.shared.placement.read();
+            (
+                placement.get(&self.id).copied(),
+                placement.get(&to).copied(),
+            )
+        };
+        self.shared.messages_sent.fetch_add(1, Relaxed);
+        self.shared.bytes_sent.fetch_add(bytes, Relaxed);
+        if let (Some(a), Some(b)) = (src, dst) {
+            if a != b {
+                self.shared.fabric_bytes.fetch_add(bytes, Relaxed);
+            }
+        }
+        if let Some(model) = &self.shared.model {
+            if let (Some(a), Some(b)) = (src, dst) {
+                let secs = model.transfer_secs(a, b, bytes);
+                if secs > 0.0 {
+                    std::thread::sleep(Duration::from_secs_f64(secs));
+                }
+            }
+        }
+        let tx = {
+            let inboxes = self.shared.inboxes.read();
+            inboxes
+                .get(&to)
+                .cloned()
+                .ok_or_else(|| VqError::Network(format!("endpoint {to} not registered")))?
+        };
+        tx.send(Envelope {
+            from: self.id,
+            to,
+            payload,
+        })
+        .map_err(|_| VqError::Network(format!("endpoint {to} hung up")))
+    }
+
+    /// Block for the next message.
+    pub fn recv(&self) -> VqResult<Envelope<M>> {
+        self.rx
+            .recv()
+            .map_err(|_| VqError::Network("transport shut down".into()))
+    }
+
+    /// Block for the next message up to `timeout`.
+    pub fn recv_timeout(&self, timeout: Duration) -> VqResult<Envelope<M>> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => VqError::Timeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => {
+                VqError::Network("transport shut down".into())
+            }
+        })
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<Envelope<M>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let sb: Switchboard<String> = Switchboard::new();
+        let a = sb.register(1, 0);
+        let b = sb.register(2, 0);
+        a.send(2, "hello".into()).unwrap();
+        let env = b.recv().unwrap();
+        assert_eq!(env.from, 1);
+        assert_eq!(env.to, 2);
+        assert_eq!(env.payload, "hello");
+    }
+
+    #[test]
+    fn send_to_unknown_endpoint_fails() {
+        let sb: Switchboard<u8> = Switchboard::new();
+        let a = sb.register(1, 0);
+        assert!(matches!(a.send(99, 0), Err(VqError::Network(_))));
+    }
+
+    #[test]
+    fn deregistered_endpoint_unreachable() {
+        let sb: Switchboard<u8> = Switchboard::new();
+        let a = sb.register(1, 0);
+        let _b = sb.register(2, 0);
+        sb.deregister(2);
+        assert!(a.send(2, 7).is_err());
+        assert_eq!(sb.endpoints(), vec![1]);
+    }
+
+    #[test]
+    fn cross_thread_messaging() {
+        let sb: Switchboard<u64> = Switchboard::new();
+        let server = sb.register(0, 0);
+        let client = sb.register(1, 0);
+        let handle = std::thread::spawn(move || {
+            // Echo doubled values until 0 arrives.
+            loop {
+                let env = server.recv().unwrap();
+                if env.payload == 0 {
+                    break;
+                }
+                server.send(env.from, env.payload * 2).unwrap();
+            }
+        });
+        for i in 1..=5u64 {
+            client.send(0, i).unwrap();
+            assert_eq!(client.recv().unwrap().payload, i * 2);
+        }
+        client.send(0, 0).unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn try_recv_and_timeout() {
+        let sb: Switchboard<u8> = Switchboard::new();
+        let a = sb.register(1, 0);
+        assert!(a.try_recv().is_none());
+        assert!(matches!(
+            a.recv_timeout(Duration::from_millis(5)),
+            Err(VqError::Timeout)
+        ));
+    }
+
+    #[test]
+    fn fifo_order_per_pair() {
+        let sb: Switchboard<u32> = Switchboard::new();
+        let a = sb.register(1, 0);
+        let b = sb.register(2, 0);
+        for i in 0..100 {
+            a.send(2, i).unwrap();
+        }
+        for i in 0..100 {
+            assert_eq!(b.recv().unwrap().payload, i);
+        }
+    }
+
+    #[test]
+    fn stats_count_messages_and_fabric_bytes() {
+        let sb: Switchboard<u8> = Switchboard::new();
+        let a = sb.register(1, 0); // node 0
+        let _b = sb.register(2, 0); // node 0 (loopback peer)
+        let _c = sb.register(3, 1); // node 1 (fabric peer)
+        a.send_sized(2, 1, 100).unwrap(); // loopback
+        a.send_sized(3, 2, 250).unwrap(); // fabric
+        a.send(3, 3).unwrap(); // fabric, zero-sized
+        let stats = sb.stats();
+        assert_eq!(stats.messages, 3);
+        assert_eq!(stats.bytes, 350);
+        assert_eq!(stats.fabric_bytes, 250, "loopback bytes excluded");
+    }
+
+    #[test]
+    fn modeled_delivery_still_arrives() {
+        use crate::cost::{LinkModel, NetworkModel, Topology};
+        let model = NetworkModel {
+            link: LinkModel {
+                latency_secs: 1e-4,
+                bandwidth_bps: 1e9,
+                loopback_secs: 1e-5,
+                loopback_bps: 1e10,
+            },
+            topology: Topology::Flat,
+        };
+        let sb: Switchboard<u8> = Switchboard::with_model(model);
+        let a = sb.register(1, 0);
+        let b = sb.register(2, 1);
+        let t0 = std::time::Instant::now();
+        a.send_sized(2, 42, 1000).unwrap();
+        assert_eq!(b.recv().unwrap().payload, 42);
+        assert!(t0.elapsed() >= Duration::from_secs_f64(1e-4));
+    }
+}

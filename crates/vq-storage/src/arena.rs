@@ -1,0 +1,255 @@
+//! Paged append-only vector arena.
+//!
+//! The arena stores fixed-dimension `f32` vectors in fixed-capacity pages.
+//! Because a full page is never reallocated, a vector's address is stable
+//! for the arena's lifetime — concurrent readers can score against it while
+//! a single writer appends new pages. This mimics the role of Qdrant's
+//! mmap-backed vector storage: growth without copying, locality within a
+//! page.
+
+use vq_core::{VqError, VqResult};
+
+/// Default number of vectors per page. 4096 × 2560 dims × 4 B ≈ 40 MiB per
+/// page at Qwen3 scale; small enough to not overshoot, big enough that the
+/// page table stays tiny.
+pub const DEFAULT_PAGE_VECTORS: usize = 4096;
+
+/// A paged vector arena. Single-writer, many-reader (readers only need
+/// `&self`; the collection layer wraps it in the appropriate lock).
+#[derive(Debug)]
+pub struct PagedArena {
+    dim: usize,
+    page_vectors: usize,
+    pages: Vec<Box<[f32]>>,
+    len: usize,
+}
+
+impl PagedArena {
+    /// New arena for `dim`-dimensional vectors with the default page size.
+    pub fn new(dim: usize) -> Self {
+        Self::with_page_vectors(dim, DEFAULT_PAGE_VECTORS)
+    }
+
+    /// New arena with an explicit page capacity (in vectors).
+    pub fn with_page_vectors(dim: usize, page_vectors: usize) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!(page_vectors > 0, "page must hold at least one vector");
+        PagedArena {
+            dim,
+            page_vectors,
+            pages: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Vector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of stored vectors.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the arena is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of allocated pages.
+    pub fn page_count(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Bytes currently allocated for vector data.
+    pub fn allocated_bytes(&self) -> usize {
+        self.pages.len() * self.page_vectors * self.dim * 4
+    }
+
+    /// Append a vector, returning its dense offset.
+    pub fn push(&mut self, v: &[f32]) -> VqResult<u32> {
+        if v.len() != self.dim {
+            return Err(VqError::DimensionMismatch {
+                expected: self.dim,
+                got: v.len(),
+            });
+        }
+        let slot = self.len % self.page_vectors;
+        if slot == 0 {
+            self.pages
+                .push(vec![0.0f32; self.page_vectors * self.dim].into_boxed_slice());
+        }
+        let page = self.pages.last_mut().expect("just ensured");
+        page[slot * self.dim..(slot + 1) * self.dim].copy_from_slice(v);
+        let offset = self.len as u32;
+        self.len += 1;
+        Ok(offset)
+    }
+
+    /// Borrow the vector at `offset`.
+    ///
+    /// # Panics
+    /// If `offset >= len()`.
+    #[inline]
+    pub fn get(&self, offset: u32) -> &[f32] {
+        let offset = offset as usize;
+        assert!(offset < self.len, "offset {offset} out of range {}", self.len);
+        let page = offset / self.page_vectors;
+        let slot = offset % self.page_vectors;
+        &self.pages[page][slot * self.dim..(slot + 1) * self.dim]
+    }
+
+    /// Overwrite the vector at an existing offset (used by upsert-in-place
+    /// before a segment is sealed).
+    pub fn overwrite(&mut self, offset: u32, v: &[f32]) -> VqResult<()> {
+        if v.len() != self.dim {
+            return Err(VqError::DimensionMismatch {
+                expected: self.dim,
+                got: v.len(),
+            });
+        }
+        let offset = offset as usize;
+        if offset >= self.len {
+            return Err(VqError::Internal(format!(
+                "overwrite past end: {offset} >= {}",
+                self.len
+            )));
+        }
+        let page = offset / self.page_vectors;
+        let slot = offset % self.page_vectors;
+        self.pages[page][slot * self.dim..(slot + 1) * self.dim].copy_from_slice(v);
+        Ok(())
+    }
+
+    /// Iterate all vectors in offset order.
+    pub fn iter(&self) -> impl Iterator<Item = &[f32]> + '_ {
+        (0..self.len as u32).map(move |o| self.get(o))
+    }
+
+    /// Flatten into one contiguous buffer (snapshot serialization).
+    pub fn to_flat(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.len * self.dim);
+        for v in self.iter() {
+            out.extend_from_slice(v);
+        }
+        out
+    }
+
+    /// Rebuild from a flat buffer (snapshot restore).
+    pub fn from_flat(dim: usize, data: &[f32]) -> VqResult<Self> {
+        if dim == 0 || data.len() % dim != 0 {
+            return Err(VqError::Corruption(format!(
+                "flat buffer length {} not a multiple of dim {dim}",
+                data.len()
+            )));
+        }
+        let mut arena = Self::new(dim);
+        for chunk in data.chunks_exact(dim) {
+            arena.push(chunk)?;
+        }
+        Ok(arena)
+    }
+}
+
+impl vq_index::VectorSource for PagedArena {
+    fn dim(&self) -> usize {
+        self.dim
+    }
+    fn len(&self) -> usize {
+        self.len
+    }
+    fn vector(&self, offset: u32) -> &[f32] {
+        self.get(offset)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_get_across_pages() {
+        let mut a = PagedArena::with_page_vectors(3, 2);
+        for i in 0..7 {
+            let v = [i as f32, 0.0, 0.0];
+            assert_eq!(a.push(&v).unwrap(), i);
+        }
+        assert_eq!(a.len(), 7);
+        assert_eq!(a.page_count(), 4);
+        for i in 0..7u32 {
+            assert_eq!(a.get(i)[0], i as f32);
+        }
+    }
+
+    #[test]
+    fn dimension_checked() {
+        let mut a = PagedArena::new(4);
+        assert!(matches!(
+            a.push(&[0.0; 3]),
+            Err(VqError::DimensionMismatch { expected: 4, got: 3 })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_out_of_range_panics() {
+        let a = PagedArena::new(2);
+        a.get(0);
+    }
+
+    #[test]
+    fn overwrite_in_place() {
+        let mut a = PagedArena::with_page_vectors(2, 2);
+        a.push(&[1.0, 1.0]).unwrap();
+        a.push(&[2.0, 2.0]).unwrap();
+        a.overwrite(0, &[9.0, 9.0]).unwrap();
+        assert_eq!(a.get(0), &[9.0, 9.0]);
+        assert_eq!(a.get(1), &[2.0, 2.0]);
+        assert!(a.overwrite(5, &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn flat_roundtrip() {
+        let mut a = PagedArena::with_page_vectors(2, 3);
+        for i in 0..5 {
+            a.push(&[i as f32, -(i as f32)]).unwrap();
+        }
+        let flat = a.to_flat();
+        let b = PagedArena::from_flat(2, &flat).unwrap();
+        assert_eq!(b.len(), 5);
+        for i in 0..5u32 {
+            assert_eq!(a.get(i), b.get(i));
+        }
+        assert!(PagedArena::from_flat(3, &flat[..4]).is_err());
+    }
+
+    #[test]
+    fn addresses_stable_across_growth() {
+        let mut a = PagedArena::with_page_vectors(1, 2);
+        a.push(&[1.0]).unwrap();
+        let p0 = a.get(0).as_ptr();
+        for i in 0..100 {
+            a.push(&[i as f32]).unwrap();
+        }
+        assert_eq!(a.get(0).as_ptr(), p0, "page must never move");
+    }
+
+    #[test]
+    fn vector_source_impl() {
+        use vq_index::VectorSource;
+        let mut a = PagedArena::new(2);
+        a.push(&[0.5, 0.5]).unwrap();
+        assert_eq!(VectorSource::dim(&a), 2);
+        assert_eq!(VectorSource::len(&a), 1);
+        assert_eq!(VectorSource::vector(&a, 0), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn allocated_bytes_tracks_pages() {
+        let mut a = PagedArena::with_page_vectors(4, 8);
+        assert_eq!(a.allocated_bytes(), 0);
+        a.push(&[0.0; 4]).unwrap();
+        assert_eq!(a.allocated_bytes(), 8 * 4 * 4);
+    }
+}

@@ -1,0 +1,258 @@
+//! Point-id ↔ offset tracking with upsert versions and tombstones.
+//!
+//! Storage addresses vectors by dense `u32` offsets; users address points
+//! by [`PointId`]. The tracker owns the bidirectional mapping plus the
+//! pieces of mutation semantics that live at this level:
+//!
+//! * **upsert** — re-inserting an existing id points it at a new offset
+//!   and tombstones the old one (append-only storage never overwrites a
+//!   sealed offset);
+//! * **delete** — tombstones the current offset;
+//! * **versions** — each id carries a monotonically increasing version so
+//!   replicated shards can reconcile out-of-order applies.
+
+use std::collections::HashMap;
+use vq_core::{PointId, VqError, VqResult};
+
+/// Per-offset reverse entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct OffsetEntry {
+    id: PointId,
+    live: bool,
+}
+
+/// The id ↔ offset bimap of one segment.
+#[derive(Debug, Default, Clone)]
+pub struct IdTracker {
+    forward: HashMap<PointId, (u32, u64)>, // id -> (offset, version)
+    reverse: Vec<OffsetEntry>,             // offset -> entry
+    live: usize,
+}
+
+impl IdTracker {
+    /// Empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (non-tombstoned) points.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
+    /// Number of offsets ever allocated (live + tombstoned).
+    pub fn total_offsets(&self) -> usize {
+        self.reverse.len()
+    }
+
+    /// Fraction of allocated offsets that are tombstones — the signal the
+    /// optimizer uses to decide a segment is worth vacuuming.
+    pub fn tombstone_ratio(&self) -> f64 {
+        if self.reverse.is_empty() {
+            0.0
+        } else {
+            1.0 - self.live as f64 / self.reverse.len() as f64
+        }
+    }
+
+    /// Record that `id` now lives at `offset` (which must be the next
+    /// dense offset). Returns the tombstoned previous offset if this was
+    /// an upsert of an existing id.
+    pub fn bind(&mut self, id: PointId, offset: u32) -> VqResult<Option<u32>> {
+        if offset as usize != self.reverse.len() {
+            return Err(VqError::Internal(format!(
+                "non-dense bind: offset {offset}, expected {}",
+                self.reverse.len()
+            )));
+        }
+        self.reverse.push(OffsetEntry { id, live: true });
+        self.live += 1;
+        match self.forward.insert(id, (offset, 1)) {
+            Some((old_offset, old_version)) => {
+                self.forward.insert(id, (offset, old_version + 1));
+                let old = &mut self.reverse[old_offset as usize];
+                if old.live {
+                    old.live = false;
+                    self.live -= 1;
+                }
+                Ok(Some(old_offset))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Current offset of a live id.
+    pub fn offset_of(&self, id: PointId) -> Option<u32> {
+        let &(offset, _) = self.forward.get(&id)?;
+        self.reverse[offset as usize].live.then_some(offset)
+    }
+
+    /// Current version of an id (present even if deleted).
+    pub fn version_of(&self, id: PointId) -> Option<u64> {
+        self.forward.get(&id).map(|&(_, v)| v)
+    }
+
+    /// The id stored at `offset`, live or not.
+    pub fn id_at(&self, offset: u32) -> Option<PointId> {
+        self.reverse.get(offset as usize).map(|e| e.id)
+    }
+
+    /// Whether `offset` holds the live copy of its id.
+    #[inline]
+    pub fn is_live(&self, offset: u32) -> bool {
+        self.reverse
+            .get(offset as usize)
+            .is_some_and(|e| e.live)
+    }
+
+    /// Tombstone an id. Returns its former offset.
+    pub fn delete(&mut self, id: PointId) -> VqResult<u32> {
+        let &(offset, version) = self
+            .forward
+            .get(&id)
+            .ok_or(VqError::PointNotFound(id))?;
+        let entry = &mut self.reverse[offset as usize];
+        if !entry.live {
+            return Err(VqError::PointNotFound(id));
+        }
+        entry.live = false;
+        self.live -= 1;
+        self.forward.insert(id, (offset, version + 1));
+        Ok(offset)
+    }
+
+    /// Iterate live `(id, offset)` pairs in offset order.
+    pub fn iter_live(&self) -> impl Iterator<Item = (PointId, u32)> + '_ {
+        self.reverse
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.live)
+            .map(|(o, e)| (e.id, o as u32))
+    }
+
+    /// Export `(id, offset, live, version)` rows for snapshots.
+    pub fn export(&self) -> Vec<(PointId, u32, bool, u64)> {
+        self.reverse
+            .iter()
+            .enumerate()
+            .map(|(o, e)| {
+                let version = self.forward.get(&e.id).map(|&(_, v)| v).unwrap_or(1);
+                (e.id, o as u32, e.live, version)
+            })
+            .collect()
+    }
+
+    /// Rebuild from exported rows (offsets must be dense and ordered).
+    pub fn import(rows: &[(PointId, u32, bool, u64)]) -> VqResult<Self> {
+        let mut t = IdTracker::new();
+        for &(id, offset, live, version) in rows {
+            if offset as usize != t.reverse.len() {
+                return Err(VqError::Corruption(format!(
+                    "id tracker rows not dense at offset {offset}"
+                )));
+            }
+            t.reverse.push(OffsetEntry { id, live });
+            if live {
+                t.live += 1;
+                t.forward.insert(id, (offset, version));
+            } else {
+                // Keep version info for deleted ids too, unless a newer
+                // live entry already claimed the id.
+                t.forward.entry(id).or_insert((offset, version));
+            }
+        }
+        Ok(t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bind_and_lookup() {
+        let mut t = IdTracker::new();
+        assert_eq!(t.bind(100, 0).unwrap(), None);
+        assert_eq!(t.bind(200, 1).unwrap(), None);
+        assert_eq!(t.offset_of(100), Some(0));
+        assert_eq!(t.offset_of(200), Some(1));
+        assert_eq!(t.id_at(1), Some(200));
+        assert_eq!(t.live_count(), 2);
+    }
+
+    #[test]
+    fn bind_requires_dense_offsets() {
+        let mut t = IdTracker::new();
+        assert!(t.bind(1, 5).is_err());
+    }
+
+    #[test]
+    fn upsert_tombstones_old_offset() {
+        let mut t = IdTracker::new();
+        t.bind(7, 0).unwrap();
+        let old = t.bind(7, 1).unwrap();
+        assert_eq!(old, Some(0));
+        assert_eq!(t.offset_of(7), Some(1));
+        assert!(!t.is_live(0));
+        assert!(t.is_live(1));
+        assert_eq!(t.live_count(), 1);
+        assert_eq!(t.version_of(7), Some(2));
+    }
+
+    #[test]
+    fn delete_and_tombstone_ratio() {
+        let mut t = IdTracker::new();
+        t.bind(1, 0).unwrap();
+        t.bind(2, 1).unwrap();
+        assert_eq!(t.delete(1).unwrap(), 0);
+        assert_eq!(t.offset_of(1), None);
+        assert_eq!(t.live_count(), 1);
+        assert!((t.tombstone_ratio() - 0.5).abs() < 1e-9);
+        assert!(matches!(t.delete(1), Err(VqError::PointNotFound(1))));
+        assert!(matches!(t.delete(99), Err(VqError::PointNotFound(99))));
+    }
+
+    #[test]
+    fn delete_bumps_version() {
+        let mut t = IdTracker::new();
+        t.bind(5, 0).unwrap();
+        t.delete(5).unwrap();
+        assert_eq!(t.version_of(5), Some(2));
+        // Re-insert after delete: a new offset, version moves on.
+        t.bind(5, 1).unwrap();
+        assert_eq!(t.version_of(5), Some(3));
+        assert_eq!(t.offset_of(5), Some(1));
+    }
+
+    #[test]
+    fn iter_live_in_offset_order() {
+        let mut t = IdTracker::new();
+        t.bind(10, 0).unwrap();
+        t.bind(20, 1).unwrap();
+        t.bind(30, 2).unwrap();
+        t.delete(20).unwrap();
+        let live: Vec<_> = t.iter_live().collect();
+        assert_eq!(live, vec![(10, 0), (30, 2)]);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut t = IdTracker::new();
+        t.bind(1, 0).unwrap();
+        t.bind(2, 1).unwrap();
+        t.bind(1, 2).unwrap(); // upsert
+        t.delete(2).unwrap();
+        let rows = t.export();
+        let r = IdTracker::import(&rows).unwrap();
+        assert_eq!(r.offset_of(1), Some(2));
+        assert_eq!(r.offset_of(2), None);
+        assert_eq!(r.live_count(), 1);
+        assert_eq!(r.total_offsets(), 3);
+    }
+
+    #[test]
+    fn import_rejects_non_dense() {
+        let rows = vec![(1u64, 1u32, true, 1u64)];
+        assert!(IdTracker::import(&rows).is_err());
+    }
+}

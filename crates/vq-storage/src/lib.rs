@@ -1,0 +1,35 @@
+//! # vq-storage
+//!
+//! Storage substrate for `vq` segments, mirroring the stateful half of a
+//! Qdrant worker:
+//!
+//! * [`arena`] — paged, append-only vector arena. Pages are fixed-size so
+//!   growth never moves existing vectors (readers hold stable references
+//!   while writers append, which the collection layer relies on).
+//! * [`id_tracker`] — the `PointId ↔ offset` bimap with upsert versioning
+//!   and tombstones.
+//! * [`payload_store`] — offset-indexed payload storage.
+//! * [`wal`] — an append-only write-ahead log with CRC-checked framing and
+//!   replay, over in-memory or file backends.
+//! * [`segment_store`] — the composition of the above: the durable state
+//!   of one shard replica, with snapshot/restore.
+//! * [`crc`] — CRC-32 (IEEE) used by WAL framing, implemented locally to
+//!   keep the dependency set minimal.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod arena;
+pub mod crc;
+pub mod id_tracker;
+pub mod payload_index;
+pub mod payload_store;
+pub mod segment_store;
+pub mod wal;
+
+pub use arena::PagedArena;
+pub use id_tracker::IdTracker;
+pub use payload_index::PayloadIndex;
+pub use payload_store::PayloadStore;
+pub use segment_store::{SegmentSnapshot, SegmentStore};
+pub use wal::{FileBackend, MemBackend, Wal, WalBackend, WalRecord};

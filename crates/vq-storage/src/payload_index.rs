@@ -1,0 +1,223 @@
+//! Inverted payload index: `(key, value) → offsets`.
+//!
+//! The structure behind *prefiltered* (predicated) search — the paper's
+//! §2.1 footnote: "In the case of queries that filter based on a
+//! condition, some vector databases perform prefiltering to reduce the
+//! shard search space." With this index a filter's candidate set is
+//! computed exactly, and when it is small the segment scores just those
+//! candidates instead of walking the HNSW graph and discarding most of
+//! what it visits.
+//!
+//! Exact-match values are indexed (strings, ints, bools, and each
+//! keyword of a keyword list). Floats are deliberately not indexed —
+//! equality on floats is a degenerate predicate — so filters touching
+//! them fall back to post-filtering.
+
+use std::collections::HashMap;
+use vq_core::{Filter, Payload, PayloadValue};
+
+/// Hashable form of an indexable payload value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum IndexedValue {
+    Str(String),
+    Int(i64),
+    Bool(bool),
+}
+
+impl IndexedValue {
+    fn from_probe(v: &PayloadValue) -> Option<IndexedValue> {
+        match v {
+            PayloadValue::Str(s) => Some(IndexedValue::Str(s.clone())),
+            PayloadValue::Int(i) => Some(IndexedValue::Int(*i)),
+            PayloadValue::Bool(b) => Some(IndexedValue::Bool(*b)),
+            PayloadValue::Float(_) | PayloadValue::Keywords(_) => None,
+        }
+    }
+}
+
+/// The inverted index of one segment's payload column.
+#[derive(Debug, Default)]
+pub struct PayloadIndex {
+    map: HashMap<(String, IndexedValue), Vec<u32>>,
+}
+
+impl PayloadIndex {
+    /// Empty index.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index `payload` at `offset` (offsets must arrive in ascending
+    /// order, which the append-only store guarantees — posting lists stay
+    /// sorted for free).
+    pub fn insert(&mut self, offset: u32, payload: &Payload) {
+        for (key, value) in &payload.0 {
+            match value {
+                PayloadValue::Str(s) => {
+                    self.push(key, IndexedValue::Str(s.clone()), offset);
+                }
+                PayloadValue::Int(i) => {
+                    self.push(key, IndexedValue::Int(*i), offset);
+                }
+                PayloadValue::Bool(b) => {
+                    self.push(key, IndexedValue::Bool(*b), offset);
+                }
+                PayloadValue::Keywords(ks) => {
+                    // A keyword list matches a string probe by
+                    // containment; index every keyword.
+                    for k in ks {
+                        self.push(key, IndexedValue::Str(k.clone()), offset);
+                    }
+                }
+                PayloadValue::Float(_) => {}
+            }
+        }
+    }
+
+    fn push(&mut self, key: &str, value: IndexedValue, offset: u32) {
+        self.map
+            .entry((key.to_owned(), value))
+            .or_default()
+            .push(offset);
+    }
+
+    /// Posting list for one condition, if indexable.
+    fn postings(&self, key: &str, probe: &PayloadValue) -> Option<&[u32]> {
+        let iv = IndexedValue::from_probe(probe)?;
+        Some(
+            self.map
+                .get(&(key.to_owned(), iv))
+                .map(Vec::as_slice)
+                .unwrap_or(&[]),
+        )
+    }
+
+    /// Exact candidate offsets for a conjunctive filter, or `None` when
+    /// any condition is not indexable (float probes) — the caller then
+    /// post-filters. An empty filter yields `None` too (everything
+    /// matches; prefiltering is pointless).
+    pub fn candidates(&self, filter: &Filter) -> Option<Vec<u32>> {
+        if filter.is_empty() {
+            return None;
+        }
+        let mut lists: Vec<&[u32]> = Vec::with_capacity(filter.must.len());
+        for (key, probe) in &filter.must {
+            lists.push(self.postings(key, probe)?);
+        }
+        // Intersect starting from the rarest list.
+        lists.sort_by_key(|l| l.len());
+        let mut result: Vec<u32> = lists[0].to_vec();
+        for list in &lists[1..] {
+            if result.is_empty() {
+                break;
+            }
+            result.retain(|o| list.binary_search(o).is_ok());
+        }
+        Some(result)
+    }
+
+    /// Upper bound on a filter's match count (size of the rarest
+    /// indexable condition), or `None` if nothing is indexable.
+    pub fn estimate(&self, filter: &Filter) -> Option<usize> {
+        filter
+            .must
+            .iter()
+            .filter_map(|(k, p)| self.postings(k, p).map(<[u32]>::len))
+            .min()
+    }
+
+    /// Number of distinct `(key, value)` terms indexed.
+    pub fn term_count(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(kind: &str, year: i64) -> Payload {
+        let mut p = Payload::from_pairs([("kind", kind)]);
+        p.insert("year", year);
+        p
+    }
+
+    #[test]
+    fn single_condition_postings() {
+        let mut idx = PayloadIndex::new();
+        idx.insert(0, &payload("virus", 2020));
+        idx.insert(1, &payload("host", 2020));
+        idx.insert(2, &payload("virus", 2021));
+        let f = Filter::must_match("kind", "virus");
+        assert_eq!(idx.candidates(&f), Some(vec![0, 2]));
+        assert_eq!(idx.estimate(&f), Some(2));
+    }
+
+    #[test]
+    fn conjunction_intersects() {
+        let mut idx = PayloadIndex::new();
+        idx.insert(0, &payload("virus", 2020));
+        idx.insert(1, &payload("virus", 2021));
+        idx.insert(2, &payload("host", 2021));
+        let f = Filter::must_match("kind", "virus").and("year", 2021i64);
+        assert_eq!(idx.candidates(&f), Some(vec![1]));
+        let f = Filter::must_match("kind", "host").and("year", 2020i64);
+        assert_eq!(idx.candidates(&f), Some(vec![]));
+    }
+
+    #[test]
+    fn keywords_indexed_individually() {
+        let mut idx = PayloadIndex::new();
+        let mut p = Payload::new();
+        p.insert(
+            "tags",
+            PayloadValue::Keywords(vec!["genome".into(), "crispr".into()]),
+        );
+        idx.insert(5, &p);
+        assert_eq!(
+            idx.candidates(&Filter::must_match("tags", "crispr")),
+            Some(vec![5])
+        );
+        assert_eq!(
+            idx.candidates(&Filter::must_match("tags", "plasmid")),
+            Some(vec![])
+        );
+    }
+
+    #[test]
+    fn float_probe_falls_back() {
+        let mut idx = PayloadIndex::new();
+        let mut p = Payload::new();
+        p.insert("score", 0.5f64);
+        idx.insert(0, &p);
+        let f = Filter::must_match("score", 0.5f64);
+        assert_eq!(idx.candidates(&f), None);
+        assert_eq!(idx.estimate(&f), None);
+    }
+
+    #[test]
+    fn empty_filter_is_not_prefilterable() {
+        let idx = PayloadIndex::new();
+        assert_eq!(idx.candidates(&Filter::default()), None);
+    }
+
+    #[test]
+    fn missing_term_yields_empty_not_none() {
+        let mut idx = PayloadIndex::new();
+        idx.insert(0, &payload("virus", 2020));
+        let f = Filter::must_match("nonexistent", "x");
+        assert_eq!(idx.candidates(&f), Some(vec![]));
+    }
+
+    #[test]
+    fn postings_stay_sorted() {
+        let mut idx = PayloadIndex::new();
+        for o in 0..100u32 {
+            idx.insert(o, &payload(if o % 2 == 0 { "a" } else { "b" }, 2020));
+        }
+        let c = idx.candidates(&Filter::must_match("kind", "a")).unwrap();
+        assert!(c.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(c.len(), 50);
+        assert!(idx.term_count() >= 3);
+    }
+}

@@ -1,0 +1,99 @@
+//! Offset-indexed payload storage.
+//!
+//! Payloads live beside vectors, addressed by the same dense offsets. The
+//! store is append-only like the arena; upserted/deleted offsets simply
+//! become unreachable through the id tracker.
+
+use vq_core::Payload;
+
+/// Append-only payload column.
+#[derive(Debug, Default, Clone)]
+pub struct PayloadStore {
+    payloads: Vec<Payload>,
+    bytes: usize,
+}
+
+impl PayloadStore {
+    /// Empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append the payload for the next offset; returns that offset.
+    pub fn push(&mut self, payload: Payload) -> u32 {
+        let offset = self.payloads.len() as u32;
+        self.bytes += payload.approx_bytes();
+        self.payloads.push(payload);
+        offset
+    }
+
+    /// Payload at `offset`.
+    pub fn get(&self, offset: u32) -> &Payload {
+        &self.payloads[offset as usize]
+    }
+
+    /// Number of stored payloads (== arena length when kept in lockstep).
+    pub fn len(&self) -> usize {
+        self.payloads.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.payloads.is_empty()
+    }
+
+    /// Approximate retained payload bytes.
+    pub fn approx_bytes(&self) -> usize {
+        self.bytes
+    }
+
+    /// All payloads in offset order (snapshots).
+    pub fn export(&self) -> &[Payload] {
+        &self.payloads
+    }
+
+    /// Rebuild from exported payloads.
+    pub fn import(payloads: Vec<Payload>) -> Self {
+        let bytes = payloads.iter().map(Payload::approx_bytes).sum();
+        PayloadStore { payloads, bytes }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_get_in_lockstep() {
+        let mut s = PayloadStore::new();
+        let p0 = Payload::from_pairs([("a", 1i64)]);
+        let p1 = Payload::from_pairs([("b", 2i64)]);
+        assert_eq!(s.push(p0.clone()), 0);
+        assert_eq!(s.push(p1.clone()), 1);
+        assert_eq!(s.get(0), &p0);
+        assert_eq!(s.get(1), &p1);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn byte_accounting_accumulates() {
+        let mut s = PayloadStore::new();
+        assert_eq!(s.approx_bytes(), 0);
+        s.push(Payload::from_pairs([("k", "hello")]));
+        let one = s.approx_bytes();
+        assert!(one > 0);
+        s.push(Payload::from_pairs([("k", "hello")]));
+        assert_eq!(s.approx_bytes(), 2 * one);
+    }
+
+    #[test]
+    fn export_import_roundtrip() {
+        let mut s = PayloadStore::new();
+        s.push(Payload::from_pairs([("x", true)]));
+        s.push(Payload::new());
+        let r = PayloadStore::import(s.export().to_vec());
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.get(0), s.get(0));
+        assert_eq!(r.approx_bytes(), s.approx_bytes());
+    }
+}

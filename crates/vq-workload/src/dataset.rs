@@ -1,0 +1,232 @@
+//! Dataset assembly: corpus + embeddings → sized streams of points.
+//!
+//! The paper sizes workloads in decimal GB (1 GB tuning subset, ≈80 GB
+//! full set). [`DatasetSpec`] does the same arithmetic via
+//! [`VectorLayout`], and generates exactly that many points — each a
+//! [`Point`] carrying its embedding and a small payload (title, topic,
+//! year) like a real ingest pipeline would attach.
+
+use crate::corpus::CorpusSpec;
+use crate::embedding::EmbeddingModel;
+use rayon::prelude::*;
+use vq_core::{DataSize, Payload, Point, VectorLayout};
+
+/// A sized dataset over a corpus.
+#[derive(Debug, Clone)]
+pub struct DatasetSpec {
+    corpus: CorpusSpec,
+    model: EmbeddingModel,
+    vectors: u64,
+    layout: VectorLayout,
+    with_payload: bool,
+}
+
+impl DatasetSpec {
+    /// Dataset of `size` bytes at the given per-vector layout.
+    pub fn sized(corpus: CorpusSpec, model: EmbeddingModel, size: DataSize) -> Self {
+        let layout = VectorLayout {
+            dim: model.dim(),
+            overhead_bytes: VectorLayout::QWEN3_4B.overhead_bytes,
+        };
+        let vectors = size.vectors(layout).min(corpus.papers);
+        DatasetSpec {
+            corpus,
+            model,
+            vectors,
+            layout,
+            with_payload: true,
+        }
+    }
+
+    /// Dataset with an explicit vector count.
+    pub fn with_vectors(corpus: CorpusSpec, model: EmbeddingModel, vectors: u64) -> Self {
+        let layout = VectorLayout {
+            dim: model.dim(),
+            overhead_bytes: VectorLayout::QWEN3_4B.overhead_bytes,
+        };
+        DatasetSpec {
+            vectors: vectors.min(corpus.papers),
+            corpus,
+            model,
+            layout,
+            with_payload: true,
+        }
+    }
+
+    /// Skip payload generation (pure-vector benches).
+    pub fn without_payload(mut self) -> Self {
+        self.with_payload = false;
+        self
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> u64 {
+        self.vectors
+    }
+
+    /// Whether the dataset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.vectors == 0
+    }
+
+    /// Total bytes under the layout (the paper's "GB of dataset").
+    pub fn bytes(&self) -> DataSize {
+        DataSize(self.layout.bytes_for(self.vectors))
+    }
+
+    /// The corpus behind the dataset.
+    pub fn corpus(&self) -> &CorpusSpec {
+        &self.corpus
+    }
+
+    /// The embedding model behind the dataset.
+    pub fn model(&self) -> &EmbeddingModel {
+        &self.model
+    }
+
+    /// Generate point `i`.
+    pub fn point(&self, i: u64) -> Point {
+        assert!(i < self.vectors, "point {i} out of dataset");
+        let meta = self.corpus.paper(i);
+        let vector = self.model.embed(i, meta.topic);
+        let payload = if self.with_payload {
+            Payload::from_pairs([
+                ("topic", meta.topic as i64),
+                ("year", meta.year as i64),
+                ("chars", meta.chars as i64),
+            ])
+        } else {
+            Payload::new()
+        };
+        Point::with_payload(i, vector, payload)
+    }
+
+    /// Generate a contiguous range of points in parallel.
+    pub fn points_in(&self, range: std::ops::Range<u64>) -> Vec<Point> {
+        range
+            .into_par_iter()
+            .map(|i| self.point(i))
+            .collect()
+    }
+
+    /// Split the dataset into upload batches of `batch_size` points.
+    pub fn upload_batches(&self, batch_size: usize) -> UploadBatches<'_> {
+        assert!(batch_size > 0);
+        UploadBatches {
+            dataset: self,
+            batch_size: batch_size as u64,
+            next: 0,
+        }
+    }
+
+    /// Partition ids across `workers` contiguously (the paper's layout:
+    /// each worker gets ≈ N/workers of the data, one client per worker).
+    pub fn partition(&self, workers: u32) -> Vec<std::ops::Range<u64>> {
+        let w = workers.max(1) as u64;
+        let per = self.vectors / w;
+        let rem = self.vectors % w;
+        let mut out = Vec::with_capacity(w as usize);
+        let mut start = 0;
+        for i in 0..w {
+            let extra = u64::from(i < rem);
+            let end = start + per + extra;
+            out.push(start..end);
+            start = end;
+        }
+        out
+    }
+}
+
+/// Iterator over upload batches (ranges of point ids).
+pub struct UploadBatches<'a> {
+    dataset: &'a DatasetSpec,
+    batch_size: u64,
+    next: u64,
+}
+
+impl Iterator for UploadBatches<'_> {
+    type Item = std::ops::Range<u64>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.dataset.len() {
+            return None;
+        }
+        let start = self.next;
+        let end = (start + self.batch_size).min(self.dataset.len());
+        self.next = end;
+        Some(start..end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_dataset(vectors: u64) -> DatasetSpec {
+        let corpus = CorpusSpec::small(100_000);
+        let model = EmbeddingModel::small(&corpus, 32);
+        DatasetSpec::with_vectors(corpus, model, vectors)
+    }
+
+    #[test]
+    fn sizing_matches_layout_math() {
+        let corpus = CorpusSpec::pes2o();
+        let model = EmbeddingModel::small(&corpus, 2560);
+        let d = DatasetSpec::sized(corpus, model, DataSize::gb(1));
+        // ≈ 96–97 k Qwen3-sized vectors per decimal GB.
+        assert!((90_000..105_000).contains(&d.len()), "{}", d.len());
+        assert!(d.bytes().0 <= DataSize::gb(1).0);
+    }
+
+    #[test]
+    fn points_are_deterministic_with_payload() {
+        let d = small_dataset(100);
+        let a = d.point(5);
+        let b = d.point(5);
+        assert_eq!(a, b);
+        assert_eq!(a.id, 5);
+        assert_eq!(a.vector.len(), 32);
+        assert!(a.payload.get("topic").is_some());
+        assert!(a.payload.get("year").is_some());
+    }
+
+    #[test]
+    fn parallel_generation_matches_serial() {
+        let d = small_dataset(50);
+        let par = d.points_in(10..30);
+        for (i, p) in (10..30).zip(&par) {
+            assert_eq!(p, &d.point(i));
+        }
+    }
+
+    #[test]
+    fn batches_cover_exactly_once() {
+        let d = small_dataset(25);
+        let batches: Vec<_> = d.upload_batches(10).collect();
+        assert_eq!(batches, vec![0..10, 10..20, 20..25]);
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_complete() {
+        let d = small_dataset(103);
+        let parts = d.partition(4);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0].start, 0);
+        assert_eq!(parts.last().unwrap().end, 103);
+        let total: u64 = parts.iter().map(|r| r.end - r.start).sum();
+        assert_eq!(total, 103);
+        for w in parts.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+            // Near-equal split.
+            let a = w[0].end - w[0].start;
+            let b = w[1].end - w[1].start;
+            assert!(a.abs_diff(b) <= 1);
+        }
+    }
+
+    #[test]
+    fn without_payload_is_lighter() {
+        let d = small_dataset(10).without_payload();
+        assert!(d.point(0).payload.is_empty());
+    }
+}

@@ -1,0 +1,183 @@
+//! Deterministic synthetic embeddings.
+//!
+//! Stands in for Qwen3-Embedding-4B (2560 dimensions). Real text
+//! embeddings are *clustered*: documents about one topic occupy a cone of
+//! the sphere. The generator reproduces that geometry: each topic has a
+//! fixed random centroid; a paper's embedding is
+//! `normalize(centroid + noise_scale · gaussian)`, all seeded by
+//! `(corpus seed, paper id)` so any vector can be regenerated on demand —
+//! no 80 GB of storage needed to *describe* an 80 GB dataset.
+
+use crate::corpus::CorpusSpec;
+use rand::Rng;
+use rand_distr::StandardNormal;
+use vq_core::seed_rng;
+
+/// Stream ids (decorrelate centroid/noise/query draws).
+const STREAM_CENTROID: u64 = 100;
+const STREAM_NOISE: u64 = 101;
+const STREAM_QUERY: u64 = 102;
+
+/// Qwen3-Embedding-4B output dimensionality.
+pub const QWEN3_4B_DIM: usize = 2560;
+
+/// A deterministic embedding model over a corpus.
+#[derive(Debug, Clone)]
+pub struct EmbeddingModel {
+    dim: usize,
+    noise_scale: f32,
+    /// Topic centroids, row-major (unit vectors).
+    centroids: Vec<f32>,
+    topics: u32,
+    seed: u64,
+}
+
+impl EmbeddingModel {
+    /// Model for `corpus` at the given dimensionality.
+    ///
+    /// `noise_scale` controls cluster tightness: 1.0/sqrt(dim)-scale noise
+    /// against unit centroids gives cosine similarities within a topic of
+    /// roughly 0.5–0.8, matching what dense text encoders produce for
+    /// same-topic documents.
+    pub fn new(corpus: &CorpusSpec, dim: usize, noise_scale: f32) -> Self {
+        let seed = corpus.seed.stream(3);
+        let topics = corpus.topics;
+        let mut centroids = Vec::with_capacity(topics as usize * dim);
+        for t in 0..topics {
+            let mut rng = seed_rng(seed ^ STREAM_CENTROID, t as u64);
+            let mut c: Vec<f32> = (0..dim).map(|_| rng.sample::<f32, _>(StandardNormal)).collect();
+            vq_core::vector::normalize_in_place(&mut c);
+            centroids.extend_from_slice(&c);
+        }
+        EmbeddingModel {
+            dim,
+            noise_scale,
+            centroids,
+            topics,
+            seed,
+        }
+    }
+
+    /// The paper-scale model: 2560 dims, default tightness.
+    pub fn qwen3_4b(corpus: &CorpusSpec) -> Self {
+        Self::new(corpus, QWEN3_4B_DIM, 0.7)
+    }
+
+    /// A small-dimension model for tests/benches.
+    pub fn small(corpus: &CorpusSpec, dim: usize) -> Self {
+        Self::new(corpus, dim, 0.7)
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Topic centroid `t` (unit vector).
+    pub fn centroid(&self, t: u32) -> &[f32] {
+        let t = t as usize % self.topics.max(1) as usize;
+        &self.centroids[t * self.dim..(t + 1) * self.dim]
+    }
+
+    /// Embedding of paper `id` with topic `topic` (unit vector).
+    pub fn embed(&self, id: u64, topic: u32) -> Vec<f32> {
+        let mut rng = seed_rng(self.seed ^ STREAM_NOISE, id);
+        let c = self.centroid(topic);
+        let mut v: Vec<f32> = c
+            .iter()
+            .map(|&x| x + self.noise_scale * rng.sample::<f32, _>(StandardNormal) / (self.dim as f32).sqrt())
+            .collect();
+        vq_core::vector::normalize_in_place(&mut v);
+        v
+    }
+
+    /// Query embedding for a term associated with `topic`.
+    ///
+    /// Queries sit *near* their topic's cone but are noisier than
+    /// documents — a short query phrase is a weaker signal than a full
+    /// paper.
+    pub fn embed_query(&self, term_id: u64, topic: u32) -> Vec<f32> {
+        let mut rng = seed_rng(self.seed ^ STREAM_QUERY, term_id);
+        let c = self.centroid(topic);
+        let q_noise = self.noise_scale * 1.5;
+        let mut v: Vec<f32> = c
+            .iter()
+            .map(|&x| x + q_noise * rng.sample::<f32, _>(StandardNormal) / (self.dim as f32).sqrt())
+            .collect();
+        vq_core::vector::normalize_in_place(&mut v);
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vq_core::distance::dot;
+
+    fn model() -> (CorpusSpec, EmbeddingModel) {
+        let corpus = CorpusSpec::small(1000);
+        let model = EmbeddingModel::small(&corpus, 64);
+        (corpus, model)
+    }
+
+    #[test]
+    fn embeddings_are_unit_and_deterministic() {
+        let (_, m) = model();
+        let a = m.embed(5, 3);
+        let b = m.embed(5, 3);
+        assert_eq!(a, b);
+        assert!((dot(&a, &a) - 1.0).abs() < 1e-5);
+        assert_ne!(m.embed(5, 3), m.embed(6, 3));
+    }
+
+    #[test]
+    fn same_topic_closer_than_cross_topic() {
+        let (_, m) = model();
+        let mut same = 0.0;
+        let mut cross = 0.0;
+        let n = 50;
+        for i in 0..n {
+            let a = m.embed(i, 1);
+            let b = m.embed(1000 + i, 1);
+            let c = m.embed(2000 + i, 9);
+            same += dot(&a, &b) as f64;
+            cross += dot(&a, &c) as f64;
+        }
+        same /= n as f64;
+        cross /= n as f64;
+        assert!(
+            same > cross + 0.2,
+            "intra-topic {same:.3} should beat inter-topic {cross:.3}"
+        );
+    }
+
+    #[test]
+    fn queries_align_with_their_topic() {
+        let (_, m) = model();
+        let q = m.embed_query(7, 4);
+        let to_own = dot(&q, m.centroid(4));
+        let to_other = dot(&q, m.centroid(11));
+        assert!(to_own > to_other, "{to_own} vs {to_other}");
+        assert!((dot(&q, &q) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn centroids_are_spread() {
+        let (_, m) = model();
+        // Random unit vectors in 64-d: pairwise |cos| well below 0.5.
+        for a in 0..8 {
+            for b in (a + 1)..8 {
+                let d = dot(m.centroid(a), m.centroid(b)).abs();
+                assert!(d < 0.6, "centroids {a},{b} too close: {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn qwen3_shape() {
+        let corpus = CorpusSpec::small(10);
+        let m = EmbeddingModel::qwen3_4b(&corpus);
+        assert_eq!(m.dim(), 2560);
+        assert_eq!(m.embed(0, 0).len(), 2560);
+    }
+}

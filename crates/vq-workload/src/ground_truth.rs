@@ -1,0 +1,127 @@
+//! Exact ground truth and recall over generated datasets.
+
+use crate::dataset::DatasetSpec;
+use rayon::prelude::*;
+use vq_core::Distance;
+use vq_index::{DenseVectors, FlatIndex};
+
+/// Precomputed exact neighbors for a query set.
+#[derive(Debug, Clone)]
+pub struct GroundTruth {
+    /// `truth[q]` = ids of the exact top-k for query q.
+    truth: Vec<Vec<u32>>,
+    k: usize,
+}
+
+impl GroundTruth {
+    /// Compute exact top-`k` answers for `queries` over the dataset
+    /// (brute force, parallel over queries).
+    pub fn compute(
+        dataset: &DatasetSpec,
+        metric: Distance,
+        queries: &[Vec<f32>],
+        k: usize,
+    ) -> Self {
+        // Materialize vectors once (ground truth is for laptop-scale sets).
+        let mut source = DenseVectors::new(dataset.model().dim());
+        for i in 0..dataset.len() {
+            let mut p = dataset.point(i);
+            if metric.normalizes_on_ingest() {
+                vq_core::vector::normalize_in_place(&mut p.vector);
+            }
+            source.push(&p.vector);
+        }
+        let flat = FlatIndex::new(metric);
+        let truth = queries
+            .par_iter()
+            .map(|q| {
+                let mut q = q.clone();
+                if metric.normalizes_on_ingest() {
+                    vq_core::vector::normalize_in_place(&mut q);
+                }
+                flat.search(&source, &q, k, None)
+                    .into_iter()
+                    .map(|(o, _)| o)
+                    .collect()
+            })
+            .collect();
+        GroundTruth { truth, k }
+    }
+
+    /// `k` used at computation time.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Exact answer for query `q`.
+    pub fn answers(&self, q: usize) -> &[u32] {
+        &self.truth[q]
+    }
+
+    /// Recall of `got` (ids) against query `q`'s truth.
+    pub fn recall(&self, q: usize, got: &[u32]) -> f64 {
+        vq_index::recall_at_k(got, &self.truth[q])
+    }
+
+    /// Mean recall over per-query results.
+    pub fn mean_recall(&self, results: &[Vec<u32>]) -> f64 {
+        assert_eq!(results.len(), self.truth.len());
+        let sum: f64 = results
+            .iter()
+            .zip(&self.truth)
+            .map(|(got, truth)| vq_index::recall_at_k(got, truth))
+            .sum();
+        sum / self.truth.len().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusSpec;
+    use crate::embedding::EmbeddingModel;
+    use crate::terms::TermWorkload;
+    use crate::DatasetSpec;
+
+    #[test]
+    fn truth_self_recall_is_one() {
+        let corpus = CorpusSpec::small(2000);
+        let model = EmbeddingModel::small(&corpus, 16);
+        let d = DatasetSpec::with_vectors(corpus, model, 500);
+        let terms = TermWorkload::generate(d.corpus(), 10);
+        let queries = terms.query_vectors(d.model());
+        let gt = GroundTruth::compute(&d, Distance::Cosine, &queries, 5);
+        assert_eq!(gt.k(), 5);
+        let results: Vec<Vec<u32>> = (0..10).map(|q| gt.answers(q).to_vec()).collect();
+        assert_eq!(gt.mean_recall(&results), 1.0);
+        assert_eq!(gt.recall(0, gt.answers(0)), 1.0);
+    }
+
+    #[test]
+    fn topic_queries_find_topic_documents() {
+        // A query about topic T should mostly retrieve topic-T papers —
+        // the clustered-geometry sanity check for the whole workload
+        // stack.
+        let corpus = CorpusSpec::small(3000);
+        let model = EmbeddingModel::small(&corpus, 32);
+        let d = DatasetSpec::with_vectors(corpus, model, 3000);
+        let terms = TermWorkload::generate(d.corpus(), 20);
+        let queries = terms.query_vectors(d.model());
+        let gt = GroundTruth::compute(&d, Distance::Cosine, &queries, 10);
+        let mut matches = 0usize;
+        let mut total = 0usize;
+        for (qi, term) in terms.terms().iter().enumerate() {
+            for &doc in gt.answers(qi) {
+                total += 1;
+                if d.corpus().paper(doc as u64).topic == term.topic {
+                    matches += 1;
+                }
+            }
+        }
+        let frac = matches as f64 / total as f64;
+        assert!(
+            frac > 0.5,
+            "only {frac:.2} of exact neighbors share the query topic"
+        );
+    }
+}

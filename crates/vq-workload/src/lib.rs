@@ -1,0 +1,36 @@
+//! # vq-workload
+//!
+//! Deterministic synthetic workloads standing in for the paper's data,
+//! per the substitution rules in `DESIGN.md`:
+//!
+//! * [`corpus`] — a peS2o-like corpus model: 8.29 M "papers" with a
+//!   log-normal full-text length distribution and topic labels. Only the
+//!   *statistics* matter (the paper measures runtime, not retrieval
+//!   quality), so papers are generated lazily from their id.
+//! * [`embedding`] — Qwen3-Embedding-4B-shaped vectors: 2560-dim unit
+//!   vectors drawn around topic centroids, deterministic per paper id.
+//!   Topic structure gives indexes realistic (clustered, not uniform)
+//!   geometry.
+//! * [`terms`] — a BV-BRC-like query workload: 22,723 genome-related
+//!   terms, each yielding a topic-aligned query vector (§3: "Each term is
+//!   used to generate a query").
+//! * [`dataset`] — glue: size a dataset in GB exactly as the paper does,
+//!   iterate its [`Point`](vq_core::Point)s (in parallel for bulk
+//!   generation), slice it into upload batches.
+//! * [`ground_truth`] — exact search + recall measurement over any
+//!   generated dataset.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod corpus;
+pub mod dataset;
+pub mod embedding;
+pub mod ground_truth;
+pub mod terms;
+
+pub use corpus::{CorpusSpec, PaperMeta};
+pub use dataset::{DatasetSpec, UploadBatches};
+pub use embedding::EmbeddingModel;
+pub use ground_truth::GroundTruth;
+pub use terms::TermWorkload;

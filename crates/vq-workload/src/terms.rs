@@ -1,0 +1,171 @@
+//! BV-BRC-like term query workload.
+//!
+//! The paper queries with "a small subset of 22,723 terms related to
+//! genomes available through BV-BRC" (§3). We generate the same-sized
+//! synthetic workload: each term is a deterministic genome-flavoured
+//! string tied to a corpus topic (skewed like real search traffic), and
+//! its query vector comes from the embedding model's query stream.
+
+use crate::corpus::CorpusSpec;
+use crate::embedding::EmbeddingModel;
+use rand::Rng;
+use rand_distr::{Distribution, Zipf};
+use serde::{Deserialize, Serialize};
+use vq_core::seed_rng;
+
+/// The paper's term count.
+pub const BVBRC_TERM_COUNT: u32 = 22_723;
+
+/// One query term.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Term {
+    /// Term index in the workload.
+    pub id: u32,
+    /// Human-readable term text.
+    pub text: String,
+    /// Corpus topic the term is about.
+    pub topic: u32,
+}
+
+/// The generated term workload.
+#[derive(Debug, Clone)]
+pub struct TermWorkload {
+    terms: Vec<Term>,
+}
+
+impl TermWorkload {
+    /// Generate `count` terms against `corpus` (topics drawn with the
+    /// corpus's Zipf skew — popular fields get queried more).
+    pub fn generate(corpus: &CorpusSpec, count: u32) -> Self {
+        const GENUS: [&str; 12] = [
+            "Escherichia", "Salmonella", "Mycobacterium", "Staphylococcus", "Klebsiella",
+            "Pseudomonas", "Streptococcus", "Vibrio", "Bacillus", "Helicobacter",
+            "Acinetobacter", "Influenza",
+        ];
+        const FEATURE: [&str; 10] = [
+            "genome assembly",
+            "antibiotic resistance genes",
+            "virulence factors",
+            "plasmid content",
+            "phage integration sites",
+            "CRISPR loci",
+            "metabolic pathways",
+            "surface proteins",
+            "toxin genes",
+            "mobile elements",
+        ];
+        let seed = corpus.seed.stream(4);
+        let zipf = Zipf::new(corpus.topics as u64, corpus.topic_skew).expect("valid zipf");
+        let terms = (0..count)
+            .map(|id| {
+                let mut rng = seed_rng(seed, id as u64);
+                let topic = (zipf.sample(&mut rng) as u32) - 1;
+                let text = format!(
+                    "{} strain {:05} {}",
+                    GENUS[rng.gen_range(0..GENUS.len())],
+                    rng.gen_range(0..100_000),
+                    FEATURE[rng.gen_range(0..FEATURE.len())],
+                );
+                Term { id, text, topic }
+            })
+            .collect();
+        TermWorkload { terms }
+    }
+
+    /// The paper-scale workload (22,723 terms).
+    pub fn bvbrc(corpus: &CorpusSpec) -> Self {
+        Self::generate(corpus, BVBRC_TERM_COUNT)
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Whether the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Term by index.
+    pub fn term(&self, id: u32) -> &Term {
+        &self.terms[id as usize]
+    }
+
+    /// All terms.
+    pub fn terms(&self) -> &[Term] {
+        &self.terms
+    }
+
+    /// Query vector for term `id` under `model`.
+    pub fn query_vector(&self, model: &EmbeddingModel, id: u32) -> Vec<f32> {
+        let t = self.term(id);
+        model.embed_query(id as u64, t.topic)
+    }
+
+    /// All query vectors (in term order).
+    pub fn query_vectors(&self, model: &EmbeddingModel) -> Vec<Vec<f32>> {
+        self.terms
+            .iter()
+            .map(|t| model.embed_query(t.id as u64, t.topic))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let c = CorpusSpec::small(100);
+        let a = TermWorkload::generate(&c, 50);
+        let b = TermWorkload::generate(&c, 50);
+        assert_eq!(a.terms(), b.terms());
+        assert_eq!(a.len(), 50);
+    }
+
+    #[test]
+    fn bvbrc_count_matches_paper() {
+        let c = CorpusSpec::small(100);
+        let w = TermWorkload::bvbrc(&c);
+        assert_eq!(w.len(), 22_723);
+    }
+
+    #[test]
+    fn terms_look_biological() {
+        let c = CorpusSpec::small(100);
+        let w = TermWorkload::generate(&c, 10);
+        for t in w.terms() {
+            assert!(t.text.contains("strain"), "{t:?}");
+            assert!(t.topic < c.topics);
+        }
+    }
+
+    #[test]
+    fn query_vectors_unit_and_topic_aligned() {
+        let c = CorpusSpec::small(100);
+        let m = EmbeddingModel::small(&c, 32);
+        let w = TermWorkload::generate(&c, 20);
+        let qs = w.query_vectors(&m);
+        assert_eq!(qs.len(), 20);
+        for (t, q) in w.terms().iter().zip(&qs) {
+            let n = vq_core::distance::dot(q, q);
+            assert!((n - 1.0).abs() < 1e-5);
+            assert_eq!(q, &w.query_vector(&m, t.id));
+        }
+    }
+
+    #[test]
+    fn topic_skew_present() {
+        let c = CorpusSpec::small(100);
+        let w = TermWorkload::generate(&c, 2000);
+        let mut counts = vec![0u32; c.topics as usize];
+        for t in w.terms() {
+            counts[t.topic as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let mean = 2000 / c.topics;
+        assert!(max > 2 * mean, "queries should be skewed: {counts:?}");
+    }
+}

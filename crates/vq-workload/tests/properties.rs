@@ -1,0 +1,102 @@
+//! Property-based tests for workload generation: determinism, sizing
+//! arithmetic, partition/batch coverage for arbitrary parameters.
+
+use proptest::prelude::*;
+use vq_workload::{CorpusSpec, DatasetSpec, EmbeddingModel};
+
+fn spec(papers: u64, seed: u64) -> CorpusSpec {
+    CorpusSpec::small(papers.max(1000)).seed(seed)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn papers_deterministic_and_in_bounds(id in 0u64..1000, seed in 0u64..50) {
+        let c = spec(1000, seed);
+        let a = c.paper(id);
+        let b = c.paper(id);
+        prop_assert_eq!(a, b);
+        prop_assert!((200..=c.max_chars).contains(&a.chars));
+        prop_assert!(a.topic < c.topics);
+        prop_assert!((1990..=2025).contains(&a.year));
+    }
+
+    #[test]
+    fn partition_covers_everything_contiguously(
+        n in 1u64..5000,
+        workers in 1u32..40
+    ) {
+        let corpus = spec(5000, 1);
+        let model = EmbeddingModel::small(&corpus, 8);
+        let d = DatasetSpec::with_vectors(corpus, model, n);
+        let parts = d.partition(workers);
+        prop_assert_eq!(parts.len(), workers as usize);
+        // Contiguous, complete, near-even.
+        prop_assert_eq!(parts[0].start, 0);
+        prop_assert_eq!(parts.last().unwrap().end, n);
+        for w in parts.windows(2) {
+            prop_assert_eq!(w[0].end, w[1].start);
+        }
+        let sizes: Vec<u64> = parts.iter().map(|r| r.end - r.start).collect();
+        let max = sizes.iter().max().unwrap();
+        let min = sizes.iter().min().unwrap();
+        prop_assert!(max - min <= 1, "uneven partition: {sizes:?}");
+    }
+
+    #[test]
+    fn upload_batches_cover_exactly_once(
+        n in 1u64..3000,
+        batch in 1usize..500
+    ) {
+        let corpus = spec(3000, 2);
+        let model = EmbeddingModel::small(&corpus, 8);
+        let d = DatasetSpec::with_vectors(corpus, model, n);
+        let mut covered = 0u64;
+        let mut last_end = 0u64;
+        for range in d.upload_batches(batch) {
+            prop_assert_eq!(range.start, last_end, "gap or overlap");
+            prop_assert!(range.end - range.start <= batch as u64);
+            covered += range.end - range.start;
+            last_end = range.end;
+        }
+        prop_assert_eq!(covered, n);
+        prop_assert_eq!(last_end, n);
+    }
+
+    #[test]
+    fn embeddings_unit_norm_for_any_id(id in 0u64..2000, topic in 0u32..16, dim_pow in 3u32..7) {
+        let corpus = spec(2000, 3);
+        let model = EmbeddingModel::small(&corpus, 1 << dim_pow);
+        let v = model.embed(id, topic);
+        let n = vq_core::distance::dot(&v, &v);
+        prop_assert!((n - 1.0).abs() < 1e-4, "norm² {n}");
+        let q = model.embed_query(id, topic);
+        let nq = vq_core::distance::dot(&q, &q);
+        prop_assert!((nq - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn dataset_sizing_never_exceeds_request(gb in 1u64..100) {
+        use vq_core::DataSize;
+        let corpus = CorpusSpec::pes2o();
+        let model = EmbeddingModel::small(&corpus, 2560);
+        let d = DatasetSpec::sized(corpus, model, DataSize::gb(gb));
+        prop_assert!(d.bytes().0 <= DataSize::gb(gb).0);
+        // Within one vector of the requested size (or corpus-capped).
+        let slack = DataSize::gb(gb).0 - d.bytes().0;
+        prop_assert!(
+            slack < 10_312 || d.len() == vq_core::size::PES2O_FULL_VECTORS,
+            "slack {slack}"
+        );
+    }
+
+    #[test]
+    fn different_seeds_different_vectors(id in 0u64..500) {
+        let c1 = spec(1000, 10);
+        let c2 = spec(1000, 11);
+        let m1 = EmbeddingModel::small(&c1, 16);
+        let m2 = EmbeddingModel::small(&c2, 16);
+        prop_assert_ne!(m1.embed(id, 0), m2.embed(id, 0));
+    }
+}

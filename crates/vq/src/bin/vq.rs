@@ -1,0 +1,295 @@
+//! `vq` — command-line interface over a persisted collection directory.
+//!
+//! ```sh
+//! vq create  --dir ./papers --dim 64 --metric cosine
+//! vq demo    --dir ./papers --count 5000          # synthetic corpus points
+//! vq insert  --dir ./papers --json points.jsonl   # {"id":1,"vector":[...]} per line
+//! vq build   --dir ./papers                       # build HNSW indexes
+//! vq search  --dir ./papers --vector 0.1,0.9,... --k 5 [--filter key=value]
+//! vq scroll  --dir ./papers --after 100 --limit 20
+//! vq info    --dir ./papers
+//! ```
+//!
+//! Collections live entirely in the directory (the `vq_collection::persist`
+//! format): every command loads, acts, and saves mutations back.
+
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+use vq::prelude::*;
+use vq::vq_collection::persist;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = args.first().cloned() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let flags = parse_flags(&args[1..]);
+    let result = match command.as_str() {
+        "create" => cmd_create(&flags),
+        "demo" => cmd_demo(&flags),
+        "insert" => cmd_insert(&flags),
+        "build" => cmd_build(&flags),
+        "search" => cmd_search(&flags),
+        "scroll" => cmd_scroll(&flags),
+        "info" => cmd_info(&flags),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{USAGE}").into()),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "\
+vq — a vector database in a directory
+
+USAGE:
+  vq create --dir DIR --dim N [--metric cosine|euclid|dot]
+  vq demo   --dir DIR [--count N]
+  vq insert --dir DIR --json FILE
+  vq build  --dir DIR
+  vq search --dir DIR --vector V1,V2,... [--k N] [--ef N] [--filter key=value]
+  vq scroll --dir DIR [--after ID] [--limit N]
+  vq info   --dir DIR";
+
+type CliResult = Result<(), Box<dyn std::error::Error>>;
+
+fn parse_flags(args: &[String]) -> HashMap<String, String> {
+    let mut flags = HashMap::new();
+    let mut i = 0;
+    while i < args.len() {
+        if let Some(name) = args[i].strip_prefix("--") {
+            let value = args.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(name.to_string(), value);
+            i += 2;
+        } else {
+            i += 1;
+        }
+    }
+    flags
+}
+
+fn dir_of(flags: &HashMap<String, String>) -> Result<PathBuf, Box<dyn std::error::Error>> {
+    flags
+        .get("dir")
+        .map(PathBuf::from)
+        .ok_or_else(|| "--dir is required".into())
+}
+
+fn load(flags: &HashMap<String, String>) -> Result<LocalCollection, Box<dyn std::error::Error>> {
+    Ok(persist::load_from_dir(&dir_of(flags)?)?)
+}
+
+fn cmd_create(flags: &HashMap<String, String>) -> CliResult {
+    let dir = dir_of(flags)?;
+    let dim: usize = flags
+        .get("dim")
+        .ok_or("--dim is required")?
+        .parse()
+        .map_err(|e| format!("bad --dim: {e}"))?;
+    let metric = match flags.get("metric").map(String::as_str).unwrap_or("cosine") {
+        "cosine" => Distance::Cosine,
+        "euclid" => Distance::Euclid,
+        "dot" => Distance::Dot,
+        other => return Err(format!("unknown metric `{other}`").into()),
+    };
+    if dir.join("manifest.json").exists() {
+        return Err(format!("{dir:?} already holds a collection").into());
+    }
+    let collection = LocalCollection::new(CollectionConfig::new(dim, metric));
+    persist::save_to_dir(&collection, &dir)?;
+    println!("created collection in {dir:?} (dim {dim}, metric {metric})");
+    Ok(())
+}
+
+fn cmd_demo(flags: &HashMap<String, String>) -> CliResult {
+    let dir = dir_of(flags)?;
+    let collection = load(flags)?;
+    let count: u64 = flags
+        .get("count")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --count: {e}"))?
+        .unwrap_or(5000);
+    let dim = collection.config().dim;
+    let corpus = CorpusSpec::small(count.max(1000));
+    let model = EmbeddingModel::small(&corpus, dim);
+    let dataset = DatasetSpec::with_vectors(corpus, model, count);
+    for i in 0..dataset.len() {
+        collection.upsert(dataset.point(i))?;
+    }
+    persist::save_to_dir(&collection, &dir)?;
+    println!(
+        "inserted {} synthetic paper embeddings ({} total points)",
+        dataset.len(),
+        collection.len()
+    );
+    Ok(())
+}
+
+fn cmd_insert(flags: &HashMap<String, String>) -> CliResult {
+    let dir = dir_of(flags)?;
+    let collection = load(flags)?;
+    let path = flags.get("json").ok_or("--json FILE is required")?;
+    let body = std::fs::read_to_string(path)?;
+    let mut n = 0u64;
+    for (lineno, line) in body.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value: serde_json::Value =
+            serde_json::from_str(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let id = value
+            .get("id")
+            .and_then(serde_json::Value::as_u64)
+            .ok_or_else(|| format!("line {}: missing numeric `id`", lineno + 1))?;
+        let vector: Vec<f32> = value
+            .get("vector")
+            .and_then(serde_json::Value::as_array)
+            .ok_or_else(|| format!("line {}: missing `vector` array", lineno + 1))?
+            .iter()
+            .map(|x| x.as_f64().unwrap_or(0.0) as f32)
+            .collect();
+        let mut payload = Payload::new();
+        if let Some(obj) = value.get("payload").and_then(serde_json::Value::as_object) {
+            for (k, v) in obj {
+                match v {
+                    serde_json::Value::String(s) => {
+                        payload.insert(k.clone(), s.clone());
+                    }
+                    serde_json::Value::Number(num) if num.is_i64() => {
+                        payload.insert(k.clone(), num.as_i64().unwrap_or(0));
+                    }
+                    serde_json::Value::Number(num) => {
+                        payload.insert(k.clone(), num.as_f64().unwrap_or(0.0));
+                    }
+                    serde_json::Value::Bool(b) => {
+                        payload.insert(k.clone(), *b);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        collection.upsert(Point::with_payload(id, vector, payload))?;
+        n += 1;
+    }
+    persist::save_to_dir(&collection, &dir)?;
+    println!("inserted {n} points ({} total)", collection.len());
+    Ok(())
+}
+
+fn cmd_build(flags: &HashMap<String, String>) -> CliResult {
+    let dir = dir_of(flags)?;
+    let collection = load(flags)?;
+    collection.seal_active();
+    let built = collection.build_all_indexes()?;
+    persist::save_to_dir(&collection, &dir)?;
+    let stats = collection.stats();
+    println!(
+        "built {built} indexes; coverage {:.1} % of {} points",
+        100.0 * stats.index_coverage(),
+        stats.live_points
+    );
+    Ok(())
+}
+
+fn cmd_search(flags: &HashMap<String, String>) -> CliResult {
+    let collection = load(flags)?;
+    let vector: Vec<f32> = flags
+        .get("vector")
+        .ok_or("--vector V1,V2,... is required")?
+        .split(',')
+        .map(|s| s.trim().parse::<f32>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("bad --vector: {e}"))?;
+    let k: usize = flags
+        .get("k")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --k: {e}"))?
+        .unwrap_or(10);
+    let mut request = SearchRequest::new(vector, k).with_payload();
+    if let Some(ef) = flags.get("ef") {
+        request = request.ef(ef.parse().map_err(|e| format!("bad --ef: {e}"))?);
+    }
+    if let Some(f) = flags.get("filter") {
+        let (key, value) = f
+            .split_once('=')
+            .ok_or("--filter expects key=value")?;
+        let probe: PayloadValue = match value.parse::<i64>() {
+            Ok(i) => PayloadValue::Int(i),
+            Err(_) => match value {
+                "true" => PayloadValue::Bool(true),
+                "false" => PayloadValue::Bool(false),
+                s => PayloadValue::Str(s.to_string()),
+            },
+        };
+        request = request.filter(Filter::must_match(key, probe));
+    }
+    let hits = collection.search(&request)?;
+    for h in hits {
+        let payload = h
+            .payload
+            .filter(|p| !p.is_empty())
+            .map(|p| format!("  {}", serde_json::to_string(&p).unwrap_or_default()))
+            .unwrap_or_default();
+        println!("{:>12}  score {:.6}{payload}", h.id, h.score);
+    }
+    Ok(())
+}
+
+fn cmd_scroll(flags: &HashMap<String, String>) -> CliResult {
+    let collection = load(flags)?;
+    let after: Option<PointId> = flags
+        .get("after")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --after: {e}"))?;
+    let limit: usize = flags
+        .get("limit")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --limit: {e}"))?
+        .unwrap_or(20);
+    let page = collection.scroll(after, limit, None);
+    for p in &page {
+        println!(
+            "{:>12}  dim {}  {}",
+            p.id,
+            p.vector.len(),
+            serde_json::to_string(&p.payload).unwrap_or_default()
+        );
+    }
+    if let Some(last) = page.last() {
+        println!("# next: --after {}", last.id);
+    }
+    Ok(())
+}
+
+fn cmd_info(flags: &HashMap<String, String>) -> CliResult {
+    let collection = load(flags)?;
+    let stats = collection.stats();
+    let config = collection.config();
+    println!("dim:              {}", config.dim);
+    println!("metric:           {}", config.metric);
+    println!("points (live):    {}", stats.live_points);
+    println!("offsets (total):  {}", stats.total_offsets);
+    println!("segments:         {} ({} sealed)", stats.segments, stats.sealed_segments);
+    println!(
+        "index coverage:   {:.1} % ({} segments indexed)",
+        100.0 * stats.index_coverage(),
+        stats.indexed_segments
+    );
+    println!("approx bytes:     {}", DataSize(stats.approx_bytes as u64));
+    Ok(())
+}

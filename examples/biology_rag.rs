@@ -1,0 +1,100 @@
+//! The paper's end-to-end biological RAG workload, at laptop scale.
+//!
+//! Mirrors §3's pipeline: a peS2o-like corpus is embedded (synthetic
+//! Qwen3-style vectors), bulk-uploaded into a distributed collection with
+//! indexing deferred, indexes are rebuilt explicitly, and then a
+//! BV-BRC-like term workload queries the cluster. Reports recall against
+//! exact ground truth and the per-phase timings.
+//!
+//! ```sh
+//! cargo run --release --example biology_rag
+//! ```
+
+use std::time::Instant;
+use vq::prelude::*;
+
+fn main() -> VqResult<()> {
+    // Laptop-scale proxy for the 80 GB corpus: 20k papers at dim 128.
+    let corpus = CorpusSpec::small(20_000).seed(42);
+    let model = EmbeddingModel::small(&corpus, 128);
+    let dataset = DatasetSpec::with_vectors(corpus, model, 20_000);
+    println!(
+        "corpus: {} papers (~{}), dim {}",
+        dataset.len(),
+        dataset.bytes(),
+        dataset.model().dim()
+    );
+
+    // Phase 1 — "embedding generation" (here: synthesizing the vectors).
+    let t = Instant::now();
+    let _warm: Vec<Point> = dataset.points_in(0..1000);
+    println!("embedding sample rate: {:.0} vecs/s",
+        1000.0 / t.elapsed().as_secs_f64());
+
+    // Phase 2 — bulk insertion, 4 workers, one client per worker,
+    // indexing deferred (the paper's recommended bulk-upload flow).
+    let config = CollectionConfig::new(128, Distance::Cosine)
+        .max_segment_points(2048)
+        .indexing(IndexingPolicy::Deferred);
+    let cluster = Cluster::start(ClusterConfig::new(4), config)?;
+    let upload = LiveUploader::new(32, 4).upload(&cluster, &dataset)?;
+    println!(
+        "insertion: {} points in {:.2?} ({:.0} pts/s, {} batches)",
+        upload.points,
+        upload.elapsed,
+        upload.throughput(),
+        upload.batches
+    );
+
+    // Phase 3 — explicit index build across the cluster.
+    let mut client = cluster.client();
+    let t_build = Instant::now();
+    let built = client.build_indexes()?;
+    println!(
+        "index build: {built} segment indexes in {:.2?}",
+        t_build.elapsed()
+    );
+    let stats = client.stats()?;
+    println!(
+        "  coverage: {:.1} % of {} offsets",
+        100.0 * stats.index_coverage(),
+        stats.total_offsets
+    );
+
+    // Phase 4 — the BV-BRC-like query workload.
+    let terms = TermWorkload::generate(dataset.corpus(), 500);
+    let queries = terms.query_vectors(dataset.model());
+    let runner = LiveQueryRunner::new(16, 10);
+    let t_q = Instant::now();
+    let out = runner.run(&cluster, &queries)?;
+    println!(
+        "queries: {} in {:.2?} ({:.2} ms/query)",
+        queries.len(),
+        out.elapsed,
+        t_q.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64
+    );
+
+    // Quality: recall@10 against exact ground truth.
+    let gt = GroundTruth::compute(&dataset, Distance::Cosine, &queries, 10);
+    let results: Vec<Vec<u32>> = out
+        .results
+        .iter()
+        .map(|hits| hits.iter().map(|h| h.id as u32).collect())
+        .collect();
+    println!("recall@10 vs exact: {:.3}", gt.mean_recall(&results));
+
+    // A taste of the RAG output: the top papers for one term.
+    let term = terms.term(0);
+    println!("\nexample term: {:?} (topic {})", term.text, term.topic);
+    for h in &out.results[0][..5.min(out.results[0].len())] {
+        println!(
+            "  score {:.4}  paper {:>6}: {}",
+            h.score,
+            h.id,
+            dataset.corpus().title(h.id)
+        );
+    }
+
+    cluster.shutdown();
+    Ok(())
+}

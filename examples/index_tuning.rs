@@ -1,0 +1,151 @@
+//! Index tuning: HNSW parameter sweeps and index-family comparison.
+//!
+//! Builds flat / HNSW / IVF / IVF-composable-PQ indexes over the same
+//! clustered dataset and reports build time, search latency, and
+//! recall@10 — the trade-off space §2.1 of the paper sketches.
+//!
+//! ```sh
+//! cargo run --release --example index_tuning
+//! ```
+
+use std::time::Instant;
+use vq::prelude::*;
+use vq::vq_index::DenseVectors;
+
+fn main() {
+    let n = 20_000u64;
+    let dim = 64;
+    let corpus = CorpusSpec::small(n).seed(7);
+    let model = EmbeddingModel::small(&corpus, dim);
+    let dataset = DatasetSpec::with_vectors(corpus, model, n);
+
+    // Materialize normalized vectors once.
+    let mut source = DenseVectors::new(dim);
+    for i in 0..n {
+        source.push(&vq::vq_core::vector::normalized(&dataset.point(i).vector));
+    }
+    let terms = TermWorkload::generate(dataset.corpus(), 200);
+    let queries: Vec<Vec<f32>> = terms
+        .query_vectors(dataset.model())
+        .into_iter()
+        .map(|q| vq::vq_core::vector::normalized(&q))
+        .collect();
+
+    // Ground truth via exact scan.
+    let flat = FlatIndex::new(Distance::Cosine);
+    let t = Instant::now();
+    let truth: Vec<Vec<u32>> = queries
+        .iter()
+        .map(|q| flat.search(&source, q, 10, None).iter().map(|h| h.0).collect())
+        .collect();
+    let flat_ms = t.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+    println!("flat (exact):      {flat_ms:.3} ms/query, recall 1.000 by definition");
+
+    // HNSW sweep over ef_search.
+    println!("\nHNSW (m=16, ef_construct=100), ef_search sweep:");
+    let t = Instant::now();
+    let hnsw = HnswIndex::build(&source, Distance::Cosine, HnswConfig::default().seed(1));
+    println!("  build: {:.2?}", t.elapsed());
+    for ef in [16usize, 32, 64, 128, 256] {
+        let t = Instant::now();
+        let results: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|q| hnsw.search(&source, q, 10, ef, None).iter().map(|h| h.0).collect())
+            .collect();
+        let ms = t.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+        let recall = mean_recall(&results, &truth);
+        println!("  ef {ef:>4}: {ms:.3} ms/query, recall@10 {recall:.3}");
+    }
+
+    // HNSW m sweep.
+    println!("\nHNSW m sweep (ef_search=64):");
+    for m in [4usize, 8, 16, 32] {
+        let t = Instant::now();
+        let idx = HnswIndex::build(&source, Distance::Cosine, HnswConfig::with_m(m).seed(2));
+        let build = t.elapsed();
+        let t = Instant::now();
+        let results: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|q| idx.search(&source, q, 10, 64, None).iter().map(|h| h.0).collect())
+            .collect();
+        let ms = t.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+        println!(
+            "  m {m:>2}: build {build:.2?}, {ms:.3} ms/query, recall@10 {:.3}",
+            mean_recall(&results, &truth)
+        );
+    }
+
+    // IVF nprobe sweep.
+    println!("\nIVF (nlist=64), nprobe sweep:");
+    let t = Instant::now();
+    let ivf = IvfIndex::build(&source, Distance::Cosine, IvfConfig::with_nlist(64).seed(3));
+    println!("  train+assign: {:.2?}", t.elapsed());
+    for nprobe in [1usize, 2, 4, 8, 16, 64] {
+        let t = Instant::now();
+        let results: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|q| {
+                ivf.search(&source, q, 10, Some(nprobe), None)
+                    .iter()
+                    .map(|h| h.0)
+                    .collect()
+            })
+            .collect();
+        let ms = t.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+        println!(
+            "  nprobe {nprobe:>2}: {ms:.3} ms/query, recall@10 {:.3}",
+            mean_recall(&results, &truth)
+        );
+    }
+
+    // SQ int8 with and without rescoring.
+    println!("\nSQ (int8), rescoring ablation:");
+    let t = Instant::now();
+    let sq = SqCodec::build(&source, Distance::Cosine, SqConfig::default());
+    println!("  train+encode: {:.2?} ({}x compression)", t.elapsed(), sq.compression_ratio());
+    for (label, rescore) in [("quantized only", false), ("with rescoring", true)] {
+        let t = Instant::now();
+        let results: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|q| {
+                let hits = if rescore {
+                    sq.search(q, 10, Some(&source), None)
+                } else {
+                    sq.search::<DenseVectors>(q, 10, None, None)
+                };
+                hits.iter().map(|h| h.0).collect()
+            })
+            .collect();
+        let ms = t.elapsed().as_secs_f64() * 1000.0 / queries.len() as f64;
+        println!(
+            "  {label}: {ms:.3} ms/query, recall@10 {:.3}",
+            mean_recall(&results, &truth)
+        );
+    }
+
+    // PQ compression quality.
+    println!("\nPQ (m=8) codebook-size sweep:");
+    for ks in [16usize, 64, 256] {
+        let t = Instant::now();
+        let pq = PqCodec::build(&source, Distance::Cosine, PqConfig::with_m(8).ks(ks).seed(4));
+        let build = t.elapsed();
+        let results: Vec<Vec<u32>> = queries
+            .iter()
+            .map(|q| pq.search(q, 10, None, None).iter().map(|h| h.0).collect())
+            .collect();
+        println!(
+            "  ks {ks:>3}: build {build:.2?}, {:.0}x compression, recall@10 {:.3}",
+            pq.compression_ratio(),
+            mean_recall(&results, &truth)
+        );
+    }
+}
+
+fn mean_recall(results: &[Vec<u32>], truth: &[Vec<u32>]) -> f64 {
+    results
+        .iter()
+        .zip(truth)
+        .map(|(got, want)| vq::vq_index::recall_at_k(got, want))
+        .sum::<f64>()
+        / results.len() as f64
+}

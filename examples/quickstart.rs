@@ -1,0 +1,70 @@
+//! Quickstart: bring up a cluster, insert points, search, shut down.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vq::prelude::*;
+
+fn main() -> VqResult<()> {
+    // A 4-worker cluster (each worker is a thread owning one shard).
+    let collection = CollectionConfig::new(64, Distance::Cosine);
+    let cluster = Cluster::start(ClusterConfig::new(4), collection)?;
+    let mut client = cluster.client();
+
+    // 10k points: unit vectors pointing at one of 64 axes, plus payload.
+    println!("inserting 10,000 points...");
+    let points: Vec<Point> = (0..10_000u64)
+        .map(|i| {
+            let mut v = vec![0.0f32; 64];
+            v[(i % 64) as usize] = 1.0;
+            v[((i / 64) % 64) as usize] += 0.25;
+            Point::with_payload(
+                i,
+                v,
+                Payload::from_pairs([("bucket", (i % 10) as i64)]),
+            )
+        })
+        .collect();
+    for chunk in points.chunks(256) {
+        client.upsert_batch(chunk.to_vec())?;
+    }
+    let stats = client.stats()?;
+    println!(
+        "cluster holds {} points in {} segments across {} workers",
+        stats.live_points,
+        stats.segments,
+        cluster.worker_count()
+    );
+
+    // Build HNSW indexes for all sealed segments (bulk-upload flow).
+    let built = client.build_indexes()?;
+    println!("built {built} segment indexes");
+
+    // Search: broadcast–reduce across all workers.
+    let mut probe = vec![0.0f32; 64];
+    probe[7] = 1.0;
+    let hits = client.search(SearchRequest::new(probe.clone(), 5).with_payload())?;
+    println!("top-5 for axis-7 probe:");
+    for h in &hits {
+        println!(
+            "  id {:>6}  score {:.4}  bucket {:?}",
+            h.id,
+            h.score,
+            h.payload.as_ref().and_then(|p| p.get("bucket"))
+        );
+    }
+
+    // Filtered (predicated) search.
+    let filtered = client.search(
+        SearchRequest::new(probe, 5).filter(Filter::must_match("bucket", 3i64)),
+    )?;
+    println!("top-5 restricted to bucket=3:");
+    for h in &filtered {
+        println!("  id {:>6}  score {:.4}", h.id, h.score);
+    }
+
+    cluster.shutdown();
+    println!("done.");
+    Ok(())
+}

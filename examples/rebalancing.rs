@@ -1,0 +1,94 @@
+//! Elastic scale-out of a stateful cluster — the §2.2 trade-off, live.
+//!
+//! Stateful architectures (Qdrant, and `vq`) must move shard data before
+//! new workers contribute. This example grows a loaded 2-worker cluster
+//! to 6 workers while a query thread keeps hitting it, and reports how
+//! much data moved and that results never degraded.
+//!
+//! ```sh
+//! cargo run --release --example rebalancing
+//! ```
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+use vq::prelude::*;
+
+fn main() -> VqResult<()> {
+    let corpus = CorpusSpec::small(12_000).seed(77);
+    let model = EmbeddingModel::small(&corpus, 64);
+    let dataset = DatasetSpec::with_vectors(corpus, model, 12_000);
+
+    // Start small: 2 workers, but 12 shards so a larger cluster can be
+    // utilized later (shard count is fixed at creation, as in Qdrant).
+    let config = CollectionConfig::new(64, Distance::Cosine).max_segment_points(1024);
+    let cluster = Cluster::start(ClusterConfig::new(2).shards(12), config)?;
+    println!("loading {} points into 2 workers / 12 shards...", dataset.len());
+    LiveUploader::new(64, 2).upload(&cluster, &dataset)?;
+    {
+        let mut client = cluster.client();
+        client.build_indexes()?;
+        let placement = cluster.placement();
+        println!(
+            "before: {} workers, imbalance {}",
+            placement.workers().len(),
+            placement.imbalance()
+        );
+    }
+
+    // Background queriers run continuously through the rebalance.
+    let stop = Arc::new(AtomicBool::new(false));
+    let queries_ok = Arc::new(AtomicU64::new(0));
+    let handles: Vec<_> = (0..3)
+        .map(|t| {
+            let cluster = cluster.clone();
+            let stop = stop.clone();
+            let ok = queries_ok.clone();
+            let dataset = dataset.clone();
+            std::thread::spawn(move || {
+                let mut client = cluster.client();
+                let mut i = t * 1000;
+                while !stop.load(Ordering::Relaxed) {
+                    let id = (i * 37) % 12_000;
+                    let hits = client
+                        .search(SearchRequest::new(dataset.point(id as u64).vector, 1))
+                        .expect("search during rebalance");
+                    assert_eq!(hits[0].id, id as u64, "wrong result mid-rebalance");
+                    ok.fetch_add(1, Ordering::Relaxed);
+                    i += 1;
+                }
+            })
+        })
+        .collect();
+
+    // Scale out 2 → 6 workers.
+    let t = Instant::now();
+    let moved = cluster.scale_out(4)?;
+    let rebalance_time = t.elapsed();
+    stop.store(true, Ordering::Relaxed);
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    let placement = cluster.placement();
+    println!(
+        "after:  {} workers, imbalance {}, {} shards moved in {:.2?}",
+        placement.workers().len(),
+        placement.imbalance(),
+        moved,
+        rebalance_time
+    );
+    println!(
+        "queries answered correctly during the move: {}",
+        queries_ok.load(Ordering::Relaxed)
+    );
+
+    let mut client = cluster.client();
+    let stats = client.stats()?;
+    println!(
+        "data intact: {} live points across {} segments",
+        stats.live_points, stats.segments
+    );
+    cluster.shutdown();
+    Ok(())
+}

@@ -1,0 +1,130 @@
+//! Concurrency stress tests: writers, readers, and the background
+//! optimizer hammering shared state simultaneously — the failure modes a
+//! production vector database must not have.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+use vq::prelude::*;
+use vq::vq_collection::OptimizerThread;
+
+#[test]
+fn writers_readers_and_optimizer_share_a_collection() {
+    let config = CollectionConfig::new(8, Distance::Euclid).max_segment_points(200);
+    let collection = Arc::new(LocalCollection::new(config));
+    let optimizer = OptimizerThread::spawn(collection.clone(), Duration::from_millis(1));
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let searches_done = Arc::new(AtomicU64::new(0));
+
+    // Three writers, disjoint id ranges so final counts are exact.
+    let writers: Vec<_> = (0..3u64)
+        .map(|w| {
+            let collection = collection.clone();
+            std::thread::spawn(move || {
+                for i in 0..2_000u64 {
+                    let id = w * 10_000 + i;
+                    let mut v = vec![0.0f32; 8];
+                    v[(id % 8) as usize] = id as f32;
+                    collection.upsert(Point::new(id, v)).unwrap();
+                    if i % 7 == 0 && i > 0 {
+                        // Churn: delete a point we know exists.
+                        collection.delete(w * 10_000 + i - 1).unwrap();
+                    }
+                }
+            })
+        })
+        .collect();
+
+    // Two readers run until the writers finish.
+    let readers: Vec<_> = (0..2)
+        .map(|_| {
+            let collection = collection.clone();
+            let stop = stop.clone();
+            let searches_done = searches_done.clone();
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let hits = collection
+                        .search(&SearchRequest::new(vec![100.0; 8], 5))
+                        .unwrap();
+                    // Results sorted and unique — even mid-write.
+                    for w in hits.windows(2) {
+                        assert!(w[0].score >= w[1].score || w[0].id < w[1].id);
+                        assert_ne!(w[0].id, w[1].id);
+                    }
+                    searches_done.fetch_add(1, Ordering::Relaxed);
+                }
+            })
+        })
+        .collect();
+
+    for w in writers {
+        w.join().unwrap();
+    }
+    stop.store(true, Ordering::Relaxed);
+    for r in readers {
+        r.join().unwrap();
+    }
+    optimizer.shutdown();
+
+    // Exact final count: 3 × (2000 inserted − 285 deleted).
+    let deletes_per_writer = (1..2_000u64).filter(|i| i % 7 == 0).count();
+    assert_eq!(
+        collection.len(),
+        3 * (2_000 - deletes_per_writer),
+        "count drift under concurrency"
+    );
+    assert!(searches_done.load(Ordering::Relaxed) > 0, "readers starved");
+
+    // Data correct after the dust settles.
+    let p = collection.get(10_500).unwrap();
+    assert_eq!(p.vector[(10_500 % 8) as usize], 10_500.0);
+}
+
+#[test]
+fn cluster_mixed_read_write_traffic() {
+    let config = CollectionConfig::new(8, Distance::Euclid).max_segment_points(256);
+    let cluster = Cluster::start(ClusterConfig::new(4), config).unwrap();
+
+    // Seed data.
+    let mut seed = cluster.client();
+    let points: Vec<Point> = (0..1_000u64)
+        .map(|i| {
+            let mut v = vec![0.0f32; 8];
+            v[(i % 8) as usize] = i as f32;
+            Point::new(i, v)
+        })
+        .collect();
+    seed.upsert_batch(points).unwrap();
+
+    let handles: Vec<_> = (0..6u64)
+        .map(|t| {
+            let cluster = cluster.clone();
+            std::thread::spawn(move || {
+                let mut client = cluster.client();
+                for i in 0..50u64 {
+                    if t % 2 == 0 {
+                        // Writer threads: fresh ids, disjoint per thread.
+                        let id = 100_000 + t * 1_000 + i;
+                        let mut v = vec![0.0f32; 8];
+                        v[(id % 8) as usize] = id as f32;
+                        client.upsert_batch(vec![Point::new(id, v)]).unwrap();
+                    } else {
+                        // Reader threads: seeded ids must always resolve.
+                        let id = (t * 131 + i * 17) % 1_000;
+                        let mut probe = vec![0.0f32; 8];
+                        probe[(id % 8) as usize] = id as f32;
+                        let hits = client.search(SearchRequest::new(probe, 1)).unwrap();
+                        assert_eq!(hits[0].id, id, "reader {t} iteration {i}");
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    let mut client = cluster.client();
+    assert_eq!(client.stats().unwrap().live_points, 1_000 + 3 * 50);
+    cluster.shutdown();
+}

@@ -1,0 +1,198 @@
+//! Distributed integration tests: real worker threads, real
+//! broadcast–reduce, real rebalancing — the mechanisms the paper's
+//! cluster experiments rely on.
+
+use std::sync::Arc;
+use vq::prelude::*;
+
+fn dataset(n: u64) -> DatasetSpec {
+    let corpus = CorpusSpec::small(n.max(1000)).seed(21);
+    let model = EmbeddingModel::small(&corpus, 24);
+    DatasetSpec::with_vectors(corpus, model, n)
+}
+
+fn collection_config() -> CollectionConfig {
+    CollectionConfig::new(24, Distance::Cosine).max_segment_points(256)
+}
+
+#[test]
+fn distributed_equals_single_worker_results() {
+    // The same dataset in a 1-worker and a 4-worker cluster must produce
+    // identical search results: scatter–gather merging is rank-stable.
+    let d = dataset(1200);
+    let single = Cluster::start(ClusterConfig::new(1), collection_config()).unwrap();
+    let multi = Cluster::start(ClusterConfig::new(4), collection_config()).unwrap();
+    LiveUploader::new(64, 1).upload(&single, &d).unwrap();
+    LiveUploader::new(64, 4).upload(&multi, &d).unwrap();
+
+    let terms = TermWorkload::generate(d.corpus(), 25);
+    let queries = terms.query_vectors(d.model());
+    let a = LiveQueryRunner::new(5, 10).run(&single, &queries).unwrap();
+    let b = LiveQueryRunner::new(5, 10).run(&multi, &queries).unwrap();
+    for (qa, qb) in a.results.iter().zip(&b.results) {
+        assert_eq!(
+            qa.iter().map(|h| h.id).collect::<Vec<_>>(),
+            qb.iter().map(|h| h.id).collect::<Vec<_>>(),
+        );
+    }
+    single.shutdown();
+    multi.shutdown();
+}
+
+#[test]
+fn bulk_upload_with_deferred_indexing_then_rebuild() {
+    // The §3.3 flow: ingest with indexing deferred, then one explicit
+    // cluster-wide rebuild; results must stay correct throughout.
+    let d = dataset(2000);
+    let config = collection_config().indexing(IndexingPolicy::Deferred);
+    let cluster = Cluster::start(ClusterConfig::new(4), config).unwrap();
+    LiveUploader::new(64, 4).upload(&cluster, &d).unwrap();
+
+    let mut client = cluster.client();
+    let before = client.stats().unwrap();
+    assert_eq!(before.indexed_segments, 0);
+    assert_eq!(before.live_points, 2000);
+
+    // Searchable even unindexed (flat scans).
+    let probe = d.point(100).vector;
+    let hits = client.search(SearchRequest::new(probe.clone(), 1)).unwrap();
+    assert_eq!(hits[0].id, 100);
+
+    let built = client.build_indexes().unwrap();
+    assert!(built > 0);
+    let after = client.stats().unwrap();
+    assert_eq!(after.indexed_segments, after.sealed_segments);
+    assert!(after.sealed_segments > 0);
+
+    // Still finds the same nearest neighbor through the indexes.
+    let hits = client.search(SearchRequest::new(probe, 1).ef(128)).unwrap();
+    assert_eq!(hits[0].id, 100);
+    cluster.shutdown();
+}
+
+#[test]
+fn modeled_network_latency_slows_but_preserves_results() {
+    let d = dataset(400);
+    let plain = Cluster::start(ClusterConfig::new(2), collection_config()).unwrap();
+    let modeled = Cluster::start(
+        ClusterConfig::new(2).network(vq::vq_net::NetworkModel::polaris()),
+        collection_config(),
+    )
+    .unwrap();
+    LiveUploader::new(32, 2).upload(&plain, &d).unwrap();
+    LiveUploader::new(32, 2).upload(&modeled, &d).unwrap();
+    let queries: Vec<Vec<f32>> = (0..10).map(|i| d.point(i).vector).collect();
+    let a = LiveQueryRunner::new(5, 5).run(&plain, &queries).unwrap();
+    let b = LiveQueryRunner::new(5, 5).run(&modeled, &queries).unwrap();
+    for (qa, qb) in a.results.iter().zip(&b.results) {
+        assert_eq!(
+            qa.iter().map(|h| h.id).collect::<Vec<_>>(),
+            qb.iter().map(|h| h.id).collect::<Vec<_>>(),
+        );
+    }
+    plain.shutdown();
+    modeled.shutdown();
+}
+
+#[test]
+fn replication_survives_shard_transfer() {
+    // Replicated data stays available and deduplicated while shards move.
+    let d = dataset(600);
+    let cluster = Cluster::start(
+        ClusterConfig::new(3).shards(6).replication(2),
+        collection_config(),
+    )
+    .unwrap();
+    LiveUploader::new(32, 3).upload(&cluster, &d).unwrap();
+    let mut client = cluster.client();
+    assert_eq!(client.stats().unwrap().live_points, 1200, "2 copies each");
+    let hits = client
+        .search(SearchRequest::new(d.point(5).vector, 10))
+        .unwrap();
+    let ids: Vec<u64> = hits.iter().map(|h| h.id).collect();
+    let mut dedup = ids.clone();
+    dedup.dedup();
+    assert_eq!(ids, dedup, "no duplicate ids from replicas");
+    assert_eq!(hits[0].id, 5);
+    cluster.shutdown();
+}
+
+#[test]
+fn scale_out_under_load_keeps_serving() {
+    let d = dataset(900);
+    let cluster = Cluster::start(
+        ClusterConfig::new(2).shards(8),
+        collection_config(),
+    )
+    .unwrap();
+    LiveUploader::new(64, 2).upload(&cluster, &d).unwrap();
+
+    // Queries from another thread while the cluster rebalances.
+    let qcluster = cluster.clone();
+    let querier = std::thread::spawn(move || {
+        let mut client = qcluster.client();
+        for round in 0..30 {
+            let id = (round * 29) % 900;
+            let hits = client
+                .search(SearchRequest::new(
+                    dataset(900).point(id as u64).vector,
+                    1,
+                ))
+                .unwrap();
+            assert_eq!(hits[0].id, id as u64);
+        }
+    });
+    let moved = cluster.scale_out(2).unwrap();
+    assert!(moved > 0);
+    querier.join().unwrap();
+
+    let mut client = cluster.client();
+    assert_eq!(client.stats().unwrap().live_points, 900);
+    cluster.shutdown();
+}
+
+#[test]
+fn per_worker_data_partition_matches_paper_layout() {
+    // §3.2: "The data is partitioned across workers, with each worker
+    // responsible for approximately 80 GB/#Workers of data."
+    let d = dataset(4000);
+    for workers in [1u32, 4, 8] {
+        let cluster = Cluster::start(ClusterConfig::new(workers), collection_config()).unwrap();
+        LiveUploader::new(64, workers).upload(&cluster, &d).unwrap();
+        let placement = cluster.placement();
+        // Hash sharding: every worker's shard share within 25 % of even.
+        let mut client = cluster.client();
+        let total = client.stats().unwrap().live_points;
+        assert_eq!(total, 4000);
+        assert_eq!(placement.workers().len(), workers as usize);
+        cluster.shutdown();
+    }
+}
+
+#[test]
+fn many_concurrent_clients_stress() {
+    let d = dataset(1000);
+    let cluster: Arc<Cluster> =
+        Cluster::start(ClusterConfig::new(4), collection_config()).unwrap();
+    LiveUploader::new(64, 4).upload(&cluster, &d).unwrap();
+    let handles: Vec<_> = (0..6)
+        .map(|t| {
+            let cluster = cluster.clone();
+            let d = dataset(1000);
+            std::thread::spawn(move || {
+                let mut client = cluster.client();
+                for i in 0..25u64 {
+                    let id = (t * 25 + i) % 1000;
+                    let hits = client
+                        .search(SearchRequest::new(d.point(id).vector, 1))
+                        .unwrap();
+                    assert_eq!(hits[0].id, id);
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    cluster.shutdown();
+}

@@ -1,0 +1,158 @@
+//! Simulation-facing integration tests: the calibrated models must
+//! reproduce the paper's headline numbers (these are the same checks the
+//! `repro` binary prints, asserted with tolerances).
+
+use vq::vq_client::{
+    simulate_query_run, simulate_upload, ExecutorKind, InsertCostModel, QueryCostModel,
+};
+use vq::vq_embed::{Orchestrator, OrchestratorConfig};
+use vq::vq_hpc::{JobQueue, JobQueueConfig, NodeSpec, SimDuration};
+use vq::vq_workload::CorpusSpec;
+use vq_core::size::GB;
+
+const ONE_GB_POINTS: u64 = 96_974;
+const FULL_POINTS: u64 = 7_757_952;
+const QUERIES: u64 = 22_723;
+
+#[test]
+fn table2_full_campaign_slice() {
+    // 40 jobs (160 k papers) through two 4-slot queues; shape vs Table 2.
+    let orchestrator = Orchestrator::new(
+        OrchestratorConfig::default(),
+        CorpusSpec::pes2o(),
+        NodeSpec::polaris(),
+    );
+    let queues = vec![
+        JobQueue::new(JobQueueConfig {
+            max_running: 4,
+            dispatch_delay: SimDuration::from_secs(30),
+        });
+        2
+    ];
+    let report = orchestrator.run(&queues, 0..160_000, None);
+    assert_eq!(report.jobs.len(), 40);
+    // Table 2: 28.17 / 7.49 / 2381.97.
+    assert!((report.mean_model_load() - 28.17).abs() < 3.0);
+    assert!((report.mean_io() - 7.49).abs() < 3.0);
+    assert!(
+        (report.mean_inference() - 2381.97).abs() < 250.0,
+        "inference {:.0}",
+        report.mean_inference()
+    );
+    assert!(report.inference_fraction() > 0.97);
+    assert!(report.sequential_fraction() < 0.001);
+}
+
+#[test]
+fn figure2_headline_points() {
+    let m = InsertCostModel::default();
+    let serial = simulate_upload(
+        ONE_GB_POINTS,
+        1,
+        ExecutorKind::Asyncio { in_flight: 1 },
+        1,
+        &m,
+    );
+    let tuned = simulate_upload(
+        ONE_GB_POINTS,
+        32,
+        ExecutorKind::Asyncio { in_flight: 2 },
+        1,
+        &m,
+    );
+    assert!((serial.wall_secs - 468.0).abs() < 30.0, "{}", serial.wall_secs);
+    assert!((tuned.wall_secs - 367.0).abs() < 20.0, "{}", tuned.wall_secs);
+}
+
+#[test]
+fn table3_headline_cells() {
+    let m = InsertCostModel::default();
+    let run = |w| {
+        simulate_upload(
+            FULL_POINTS,
+            32,
+            ExecutorKind::MultiProcess { in_flight: 2 },
+            w,
+            &m,
+        )
+        .wall_secs
+    };
+    let t1 = run(1);
+    let t32 = run(32);
+    assert!((t1 / 3600.0 - 8.22).abs() < 0.5, "1 worker: {:.2} h", t1 / 3600.0);
+    assert!(
+        (t32 / 60.0 - 21.67).abs() < 2.0,
+        "32 workers: {:.2} m",
+        t32 / 60.0
+    );
+    let speedup = t1 / t32;
+    assert!((20.0..26.0).contains(&speedup), "insert speedup {speedup:.1}");
+}
+
+#[test]
+fn figure4_and_5_headlines() {
+    let m = QueryCostModel::default();
+    let gb = GB as f64;
+    let tuned_1gb = simulate_query_run(QUERIES, 16, 2, 1, gb, &m);
+    assert!((tuned_1gb.wall_secs - 73.0).abs() < 10.0, "{}", tuned_1gb.wall_secs);
+
+    // Figure 5 at 80 GB.
+    let t1 = simulate_query_run(QUERIES, 16, 2, 1, 80.0 * gb, &m).wall_secs;
+    let best = [4u32, 8, 16, 32]
+        .iter()
+        .map(|&w| t1 / simulate_query_run(QUERIES, 16, 2, w, 80.0 * gb, &m).wall_secs)
+        .fold(0.0, f64::max);
+    assert!((3.0..4.0).contains(&best), "peak query speedup {best:.2}");
+
+    // Small datasets: broadcast overhead dominates; one worker wins.
+    let t1_small = simulate_query_run(QUERIES, 16, 2, 1, 5.0 * gb, &m).wall_secs;
+    let t8_small = simulate_query_run(QUERIES, 16, 2, 8, 5.0 * gb, &m).wall_secs;
+    assert!(t8_small > t1_small);
+}
+
+#[test]
+fn index_build_contention_model_matches_figure3_mechanism() {
+    // The Figure 3 mechanism through the malleable-CPU model: 4 builds
+    // sharing a node vs 1 build owning it.
+    use std::cell::RefCell;
+    use std::rc::Rc;
+    use vq::vq_hpc::{Engine, MalleableCpu};
+
+    // One worker on a node: uses its ~30-core effective parallelism.
+    let mut e = Engine::new();
+    let node = MalleableCpu::new(32.0);
+    let done = Rc::new(RefCell::new(0.0f64));
+    let d = done.clone();
+    let total_work = 1200.0; // core-seconds for the whole dataset
+    node.submit(&mut e, total_work, 30.0, move |_, t| {
+        *d.borrow_mut() = t.as_secs_f64();
+    });
+    e.run_until_idle();
+    let t1 = *done.borrow();
+
+    // Four workers co-located: each builds 1/4 of the data, 8 cores each.
+    let mut e = Engine::new();
+    let node = MalleableCpu::new(32.0);
+    let latest = Rc::new(RefCell::new(0.0f64));
+    for _ in 0..4 {
+        let l = latest.clone();
+        node.submit(&mut e, total_work / 4.0, 30.0, move |_, t| {
+            let t = t.as_secs_f64();
+            let mut l = l.borrow_mut();
+            if t > *l {
+                *l = t;
+            }
+        });
+    }
+    e.run_until_idle();
+    let t4 = *latest.borrow();
+
+    let speedup = t1 / t4;
+    // Pure core-sharing bounds the gain near 32/30 ≈ 1.07; the paper's
+    // measured 1.27× also includes single-worker inefficiency. The test
+    // pins the *mechanism*: far below the naive 4×.
+    assert!(
+        (1.0..1.5).contains(&speedup),
+        "1→4 workers speedup {speedup:.2} (must collapse, not ≈4×)"
+    );
+}
