@@ -1,15 +1,89 @@
 //! Distance-kernel micro-benchmarks: the innermost loops of the system,
 //! across the dimensionalities that matter (2560 = Qwen3-Embedding-4B).
+//!
+//! Three tiers are compared per operation:
+//!
+//! * `scalar` — the unrolled reference (`vq_core::simd::scalar`), what
+//!   every build gets without SIMD support;
+//! * `dispatched` — whatever `vq_core::simd` runtime dispatch picked
+//!   (AVX2 on x86_64 with avx2+fma, NEON on aarch64, otherwise scalar —
+//!   the group name embeds `vq_core::simd::backend()`);
+//! * `blocked` — the one-query-vs-many-vectors form used by flat scans,
+//!   reported per *scan* over a 10k-vector slab so the speedup over
+//!   per-vector dispatch is directly visible.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::{Rng, SeedableRng};
 use vq_core::distance::{cosine, dot, l1, l2_squared};
+use vq_core::simd;
 
 fn vectors(dim: usize) -> (Vec<f32>, Vec<f32>) {
     let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
     let a = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
     let b = (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
     (a, b)
+}
+
+fn slab(dim: usize, rows: usize) -> Vec<f32> {
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+    (0..dim * rows).map(|_| rng.gen_range(-1.0f32..1.0)).collect()
+}
+
+/// scalar-vs-dispatched pairs at each dimension: the dispatch win.
+fn bench_tiers(c: &mut Criterion) {
+    let mut group = c.benchmark_group(format!("simd_tiers/{}", simd::backend()));
+    for dim in [64usize, 256, 1024, 2560] {
+        let (a, b) = vectors(dim);
+        group.throughput(Throughput::Bytes((dim * 4 * 2) as u64));
+        for (op, scalar, dispatched) in [
+            (
+                "dot",
+                simd::scalar::dot as fn(&[f32], &[f32]) -> f32,
+                simd::dot as fn(&[f32], &[f32]) -> f32,
+            ),
+            ("l2", simd::scalar::l2_squared, simd::l2_squared),
+            ("l1", simd::scalar::l1, simd::l1),
+        ] {
+            group.bench_with_input(BenchmarkId::new(format!("{op}/scalar"), dim), &dim, |bch, _| {
+                bch.iter(|| scalar(black_box(&a), black_box(&b)))
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("{op}/dispatched"), dim),
+                &dim,
+                |bch, _| bch.iter(|| dispatched(black_box(&a), black_box(&b))),
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Full-slab scans: per-vector dispatched calls vs one blocked call, the
+/// shape `FlatIndex::scan_range` actually runs.
+fn bench_blocked_scan(c: &mut Criterion) {
+    const ROWS: usize = 10_000;
+    let mut group = c.benchmark_group("blocked_scan/10k");
+    group.sample_size(20);
+    for dim in [256usize, 1024] {
+        let (q, _) = vectors(dim);
+        let block = slab(dim, ROWS);
+        let mut out = vec![0.0f32; ROWS];
+        group.throughput(Throughput::Bytes((dim * ROWS * 4) as u64));
+        group.bench_with_input(BenchmarkId::new("per_vector", dim), &dim, |bch, _| {
+            bch.iter(|| {
+                for (r, slot) in out.iter_mut().enumerate() {
+                    *slot = simd::dot(black_box(&q), &block[r * dim..(r + 1) * dim]);
+                }
+                out[ROWS - 1]
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("blocked", dim), &dim, |bch, _| {
+            bch.iter(|| {
+                simd::dot_block(black_box(&q), black_box(&block), &mut out);
+                out[ROWS - 1]
+            })
+        });
+    }
+    group.finish();
 }
 
 fn bench_kernels(c: &mut Criterion) {
@@ -49,6 +123,6 @@ fn bench_kernels(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(30);
-    targets = bench_kernels
+    targets = bench_kernels, bench_tiers, bench_blocked_scan
 }
 criterion_main!(benches);

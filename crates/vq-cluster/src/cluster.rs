@@ -341,6 +341,9 @@ impl ClusterClient {
         &mut self,
         queries: Vec<SearchRequest>,
     ) -> VqResult<Vec<Vec<ScoredPoint>>> {
+        // One conversion up front; retries bump a refcount instead of
+        // deep-copying every query vector per attempt.
+        let queries: Arc<[SearchRequest]> = queries.into();
         let attempts = self.cluster.worker_count().max(1);
         let mut last_err = VqError::NoAvailableWorker;
         for _ in 0..attempts {

@@ -6,6 +6,7 @@
 //! [`Response`] — coordinators use it to match scattered partials.
 
 use crate::placement::ShardId;
+use std::sync::Arc;
 use vq_collection::{CollectionStats, SearchRequest};
 use vq_core::{Point, PointId, ScoredPoint, VqError};
 use vq_storage::SegmentSnapshot;
@@ -40,16 +41,18 @@ pub enum Request {
     },
     /// Client-facing batch search: the receiving worker coordinates the
     /// broadcast–reduce across all workers and replies with merged
-    /// results per query.
+    /// results per query. Queries travel behind an `Arc`: client
+    /// retries and the coordinator's per-peer scatter bump a refcount
+    /// instead of deep-copying every query vector.
     SearchBatch {
         /// Queries to answer.
-        queries: Vec<WireSearch>,
+        queries: Arc<[WireSearch]>,
     },
     /// Coordinator-internal: search only the shards local to this worker
     /// and return per-query partials.
     LocalSearchBatch {
         /// Queries to answer locally.
-        queries: Vec<WireSearch>,
+        queries: Arc<[WireSearch]>,
     },
     /// Count live points across local shards, optionally filtered.
     Count {
@@ -155,6 +158,9 @@ pub struct WorkerInfo {
     pub queries_served: u64,
     /// Fan-out searches this worker coordinated.
     pub coordinations: u64,
+    /// `SearchBatch` arrivals that found the coordinator pool's queue
+    /// full and fell back to a one-off thread.
+    pub coordinator_saturations: u64,
 }
 
 /// What actually moves through the transport.
@@ -247,14 +253,14 @@ mod tests {
             reply_to: 0,
             tag: 0,
             body: Request::SearchBatch {
-                queries: vec![SearchRequest::new(vec![0.0; 128], 10)],
+                queries: vec![SearchRequest::new(vec![0.0; 128], 10)].into(),
             },
         };
         let four = ClusterMsg::Request {
             reply_to: 0,
             tag: 0,
             body: Request::SearchBatch {
-                queries: vec![SearchRequest::new(vec![0.0; 128], 10); 4],
+                queries: vec![SearchRequest::new(vec![0.0; 128], 10); 4].into(),
             },
         };
         assert!(four.approx_wire_bytes() > 3 * one.approx_wire_bytes());

@@ -2,15 +2,18 @@
 //!
 //! Each worker runs a serve loop on its own OS thread: it owns a set of
 //! shards (each a [`LocalCollection`]) and answers protocol requests from
-//! the transport. Client-facing `SearchBatch` requests are coordinated on
-//! a *spawned* thread with an ephemeral reply endpoint, so two workers
-//! coordinating queries that fan out to each other can never deadlock
-//! their serve loops — the scatter–gather pattern every broadcast–reduce
+//! the transport. Client-facing `SearchBatch` requests are handed to a
+//! small bounded *coordinator pool* (with one-off overflow threads when
+//! the pool's queue is full, counted as saturations), each coordination
+//! using an ephemeral reply endpoint — so two workers coordinating
+//! queries that fan out to each other can never deadlock their serve
+//! loops. This is the scatter–gather pattern every broadcast–reduce
 //! vector database implements.
 
 use crate::messages::{ClusterMsg, Request, Response};
 use crate::placement::{Placement, ShardId, WorkerId};
 use parking_lot::RwLock;
+use rayon::prelude::*;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
@@ -22,9 +25,22 @@ use vq_net::{Endpoint, Switchboard};
 const EPHEMERAL_BASE: u32 = 1 << 20;
 static NEXT_EPHEMERAL: AtomicU32 = AtomicU32::new(EPHEMERAL_BASE);
 
+/// Standing coordinator threads per worker.
+const COORDINATOR_POOL_SIZE: usize = 4;
+/// Queued coordinations the pool accepts before overflowing to one-off
+/// threads.
+const COORDINATOR_QUEUE_DEPTH: usize = 64;
+
 /// Allocate a process-unique ephemeral endpoint id.
 pub(crate) fn alloc_ephemeral_id() -> u32 {
     NEXT_EPHEMERAL.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One coordination handed from the serve loop to the pool.
+struct CoordJob {
+    reply_to: u32,
+    tag: u64,
+    queries: Arc<[SearchRequest]>,
 }
 
 struct WorkerState {
@@ -39,6 +55,9 @@ struct WorkerState {
     /// forwarded to the original requester.
     pending_transfers: parking_lot::Mutex<HashMap<u64, (u32, u64)>>,
     next_internal_tag: std::sync::atomic::AtomicU64,
+    /// Job queue feeding the coordinator pool. Taken (dropped) when the
+    /// serve loop exits so the pool threads unblock and terminate.
+    coordinator_tx: parking_lot::Mutex<Option<crossbeam::channel::Sender<CoordJob>>>,
     counters: Counters,
 }
 
@@ -49,6 +68,7 @@ struct Counters {
     search_batches: std::sync::atomic::AtomicU64,
     queries_served: std::sync::atomic::AtomicU64,
     coordinations: std::sync::atomic::AtomicU64,
+    coordinator_saturations: std::sync::atomic::AtomicU64,
 }
 
 /// A running worker (serve thread + state handle).
@@ -74,6 +94,7 @@ impl Worker {
             .into_iter()
             .map(|s| (s, Arc::new(LocalCollection::new(config))))
             .collect();
+        let (coord_tx, coord_rx) = crossbeam::channel::bounded::<CoordJob>(COORDINATOR_QUEUE_DEPTH);
         let state = Arc::new(WorkerState {
             id,
             node,
@@ -83,8 +104,22 @@ impl Worker {
             switchboard,
             pending_transfers: parking_lot::Mutex::new(HashMap::new()),
             next_internal_tag: std::sync::atomic::AtomicU64::new(1),
+            coordinator_tx: parking_lot::Mutex::new(Some(coord_tx)),
             counters: Counters::default(),
         });
+        for i in 0..COORDINATOR_POOL_SIZE {
+            let state = state.clone();
+            let rx = coord_rx.clone();
+            std::thread::Builder::new()
+                .name(format!("vq-coord-{id}-{i}"))
+                .spawn(move || {
+                    // Terminates when the serve loop drops the sender.
+                    while let Ok(job) = rx.recv() {
+                        coordinate_search(&state, job.reply_to, job.tag, job.queries);
+                    }
+                })
+                .expect("spawn coordinator thread");
+        }
         let state2 = state.clone();
         let handle = std::thread::Builder::new()
             .name(format!("vq-worker-{id}"))
@@ -115,6 +150,13 @@ impl Worker {
 }
 
 fn serve_loop(state: Arc<WorkerState>, endpoint: Endpoint<ClusterMsg>) {
+    serve_requests(&state, &endpoint);
+    // Drop the coordinator pool's sender on every exit path so the pool
+    // threads see a disconnected channel and terminate.
+    state.coordinator_tx.lock().take();
+}
+
+fn serve_requests(state: &Arc<WorkerState>, endpoint: &Endpoint<ClusterMsg>) {
     loop {
         let Ok(env) = endpoint.recv() else {
             return; // transport gone
@@ -141,15 +183,40 @@ fn serve_loop(state: Arc<WorkerState>, endpoint: Endpoint<ClusterMsg>) {
         let shutdown = matches!(body, Request::Shutdown);
         match body {
             Request::SearchBatch { queries } => {
-                // Coordinate on a separate thread; keep serving.
+                // Hand off to the coordinator pool; keep serving. The
+                // serve loop must never block here: a full queue on two
+                // workers fanning out to each other would deadlock both,
+                // so overflow falls back to a one-off thread (counted as
+                // a saturation — the signal to grow the pool).
                 state
                     .counters
                     .coordinations
                     .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                let state = state.clone();
-                std::thread::spawn(move || {
-                    coordinate_search(&state, reply_to, tag, queries);
-                });
+                let job = CoordJob {
+                    reply_to,
+                    tag,
+                    queries,
+                };
+                let sent = match &*state.coordinator_tx.lock() {
+                    Some(tx) => match tx.try_send(job) {
+                        Ok(()) => Ok(()),
+                        Err(crossbeam::channel::TrySendError::Full(job)) => {
+                            state
+                                .counters
+                                .coordinator_saturations
+                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                            Err(job)
+                        }
+                        Err(crossbeam::channel::TrySendError::Disconnected(job)) => Err(job),
+                    },
+                    None => Err(job),
+                };
+                if let Err(job) = sent {
+                    let state = state.clone();
+                    std::thread::spawn(move || {
+                        coordinate_search(&state, job.reply_to, job.tag, job.queries);
+                    });
+                }
                 continue;
             }
             body => {
@@ -295,6 +362,7 @@ fn handle_local(
                 search_batches: state.counters.search_batches.load(Relaxed),
                 queries_served: state.counters.queries_served.load(Relaxed),
                 coordinations: state.counters.coordinations.load(Relaxed),
+                coordinator_saturations: state.counters.coordinator_saturations.load(Relaxed),
             })
         }
         Request::TransferShard { shard, to } => {
@@ -358,13 +426,16 @@ fn handle_local(
 }
 
 /// Search this worker's shards: one merged partial list per query.
+/// Queries run in parallel on the shared rayon pool — each one is an
+/// independent top-k scan, so batch latency tracks the slowest query
+/// rather than the sum.
 fn local_search(
     state: &WorkerState,
     queries: &[SearchRequest],
 ) -> VqResult<Vec<Vec<ScoredPoint>>> {
     let shards: Vec<Arc<LocalCollection>> = state.shards.read().values().cloned().collect();
     queries
-        .iter()
+        .par_iter()
         .map(|q| {
             let per_shard: VqResult<Vec<Vec<ScoredPoint>>> =
                 shards.iter().map(|c| c.search(q)).collect();
@@ -379,7 +450,7 @@ fn coordinate_search(
     state: &Arc<WorkerState>,
     reply_to: u32,
     tag: u64,
-    queries: Vec<SearchRequest>,
+    queries: Arc<[SearchRequest]>,
 ) {
     let peers: Vec<WorkerId> = state
         .placement
@@ -398,6 +469,7 @@ fn coordinate_search(
         let msg = ClusterMsg::Request {
             reply_to: eph_id,
             tag: peer as u64,
+            // Refcount bump, not a deep copy of every query vector.
             body: Request::LocalSearchBatch {
                 queries: queries.clone(),
             },

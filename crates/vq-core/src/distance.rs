@@ -2,15 +2,19 @@
 //!
 //! These are the hottest loops in the entire system: an exact (flat) scan
 //! calls a kernel once per stored vector, and an HNSW search calls one per
-//! visited graph edge. The kernels are written with 8-lane manual unrolling
-//! so LLVM reliably autovectorizes them regardless of surrounding code —
-//! the same trick used by production vector databases that do not want to
-//! depend on `std::simd`.
+//! visited graph edge. The arithmetic lives in [`crate::simd`], which
+//! dispatches once per process to the widest instruction set the CPU
+//! supports (AVX2 on x86_64, NEON on aarch64) and falls back to the
+//! original 8-lane unrolled scalar loops. All tiers are bit-identical, so
+//! index builds and search results do not depend on the machine.
 //!
 //! All metrics are exposed through a uniform *score* where **larger is
 //! better**. Distances (Euclidean, Manhattan) are negated to fit this
 //! convention so that top-k collection logic never branches on metric kind.
+//! [`Distance::score_block`] is the blocked form: one query against many
+//! contiguous vectors, amortizing query loads and dispatch overhead.
 
+use crate::simd;
 use serde::{Deserialize, Serialize};
 
 /// Similarity/distance metric for a collection.
@@ -78,6 +82,32 @@ impl Distance {
         }
     }
 
+    /// Score one query against `out.len()` vectors stored contiguously.
+    ///
+    /// `block` is row-major with `query.len()` floats per row;
+    /// `block.len()` must equal `query.len() * out.len()`. `out[r]`
+    /// receives the score of row `r`, with the same larger-is-better
+    /// orientation — and bit-identical value — as calling [`Self::score`]
+    /// per row.
+    #[inline]
+    pub fn score_block(self, query: &[f32], block: &[f32], out: &mut [f32]) {
+        match self {
+            Distance::Cosine | Distance::Dot => simd::dot_block(query, block, out),
+            Distance::Euclid => {
+                simd::l2_squared_block(query, block, out);
+                for s in out.iter_mut() {
+                    *s = -s.sqrt();
+                }
+            }
+            Distance::Manhattan => {
+                simd::l1_block(query, block, out);
+                for s in out.iter_mut() {
+                    *s = -*s;
+                }
+            }
+        }
+    }
+
     /// Human-readable metric name (stable; used in manifests).
     pub fn name(self) -> &'static str {
         match self {
@@ -95,49 +125,22 @@ impl std::fmt::Display for Distance {
     }
 }
 
-macro_rules! unrolled_fold {
-    ($a:expr, $b:expr, $op:expr) => {{
-        let a = $a;
-        let b = $b;
-        debug_assert_eq!(a.len(), b.len());
-        let chunks = a.len() / 8;
-        let mut acc = [0.0f32; 8];
-        // Manually unrolled 8-lane accumulation: keeps 8 independent FP
-        // dependency chains so the loop vectorizes and pipelines.
-        for i in 0..chunks {
-            let ai = &a[i * 8..i * 8 + 8];
-            let bi = &b[i * 8..i * 8 + 8];
-            for lane in 0..8 {
-                acc[lane] += $op(ai[lane], bi[lane]);
-            }
-        }
-        let mut sum = (acc[0] + acc[4]) + (acc[1] + acc[5]) + (acc[2] + acc[6]) + (acc[3] + acc[7]);
-        for i in chunks * 8..a.len() {
-            sum += $op(a[i], b[i]);
-        }
-        sum
-    }};
-}
-
-/// Dot product of two equal-length vectors.
+/// Dot product of two equal-length vectors (CPU-dispatched).
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
-    unrolled_fold!(a, b, |x: f32, y: f32| x * y)
+    simd::dot(a, b)
 }
 
-/// Squared Euclidean distance.
+/// Squared Euclidean distance (CPU-dispatched).
 #[inline]
 pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
-    unrolled_fold!(a, b, |x: f32, y: f32| {
-        let d = x - y;
-        d * d
-    })
+    simd::l2_squared(a, b)
 }
 
-/// Manhattan (L1) distance.
+/// Manhattan (L1) distance (CPU-dispatched).
 #[inline]
 pub fn l1(a: &[f32], b: &[f32]) -> f32 {
-    unrolled_fold!(a, b, |x: f32, y: f32| (x - y).abs())
+    simd::l1(a, b)
 }
 
 /// True cosine similarity (does not assume normalized inputs).
@@ -226,6 +229,27 @@ mod tests {
         assert_eq!(Distance::Euclid.kind(), ScoreKind::DistanceLike);
         assert!(Distance::Cosine.normalizes_on_ingest());
         assert!(!Distance::Dot.normalizes_on_ingest());
+    }
+
+    #[test]
+    fn score_block_bit_identical_to_per_row_score() {
+        let dim = 13;
+        let rows = 9;
+        let query: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.7).sin()).collect();
+        let block: Vec<f32> = (0..dim * rows).map(|i| (i as f32 * 0.3).cos()).collect();
+        let mut out = vec![0.0f32; rows];
+        for metric in [
+            Distance::Cosine,
+            Distance::Dot,
+            Distance::Euclid,
+            Distance::Manhattan,
+        ] {
+            metric.score_block(&query, &block, &mut out);
+            for r in 0..rows {
+                let want = metric.score(&query, &block[r * dim..(r + 1) * dim]);
+                assert_eq!(out[r].to_bits(), want.to_bits(), "{metric} row {r}");
+            }
+        }
     }
 
     #[test]

@@ -12,8 +12,10 @@
 //! similarity.
 //!
 //! Everything in this crate is deliberately dependency-light and allocation
-//! conscious; the scoring kernels in [`distance`] are the innermost loops of
-//! the whole system and are written to vectorize.
+//! conscious; the scoring kernels in [`simd`] are the innermost loops of
+//! the whole system and dispatch at runtime to the widest instruction set
+//! the CPU supports (see that module for the dispatch tiers and the
+//! `VQ_FORCE_SCALAR` escape hatch).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -23,6 +25,7 @@ pub mod error;
 pub mod payload;
 pub mod point;
 pub mod rng;
+pub mod simd;
 pub mod size;
 pub mod topk;
 pub mod vector;

@@ -1,0 +1,862 @@
+//! CPU-dispatched scoring kernels for the query hot path.
+//!
+//! Three tiers, selected once per process at first use:
+//!
+//! 1. **AVX2** (x86_64, runtime-detected together with FMA) — 8-wide
+//!    `f32` kernels plus 16-wide `i8` kernels for the scalar-quantized
+//!    path.
+//! 2. **NEON** (aarch64, runtime-detected) — 2×4-wide `f32` kernels.
+//! 3. **Scalar** — the original 8-lane unrolled loops, always available.
+//!
+//! Setting `VQ_FORCE_SCALAR=1` in the environment before the first score
+//! pins the scalar tier for the whole process (useful for benchmarking
+//! the dispatch win and for bisecting suspected kernel bugs).
+//!
+//! # Bit-identity contract
+//!
+//! Every tier computes *bit-identical* `f32` results for the same input.
+//! The SIMD kernels replicate the scalar reference's exact accumulation
+//! order — eight independent lanes, the same lane-pair reduction
+//! `((l0+l4)+(l1+l5))+(l2+l6))+(l3+l7)`, the same sequential tail — and
+//! deliberately use separate multiply and add instead of fused
+//! multiply-add. Blocked kernels score each row with the same arithmetic
+//! as the pairwise kernels. This keeps index construction and search
+//! results identical across machines and tiers; the speedup comes from
+//! issuing full-width vector instructions instead of relying on
+//! autovectorization against the portable baseline ISA.
+//!
+//! # Blocked scoring
+//!
+//! The `*_block` entry points score one query against `out.len()`
+//! vectors stored contiguously (row-major, `query.len()` floats per
+//! row). They process four rows at a time with one accumulator register
+//! per row: four independent dependency chains per lane, and each query
+//! chunk is loaded once per four rows instead of once per row.
+
+use std::sync::OnceLock;
+
+/// Dispatch table: one function pointer per kernel, installed once.
+#[derive(Clone, Copy)]
+struct Kernels {
+    name: &'static str,
+    dot: fn(&[f32], &[f32]) -> f32,
+    l2: fn(&[f32], &[f32]) -> f32,
+    l1: fn(&[f32], &[f32]) -> f32,
+    dot_block: fn(&[f32], &[f32], &mut [f32]),
+    l2_block: fn(&[f32], &[f32], &mut [f32]),
+    l1_block: fn(&[f32], &[f32], &mut [f32]),
+    dot_i8: fn(&[i8], &[i8]) -> i32,
+    l2_i8: fn(&[i8], &[i8]) -> i32,
+    l1_i8: fn(&[i8], &[i8]) -> i32,
+}
+
+const SCALAR_KERNELS: Kernels = Kernels {
+    name: "scalar",
+    dot: scalar::dot,
+    l2: scalar::l2_squared,
+    l1: scalar::l1,
+    dot_block: scalar::dot_block,
+    l2_block: scalar::l2_squared_block,
+    l1_block: scalar::l1_block,
+    dot_i8: scalar::dot_i8,
+    l2_i8: scalar::l2_squared_i8,
+    l1_i8: scalar::l1_i8,
+};
+
+/// Pick the best tier the CPU supports (or scalar when forced).
+fn pick(force_scalar: bool) -> Kernels {
+    if force_scalar {
+        return SCALAR_KERNELS;
+    }
+    #[cfg(target_arch = "x86_64")]
+    {
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            return Kernels {
+                name: "avx2",
+                dot: avx2_shim::dot,
+                l2: avx2_shim::l2_squared,
+                l1: avx2_shim::l1,
+                dot_block: avx2_shim::dot_block,
+                l2_block: avx2_shim::l2_squared_block,
+                l1_block: avx2_shim::l1_block,
+                dot_i8: avx2_shim::dot_i8,
+                l2_i8: avx2_shim::l2_squared_i8,
+                l1_i8: avx2_shim::l1_i8,
+            };
+        }
+    }
+    #[cfg(target_arch = "aarch64")]
+    {
+        if std::arch::is_aarch64_feature_detected!("neon") {
+            return Kernels {
+                name: "neon",
+                dot: neon_shim::dot,
+                l2: neon_shim::l2_squared,
+                l1: neon_shim::l1,
+                dot_block: neon_shim::dot_block,
+                l2_block: neon_shim::l2_squared_block,
+                l1_block: neon_shim::l1_block,
+                // The scalar i8 loops autovectorize acceptably on
+                // aarch64; explicit NEON i8 kernels are future work.
+                dot_i8: scalar::dot_i8,
+                l2_i8: scalar::l2_squared_i8,
+                l1_i8: scalar::l1_i8,
+            };
+        }
+    }
+    SCALAR_KERNELS
+}
+
+/// Whether `VQ_FORCE_SCALAR` asks to pin the scalar tier.
+fn force_scalar_from_env() -> bool {
+    match std::env::var("VQ_FORCE_SCALAR") {
+        Ok(v) => !v.is_empty() && v != "0",
+        Err(_) => false,
+    }
+}
+
+/// The process-wide kernel table, selected on first use.
+fn kernels() -> &'static Kernels {
+    static TABLE: OnceLock<Kernels> = OnceLock::new();
+    TABLE.get_or_init(|| pick(force_scalar_from_env()))
+}
+
+/// Name of the dispatched tier: `"avx2"`, `"neon"`, or `"scalar"`.
+pub fn backend() -> &'static str {
+    kernels().name
+}
+
+/// Dot product of two equal-length vectors (dispatched).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    (kernels().dot)(a, b)
+}
+
+/// Squared Euclidean distance (dispatched).
+#[inline]
+pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    (kernels().l2)(a, b)
+}
+
+/// Manhattan (L1) distance (dispatched).
+#[inline]
+pub fn l1(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    (kernels().l1)(a, b)
+}
+
+/// Dot product of `query` against `out.len()` contiguous rows.
+///
+/// `block` is row-major with `query.len()` floats per row, so
+/// `block.len()` must equal `query.len() * out.len()`. `out[r]` receives
+/// the score of row `r`. Results are bit-identical to calling [`dot`]
+/// per row.
+#[inline]
+pub fn dot_block(query: &[f32], block: &[f32], out: &mut [f32]) {
+    assert_eq!(block.len(), query.len() * out.len());
+    (kernels().dot_block)(query, block, out);
+}
+
+/// Squared Euclidean distance of `query` against contiguous rows.
+///
+/// Same layout contract as [`dot_block`].
+#[inline]
+pub fn l2_squared_block(query: &[f32], block: &[f32], out: &mut [f32]) {
+    assert_eq!(block.len(), query.len() * out.len());
+    (kernels().l2_block)(query, block, out);
+}
+
+/// Manhattan (L1) distance of `query` against contiguous rows.
+///
+/// Same layout contract as [`dot_block`].
+#[inline]
+pub fn l1_block(query: &[f32], block: &[f32], out: &mut [f32]) {
+    assert_eq!(block.len(), query.len() * out.len());
+    (kernels().l1_block)(query, block, out);
+}
+
+/// Dot product of two equal-length `i8` code vectors (dispatched).
+///
+/// Exact integer arithmetic; all tiers agree exactly. Accumulates in
+/// `i32`, safe for dimensions up to ~1M.
+#[inline]
+pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    (kernels().dot_i8)(a, b)
+}
+
+/// Squared Euclidean distance of two `i8` code vectors (dispatched).
+#[inline]
+pub fn l2_squared_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    (kernels().l2_i8)(a, b)
+}
+
+/// Manhattan (L1) distance of two `i8` code vectors (dispatched).
+#[inline]
+pub fn l1_i8(a: &[i8], b: &[i8]) -> i32 {
+    debug_assert_eq!(a.len(), b.len());
+    (kernels().l1_i8)(a, b)
+}
+
+/// Hint the CPU to pull the cache line at `p` into L1.
+///
+/// Used by gather-scoring loops (HNSW neighbor batches, IVF lists) to
+/// overlap the next candidate's memory latency with the current score.
+/// No-op on architectures without a stable prefetch intrinsic.
+#[inline]
+pub fn prefetch_read(p: *const u8) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: prefetch is a hint; it never faults, for any address.
+    unsafe {
+        std::arch::x86_64::_mm_prefetch::<{ std::arch::x86_64::_MM_HINT_T0 }>(p as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// The scalar reference tier: the original 8-lane unrolled loops.
+///
+/// Public so equivalence tests and benches can compare any dispatched
+/// tier against it directly.
+pub mod scalar {
+    macro_rules! unrolled_fold {
+        ($a:expr, $b:expr, $op:expr) => {{
+            let a = $a;
+            let b = $b;
+            debug_assert_eq!(a.len(), b.len());
+            let chunks = a.len() / 8;
+            let mut acc = [0.0f32; 8];
+            // Manually unrolled 8-lane accumulation: keeps 8 independent
+            // FP dependency chains so the loop vectorizes and pipelines.
+            for i in 0..chunks {
+                let ai = &a[i * 8..i * 8 + 8];
+                let bi = &b[i * 8..i * 8 + 8];
+                for lane in 0..8 {
+                    acc[lane] += $op(ai[lane], bi[lane]);
+                }
+            }
+            let mut sum =
+                (acc[0] + acc[4]) + (acc[1] + acc[5]) + (acc[2] + acc[6]) + (acc[3] + acc[7]);
+            for i in chunks * 8..a.len() {
+                sum += $op(a[i], b[i]);
+            }
+            sum
+        }};
+    }
+
+    /// Dot product (scalar reference).
+    #[inline]
+    pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+        unrolled_fold!(a, b, |x: f32, y: f32| x * y)
+    }
+
+    /// Squared Euclidean distance (scalar reference).
+    #[inline]
+    pub fn l2_squared(a: &[f32], b: &[f32]) -> f32 {
+        unrolled_fold!(a, b, |x: f32, y: f32| {
+            let d = x - y;
+            d * d
+        })
+    }
+
+    /// Manhattan (L1) distance (scalar reference).
+    #[inline]
+    pub fn l1(a: &[f32], b: &[f32]) -> f32 {
+        unrolled_fold!(a, b, |x: f32, y: f32| (x - y).abs())
+    }
+
+    macro_rules! scalar_block {
+        ($name:ident, $single:ident) => {
+            /// Blocked form of the scalar reference: one call per row.
+            pub fn $name(query: &[f32], block: &[f32], out: &mut [f32]) {
+                let dim = query.len();
+                debug_assert_eq!(block.len(), dim * out.len());
+                for (r, slot) in out.iter_mut().enumerate() {
+                    *slot = $single(query, &block[r * dim..(r + 1) * dim]);
+                }
+            }
+        };
+    }
+
+    scalar_block!(dot_block, dot);
+    scalar_block!(l2_squared_block, l2_squared);
+    scalar_block!(l1_block, l1);
+
+    /// Dot product of `i8` codes, accumulated in `i32` (scalar reference).
+    #[inline]
+    pub fn dot_i8(a: &[i8], b: &[i8]) -> i32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = 0i32;
+        for i in 0..a.len() {
+            acc += a[i] as i32 * b[i] as i32;
+        }
+        acc
+    }
+
+    /// Squared Euclidean distance of `i8` codes (scalar reference).
+    #[inline]
+    pub fn l2_squared_i8(a: &[i8], b: &[i8]) -> i32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = 0i32;
+        for i in 0..a.len() {
+            let d = a[i] as i32 - b[i] as i32;
+            acc += d * d;
+        }
+        acc
+    }
+
+    /// Manhattan (L1) distance of `i8` codes (scalar reference).
+    #[inline]
+    pub fn l1_i8(a: &[i8], b: &[i8]) -> i32 {
+        debug_assert_eq!(a.len(), b.len());
+        let mut acc = 0i32;
+        for i in 0..a.len() {
+            acc += (a[i] as i32 - b[i] as i32).abs();
+        }
+        acc
+    }
+}
+
+/// AVX2 kernels. Only compiled on x86_64; only *called* after runtime
+/// feature detection succeeds.
+#[cfg(target_arch = "x86_64")]
+mod avx2 {
+    use std::arch::x86_64::*;
+
+    /// Reduce one 8-lane accumulator in the scalar reference's exact
+    /// order: `((l0+l4)+(l1+l5))+(l2+l6))+(l3+l7)`.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn hsum_like_scalar(v: __m256) -> f32 {
+        let lo = _mm256_castps256_ps128(v);
+        let hi = _mm256_extractf128_ps::<1>(v);
+        // t = [l0+l4, l1+l5, l2+l6, l3+l7]
+        let t = _mm_add_ps(lo, hi);
+        let mut lanes = [0.0f32; 4];
+        _mm_storeu_ps(lanes.as_mut_ptr(), t);
+        ((lanes[0] + lanes[1]) + lanes[2]) + lanes[3]
+    }
+
+    /// Reduce an 8×`i32` accumulator (order irrelevant: exact integers).
+    #[inline]
+    #[target_feature(enable = "avx2")]
+    unsafe fn hsum_epi32(v: __m256i) -> i32 {
+        let mut lanes = [0i32; 8];
+        _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, v);
+        lanes.iter().sum()
+    }
+
+    macro_rules! avx2_f32_kernels {
+        ($single:ident, $block:ident,
+         |$va:ident, $vb:ident| $vstep:expr,
+         |$x:ident, $y:ident| $sstep:expr) => {
+            #[target_feature(enable = "avx2", enable = "fma")]
+            pub unsafe fn $single(a: &[f32], b: &[f32]) -> f32 {
+                debug_assert_eq!(a.len(), b.len());
+                let n = a.len();
+                let chunks = n / 8;
+                let pa = a.as_ptr();
+                let pb = b.as_ptr();
+                let mut acc = _mm256_setzero_ps();
+                for i in 0..chunks {
+                    let $va = _mm256_loadu_ps(pa.add(i * 8));
+                    let $vb = _mm256_loadu_ps(pb.add(i * 8));
+                    acc = _mm256_add_ps(acc, $vstep);
+                }
+                let mut sum = hsum_like_scalar(acc);
+                for i in chunks * 8..n {
+                    let $x = a[i];
+                    let $y = b[i];
+                    sum += $sstep;
+                }
+                sum
+            }
+
+            #[target_feature(enable = "avx2", enable = "fma")]
+            pub unsafe fn $block(query: &[f32], block: &[f32], out: &mut [f32]) {
+                let dim = query.len();
+                let rows = out.len();
+                debug_assert_eq!(block.len(), dim * rows);
+                let chunks = dim / 8;
+                let pq = query.as_ptr();
+                let mut r = 0;
+                // Four rows at a time: one accumulator register per row
+                // gives four independent dependency chains, and each
+                // query chunk is loaded once per four rows.
+                while r + 4 <= rows {
+                    let p0 = block.as_ptr().add(r * dim);
+                    let p1 = p0.add(dim);
+                    let p2 = p1.add(dim);
+                    let p3 = p2.add(dim);
+                    let mut a0 = _mm256_setzero_ps();
+                    let mut a1 = _mm256_setzero_ps();
+                    let mut a2 = _mm256_setzero_ps();
+                    let mut a3 = _mm256_setzero_ps();
+                    for i in 0..chunks {
+                        let o = i * 8;
+                        let $va = _mm256_loadu_ps(pq.add(o));
+                        {
+                            let $vb = _mm256_loadu_ps(p0.add(o));
+                            a0 = _mm256_add_ps(a0, $vstep);
+                        }
+                        {
+                            let $vb = _mm256_loadu_ps(p1.add(o));
+                            a1 = _mm256_add_ps(a1, $vstep);
+                        }
+                        {
+                            let $vb = _mm256_loadu_ps(p2.add(o));
+                            a2 = _mm256_add_ps(a2, $vstep);
+                        }
+                        {
+                            let $vb = _mm256_loadu_ps(p3.add(o));
+                            a3 = _mm256_add_ps(a3, $vstep);
+                        }
+                    }
+                    let mut s0 = hsum_like_scalar(a0);
+                    let mut s1 = hsum_like_scalar(a1);
+                    let mut s2 = hsum_like_scalar(a2);
+                    let mut s3 = hsum_like_scalar(a3);
+                    for i in chunks * 8..dim {
+                        let $x = query[i];
+                        {
+                            let $y = *p0.add(i);
+                            s0 += $sstep;
+                        }
+                        {
+                            let $y = *p1.add(i);
+                            s1 += $sstep;
+                        }
+                        {
+                            let $y = *p2.add(i);
+                            s2 += $sstep;
+                        }
+                        {
+                            let $y = *p3.add(i);
+                            s3 += $sstep;
+                        }
+                    }
+                    out[r] = s0;
+                    out[r + 1] = s1;
+                    out[r + 2] = s2;
+                    out[r + 3] = s3;
+                    r += 4;
+                }
+                while r < rows {
+                    out[r] = $single(query, &block[r * dim..(r + 1) * dim]);
+                    r += 1;
+                }
+            }
+        };
+    }
+
+    avx2_f32_kernels!(
+        dot, dot_block,
+        |va, vb| _mm256_mul_ps(va, vb),
+        |x, y| x * y
+    );
+    avx2_f32_kernels!(
+        l2_squared, l2_squared_block,
+        |va, vb| {
+            let d = _mm256_sub_ps(va, vb);
+            _mm256_mul_ps(d, d)
+        },
+        |x, y| {
+            let d = x - y;
+            d * d
+        }
+    );
+    avx2_f32_kernels!(
+        l1, l1_block,
+        |va, vb| {
+            // Clear the sign bit: bit-exact `abs`, same as scalar.
+            _mm256_andnot_ps(_mm256_set1_ps(-0.0), _mm256_sub_ps(va, vb))
+        },
+        |x, y| (x - y).abs()
+    );
+
+    macro_rules! avx2_i8_kernels {
+        ($name:ident,
+         |$va:ident, $vb:ident| $vstep:expr,
+         |$x:ident, $y:ident| $sstep:expr) => {
+            #[target_feature(enable = "avx2")]
+            pub unsafe fn $name(a: &[i8], b: &[i8]) -> i32 {
+                debug_assert_eq!(a.len(), b.len());
+                let n = a.len();
+                let chunks = n / 16;
+                let pa = a.as_ptr();
+                let pb = b.as_ptr();
+                let mut acc = _mm256_setzero_si256();
+                for i in 0..chunks {
+                    // Sign-extend 16 codes to i16 lanes; products and
+                    // squared diffs fit i16×i16→i32 exactly via `madd`.
+                    let $va =
+                        _mm256_cvtepi8_epi16(_mm_loadu_si128(pa.add(i * 16) as *const __m128i));
+                    let $vb =
+                        _mm256_cvtepi8_epi16(_mm_loadu_si128(pb.add(i * 16) as *const __m128i));
+                    acc = _mm256_add_epi32(acc, $vstep);
+                }
+                let mut sum = hsum_epi32(acc);
+                for i in chunks * 16..n {
+                    let $x = a[i] as i32;
+                    let $y = b[i] as i32;
+                    sum += $sstep;
+                }
+                sum
+            }
+        };
+    }
+
+    avx2_i8_kernels!(
+        dot_i8,
+        |va, vb| _mm256_madd_epi16(va, vb),
+        |x, y| x * y
+    );
+    avx2_i8_kernels!(
+        l2_squared_i8,
+        |va, vb| {
+            let d = _mm256_sub_epi16(va, vb);
+            _mm256_madd_epi16(d, d)
+        },
+        |x, y| {
+            let d = x - y;
+            d * d
+        }
+    );
+    avx2_i8_kernels!(
+        l1_i8,
+        |va, vb| {
+            let d = _mm256_abs_epi16(_mm256_sub_epi16(va, vb));
+            _mm256_madd_epi16(d, _mm256_set1_epi16(1))
+        },
+        |x, y| (x - y).abs()
+    );
+}
+
+/// Safe shims around the AVX2 kernels so plain `fn` pointers can live in
+/// the dispatch table.
+#[cfg(target_arch = "x86_64")]
+mod avx2_shim {
+    macro_rules! shim {
+        ($name:ident, ($($arg:ident: $ty:ty),*) -> $ret:ty) => {
+            pub fn $name($($arg: $ty),*) -> $ret {
+                // SAFETY: this shim is only installed in the dispatch
+                // table after `is_x86_feature_detected!` confirmed
+                // AVX2 + FMA at runtime.
+                unsafe { super::avx2::$name($($arg),*) }
+            }
+        };
+    }
+
+    shim!(dot, (a: &[f32], b: &[f32]) -> f32);
+    shim!(l2_squared, (a: &[f32], b: &[f32]) -> f32);
+    shim!(l1, (a: &[f32], b: &[f32]) -> f32);
+    shim!(dot_block, (q: &[f32], block: &[f32], out: &mut [f32]) -> ());
+    shim!(l2_squared_block, (q: &[f32], block: &[f32], out: &mut [f32]) -> ());
+    shim!(l1_block, (q: &[f32], block: &[f32], out: &mut [f32]) -> ());
+    shim!(dot_i8, (a: &[i8], b: &[i8]) -> i32);
+    shim!(l2_squared_i8, (a: &[i8], b: &[i8]) -> i32);
+    shim!(l1_i8, (a: &[i8], b: &[i8]) -> i32);
+}
+
+/// NEON kernels. Two 4-lane accumulators emulate the scalar reference's
+/// eight lanes so results stay bit-identical.
+#[cfg(target_arch = "aarch64")]
+mod neon {
+    use std::arch::aarch64::*;
+
+    /// Reduce the two 4-lane halves in the scalar reference's order.
+    #[inline]
+    #[target_feature(enable = "neon")]
+    unsafe fn hsum_like_scalar(lo: float32x4_t, hi: float32x4_t) -> f32 {
+        // t = [l0+l4, l1+l5, l2+l6, l3+l7]
+        let t = vaddq_f32(lo, hi);
+        ((vgetq_lane_f32::<0>(t) + vgetq_lane_f32::<1>(t)) + vgetq_lane_f32::<2>(t))
+            + vgetq_lane_f32::<3>(t)
+    }
+
+    macro_rules! neon_f32_kernels {
+        ($single:ident, $block:ident,
+         |$va:ident, $vb:ident| $vstep:expr,
+         |$x:ident, $y:ident| $sstep:expr) => {
+            #[target_feature(enable = "neon")]
+            pub unsafe fn $single(a: &[f32], b: &[f32]) -> f32 {
+                debug_assert_eq!(a.len(), b.len());
+                let n = a.len();
+                let chunks = n / 8;
+                let pa = a.as_ptr();
+                let pb = b.as_ptr();
+                let mut acc_lo = vdupq_n_f32(0.0);
+                let mut acc_hi = vdupq_n_f32(0.0);
+                for i in 0..chunks {
+                    let o = i * 8;
+                    {
+                        let $va = vld1q_f32(pa.add(o));
+                        let $vb = vld1q_f32(pb.add(o));
+                        acc_lo = vaddq_f32(acc_lo, $vstep);
+                    }
+                    {
+                        let $va = vld1q_f32(pa.add(o + 4));
+                        let $vb = vld1q_f32(pb.add(o + 4));
+                        acc_hi = vaddq_f32(acc_hi, $vstep);
+                    }
+                }
+                let mut sum = hsum_like_scalar(acc_lo, acc_hi);
+                for i in chunks * 8..n {
+                    let $x = a[i];
+                    let $y = b[i];
+                    sum += $sstep;
+                }
+                sum
+            }
+
+            #[target_feature(enable = "neon")]
+            pub unsafe fn $block(query: &[f32], block: &[f32], out: &mut [f32]) {
+                let dim = query.len();
+                let rows = out.len();
+                debug_assert_eq!(block.len(), dim * rows);
+                let chunks = dim / 8;
+                let pq = query.as_ptr();
+                let mut r = 0;
+                while r + 4 <= rows {
+                    let ps = [
+                        block.as_ptr().add(r * dim),
+                        block.as_ptr().add((r + 1) * dim),
+                        block.as_ptr().add((r + 2) * dim),
+                        block.as_ptr().add((r + 3) * dim),
+                    ];
+                    let mut lo = [vdupq_n_f32(0.0); 4];
+                    let mut hi = [vdupq_n_f32(0.0); 4];
+                    for i in 0..chunks {
+                        let o = i * 8;
+                        let q_lo = vld1q_f32(pq.add(o));
+                        let q_hi = vld1q_f32(pq.add(o + 4));
+                        for row in 0..4 {
+                            {
+                                let $va = q_lo;
+                                let $vb = vld1q_f32(ps[row].add(o));
+                                lo[row] = vaddq_f32(lo[row], $vstep);
+                            }
+                            {
+                                let $va = q_hi;
+                                let $vb = vld1q_f32(ps[row].add(o + 4));
+                                hi[row] = vaddq_f32(hi[row], $vstep);
+                            }
+                        }
+                    }
+                    for row in 0..4 {
+                        let mut s = hsum_like_scalar(lo[row], hi[row]);
+                        for i in chunks * 8..dim {
+                            let $x = query[i];
+                            let $y = *ps[row].add(i);
+                            s += $sstep;
+                        }
+                        out[r + row] = s;
+                    }
+                    r += 4;
+                }
+                while r < rows {
+                    out[r] = $single(query, &block[r * dim..(r + 1) * dim]);
+                    r += 1;
+                }
+            }
+        };
+    }
+
+    neon_f32_kernels!(
+        dot, dot_block,
+        |va, vb| vmulq_f32(va, vb),
+        |x, y| x * y
+    );
+    neon_f32_kernels!(
+        l2_squared, l2_squared_block,
+        |va, vb| {
+            let d = vsubq_f32(va, vb);
+            vmulq_f32(d, d)
+        },
+        |x, y| {
+            let d = x - y;
+            d * d
+        }
+    );
+    neon_f32_kernels!(
+        l1, l1_block,
+        |va, vb| vabsq_f32(vsubq_f32(va, vb)),
+        |x, y| (x - y).abs()
+    );
+}
+
+/// Safe shims around the NEON kernels for the dispatch table.
+#[cfg(target_arch = "aarch64")]
+mod neon_shim {
+    macro_rules! shim {
+        ($name:ident, ($($arg:ident: $ty:ty),*) -> $ret:ty) => {
+            pub fn $name($($arg: $ty),*) -> $ret {
+                // SAFETY: installed only after `is_aarch64_feature_detected!`
+                // confirmed NEON at runtime.
+                unsafe { super::neon::$name($($arg),*) }
+            }
+        };
+    }
+
+    shim!(dot, (a: &[f32], b: &[f32]) -> f32);
+    shim!(l2_squared, (a: &[f32], b: &[f32]) -> f32);
+    shim!(l1, (a: &[f32], b: &[f32]) -> f32);
+    shim!(dot_block, (q: &[f32], block: &[f32], out: &mut [f32]) -> ());
+    shim!(l2_squared_block, (q: &[f32], block: &[f32], out: &mut [f32]) -> ());
+    shim!(l1_block, (q: &[f32], block: &[f32], out: &mut [f32]) -> ());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic pseudo-random vector without external crates.
+    fn pseudo_vec(seed: u64, len: usize) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).max(1);
+        (0..len)
+            .map(|_| {
+                // xorshift64*
+                state ^= state >> 12;
+                state ^= state << 25;
+                state ^= state >> 27;
+                let bits = state.wrapping_mul(0x2545_F491_4F6C_DD1D);
+                ((bits >> 40) as f32 / (1u32 << 24) as f32) * 20.0 - 10.0
+            })
+            .collect()
+    }
+
+    fn pseudo_codes(seed: u64, len: usize) -> Vec<i8> {
+        pseudo_vec(seed, len)
+            .into_iter()
+            .map(|f| (f * 12.0) as i8)
+            .collect()
+    }
+
+    const LENGTHS: &[usize] = &[0, 1, 2, 3, 7, 8, 9, 15, 16, 17, 31, 33, 64, 100, 257, 1024];
+
+    #[test]
+    fn dispatched_f32_kernels_bit_identical_to_scalar() {
+        for &len in LENGTHS {
+            let a = pseudo_vec(len as u64 + 1, len);
+            let b = pseudo_vec(len as u64 + 1000, len);
+            assert_eq!(dot(&a, &b).to_bits(), scalar::dot(&a, &b).to_bits(), "dot len {len}");
+            assert_eq!(
+                l2_squared(&a, &b).to_bits(),
+                scalar::l2_squared(&a, &b).to_bits(),
+                "l2 len {len}"
+            );
+            assert_eq!(l1(&a, &b).to_bits(), scalar::l1(&a, &b).to_bits(), "l1 len {len}");
+        }
+    }
+
+    #[test]
+    fn block_kernels_bit_identical_to_per_row() {
+        for &dim in &[1usize, 3, 7, 8, 9, 16, 33, 128] {
+            for &rows in &[0usize, 1, 2, 3, 4, 5, 7, 8, 13] {
+                let q = pseudo_vec(dim as u64 + 7, dim);
+                let block = pseudo_vec((dim * rows) as u64 + 13, dim * rows);
+                let mut out = vec![0.0f32; rows];
+                let mut want = vec![0.0f32; rows];
+
+                dot_block(&q, &block, &mut out);
+                for r in 0..rows {
+                    want[r] = scalar::dot(&q, &block[r * dim..(r + 1) * dim]);
+                }
+                assert_eq!(bits(&out), bits(&want), "dot dim {dim} rows {rows}");
+
+                l2_squared_block(&q, &block, &mut out);
+                for r in 0..rows {
+                    want[r] = scalar::l2_squared(&q, &block[r * dim..(r + 1) * dim]);
+                }
+                assert_eq!(bits(&out), bits(&want), "l2 dim {dim} rows {rows}");
+
+                l1_block(&q, &block, &mut out);
+                for r in 0..rows {
+                    want[r] = scalar::l1(&q, &block[r * dim..(r + 1) * dim]);
+                }
+                assert_eq!(bits(&out), bits(&want), "l1 dim {dim} rows {rows}");
+            }
+        }
+    }
+
+    fn bits(v: &[f32]) -> Vec<u32> {
+        v.iter().map(|f| f.to_bits()).collect()
+    }
+
+    #[test]
+    fn i8_kernels_exactly_match_scalar() {
+        for &len in LENGTHS {
+            let a = pseudo_codes(len as u64 + 3, len);
+            let b = pseudo_codes(len as u64 + 4000, len);
+            assert_eq!(dot_i8(&a, &b), scalar::dot_i8(&a, &b), "dot_i8 len {len}");
+            assert_eq!(
+                l2_squared_i8(&a, &b),
+                scalar::l2_squared_i8(&a, &b),
+                "l2_i8 len {len}"
+            );
+            assert_eq!(l1_i8(&a, &b), scalar::l1_i8(&a, &b), "l1_i8 len {len}");
+        }
+    }
+
+    #[test]
+    fn i8_extremes_do_not_overflow_lanewise() {
+        // All-extreme codes exercise the i16 madd path at its limits.
+        let a = vec![-128i8; 256];
+        let b = vec![127i8; 256];
+        assert_eq!(dot_i8(&a, &b), scalar::dot_i8(&a, &b));
+        assert_eq!(l2_squared_i8(&a, &b), scalar::l2_squared_i8(&a, &b));
+        assert_eq!(l1_i8(&a, &b), scalar::l1_i8(&a, &b));
+    }
+
+    #[test]
+    fn forced_scalar_table_is_scalar() {
+        let k = pick(true);
+        assert_eq!(k.name, "scalar");
+        // And the forced table agrees with direct scalar calls.
+        let a = pseudo_vec(1, 100);
+        let b = pseudo_vec(2, 100);
+        assert_eq!((k.dot)(&a, &b).to_bits(), scalar::dot(&a, &b).to_bits());
+    }
+
+    #[test]
+    fn backend_reports_a_known_tier() {
+        assert!(matches!(backend(), "avx2" | "neon" | "scalar"));
+    }
+
+    #[cfg(target_arch = "x86_64")]
+    #[test]
+    fn avx2_selected_when_available() {
+        if std::arch::is_x86_feature_detected!("avx2")
+            && std::arch::is_x86_feature_detected!("fma")
+        {
+            assert_eq!(pick(false).name, "avx2");
+        }
+    }
+
+    #[test]
+    fn scalar_matches_naive_within_tolerance() {
+        // Sanity: the unrolled reference agrees with a naive sum.
+        for &len in LENGTHS {
+            let a = pseudo_vec(len as u64 + 21, len);
+            let b = pseudo_vec(len as u64 + 22, len);
+            let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+            let got = scalar::dot(&a, &b);
+            assert!(
+                (got - naive).abs() <= 1e-3 * (1.0 + naive.abs()),
+                "len {len}: {got} vs {naive}"
+            );
+        }
+    }
+
+    #[test]
+    fn prefetch_is_callable_on_any_pointer(){
+        prefetch_read(std::ptr::null());
+        let v = [1.0f32; 4];
+        prefetch_read(v.as_ptr() as *const u8);
+    }
+}

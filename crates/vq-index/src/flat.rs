@@ -95,16 +95,31 @@ impl FlatIndex {
         start: usize,
         end: usize,
     ) -> Vec<OffsetHit> {
+        let dim = source.dim();
         let mut top = TopK::new(k);
-        for offset in start..end {
-            let offset = offset as u32;
-            if let Some(f) = filter {
-                if !f(offset) {
-                    continue;
+        let mut scores: Vec<f32> = Vec::new();
+        let mut offset = start;
+        // Walk contiguous blocks (whole pages for paged storage, the
+        // entire range for dense storage) and score each with one blocked
+        // kernel call. The filter is applied at offer time: scoring is
+        // branch-free and vectorized, so computing a score that a filter
+        // then discards is cheaper than breaking the block apart.
+        while offset < end {
+            let block = source.contiguous_block(offset as u32);
+            let rows = (block.len() / dim).min(end - offset);
+            scores.resize(rows, 0.0);
+            self.metric
+                .score_block(query, &block[..rows * dim], &mut scores[..rows]);
+            for (r, &score) in scores[..rows].iter().enumerate() {
+                let o = (offset + r) as u32;
+                if let Some(f) = filter {
+                    if !f(o) {
+                        continue;
+                    }
                 }
+                top.offer(ScoredPoint::new(o as u64, score));
             }
-            let score = self.metric.score(query, source.vector(offset));
-            top.offer(ScoredPoint::new(offset as u64, score));
+            offset += rows;
         }
         top.into_sorted()
             .into_iter()
@@ -167,6 +182,76 @@ mod tests {
         let par = idx.search(&s, &q, 10, None);
         let seq = idx.scan_range(&s, &q, 10, None, 0, n);
         assert_eq!(par, seq);
+    }
+
+    /// A source with artificially tiny pages, so scans must stitch
+    /// many page-boundary-straddling blocks together.
+    struct PagedStub {
+        dim: usize,
+        page_rows: usize,
+        pages: Vec<Vec<f32>>,
+        len: usize,
+    }
+
+    impl PagedStub {
+        fn from_dense(dense: &DenseVectors, page_rows: usize) -> Self {
+            let dim = dense.dim();
+            let len = dense.len();
+            let mut pages = Vec::new();
+            for start in (0..len).step_by(page_rows) {
+                let mut page = Vec::new();
+                for o in start..(start + page_rows).min(len) {
+                    page.extend_from_slice(dense.vector(o as u32));
+                }
+                pages.push(page);
+            }
+            PagedStub {
+                dim,
+                page_rows,
+                pages,
+                len,
+            }
+        }
+    }
+
+    impl VectorSource for PagedStub {
+        fn dim(&self) -> usize {
+            self.dim
+        }
+        fn len(&self) -> usize {
+            self.len
+        }
+        fn vector(&self, offset: u32) -> &[f32] {
+            let page = offset as usize / self.page_rows;
+            let slot = offset as usize % self.page_rows;
+            &self.pages[page][slot * self.dim..(slot + 1) * self.dim]
+        }
+        fn contiguous_block(&self, offset: u32) -> &[f32] {
+            let page = offset as usize / self.page_rows;
+            let slot = offset as usize % self.page_rows;
+            &self.pages[page][slot * self.dim..]
+        }
+    }
+
+    #[test]
+    fn paged_blocks_match_dense_scan() {
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(11);
+        let dim = 7;
+        let mut dense = DenseVectors::new(dim);
+        for _ in 0..103 {
+            let v: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+            dense.push(&v);
+        }
+        let q: Vec<f32> = (0..dim).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        for metric in [Distance::Dot, Distance::Euclid, Distance::Manhattan] {
+            let idx = FlatIndex::new(metric);
+            let want = idx.search(&dense, &q, 12, None);
+            for page_rows in [1, 3, 8, 200] {
+                let paged = PagedStub::from_dense(&dense, page_rows);
+                let got = idx.search(&paged, &q, 12, None);
+                assert_eq!(got, want, "metric {metric} page_rows {page_rows}");
+            }
+        }
     }
 
     #[test]

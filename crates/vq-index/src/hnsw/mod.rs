@@ -383,6 +383,31 @@ impl HnswIndex {
         self.metric.score(query, source.vector(offset))
     }
 
+    /// Score a whole hop's worth of candidates as one batch: a single
+    /// gather loop that prefetches the next candidate's vector while the
+    /// dispatched kernel chews on the current one. `scores` is cleared
+    /// and refilled in `cands` order; results are bit-identical to
+    /// calling [`Self::score`] per candidate, and `dist_count` advances
+    /// by the same amount.
+    fn score_batch<S: VectorSource>(
+        &self,
+        source: &S,
+        query: &[f32],
+        cands: &[u32],
+        scores: &mut Vec<f32>,
+    ) {
+        self.dist_count
+            .fetch_add(cands.len() as u64, Ordering::Relaxed);
+        scores.clear();
+        scores.reserve(cands.len());
+        for (i, &cand) in cands.iter().enumerate() {
+            if let Some(&next) = cands.get(i + 1) {
+                vq_core::simd::prefetch_read(source.vector(next).as_ptr() as *const u8);
+            }
+            scores.push(self.metric.score(query, source.vector(cand)));
+        }
+    }
+
     /// Greedy best-first descent on one layer (ef = 1).
     fn greedy_descend<S: VectorSource>(
         &self,
@@ -393,6 +418,7 @@ impl HnswIndex {
         layer: usize,
     ) -> (u32, f32) {
         let mut scratch: Vec<u32> = Vec::with_capacity(self.config.m);
+        let mut scores: Vec<f32> = Vec::with_capacity(self.config.m);
         loop {
             let mut improved = false;
             {
@@ -403,8 +429,11 @@ impl HnswIndex {
                 scratch.clear();
                 scratch.extend_from_slice(&node.links[layer].read());
             }
-            for &cand in &scratch {
-                let s = self.score(source, query, cand);
+            // Batch-score the hop, then replay the greedy update in link
+            // order: strict `>` keeps the first-best tie-break identical
+            // to scoring one candidate at a time.
+            self.score_batch(source, query, &scratch, &mut scores);
+            for (&cand, &s) in scratch.iter().zip(scores.iter()) {
                 if s > ep_score {
                     ep = cand;
                     ep_score = s;
@@ -443,6 +472,7 @@ impl HnswIndex {
             }
         }
         let mut scratch: Vec<u32> = Vec::with_capacity(self.config.m0);
+        let mut scores: Vec<f32> = Vec::with_capacity(self.config.m0);
         while let Some((OrdF32(c_score), c)) = frontier.pop() {
             let worst = results.peek().map(|Reverse((s, _))| s.0).unwrap_or(f32::MIN);
             if results.len() >= ef && c_score < worst {
@@ -453,14 +483,23 @@ impl HnswIndex {
                 if layer >= node.links.len() {
                     continue;
                 }
+                // Gather this hop's *unvisited* neighbors, then score them
+                // as one batch instead of one edge at a time.
                 scratch.clear();
-                scratch.extend_from_slice(&node.links[layer].read());
+                scratch.extend(
+                    node.links[layer]
+                        .read()
+                        .iter()
+                        .copied()
+                        .filter(|&nb| visited.insert(nb)),
+                );
             }
-            for &nb in &scratch {
-                if !visited.insert(nb) {
-                    continue;
-                }
-                let s = self.score(source, query, nb);
+            self.score_batch(source, query, &scratch, &mut scores);
+            // Replay the heap updates in neighbor order: `worst` evolves
+            // exactly as it did when scores arrived one by one, so the
+            // beam's contents (and therefore the result ids) are
+            // unchanged.
+            for (&nb, &s) in scratch.iter().zip(scores.iter()) {
                 let worst = results.peek().map(|Reverse((w, _))| w.0).unwrap_or(f32::MIN);
                 if results.len() < ef || s > worst {
                     frontier.push((OrdF32(s), nb));

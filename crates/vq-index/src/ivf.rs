@@ -152,7 +152,13 @@ impl IvfIndex {
         let probed = self.nearest_lists(query, nprobe);
         let mut top = TopK::new(k);
         for c in probed {
-            for &o in &self.lists[c as usize] {
+            let list = &self.lists[c as usize];
+            for (i, &o) in list.iter().enumerate() {
+                // List members are scattered offsets: prefetch the next
+                // one's vector while the kernel scores this one.
+                if let Some(&next) = list.get(i + 1) {
+                    vq_core::simd::prefetch_read(source.vector(next).as_ptr() as *const u8);
+                }
                 if let Some(f) = filter {
                     if !f(o) {
                         continue;
@@ -172,10 +178,13 @@ impl IvfIndex {
     pub fn nearest_lists(&self, query: &[f32], nprobe: usize) -> Vec<u32> {
         let nlist = self.lists.len();
         let mut top = TopK::new(nprobe.min(nlist));
-        for c in 0..nlist {
-            // Coarse assignment always uses L2 geometry, matching faiss.
-            let d = vq_core::distance::l2_squared(query, self.centroid(c));
-            top.offer(ScoredPoint::new(c as u64, -d));
+        // Centroids are one contiguous row-major block: score them all
+        // with a single blocked kernel call. Coarse assignment always
+        // uses L2 geometry, matching faiss.
+        let mut d = vec![0.0f32; nlist];
+        vq_core::simd::l2_squared_block(query, &self.centroids, &mut d);
+        for (c, &dist) in d.iter().enumerate() {
+            top.offer(ScoredPoint::new(c as u64, -dist));
         }
         top.into_sorted().into_iter().map(|p| p.id as u32).collect()
     }
@@ -264,14 +273,27 @@ fn train_kmeans<S: VectorSource>(source: &S, nlist: usize, config: &IvfConfig) -
 }
 
 /// `(index, squared distance)` of the centroid nearest to `v`.
+///
+/// Scores centroids through the blocked kernel in stack-buffered chunks
+/// (no per-call heap allocation: this runs once per vector inside the
+/// rayon assignment loops). Strict `<` keeps the first-minimum
+/// tie-break, and the blocked kernel is bit-identical to the pairwise
+/// one, so assignments match the previous per-centroid scan exactly.
 fn nearest_centroid(centroids: &[f32], dim: usize, v: &[f32]) -> (u32, f32) {
+    const CHUNK: usize = 32;
     let nlist = centroids.len() / dim;
     let mut best = (0u32, f32::MAX);
-    for c in 0..nlist {
-        let d = vq_core::distance::l2_squared(v, &centroids[c * dim..(c + 1) * dim]);
-        if d < best.1 {
-            best = (c as u32, d);
+    let mut buf = [0.0f32; CHUNK];
+    let mut c = 0;
+    while c < nlist {
+        let rows = (nlist - c).min(CHUNK);
+        vq_core::simd::l2_squared_block(v, &centroids[c * dim..(c + rows) * dim], &mut buf[..rows]);
+        for (r, &d) in buf[..rows].iter().enumerate() {
+            if d < best.1 {
+                best = ((c + r) as u32, d);
+            }
         }
+        c += rows;
     }
     best
 }

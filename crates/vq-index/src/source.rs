@@ -15,6 +15,17 @@ pub trait VectorSource: Sync {
     }
     /// Borrow the vector at `offset`. Panics if out of range.
     fn vector(&self, offset: u32) -> &[f32];
+    /// Borrow the longest *contiguous* run of vectors starting at
+    /// `offset`, as one flat row-major slice. The returned slice holds
+    /// `slice.len() / dim()` whole vectors (always ≥ 1); scans use it to
+    /// feed blocked scoring kernels instead of calling [`Self::vector`]
+    /// per row. Panics if out of range.
+    ///
+    /// The default returns a single vector; paged or fully-dense
+    /// implementations override it to expose whole pages.
+    fn contiguous_block(&self, offset: u32) -> &[f32] {
+        self.vector(offset)
+    }
 }
 
 /// The simplest [`VectorSource`]: one contiguous `Vec<f32>`.
@@ -88,6 +99,14 @@ impl VectorSource for DenseVectors {
         let start = offset as usize * self.dim;
         &self.data[start..start + self.dim]
     }
+
+    fn contiguous_block(&self, offset: u32) -> &[f32] {
+        // The whole store is one flat buffer: everything from `offset`
+        // to the end is a single block.
+        let start = offset as usize * self.dim;
+        assert!(start < self.data.len(), "offset {offset} out of range");
+        &self.data[start..]
+    }
 }
 
 impl<S: VectorSource + ?Sized> VectorSource for &S {
@@ -99,6 +118,9 @@ impl<S: VectorSource + ?Sized> VectorSource for &S {
     }
     fn vector(&self, offset: u32) -> &[f32] {
         (**self).vector(offset)
+    }
+    fn contiguous_block(&self, offset: u32) -> &[f32] {
+        (**self).contiguous_block(offset)
     }
 }
 
@@ -142,5 +164,14 @@ mod tests {
         let r: &DenseVectors = &s;
         assert_eq!(VectorSource::len(&r), 1);
         assert_eq!(VectorSource::vector(&r, 0), &[9.0]);
+        assert_eq!(VectorSource::contiguous_block(&r, 0), &[9.0]);
+    }
+
+    #[test]
+    fn dense_contiguous_block_spans_to_end() {
+        let s = DenseVectors::from_flat(2, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(s.contiguous_block(0).len(), 6);
+        assert_eq!(s.contiguous_block(1), &[3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(s.contiguous_block(2), &[5.0, 6.0]);
     }
 }

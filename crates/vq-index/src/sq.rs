@@ -124,30 +124,16 @@ impl SqCodec {
     }
 
     /// Approximate score of stored vector `offset` against a pre-encoded
-    /// query (integer arithmetic in the hot loop).
+    /// query. The integer hot loops run through the dispatched `i8`
+    /// kernels in [`vq_core::simd`] (16-wide `madd` on AVX2); integer
+    /// arithmetic is exact, so every tier agrees.
     #[inline]
     pub fn score_quantized(&self, q_code: &[i8], offset: u32) -> f32 {
         let code = self.code(offset);
         match self.metric {
-            Distance::Cosine | Distance::Dot => {
-                let mut acc: i32 = 0;
-                for (&a, &b) in q_code.iter().zip(code) {
-                    acc += (a as i32) * (b as i32);
-                }
-                acc as f32
-            }
-            Distance::Euclid | Distance::Manhattan => {
-                let mut acc: i32 = 0;
-                for (&a, &b) in q_code.iter().zip(code) {
-                    let d = a as i32 - b as i32;
-                    acc += if self.metric == Distance::Euclid {
-                        d * d
-                    } else {
-                        d.abs()
-                    };
-                }
-                -(acc as f32)
-            }
+            Distance::Cosine | Distance::Dot => vq_core::simd::dot_i8(q_code, code) as f32,
+            Distance::Euclid => -(vq_core::simd::l2_squared_i8(q_code, code) as f32),
+            Distance::Manhattan => -(vq_core::simd::l1_i8(q_code, code) as f32),
         }
     }
 

@@ -122,6 +122,39 @@ impl PagedArena {
         Ok(())
     }
 
+    /// Borrow the run of contiguous storage from `offset` to the end of
+    /// its page (or of the arena, whichever comes first), as one flat
+    /// row-major slice of whole vectors. Blocked scans score an entire
+    /// page per kernel call instead of one [`Self::get`] per vector.
+    ///
+    /// # Panics
+    /// If `offset >= len()`.
+    #[inline]
+    pub fn page_block(&self, offset: u32) -> &[f32] {
+        let offset = offset as usize;
+        assert!(offset < self.len, "offset {offset} out of range {}", self.len);
+        let page = offset / self.page_vectors;
+        let slot = offset % self.page_vectors;
+        let page_start = page * self.page_vectors;
+        let in_page = (self.len - page_start).min(self.page_vectors);
+        &self.pages[page][slot * self.dim..in_page * self.dim]
+    }
+
+    /// Iterate `(first_offset, block)` pairs covering all vectors in
+    /// order, one page-contiguous block at a time.
+    pub fn blocks(&self) -> impl Iterator<Item = (u32, &[f32])> + '_ {
+        let mut offset = 0u32;
+        std::iter::from_fn(move || {
+            if (offset as usize) >= self.len {
+                return None;
+            }
+            let block = self.page_block(offset);
+            let first = offset;
+            offset += (block.len() / self.dim) as u32;
+            Some((first, block))
+        })
+    }
+
     /// Iterate all vectors in offset order.
     pub fn iter(&self) -> impl Iterator<Item = &[f32]> + '_ {
         (0..self.len as u32).map(move |o| self.get(o))
@@ -161,6 +194,9 @@ impl vq_index::VectorSource for PagedArena {
     }
     fn vector(&self, offset: u32) -> &[f32] {
         self.get(offset)
+    }
+    fn contiguous_block(&self, offset: u32) -> &[f32] {
+        self.page_block(offset)
     }
 }
 
@@ -243,6 +279,49 @@ mod tests {
         assert_eq!(VectorSource::dim(&a), 2);
         assert_eq!(VectorSource::len(&a), 1);
         assert_eq!(VectorSource::vector(&a, 0), &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn page_block_covers_page_and_respects_len() {
+        let mut a = PagedArena::with_page_vectors(2, 3);
+        for i in 0..7 {
+            a.push(&[i as f32, i as f32]).unwrap();
+        }
+        // Mid-page start: rest of page 0 (slots 1, 2).
+        assert_eq!(a.page_block(1), &[1.0, 1.0, 2.0, 2.0]);
+        // Page boundary: whole page 1.
+        assert_eq!(a.page_block(3).len(), 3 * 2);
+        // Last page is partially filled: only the live vector.
+        assert_eq!(a.page_block(6), &[6.0, 6.0]);
+    }
+
+    #[test]
+    fn blocks_cover_every_offset_once() {
+        let mut a = PagedArena::with_page_vectors(3, 4);
+        for i in 0..11 {
+            a.push(&[i as f32, 0.0, 0.0]).unwrap();
+        }
+        let mut seen = 0u32;
+        for (first, block) in a.blocks() {
+            assert_eq!(first, seen);
+            let rows = block.len() / 3;
+            for r in 0..rows {
+                assert_eq!(block[r * 3], (seen + r as u32) as f32);
+            }
+            seen += rows as u32;
+        }
+        assert_eq!(seen, 11);
+    }
+
+    #[test]
+    fn contiguous_block_matches_page_block() {
+        use vq_index::VectorSource;
+        let mut a = PagedArena::with_page_vectors(2, 2);
+        for i in 0..5 {
+            a.push(&[i as f32, -(i as f32)]).unwrap();
+        }
+        assert_eq!(VectorSource::contiguous_block(&a, 1), a.page_block(1));
+        assert_eq!(VectorSource::contiguous_block(&a, 2), a.page_block(2));
     }
 
     #[test]

@@ -150,6 +150,38 @@ proptest! {
     }
 
     #[test]
+    fn flat_search_over_pages_equals_dense(
+        vectors in prop::collection::vec(prop::collection::vec(-10.0f32..10.0, 5), 1..60),
+        query in prop::collection::vec(-10.0f32..10.0, 5),
+        page in 1usize..9,
+        k in 1usize..12
+    ) {
+        // End-to-end check of the blocked scoring path: a flat scan over
+        // a PagedArena (blocks end at page boundaries, the last one
+        // usually partial) must return exactly what a scan over the same
+        // data in one dense slab returns. Exercises
+        // `contiguous_block` stitching across arbitrary page sizes.
+        use vq_index::{source::DenseVectors, FlatIndex, VectorSource};
+        let mut arena = PagedArena::with_page_vectors(5, page);
+        let mut dense = DenseVectors::new(5);
+        for v in &vectors {
+            arena.push(v).unwrap();
+            dense.push(v);
+        }
+        prop_assert_eq!(arena.len(), dense.len());
+        for metric in [
+            vq_core::Distance::Dot,
+            vq_core::Distance::Euclid,
+            vq_core::Distance::Manhattan,
+        ] {
+            let idx = FlatIndex::new(metric);
+            let got = idx.search(&arena, &query, k, None);
+            let want = idx.search(&dense, &query, k, None);
+            prop_assert_eq!(got, want, "metric {} page {}", metric, page);
+        }
+    }
+
+    #[test]
     fn wal_survives_torn_tails(
         points in prop::collection::vec(arb_point(3), 1..10),
         cut in 1usize..64

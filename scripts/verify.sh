@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Local verification mirroring .github/workflows/ci.yml: format, lints,
+# release build, tests (default dispatch + forced-scalar kernels).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --all --check"
+cargo fmt --all --check
+
+echo "==> cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> VQ_FORCE_SCALAR=1 cargo test -q -p vq-core -p vq-index"
+VQ_FORCE_SCALAR=1 cargo test -q -p vq-core -p vq-index
+
+echo "OK"
