@@ -4,12 +4,24 @@
 //! cargo run --release -p vq-bench --bin repro -- all
 //! cargo run --release -p vq-bench --bin repro -- fig2
 //! cargo run --release -p vq-bench --bin repro -- table3 --json
+//! cargo run --release -p vq-bench --bin repro -- fig2 --check --scale 0.05
+//! cargo run --release -p vq-bench --bin repro -- live --json
 //! ```
 //!
 //! Paper-scale experiments run through the calibrated discrete-event
 //! simulation (virtual time — an "8.22 hour" cell takes milliseconds);
 //! the criterion benches under `benches/` exercise the real engine at
 //! laptop scale. `EXPERIMENTS.md` records both against the paper.
+//!
+//! * `--scale f` shrinks the workload (points/queries) by `f` for smoke
+//!   runs; shape criteria survive scaling even though absolute seconds
+//!   don't.
+//! * `--check` verifies the EXPERIMENTS.md shape criteria (U-shaped
+//!   batch curve, concurrency minimum at 2) and exits non-zero on
+//!   violation — the CI smoke contract.
+//! * `live` (not part of `all`) drives a real in-process cluster and
+//!   records cluster-side `WorkerInfo` telemetry — per-phase timings and
+//!   coordinator saturations — alongside client-side latency.
 
 use serde::Serialize;
 use vq_bench::calib::Calibration;
@@ -24,17 +36,52 @@ use vq_workload::CorpusSpec;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let json = args.iter().any(|a| a == "--json");
-    let which = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .map(String::as_str)
-        .unwrap_or("all");
+    let mut json = false;
+    let mut check = false;
+    let mut scale = 1.0f64;
+    let mut which: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        match arg {
+            "--json" => json = true,
+            "--check" => check = true,
+            "--scale" => {
+                i += 1;
+                scale = args
+                    .get(i)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .filter(|&f| f > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale needs a positive number");
+                        std::process::exit(2);
+                    });
+            }
+            s if s.starts_with("--scale=") => {
+                scale = s["--scale=".len()..]
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|&f| f > 0.0)
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale needs a positive number");
+                        std::process::exit(2);
+                    });
+            }
+            s if !s.starts_with("--") => which = Some(s.to_string()),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let which = which.unwrap_or_else(|| "all".to_string());
+    let which = which.as_str();
 
     let calib = Calibration::default();
     let known = [
         "table1", "table2", "fig2", "table3", "fig3", "fig4", "fig5", "ablation",
-        "variability", "pipeline", "all",
+        "variability", "pipeline", "live", "all",
     ];
     if !known.contains(&which) {
         eprintln!("unknown experiment `{which}`; one of: {}", known.join(", "));
@@ -49,7 +96,7 @@ fn main() {
         print_table2(&calib, json);
     }
     if run("fig2") {
-        print_fig2(&calib, json);
+        print_fig2(&calib, json, check, scale);
     }
     if run("table3") {
         print_table3(&calib, json);
@@ -58,7 +105,7 @@ fn main() {
         print_fig3(&calib, json);
     }
     if run("fig4") {
-        print_fig4(&calib, json);
+        print_fig4(&calib, json, check, scale);
     }
     if run("fig5") {
         print_fig5(&calib, json);
@@ -72,6 +119,36 @@ fn main() {
     if run("pipeline") {
         print_pipeline(&calib, json);
     }
+    // Live cluster telemetry: opt-in only (spins up real worker threads),
+    // never part of `all`.
+    if which == "live" {
+        print_live(json);
+    }
+}
+
+/// Verify a list of named shape criteria; exit non-zero listing every
+/// violation. The absolute numbers scale with the workload, the shapes
+/// must not — this is what the CI smoke job pins.
+fn enforce_shapes(figure: &str, criteria: &[(&str, bool)]) {
+    let failed: Vec<&str> = criteria
+        .iter()
+        .filter(|(_, ok)| !ok)
+        .map(|(name, _)| *name)
+        .collect();
+    if failed.is_empty() {
+        println!("[check] {figure}: all {} shape criteria hold", criteria.len());
+    } else {
+        for name in &failed {
+            eprintln!("[check] {figure}: FAILED {name}");
+        }
+        std::process::exit(1);
+    }
+}
+
+/// Scale a workload size, keeping enough batches for shapes to be
+/// meaningful.
+fn scaled(n: u64, scale: f64, floor: u64) -> u64 {
+    ((n as f64 * scale) as u64).max(floor)
 }
 
 #[derive(Serialize)]
@@ -507,9 +584,18 @@ struct Fig2Out {
     concurrency_sweep: Vec<SweepOut>,
 }
 
-fn print_fig2(calib: &Calibration, json: bool) {
+/// Seconds at one sweep parameter, for shape checks.
+fn secs_at(points: &[vq_client::SweepPoint], param: usize) -> f64 {
+    points
+        .iter()
+        .find(|p| p.param == param)
+        .map(|p| p.secs)
+        .unwrap_or_else(|| panic!("sweep is missing param {param}"))
+}
+
+fn print_fig2(calib: &Calibration, json: bool, check: bool, scale: f64) {
     section("Figure 2: 1 GB insertion — batch size and parallel requests");
-    let points = Calibration::one_gb_points();
+    let points = scaled(Calibration::one_gb_points(), scale, 2_000);
     let target = SweepTarget::Insert {
         points,
         model: &calib.insert,
@@ -541,6 +627,20 @@ fn print_fig2(calib: &Calibration, json: bool) {
         "asyncio Amdahl ceiling at batch 32: {:.2}x (paper derives 1.31x from the conversion/RPC pair)",
         calib.insert.amdahl_ceiling(32)
     );
+    if check {
+        // EXPERIMENTS.md Figure 2 shape criteria — scale-invariant.
+        enforce_shapes(
+            "fig2",
+            &[
+                ("batch curve falls from 1 to 32", secs_at(&batches, 1) > secs_at(&batches, 32)),
+                ("batch curve rises from 32 to 256 (U-shape)",
+                 secs_at(&batches, 256) > secs_at(&batches, 32)),
+                ("2 in flight beats 1", secs_at(&conc, 2) < secs_at(&conc, 1)),
+                ("4 in flight loses to 2 (minimum at 2)",
+                 secs_at(&conc, 4) > secs_at(&conc, 2)),
+            ],
+        );
+    }
     emit(
         json,
         "fig2",
@@ -655,10 +755,11 @@ struct Fig4Out {
     call_times_ms: Vec<(usize, f64)>,
 }
 
-fn print_fig4(calib: &Calibration, json: bool) {
+fn print_fig4(calib: &Calibration, json: bool, check: bool, scale: f64) {
     section("Figure 4: 1 GB query run — batch size and parallel requests");
+    let queries = scaled(Calibration::QUERY_TERMS, scale, 1_000);
     let target = SweepTarget::Query {
-        queries: Calibration::QUERY_TERMS,
+        queries,
         dataset_bytes: GB as f64,
         model: &calib.query,
     };
@@ -689,14 +790,7 @@ fn print_fig4(calib: &Calibration, json: bool) {
     let mut call_times = Vec::new();
     let mut t = TextTable::new(["In flight", "Ours (ms/batch)", "Paper (ms/batch)"]);
     for (c, paper_ms) in Calibration::FIG4_CALL_TIMES_MS {
-        let run = simulate_query_run(
-            Calibration::QUERY_TERMS,
-            16,
-            c,
-            1,
-            GB as f64,
-            &calib.query,
-        );
+        let run = simulate_query_run(queries, 16, c, 1, GB as f64, &calib.query);
         let ms = run.mean_batch_call_secs * 1e3;
         t.row([
             c.to_string(),
@@ -707,6 +801,21 @@ fn print_fig4(calib: &Calibration, json: bool) {
     }
     print!("{}", t.render());
     println!("(absolute call times differ — ours measure full sojourn — but the ~2x-per-step inflation shape matches)");
+    if check {
+        // EXPERIMENTS.md Figure 4 shape criteria — scale-invariant.
+        enforce_shapes(
+            "fig4",
+            &[
+                ("batch curve falls from 1 to 16", secs_at(&batches, 1) > secs_at(&batches, 16)),
+                ("batch curve keeps falling to 64 (flattens, never rises)",
+                 secs_at(&batches, 64) < secs_at(&batches, 16)),
+                ("2 in flight beats 1", secs_at(&conc, 2) < secs_at(&conc, 1)),
+                ("4 in flight loses to 2 (minimum at 2)",
+                 secs_at(&conc, 4) > secs_at(&conc, 2)),
+                ("8 in flight loses to 4", secs_at(&conc, 8) > secs_at(&conc, 4)),
+            ],
+        );
+    }
     emit(
         json,
         "fig4",
@@ -782,4 +891,97 @@ fn print_fig5(calib: &Calibration, json: bool) {
         "best speedup at 80 GB: {best:.2}x (paper 3.57x); multi-worker wins only past ~25-30 GB (paper: ~30 GB)"
     );
     emit(json, "fig5", &out);
+}
+
+#[derive(Serialize)]
+struct LiveOut {
+    workers: u32,
+    points: u64,
+    queries: u64,
+    upload_secs: f64,
+    upload_batches: u64,
+    query_secs: f64,
+    mean_batch_latency_ms: f64,
+    p95_batch_latency_ms: f64,
+    /// Cluster-side telemetry, one row per worker: request counters,
+    /// coordinator saturations, and the per-phase nanosecond timers.
+    worker_info: Vec<vq_cluster::WorkerInfo>,
+}
+
+/// Live cluster telemetry run (opt-in; real worker threads on this
+/// machine). Uploads a small dataset, fires a query burst, then dumps
+/// each worker's `WorkerInfo` — including `coordinator_saturations` and
+/// the upsert/search/coordination phase timers — in both the text table
+/// and the machine-readable `results/live.json`.
+fn print_live(json: bool) {
+    use vq_client::{LiveQueryRunner, LiveUploader};
+    use vq_cluster::{Cluster, ClusterConfig};
+    use vq_collection::CollectionConfig;
+    use vq_core::Distance;
+    use vq_workload::{DatasetSpec, EmbeddingModel};
+
+    section("Live cluster telemetry: per-phase timings and coordinator saturation");
+    let workers = 4u32;
+    let n = 2_000u64;
+    let corpus = CorpusSpec::small(10_000);
+    let model = EmbeddingModel::small(&corpus, 32);
+    let dataset = DatasetSpec::with_vectors(corpus, model, n);
+    let collection = CollectionConfig::new(32, Distance::Cosine).max_segment_points(512);
+    let cluster = Cluster::start(ClusterConfig::new(workers), collection).unwrap();
+
+    let up = LiveUploader::new(32, workers).upload(&cluster, &dataset).unwrap();
+    let queries: Vec<Vec<f32>> = (0..512).map(|i| dataset.point(i % n).vector).collect();
+    let q = LiveQueryRunner::new(16, 5).run(&cluster, &queries).unwrap();
+
+    let mut client = cluster.client();
+    let info = client.worker_info().unwrap();
+    cluster.shutdown();
+
+    println!(
+        "upload: {} points in {} ({} batches); queries: {} in {}",
+        up.points,
+        human_secs(up.elapsed.as_secs_f64()),
+        up.batches,
+        queries.len(),
+        human_secs(q.elapsed.as_secs_f64()),
+    );
+    let mut t = TextTable::new([
+        "Worker", "Upserts", "Searches", "Coordinations", "Saturations", "Upsert ms",
+        "Search ms", "Coord ms",
+    ]);
+    for w in &info {
+        t.row([
+            w.worker.to_string(),
+            w.upsert_batches.to_string(),
+            w.search_batches.to_string(),
+            w.coordinations.to_string(),
+            w.coordinator_saturations.to_string(),
+            format!("{:.1}", w.upsert_nanos as f64 / 1e6),
+            format!("{:.1}", w.search_nanos as f64 / 1e6),
+            format!("{:.1}", w.coordination_nanos as f64 / 1e6),
+        ]);
+    }
+    print!("{}", t.render());
+    println!("(coordination time ≫ local search time on the coordinator = broadcast–reduce wait, the §3.4 bottleneck; saturations > 0 = the coordinator pool queue overflowed)");
+
+    let mean_ms = q.mean_latency().map(|d| d.as_secs_f64() * 1e3).unwrap_or(0.0);
+    let p95_ms = q
+        .latency_percentile(95.0)
+        .map(|d| d.as_secs_f64() * 1e3)
+        .unwrap_or(0.0);
+    emit(
+        json,
+        "live",
+        &LiveOut {
+            workers,
+            points: n,
+            queries: queries.len() as u64,
+            upload_secs: up.elapsed.as_secs_f64(),
+            upload_batches: up.batches,
+            query_secs: q.elapsed.as_secs_f64(),
+            mean_batch_latency_ms: mean_ms,
+            p95_batch_latency_ms: p95_ms,
+            worker_info: info,
+        },
+    );
 }

@@ -141,6 +141,12 @@ pub struct QueryCostModel {
     pub bcast_equiv_bytes: f64,
     /// Event-loop overhead per batch per extra in-flight request, s.
     pub asyncio_overhead: f64,
+    /// Fixed client CPU per batch, seconds: building the query batch
+    /// object on the event loop. Small next to search time, but it is
+    /// what stops one in-flight request from overlapping anything.
+    pub client_fixed_cpu: f64,
+    /// Client CPU per query in the batch, seconds.
+    pub client_cpu_per_query: f64,
 }
 
 impl Default for QueryCostModel {
@@ -152,6 +158,8 @@ impl Default for QueryCostModel {
             per_query_per_byte: 2.52e-3 / GB as f64,
             bcast_equiv_bytes: 22.0 * GB as f64,
             asyncio_overhead: 2.0e-3,
+            client_fixed_cpu: 0.5e-3,
+            client_cpu_per_query: 0.05e-3,
         }
     }
 }
@@ -173,6 +181,12 @@ impl QueryCostModel {
         // Saturation: extra in-flight batches queue on the worker
         // (§3.4: per-batch wait 30.7 → 76.4 → 170 ms at 2/4/8).
         base * (1.0 + 0.1 * in_flight.saturating_sub(2) as f64)
+    }
+
+    /// Client CPU seconds to assemble one batch of `b` queries (runs on
+    /// the event loop, so it serializes within a client lane).
+    pub fn client_cpu_secs(&self, b: usize) -> f64 {
+        self.client_fixed_cpu + self.client_cpu_per_query * b as f64
     }
 
     /// Broadcast–reduce overhead per query for a `workers`-worker fan-out.

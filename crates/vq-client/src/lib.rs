@@ -1,15 +1,25 @@
 //! # vq-client
 //!
-//! The client stack — both halves of it:
+//! The client stack — one pipeline, two clocks:
 //!
-//! * [`live`] — drivers that exercise a **real** [`vq_cluster::Cluster`]:
+//! * [`pipeline`] — the **single home of batching logic**: lane plans,
+//!   in-flight window accounting, executor policy
+//!   ([`ExecutorKind`] → lanes × window), and run reports. Both the live
+//!   and the simulated drivers execute these plans; neither carries its
+//!   own batch loop.
+//! * [`runtime`] — the two executors: [`runtime::WallClock`] (real
+//!   threads against a live [`vq_cluster::Cluster`] via
+//!   [`runtime::LiveClusterService`]) and [`runtime::VirtualClock`] (the
+//!   DES engine against the calibrated cost models via
+//!   [`runtime::ModeledClusterService`]).
+//! * [`live`] — shims over `WallClock` keeping the classic driver API:
 //!   multi-threaded batched upload (one client per worker, like the
 //!   paper's multiprocessing layout) and batched query execution. These
 //!   run at laptop scale and validate every mechanism end to end.
-//! * [`costs`] + [`sim`] — the **calibrated cost models** and
-//!   discrete-event drivers that replay the same client logic at Polaris
-//!   scale in virtual time: Python-asyncio event-loop semantics (CPU-bound
-//!   batch conversion serializes; only RPC awaits overlap — the §3.2
+//! * [`costs`] + [`sim`] — the **calibrated cost models** and shims over
+//!   `VirtualClock` that replay the same client logic at Polaris scale in
+//!   virtual time: Python-asyncio event-loop semantics (CPU-bound batch
+//!   conversion serializes; only RPC awaits overlap — the §3.2
 //!   observation that caps single-client speedup at 1.31×), the
 //!   multiprocessing layout of Table 3, and the broadcast–reduce query
 //!   model behind Figures 4 and 5.
@@ -21,13 +31,19 @@
 
 pub mod costs;
 pub mod live;
+pub mod pipeline;
+pub mod runtime;
 pub mod sim;
 pub mod tuning;
 
 pub use costs::{InsertCostModel, QueryCostModel};
 pub use live::{LiveUploader, LiveQueryRunner, UploadOutcome};
-pub use sim::{
-    simulate_query_run, simulate_query_run_stochastic, simulate_upload, ExecutorKind,
-    SimOutcome, StochasticOutcome,
+pub use pipeline::{ExecutorKind, PipelineMode, PipelinePolicy, PipelineRun, Plan};
+pub use runtime::{
+    ClusterService, LiveClusterService, ModeledClusterService, Runtime, VirtualClock, WallClock,
 };
-pub use tuning::{sweep_batch_size, sweep_concurrency, SweepPoint};
+pub use sim::{
+    simulate_query_run, simulate_query_run_stochastic, simulate_upload, SimOutcome,
+    StochasticOutcome,
+};
+pub use tuning::{sweep_batch_size, sweep_concurrency, SweepConfig, SweepGrid, SweepPoint};

@@ -6,12 +6,18 @@
 //! the examples, and the laptop-scale halves of the benches — they
 //! *validate mechanisms* (batching wins, multiprocess beats one client,
 //! deferred indexing speeds ingest) that the simulator then extrapolates.
+//!
+//! Since the `Runtime` unification these types are thin shims: each one
+//! builds the same [`Plan`] the simulator uses and hands it to
+//! [`WallClock`] over a [`LiveClusterService`]. The batch/window loop
+//! itself lives once, in [`crate::runtime`].
 
+use crate::pipeline::{PipelineMode, Plan};
+use crate::runtime::{LiveClusterService, Runtime, WallClock};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 use vq_cluster::Cluster;
-use vq_collection::SearchRequest;
-use vq_core::{Point, ScoredPoint, VqError, VqResult};
+use vq_core::{ScoredPoint, VqResult};
 use vq_workload::DatasetSpec;
 
 /// Outcome of a live upload run.
@@ -54,41 +60,13 @@ impl LiveUploader {
 
     /// Upload the whole dataset into the cluster.
     pub fn upload(&self, cluster: &Arc<Cluster>, dataset: &DatasetSpec) -> VqResult<UploadOutcome> {
-        let start = Instant::now();
-        let parts = dataset.partition(self.clients);
-        let batches = std::sync::atomic::AtomicU64::new(0);
-        let first_err: parking_lot::Mutex<Option<VqError>> = parking_lot::Mutex::new(None);
-        std::thread::scope(|scope| {
-            for part in parts {
-                let cluster = cluster.clone();
-                let batches = &batches;
-                let first_err = &first_err;
-                let batch_size = self.batch_size;
-                scope.spawn(move || {
-                    let mut client = cluster.client();
-                    let mut start = part.start;
-                    while start < part.end {
-                        let end = (start + batch_size as u64).min(part.end);
-                        // "Conversion": materialize the points for this
-                        // request (the CPU-bound step the paper profiles).
-                        let points: Vec<Point> = dataset.points_in(start..end);
-                        if let Err(e) = client.upsert_batch(points) {
-                            first_err.lock().get_or_insert(e);
-                            return;
-                        }
-                        batches.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                        start = end;
-                    }
-                });
-            }
-        });
-        if let Some(e) = first_err.lock().take() {
-            return Err(e);
-        }
+        let plan = Plan::contiguous(dataset.len(), self.batch_size, self.clients);
+        let service = LiveClusterService::upload(cluster, dataset);
+        let run = WallClock::new(&service).run(&plan, 1, PipelineMode::Upload)?;
         Ok(UploadOutcome {
-            elapsed: start.elapsed(),
+            elapsed: Duration::from_secs_f64(run.wall_secs),
             points: dataset.len(),
-            batches: batches.into_inner(),
+            batches: run.batches,
         })
     }
 }
@@ -155,29 +133,17 @@ impl LiveQueryRunner {
         cluster: &Arc<Cluster>,
         queries: &[Vec<f32>],
     ) -> VqResult<QueryOutcome> {
-        let start = Instant::now();
-        let mut client = cluster.client();
-        let mut results = Vec::with_capacity(queries.len());
-        let mut batch_latencies = Vec::with_capacity(queries.len() / self.batch_size + 1);
-        for chunk in queries.chunks(self.batch_size) {
-            let requests: Vec<SearchRequest> = chunk
-                .iter()
-                .map(|q| {
-                    let mut r = SearchRequest::new(q.clone(), self.k);
-                    if let Some(ef) = self.ef {
-                        r = r.ef(ef);
-                    }
-                    r
-                })
-                .collect();
-            let t0 = Instant::now();
-            results.extend(client.search_batch(requests)?);
-            batch_latencies.push(t0.elapsed());
-        }
+        let plan = Plan::contiguous(queries.len() as u64, self.batch_size, 1);
+        let service = LiveClusterService::query(cluster, queries, self.k, self.ef);
+        let run = WallClock::new(&service).run(&plan, 1, PipelineMode::Query)?;
         Ok(QueryOutcome {
-            elapsed: start.elapsed(),
-            results,
-            batch_latencies,
+            elapsed: Duration::from_secs_f64(run.wall_secs),
+            results: run.results,
+            batch_latencies: run
+                .batch_call_secs
+                .iter()
+                .map(|&s| Duration::from_secs_f64(s))
+                .collect(),
         })
     }
 }

@@ -1,0 +1,731 @@
+//! Two clocks, one pipeline.
+//!
+//! A [`Runtime`] executes a [`Plan`] batch by batch, respecting each
+//! lane's in-flight window, and reports the same [`PipelineRun`] shape
+//! regardless of substrate:
+//!
+//! * [`WallClock`] — real OS threads against a live cluster. Each lane
+//!   runs `window` slot threads sharing the lane's [`WindowState`], so
+//!   at most `window` batches are outstanding per lane — the thread is
+//!   the in-flight slot.
+//! * [`VirtualClock`] — the DES [`Engine`] over [`SimTime`]. Each lane
+//!   is a capacity-1 event-loop server (CPU-bound conversion serializes
+//!   — the §3.2 asyncio mechanism); stage two is either a pure modeled
+//!   delay (upload RPC) or a shared serial worker queue (query service,
+//!   the §3.4 saturation mechanism).
+//!
+//! What a lane talks to is a [`ClusterService`]: [`LiveClusterService`]
+//! opens real [`vq_cluster::Cluster`] client connections and moves real
+//! data; [`ModeledClusterService`] prices each batch with the calibrated
+//! [`crate::costs`] models (optionally adding a [`vq_net::NetworkModel`]
+//! round-trip, and optionally log-normal service-time noise). The legacy
+//! entry points — [`crate::LiveUploader`], [`crate::LiveQueryRunner`],
+//! [`crate::simulate_upload`], [`crate::simulate_query_run`],
+//! [`crate::simulate_query_run_stochastic`] — are thin shims over these
+//! runtimes, so the batching logic exists exactly once.
+
+use crate::costs::{InsertCostModel, QueryCostModel};
+use crate::pipeline::{
+    BatchRecord, BatchSpec, LanePlan, PipelineMode, PipelineRun, PipelineTrace, Plan, WindowState,
+};
+use parking_lot::Mutex;
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::sync::Arc;
+use vq_cluster::{Cluster, ClusterClient};
+use vq_collection::SearchRequest;
+use vq_core::{ScoredPoint, VqError, VqResult};
+use vq_hpc::clock::{Clock, VirtualSource, WallSource};
+use vq_hpc::{Engine, FifoServer, SimDuration, SimTime};
+use vq_workload::DatasetSpec;
+
+/// A pipeline executor: one plan in, one run report out, on some clock.
+pub trait Runtime {
+    /// Drive `plan` to completion with `window` outstanding batches per
+    /// lane.
+    fn run(&mut self, plan: &Plan, window: usize, mode: PipelineMode) -> VqResult<PipelineRun>;
+}
+
+/// The modeled cost of one batch (virtual runtimes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchCost {
+    /// Client CPU spent on the lane's event loop (serializes within the
+    /// lane).
+    pub client_cpu: SimDuration,
+    /// Service time after the CPU stage.
+    pub service: SimDuration,
+    /// Whether the service stage occupies the shared serial worker (query
+    /// search path) or is a pure delay (upload RPC with server-side
+    /// pressure already priced into the duration).
+    pub queued: bool,
+}
+
+/// What a live batch execution returns.
+#[derive(Debug, Clone, Default)]
+pub struct BatchReply {
+    /// Per-query result lists (query mode; empty for uploads).
+    pub results: Vec<Vec<ScoredPoint>>,
+}
+
+/// One lane's session against a cluster service.
+pub trait LaneService {
+    /// Execute a batch for real (wall-clock runtimes). Modeled services
+    /// panic here — they have no live side effects.
+    fn execute(&mut self, mode: PipelineMode, batch: &BatchSpec) -> VqResult<BatchReply>;
+
+    /// The modeled cost of a batch (virtual runtimes); `None` for live
+    /// services, which can only be timed, not priced.
+    fn modeled_cost(&mut self, mode: PipelineMode, batch: &BatchSpec) -> Option<BatchCost>;
+}
+
+/// What the unified pipeline talks to: a live cluster or a cost model.
+pub trait ClusterService: Sync {
+    /// Pre-run hook, called once with the final plan (modeled services
+    /// derive per-batch costs and pre-sample stochastic service times
+    /// here, in global batch order, so runs are seed-deterministic).
+    fn prepare(&self, _plan: &Plan, _mode: PipelineMode) {}
+
+    /// Open one lane's session. Wall-clock runtimes call this from the
+    /// lane's own thread (a live session is a real client connection).
+    fn open_lane(&self, lane: u32) -> Box<dyn LaneService + '_>;
+}
+
+// ---------------------------------------------------------------------
+// Live service: a real cluster behind the seam.
+// ---------------------------------------------------------------------
+
+enum LiveWork<'a> {
+    Upload {
+        dataset: &'a DatasetSpec,
+    },
+    Query {
+        queries: &'a [Vec<f32>],
+        k: usize,
+        ef: Option<usize>,
+    },
+}
+
+/// [`ClusterService`] backed by a live [`Cluster`]: batches move real
+/// points and real search requests over the in-process transport.
+pub struct LiveClusterService<'a> {
+    cluster: &'a Arc<Cluster>,
+    work: LiveWork<'a>,
+}
+
+impl<'a> LiveClusterService<'a> {
+    /// Service uploading `dataset` (batch ranges index into it).
+    pub fn upload(cluster: &'a Arc<Cluster>, dataset: &'a DatasetSpec) -> Self {
+        LiveClusterService {
+            cluster,
+            work: LiveWork::Upload { dataset },
+        }
+    }
+
+    /// Service answering `queries` with top-`k` (and optional beam
+    /// width).
+    pub fn query(
+        cluster: &'a Arc<Cluster>,
+        queries: &'a [Vec<f32>],
+        k: usize,
+        ef: Option<usize>,
+    ) -> Self {
+        LiveClusterService {
+            cluster,
+            work: LiveWork::Query { queries, k, ef },
+        }
+    }
+}
+
+impl ClusterService for LiveClusterService<'_> {
+    fn open_lane(&self, _lane: u32) -> Box<dyn LaneService + '_> {
+        Box::new(LiveLane {
+            service: self,
+            client: self.cluster.client(),
+        })
+    }
+}
+
+struct LiveLane<'a> {
+    service: &'a LiveClusterService<'a>,
+    client: ClusterClient,
+}
+
+impl LaneService for LiveLane<'_> {
+    fn execute(&mut self, mode: PipelineMode, batch: &BatchSpec) -> VqResult<BatchReply> {
+        match (mode, &self.service.work) {
+            (PipelineMode::Upload, LiveWork::Upload { dataset }) => {
+                // "Conversion": materialize the points for this request
+                // (the CPU-bound step the paper profiles).
+                let points = dataset.points_in(batch.start..batch.end);
+                self.client.upsert_batch(points)?;
+                Ok(BatchReply::default())
+            }
+            (PipelineMode::Query, LiveWork::Query { queries, k, ef }) => {
+                let requests: Vec<SearchRequest> = queries[batch.start as usize..batch.end as usize]
+                    .iter()
+                    .map(|q| {
+                        let mut r = SearchRequest::new(q.clone(), *k);
+                        if let Some(ef) = ef {
+                            r = r.ef(*ef);
+                        }
+                        r
+                    })
+                    .collect();
+                Ok(BatchReply {
+                    results: self.client.search_batch(requests)?,
+                })
+            }
+            _ => panic!("pipeline mode does not match the LiveClusterService workload"),
+        }
+    }
+
+    fn modeled_cost(&mut self, _mode: PipelineMode, _batch: &BatchSpec) -> Option<BatchCost> {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------
+// Modeled service: the calibrated cost models behind the same seam.
+// ---------------------------------------------------------------------
+
+enum ModeledKind {
+    Insert(InsertCostModel),
+    Query {
+        model: QueryCostModel,
+        dataset_bytes: f64,
+    },
+}
+
+#[derive(Debug, Clone, Copy)]
+struct CostTemplate {
+    client_cpu: f64,
+    service: f64,
+    queued: bool,
+}
+
+/// [`ClusterService`] backed by [`crate::costs`]: every batch costs what
+/// the calibrated models say it costs, at the plan's nominal batch size
+/// (raggedness of the final batch is < 1/batches and ignored, as in the
+/// paper-anchored calibration).
+pub struct ModeledClusterService {
+    kind: ModeledKind,
+    workers: u32,
+    in_flight: usize,
+    extra_rpc_secs: f64,
+    stochastic: Option<(f64, u64)>,
+    template: Mutex<Option<CostTemplate>>,
+    sampled: Mutex<Vec<f64>>,
+}
+
+impl ModeledClusterService {
+    /// Insert-path model: `workers` share the deployment (contention
+    /// factor) and each lane keeps `in_flight` RPCs outstanding.
+    pub fn upload(model: &InsertCostModel, workers: u32, in_flight: usize) -> Self {
+        ModeledClusterService {
+            kind: ModeledKind::Insert(*model),
+            workers,
+            in_flight: in_flight.max(1),
+            extra_rpc_secs: 0.0,
+            stochastic: None,
+            template: Mutex::new(None),
+            sampled: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Query-path model against `dataset_bytes` spread over `workers`.
+    pub fn query(
+        model: &QueryCostModel,
+        workers: u32,
+        dataset_bytes: f64,
+        in_flight: usize,
+    ) -> Self {
+        ModeledClusterService {
+            kind: ModeledKind::Query {
+                model: *model,
+                dataset_bytes,
+            },
+            workers,
+            in_flight: in_flight.max(1),
+            extra_rpc_secs: 0.0,
+            stochastic: None,
+            template: Mutex::new(None),
+            sampled: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Draw per-batch service times from a log-normal around the model's
+    /// mean with coefficient of variation `cv`, seeded deterministically
+    /// (the paper's deferred "runtime variability" question).
+    pub fn stochastic(mut self, cv: f64, seed: u64) -> Self {
+        self.stochastic = Some((cv, seed));
+        self
+    }
+
+    /// Add a modeled interconnect round trip to every batch: the
+    /// injection point for [`vq_net::NetworkModel`] delays (e.g. client
+    /// node → worker node over Slingshot-11). Defaults to zero, which
+    /// keeps the paper-calibrated numbers exact.
+    pub fn with_network(
+        mut self,
+        network: &vq_net::NetworkModel,
+        client_node: u32,
+        worker_node: u32,
+        req_bytes: u64,
+        resp_bytes: u64,
+    ) -> Self {
+        self.extra_rpc_secs = network.rtt_secs(client_node, worker_node, req_bytes, resp_bytes);
+        self
+    }
+}
+
+impl ClusterService for ModeledClusterService {
+    fn prepare(&self, plan: &Plan, _mode: PipelineMode) {
+        let b = plan.batch_size;
+        let window = self.in_flight;
+        let template = match &self.kind {
+            ModeledKind::Insert(m) => {
+                let factor = m.contention_factor(self.workers);
+                CostTemplate {
+                    client_cpu: (m.cpu_secs(b)
+                        + m.asyncio_overhead * window.saturating_sub(1) as f64)
+                        / factor,
+                    service: m.rpc_secs(b, window) / factor + self.extra_rpc_secs,
+                    queued: false,
+                }
+            }
+            ModeledKind::Query {
+                model,
+                dataset_bytes,
+            } => {
+                let bytes_per_worker = dataset_bytes / self.workers.max(1) as f64;
+                CostTemplate {
+                    client_cpu: model.client_cpu_secs(b),
+                    service: model.batch_secs(b, self.workers, bytes_per_worker, window)
+                        + self.extra_rpc_secs,
+                    queued: true,
+                }
+            }
+        };
+        let mut sampled = Vec::new();
+        if let Some((cv, seed)) = self.stochastic {
+            use rand_distr::{Distribution, LogNormal};
+            // Log-normal with matching mean and CV, pre-sampled in global
+            // batch order from one seeded stream.
+            let mean_service = template.service;
+            let sigma2 = (1.0 + cv * cv).ln();
+            let mu = mean_service.ln() - sigma2 / 2.0;
+            let lognormal = LogNormal::new(mu, sigma2.sqrt()).expect("valid log-normal");
+            let mut rng = vq_core::seed_rng(seed, 0x5704A57);
+            sampled = (0..plan.total_batches())
+                .map(|_| {
+                    if cv <= 0.0 {
+                        mean_service
+                    } else {
+                        lognormal.sample(&mut rng).max(1e-9)
+                    }
+                })
+                .collect();
+        }
+        *self.template.lock() = Some(template);
+        *self.sampled.lock() = sampled;
+    }
+
+    fn open_lane(&self, _lane: u32) -> Box<dyn LaneService + '_> {
+        Box::new(ModeledLane { service: self })
+    }
+}
+
+struct ModeledLane<'a> {
+    service: &'a ModeledClusterService,
+}
+
+impl LaneService for ModeledLane<'_> {
+    fn execute(&mut self, _mode: PipelineMode, _batch: &BatchSpec) -> VqResult<BatchReply> {
+        panic!("a modeled ClusterService has no live side effects; drive it with VirtualClock")
+    }
+
+    fn modeled_cost(&mut self, _mode: PipelineMode, batch: &BatchSpec) -> Option<BatchCost> {
+        let template = (*self.service.template.lock())
+            .expect("ClusterService::prepare must run before modeled_cost");
+        let service_secs = self
+            .service
+            .sampled
+            .lock()
+            .get(batch.global_index as usize)
+            .copied()
+            .unwrap_or(template.service);
+        Some(BatchCost {
+            client_cpu: SimDuration::from_secs_f64(template.client_cpu),
+            service: SimDuration::from_secs_f64(service_secs),
+            queued: template.queued,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// WallClock: real threads, real Instants.
+// ---------------------------------------------------------------------
+
+/// Runtime executing a plan on real threads against a (usually live)
+/// service, timed with the wall clock.
+pub struct WallClock<'a> {
+    service: &'a dyn ClusterService,
+}
+
+impl<'a> WallClock<'a> {
+    /// Runtime over `service`.
+    pub fn new(service: &'a dyn ClusterService) -> Self {
+        WallClock { service }
+    }
+}
+
+impl Runtime for WallClock<'_> {
+    fn run(&mut self, plan: &Plan, window: usize, mode: PipelineMode) -> VqResult<PipelineRun> {
+        self.service.prepare(plan, mode);
+        let window = window.max(1);
+        let clock = WallSource;
+        let started = clock.stamp();
+        let total = plan.total_batches() as usize;
+        let lane_states: Vec<Mutex<WindowState>> = plan
+            .lanes()
+            .iter()
+            .map(|l| Mutex::new(WindowState::new(l.batch_count())))
+            .collect();
+        // Completion data lands in plan-order slots so slot-thread races
+        // cannot reorder user-visible results.
+        let call_slots: Mutex<Vec<Option<f64>>> = Mutex::new(vec![None; total]);
+        let result_slots: Mutex<Vec<Option<Vec<Vec<ScoredPoint>>>>> =
+            Mutex::new((0..total).map(|_| None).collect());
+        let trace: Mutex<Vec<BatchRecord>> = Mutex::new(Vec::with_capacity(total));
+        let first_err: Mutex<Option<VqError>> = Mutex::new(None);
+        let service = self.service;
+
+        std::thread::scope(|scope| {
+            for (li, lane_plan) in plan.lanes().iter().enumerate() {
+                // One thread per in-flight slot: the thread *is* the
+                // window slot, and WindowState (shared per lane) is the
+                // only issue authority.
+                for _slot in 0..window {
+                    let state = &lane_states[li];
+                    let lane_plan = *lane_plan;
+                    let call_slots = &call_slots;
+                    let result_slots = &result_slots;
+                    let trace = &trace;
+                    let first_err = &first_err;
+                    scope.spawn(move || {
+                        let mut session = service.open_lane(lane_plan.lane);
+                        loop {
+                            let batch = {
+                                let mut ws = state.lock();
+                                let Some(index) = ws.try_issue(window) else {
+                                    break;
+                                };
+                                let batch = lane_plan.batch(index);
+                                // Record under the issue lock: per-lane
+                                // trace order equals issue order.
+                                trace.lock().push(BatchRecord {
+                                    lane: batch.lane,
+                                    index_in_lane: batch.index_in_lane,
+                                    start: batch.start,
+                                    end: batch.end,
+                                });
+                                batch
+                            };
+                            let t0 = clock.stamp();
+                            match session.execute(mode, &batch) {
+                                Ok(reply) => {
+                                    let call = clock.secs_since(t0);
+                                    state.lock().complete(call);
+                                    call_slots.lock()[batch.global_index as usize] = Some(call);
+                                    if mode == PipelineMode::Query {
+                                        result_slots.lock()[batch.global_index as usize] =
+                                            Some(reply.results);
+                                    }
+                                }
+                                Err(e) => {
+                                    first_err.lock().get_or_insert(e);
+                                    break;
+                                }
+                            }
+                        }
+                    });
+                }
+            }
+        });
+
+        if let Some(e) = first_err.into_inner() {
+            return Err(e);
+        }
+        let batches: u64 = lane_states.iter().map(|s| s.lock().done()).sum();
+        let batch_call_secs: Vec<f64> = call_slots.into_inner().into_iter().flatten().collect();
+        let sum: f64 = batch_call_secs.iter().sum();
+        let results: Vec<Vec<ScoredPoint>> = result_slots
+            .into_inner()
+            .into_iter()
+            .flatten()
+            .flatten()
+            .collect();
+        Ok(PipelineRun {
+            wall_secs: clock.secs_since(started),
+            batches,
+            mean_batch_call_secs: if batches > 0 { sum / batches as f64 } else { 0.0 },
+            batch_call_secs,
+            trace: PipelineTrace {
+                records: trace.into_inner(),
+            },
+            results,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------
+// VirtualClock: the DES engine over SimTime.
+// ---------------------------------------------------------------------
+
+/// Runtime executing a plan on the discrete-event engine against a
+/// modeled service, in virtual time.
+pub struct VirtualClock<'a> {
+    service: &'a dyn ClusterService,
+}
+
+impl<'a> VirtualClock<'a> {
+    /// Runtime over `service` (must be a modeled service).
+    pub fn new(service: &'a dyn ClusterService) -> Self {
+        VirtualClock { service }
+    }
+}
+
+#[derive(Debug, Default)]
+struct VirtualRunState {
+    done: u64,
+    call_time_sum: f64,
+    call_secs: Vec<f64>,
+    trace: Vec<BatchRecord>,
+}
+
+struct VirtualLane {
+    plan: LanePlan,
+    window: usize,
+    state: RefCell<WindowState>,
+    costs: Vec<BatchCost>,
+    /// The lane's event loop: capacity 1, so CPU-bound conversion
+    /// serializes within the lane (the §3.2 asyncio mechanism).
+    loop_cpu: FifoServer,
+}
+
+/// Issue batches for one lane until its window fills or its plan runs
+/// out; re-entered from every completion. The single DES pump both
+/// upload and query simulations run through.
+fn pump(
+    engine: &mut Engine,
+    lane: &Rc<VirtualLane>,
+    run: &Rc<RefCell<VirtualRunState>>,
+    worker: &FifoServer,
+    clock: &VirtualSource,
+) {
+    loop {
+        let index = match lane.state.borrow_mut().try_issue(lane.window) {
+            Some(i) => i,
+            None => return,
+        };
+        let batch = lane.plan.batch(index);
+        run.borrow_mut().trace.push(BatchRecord {
+            lane: batch.lane,
+            index_in_lane: batch.index_in_lane,
+            start: batch.start,
+            end: batch.end,
+        });
+        let cost = lane.costs[index as usize];
+        let lane2 = lane.clone();
+        let run2 = run.clone();
+        let worker2 = worker.clone();
+        let clock2 = clock.clone();
+        lane.loop_cpu.submit(engine, cost.client_cpu, move |engine, t0| {
+            let lane3 = lane2.clone();
+            let run3 = run2.clone();
+            let worker3 = worker2.clone();
+            let clock3 = clock2.clone();
+            let complete = move |engine: &mut Engine| {
+                clock3.set(engine.now());
+                // Client-observed call time: CPU-stage completion (the
+                // submit instant) to service completion.
+                let call = clock3.secs_between(t0, engine.now());
+                lane3.state.borrow_mut().complete(call);
+                {
+                    let mut r = run3.borrow_mut();
+                    r.done += 1;
+                    r.call_time_sum += call;
+                    r.call_secs.push(call);
+                }
+                pump(engine, &lane3, &run3, &worker3, &clock3);
+            };
+            if cost.queued {
+                // The contacted worker's search path is serial: a batch
+                // saturates its cores for the whole service time, extra
+                // in-flight batches queue (§3.4).
+                worker2.submit(engine, cost.service, move |engine, _| complete(engine));
+            } else {
+                // Upload RPC: a pure delay; server-side pressure from
+                // concurrent requests is priced into the duration.
+                engine.schedule_in(cost.service, move |engine| complete(engine));
+            }
+        });
+    }
+}
+
+impl Runtime for VirtualClock<'_> {
+    fn run(&mut self, plan: &Plan, window: usize, mode: PipelineMode) -> VqResult<PipelineRun> {
+        self.service.prepare(plan, mode);
+        let window = window.max(1);
+        let mut engine = Engine::new();
+        let clock = VirtualSource::new();
+        // Shared across lanes: the serial worker queued services occupy.
+        let worker = FifoServer::new(1);
+        let run = Rc::new(RefCell::new(VirtualRunState::default()));
+        let lanes: Vec<Rc<VirtualLane>> = plan
+            .lanes()
+            .iter()
+            .map(|lp| {
+                let mut session = self.service.open_lane(lp.lane);
+                let costs: Vec<BatchCost> = (0..lp.batch_count())
+                    .map(|i| {
+                        session
+                            .modeled_cost(mode, &lp.batch(i))
+                            .expect("VirtualClock needs a modeled ClusterService")
+                    })
+                    .collect();
+                Rc::new(VirtualLane {
+                    plan: *lp,
+                    window,
+                    state: RefCell::new(WindowState::new(lp.batch_count())),
+                    costs,
+                    loop_cpu: FifoServer::new(1),
+                })
+            })
+            .collect();
+        for lane in &lanes {
+            pump(&mut engine, lane, &run, &worker, &clock);
+        }
+        let end: SimTime = engine.run_until_idle();
+        clock.set(end);
+        drop(lanes);
+        let state = Rc::try_unwrap(run)
+            .map(RefCell::into_inner)
+            .expect("idle engine holds no event closures");
+        Ok(PipelineRun {
+            wall_secs: end.as_secs_f64(),
+            batches: state.done,
+            mean_batch_call_secs: if state.done > 0 {
+                state.call_time_sum / state.done as f64
+            } else {
+                0.0
+            },
+            batch_call_secs: state.call_secs,
+            trace: PipelineTrace {
+                records: state.trace,
+            },
+            results: Vec::new(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::PipelinePolicy;
+
+    /// A wall-clock service with no cluster behind it: executes batches
+    /// instantly. Lets the thread pipeline's structure be tested without
+    /// I/O.
+    struct InstantService;
+
+    impl ClusterService for InstantService {
+        fn open_lane(&self, _lane: u32) -> Box<dyn LaneService + '_> {
+            struct L;
+            impl LaneService for L {
+                fn execute(&mut self, _m: PipelineMode, _b: &BatchSpec) -> VqResult<BatchReply> {
+                    Ok(BatchReply::default())
+                }
+                fn modeled_cost(&mut self, _m: PipelineMode, _b: &BatchSpec) -> Option<BatchCost> {
+                    None
+                }
+            }
+            Box::new(L)
+        }
+    }
+
+    #[test]
+    fn wall_and_virtual_clocks_realize_the_same_structure() {
+        let plan = Plan::contiguous(101, 16, 3);
+        let policy = PipelinePolicy::multi_process(3, 2);
+
+        let live = InstantService;
+        let wall = WallClock::new(&live)
+            .run(&plan, policy.window, PipelineMode::Upload)
+            .unwrap();
+
+        let model = InsertCostModel::default();
+        let modeled = ModeledClusterService::upload(&model, 3, policy.window);
+        let virt = VirtualClock::new(&modeled)
+            .run(&plan, policy.window, PipelineMode::Upload)
+            .unwrap();
+
+        assert_eq!(wall.batches, plan.total_batches());
+        assert_eq!(virt.batches, plan.total_batches());
+        assert!(
+            wall.trace.same_structure(&virt.trace, policy.lanes),
+            "both clocks must issue identical per-lane batch sequences"
+        );
+        // Per-lane issue order is batch order on both substrates.
+        for lane in plan.lanes() {
+            let recs = wall.trace.lane(lane.lane);
+            let idx: Vec<u64> = recs.iter().map(|r| r.index_in_lane).collect();
+            let want: Vec<u64> = (0..lane.batch_count()).collect();
+            assert_eq!(idx, want, "lane {} wall issue order", lane.lane);
+        }
+    }
+
+    #[test]
+    fn virtual_upload_matches_closed_form_single_lane() {
+        // One lane, window 1: wall time must equal batches × (cpu + rpc).
+        let model = InsertCostModel::default();
+        let plan = Plan::contiguous(1_000, 50, 1);
+        let modeled = ModeledClusterService::upload(&model, 1, 1);
+        let run = VirtualClock::new(&modeled)
+            .run(&plan, 1, PipelineMode::Upload)
+            .unwrap();
+        let per_batch = model.cpu_secs(50) + model.rpc_secs(50, 1);
+        let want = plan.total_batches() as f64 * per_batch;
+        assert_eq!(run.batches, 20);
+        assert!(
+            (run.wall_secs - want).abs() < 1e-6,
+            "virtual wall {} vs closed form {want}",
+            run.wall_secs
+        );
+        // Serial window: call time is the RPC alone.
+        assert!((run.mean_batch_call_secs - model.rpc_secs(50, 1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn network_injection_slows_modeled_batches() {
+        let model = InsertCostModel::default();
+        let plan = Plan::contiguous(1_000, 50, 1);
+        let base = ModeledClusterService::upload(&model, 1, 1);
+        let with_net = ModeledClusterService::upload(&model, 1, 1).with_network(
+            &vq_net::NetworkModel::polaris(),
+            0,
+            1,
+            512 * 1024,
+            64,
+        );
+        let t0 = VirtualClock::new(&base)
+            .run(&plan, 1, PipelineMode::Upload)
+            .unwrap()
+            .wall_secs;
+        let t1 = VirtualClock::new(&with_net)
+            .run(&plan, 1, PipelineMode::Upload)
+            .unwrap()
+            .wall_secs;
+        assert!(t1 > t0, "modeled RTT must add latency: {t1} vs {t0}");
+    }
+}

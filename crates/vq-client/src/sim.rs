@@ -1,7 +1,7 @@
 //! Discrete-event client simulations at Polaris scale.
 //!
-//! These drivers replay the paper's client logic in virtual time against
-//! the calibrated cost models:
+//! These entry points replay the paper's client logic in virtual time
+//! against the calibrated cost models:
 //!
 //! * **Asyncio executor** — one OS thread runs the event loop. CPU-bound
 //!   work (reading points, converting them to wire batch objects) runs
@@ -17,27 +17,17 @@
 //! occupies the worker's search threads for its whole service time), so
 //! extra in-flight batches queue — reproducing §3.4's growing per-batch
 //! call times at 4 and 8 in-flight requests.
+//!
+//! Since the `Runtime` unification these functions are thin shims: each
+//! one builds a [`Plan`] and a [`ModeledClusterService`] and hands them to
+//! [`VirtualClock`]. The batch/window loop itself lives once, in
+//! [`crate::runtime`], shared with the live drivers in [`crate::live`].
 
 use crate::costs::{InsertCostModel, QueryCostModel};
-use std::cell::RefCell;
-use std::rc::Rc;
-use vq_hpc::{Engine, FifoServer, SimDuration};
+use crate::pipeline::{PipelineMode, PipelinePolicy, Plan};
+use crate::runtime::{ModeledClusterService, Runtime, VirtualClock};
 
-/// Which client executor to simulate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum ExecutorKind {
-    /// Python-asyncio-like single-threaded loop with an in-flight window.
-    Asyncio {
-        /// Max outstanding RPCs.
-        in_flight: usize,
-    },
-    /// One process per worker, each an asyncio loop with the given
-    /// window.
-    MultiProcess {
-        /// In-flight window within each process.
-        in_flight: usize,
-    },
-}
+pub use crate::pipeline::ExecutorKind;
 
 /// Result of a simulated run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -80,108 +70,17 @@ pub fn simulate_upload(
     model: &InsertCostModel,
 ) -> SimOutcome {
     assert!(batch_size > 0);
-    match executor {
-        ExecutorKind::Asyncio { in_flight } => {
-            run_upload_pipeline(n_points, batch_size, in_flight, workers, model)
-        }
-        ExecutorKind::MultiProcess { in_flight } => {
-            // Independent pipelines; identical load ⇒ identical times, so
-            // simulate one lane with its share and take it as the max.
-            let share = n_points.div_ceil(workers as u64);
-            let lane = run_upload_pipeline(share, batch_size, in_flight, workers, model);
-            SimOutcome {
-                wall_secs: lane.wall_secs,
-                batches: lane.batches * workers as u64,
-                mean_batch_call_secs: lane.mean_batch_call_secs,
-            }
-        }
-    }
-}
-
-fn run_upload_pipeline(
-    n_points: u64,
-    batch_size: usize,
-    in_flight: usize,
-    workers: u32,
-    model: &InsertCostModel,
-) -> SimOutcome {
-    let in_flight = in_flight.max(1);
-    let factor = model.contention_factor(workers);
-    let total_batches = n_points.div_ceil(batch_size as u64);
-    // Per-batch service times (last batch may be ragged; the effect is
-    // < 1/batches and ignored).
-    let cpu = SimDuration::from_secs_f64(
-        (model.cpu_secs(batch_size)
-            + model.asyncio_overhead * in_flight.saturating_sub(1) as f64)
-            / factor,
-    );
-    let rpc = SimDuration::from_secs_f64(model.rpc_secs(batch_size, in_flight) / factor);
-
-    let mut engine = Engine::new();
-    let loop_cpu = FifoServer::new(1); // the event loop thread
-    let state = Rc::new(RefCell::new(PipelineState {
-        issued: 0,
-        outstanding: 0,
-        done: 0,
-        total: total_batches,
-        call_time_sum: 0.0,
-    }));
-
-    fn pump(
-        e: &mut Engine,
-        loop_cpu: &FifoServer,
-        state: &Rc<RefCell<PipelineState>>,
-        cpu: SimDuration,
-        rpc: SimDuration,
-        window: usize,
-    ) {
-        loop {
-            {
-                let mut s = state.borrow_mut();
-                if s.issued >= s.total || s.outstanding >= window as u64 {
-                    return;
-                }
-                s.issued += 1;
-                s.outstanding += 1;
-            }
-            let state2 = state.clone();
-            let loop_cpu2 = loop_cpu.clone();
-            loop_cpu.submit(e, cpu, move |e, t0| {
-                let state3 = state2.clone();
-                let loop_cpu3 = loop_cpu2.clone();
-                e.schedule_in(rpc, move |e| {
-                    {
-                        let mut s = state3.borrow_mut();
-                        s.outstanding -= 1;
-                        s.done += 1;
-                        s.call_time_sum += (e.now() - t0).as_secs_f64() + 0.0;
-                    }
-                    pump(e, &loop_cpu3, &state3, cpu, rpc, window);
-                });
-            });
-        }
-    }
-
-    pump(&mut engine, &loop_cpu, &state, cpu, rpc, in_flight);
-    let end = engine.run_until_idle();
-    let s = state.borrow();
+    let policy = PipelinePolicy::from_executor(executor, workers);
+    let plan = Plan::contiguous(n_points, batch_size, policy.lanes);
+    let service = ModeledClusterService::upload(model, workers, policy.window);
+    let run = VirtualClock::new(&service)
+        .run(&plan, policy.window, PipelineMode::Upload)
+        .expect("modeled runs are infallible");
     SimOutcome {
-        wall_secs: end.as_secs_f64(),
-        batches: s.done,
-        mean_batch_call_secs: if s.done > 0 {
-            s.call_time_sum / s.done as f64
-        } else {
-            0.0
-        },
+        wall_secs: run.wall_secs,
+        batches: run.batches,
+        mean_batch_call_secs: run.mean_batch_call_secs,
     }
-}
-
-struct PipelineState {
-    issued: u64,
-    outstanding: u64,
-    done: u64,
-    total: u64,
-    call_time_sum: f64,
 }
 
 /// Simulate running `n_queries` against a `workers`-worker cluster
@@ -196,89 +95,16 @@ pub fn simulate_query_run(
     model: &QueryCostModel,
 ) -> SimOutcome {
     assert!(batch_size > 0);
-    let in_flight = in_flight.max(1);
-    let total_batches = n_queries.div_ceil(batch_size as u64);
-    let bytes_per_worker = dataset_bytes / workers.max(1) as f64;
-    let service = SimDuration::from_secs_f64(model.batch_secs(
-        batch_size,
-        workers,
-        bytes_per_worker,
-        in_flight,
-    ));
-    // Client-side CPU per batch: building the query batch object. Small
-    // next to search time, but it is what stops c=1 from overlapping.
-    let client_cpu = SimDuration::from_secs_f64(0.5e-3 + 0.05e-3 * batch_size as f64);
-
-    let mut engine = Engine::new();
-    let loop_cpu = FifoServer::new(1);
-    // The contacted worker's search path: serial (a batch saturates the
-    // worker's cores for its service time, per §3.4's follow-up probe).
-    let worker = FifoServer::new(1);
-    let state = Rc::new(RefCell::new(PipelineState {
-        issued: 0,
-        outstanding: 0,
-        done: 0,
-        total: total_batches,
-        call_time_sum: 0.0,
-    }));
-
-    fn pump(
-        e: &mut Engine,
-        loop_cpu: &FifoServer,
-        worker: &FifoServer,
-        state: &Rc<RefCell<PipelineState>>,
-        client_cpu: SimDuration,
-        service: SimDuration,
-        window: usize,
-    ) {
-        loop {
-            {
-                let mut s = state.borrow_mut();
-                if s.issued >= s.total || s.outstanding >= window as u64 {
-                    return;
-                }
-                s.issued += 1;
-                s.outstanding += 1;
-            }
-            let state2 = state.clone();
-            let loop_cpu2 = loop_cpu.clone();
-            let worker2 = worker.clone();
-            loop_cpu.submit(e, client_cpu, move |e, t0| {
-                let state3 = state2.clone();
-                let loop_cpu3 = loop_cpu2.clone();
-                let worker3 = worker2.clone();
-                worker2.submit(e, service, move |e, _| {
-                    {
-                        let mut s = state3.borrow_mut();
-                        s.outstanding -= 1;
-                        s.done += 1;
-                        s.call_time_sum += (e.now() - t0).as_secs_f64();
-                    }
-                    pump(e, &loop_cpu3, &worker3, &state3, client_cpu, service, window);
-                });
-            });
-        }
-    }
-
-    pump(
-        &mut engine,
-        &loop_cpu,
-        &worker,
-        &state,
-        client_cpu,
-        service,
-        in_flight,
-    );
-    let end = engine.run_until_idle();
-    let s = state.borrow();
+    let policy = PipelinePolicy::asyncio(in_flight);
+    let plan = Plan::contiguous(n_queries, batch_size, policy.lanes);
+    let service = ModeledClusterService::query(model, workers, dataset_bytes, policy.window);
+    let run = VirtualClock::new(&service)
+        .run(&plan, policy.window, PipelineMode::Query)
+        .expect("modeled runs are infallible");
     SimOutcome {
-        wall_secs: end.as_secs_f64(),
-        batches: s.done,
-        mean_batch_call_secs: if s.done > 0 {
-            s.call_time_sum / s.done as f64
-        } else {
-            0.0
-        },
+        wall_secs: run.wall_secs,
+        batches: run.batches,
+        mean_batch_call_secs: run.mean_batch_call_secs,
     }
 }
 
@@ -317,106 +143,15 @@ pub fn simulate_query_run_stochastic(
     cv: f64,
     seed: u64,
 ) -> StochasticOutcome {
-    use rand_distr::{Distribution, LogNormal};
-
     assert!(batch_size > 0);
-    let in_flight = in_flight.max(1);
-    let total_batches = n_queries.div_ceil(batch_size as u64);
-    let bytes_per_worker = dataset_bytes / workers.max(1) as f64;
-    let mean_service =
-        model.batch_secs(batch_size, workers, bytes_per_worker, in_flight);
-    // Log-normal with matching mean and CV.
-    let sigma2 = (1.0 + cv * cv).ln();
-    let mu = mean_service.ln() - sigma2 / 2.0;
-    let lognormal = LogNormal::new(mu, sigma2.sqrt()).expect("valid log-normal");
-    let mut rng = vq_core::seed_rng(seed, 0x5704A57);
-    let services: Vec<SimDuration> = (0..total_batches)
-        .map(|_| {
-            if cv <= 0.0 {
-                SimDuration::from_secs_f64(mean_service)
-            } else {
-                SimDuration::from_secs_f64(lognormal.sample(&mut rng).max(1e-9))
-            }
-        })
-        .collect();
-    let client_cpu = SimDuration::from_secs_f64(0.5e-3 + 0.05e-3 * batch_size as f64);
-
-    let mut engine = Engine::new();
-    let loop_cpu = FifoServer::new(1);
-    let worker = FifoServer::new(1);
-    let sojourns: Rc<RefCell<Vec<f64>>> = Rc::new(RefCell::new(Vec::new()));
-    let state = Rc::new(RefCell::new(PipelineState {
-        issued: 0,
-        outstanding: 0,
-        done: 0,
-        total: total_batches,
-        call_time_sum: 0.0,
-    }));
-    let services = Rc::new(services);
-
-    fn pump(
-        e: &mut Engine,
-        loop_cpu: &FifoServer,
-        worker: &FifoServer,
-        state: &Rc<RefCell<PipelineState>>,
-        sojourns: &Rc<RefCell<Vec<f64>>>,
-        services: &Rc<Vec<SimDuration>>,
-        client_cpu: SimDuration,
-        window: usize,
-    ) {
-        loop {
-            let batch_idx = {
-                let mut s = state.borrow_mut();
-                if s.issued >= s.total || s.outstanding >= window as u64 {
-                    return;
-                }
-                let idx = s.issued;
-                s.issued += 1;
-                s.outstanding += 1;
-                idx
-            };
-            let service = services[batch_idx as usize];
-            let state2 = state.clone();
-            let sojourns2 = sojourns.clone();
-            let loop_cpu2 = loop_cpu.clone();
-            let worker2 = worker.clone();
-            let services2 = services.clone();
-            loop_cpu.submit(e, client_cpu, move |e, t0| {
-                let state3 = state2.clone();
-                let sojourns3 = sojourns2.clone();
-                let loop_cpu3 = loop_cpu2.clone();
-                let worker3 = worker2.clone();
-                let services3 = services2.clone();
-                worker2.submit(e, service, move |e, _| {
-                    {
-                        let mut s = state3.borrow_mut();
-                        s.outstanding -= 1;
-                        s.done += 1;
-                    }
-                    sojourns3.borrow_mut().push((e.now() - t0).as_secs_f64());
-                    pump(
-                        e, &loop_cpu3, &worker3, &state3, &sojourns3, &services3, client_cpu,
-                        window,
-                    );
-                });
-            });
-        }
-    }
-
-    pump(
-        &mut engine,
-        &loop_cpu,
-        &worker,
-        &state,
-        &sojourns,
-        &services,
-        client_cpu,
-        in_flight,
-    );
-    let end = engine.run_until_idle();
-    let mut sojourns = Rc::try_unwrap(sojourns)
-        .map(RefCell::into_inner)
-        .unwrap_or_default();
+    let policy = PipelinePolicy::asyncio(in_flight);
+    let plan = Plan::contiguous(n_queries, batch_size, policy.lanes);
+    let service = ModeledClusterService::query(model, workers, dataset_bytes, policy.window)
+        .stochastic(cv, seed);
+    let run = VirtualClock::new(&service)
+        .run(&plan, policy.window, PipelineMode::Query)
+        .expect("modeled runs are infallible");
+    let mut sojourns = run.batch_call_secs;
     sojourns.sort_by(f64::total_cmp);
     let pct = |p: f64| -> f64 {
         if sojourns.is_empty() {
@@ -431,7 +166,7 @@ pub fn simulate_query_run_stochastic(
         sojourns.iter().sum::<f64>() / sojourns.len() as f64
     };
     StochasticOutcome {
-        wall_secs: end.as_secs_f64(),
+        wall_secs: run.wall_secs,
         mean_secs: mean,
         p50_secs: pct(50.0),
         p95_secs: pct(95.0),

@@ -77,6 +77,98 @@ pub fn best(points: &[SweepPoint]) -> Option<SweepPoint> {
         .min_by(|a, b| a.secs.total_cmp(&b.secs))
 }
 
+/// One point of a two-dimensional sweep grid.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct SweepConfig {
+    /// Points (or queries) per request.
+    pub batch_size: usize,
+    /// Outstanding requests per client.
+    pub in_flight: usize,
+}
+
+/// Doubling grid from `lo` to `hi`, endpoints always included.
+///
+/// The paper sweeps powers of two (batch 1…256, concurrency 1…16); this
+/// generalizes that to arbitrary inclusive bounds while keeping the
+/// geometric spacing: every step at most doubles, and the sequence is
+/// strictly increasing.
+pub fn geometric_grid(lo: usize, hi: usize) -> Vec<usize> {
+    assert!(lo > 0 && lo <= hi, "need 0 < lo <= hi");
+    let mut grid = Vec::new();
+    let mut v = lo;
+    while v < hi {
+        grid.push(v);
+        v = v.saturating_mul(2);
+    }
+    grid.push(hi);
+    grid
+}
+
+/// The full (batch size × in-flight) grid a tuning pass covers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SweepGrid {
+    /// Batch sizes to sweep.
+    pub batch_sizes: Vec<usize>,
+    /// In-flight windows to sweep.
+    pub in_flights: Vec<usize>,
+}
+
+impl SweepGrid {
+    /// The paper's insert tuning grid (§3.2): batch 1–256, window 1–16.
+    pub fn insert_default() -> Self {
+        SweepGrid {
+            batch_sizes: geometric_grid(1, 256),
+            in_flights: geometric_grid(1, 16),
+        }
+    }
+
+    /// The paper's query tuning grid (§3.4): batch 1–128, window 1–8.
+    pub fn query_default() -> Self {
+        SweepGrid {
+            batch_sizes: geometric_grid(1, 128),
+            in_flights: geometric_grid(1, 8),
+        }
+    }
+
+    /// Every configuration in the grid, deduplicated and in
+    /// lexicographic `(batch_size, in_flight)` order — a stable work
+    /// list regardless of how the axis vectors were specified.
+    pub fn configs(&self) -> Vec<SweepConfig> {
+        let mut out: Vec<SweepConfig> = self
+            .batch_sizes
+            .iter()
+            .flat_map(|&b| {
+                self.in_flights.iter().map(move |&c| SweepConfig {
+                    batch_size: b,
+                    in_flight: c,
+                })
+            })
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// A deterministic subset of at most `max` configurations, chosen by
+    /// `seed` but reported in grid order (so resuming a budgeted sweep
+    /// visits the same configs in the same order every time).
+    pub fn sample(&self, max: usize, seed: u64) -> Vec<SweepConfig> {
+        use rand::seq::SliceRandom;
+        let all = self.configs();
+        if all.len() <= max {
+            return all;
+        }
+        let mut rng = vq_core::seed_rng(seed, 0x5EE9_6A1D);
+        let mut indices: Vec<usize> = (0..all.len()).collect();
+        indices.shuffle(&mut rng);
+        indices.truncate(max);
+        indices.sort_unstable();
+        indices.into_iter().map(|i| all[i]).collect()
+    }
+}
+
 fn run(target: SweepTarget<'_>, batch: usize, in_flight: usize) -> f64 {
     match target {
         SweepTarget::Insert { points, model } => simulate_upload(

@@ -1,0 +1,131 @@
+//! Cross-validation of the two runtimes: the live (`WallClock`) and the
+//! modeled (`VirtualClock`) executors must realize *identical request
+//! structure* from the same plan — same batch counts, same batch
+//! boundaries, same per-lane ordering. Times may differ (one is a laptop,
+//! the other is a calibrated Polaris model); structure may not. This is
+//! the property that lets the simulator's Figure 2/4/Table 3 claims stand
+//! in for the live driver's behavior.
+
+use std::sync::Arc;
+use vq_client::pipeline::{BatchRecord, PipelineMode, PipelinePolicy, Plan};
+use vq_client::runtime::{
+    LiveClusterService, ModeledClusterService, Runtime, VirtualClock, WallClock,
+};
+use vq_client::{InsertCostModel, QueryCostModel};
+use vq_cluster::{Cluster, ClusterConfig};
+use vq_collection::CollectionConfig;
+use vq_core::Distance;
+use vq_workload::{CorpusSpec, DatasetSpec, EmbeddingModel};
+
+fn dataset(n: u64) -> DatasetSpec {
+    let corpus = CorpusSpec::small(10_000);
+    let model = EmbeddingModel::small(&corpus, 16);
+    DatasetSpec::with_vectors(corpus, model, n)
+}
+
+fn cluster(workers: u32) -> Arc<Cluster> {
+    let collection = CollectionConfig::new(16, Distance::Cosine).max_segment_points(256);
+    Cluster::start(ClusterConfig::new(workers), collection).unwrap()
+}
+
+/// Batch boundaries of one lane, in trace order.
+fn lane_boundaries(records: &[BatchRecord]) -> Vec<(u64, u64, u64)> {
+    records
+        .iter()
+        .map(|r| (r.index_in_lane, r.start, r.end))
+        .collect()
+}
+
+#[test]
+fn upload_structure_is_clock_invariant() {
+    // ≤2k vectors, ragged on purpose: 611 does not divide by 2 or 32.
+    let d = dataset(611);
+    let policy = PipelinePolicy::multi_process(2, 2);
+    let plan = Plan::contiguous(d.len(), 32, policy.lanes);
+
+    let cluster = cluster(2);
+    let live = LiveClusterService::upload(&cluster, &d);
+    let wall = WallClock::new(&live)
+        .run(&plan, policy.window, PipelineMode::Upload)
+        .unwrap();
+
+    let model = InsertCostModel::default();
+    let modeled = ModeledClusterService::upload(&model, 2, policy.window);
+    let virt = VirtualClock::new(&modeled)
+        .run(&plan, policy.window, PipelineMode::Upload)
+        .unwrap();
+    cluster.shutdown();
+
+    // Identical batch counts.
+    assert_eq!(wall.batches, virt.batches);
+    assert_eq!(wall.batches, plan.total_batches());
+    assert_eq!(wall.trace.len(), virt.trace.len());
+
+    // Identical per-lane structure (cross-lane interleaving is timing and
+    // may differ; within a lane nothing may).
+    assert!(
+        wall.trace.same_structure(&virt.trace, policy.lanes),
+        "wall and virtual runtimes issued different batch sequences"
+    );
+
+    // Identical batch boundaries, and request ordering = plan ordering.
+    for lane in plan.lanes() {
+        let w = lane_boundaries(&wall.trace.lane(lane.lane));
+        let v = lane_boundaries(&virt.trace.lane(lane.lane));
+        assert_eq!(w, v, "lane {} boundaries", lane.lane);
+        let expect: Vec<(u64, u64, u64)> = (0..lane.batch_count())
+            .map(|i| {
+                let b = lane.batch(i);
+                (b.index_in_lane, b.start, b.end)
+            })
+            .collect();
+        assert_eq!(w, expect, "lane {} must issue batches in plan order", lane.lane);
+    }
+}
+
+#[test]
+fn query_structure_is_clock_invariant() {
+    let d = dataset(400);
+    let cluster = cluster(2);
+    let queries: Vec<Vec<f32>> = (0..77).map(|i| d.point(i).vector).collect();
+
+    // Load the cluster first so searches return real results.
+    let live_up = LiveClusterService::upload(&cluster, &d);
+    let up_plan = Plan::contiguous(d.len(), 64, 2);
+    WallClock::new(&live_up)
+        .run(&up_plan, 1, PipelineMode::Upload)
+        .unwrap();
+
+    let policy = PipelinePolicy::asyncio(2);
+    let plan = Plan::contiguous(queries.len() as u64, 8, policy.lanes);
+
+    let live = LiveClusterService::query(&cluster, &queries, 3, None);
+    let wall = WallClock::new(&live)
+        .run(&plan, policy.window, PipelineMode::Query)
+        .unwrap();
+
+    let model = QueryCostModel::default();
+    let modeled = ModeledClusterService::query(&model, 2, 1e9, policy.window);
+    let virt = VirtualClock::new(&modeled)
+        .run(&plan, policy.window, PipelineMode::Query)
+        .unwrap();
+    cluster.shutdown();
+
+    assert_eq!(wall.batches, virt.batches);
+    assert_eq!(wall.batches, 10); // ceil(77/8)
+    assert!(wall.trace.same_structure(&virt.trace, policy.lanes));
+    let w = lane_boundaries(&wall.trace.lane(0));
+    let v = lane_boundaries(&virt.trace.lane(0));
+    assert_eq!(w, v);
+    // Boundaries tile the query list contiguously.
+    assert_eq!(w.first().unwrap().1, 0);
+    assert_eq!(w.last().unwrap().2, 77);
+    for pair in w.windows(2) {
+        assert_eq!(pair[0].2, pair[1].1, "contiguous boundaries");
+    }
+    // Results come back in query order despite the 2-deep window.
+    assert_eq!(wall.results.len(), 77);
+    for (i, hits) in wall.results.iter().enumerate() {
+        assert_eq!(hits[0].id, i as u64, "self-query {i}");
+    }
+}

@@ -3,7 +3,10 @@
 //! calibrated ones.
 
 use proptest::prelude::*;
-use vq_client::{simulate_query_run, simulate_upload, ExecutorKind, InsertCostModel, QueryCostModel};
+use vq_client::tuning::geometric_grid;
+use vq_client::{
+    simulate_query_run, simulate_upload, ExecutorKind, InsertCostModel, QueryCostModel, SweepGrid,
+};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
@@ -92,4 +95,80 @@ proptest! {
         // Sojourn grows with queue depth (the §3.4 saturation probe).
         prop_assert!(loaded.mean_batch_call_secs > base.mean_batch_call_secs);
     }
+
+    // ---- tuning sweep grids --------------------------------------------
+
+    #[test]
+    fn geometric_grid_is_monotone_and_covers_endpoints(
+        lo in 1usize..512,
+        span in 0usize..4096
+    ) {
+        let hi = lo + span;
+        let grid = geometric_grid(lo, hi);
+        prop_assert_eq!(*grid.first().unwrap(), lo);
+        prop_assert_eq!(*grid.last().unwrap(), hi);
+        for pair in grid.windows(2) {
+            // Strictly increasing, and geometric: no step more than
+            // doubles, so the grid has no coverage holes.
+            prop_assert!(pair[1] > pair[0]);
+            prop_assert!(pair[1] <= pair[0] * 2 || pair[1] == hi);
+        }
+    }
+
+    #[test]
+    fn grid_configs_are_unique_and_sorted(
+        mut batches in prop::collection::vec(1usize..300, 1..12),
+        mut windows in prop::collection::vec(1usize..20, 1..8)
+    ) {
+        // Axis vectors may arrive unsorted and with duplicates.
+        batches.push(batches[0]);
+        windows.push(windows[0]);
+        let grid = SweepGrid { batch_sizes: batches.clone(), in_flights: windows.clone() };
+        let configs = grid.configs();
+        for pair in configs.windows(2) {
+            prop_assert!(pair[0] < pair[1], "sorted with no duplicates");
+        }
+        let mut b: Vec<usize> = batches.clone();
+        b.sort_unstable();
+        b.dedup();
+        let mut w: Vec<usize> = windows.clone();
+        w.sort_unstable();
+        w.dedup();
+        prop_assert_eq!(configs.len(), b.len() * w.len(), "full cross product");
+    }
+
+    #[test]
+    fn grid_sample_is_deterministic_ordered_subset(
+        max in 1usize..40,
+        seed in any::<u64>()
+    ) {
+        let grid = SweepGrid::insert_default();
+        let all = grid.configs();
+        let a = grid.sample(max, seed);
+        let b = grid.sample(max, seed);
+        prop_assert_eq!(&a, &b, "same seed, same sample");
+        prop_assert_eq!(a.len(), max.min(all.len()));
+        // Order-preserving subset of the full grid.
+        let mut cursor = all.iter();
+        for cfg in &a {
+            prop_assert!(cursor.any(|c| c == cfg), "sample must follow grid order");
+        }
+    }
+}
+
+#[test]
+fn paper_grids_match_the_sweep_methodology() {
+    let insert = SweepGrid::insert_default();
+    assert_eq!(insert.batch_sizes, vec![1, 2, 4, 8, 16, 32, 64, 128, 256]);
+    assert_eq!(insert.in_flights, vec![1, 2, 4, 8, 16]);
+    let query = SweepGrid::query_default();
+    assert_eq!(query.batch_sizes, vec![1, 2, 4, 8, 16, 32, 64, 128]);
+    assert_eq!(query.in_flights, vec![1, 2, 4, 8]);
+    // The seed must actually matter: among many seeds, at least one
+    // picks a different subset (9 × 5 choose 10 leaves plenty of room).
+    let base = insert.sample(10, 0);
+    assert!(
+        (1..50u64).any(|s| insert.sample(10, s) != base),
+        "sampling ignores its seed"
+    );
 }

@@ -27,6 +27,6 @@ pub mod placement;
 pub mod worker;
 
 pub use cluster::{Cluster, ClusterClient, ClusterConfig};
-pub use messages::{ClusterMsg, Request, Response};
+pub use messages::{ClusterMsg, Request, Response, WorkerInfo};
 pub use placement::{Placement, ShardId, WorkerId};
 pub use worker::Worker;

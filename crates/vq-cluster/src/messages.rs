@@ -161,6 +161,16 @@ pub struct WorkerInfo {
     /// `SearchBatch` arrivals that found the coordinator pool's queue
     /// full and fell back to a one-off thread.
     pub coordinator_saturations: u64,
+    /// Cumulative wall time spent inside the upsert write path, ns.
+    pub upsert_nanos: u64,
+    /// Cumulative wall time spent searching local shards, ns (both
+    /// client-issued and coordinator-issued local searches).
+    pub search_nanos: u64,
+    /// Cumulative wall time spent coordinating broadcast–reduce fan-outs
+    /// (scatter + own search + gather + merge), ns. Compared against
+    /// `search_nanos` this separates "doing the search" from "waiting on
+    /// peers" — the per-phase split the §3.4 saturation analysis needs.
+    pub coordination_nanos: u64,
 }
 
 /// What actually moves through the transport.

@@ -69,6 +69,12 @@ struct Counters {
     queries_served: std::sync::atomic::AtomicU64,
     coordinations: std::sync::atomic::AtomicU64,
     coordinator_saturations: std::sync::atomic::AtomicU64,
+    // Per-phase wall time, nanoseconds (surfaced through WorkerInfo so
+    // executor sweeps can read cluster-side cost, not just client-side
+    // latency).
+    upsert_nanos: std::sync::atomic::AtomicU64,
+    search_nanos: std::sync::atomic::AtomicU64,
+    coordination_nanos: std::sync::atomic::AtomicU64,
 }
 
 /// A running worker (serve thread + state handle).
@@ -251,14 +257,22 @@ fn handle_local(
             use std::sync::atomic::Ordering::Relaxed;
             let n = points.len() as u64;
             match state.shards.read().get(&shard) {
-                Some(c) => match c.upsert_batch(points) {
-                    Ok(()) => {
-                        state.counters.upsert_batches.fetch_add(1, Relaxed);
-                        state.counters.points_written.fetch_add(n, Relaxed);
-                        Response::Ok
+                Some(c) => {
+                    let t0 = std::time::Instant::now();
+                    let result = c.upsert_batch(points);
+                    state
+                        .counters
+                        .upsert_nanos
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                    match result {
+                        Ok(()) => {
+                            state.counters.upsert_batches.fetch_add(1, Relaxed);
+                            state.counters.points_written.fetch_add(n, Relaxed);
+                            Response::Ok
+                        }
+                        Err(e) => Response::Error(e),
                     }
-                    Err(e) => Response::Error(e),
-                },
+                }
                 None => Response::Error(VqError::ShardNotFound(shard)),
             }
         }
@@ -280,7 +294,13 @@ fn handle_local(
                 .counters
                 .queries_served
                 .fetch_add(queries.len() as u64, Relaxed);
-            match local_search(state, &queries) {
+            let t0 = std::time::Instant::now();
+            let result = local_search(state, &queries);
+            state
+                .counters
+                .search_nanos
+                .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+            match result {
                 Ok(partials) => Response::Partials(partials),
                 Err(e) => Response::Error(e),
             }
@@ -363,6 +383,9 @@ fn handle_local(
                 queries_served: state.counters.queries_served.load(Relaxed),
                 coordinations: state.counters.coordinations.load(Relaxed),
                 coordinator_saturations: state.counters.coordinator_saturations.load(Relaxed),
+                upsert_nanos: state.counters.upsert_nanos.load(Relaxed),
+                search_nanos: state.counters.search_nanos.load(Relaxed),
+                coordination_nanos: state.counters.coordination_nanos.load(Relaxed),
             })
         }
         Request::TransferShard { shard, to } => {
@@ -452,6 +475,7 @@ fn coordinate_search(
     tag: u64,
     queries: Arc<[SearchRequest]>,
 ) {
+    let coord_t0 = std::time::Instant::now();
     let peers: Vec<WorkerId> = state
         .placement
         .read()
@@ -489,7 +513,12 @@ fn coordinate_search(
         .counters
         .queries_served
         .fetch_add(queries.len() as u64, std::sync::atomic::Ordering::Relaxed);
+    let search_t0 = std::time::Instant::now();
     let local = local_search(state, &queries);
+    state.counters.search_nanos.fetch_add(
+        search_t0.elapsed().as_nanos() as u64,
+        std::sync::atomic::Ordering::Relaxed,
+    );
 
     // Gather.
     let mut partials_per_query: Vec<Vec<Vec<ScoredPoint>>> =
@@ -558,4 +587,8 @@ fn coordinate_search(
     let bytes = msg.approx_wire_bytes();
     let _ = eph.send_sized(reply_to, msg, bytes);
     state.switchboard.deregister(eph_id);
+    state.counters.coordination_nanos.fetch_add(
+        coord_t0.elapsed().as_nanos() as u64,
+        std::sync::atomic::Ordering::Relaxed,
+    );
 }

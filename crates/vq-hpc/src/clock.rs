@@ -1,0 +1,133 @@
+//! The clock seam between wall-clock and virtual-time runtimes.
+//!
+//! The unified client pipeline (`vq-client::runtime`) is written once and
+//! executed against two substrates: real OS threads timed with
+//! [`std::time::Instant`], and the DES [`Engine`](crate::Engine) advancing
+//! [`SimTime`]. The [`Clock`] trait is the seam: a runtime stamps the
+//! start of each batch call and asks its clock for the elapsed seconds,
+//! without knowing which kind of time is passing underneath.
+//!
+//! * [`WallSource`] — real monotonic time.
+//! * [`VirtualSource`] — a shared cell mirroring an engine's current
+//!   virtual time; the owning pump refreshes it as events fire, so code
+//!   holding only the clock (not the engine) can still read "now".
+
+use crate::time::SimTime;
+use std::cell::Cell;
+use std::rc::Rc;
+use std::time::Instant;
+
+/// A monotonic time source with opaque instants.
+pub trait Clock {
+    /// An opaque instant; only this clock can interpret it.
+    type Stamp: Copy;
+
+    /// The current instant.
+    fn stamp(&self) -> Self::Stamp;
+
+    /// Seconds elapsed from `start` to `end` (clamped at zero).
+    fn secs_between(&self, start: Self::Stamp, end: Self::Stamp) -> f64;
+
+    /// Seconds elapsed from `start` to now.
+    fn secs_since(&self, start: Self::Stamp) -> f64 {
+        self.secs_between(start, self.stamp())
+    }
+}
+
+/// Real monotonic time ([`Instant`]-backed).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallSource;
+
+impl Clock for WallSource {
+    type Stamp = Instant;
+
+    fn stamp(&self) -> Instant {
+        Instant::now()
+    }
+
+    fn secs_between(&self, start: Instant, end: Instant) -> f64 {
+        end.saturating_duration_since(start).as_secs_f64()
+    }
+}
+
+/// Virtual time mirrored out of a DES engine.
+///
+/// The engine itself is only reachable inside event callbacks (`&mut
+/// Engine`); a `VirtualSource` is the read-only view the rest of a
+/// virtual runtime holds. The pump driving the engine calls [`set`]
+/// (self::VirtualSource::set) whenever it observes `engine.now()`.
+#[derive(Debug, Clone)]
+pub struct VirtualSource {
+    now: Rc<Cell<SimTime>>,
+}
+
+impl VirtualSource {
+    /// A source starting at virtual time zero.
+    pub fn new() -> Self {
+        VirtualSource {
+            now: Rc::new(Cell::new(SimTime::ZERO)),
+        }
+    }
+
+    /// Mirror the engine's current time into the source.
+    pub fn set(&self, now: SimTime) {
+        self.now.set(now);
+    }
+}
+
+impl Default for VirtualSource {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for VirtualSource {
+    type Stamp = SimTime;
+
+    fn stamp(&self) -> SimTime {
+        self.now.get()
+    }
+
+    fn secs_between(&self, start: SimTime, end: SimTime) -> f64 {
+        if end <= start {
+            0.0
+        } else {
+            (end - start).as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let clock = WallSource;
+        let a = clock.stamp();
+        let b = clock.stamp();
+        assert!(clock.secs_between(a, b) >= 0.0);
+        assert!(clock.secs_since(a) >= 0.0);
+    }
+
+    #[test]
+    fn virtual_clock_reads_what_the_pump_set() {
+        let clock = VirtualSource::new();
+        let t0 = clock.stamp();
+        assert_eq!(t0, SimTime::ZERO);
+        clock.set(SimTime::ZERO + SimDuration::from_secs(5));
+        assert_eq!(clock.secs_since(t0), 5.0);
+        // Clones share the cell — the seam a pump and its bookkeeping use.
+        let view = clock.clone();
+        clock.set(SimTime::ZERO + SimDuration::from_secs(9));
+        assert_eq!(view.secs_since(t0), 9.0);
+    }
+
+    #[test]
+    fn virtual_elapsed_clamps_at_zero() {
+        let clock = VirtualSource::new();
+        let later = SimTime::ZERO + SimDuration::from_secs(3);
+        assert_eq!(clock.secs_between(later, SimTime::ZERO), 0.0);
+    }
+}

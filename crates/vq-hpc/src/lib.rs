@@ -7,6 +7,8 @@
 //!
 //! * [`time`] — nanosecond-resolution virtual time ([`SimTime`],
 //!   [`SimDuration`]).
+//! * [`clock`] — the wall/virtual clock seam ([`Clock`]) the unified
+//!   client runtimes stamp batch calls through.
 //! * [`engine`] — a deterministic discrete-event engine: schedule closures
 //!   at virtual times, run to quiescence. Regenerating an "8.22 hour"
 //!   table cell costs milliseconds of wall time.
@@ -25,6 +27,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod clock;
 pub mod cpu;
 pub mod engine;
 pub mod gpu;
@@ -33,6 +36,7 @@ pub mod platform;
 pub mod server;
 pub mod time;
 
+pub use clock::{Clock, VirtualSource, WallSource};
 pub use cpu::{MalleableCpu, TaskHandle};
 pub use engine::{Engine, EventId};
 pub use gpu::{GpuBatchOutcome, GpuDevice, GpuSpec};

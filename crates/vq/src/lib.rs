@@ -65,8 +65,12 @@ pub use vq_workload;
 
 /// The commonly-used surface of the whole stack.
 pub mod prelude {
-    pub use vq_client::{LiveQueryRunner, LiveUploader};
-    pub use vq_cluster::{Cluster, ClusterClient, ClusterConfig, Placement};
+    pub use vq_client::{
+        ClusterService, ExecutorKind, LiveClusterService, LiveQueryRunner, LiveUploader,
+        ModeledClusterService, PipelineMode, PipelinePolicy, Plan, Runtime, VirtualClock,
+        WallClock,
+    };
+    pub use vq_cluster::{Cluster, ClusterClient, ClusterConfig, Placement, WorkerInfo};
     pub use vq_collection::{
         CollectionConfig, CollectionStats, IndexingPolicy, LocalCollection, RecommendRequest,
         SearchRequest,

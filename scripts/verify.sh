@@ -4,6 +4,25 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Fail fast with a useful message when cargo cannot reach its registry
+# (common on air-gapped build hosts and misconfigured mirrors). Without
+# this preflight the first cargo invocation hangs for minutes and then
+# dies mid-lint with an opaque DNS/timeout error.
+echo "==> registry preflight (cargo metadata)"
+if ! timeout 60 cargo metadata --format-version 1 >/dev/null 2>/tmp/vq-verify-preflight.log; then
+    echo "error: cargo cannot resolve the workspace dependency graph." >&2
+    echo "       This usually means the crates.io registry (or the mirror" >&2
+    echo "       configured in ~/.cargo/config.toml) is unreachable from" >&2
+    echo "       this machine." >&2
+    echo "       Options:" >&2
+    echo "         * restore network access to the registry, or" >&2
+    echo "         * use a vendored build — see 'Offline / vendored builds'" >&2
+    echo "           in README.md (cargo vendor + a [source] replacement)." >&2
+    echo "       cargo said:" >&2
+    sed 's/^/       | /' /tmp/vq-verify-preflight.log >&2 || true
+    exit 1
+fi
+
 echo "==> cargo fmt --all --check"
 cargo fmt --all --check
 
