@@ -1,0 +1,127 @@
+//! Ingest-path benchmarks: per-point reference vs columnar block, layer
+//! by layer and end to end. The headline case — a 10k-point contiguous
+//! batch at dim 1024 into a WAL-backed collection — is recorded in
+//! `BENCH_INGEST.json` and smoke-gated in CI (`repro ingest --check`).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use vq_client::convert_block;
+use vq_collection::{CollectionConfig, LocalCollection};
+use vq_core::{Distance, Point, PointBlock};
+use vq_storage::{PagedArena, SegmentStore, Wal, WalRecord};
+
+fn points(n: u64, dim: usize) -> Vec<Point> {
+    (0..n)
+        .map(|i| Point::new(i, (0..dim).map(|d| ((i as usize + d) % 97) as f32 * 0.25).collect()))
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    // The conversion stage alone: sequential from_points vs the
+    // rayon-parallel client stage.
+    let mut group = c.benchmark_group("ingest/convert");
+    for &(n, dim) in &[(1_000u64, 1024usize), (10_000, 1024)] {
+        let pts = points(n, dim);
+        group.throughput(Throughput::Bytes(n * dim as u64 * 4));
+        group.bench_with_input(BenchmarkId::new("sequential", n), &pts, |b, pts| {
+            b.iter(|| PointBlock::from_points(pts).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("parallel", n), &pts, |b, pts| {
+            b.iter(|| convert_block(pts).unwrap())
+        });
+    }
+    group.finish();
+
+    // Arena: per-point pushes vs one bulk slab copy.
+    let mut group = c.benchmark_group("ingest/arena_10k_dim1024");
+    group.sample_size(20);
+    let pts = points(10_000, 1024);
+    let block = convert_block(&pts).unwrap();
+    group.bench_function("per_point_push", |b| {
+        b.iter(|| {
+            let mut arena = PagedArena::new(1024);
+            for p in &pts {
+                arena.push(&p.vector).unwrap();
+            }
+            arena
+        })
+    });
+    group.bench_function("extend_from_slab", |b| {
+        let slab = block.as_contiguous().unwrap();
+        b.iter(|| {
+            let mut arena = PagedArena::new(1024);
+            arena.extend_from_slab(slab).unwrap();
+            arena
+        })
+    });
+    group.finish();
+
+    // WAL: n per-point records (n syncs) vs one block record (1 sync).
+    let mut group = c.benchmark_group("ingest/wal_10k_dim1024");
+    group.sample_size(10);
+    group.bench_function("per_point_records", |b| {
+        b.iter(|| {
+            let mut wal = Wal::in_memory();
+            for p in &pts {
+                wal.append(&WalRecord::Upsert(p.clone())).unwrap();
+            }
+            wal
+        })
+    });
+    group.bench_function("block_record", |b| {
+        b.iter(|| {
+            let mut wal = Wal::in_memory();
+            wal.append(&WalRecord::UpsertBlock(block.clone())).unwrap();
+            wal
+        })
+    });
+    group.finish();
+
+    // Segment store: the full server-side write path for one segment.
+    let mut group = c.benchmark_group("ingest/segment_10k_dim1024");
+    group.sample_size(10);
+    group.bench_function("per_point_upsert", |b| {
+        b.iter(|| {
+            let mut store = SegmentStore::new(1024);
+            for p in &pts {
+                store.upsert(p.clone()).unwrap();
+            }
+            store
+        })
+    });
+    group.bench_function("upsert_block", |b| {
+        b.iter(|| {
+            let mut store = SegmentStore::new(1024);
+            store.upsert_block(&block).unwrap();
+            store
+        })
+    });
+    group.finish();
+
+    // End to end: WAL-backed collection, the BENCH_INGEST.json headline.
+    let mut group = c.benchmark_group("ingest/collection_wal_10k_dim1024");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(10_000));
+    let config = CollectionConfig::new(1024, Distance::Euclid).max_segment_points(16_384);
+    group.bench_function("per_point", |b| {
+        b.iter(|| {
+            let coll = LocalCollection::with_wal(config, Wal::in_memory());
+            coll.upsert_batch(pts.clone()).unwrap();
+            coll
+        })
+    });
+    group.bench_function("block", |b| {
+        b.iter(|| {
+            let coll = LocalCollection::with_wal(config, Wal::in_memory());
+            coll.upsert_block(&block).unwrap();
+            coll
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_ingest
+}
+criterion_main!(benches);

@@ -81,7 +81,7 @@ fn main() {
     let calib = Calibration::default();
     let known = [
         "table1", "table2", "fig2", "table3", "fig3", "fig4", "fig5", "ablation",
-        "variability", "pipeline", "live", "all",
+        "variability", "pipeline", "live", "ingest", "all",
     ];
     if !known.contains(&which) {
         eprintln!("unknown experiment `{which}`; one of: {}", known.join(", "));
@@ -123,6 +123,11 @@ fn main() {
     // never part of `all`.
     if which == "live" {
         print_live(json);
+    }
+    // Ingest-path comparison: opt-in only (real WAL files on this
+    // machine); `--check` makes it the CI ingest-bench-smoke contract.
+    if which == "ingest" {
+        print_ingest(json, check, scale);
     }
 }
 
@@ -894,6 +899,20 @@ fn print_fig5(calib: &Calibration, json: bool) {
 }
 
 #[derive(Serialize)]
+struct IngestStageOut {
+    /// `per_point` or `block`.
+    path: String,
+    upload_secs: f64,
+    batches: u64,
+    /// Client CPU converting one batch for the wire, mean ms — the live
+    /// counterpart of the paper's 45.64 ms/32-batch profiling line.
+    conversion_ms_per_batch: f64,
+    /// Time inside the upsert RPC per batch, mean ms — the paper's
+    /// 14.86 ms counterpart.
+    rpc_ms_per_batch: f64,
+}
+
+#[derive(Serialize)]
 struct LiveOut {
     workers: u32,
     points: u64,
@@ -903,9 +922,23 @@ struct LiveOut {
     query_secs: f64,
     mean_batch_latency_ms: f64,
     p95_batch_latency_ms: f64,
+    /// Client-side conversion/RPC stage breakdown for both ingest paths
+    /// (per-point reference, then columnar block).
+    ingest: Vec<IngestStageOut>,
     /// Cluster-side telemetry, one row per worker: request counters,
     /// coordinator saturations, and the per-phase nanosecond timers.
     worker_info: Vec<vq_cluster::WorkerInfo>,
+}
+
+fn stage_out(path: &str, up: &vq_client::UploadOutcome) -> IngestStageOut {
+    let batches = up.batches.max(1) as f64;
+    IngestStageOut {
+        path: path.to_string(),
+        upload_secs: up.elapsed.as_secs_f64(),
+        batches: up.batches,
+        conversion_ms_per_batch: up.conversion.as_secs_f64() * 1e3 / batches,
+        rpc_ms_per_batch: up.rpc.as_secs_f64() * 1e3 / batches,
+    }
 }
 
 /// Live cluster telemetry run (opt-in; real worker threads on this
@@ -937,6 +970,20 @@ fn print_live(json: bool) {
     let info = client.worker_info().unwrap();
     cluster.shutdown();
 
+    // Same dataset through the columnar block path, on a fresh cluster,
+    // for the conversion/RPC stage comparison.
+    let block_cluster = Cluster::start(
+        ClusterConfig::new(workers),
+        CollectionConfig::new(32, Distance::Cosine).max_segment_points(512),
+    )
+    .unwrap();
+    let up_block = LiveUploader::new(32, workers)
+        .columnar()
+        .upload(&block_cluster, &dataset)
+        .unwrap();
+    block_cluster.shutdown();
+    let ingest = vec![stage_out("per_point", &up), stage_out("block", &up_block)];
+
     println!(
         "upload: {} points in {} ({} batches); queries: {} in {}",
         up.points,
@@ -945,6 +992,17 @@ fn print_live(json: bool) {
         queries.len(),
         human_secs(q.elapsed.as_secs_f64()),
     );
+    let mut stage_table = TextTable::new(["Path", "Upload s", "Conversion ms/batch", "RPC ms/batch"]);
+    for s in &ingest {
+        stage_table.row([
+            s.path.clone(),
+            format!("{:.3}", s.upload_secs),
+            format!("{:.3}", s.conversion_ms_per_batch),
+            format!("{:.3}", s.rpc_ms_per_batch),
+        ]);
+    }
+    print!("{}", stage_table.render());
+    println!("(the paper's Python client profiles 45.64 ms conversion / 14.86 ms RPC per 32-batch; the columnar path shrinks the conversion share)");
     let mut t = TextTable::new([
         "Worker", "Upserts", "Searches", "Coordinations", "Saturations", "Upsert ms",
         "Search ms", "Coord ms",
@@ -981,7 +1039,126 @@ fn print_live(json: bool) {
             query_secs: q.elapsed.as_secs_f64(),
             mean_batch_latency_ms: mean_ms,
             p95_batch_latency_ms: p95_ms,
+            ingest,
             worker_info: info,
         },
     );
+}
+
+#[derive(Serialize)]
+struct IngestOut {
+    path: String,
+    points: u64,
+    dim: usize,
+    secs: f64,
+    points_per_sec: f64,
+    /// WAL durability syncs: `points` on the per-point path, one per
+    /// block on the columnar path (group commit).
+    wal_syncs: u64,
+}
+
+/// Per-point vs columnar-block ingest into a WAL-backed collection — the
+/// contiguous-slab case where the block path must never lose. `--check`
+/// enforces exactly that (the CI `ingest-bench-smoke` contract);
+/// `--scale` shrinks the point count for smoke runs. Criterion-grade
+/// numbers live in `benches/ingest.rs` / `BENCH_INGEST.json`; this is
+/// the assertable end-to-end version.
+fn print_ingest(json: bool, check: bool, scale: f64) {
+    use std::time::Instant;
+    use vq_collection::{CollectionConfig, LocalCollection};
+    use vq_core::Distance;
+    use vq_storage::{FileBackend, Wal};
+    use vq_workload::{DatasetSpec, EmbeddingModel};
+
+    section("Ingest paths: per-point reference vs columnar block (WAL group commit)");
+    let dim = 256usize;
+    let n = scaled(10_000, scale, 256);
+    let corpus = CorpusSpec::small(n);
+    let model = EmbeddingModel::small(&corpus, dim);
+    let dataset = DatasetSpec::with_vectors(corpus, model, n);
+    let points = dataset.points_in(0..n);
+    let block = vq_client::convert_block(&points).expect("dataset batches are never ragged");
+    assert!(block.as_contiguous().is_some(), "contiguous-slab case");
+
+    let tmp = std::env::temp_dir().join(format!("vq-repro-ingest-{}", std::process::id()));
+    std::fs::create_dir_all(&tmp).expect("create WAL dir");
+    let config = CollectionConfig::new(dim, Distance::Euclid).max_segment_points(4096);
+
+    let wal = Wal::with_backend(Box::new(
+        FileBackend::open(tmp.join("per_point.wal")).expect("open per-point WAL"),
+    ));
+    let per_point = LocalCollection::with_wal(config, wal);
+    let t0 = Instant::now();
+    per_point.upsert_batch(points.clone()).expect("per-point ingest");
+    let per_point_secs = t0.elapsed().as_secs_f64();
+    let per_point_syncs = per_point.wal_synced_batches().unwrap_or(0);
+
+    let wal = Wal::with_backend(Box::new(
+        FileBackend::open(tmp.join("block.wal")).expect("open block WAL"),
+    ));
+    let columnar = LocalCollection::with_wal(config, wal);
+    let t0 = Instant::now();
+    columnar.upsert_block(&block).expect("block ingest");
+    let block_secs = t0.elapsed().as_secs_f64();
+    let block_syncs = columnar.wal_synced_batches().unwrap_or(0);
+
+    // The optimization must not change state: spot-check equivalence
+    // before reporting numbers for it.
+    assert_eq!(per_point.len(), columnar.len(), "both paths ingested everything");
+    let probe = (n / 2).min(n.saturating_sub(1));
+    assert_eq!(
+        per_point.get(probe).map(|p| p.vector),
+        columnar.get(probe).map(|p| p.vector),
+        "mid-dataset point must be bit-identical on both paths"
+    );
+    let _ = std::fs::remove_dir_all(&tmp);
+
+    let out = vec![
+        IngestOut {
+            path: "per_point".into(),
+            points: n,
+            dim,
+            secs: per_point_secs,
+            points_per_sec: n as f64 / per_point_secs.max(1e-12),
+            wal_syncs: per_point_syncs,
+        },
+        IngestOut {
+            path: "block".into(),
+            points: n,
+            dim,
+            secs: block_secs,
+            points_per_sec: n as f64 / block_secs.max(1e-12),
+            wal_syncs: block_syncs,
+        },
+    ];
+    let mut t = TextTable::new(["Path", "Points", "Seconds", "Points/s", "WAL syncs"]);
+    for row in &out {
+        t.row([
+            row.path.clone(),
+            row.points.to_string(),
+            format!("{:.4}", row.secs),
+            format!("{:.0}", row.points_per_sec),
+            row.wal_syncs.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "block vs per-point: {:.2}x throughput, {} vs {} durability syncs",
+        out[1].points_per_sec / out[0].points_per_sec.max(1e-12),
+        out[1].wal_syncs,
+        out[0].wal_syncs,
+    );
+    emit(json, "ingest", &out);
+
+    if check {
+        enforce_shapes(
+            "ingest",
+            &[
+                ("block path never slower than per-point on a contiguous slab",
+                 block_secs <= per_point_secs),
+                ("block path group-commits one sync per block", block_syncs == 1),
+                ("per-point path syncs once per point", per_point_syncs == n),
+            ],
+        );
+    }
 }

@@ -4,9 +4,11 @@
 //!
 //! * [`pipeline`] — the **single home of batching logic**: lane plans,
 //!   in-flight window accounting, executor policy
-//!   ([`ExecutorKind`] → lanes × window), and run reports. Both the live
-//!   and the simulated drivers execute these plans; neither carries its
-//!   own batch loop.
+//!   ([`ExecutorKind`] → lanes × window), run reports, and the columnar
+//!   conversion stage ([`pipeline::convert_block`] — rayon-parallel
+//!   [`vq_core::PointBlock`] assembly, selected per run with
+//!   [`pipeline::IngestPath`]). Both the live and the simulated drivers
+//!   execute these plans; neither carries its own batch loop.
 //! * [`runtime`] — the two executors: [`runtime::WallClock`] (real
 //!   threads against a live [`vq_cluster::Cluster`] via
 //!   [`runtime::LiveClusterService`]) and [`runtime::VirtualClock`] (the
@@ -36,9 +38,11 @@ pub mod runtime;
 pub mod sim;
 pub mod tuning;
 
-pub use costs::{InsertCostModel, QueryCostModel};
+pub use costs::{BlockConvertCost, InsertCostModel, QueryCostModel};
 pub use live::{LiveUploader, LiveQueryRunner, UploadOutcome};
-pub use pipeline::{ExecutorKind, PipelineMode, PipelinePolicy, PipelineRun, Plan};
+pub use pipeline::{
+    convert_block, ExecutorKind, IngestPath, PipelineMode, PipelinePolicy, PipelineRun, Plan,
+};
 pub use runtime::{
     ClusterService, LiveClusterService, ModeledClusterService, Runtime, VirtualClock, WallClock,
 };

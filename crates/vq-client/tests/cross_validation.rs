@@ -84,6 +84,56 @@ fn upload_structure_is_clock_invariant() {
 }
 
 #[test]
+fn block_upload_structure_is_clock_invariant() {
+    // The columnar path adds a rayon-parallel conversion stage on the
+    // live side and swaps the CPU price on the modeled side. Neither may
+    // move a batch boundary: the wall clock driving real PointBlocks and
+    // the virtual clock pricing BlockConvert must realize the identical
+    // per-lane request structure (and the identical structure the
+    // per-point path realizes — blocks change the wire shape, not the
+    // plan).
+    let d = dataset(611);
+    let policy = PipelinePolicy::multi_process(2, 2);
+    let plan = Plan::contiguous(d.len(), 32, policy.lanes);
+
+    let cluster = cluster(2);
+    let live = LiveClusterService::upload_blocks(&cluster, &d);
+    let wall = WallClock::new(&live)
+        .run(&plan, policy.window, PipelineMode::Upload)
+        .unwrap();
+    let (conversion, rpc) = live.ingest_stage_secs();
+    let live_points = cluster.client().stats().unwrap().live_points;
+    cluster.shutdown();
+
+    let model = InsertCostModel::default();
+    let modeled = ModeledClusterService::upload_blocks(&model, 2, policy.window);
+    let virt = VirtualClock::new(&modeled)
+        .run(&plan, policy.window, PipelineMode::Upload)
+        .unwrap();
+
+    assert_eq!(live_points, 611, "block upload must deliver every point");
+    assert!(conversion > 0.0 && rpc > 0.0, "stage breakdown populated");
+    assert_eq!(wall.batches, virt.batches);
+    assert_eq!(wall.batches, plan.total_batches());
+    assert!(
+        wall.trace.same_structure(&virt.trace, policy.lanes),
+        "wall and virtual block runtimes issued different batch sequences"
+    );
+    for lane in plan.lanes() {
+        let w = lane_boundaries(&wall.trace.lane(lane.lane));
+        let v = lane_boundaries(&virt.trace.lane(lane.lane));
+        assert_eq!(w, v, "lane {} boundaries", lane.lane);
+        let expect: Vec<(u64, u64, u64)> = (0..lane.batch_count())
+            .map(|i| {
+                let b = lane.batch(i);
+                (b.index_in_lane, b.start, b.end)
+            })
+            .collect();
+        assert_eq!(w, expect, "lane {} must issue batches in plan order", lane.lane);
+    }
+}
+
+#[test]
 fn query_structure_is_clock_invariant() {
     let d = dataset(400);
     let cluster = cluster(2);

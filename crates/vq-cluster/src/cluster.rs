@@ -17,7 +17,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 use vq_collection::{CollectionConfig, CollectionStats, SearchRequest};
-use vq_core::{Point, PointId, ScoredPoint, VqError, VqResult};
+use vq_core::{Point, PointBlock, PointId, ScoredPoint, VqError, VqResult};
 use vq_net::{Endpoint, NetworkModel, Switchboard};
 
 /// How a cluster is laid out.
@@ -290,6 +290,47 @@ impl ClusterClient {
                 other => {
                     return Err(VqError::Internal(format!(
                         "unexpected response to upsert: {other:?}"
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Upsert a columnar block, routed to shard owners (all replicas).
+    ///
+    /// Routing carves per-shard views out of the shared block instead of
+    /// deep-copying points: a shard that owns every row (the single-shard
+    /// case) receives the block `Arc` itself, preserving the contiguous
+    /// slab for the storage fast path; scattered membership gets a gather
+    /// view whose only allocation is the `u32` row list. Replicas bump
+    /// refcounts — the vector slab is never cloned client-side.
+    pub fn upsert_block(&mut self, block: &Arc<PointBlock>) -> VqResult<()> {
+        // Group view rows by (worker, shard), preserving row order.
+        let mut grouped: HashMap<(WorkerId, ShardId), Vec<u32>> = HashMap::new();
+        {
+            let placement = self.cluster.placement.read();
+            for row in 0..block.len() {
+                let shard = placement.shard_of(block.id(row));
+                for owner in placement.owners_of(shard)? {
+                    grouped.entry((*owner, shard)).or_default().push(row as u32);
+                }
+            }
+        }
+        for ((worker, shard), rows) in grouped {
+            // Rows are collected in ascending order, so a full-length
+            // group is exactly the whole block.
+            let view = if rows.len() == block.len() {
+                Arc::clone(block)
+            } else {
+                Arc::new(block.select(&rows))
+            };
+            match self.request(worker, Request::UpsertBlock { shard, block: view })? {
+                Response::Ok => {}
+                Response::Error(e) => return Err(e),
+                other => {
+                    return Err(VqError::Internal(format!(
+                        "unexpected response to block upsert: {other:?}"
                     )))
                 }
             }
@@ -674,6 +715,69 @@ mod tests {
         let ids: Vec<PointId> = hits.iter().map(|h| h.id).collect();
         assert_eq!(ids, vec![42, 43, 41]);
         assert_eq!(client.stats().unwrap().live_points, 100);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn block_upsert_matches_point_upsert_state() {
+        let points = line_points(120);
+        let block = Arc::new(PointBlock::from_points(&points).unwrap());
+
+        let via_points = Cluster::start(ClusterConfig::new(4), small_collection()).unwrap();
+        let mut pc = via_points.client();
+        pc.upsert_batch(points).unwrap();
+
+        let via_block = Cluster::start(ClusterConfig::new(4), small_collection()).unwrap();
+        let mut bc = via_block.client();
+        bc.upsert_block(&block).unwrap();
+
+        assert_eq!(bc.stats().unwrap().live_points, 120);
+        for probe in [0usize, 33, 77, 119] {
+            let q = SearchRequest::new(vec![probe as f32, 0.0, 0.0, 0.0], 3);
+            let a = pc.search(q.clone()).unwrap();
+            let b = bc.search(q).unwrap();
+            assert_eq!(a, b, "probe {probe}");
+        }
+        // Per-worker write accounting ticks for block ingest too.
+        let infos = bc.worker_info().unwrap();
+        let written: u64 = infos.iter().map(|i| i.points_written).sum();
+        assert_eq!(written, 120);
+        via_points.shutdown();
+        via_block.shutdown();
+    }
+
+    #[test]
+    fn replicated_block_upsert_reaches_all_replicas() {
+        let cluster =
+            Cluster::start(ClusterConfig::new(3).replication(2), small_collection()).unwrap();
+        let mut client = cluster.client();
+        let block = Arc::new(PointBlock::from_points(&line_points(60)).unwrap());
+        client.upsert_block(&block).unwrap();
+        // Each point stored twice (both replicas), search dedupes.
+        assert_eq!(client.stats().unwrap().live_points, 120);
+        let hits = client
+            .search(SearchRequest::new(vec![30.0, 0.0, 0.0, 0.0], 5))
+            .unwrap();
+        assert_eq!(hits[0].id, 30);
+        client.delete(30).unwrap();
+        assert_eq!(client.get(30).unwrap(), None);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn single_worker_block_keeps_contiguous_slab() {
+        // One worker, one shard: routing must pass the whole block through
+        // (slab fast path), not a gather view.
+        let cluster = Cluster::start(ClusterConfig::new(1), small_collection()).unwrap();
+        let mut client = cluster.client();
+        let block = Arc::new(PointBlock::from_points(&line_points(40)).unwrap());
+        assert!(block.as_contiguous().is_some());
+        client.upsert_block(&block).unwrap();
+        assert_eq!(client.stats().unwrap().live_points, 40);
+        assert_eq!(
+            client.get(17).unwrap().unwrap().vector,
+            vec![17.0, 0.0, 0.0, 0.0]
+        );
         cluster.shutdown();
     }
 

@@ -8,7 +8,7 @@
 use crate::placement::ShardId;
 use std::sync::Arc;
 use vq_collection::{CollectionStats, SearchRequest};
-use vq_core::{Point, PointId, ScoredPoint, VqError};
+use vq_core::{Point, PointBlock, PointId, ScoredPoint, VqError};
 use vq_storage::SegmentSnapshot;
 
 /// A search carried over the wire (SearchRequest minus the non-Send parts
@@ -24,6 +24,18 @@ pub enum Request {
         shard: ShardId,
         /// Points to write.
         points: Vec<Point>,
+    },
+    /// Insert/replace a columnar block into one shard this worker owns.
+    ///
+    /// The block travels behind an `Arc`: shard routing on the client
+    /// carves per-shard views out of one converted batch and every
+    /// replica send bumps a refcount — no vector data is deep-copied
+    /// anywhere between client conversion and the worker's arena.
+    UpsertBlock {
+        /// Target shard.
+        shard: ShardId,
+        /// Columnar rows to write (a view of the client's batch block).
+        block: Arc<PointBlock>,
     },
     /// Delete a point from a shard.
     Delete {
@@ -207,6 +219,7 @@ impl ClusterMsg {
         match self {
             ClusterMsg::Request { body, .. } => match body {
                 Request::UpsertBatch { points, .. } => 32 + points_bytes(points),
+                Request::UpsertBlock { block, .. } => 32 + block.approx_bytes() as u64,
                 Request::SearchBatch { queries } | Request::LocalSearchBatch { queries } => {
                     32 + queries.iter().map(|q| 4 * q.vector.len() as u64 + 32).sum::<u64>()
                 }
@@ -255,6 +268,28 @@ mod tests {
         };
         assert!(big.approx_wire_bytes() > 8 * 4 * 2560);
         assert!(small.approx_wire_bytes() < 100);
+    }
+
+    #[test]
+    fn block_wire_size_matches_point_batch() {
+        let points = vec![Point::new(1, vec![0.0; 256]); 8];
+        let as_points = ClusterMsg::Request {
+            reply_to: 0,
+            tag: 0,
+            body: Request::UpsertBatch {
+                shard: 0,
+                points: points.clone(),
+            },
+        };
+        let as_block = ClusterMsg::Request {
+            reply_to: 0,
+            tag: 0,
+            body: Request::UpsertBlock {
+                shard: 0,
+                block: Arc::new(PointBlock::from_points(&points).unwrap()),
+            },
+        };
+        assert_eq!(as_block.approx_wire_bytes(), as_points.approx_wire_bytes());
     }
 
     #[test]

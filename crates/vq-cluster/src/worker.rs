@@ -187,6 +187,13 @@ fn serve_requests(state: &Arc<WorkerState>, endpoint: &Endpoint<ClusterMsg>) {
             }
         };
         let shutdown = matches!(body, Request::Shutdown);
+        if shutdown {
+            // Unhook from the switchboard BEFORE acking: the moment the
+            // client sees the Ok it may issue a search, and a coordinator
+            // that can still reach this endpoint would scatter into a
+            // queue nobody will ever drain (a 60s gather timeout).
+            state.switchboard.deregister(state.id);
+        }
         match body {
             Request::SearchBatch { queries } => {
                 // Hand off to the coordinator pool; keep serving. The
@@ -236,7 +243,6 @@ fn serve_requests(state: &Arc<WorkerState>, endpoint: &Endpoint<ClusterMsg>) {
             }
         }
         if shutdown {
-            state.switchboard.deregister(state.id);
             return;
         }
     }
@@ -260,6 +266,29 @@ fn handle_local(
                 Some(c) => {
                     let t0 = std::time::Instant::now();
                     let result = c.upsert_batch(points);
+                    state
+                        .counters
+                        .upsert_nanos
+                        .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                    match result {
+                        Ok(()) => {
+                            state.counters.upsert_batches.fetch_add(1, Relaxed);
+                            state.counters.points_written.fetch_add(n, Relaxed);
+                            Response::Ok
+                        }
+                        Err(e) => Response::Error(e),
+                    }
+                }
+                None => Response::Error(VqError::ShardNotFound(shard)),
+            }
+        }
+        Request::UpsertBlock { shard, block } => {
+            use std::sync::atomic::Ordering::Relaxed;
+            let n = block.len() as u64;
+            match state.shards.read().get(&shard) {
+                Some(c) => {
+                    let t0 = std::time::Instant::now();
+                    let result = c.upsert_block(&block);
                     state
                         .counters
                         .upsert_nanos

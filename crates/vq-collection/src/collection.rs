@@ -14,7 +14,7 @@ use crate::SearchRequest;
 use parking_lot::RwLock;
 use rayon::prelude::*;
 use std::collections::HashMap;
-use vq_core::{point::merge_top_k, Point, PointId, ScoredPoint, VqError, VqResult};
+use vq_core::{point::merge_top_k, Point, PointBlock, PointId, ScoredPoint, VqError, VqResult};
 use vq_storage::{Wal, WalRecord};
 
 struct Inner {
@@ -74,6 +74,7 @@ impl LocalCollection {
         for record in records {
             match record {
                 WalRecord::Upsert(p) => c.apply_upsert(p)?,
+                WalRecord::UpsertBlock(b) => c.apply_block(&b)?,
                 WalRecord::Delete(id) => c.apply_delete(id)?,
                 WalRecord::SealSegment { .. } => c.seal_active(),
                 WalRecord::IndexBuilt { segment_seq } => {
@@ -100,6 +101,14 @@ impl LocalCollection {
     /// Collection configuration.
     pub fn config(&self) -> &CollectionConfig {
         &self.config
+    }
+
+    /// Durability syncs performed by the journal so far (`None` without a
+    /// WAL). One per record: per-point ingest pays one per point, block
+    /// ingest one per block — the group-commit ratio `repro ingest`
+    /// reports.
+    pub fn wal_synced_batches(&self) -> Option<u64> {
+        self.wal.as_ref().map(|w| w.lock().synced_batches())
     }
 
     /// Insert or replace a point.
@@ -133,6 +142,89 @@ impl LocalCollection {
         let mut inner = self.inner.write();
         for p in points {
             Self::upsert_locked(&self.config, &mut inner, p)?;
+        }
+        Ok(())
+    }
+
+    /// Insert or replace a whole columnar block: one WAL record (group
+    /// commit — a single durability sync), one write-lock acquisition, and
+    /// page-granular arena copies instead of per-point pushes.
+    ///
+    /// The resulting collection state — segment boundaries, tombstones,
+    /// routing, vector bits — is identical to
+    /// `upsert_batch(block.to_points())`; the per-point path remains the
+    /// reference implementation and the property tests pin the equivalence.
+    pub fn upsert_block(&self, block: &PointBlock) -> VqResult<()> {
+        if block.is_empty() {
+            return Ok(());
+        }
+        if block.dim() != self.config.dim {
+            return Err(VqError::DimensionMismatch {
+                expected: self.config.dim,
+                got: block.dim(),
+            });
+        }
+        self.journal(|| WalRecord::UpsertBlock(block.clone()))?;
+        self.apply_block(block)
+    }
+
+    fn apply_block(&self, block: &PointBlock) -> VqResult<()> {
+        let mut inner = self.inner.write();
+        Self::upsert_block_locked(&self.config, &mut inner, block)
+    }
+
+    /// The locked half of the block ingest path. Splits the block at
+    /// segment-roll boundaries so the segment layout matches the
+    /// per-point path exactly, tombstones cross-segment previous copies,
+    /// bulk-copies each chunk's slab, and normalizes in place afterwards
+    /// for metrics that normalize on ingest (the block itself is shared
+    /// and immutable).
+    fn upsert_block_locked(
+        config: &CollectionConfig,
+        inner: &mut Inner,
+        block: &PointBlock,
+    ) -> VqResult<()> {
+        let mut row = 0;
+        while row < block.len() {
+            // Roll the active segment if full — same predicate and timing
+            // as `upsert_locked`, so both paths produce identical rolls.
+            let active_idx = {
+                let active = inner.segments.last().expect("always one segment");
+                if active.store().total_offsets() >= config.max_segment_points
+                    || active.is_sealed()
+                {
+                    let seq = inner.next_seq;
+                    inner.next_seq += 1;
+                    inner.segments.last_mut().expect("nonempty").seal();
+                    inner.segments.push(Segment::new(seq, config));
+                }
+                inner.segments.len() - 1
+            };
+            let capacity = config
+                .max_segment_points
+                .saturating_sub(inner.segments[active_idx].store().total_offsets())
+                .max(1);
+            let take = capacity.min(block.len() - row);
+            let chunk = block.slice(row..row + take);
+            // Tombstone previous copies living in other segments. Routing
+            // is pre-announced to the active segment so an id repeated
+            // within the chunk is only cross-tombstoned once (the active
+            // segment's own bind handles in-segment replacement).
+            for i in 0..chunk.len() {
+                let id = chunk.id(i);
+                if let Some(&seg_idx) = inner.routing.get(&id) {
+                    if seg_idx != active_idx {
+                        inner.segments[seg_idx].store_mut().delete(id)?;
+                    }
+                }
+                inner.routing.insert(id, active_idx);
+            }
+            let store = inner.segments[active_idx].store_mut();
+            let first = store.upsert_block(&chunk)?;
+            if config.metric.normalizes_on_ingest() {
+                store.normalize_range(first, chunk.len())?;
+            }
+            row += take;
         }
         Ok(())
     }
@@ -751,6 +843,122 @@ mod tests {
         // Remaining points still searchable.
         let hits = c.search(&SearchRequest::new(vec![8.0, 0.0], 2)).unwrap();
         assert_eq!(hits[0].id, 8);
+    }
+
+    fn payload_points(n: usize, offset: u64) -> Vec<Point> {
+        (0..n as u64)
+            .map(|i| {
+                Point::with_payload(
+                    offset + i,
+                    vec![(offset + i) as f32, 1.0],
+                    Payload::from_pairs([("n", (offset + i) as i64)]),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn upsert_block_matches_upsert_batch_across_rolls() {
+        // 25 points over max_segment_points = 10 forces two mid-block
+        // rolls; block 2 re-upserts ids that landed in sealed segments.
+        let mut points = payload_points(25, 0);
+        points.extend(payload_points(8, 3)); // ids 3..11 again
+        let via_batch = LocalCollection::new(small_config());
+        via_batch.upsert_batch(points.clone()).unwrap();
+        let via_block = LocalCollection::new(small_config());
+        via_block
+            .upsert_block(&PointBlock::from_points(&points).unwrap())
+            .unwrap();
+
+        let a = via_batch.export_segments();
+        let b = via_block.export_segments();
+        assert_eq!(a.len(), b.len(), "segment boundaries must match");
+        for (sa, sb) in a.iter().zip(&b) {
+            assert_eq!(sa.vectors, sb.vectors);
+            assert_eq!(sa.ids, sb.ids);
+            assert_eq!(sa.payloads, sb.payloads);
+            assert_eq!(sa.sealed, sb.sealed);
+        }
+        let qa = via_batch.search(&SearchRequest::new(vec![7.2, 1.0], 5)).unwrap();
+        let qb = via_block.search(&SearchRequest::new(vec![7.2, 1.0], 5)).unwrap();
+        assert_eq!(qa, qb);
+    }
+
+    #[test]
+    fn upsert_block_cosine_is_bit_identical_to_batch() {
+        let config = CollectionConfig::new(2, Distance::Cosine).max_segment_points(7);
+        let points: Vec<Point> = (0..20u64)
+            .map(|i| Point::new(i, vec![i as f32 + 0.5, -(i as f32) * 3.0]))
+            .collect();
+        let via_batch = LocalCollection::new(config);
+        via_batch.upsert_batch(points.clone()).unwrap();
+        let via_block = LocalCollection::new(config);
+        via_block
+            .upsert_block(&PointBlock::from_points(&points).unwrap())
+            .unwrap();
+        for (sa, sb) in via_batch
+            .export_segments()
+            .iter()
+            .zip(&via_block.export_segments())
+        {
+            // Bit-level equality: normalize-then-copy (per point) must
+            // equal copy-then-normalize (block path).
+            assert_eq!(sa.vectors, sb.vectors);
+        }
+    }
+
+    #[test]
+    fn upsert_block_validates_dim_and_tolerates_empty() {
+        let c = LocalCollection::new(small_config());
+        let bad = PointBlock::from_points(&[Point::new(1, vec![0.0; 3])]).unwrap();
+        assert!(matches!(
+            c.upsert_block(&bad),
+            Err(VqError::DimensionMismatch { expected: 2, got: 3 })
+        ));
+        c.upsert_block(&PointBlock::from_points(&[]).unwrap()).unwrap();
+        assert_eq!(c.len(), 0);
+    }
+
+    #[test]
+    fn block_wal_recovery_reproduces_state() {
+        let config = small_config();
+        let c = LocalCollection::with_wal(config, Wal::in_memory());
+        let block = PointBlock::from_points(&payload_points(15, 0)).unwrap();
+        c.upsert_block(&block).unwrap();
+        c.delete(4).unwrap();
+        c.upsert_block(&PointBlock::from_points(&payload_points(3, 7)).unwrap())
+            .unwrap();
+        let records = c.wal.as_ref().unwrap().lock().replay().unwrap();
+        let mut wal2 = Wal::in_memory();
+        for r in &records {
+            wal2.append(r).unwrap();
+        }
+        let r = LocalCollection::recover(config, wal2).unwrap();
+        assert_eq!(r.len(), c.len());
+        assert_eq!(r.get(4), None);
+        let a = c.export_segments();
+        let b = r.export_segments();
+        assert_eq!(a.len(), b.len());
+        for (sa, sb) in a.iter().zip(&b) {
+            assert_eq!(sa.vectors, sb.vectors);
+            assert_eq!(sa.ids, sb.ids);
+        }
+    }
+
+    #[test]
+    fn block_ingest_group_commits_one_sync_per_block() {
+        let c = LocalCollection::with_wal(small_config(), Wal::in_memory());
+        // Per-point reference: a 12-point batch costs 12 syncs.
+        c.upsert_batch(payload_points(12, 0)).unwrap();
+        assert_eq!(c.wal.as_ref().unwrap().lock().synced_batches(), 12);
+        // Block path: three blocks cost exactly three more syncs — the
+        // sync count tracks blocks, not points.
+        for b in 0..3u64 {
+            let block = PointBlock::from_points(&payload_points(12, 100 * (b + 1))).unwrap();
+            c.upsert_block(&block).unwrap();
+        }
+        assert_eq!(c.wal.as_ref().unwrap().lock().synced_batches(), 15);
+        assert_eq!(c.len(), 48);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod block;
 pub mod distance;
 pub mod error;
 pub mod payload;
@@ -30,6 +31,7 @@ pub mod size;
 pub mod topk;
 pub mod vector;
 
+pub use block::PointBlock;
 pub use distance::{Distance, ScoreKind};
 pub use error::{VqError, VqResult};
 pub use payload::{Filter, Payload, PayloadValue};

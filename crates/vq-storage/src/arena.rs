@@ -87,6 +87,70 @@ impl PagedArena {
         Ok(offset)
     }
 
+    /// Bulk-append whole vectors from one contiguous row-major `slab`
+    /// (`rows × dim` floats), copying page-granular runs instead of one
+    /// vector at a time. This is the arena half of the zero-copy block
+    /// ingest path: a [`vq_core::PointBlock`]'s shared slab lands here in
+    /// at most `⌈rows / page_vectors⌉ + 1` `memcpy`s. Returns the offset
+    /// of the first appended vector.
+    ///
+    /// The resulting arena state is identical to pushing each row with
+    /// [`Self::push`] in order.
+    pub fn extend_from_slab(&mut self, slab: &[f32]) -> VqResult<u32> {
+        if slab.len() % self.dim != 0 {
+            return Err(VqError::Internal(format!(
+                "slab length {} is not a multiple of dim {}",
+                slab.len(),
+                self.dim
+            )));
+        }
+        let rows = slab.len() / self.dim;
+        let first = self.len as u32;
+        let mut copied = 0usize;
+        while copied < rows {
+            let slot = self.len % self.page_vectors;
+            if slot == 0 && rows - copied >= self.page_vectors {
+                // The slab covers this whole page: materialize it straight
+                // from the slab run instead of zero-filling then
+                // overwriting. On reused allocator memory this skips a
+                // full-page memset; the resulting bytes are identical
+                // either way — every slot is overwritten.
+                let run = &slab[copied * self.dim..(copied + self.page_vectors) * self.dim];
+                self.pages.push(run.to_vec().into_boxed_slice());
+                self.len += self.page_vectors;
+                copied += self.page_vectors;
+                continue;
+            }
+            if slot == 0 {
+                self.pages
+                    .push(vec![0.0f32; self.page_vectors * self.dim].into_boxed_slice());
+            }
+            let take = (self.page_vectors - slot).min(rows - copied);
+            let page = self.pages.last_mut().expect("just ensured");
+            page[slot * self.dim..(slot + take) * self.dim]
+                .copy_from_slice(&slab[copied * self.dim..(copied + take) * self.dim]);
+            self.len += take;
+            copied += take;
+        }
+        Ok(first)
+    }
+
+    /// Mutably borrow the vector at `offset` (in-place fix-ups on the
+    /// unsealed write path, e.g. post-copy normalization for cosine
+    /// collections).
+    pub fn vector_mut(&mut self, offset: u32) -> VqResult<&mut [f32]> {
+        let offset = offset as usize;
+        if offset >= self.len {
+            return Err(VqError::Internal(format!(
+                "vector_mut past end: {offset} >= {}",
+                self.len
+            )));
+        }
+        let page = offset / self.page_vectors;
+        let slot = offset % self.page_vectors;
+        Ok(&mut self.pages[page][slot * self.dim..(slot + 1) * self.dim])
+    }
+
     /// Borrow the vector at `offset`.
     ///
     /// # Panics
@@ -322,6 +386,53 @@ mod tests {
         }
         assert_eq!(VectorSource::contiguous_block(&a, 1), a.page_block(1));
         assert_eq!(VectorSource::contiguous_block(&a, 2), a.page_block(2));
+    }
+
+    #[test]
+    fn extend_from_slab_matches_per_push() {
+        // Start mid-page, cross two page boundaries, end mid-page.
+        let slab: Vec<f32> = (0..9 * 2).map(|x| x as f32).collect();
+        let mut bulk = PagedArena::with_page_vectors(2, 4);
+        let mut reference = PagedArena::with_page_vectors(2, 4);
+        bulk.push(&[100.0, 101.0]).unwrap();
+        reference.push(&[100.0, 101.0]).unwrap();
+        let first = bulk.extend_from_slab(&slab).unwrap();
+        assert_eq!(first, 1);
+        for row in slab.chunks_exact(2) {
+            reference.push(row).unwrap();
+        }
+        assert_eq!(bulk.len(), reference.len());
+        assert_eq!(bulk.page_count(), reference.page_count());
+        for o in 0..bulk.len() as u32 {
+            assert_eq!(bulk.get(o), reference.get(o));
+        }
+    }
+
+    #[test]
+    fn extend_from_slab_on_empty_and_boundary() {
+        let mut a = PagedArena::with_page_vectors(3, 2);
+        assert_eq!(a.extend_from_slab(&[]).unwrap(), 0);
+        assert_eq!(a.len(), 0);
+        // Exactly one page.
+        let one_page: Vec<f32> = (0..6).map(|x| x as f32).collect();
+        assert_eq!(a.extend_from_slab(&one_page).unwrap(), 0);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.page_count(), 1);
+        // Appending again starts a fresh page.
+        assert_eq!(a.extend_from_slab(&one_page).unwrap(), 2);
+        assert_eq!(a.page_count(), 2);
+        assert_eq!(a.get(3), &[3.0, 4.0, 5.0]);
+        // Ragged slab rejected.
+        assert!(a.extend_from_slab(&[0.0; 4]).is_err());
+    }
+
+    #[test]
+    fn vector_mut_edits_in_place() {
+        let mut a = PagedArena::with_page_vectors(2, 2);
+        a.push(&[3.0, 4.0]).unwrap();
+        a.vector_mut(0).unwrap()[1] = 9.0;
+        assert_eq!(a.get(0), &[3.0, 9.0]);
+        assert!(a.vector_mut(1).is_err());
     }
 
     #[test]

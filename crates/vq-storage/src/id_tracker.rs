@@ -81,6 +81,23 @@ impl IdTracker {
         }
     }
 
+    /// Bulk-bind a block of ids to the next `ids.len()` dense offsets, in
+    /// order, reserving both columns up front (one growth decision per
+    /// block instead of per point). Returns the first bound offset.
+    ///
+    /// Upsert semantics — tombstoning a previous offset, version bumps,
+    /// duplicate ids *within* the block — are exactly those of calling
+    /// [`Self::bind`] once per id in order.
+    pub fn bind_block(&mut self, ids: &[PointId]) -> VqResult<u32> {
+        let first = self.reverse.len() as u32;
+        self.reverse.reserve(ids.len());
+        self.forward.reserve(ids.len());
+        for (i, &id) in ids.iter().enumerate() {
+            self.bind(id, first + i as u32)?;
+        }
+        Ok(first)
+    }
+
     /// Current offset of a live id.
     pub fn offset_of(&self, id: PointId) -> Option<u32> {
         let &(offset, _) = self.forward.get(&id)?;
@@ -197,6 +214,26 @@ mod tests {
         assert!(t.is_live(1));
         assert_eq!(t.live_count(), 1);
         assert_eq!(t.version_of(7), Some(2));
+    }
+
+    #[test]
+    fn bind_block_matches_repeated_bind() {
+        let mut bulk = IdTracker::new();
+        let mut reference = IdTracker::new();
+        reference.bind(5, 0).unwrap();
+        bulk.bind(5, 0).unwrap();
+        // Block containing an upsert of 5 and an internal duplicate of 9.
+        let ids = [7u64, 5, 9, 9];
+        assert_eq!(bulk.bind_block(&ids).unwrap(), 1);
+        for (i, &id) in ids.iter().enumerate() {
+            reference.bind(id, 1 + i as u32).unwrap();
+        }
+        assert_eq!(bulk.export(), reference.export());
+        assert_eq!(bulk.live_count(), reference.live_count());
+        assert_eq!(bulk.offset_of(9), Some(4));
+        assert_eq!(bulk.version_of(9), Some(2));
+        assert_eq!(bulk.offset_of(5), Some(2));
+        assert!(!bulk.is_live(0));
     }
 
     #[test]

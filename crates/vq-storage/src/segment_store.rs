@@ -15,7 +15,7 @@ use crate::payload_index::PayloadIndex;
 use crate::payload_store::PayloadStore;
 use crate::wal::WalRecord;
 use serde::{Deserialize, Serialize};
-use vq_core::{Payload, Point, PointId, VqError, VqResult};
+use vq_core::{Payload, Point, PointBlock, PointId, VqError, VqResult};
 
 /// Storage of one segment (vectors + ids + payloads + payload index).
 #[derive(Debug)]
@@ -87,6 +87,64 @@ impl SegmentStore {
         Ok(())
     }
 
+    /// Bulk insert-or-replace a columnar block: one page-granular arena
+    /// copy (when the view is contiguous), one reserved extension of the
+    /// payload column, one bulk id bind. The resulting state is
+    /// row-for-row identical to calling [`Self::upsert`] with each of the
+    /// block's points in view order. Returns the offset of the block's
+    /// first row.
+    pub fn upsert_block(&mut self, block: &PointBlock) -> VqResult<u32> {
+        if self.sealed {
+            return Err(VqError::InvalidRequest("segment is sealed".into()));
+        }
+        let first = self.arena.len() as u32;
+        if block.is_empty() {
+            return Ok(first);
+        }
+        if block.dim() != self.dim() {
+            return Err(VqError::DimensionMismatch {
+                expected: self.dim(),
+                got: block.dim(),
+            });
+        }
+        match block.as_contiguous() {
+            Some(slab) => {
+                self.arena.extend_from_slab(slab)?;
+            }
+            None => {
+                for i in 0..block.len() {
+                    self.arena.push(block.vector(i))?;
+                }
+            }
+        }
+        let mut ids = Vec::with_capacity(block.len());
+        for i in 0..block.len() {
+            let offset = first + i as u32;
+            let payload = block.payload(i);
+            self.payload_index.insert(offset, payload);
+            let pay_offset = self.payloads.push(payload.clone());
+            debug_assert_eq!(offset, pay_offset);
+            ids.push(block.id(i));
+        }
+        let bound_first = self.ids.bind_block(&ids)?;
+        debug_assert_eq!(first, bound_first);
+        Ok(first)
+    }
+
+    /// Normalize the stored vectors at offsets `[first, first + n)` in
+    /// place. The cosine ingest path bulk-copies raw block slabs and then
+    /// fixes them up here with the same kernel the per-point path applies
+    /// before insertion, so the resulting bits are identical.
+    pub fn normalize_range(&mut self, first: u32, n: usize) -> VqResult<()> {
+        if self.sealed {
+            return Err(VqError::InvalidRequest("segment is sealed".into()));
+        }
+        for offset in first..first + n as u32 {
+            vq_core::vector::normalize_in_place(self.arena.vector_mut(offset)?);
+        }
+        Ok(())
+    }
+
     /// The inverted payload index (prefiltered search).
     pub fn payload_index(&self) -> &PayloadIndex {
         &self.payload_index
@@ -104,6 +162,7 @@ impl SegmentStore {
     pub fn apply(&mut self, record: WalRecord) -> VqResult<()> {
         match record {
             WalRecord::Upsert(p) => self.upsert(p),
+            WalRecord::UpsertBlock(b) => self.upsert_block(&b).map(|_| ()),
             WalRecord::Delete(id) => self.delete(id),
             // Segment-lifecycle markers are interpreted a level up (the
             // shard); storage ignores them.
@@ -246,6 +305,109 @@ mod tests {
         assert!(s.get(1).is_some(), "reads still work");
         s.delete(1).unwrap();
         assert_eq!(s.get(1), None, "tombstoning a sealed segment is allowed");
+    }
+
+    #[test]
+    fn upsert_block_matches_per_point_upserts() {
+        let points: Vec<Point> = (0..10).map(|i| point(i, i as f32)).collect();
+        // Include an in-block upsert (duplicate id) to exercise tombstones.
+        let mut points = points;
+        points.push(point(3, 99.0));
+        let block = vq_core::PointBlock::from_points(&points).unwrap();
+
+        let mut via_block = SegmentStore::new(2);
+        via_block.upsert(point(3, -1.0)).unwrap(); // pre-existing id 3
+        assert_eq!(via_block.upsert_block(&block).unwrap(), 1);
+
+        let mut via_points = SegmentStore::new(2);
+        via_points.upsert(point(3, -1.0)).unwrap();
+        for p in &points {
+            via_points.upsert(p.clone()).unwrap();
+        }
+
+        let a = via_block.snapshot();
+        let b = via_points.snapshot();
+        assert_eq!(a.vectors, b.vectors);
+        assert_eq!(a.ids, b.ids);
+        assert_eq!(a.payloads, b.payloads);
+        assert_eq!(via_block.get(3).unwrap().vector, vec![99.0, 100.0]);
+    }
+
+    #[test]
+    fn upsert_block_gather_view_and_errors() {
+        let points: Vec<Point> = (0..6).map(|i| point(i, i as f32)).collect();
+        let block = vq_core::PointBlock::from_points(&points).unwrap();
+        let mut s = SegmentStore::new(2);
+        // Gather view takes the non-contiguous fallback path.
+        s.upsert_block(&block.select(&[4, 0, 2])).unwrap();
+        assert_eq!(s.live_count(), 3);
+        assert_eq!(s.get(4).unwrap().vector, vec![4.0, 5.0]);
+        assert_eq!(s.id_at(0), Some(4));
+        // Wrong dimensionality is all-or-nothing.
+        let bad = vq_core::PointBlock::from_points(&[Point::new(9, vec![0.0; 3])]).unwrap();
+        assert!(matches!(
+            s.upsert_block(&bad),
+            Err(VqError::DimensionMismatch { expected: 2, got: 3 })
+        ));
+        assert_eq!(s.total_offsets(), 3, "failed block must not grow columns");
+        // Sealed segments reject blocks like they reject points.
+        s.seal();
+        assert!(s.upsert_block(&block).is_err());
+        // Empty blocks are a no-op even with a foreign dim.
+        let mut open = SegmentStore::new(2);
+        let empty = vq_core::PointBlock::from_points(&[]).unwrap();
+        assert_eq!(open.upsert_block(&empty).unwrap(), 0);
+        assert_eq!(open.total_offsets(), 0);
+    }
+
+    #[test]
+    fn normalize_range_matches_pre_normalized_ingest() {
+        let raw = vec![
+            Point::new(1, vec![3.0, 4.0]),
+            Point::new(2, vec![0.0, 0.0]), // zero vector stays untouched
+            Point::new(3, vec![-5.0, 12.0]),
+        ];
+        // Reference: normalize each vector, then upsert per point.
+        let mut reference = SegmentStore::new(2);
+        for p in &raw {
+            let mut q = p.clone();
+            vq_core::vector::normalize_in_place(&mut q.vector);
+            reference.upsert(q).unwrap();
+        }
+        // Block path: bulk copy raw slab, then fix up in place.
+        let mut bulk = SegmentStore::new(2);
+        let block = vq_core::PointBlock::from_points(&raw).unwrap();
+        let first = bulk.upsert_block(&block).unwrap();
+        bulk.normalize_range(first, block.len()).unwrap();
+        assert_eq!(bulk.snapshot().vectors, reference.snapshot().vectors);
+        assert!(bulk.normalize_range(2, 5).is_err(), "range past end");
+    }
+
+    #[test]
+    fn block_replay_reconstructs_state() {
+        let points: Vec<Point> = (0..4).map(|i| point(i, i as f32)).collect();
+        let block = vq_core::PointBlock::from_points(&points).unwrap();
+        let mut wal = Wal::in_memory();
+        let mut live = SegmentStore::new(2);
+        for rec in [
+            WalRecord::UpsertBlock(block),
+            WalRecord::Delete(2),
+            WalRecord::Upsert(point(7, 9.0)),
+        ] {
+            wal.append(&rec).unwrap();
+            live.apply(rec).unwrap();
+        }
+        let mut recovered = SegmentStore::new(2);
+        for rec in wal.replay().unwrap() {
+            recovered.apply(rec).unwrap();
+        }
+        let a = recovered.snapshot();
+        let b = live.snapshot();
+        assert_eq!(a.vectors, b.vectors);
+        assert_eq!(a.ids, b.ids);
+        assert_eq!(a.payloads, b.payloads);
+        assert_eq!(recovered.get(2), None);
+        assert_eq!(recovered.live_count(), 4);
     }
 
     #[test]
