@@ -78,6 +78,11 @@ fn main() {
     let which = which.unwrap_or_else(|| "all".to_string());
     let which = which.as_str();
 
+    // Flight recorder: on unless VQ_OBS=0. The simulated experiments run
+    // with it too (same span names as the live path — that is the point),
+    // but only `live`/`ingest` embed the snapshot in their results.
+    vq_obs::install_from_env();
+
     let calib = Calibration::default();
     let known = [
         "table1", "table2", "fig2", "table3", "fig3", "fig4", "fig5", "ablation",
@@ -122,7 +127,7 @@ fn main() {
     // Live cluster telemetry: opt-in only (spins up real worker threads),
     // never part of `all`.
     if which == "live" {
-        print_live(json);
+        print_live(json, check);
     }
     // Ingest-path comparison: opt-in only (real WAL files on this
     // machine); `--check` makes it the CI ingest-bench-smoke contract.
@@ -928,6 +933,50 @@ struct LiveOut {
     /// Cluster-side telemetry, one row per worker: request counters,
     /// coordinator saturations, and the per-phase nanosecond timers.
     worker_info: Vec<vq_cluster::WorkerInfo>,
+    /// Full `vq-obs` registry snapshot: every counter/gauge, plus
+    /// per-phase latency histograms (`phase.*`, nanoseconds) with
+    /// p50/p95/p99. `null` when the recorder is disabled (`VQ_OBS=0`).
+    metrics: serde_json::Value,
+}
+
+/// The installed recorder's registry as a JSON value for embedding in a
+/// results file (`Value::Null` when no recorder is installed).
+fn obs_metrics_json() -> serde_json::Value {
+    vq_obs::snapshot()
+        .map(|s| {
+            serde_json::from_str(&s.to_json())
+                .expect("vq-obs JSON export is valid JSON")
+        })
+        .unwrap_or(serde_json::Value::Null)
+}
+
+/// Print p50/p95/p99 (ms) for the named `phase.*` histograms — the
+/// flight-recorder view of the same run the tables above summarize with
+/// means. Returns per-phase observation counts for `--check`.
+fn print_phase_percentiles(snap: &vq_obs::Snapshot, phases: &[&str]) -> Vec<(String, u64)> {
+    let mut t = TextTable::new(["Phase", "Count", "p50 ms", "p95 ms", "p99 ms", "Max ms"]);
+    let mut counts = Vec::new();
+    for name in phases {
+        let full = format!("phase.{name}");
+        let (count, row) = match snap.histogram(&full) {
+            Some(h) => (
+                h.count,
+                [
+                    full.clone(),
+                    h.count.to_string(),
+                    format!("{:.3}", h.p50 as f64 / 1e6),
+                    format!("{:.3}", h.p95 as f64 / 1e6),
+                    format!("{:.3}", h.p99 as f64 / 1e6),
+                    format!("{:.3}", h.max as f64 / 1e6),
+                ],
+            ),
+            None => (0, [full.clone(), "0".into(), "-".into(), "-".into(), "-".into(), "-".into()]),
+        };
+        t.row(row);
+        counts.push((full, count));
+    }
+    print!("{}", t.render());
+    counts
 }
 
 fn stage_out(path: &str, up: &vq_client::UploadOutcome) -> IngestStageOut {
@@ -946,7 +995,7 @@ fn stage_out(path: &str, up: &vq_client::UploadOutcome) -> IngestStageOut {
 /// each worker's `WorkerInfo` — including `coordinator_saturations` and
 /// the upsert/search/coordination phase timers — in both the text table
 /// and the machine-readable `results/live.json`.
-fn print_live(json: bool) {
+fn print_live(json: bool, check: bool) {
     use vq_client::{LiveQueryRunner, LiveUploader};
     use vq_cluster::{Cluster, ClusterConfig};
     use vq_collection::CollectionConfig;
@@ -959,7 +1008,11 @@ fn print_live(json: bool) {
     let corpus = CorpusSpec::small(10_000);
     let model = EmbeddingModel::small(&corpus, 32);
     let dataset = DatasetSpec::with_vectors(corpus, model, n);
-    let collection = CollectionConfig::new(32, Distance::Cosine).max_segment_points(512);
+    // `journal(true)`: an in-memory WAL per worker, so the durability
+    // phase (`phase.wal_sync`) shows up in the trace without disk I/O.
+    let collection = CollectionConfig::new(32, Distance::Cosine)
+        .max_segment_points(512)
+        .journal(true);
     let cluster = Cluster::start(ClusterConfig::new(workers), collection).unwrap();
 
     let up = LiveUploader::new(32, workers).upload(&cluster, &dataset).unwrap();
@@ -974,7 +1027,9 @@ fn print_live(json: bool) {
     // for the conversion/RPC stage comparison.
     let block_cluster = Cluster::start(
         ClusterConfig::new(workers),
-        CollectionConfig::new(32, Distance::Cosine).max_segment_points(512),
+        CollectionConfig::new(32, Distance::Cosine)
+            .max_segment_points(512)
+            .journal(true),
     )
     .unwrap();
     let up_block = LiveUploader::new(32, workers)
@@ -1027,6 +1082,23 @@ fn print_live(json: bool) {
         .latency_percentile(95.0)
         .map(|d| d.as_secs_f64() * 1e3)
         .unwrap_or(0.0);
+
+    // Per-phase latency percentiles from the flight recorder — the same
+    // run the mean-based tables above summarize, now with tails. The
+    // paper's Table 3 / Figure 2 cells are means; tails are where the
+    // coordinator queueing story (§3.4) actually shows.
+    let phases = [
+        "upsert", "search", "gather", "coordination", "wal_sync", "client_batch",
+        "point_convert", "block_convert", "upsert_rpc",
+    ];
+    let mut phase_counts = Vec::new();
+    if let Some(snap) = vq_obs::snapshot() {
+        println!("phase latency percentiles (flight recorder):");
+        phase_counts = print_phase_percentiles(&snap, &phases);
+    } else {
+        println!("(recorder disabled via VQ_OBS=0 — no phase percentiles)");
+    }
+
     emit(
         json,
         "live",
@@ -1041,8 +1113,26 @@ fn print_live(json: bool) {
             p95_batch_latency_ms: p95_ms,
             ingest,
             worker_info: info,
+            metrics: obs_metrics_json(),
         },
     );
+
+    if check {
+        // The obs-smoke contract: every instrumented phase along the
+        // upload + query + ingest-comparison paths actually recorded.
+        let must_record = ["upsert", "search", "gather", "wal_sync", "block_convert"];
+        let criteria: Vec<(String, bool)> = must_record
+            .iter()
+            .map(|p| {
+                let full = format!("phase.{p}");
+                let seen = phase_counts.iter().any(|(n, c)| *n == full && *c > 0);
+                (format!("{full} recorded at least once"), seen)
+            })
+            .collect();
+        let criteria: Vec<(&str, bool)> =
+            criteria.iter().map(|(n, ok)| (n.as_str(), *ok)).collect();
+        enforce_shapes("live", &criteria);
+    }
 }
 
 #[derive(Serialize)]
@@ -1055,6 +1145,15 @@ struct IngestOut {
     /// WAL durability syncs: `points` on the per-point path, one per
     /// block on the columnar path (group commit).
     wal_syncs: u64,
+}
+
+#[derive(Serialize)]
+struct IngestReport {
+    /// One row per ingest path (per-point reference, then block).
+    runs: Vec<IngestOut>,
+    /// Full `vq-obs` registry snapshot for the run (`null` when the
+    /// recorder is disabled via `VQ_OBS=0`).
+    metrics: serde_json::Value,
 }
 
 /// Per-point vs columnar-block ingest into a WAL-backed collection — the
@@ -1077,7 +1176,9 @@ fn print_ingest(json: bool, check: bool, scale: f64) {
     let model = EmbeddingModel::small(&corpus, dim);
     let dataset = DatasetSpec::with_vectors(corpus, model, n);
     let points = dataset.points_in(0..n);
+    let t0 = std::time::Instant::now();
     let block = vq_client::convert_block(&points).expect("dataset batches are never ragged");
+    vq_obs::record_phase("block_convert", 0, t0.elapsed().as_secs_f64());
     assert!(block.as_contiguous().is_some(), "contiguous-slab case");
 
     let tmp = std::env::temp_dir().join(format!("vq-repro-ingest-{}", std::process::id()));
@@ -1148,7 +1249,18 @@ fn print_ingest(json: bool, check: bool, scale: f64) {
         out[1].wal_syncs,
         out[0].wal_syncs,
     );
-    emit(json, "ingest", &out);
+    if let Some(snap) = vq_obs::snapshot() {
+        println!("phase latency percentiles (flight recorder):");
+        print_phase_percentiles(&snap, &["wal_sync", "block_convert"]);
+    }
+    emit(
+        json,
+        "ingest",
+        &IngestReport {
+            runs: out,
+            metrics: obs_metrics_json(),
+        },
+    );
 
     if check {
         enforce_shapes(

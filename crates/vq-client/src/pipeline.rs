@@ -329,6 +329,19 @@ impl WindowState {
         self.issued
     }
 
+    /// Batches currently in flight (issued, not yet complete) — the
+    /// lane-occupancy gauge both runtimes export.
+    pub fn outstanding(&self) -> u64 {
+        self.outstanding
+    }
+
+    /// Whether an issue attempt would be refused *because the window is
+    /// full* (rather than the lane being out of batches) — the
+    /// batch-window wait the client metrics count.
+    pub fn window_full(&self, window: usize) -> bool {
+        self.issued < self.total && self.outstanding >= window as u64
+    }
+
     /// Sum of recorded call times, seconds.
     pub fn call_time_sum(&self) -> f64 {
         self.call_time_sum

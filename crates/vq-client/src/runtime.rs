@@ -203,14 +203,20 @@ impl LaneService for LiveLane<'_> {
                         let conversion = t0.elapsed();
                         let t1 = std::time::Instant::now();
                         self.client.upsert_batch(points)?;
-                        self.service.record_stages(conversion, t1.elapsed());
+                        let rpc = t1.elapsed();
+                        self.service.record_stages(conversion, rpc);
+                        vq_obs::record_phase("point_convert", 0, conversion.as_secs_f64());
+                        vq_obs::record_phase("upsert_rpc", 0, rpc.as_secs_f64());
                     }
                     IngestPath::Block => {
                         let block = Arc::new(convert_block(&points)?);
                         let conversion = t0.elapsed();
                         let t1 = std::time::Instant::now();
                         self.client.upsert_block(&block)?;
-                        self.service.record_stages(conversion, t1.elapsed());
+                        let rpc = t1.elapsed();
+                        self.service.record_stages(conversion, rpc);
+                        vq_obs::record_phase("block_convert", 0, conversion.as_secs_f64());
+                        vq_obs::record_phase("upsert_rpc", 0, rpc.as_secs_f64());
                     }
                 }
                 Ok(BatchReply::default())
@@ -516,11 +522,29 @@ impl Runtime for WallClock<'_> {
                                 });
                                 batch
                             };
+                            if vq_obs::enabled() {
+                                vq_obs::gauge_set(
+                                    &vq_obs::labeled("client.lane_occupancy", "lane", u64::from(batch.lane)),
+                                    state.lock().outstanding() as i64,
+                                );
+                            }
                             let t0 = clock.stamp();
                             match session.execute(mode, &batch) {
                                 Ok(reply) => {
                                     let call = clock.secs_since(t0);
-                                    state.lock().complete(call);
+                                    let mut ws = state.lock();
+                                    ws.complete(call);
+                                    let left = ws.outstanding();
+                                    drop(ws);
+                                    if vq_obs::enabled() {
+                                        vq_obs::record_phase("client_batch", u64::from(batch.lane), call);
+                                        vq_obs::count("client.batches", 1);
+                                        vq_obs::count("client.points", batch.end - batch.start);
+                                        vq_obs::gauge_set(
+                                            &vq_obs::labeled("client.lane_occupancy", "lane", u64::from(batch.lane)),
+                                            left as i64,
+                                        );
+                                    }
                                     call_slots.lock()[batch.global_index as usize] = Some(call);
                                     if mode == PipelineMode::Query {
                                         result_slots.lock()[batch.global_index as usize] =
@@ -609,11 +633,28 @@ fn pump(
     clock: &VirtualSource,
 ) {
     loop {
-        let index = match lane.state.borrow_mut().try_issue(lane.window) {
+        // Bind before matching: the scrutinee's RefMut would otherwise
+        // live across the arms and collide with the borrow below.
+        let issued = lane.state.borrow_mut().try_issue(lane.window);
+        let index = match issued {
             Some(i) => i,
-            None => return,
+            None => {
+                // Distinguish "window full" stalls from lane exhaustion —
+                // the virtual counterpart of an asyncio client waiting on
+                // its in-flight semaphore.
+                if lane.state.borrow().window_full(lane.window) {
+                    vq_obs::count("client.window_full", 1);
+                }
+                return;
+            }
         };
         let batch = lane.plan.batch(index);
+        if vq_obs::enabled() {
+            vq_obs::gauge_set(
+                &vq_obs::labeled("client.lane_occupancy", "lane", u64::from(batch.lane)),
+                lane.state.borrow().outstanding() as i64,
+            );
+        }
         run.borrow_mut().trace.push(BatchRecord {
             lane: batch.lane,
             index_in_lane: batch.index_in_lane,
@@ -621,6 +662,7 @@ fn pump(
             end: batch.end,
         });
         let cost = lane.costs[index as usize];
+        let batch_points = batch.end - batch.start;
         let lane2 = lane.clone();
         let run2 = run.clone();
         let worker2 = worker.clone();
@@ -635,7 +677,21 @@ fn pump(
                 // Client-observed call time: CPU-stage completion (the
                 // submit instant) to service completion.
                 let call = clock3.secs_between(t0, engine.now());
+                let lane_id = u64::from(lane3.plan.lane);
                 lane3.state.borrow_mut().complete(call);
+                if vq_obs::enabled() {
+                    // Same metric names the wall runtime records; the span
+                    // timestamp is *sim* time, so traces line up across
+                    // substrates.
+                    let now = engine.now().as_secs_f64();
+                    vq_obs::record_phase_at("client_batch", lane_id, now - call, call);
+                    vq_obs::count("client.batches", 1);
+                    vq_obs::count("client.points", batch_points);
+                    vq_obs::gauge_set(
+                        &vq_obs::labeled("client.lane_occupancy", "lane", lane_id),
+                        lane3.state.borrow().outstanding() as i64,
+                    );
+                }
                 {
                     let mut r = run3.borrow_mut();
                     r.done += 1;

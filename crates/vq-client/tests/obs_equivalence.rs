@@ -1,0 +1,96 @@
+//! Observability cross-validation: the wall-clock and virtual runtimes
+//! must *record the same metrics* from the same plan — identical counter
+//! values under identical names, and comparable span structure (same
+//! number of `client_batch` spans per lane). Durations differ (a laptop
+//! is not the calibrated Polaris model); names and counts may not. This
+//! lives in its own integration-test binary because the recorder is
+//! process-global.
+
+use std::collections::HashMap;
+use vq_client::pipeline::{PipelineMode, PipelinePolicy, Plan};
+use vq_client::runtime::{
+    LiveClusterService, ModeledClusterService, Runtime, VirtualClock, WallClock,
+};
+use vq_client::InsertCostModel;
+use vq_cluster::{Cluster, ClusterConfig};
+use vq_collection::CollectionConfig;
+use vq_core::Distance;
+use vq_obs::SpanEvent;
+use vq_workload::{CorpusSpec, DatasetSpec, EmbeddingModel};
+
+fn dataset(n: u64) -> DatasetSpec {
+    let corpus = CorpusSpec::small(10_000);
+    let model = EmbeddingModel::small(&corpus, 16);
+    DatasetSpec::with_vectors(corpus, model, n)
+}
+
+/// `client_batch` span count per lane tag.
+fn spans_per_lane(events: &[SpanEvent]) -> HashMap<u64, usize> {
+    let mut per_lane = HashMap::new();
+    for e in events.iter().filter(|e| e.name == "client_batch") {
+        *per_lane.entry(e.tag).or_insert(0) += 1;
+    }
+    per_lane
+}
+
+#[test]
+fn wall_and_virtual_runtimes_record_identical_client_metrics() {
+    let d = dataset(611);
+    let policy = PipelinePolicy::multi_process(2, 2);
+    let plan = Plan::contiguous(d.len(), 32, policy.lanes);
+
+    // Wall side: a real cluster, real threads, real Instants.
+    let recorder = vq_obs::install_default();
+    let collection = CollectionConfig::new(16, Distance::Cosine).max_segment_points(256);
+    let cluster = Cluster::start(ClusterConfig::new(2), collection).unwrap();
+    let live = LiveClusterService::upload_blocks(&cluster, &d);
+    let wall = WallClock::new(&live)
+        .run(&plan, policy.window, PipelineMode::Upload)
+        .unwrap();
+    cluster.shutdown();
+    let wall_snap = vq_obs::snapshot().expect("recorder installed");
+    let wall_spans = spans_per_lane(&recorder.flight().events());
+    vq_obs::uninstall();
+
+    // Virtual side: the DES engine over the calibrated cost model.
+    let recorder = vq_obs::install_default();
+    let model = InsertCostModel::default();
+    let modeled = ModeledClusterService::upload_blocks(&model, 2, policy.window);
+    let virt = VirtualClock::new(&modeled)
+        .run(&plan, policy.window, PipelineMode::Upload)
+        .unwrap();
+    let virt_snap = vq_obs::snapshot().expect("recorder installed");
+    let virt_spans = spans_per_lane(&recorder.flight().events());
+    vq_obs::uninstall();
+
+    assert_eq!(wall.batches, virt.batches);
+
+    // Identical counter values under identical names.
+    for name in ["client.batches", "client.points"] {
+        assert_eq!(
+            wall_snap.counter(name),
+            virt_snap.counter(name),
+            "{name} must agree across runtimes"
+        );
+    }
+    assert_eq!(wall_snap.counter("client.batches"), plan.total_batches());
+    assert_eq!(wall_snap.counter("client.points"), d.len());
+
+    // The phase histogram exists under the same name on both substrates
+    // and saw every batch.
+    for (snap, run) in [(&wall_snap, &wall), (&virt_snap, &virt)] {
+        let h = snap
+            .histogram("phase.client_batch")
+            .expect("phase.client_batch recorded");
+        assert_eq!(h.count, run.batches);
+    }
+
+    // Comparable span structure: same spans per lane in the flight ring.
+    assert_eq!(wall_spans, virt_spans, "client_batch spans per lane");
+    let from_plan: HashMap<u64, usize> = plan
+        .lanes()
+        .iter()
+        .map(|l| (u64::from(l.lane), l.batch_count() as usize))
+        .collect();
+    assert_eq!(wall_spans, from_plan);
+}

@@ -398,7 +398,10 @@ impl ClusterClient {
                         "unexpected response to search: {other:?}"
                     )))
                 }
-                Err(e) if e.is_retriable() => last_err = e,
+                Err(e) if e.is_retriable() => {
+                    vq_obs::count("cluster.search_retries", 1);
+                    last_err = e;
+                }
                 Err(e) => return Err(e),
             }
         }

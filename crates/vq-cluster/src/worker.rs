@@ -61,20 +61,49 @@ struct WorkerState {
     counters: Counters,
 }
 
-#[derive(Default)]
+/// Per-worker registry handles (`worker.upsert_batches{worker="3"}`,
+/// …). With a recorder installed these live in the global registry and
+/// show up in snapshots/Prometheus; without one they are private atomics,
+/// so `WorkerInfo` keeps working in tests that never install a recorder.
+/// Per-phase wall time (nanoseconds) is surfaced through WorkerInfo so
+/// executor sweeps can read cluster-side cost, not just client-side
+/// latency.
 struct Counters {
-    upsert_batches: std::sync::atomic::AtomicU64,
-    points_written: std::sync::atomic::AtomicU64,
-    search_batches: std::sync::atomic::AtomicU64,
-    queries_served: std::sync::atomic::AtomicU64,
-    coordinations: std::sync::atomic::AtomicU64,
-    coordinator_saturations: std::sync::atomic::AtomicU64,
-    // Per-phase wall time, nanoseconds (surfaced through WorkerInfo so
-    // executor sweeps can read cluster-side cost, not just client-side
-    // latency).
-    upsert_nanos: std::sync::atomic::AtomicU64,
-    search_nanos: std::sync::atomic::AtomicU64,
-    coordination_nanos: std::sync::atomic::AtomicU64,
+    upsert_batches: Arc<vq_obs::Counter>,
+    points_written: Arc<vq_obs::Counter>,
+    search_batches: Arc<vq_obs::Counter>,
+    queries_served: Arc<vq_obs::Counter>,
+    coordinations: Arc<vq_obs::Counter>,
+    coordinator_saturations: Arc<vq_obs::Counter>,
+    upsert_nanos: Arc<vq_obs::Counter>,
+    search_nanos: Arc<vq_obs::Counter>,
+    coordination_nanos: Arc<vq_obs::Counter>,
+    /// Coordinator-pool queue occupancy after the latest handoff.
+    queue_depth: Arc<vq_obs::Gauge>,
+}
+
+impl Counters {
+    fn for_worker(id: WorkerId) -> Self {
+        let c = |name: &str| {
+            vq_obs::handle_counter(&vq_obs::labeled(name, "worker", u64::from(id)))
+        };
+        Counters {
+            upsert_batches: c("worker.upsert_batches"),
+            points_written: c("worker.points_written"),
+            search_batches: c("worker.search_batches"),
+            queries_served: c("worker.queries_served"),
+            coordinations: c("worker.coordinations"),
+            coordinator_saturations: c("worker.coordinator_saturations"),
+            upsert_nanos: c("worker.upsert_nanos"),
+            search_nanos: c("worker.search_nanos"),
+            coordination_nanos: c("worker.coordination_nanos"),
+            queue_depth: vq_obs::handle_gauge(&vq_obs::labeled(
+                "worker.queue_depth",
+                "worker",
+                u64::from(id),
+            )),
+        }
+    }
 }
 
 /// A running worker (serve thread + state handle).
@@ -111,7 +140,7 @@ impl Worker {
             pending_transfers: parking_lot::Mutex::new(HashMap::new()),
             next_internal_tag: std::sync::atomic::AtomicU64::new(1),
             coordinator_tx: parking_lot::Mutex::new(Some(coord_tx)),
-            counters: Counters::default(),
+            counters: Counters::for_worker(id),
         });
         for i in 0..COORDINATOR_POOL_SIZE {
             let state = state.clone();
@@ -201,27 +230,27 @@ fn serve_requests(state: &Arc<WorkerState>, endpoint: &Endpoint<ClusterMsg>) {
                 // workers fanning out to each other would deadlock both,
                 // so overflow falls back to a one-off thread (counted as
                 // a saturation — the signal to grow the pool).
-                state
-                    .counters
-                    .coordinations
-                    .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                state.counters.coordinations.add(1);
                 let job = CoordJob {
                     reply_to,
                     tag,
                     queries,
                 };
                 let sent = match &*state.coordinator_tx.lock() {
-                    Some(tx) => match tx.try_send(job) {
-                        Ok(()) => Ok(()),
-                        Err(crossbeam::channel::TrySendError::Full(job)) => {
-                            state
-                                .counters
-                                .coordinator_saturations
-                                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                            Err(job)
+                    Some(tx) => {
+                        let res = match tx.try_send(job) {
+                            Ok(()) => Ok(()),
+                            Err(crossbeam::channel::TrySendError::Full(job)) => {
+                                state.counters.coordinator_saturations.add(1);
+                                Err(job)
+                            }
+                            Err(crossbeam::channel::TrySendError::Disconnected(job)) => Err(job),
+                        };
+                        if vq_obs::enabled() {
+                            state.counters.queue_depth.set(tx.len() as i64);
                         }
-                        Err(crossbeam::channel::TrySendError::Disconnected(job)) => Err(job),
-                    },
+                        res
+                    }
                     None => Err(job),
                 };
                 if let Err(job) = sent {
@@ -260,20 +289,18 @@ fn handle_local(
 ) -> Option<Response> {
     Some(match body {
         Request::UpsertBatch { shard, points } => {
-            use std::sync::atomic::Ordering::Relaxed;
             let n = points.len() as u64;
             match state.shards.read().get(&shard) {
                 Some(c) => {
                     let t0 = std::time::Instant::now();
                     let result = c.upsert_batch(points);
-                    state
-                        .counters
-                        .upsert_nanos
-                        .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                    let dur = t0.elapsed();
+                    state.counters.upsert_nanos.add(dur.as_nanos() as u64);
+                    vq_obs::record_phase("upsert", u64::from(state.id), dur.as_secs_f64());
                     match result {
                         Ok(()) => {
-                            state.counters.upsert_batches.fetch_add(1, Relaxed);
-                            state.counters.points_written.fetch_add(n, Relaxed);
+                            state.counters.upsert_batches.add(1);
+                            state.counters.points_written.add(n);
                             Response::Ok
                         }
                         Err(e) => Response::Error(e),
@@ -283,20 +310,18 @@ fn handle_local(
             }
         }
         Request::UpsertBlock { shard, block } => {
-            use std::sync::atomic::Ordering::Relaxed;
             let n = block.len() as u64;
             match state.shards.read().get(&shard) {
                 Some(c) => {
                     let t0 = std::time::Instant::now();
                     let result = c.upsert_block(&block);
-                    state
-                        .counters
-                        .upsert_nanos
-                        .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+                    let dur = t0.elapsed();
+                    state.counters.upsert_nanos.add(dur.as_nanos() as u64);
+                    vq_obs::record_phase("upsert", u64::from(state.id), dur.as_secs_f64());
                     match result {
                         Ok(()) => {
-                            state.counters.upsert_batches.fetch_add(1, Relaxed);
-                            state.counters.points_written.fetch_add(n, Relaxed);
+                            state.counters.upsert_batches.add(1);
+                            state.counters.points_written.add(n);
                             Response::Ok
                         }
                         Err(e) => Response::Error(e),
@@ -317,18 +342,13 @@ fn handle_local(
             None => Response::Error(VqError::ShardNotFound(shard)),
         },
         Request::LocalSearchBatch { queries } => {
-            use std::sync::atomic::Ordering::Relaxed;
-            state.counters.search_batches.fetch_add(1, Relaxed);
-            state
-                .counters
-                .queries_served
-                .fetch_add(queries.len() as u64, Relaxed);
+            state.counters.search_batches.add(1);
+            state.counters.queries_served.add(queries.len() as u64);
             let t0 = std::time::Instant::now();
             let result = local_search(state, &queries);
-            state
-                .counters
-                .search_nanos
-                .fetch_add(t0.elapsed().as_nanos() as u64, Relaxed);
+            let dur = t0.elapsed();
+            state.counters.search_nanos.add(dur.as_nanos() as u64);
+            vq_obs::record_phase("search", u64::from(state.id), dur.as_secs_f64());
             match result {
                 Ok(partials) => Response::Partials(partials),
                 Err(e) => Response::Error(e),
@@ -398,23 +418,24 @@ fn handle_local(
             Response::Stats(total)
         }
         Request::WorkerInfo => {
-            use std::sync::atomic::Ordering::Relaxed;
             let mut shards: Vec<crate::placement::ShardId> =
                 state.shards.read().keys().copied().collect();
             shards.sort_unstable();
+            // Wire shape unchanged: the registry handles are the source of
+            // truth, WorkerInfo is a snapshot of them.
             Response::WorkerInfo(crate::messages::WorkerInfo {
                 worker: state.id,
                 node: state.node,
                 shards,
-                upsert_batches: state.counters.upsert_batches.load(Relaxed),
-                points_written: state.counters.points_written.load(Relaxed),
-                search_batches: state.counters.search_batches.load(Relaxed),
-                queries_served: state.counters.queries_served.load(Relaxed),
-                coordinations: state.counters.coordinations.load(Relaxed),
-                coordinator_saturations: state.counters.coordinator_saturations.load(Relaxed),
-                upsert_nanos: state.counters.upsert_nanos.load(Relaxed),
-                search_nanos: state.counters.search_nanos.load(Relaxed),
-                coordination_nanos: state.counters.coordination_nanos.load(Relaxed),
+                upsert_batches: state.counters.upsert_batches.get(),
+                points_written: state.counters.points_written.get(),
+                search_batches: state.counters.search_batches.get(),
+                queries_served: state.counters.queries_served.get(),
+                coordinations: state.counters.coordinations.get(),
+                coordinator_saturations: state.counters.coordinator_saturations.get(),
+                upsert_nanos: state.counters.upsert_nanos.get(),
+                search_nanos: state.counters.search_nanos.get(),
+                coordination_nanos: state.counters.coordination_nanos.get(),
             })
         }
         Request::TransferShard { shard, to } => {
@@ -534,20 +555,13 @@ fn coordinate_search(
     }
 
     // Local partials while peers work.
-    state
-        .counters
-        .search_batches
-        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-    state
-        .counters
-        .queries_served
-        .fetch_add(queries.len() as u64, std::sync::atomic::Ordering::Relaxed);
+    state.counters.search_batches.add(1);
+    state.counters.queries_served.add(queries.len() as u64);
     let search_t0 = std::time::Instant::now();
     let local = local_search(state, &queries);
-    state.counters.search_nanos.fetch_add(
-        search_t0.elapsed().as_nanos() as u64,
-        std::sync::atomic::Ordering::Relaxed,
-    );
+    let search_dur = search_t0.elapsed();
+    state.counters.search_nanos.add(search_dur.as_nanos() as u64);
+    vq_obs::record_phase("search", u64::from(state.id), search_dur.as_secs_f64());
 
     // Gather.
     let mut partials_per_query: Vec<Vec<Vec<ScoredPoint>>> =
@@ -561,6 +575,7 @@ fn coordinate_search(
         }
         Err(e) => failure = Some(e),
     }
+    let gather_t0 = std::time::Instant::now();
     for _ in 0..scattered {
         match eph.recv_timeout(std::time::Duration::from_secs(60)) {
             Ok(env) => match env.payload {
@@ -581,11 +596,24 @@ fn coordinate_search(
                 _ => {}
             },
             Err(e) => {
+                // A gather stall is exactly what the flight recorder is
+                // for: dump the ring of recent span events so the
+                // post-mortem shows what the cluster was doing when the
+                // reduce stopped hearing from its peers.
+                if let Some(dump) = vq_obs::flight_dump_text() {
+                    eprintln!(
+                        "worker {}: gather failed after {:.1}s waiting on {scattered} peers ({e}); \
+                         flight recorder:\n{dump}",
+                        state.id,
+                        gather_t0.elapsed().as_secs_f64(),
+                    );
+                }
                 failure = Some(e);
                 break;
             }
         }
     }
+    vq_obs::record_phase("gather", u64::from(state.id), gather_t0.elapsed().as_secs_f64());
     let body = match failure {
         Some(e) => Response::Error(e),
         None => {
@@ -616,8 +644,7 @@ fn coordinate_search(
     let bytes = msg.approx_wire_bytes();
     let _ = eph.send_sized(reply_to, msg, bytes);
     state.switchboard.deregister(eph_id);
-    state.counters.coordination_nanos.fetch_add(
-        coord_t0.elapsed().as_nanos() as u64,
-        std::sync::atomic::Ordering::Relaxed,
-    );
+    let coord_dur = coord_t0.elapsed();
+    state.counters.coordination_nanos.add(coord_dur.as_nanos() as u64);
+    vq_obs::record_phase("coordination", u64::from(state.id), coord_dur.as_secs_f64());
 }

@@ -47,7 +47,9 @@ pub struct LocalCollection {
 }
 
 impl LocalCollection {
-    /// Create an empty collection.
+    /// Create an empty collection. With [`CollectionConfig::journal`] set,
+    /// every mutation is framed through an in-memory WAL, so durability
+    /// syncs are counted and timed (`phase.wal_sync`) without disk I/O.
     pub fn new(config: CollectionConfig) -> Self {
         LocalCollection {
             config,
@@ -56,7 +58,7 @@ impl LocalCollection {
                 routing: HashMap::new(),
                 next_seq: 1,
             }),
-            wal: None,
+            wal: config.journal.then(|| parking_lot::Mutex::new(Wal::in_memory())),
         }
     }
 
@@ -251,6 +253,7 @@ impl LocalCollection {
                 let seq = inner.next_seq;
                 inner.next_seq += 1;
                 inner.segments.last_mut().expect("nonempty").seal();
+                vq_obs::count("collection.segments_sealed", 1);
                 inner.segments.push(Segment::new(seq, config));
             }
             inner.segments.len() - 1
@@ -489,6 +492,7 @@ impl LocalCollection {
             return; // nothing to seal
         }
         active.seal();
+        vq_obs::count("collection.segments_sealed", 1);
         inner.next_seq = seq + 1;
         let config = self.config;
         inner.segments.push(Segment::new(seq, &config));
@@ -595,10 +599,15 @@ impl LocalCollection {
             return Ok(false);
         };
         // Long build under the read lock only (sealed arena is immutable).
+        let stamp = vq_obs::enabled().then(std::time::Instant::now);
         let index = {
             let inner = self.inner.read();
             inner.segments[idx].build_index(&self.config)
         };
+        if let Some(stamp) = stamp {
+            vq_obs::record_phase("index_build", seq, stamp.elapsed().as_secs_f64());
+        }
+        vq_obs::count("collection.indexes_built", 1);
         {
             let mut inner = self.inner.write();
             // The segment vector may only have grown; `idx` still points at

@@ -35,6 +35,11 @@ pub struct CollectionConfig {
     pub vacuum_threshold: f64,
     /// Indexing policy.
     pub indexing: IndexingPolicy,
+    /// Journal every mutation to an in-memory WAL. Off by default (the
+    /// cluster's workers are volatile shards); `repro live` turns it on so
+    /// the durability phase (`phase.wal_sync`) shows up in traces without
+    /// touching disk.
+    pub journal: bool,
 }
 
 impl CollectionConfig {
@@ -48,6 +53,7 @@ impl CollectionConfig {
             max_segment_points: 20_000,
             vacuum_threshold: 0.5,
             indexing: IndexingPolicy::OnSeal,
+            journal: false,
         }
     }
 
@@ -73,6 +79,12 @@ impl CollectionConfig {
     /// Builder-style setter for the default search beam width.
     pub fn ef_search(mut self, ef: usize) -> Self {
         self.ef_search = ef;
+        self
+    }
+
+    /// Builder-style setter for in-memory journaling.
+    pub fn journal(mut self, on: bool) -> Self {
+        self.journal = on;
         self
     }
 }

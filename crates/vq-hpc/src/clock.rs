@@ -34,6 +34,16 @@ pub trait Clock {
     }
 }
 
+/// Run `f`, returning its result together with the elapsed seconds on
+/// `clock`. This is how runtimes feed [`vq_obs::record_phase`] the same
+/// way from both substrates: wall code measures real time, virtual code
+/// measures sim time, and the span names stay identical.
+pub fn timed<C: Clock, R>(clock: &C, f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = clock.stamp();
+    let out = f();
+    (out, clock.secs_since(t0))
+}
+
 /// Real monotonic time ([`Instant`]-backed).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WallSource;
@@ -122,6 +132,19 @@ mod tests {
         let view = clock.clone();
         clock.set(SimTime::ZERO + SimDuration::from_secs(9));
         assert_eq!(view.secs_since(t0), 9.0);
+    }
+
+    #[test]
+    fn timed_measures_on_the_given_clock() {
+        let clock = VirtualSource::new();
+        let (out, dur) = timed(&clock, || {
+            clock.set(SimTime::ZERO + SimDuration::from_secs(2));
+            42
+        });
+        assert_eq!(out, 42);
+        assert_eq!(dur, 2.0);
+        let (_, wall) = timed(&WallSource, || ());
+        assert!(wall >= 0.0);
     }
 
     #[test]

@@ -36,7 +36,7 @@ pub mod platform;
 pub mod server;
 pub mod time;
 
-pub use clock::{Clock, VirtualSource, WallSource};
+pub use clock::{timed, Clock, VirtualSource, WallSource};
 pub use cpu::{MalleableCpu, TaskHandle};
 pub use engine::{Engine, EventId};
 pub use gpu::{GpuBatchOutcome, GpuDevice, GpuSpec};

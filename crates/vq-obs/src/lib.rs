@@ -1,0 +1,51 @@
+//! Observability for vq: metrics registry, phase spans, flight recorder.
+//!
+//! Every headline finding in the source paper is a diagnosis made from
+//! per-phase timings — the 45.64 ms conversion vs 14.86 ms RPC split,
+//! the single-worker CPU saturation behind the flat index speedup, the
+//! broadcast–reduce overhead that makes multi-worker query lose below a
+//! dataset-size crossover. This crate makes that kind of evidence a
+//! first-class subsystem instead of bespoke hand-threaded fields:
+//!
+//! * [`Registry`] — named [`Counter`]s, [`Gauge`]s, and log-bucketed
+//!   [`Histogram`]s with p50/p95/p99 bound extraction. Registration
+//!   takes a lock once; recording is lock-free atomics.
+//! * **Phase spans** — [`record_phase`] / [`record_phase_at`] /
+//!   [`span!`]. Durations are measured by the *caller's* clock (wall
+//!   `Instant`s live, the DES engine's sim time virtually), so the same
+//!   instrumentation yields comparable traces from both runtimes.
+//! * [`FlightRecorder`] — a fixed-capacity ring of recent [`SpanEvent`]s,
+//!   dumpable on stall/timeout for post-mortem.
+//! * Exporters — [`Snapshot::to_json`] for `results/*.json`,
+//!   [`Snapshot::to_prometheus`] for scrape pipelines.
+//!
+//! Nothing records until a [`Recorder`] is [`install`]ed (see
+//! [`install_from_env`] for the `VQ_OBS` toggles); with none installed
+//! every free function is a relaxed load and a branch, cheap enough to
+//! leave on the query hot path.
+//!
+//! ```
+//! let recorder = vq_obs::install_default();
+//! vq_obs::count("wal.synced_batches", 1);
+//! vq_obs::record_phase("gather", 3, 0.0021);
+//! let snap = vq_obs::snapshot().unwrap();
+//! assert_eq!(snap.counter("wal.synced_batches"), 1);
+//! assert_eq!(snap.histogram("phase.gather").unwrap().count, 1);
+//! assert_eq!(recorder.flight().events().len(), 1);
+//! vq_obs::uninstall();
+//! ```
+
+mod export;
+mod metrics;
+mod recorder;
+mod registry;
+
+pub use metrics::{
+    bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS,
+};
+pub use recorder::{
+    count, enabled, flight_dump_text, gauge_set, handle_counter, handle_gauge, handle_histogram,
+    install, install_default, install_from_env, installed, observe, record_phase, record_phase_at,
+    snapshot, uninstall, FlightRecorder, Recorder, SpanEvent, SpanGuard, DEFAULT_FLIGHT_CAPACITY,
+};
+pub use registry::{labeled, Metric, MetricValue, Registry, Snapshot, SnapshotEntry};

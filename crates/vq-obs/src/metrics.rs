@@ -1,0 +1,308 @@
+//! Metric primitives: counters, gauges, log-bucketed histograms.
+//!
+//! Every primitive is a plain atomic cell (or a fixed array of them), so
+//! the hot path is lock-free: a counter bump is one relaxed `fetch_add`,
+//! a histogram observation is three. Handles are shared as `Arc`s —
+//! call sites cache a handle once (registration takes a registry lock)
+//! and then record forever without touching shared maps.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A fresh zeroed counter.
+    pub fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Add `delta`.
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.fetch_add(delta, Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// A last-write-wins signed gauge (queue depths, occupancy).
+#[derive(Debug, Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    /// A fresh zeroed gauge.
+    pub fn new() -> Self {
+        Gauge(AtomicI64::new(0))
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Relaxed);
+    }
+
+    /// Add `delta` (may be negative).
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Power-of-two histogram buckets: bucket 0 holds the exact value 0,
+/// bucket `i` (1..=64) holds `[2^(i-1), 2^i)` — so `u64::MAX` lands in
+/// bucket 64 and no observable value can fall outside the range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// A log-bucketed latency histogram over `u64` observations (nanoseconds
+/// by convention for `phase.*` metrics).
+///
+/// Percentiles come back as *bounds*: the true nearest-rank quantile is
+/// guaranteed to lie inside the bucket the rank falls in, so
+/// `lower ≤ true quantile ≤ upper` always holds (the property test pins
+/// this, along with "no sample is ever lost").
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Bucket index for an observation: 0 for 0, `floor(log2(v)) + 1`
+/// otherwise.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Inclusive `(lower, upper)` value bounds of bucket `i`.
+pub fn bucket_bounds(i: usize) -> (u64, u64) {
+    match i {
+        0 => (0, 0),
+        64 => (1 << 63, u64::MAX),
+        _ => (1 << (i - 1), (1 << i) - 1),
+    }
+}
+
+impl Histogram {
+    /// A fresh empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+    }
+
+    /// Record a duration given in seconds, stored as nanoseconds.
+    #[inline]
+    pub fn record_secs(&self, secs: f64) {
+        self.record((secs.max(0.0) * 1e9) as u64);
+    }
+
+    /// Observations recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Sum of all observations (total nanoseconds for phase histograms).
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Relaxed)
+    }
+
+    /// Point-in-time copy of the bucket counts.
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Relaxed))
+    }
+
+    /// Immutable snapshot with percentile bounds extracted.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot::from_buckets(self.bucket_counts(), self.sum())
+    }
+}
+
+/// Frozen view of a [`Histogram`] with nearest-rank percentile bounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Observations recorded.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: u64,
+    /// Upper bound of the bucket holding the nearest-rank p50.
+    pub p50: u64,
+    /// Upper bound of the bucket holding the nearest-rank p95.
+    pub p95: u64,
+    /// Upper bound of the bucket holding the nearest-rank p99.
+    pub p99: u64,
+    /// Upper bound of the highest non-empty bucket (0 when empty).
+    pub max: u64,
+    /// Bucket occupancy at snapshot time.
+    pub buckets: [u64; HISTOGRAM_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Build a snapshot from raw bucket counts.
+    pub fn from_buckets(buckets: [u64; HISTOGRAM_BUCKETS], sum: u64) -> Self {
+        let count: u64 = buckets.iter().sum();
+        let upper = |q: f64| quantile_bounds_from(&buckets, count, q).map_or(0, |(_, hi)| hi);
+        let max = buckets
+            .iter()
+            .rposition(|&c| c > 0)
+            .map_or(0, |i| bucket_bounds(i).1);
+        HistogramSnapshot {
+            count,
+            sum,
+            p50: upper(0.50),
+            p95: upper(0.95),
+            p99: upper(0.99),
+            max,
+            buckets,
+        }
+    }
+
+    /// `(lower, upper)` bounds bracketing the nearest-rank `q`-quantile
+    /// (`q` in `0.0..=1.0`); `None` when the histogram is empty.
+    pub fn quantile_bounds(&self, q: f64) -> Option<(u64, u64)> {
+        quantile_bounds_from(&self.buckets, self.count, q)
+    }
+
+    /// Mean observation, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+fn quantile_bounds_from(
+    buckets: &[u64; HISTOGRAM_BUCKETS],
+    count: u64,
+    q: f64,
+) -> Option<(u64, u64)> {
+    if count == 0 {
+        return None;
+    }
+    let q = q.clamp(0.0, 1.0);
+    let rank = ((q * count as f64).ceil() as u64).max(1);
+    let mut seen = 0u64;
+    for (i, &c) in buckets.iter().enumerate() {
+        seen += c;
+        if seen >= rank {
+            return Some(bucket_bounds(i));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_log2_shifted() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(u64::MAX), 64);
+        for i in 0..HISTOGRAM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(bucket_index(lo), i, "lower bound of bucket {i}");
+            assert_eq!(bucket_index(hi), i, "upper bound of bucket {i}");
+        }
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.add(3);
+        c.add(4);
+        assert_eq!(c.get(), 7);
+        let g = Gauge::new();
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_never_loses_samples_deterministic() {
+        // A cheap splitmix-style stream covering many magnitudes.
+        let h = Histogram::new();
+        let mut x = 0x9E3779B97F4A7C15u64;
+        let mut values = Vec::new();
+        for i in 0..10_000u64 {
+            x = x.wrapping_mul(0x2545F4914F6CDD1D).wrapping_add(i);
+            let v = x >> (x % 60); // spread across bucket range
+            values.push(v);
+            h.record(v);
+        }
+        assert_eq!(h.count(), values.len() as u64);
+        assert_eq!(h.sum(), values.iter().copied().fold(0u64, u64::wrapping_add));
+        assert_eq!(h.bucket_counts().iter().sum::<u64>(), values.len() as u64);
+    }
+
+    #[test]
+    fn percentile_bounds_bracket_true_quantile() {
+        let h = Histogram::new();
+        let mut values: Vec<u64> = (0..1000u64).map(|i| i * i + 1).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.0, 0.01, 0.5, 0.95, 0.99, 1.0] {
+            let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+            let truth = values[rank - 1];
+            let (lo, hi) = snap.quantile_bounds(q).unwrap();
+            assert!(lo <= truth && truth <= hi, "q={q}: {lo} ≤ {truth} ≤ {hi}");
+        }
+        assert!(snap.p50 <= snap.p95 && snap.p95 <= snap.p99);
+    }
+
+    #[test]
+    fn empty_histogram_snapshot_is_zeroed() {
+        let snap = Histogram::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert_eq!(snap.p99, 0);
+        assert_eq!(snap.max, 0);
+        assert_eq!(snap.quantile_bounds(0.5), None);
+        assert_eq!(snap.mean(), 0.0);
+    }
+
+    #[test]
+    fn record_secs_stores_nanos() {
+        let h = Histogram::new();
+        h.record_secs(1.5e-6);
+        assert_eq!(h.sum(), 1_500);
+        h.record_secs(-1.0); // clamped, never underflows
+        assert_eq!(h.count(), 2);
+    }
+}

@@ -1,0 +1,429 @@
+//! The global recorder: registry + flight-recorder ring, installable.
+//!
+//! Nothing records unless a [`Recorder`] is installed: every free
+//! function first checks one relaxed `AtomicBool`, so the disabled path
+//! costs a load and a predictable branch — cheap enough to leave in
+//! `score_block`-adjacent code (the overhead test pins this).
+//!
+//! Spans are clock-agnostic: the *caller* measures the duration against
+//! whatever clock it runs on (wall `Instant`s in the live stack, the DES
+//! engine's `SimTime` in the simulated stack) and hands the elapsed
+//! seconds to [`record_phase`] / [`record_phase_at`]. Identical
+//! instrumentation therefore produces directly comparable traces from
+//! both runtimes — the live/simulated divergence becomes measurable per
+//! phase.
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::registry::{Registry, Snapshot};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default flight-recorder capacity (span events kept for post-mortem).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 1024;
+
+/// One recorded span: a named phase with a tag (worker id, lane id, or
+/// batch index — site-defined), a start timestamp in the *recording
+/// clock's* domain, and a duration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Monotone sequence number (assigned at record time).
+    pub seq: u64,
+    /// Phase name (`gather`, `upsert`, `wal_sync`, ...).
+    pub name: String,
+    /// Site-defined tag (worker id, lane id, batch index).
+    pub tag: u64,
+    /// Start time in seconds: wall seconds since recorder install for the
+    /// live stack, virtual (sim) seconds for the simulated stack.
+    pub at_secs: f64,
+    /// Span duration in seconds, measured on the caller's clock.
+    pub dur_secs: f64,
+}
+
+/// Fixed-capacity ring of recent [`SpanEvent`]s, overwriting oldest.
+/// Dumpable on stall/timeout for post-mortem (e.g. the 60 s gather
+/// timeout in vq-cluster).
+#[derive(Debug)]
+pub struct FlightRecorder {
+    capacity: usize,
+    inner: Mutex<FlightInner>,
+}
+
+#[derive(Debug, Default)]
+struct FlightInner {
+    next_seq: u64,
+    ring: VecDeque<SpanEvent>,
+}
+
+impl FlightRecorder {
+    /// Ring holding up to `capacity` events (0 disables event capture;
+    /// metrics still record).
+    pub fn new(capacity: usize) -> Self {
+        FlightRecorder {
+            capacity,
+            inner: Mutex::new(FlightInner::default()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FlightInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Append an event, evicting the oldest when full.
+    pub fn push(&self, name: &str, tag: u64, at_secs: f64, dur_secs: f64) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut inner = self.lock();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.ring.len() == self.capacity {
+            inner.ring.pop_front();
+        }
+        inner.ring.push_back(SpanEvent {
+            seq,
+            name: name.to_string(),
+            tag,
+            at_secs,
+            dur_secs,
+        });
+    }
+
+    /// Copy of the retained events, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        self.lock().ring.iter().cloned().collect()
+    }
+
+    /// Total events ever pushed (including evicted ones).
+    pub fn total_recorded(&self) -> u64 {
+        self.lock().next_seq
+    }
+
+    /// Human-readable dump of the retained events, oldest first — the
+    /// post-mortem artifact printed on stalls.
+    pub fn render(&self) -> String {
+        let events = self.events();
+        let mut out = String::with_capacity(events.len() * 48 + 64);
+        out.push_str(&format!(
+            "flight recorder: {} event(s) retained (cap {})\n",
+            events.len(),
+            self.capacity
+        ));
+        for e in &events {
+            out.push_str(&format!(
+                "  #{:<6} {:<16} tag={:<6} at={:.6}s dur={:.6}s\n",
+                e.seq, e.name, e.tag, e.at_secs, e.dur_secs
+            ));
+        }
+        out
+    }
+}
+
+/// A metrics registry plus a flight-recorder ring: everything one
+/// process-wide observability session owns.
+#[derive(Debug)]
+pub struct Recorder {
+    registry: Registry,
+    flight: FlightRecorder,
+    origin: Instant,
+}
+
+impl Recorder {
+    /// Recorder with the given flight-ring capacity.
+    pub fn new(flight_capacity: usize) -> Self {
+        Recorder {
+            registry: Registry::new(),
+            flight: FlightRecorder::new(flight_capacity),
+            origin: Instant::now(),
+        }
+    }
+
+    /// The metrics registry.
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The flight-recorder ring.
+    pub fn flight(&self) -> &FlightRecorder {
+        &self.flight
+    }
+
+    /// Wall seconds since this recorder was created (the live stack's
+    /// span timestamp domain).
+    pub fn elapsed_secs(&self) -> f64 {
+        self.origin.elapsed().as_secs_f64()
+    }
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new(DEFAULT_FLIGHT_CAPACITY)
+    }
+}
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: Mutex<Option<Arc<Recorder>>> = Mutex::new(None);
+
+/// Whether a recorder is installed. One relaxed load — the guard every
+/// instrumentation site checks first.
+#[inline]
+pub fn enabled() -> bool {
+    INSTALLED.load(Relaxed)
+}
+
+/// Install `recorder` as the process-wide recorder (replacing any
+/// previous one).
+pub fn install(recorder: Arc<Recorder>) {
+    let mut slot = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(recorder);
+    INSTALLED.store(true, Relaxed);
+}
+
+/// Create, install, and return a default recorder.
+pub fn install_default() -> Arc<Recorder> {
+    let r = Arc::new(Recorder::default());
+    install(r.clone());
+    r
+}
+
+/// Honor the `VQ_OBS` / `VQ_OBS_FLIGHT` environment toggles:
+/// `VQ_OBS=0`/`off` returns `None` without installing; anything else
+/// installs a recorder whose flight-ring capacity is `VQ_OBS_FLIGHT`
+/// (default [`DEFAULT_FLIGHT_CAPACITY`], `0` disables event capture).
+pub fn install_from_env() -> Option<Arc<Recorder>> {
+    match std::env::var("VQ_OBS").as_deref() {
+        Ok("0") | Ok("off") | Ok("false") => return None,
+        _ => {}
+    }
+    let capacity = std::env::var("VQ_OBS_FLIGHT")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_FLIGHT_CAPACITY);
+    let r = Arc::new(Recorder::new(capacity));
+    install(r.clone());
+    Some(r)
+}
+
+/// Remove the installed recorder, returning it (tests; snapshot-at-end).
+pub fn uninstall() -> Option<Arc<Recorder>> {
+    let mut slot = GLOBAL.lock().unwrap_or_else(|e| e.into_inner());
+    INSTALLED.store(false, Relaxed);
+    slot.take()
+}
+
+/// The installed recorder, if any.
+pub fn installed() -> Option<Arc<Recorder>> {
+    if !enabled() {
+        return None;
+    }
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+// ---------------------------------------------------------------------
+// Free recording functions: no-ops when no recorder is installed.
+// ---------------------------------------------------------------------
+
+/// Bump the counter `name` by `delta` (no-op when disabled).
+pub fn count(name: &str, delta: u64) {
+    if let Some(r) = installed() {
+        r.registry.counter(name).add(delta);
+    }
+}
+
+/// Set the gauge `name` (no-op when disabled).
+pub fn gauge_set(name: &str, v: i64) {
+    if let Some(r) = installed() {
+        r.registry.gauge(name).set(v);
+    }
+}
+
+/// Record `v` into the histogram `name` (no-op when disabled).
+pub fn observe(name: &str, v: u64) {
+    if let Some(r) = installed() {
+        r.registry.histogram(name).record(v);
+    }
+}
+
+/// Record one phase span measured on the caller's clock: `dur_secs`
+/// lands in the `phase.{name}` histogram (as nanoseconds) and a
+/// [`SpanEvent`] stamped with wall-seconds-since-install enters the
+/// flight ring. Live (wall-clock) call sites use this form.
+pub fn record_phase(name: &str, tag: u64, dur_secs: f64) {
+    if let Some(r) = installed() {
+        let at = r.elapsed_secs() - dur_secs.max(0.0);
+        record_into(&r, name, tag, at.max(0.0), dur_secs);
+    }
+}
+
+/// Like [`record_phase`] but with an explicit start timestamp — the
+/// virtual-clock stack passes the DES engine's sim time here so both
+/// stacks emit the same span names in their own time domains.
+pub fn record_phase_at(name: &str, tag: u64, at_secs: f64, dur_secs: f64) {
+    if let Some(r) = installed() {
+        record_into(&r, name, tag, at_secs, dur_secs);
+    }
+}
+
+fn record_into(r: &Recorder, name: &str, tag: u64, at_secs: f64, dur_secs: f64) {
+    r.registry
+        .histogram(&format!("phase.{name}"))
+        .record_secs(dur_secs);
+    r.flight.push(name, tag, at_secs, dur_secs);
+}
+
+/// Cached counter handle: registered in the installed recorder when
+/// there is one, otherwise a private (still functional) handle. Sites
+/// that must count regardless of observability — e.g. `WorkerInfo`
+/// traffic counters — hold one of these.
+pub fn handle_counter(name: &str) -> Arc<Counter> {
+    match installed() {
+        Some(r) => r.registry.counter(name),
+        None => Arc::new(Counter::new()),
+    }
+}
+
+/// Cached gauge handle (see [`handle_counter`]).
+pub fn handle_gauge(name: &str) -> Arc<Gauge> {
+    match installed() {
+        Some(r) => r.registry.gauge(name),
+        None => Arc::new(Gauge::new()),
+    }
+}
+
+/// Cached histogram handle (see [`handle_counter`]).
+pub fn handle_histogram(name: &str) -> Arc<Histogram> {
+    match installed() {
+        Some(r) => r.registry.histogram(name),
+        None => Arc::new(Histogram::new()),
+    }
+}
+
+/// Snapshot of the installed recorder's registry, if any.
+pub fn snapshot() -> Option<Snapshot> {
+    installed().map(|r| r.registry.snapshot())
+}
+
+/// Render the installed recorder's flight ring (stall post-mortems).
+pub fn flight_dump_text() -> Option<String> {
+    installed().map(|r| r.flight.render())
+}
+
+/// RAII span: stamps a wall `Instant` at construction (only when a
+/// recorder is installed) and records `phase.{name}` on drop. Built by
+/// the [`crate::span!`] macro. Virtual-clock call sites do not use this
+/// guard — they know their modeled durations and call
+/// [`record_phase_at`] directly.
+pub struct SpanGuard {
+    name: &'static str,
+    tag: u64,
+    started: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Begin a span (near-no-op when disabled: no `Instant` is taken).
+    pub fn begin(name: &'static str, tag: u64) -> Self {
+        SpanGuard {
+            name,
+            tag,
+            started: enabled().then(Instant::now),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if let Some(t0) = self.started {
+            record_phase(self.name, self.tag, t0.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Open a wall-clock phase span recorded on scope exit:
+/// `let _s = span!("gather");` or `let _s = span!("gather", worker = 3);`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::begin($name, 0)
+    };
+    ($name:expr, $key:ident = $tag:expr) => {
+        $crate::SpanGuard::begin($name, $tag as u64)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global recorder is process-wide state; serialize the tests
+    // that install/uninstall it.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_path_records_nothing() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall();
+        assert!(!enabled());
+        count("x", 1);
+        record_phase("p", 0, 0.5);
+        assert_eq!(snapshot(), None);
+        assert_eq!(flight_dump_text(), None);
+        // Private handles still function without a recorder.
+        let c = handle_counter("x");
+        c.add(2);
+        assert_eq!(c.get(), 2);
+    }
+
+    #[test]
+    fn install_routes_recording_and_uninstall_stops_it() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let r = install_default();
+        count("jobs", 2);
+        record_phase("gather", 3, 0.001);
+        {
+            let _s = span!("scoped", worker = 7);
+        }
+        let snap = snapshot().unwrap();
+        assert_eq!(snap.counter("jobs"), 2);
+        assert_eq!(snap.histogram("phase.gather").unwrap().count, 1);
+        assert_eq!(snap.histogram("phase.scoped").unwrap().count, 1);
+        let events = r.flight().events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].name, "gather");
+        assert_eq!(events[0].tag, 3);
+        assert_eq!(events[1].name, "scoped");
+        assert_eq!(events[1].tag, 7);
+        assert!(r.flight().render().contains("gather"));
+        let back = uninstall().unwrap();
+        assert!(Arc::ptr_eq(&back, &r));
+        count("jobs", 5);
+        assert_eq!(back.registry().snapshot().counter("jobs"), 2, "post-uninstall writes dropped");
+    }
+
+    #[test]
+    fn flight_ring_evicts_oldest() {
+        let f = FlightRecorder::new(3);
+        for i in 0..5u64 {
+            f.push("e", i, i as f64, 0.0);
+        }
+        let events = f.events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].seq, 2, "oldest two evicted");
+        assert_eq!(events[2].seq, 4);
+        assert_eq!(f.total_recorded(), 5);
+        let disabled = FlightRecorder::new(0);
+        disabled.push("e", 0, 0.0, 0.0);
+        assert!(disabled.events().is_empty());
+    }
+
+    #[test]
+    fn phase_at_uses_caller_timestamp() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let r = install_default();
+        record_phase_at("virtual_batch", 1, 42.5, 0.25);
+        let e = &r.flight().events()[0];
+        assert_eq!(e.at_secs, 42.5);
+        assert_eq!(e.dur_secs, 0.25);
+        uninstall();
+    }
+}

@@ -1,0 +1,215 @@
+//! The metrics registry: name → metric handle, with snapshots.
+//!
+//! Registration is the only locked operation (a `Mutex<BTreeMap>`); what
+//! it hands out are `Arc` handles over the lock-free primitives in
+//! [`crate::metrics`]. Call sites register once — typically at
+//! construction — and record through the cached handle forever after.
+
+use crate::metrics::{Counter, Gauge, Histogram, HistogramSnapshot};
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+/// A registered metric handle.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotonic counter.
+    Counter(Arc<Counter>),
+    /// Last-write-wins gauge.
+    Gauge(Arc<Gauge>),
+    /// Log-bucketed histogram.
+    Histogram(Arc<Histogram>),
+}
+
+/// Name → metric map. Deterministic (sorted) iteration order so exports
+/// are diffable.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<String, Metric>>,
+}
+
+/// Render `name{label="value"}` — the one label shape vq uses (per-worker
+/// and per-lane breakdowns). The result is a plain registry key; the
+/// Prometheus exporter passes it through unchanged.
+pub fn labeled(name: &str, label: &str, value: u64) -> String {
+    format!("{name}{{{label}=\"{value}\"}}")
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Metric>> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Get or create the counter called `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Counter(Arc::new(Counter::new())))
+        {
+            Metric::Counter(c) => c.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the gauge called `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Gauge(Arc::new(Gauge::new())))
+        {
+            Metric::Gauge(g) => g.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Get or create the histogram called `name`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut map = self.lock();
+        match map
+            .entry(name.to_string())
+            .or_insert_with(|| Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => h.clone(),
+            other => panic!("metric {name:?} already registered as {other:?}"),
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Point-in-time copy of every metric, in name order.
+    pub fn snapshot(&self) -> Snapshot {
+        let entries = self
+            .lock()
+            .iter()
+            .map(|(name, metric)| SnapshotEntry {
+                name: name.clone(),
+                value: match metric {
+                    Metric::Counter(c) => MetricValue::Counter(c.get()),
+                    Metric::Gauge(g) => MetricValue::Gauge(g.get()),
+                    Metric::Histogram(h) => MetricValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        Snapshot { entries }
+    }
+}
+
+/// One metric's frozen value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Counter value.
+    Counter(u64),
+    /// Gauge value.
+    Gauge(i64),
+    /// Histogram snapshot (percentile bounds included).
+    Histogram(HistogramSnapshot),
+}
+
+/// One `(name, value)` pair in a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotEntry {
+    /// Registry key, possibly with a `{label="v"}` suffix.
+    pub name: String,
+    /// Frozen value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of a whole registry, in name order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    /// All entries, sorted by name.
+    pub entries: Vec<SnapshotEntry>,
+}
+
+impl Snapshot {
+    /// Look up an entry by exact name.
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries
+            .iter()
+            .find(|e| e.name == name)
+            .map(|e| &e.value)
+    }
+
+    /// Counter value by name (0 when absent or not a counter).
+    pub fn counter(&self, name: &str) -> u64 {
+        match self.get(name) {
+            Some(MetricValue::Counter(v)) => *v,
+            _ => 0,
+        }
+    }
+
+    /// Histogram snapshot by name, when present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        match self.get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_returns_shared_handles() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.add(2);
+        b.add(3);
+        assert_eq!(r.snapshot().counter("x"), 5);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_typed() {
+        let r = Registry::new();
+        r.gauge("z.depth").set(-4);
+        r.histogram("a.lat").record(100);
+        r.counter("m.total").add(1);
+        let snap = r.snapshot();
+        let names: Vec<&str> = snap.entries.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, vec!["a.lat", "m.total", "z.depth"]);
+        assert_eq!(snap.get("z.depth"), Some(&MetricValue::Gauge(-4)));
+        assert_eq!(snap.histogram("a.lat").unwrap().count, 1);
+        assert_eq!(snap.histogram("missing"), None);
+        assert_eq!(snap.counter("a.lat"), 0, "wrong kind reads as 0");
+    }
+
+    #[test]
+    fn labeled_renders_prometheus_style() {
+        assert_eq!(labeled("worker.queue_depth", "worker", 3), "worker.queue_depth{worker=\"3\"}");
+    }
+}

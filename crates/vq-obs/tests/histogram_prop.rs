@@ -1,0 +1,51 @@
+//! Property tests for the log-bucketed histogram: no sample is ever
+//! lost, and every reported percentile bound brackets the true
+//! nearest-rank quantile of the recorded values.
+
+use proptest::prelude::*;
+use vq_obs::{Histogram, HISTOGRAM_BUCKETS};
+
+proptest! {
+    #[test]
+    fn bucketing_never_loses_a_sample(values in prop::collection::vec(any::<u64>(), 1..500)) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        prop_assert_eq!(h.count(), values.len() as u64);
+        prop_assert_eq!(
+            h.bucket_counts().iter().sum::<u64>(),
+            values.len() as u64,
+            "every sample must land in exactly one bucket"
+        );
+        prop_assert_eq!(h.sum(), values.iter().fold(0u64, |a, &v| a.wrapping_add(v)));
+    }
+
+    #[test]
+    fn percentile_bounds_bracket_true_quantile(
+        mut values in prop::collection::vec(0u64..1 << 40, 1..400),
+        q in 0.0f64..=1.0,
+    ) {
+        let h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let rank = ((q * values.len() as f64).ceil() as usize).max(1);
+        let truth = values[rank - 1];
+        let snap = h.snapshot();
+        let (lo, hi) = snap.quantile_bounds(q).expect("non-empty");
+        prop_assert!(lo <= truth && truth <= hi, "q={}: {} ≤ {} ≤ {}", q, lo, truth, hi);
+        // The headline percentiles are the same machinery.
+        prop_assert!(snap.p50 <= snap.p95 && snap.p95 <= snap.p99);
+        prop_assert!(snap.p99 <= snap.max);
+    }
+
+    #[test]
+    fn bucket_index_roundtrips_bounds(v in any::<u64>()) {
+        let i = vq_obs::bucket_index(v);
+        prop_assert!(i < HISTOGRAM_BUCKETS);
+        let (lo, hi) = vq_obs::bucket_bounds(i);
+        prop_assert!(lo <= v && v <= hi, "{} outside bucket {} = [{}, {}]", v, i, lo, hi);
+    }
+}

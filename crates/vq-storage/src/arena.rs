@@ -79,6 +79,7 @@ impl PagedArena {
         if slot == 0 {
             self.pages
                 .push(vec![0.0f32; self.page_vectors * self.dim].into_boxed_slice());
+            vq_obs::count("arena.pages_materialized", 1);
         }
         let page = self.pages.last_mut().expect("just ensured");
         page[slot * self.dim..(slot + 1) * self.dim].copy_from_slice(v);
@@ -117,6 +118,7 @@ impl PagedArena {
                 // either way — every slot is overwritten.
                 let run = &slab[copied * self.dim..(copied + self.page_vectors) * self.dim];
                 self.pages.push(run.to_vec().into_boxed_slice());
+                vq_obs::count("arena.pages_materialized", 1);
                 self.len += self.page_vectors;
                 copied += self.page_vectors;
                 continue;
@@ -124,6 +126,7 @@ impl PagedArena {
             if slot == 0 {
                 self.pages
                     .push(vec![0.0f32; self.page_vectors * self.dim].into_boxed_slice());
+                vq_obs::count("arena.pages_materialized", 1);
             }
             let take = (self.page_vectors - slot).min(rows - copied);
             let page = self.pages.last_mut().expect("just ensured");

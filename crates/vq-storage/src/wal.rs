@@ -448,16 +448,15 @@ pub struct Wal {
     backend: Box<dyn WalBackend>,
     records: u64,
     synced_batches: u64,
+    // Registry mirror of `synced_batches`, aggregated across every WAL in
+    // the process; the local field keeps per-log group-commit accounting.
+    synced_shared: std::sync::Arc<vq_obs::Counter>,
 }
 
 impl Wal {
     /// WAL over an in-memory backend.
     pub fn in_memory() -> Self {
-        Wal {
-            backend: Box::new(MemBackend::new()),
-            records: 0,
-            synced_batches: 0,
-        }
+        Wal::with_backend(Box::new(MemBackend::new()))
     }
 
     /// WAL over any backend.
@@ -466,6 +465,7 @@ impl Wal {
             backend,
             records: 0,
             synced_batches: 0,
+            synced_shared: vq_obs::handle_counter("wal.synced_batches"),
         }
     }
 
@@ -483,9 +483,14 @@ impl Wal {
         frame.put_u32_le(crc32(&payload));
         frame.put_slice(&payload);
         self.backend.append(&frame)?;
+        let stamp = vq_obs::enabled().then(std::time::Instant::now);
         self.backend.sync()?;
+        if let Some(stamp) = stamp {
+            vq_obs::record_phase("wal_sync", 0, stamp.elapsed().as_secs_f64());
+        }
         self.records += 1;
         self.synced_batches += 1;
+        self.synced_shared.add(1);
         Ok(())
     }
 

@@ -34,6 +34,7 @@ fn main() -> ExitCode {
         "search" => cmd_search(&flags),
         "scroll" => cmd_scroll(&flags),
         "info" => cmd_info(&flags),
+        "metrics" => cmd_metrics(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -59,7 +60,8 @@ USAGE:
   vq build  --dir DIR
   vq search --dir DIR --vector V1,V2,... [--k N] [--ef N] [--filter key=value]
   vq scroll --dir DIR [--after ID] [--limit N]
-  vq info   --dir DIR";
+  vq info   --dir DIR
+  vq metrics [--points N] [--workers N] [--serve ADDR]";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -291,5 +293,70 @@ fn cmd_info(flags: &HashMap<String, String>) -> CliResult {
         stats.indexed_segments
     );
     println!("approx bytes:     {}", DataSize(stats.approx_bytes as u64));
+    Ok(())
+}
+
+/// Run a short demo workload on an in-process cluster with the flight
+/// recorder installed, then print the resulting metrics in the
+/// Prometheus text exposition format — or keep serving them over HTTP
+/// with `--serve ADDR` for scrape pipelines.
+fn cmd_metrics(flags: &HashMap<String, String>) -> CliResult {
+    use vq::vq_obs;
+
+    let points: u64 = flags
+        .get("points")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --points: {e}"))?
+        .unwrap_or(2_000);
+    let workers: u32 = flags
+        .get("workers")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --workers: {e}"))?
+        .unwrap_or(2);
+
+    // Honors VQ_OBS=0 (the command then reports no recorder) and
+    // VQ_OBS_FLIGHT for the ring size.
+    vq_obs::install_from_env();
+
+    let dim = 32usize;
+    // Journaled so the durability phase (`phase.wal_sync`) is in the
+    // output; small segments so seals and index builds happen too.
+    let collection = CollectionConfig::new(dim, Distance::Cosine)
+        .max_segment_points(512)
+        .journal(true);
+    let cluster = Cluster::start(ClusterConfig::new(workers), collection)?;
+    let corpus = CorpusSpec::small(points.max(1_000));
+    let model = EmbeddingModel::small(&corpus, dim);
+    let dataset = DatasetSpec::with_vectors(corpus, model, points);
+    LiveUploader::new(32, workers).columnar().upload(&cluster, &dataset)?;
+    let queries: Vec<Vec<f32>> = (0..128).map(|i| dataset.point(i % points).vector).collect();
+    LiveQueryRunner::new(16, 5).run(&cluster, &queries)?;
+    cluster.shutdown();
+
+    let snapshot = vq_obs::snapshot().ok_or("no recorder installed (VQ_OBS=0?)")?;
+    match flags.get("serve") {
+        None => print!("{}", snapshot.to_prometheus()),
+        Some(addr) => {
+            let listener = std::net::TcpListener::bind(addr.as_str())
+                .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            println!("serving Prometheus metrics on http://{addr}/metrics (Ctrl-C to stop)");
+            for stream in listener.incoming() {
+                let Ok(mut stream) = stream else { continue };
+                use std::io::{Read, Write};
+                let mut request = [0u8; 1024];
+                let _ = stream.read(&mut request);
+                let body = vq_obs::snapshot()
+                    .map(|s| s.to_prometheus())
+                    .unwrap_or_default();
+                let response = format!(
+                    "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    body.len()
+                );
+                let _ = stream.write_all(response.as_bytes());
+            }
+        }
+    }
     Ok(())
 }

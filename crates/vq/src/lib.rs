@@ -47,6 +47,7 @@
 //! | [`vq_cluster`] | workers, placement, broadcast–reduce |
 //! | [`vq_client`] | live drivers + calibrated client simulations |
 //! | [`vq_hpc`] | virtual time, DES engine, CPU/GPU/queue models |
+//! | [`vq_obs`] | metrics registry, phase spans, flight recorder |
 //! | [`vq_embed`] | embedding pipeline (orchestrator, GPU batching) |
 //! | [`vq_workload`] | synthetic peS2o corpus, BV-BRC terms, recall |
 
@@ -60,6 +61,7 @@ pub use vq_embed;
 pub use vq_hpc;
 pub use vq_index;
 pub use vq_net;
+pub use vq_obs;
 pub use vq_storage;
 pub use vq_workload;
 

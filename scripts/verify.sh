@@ -38,4 +38,7 @@ cargo test -q
 echo "==> VQ_FORCE_SCALAR=1 cargo test -q -p vq-core -p vq-index"
 VQ_FORCE_SCALAR=1 cargo test -q -p vq-core -p vq-index
 
+echo "==> repro live --check (observability phase coverage)"
+cargo run --release -p vq-bench --bin repro -- live --check
+
 echo "OK"
