@@ -22,6 +22,10 @@
 //! * `live` (not part of `all`) drives a real in-process cluster and
 //!   records cluster-side `WorkerInfo` telemetry — per-phase timings and
 //!   coordinator saturations — alongside client-side latency.
+//! * `chaos` (not part of `all`) kills and restarts workers under a
+//!   seeded fault plan while a replicated, WAL-backed cluster ingests;
+//!   `--check` fails on any lost acknowledged write, over-deadline query,
+//!   or unreported coverage loss — the CI chaos-smoke contract.
 
 use serde::Serialize;
 use vq_bench::calib::Calibration;
@@ -86,7 +90,7 @@ fn main() {
     let calib = Calibration::default();
     let known = [
         "table1", "table2", "fig2", "table3", "fig3", "fig4", "fig5", "ablation",
-        "variability", "pipeline", "live", "ingest", "all",
+        "variability", "pipeline", "live", "ingest", "chaos", "all",
     ];
     if !known.contains(&which) {
         eprintln!("unknown experiment `{which}`; one of: {}", known.join(", "));
@@ -133,6 +137,13 @@ fn main() {
     // machine); `--check` makes it the CI ingest-bench-smoke contract.
     if which == "ingest" {
         print_ingest(json, check, scale);
+    }
+    // Chaos soak: opt-in only (kills and restarts real worker threads
+    // under seeded faults); `--check` makes it the CI chaos-smoke
+    // contract — zero acknowledged writes lost across kill/restart
+    // cycles, and queries stay deadline-bounded while workers are down.
+    if which == "chaos" {
+        print_chaos(json, check, scale);
     }
 }
 
@@ -1270,6 +1281,284 @@ fn print_ingest(json: bool, check: bool, scale: f64) {
                  block_secs <= per_point_secs),
                 ("block path group-commits one sync per block", block_syncs == 1),
                 ("per-point path syncs once per point", per_point_syncs == n),
+            ],
+        );
+    }
+}
+
+#[derive(Serialize)]
+struct ChaosOut {
+    workers: u32,
+    replication: u32,
+    kill_restart_cycles: u32,
+    points_acked: u64,
+    upserts_rejected: u64,
+    post_recovery_count: u64,
+    lost_acked_points: u64,
+    worker_restarts: u64,
+    failovers: u64,
+    search_retries: u64,
+    degraded_shards: Vec<vq_cluster::ShardId>,
+    degraded_query_ms_max: f64,
+    concurrent_searches: u64,
+    metrics: serde_json::Value,
+}
+
+/// Upsert `range` of `dataset` in small batches, recording which ids the
+/// cluster *acknowledged*. A rejected batch is counted, not retried —
+/// the soak invariant is about acked writes only.
+fn chaos_ingest(
+    client: &mut vq_cluster::ClusterClient,
+    dataset: &vq_workload::DatasetSpec,
+    range: std::ops::Range<u64>,
+    acked: &mut Vec<u64>,
+    rejected: &mut u64,
+) {
+    let mut lo = range.start;
+    while lo < range.end {
+        let hi = (lo + 64).min(range.end);
+        match client.upsert_batch(dataset.points_in(lo..hi)) {
+            Ok(()) => acked.extend(lo..hi),
+            Err(_) => *rejected += hi - lo,
+        }
+        lo = hi;
+    }
+}
+
+/// Seeded chaos soak (PR 3's flaky-shutdown repro, promoted): a
+/// replicated, WAL-backed cluster ingests under a deterministic fault
+/// plan while each worker in turn is killed mid-stream and restarted
+/// from its snapshot + WAL. `--check` enforces the recovery contract:
+///
+/// * every acknowledged upsert is findable after all workers recover —
+///   zero lost acked points;
+/// * queries issued while workers are dead stay within the configured
+///   deadline budget and report uncovered shards via `degraded` instead
+///   of hanging or erroring.
+fn print_chaos(json: bool, check: bool, scale: f64) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use vq_cluster::{Cluster, ClusterConfig, Deadlines, Durability};
+    use vq_collection::{CollectionConfig, SearchRequest};
+    use vq_core::Distance;
+    use vq_net::FaultPlan;
+    use vq_workload::{DatasetSpec, EmbeddingModel};
+
+    section("Chaos soak: seeded faults, kill/restart under load, zero lost acked writes");
+    let workers = 3u32;
+    let replication = 2u32;
+    let dim = 16usize;
+    let n = scaled(3_000, scale, 300);
+    let corpus = CorpusSpec::small(n);
+    let model = EmbeddingModel::small(&corpus, dim);
+    let dataset = DatasetSpec::with_vectors(corpus, model, n);
+
+    let deadlines = Deadlines {
+        request: Duration::from_secs(5),
+        gather: Duration::from_millis(500),
+        index_build: Duration::from_secs(60),
+        retry_backoff: Duration::from_millis(5),
+    };
+    // Background noise, not outage: the seeded plan delays and duplicates
+    // a few percent of frames on every edge (same seed → same rolls).
+    // Outages come from `kill_worker` below.
+    let faults = FaultPlan::new(42)
+        .delay_on(None, None, 0.05, Duration::from_millis(2))
+        .duplicate_on(None, None, 0.03);
+    let cluster = Cluster::start(
+        ClusterConfig::new(workers)
+            .replication(replication)
+            .deadlines(deadlines)
+            .durability(Durability::SharedMem)
+            .faults(faults),
+        CollectionConfig::new(dim, Distance::Cosine).max_segment_points(256),
+    )
+    .expect("cluster start");
+    let mut client = cluster.client();
+
+    // Concurrent read load across the whole kill/restart phase: retries
+    // and replica failover must absorb every outage — the searcher never
+    // sees an error, at worst degraded coverage.
+    let stop = Arc::new(AtomicBool::new(false));
+    let searcher = {
+        let cluster = cluster.clone();
+        let stop = stop.clone();
+        let probe = dataset.point(0).vector;
+        std::thread::spawn(move || {
+            let mut client = cluster.client();
+            let mut ok = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                client
+                    .search_batch_outcome(vec![SearchRequest::new(probe.clone(), 5)])
+                    .expect("concurrent search survives kill/restart");
+                ok += 1;
+            }
+            ok
+        })
+    };
+
+    // Kill/restart cycle: each worker dies once, mid-ingest. Writes keep
+    // flowing while it is down (replication 2 → every shard keeps a live
+    // owner), and the replacement recovers from snapshot + WAL replay.
+    let mut acked: Vec<u64> = Vec::new();
+    let mut rejected = 0u64;
+    let slice = n.max(2 * workers as u64) / (2 * workers as u64);
+    for victim in 0..workers {
+        let base = victim as u64 * 2 * slice;
+        chaos_ingest(&mut client, &dataset, base..base + slice, &mut acked, &mut rejected);
+        cluster.kill_worker(victim).expect("victim is tracked");
+        chaos_ingest(
+            &mut client,
+            &dataset,
+            base + slice..base + 2 * slice,
+            &mut acked,
+            &mut rejected,
+        );
+        // A search mid-outage must still answer: the surviving replicas
+        // cover every shard, so coverage is full, not degraded.
+        let probe = SearchRequest::new(dataset.point(base % n).vector, 5);
+        let out = client
+            .search_batch_outcome(vec![probe])
+            .expect("replicated search during a single-worker outage");
+        assert!(
+            out.degraded.is_empty(),
+            "one dead worker of three must not lose shard coverage at replication 2"
+        );
+        cluster.restart_worker(victim).expect("replacement comes up");
+    }
+    chaos_ingest(
+        &mut client,
+        &dataset,
+        (2 * slice * workers as u64).min(n)..n,
+        &mut acked,
+        &mut rejected,
+    );
+
+    stop.store(true, Ordering::Relaxed);
+    let concurrent_searches = searcher.join().expect("searcher thread clean exit");
+
+    // Recovery verification: everything the cluster acked is findable.
+    let post_count = client.count(None).expect("count after recovery") as u64;
+    let mut lost = 0u64;
+    for &id in acked.iter().step_by(7) {
+        if client.get(id).expect("get after recovery").is_none() {
+            lost += 1;
+        }
+    }
+
+    // Degraded phase: two of three workers down → some shards lose every
+    // owner. Queries must answer within the deadline budget and report
+    // the uncovered shards rather than hang.
+    cluster.kill_worker(0).expect("worker 0 tracked");
+    cluster.kill_worker(1).expect("worker 1 tracked");
+    let budget = deadlines.request + deadlines.gather + Duration::from_secs(1);
+    let mut degraded_union: std::collections::BTreeSet<vq_cluster::ShardId> =
+        std::collections::BTreeSet::new();
+    let mut degraded_ms_max = 0.0f64;
+    let mut all_bounded = true;
+    for i in 0..8u64 {
+        let q = SearchRequest::new(dataset.point((i * 37) % n).vector, 5);
+        let t0 = Instant::now();
+        let out = client
+            .search_batch_outcome(vec![q])
+            .expect("degraded search still answers");
+        let elapsed = t0.elapsed();
+        degraded_ms_max = degraded_ms_max.max(elapsed.as_secs_f64() * 1e3);
+        all_bounded &= elapsed < budget;
+        degraded_union.extend(out.degraded.iter().copied());
+    }
+    let degraded_shards: Vec<vq_cluster::ShardId> = degraded_union.into_iter().collect();
+    let restarts = cluster.worker_restart_count();
+    let failovers = cluster.failover_count();
+    let retries = cluster.search_retry_count();
+    cluster.shutdown();
+
+    println!(
+        "acked {} upserts ({} rejected) across {} kill/restart cycles; post-recovery count {}; {} sampled acked points missing",
+        acked.len(),
+        rejected,
+        workers,
+        post_count,
+        lost,
+    );
+    println!(
+        "two-workers-down queries: max {:.1} ms (budget {:.0} ms), degraded shards {:?}",
+        degraded_ms_max,
+        budget.as_secs_f64() * 1e3,
+        degraded_shards,
+    );
+    println!(
+        "counters: {} restarts, {} failovers, {} search retries; {} concurrent searches, none errored",
+        restarts, failovers, retries, concurrent_searches,
+    );
+    let mut phase_counts = Vec::new();
+    if let Some(snap) = vq_obs::snapshot() {
+        println!("phase latency percentiles (flight recorder):");
+        phase_counts = print_phase_percentiles(&snap, &["wal_replay", "gather", "upsert", "search"]);
+    }
+
+    emit(
+        json,
+        "chaos",
+        &ChaosOut {
+            workers,
+            replication,
+            kill_restart_cycles: workers,
+            points_acked: acked.len() as u64,
+            upserts_rejected: rejected,
+            post_recovery_count: post_count,
+            lost_acked_points: lost,
+            worker_restarts: restarts,
+            failovers,
+            search_retries: retries,
+            degraded_shards: degraded_shards.clone(),
+            degraded_query_ms_max: degraded_ms_max,
+            concurrent_searches,
+            metrics: obs_metrics_json(),
+        },
+    );
+
+    if check {
+        let replayed = phase_counts
+            .iter()
+            .any(|(name, c)| name == "phase.wal_replay" && *c > 0);
+        enforce_shapes(
+            "chaos",
+            &[
+                ("zero acked points lost after kill/restart recovery", lost == 0),
+                (
+                    "no upsert rejected while every shard kept a live replica",
+                    rejected == 0,
+                ),
+                (
+                    "post-recovery count equals acked upserts",
+                    post_count == acked.len() as u64,
+                ),
+                (
+                    "every kill/restart cycle recorded a worker restart",
+                    restarts == workers as u64,
+                ),
+                (
+                    "writes failed over to replicas while their primary was down",
+                    failovers > 0,
+                ),
+                (
+                    "two dead workers of three leave shards reported as degraded",
+                    !degraded_shards.is_empty(),
+                ),
+                (
+                    "degraded queries stay within the deadline budget",
+                    all_bounded,
+                ),
+                (
+                    "restart recovery replayed the WAL (phase.wal_replay recorded)",
+                    replayed,
+                ),
+                (
+                    "concurrent searches survived every kill/restart",
+                    concurrent_searches > 0,
+                ),
             ],
         );
     }

@@ -10,18 +10,47 @@
 
 use crate::messages::{ClusterMsg, Request, Response};
 use crate::placement::{Placement, ShardId, WorkerId};
+use crate::recovery::{Durability, WalStore};
 use crate::worker::{alloc_ephemeral_id, Worker};
 use parking_lot::RwLock;
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use vq_collection::{CollectionConfig, CollectionStats, SearchRequest};
 use vq_core::{Point, PointBlock, PointId, ScoredPoint, VqError, VqResult};
-use vq_net::{Endpoint, NetworkModel, Switchboard};
+use vq_net::{Endpoint, FaultPlan, NetworkModel, Switchboard};
+
+/// Per-request time budgets, configured instead of hard-coded (the old
+/// fixed 120 s client / 60 s gather / 600 s build constants meant a dead
+/// worker stalled callers for the full constant regardless of deployment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Deadlines {
+    /// Overall budget for one client request (send → matching response).
+    pub request: Duration,
+    /// Coordinator-side budget for gathering scatter partials; peers that
+    /// miss it are reported as degraded coverage, not an error.
+    pub gather: Duration,
+    /// Budget for a cluster-wide index build.
+    pub index_build: Duration,
+    /// Initial pause before a search retry; doubles per attempt (capped
+    /// at one second).
+    pub retry_backoff: Duration,
+}
+
+impl Default for Deadlines {
+    fn default() -> Self {
+        Deadlines {
+            request: Duration::from_secs(120),
+            gather: Duration::from_secs(60),
+            index_build: Duration::from_secs(600),
+            retry_backoff: Duration::from_millis(10),
+        }
+    }
+}
 
 /// How a cluster is laid out.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ClusterConfig {
     /// Number of workers.
     pub workers: u32,
@@ -33,6 +62,13 @@ pub struct ClusterConfig {
     pub replication: u32,
     /// Optional network model imposing modeled delays on the transport.
     pub network: Option<NetworkModel>,
+    /// Per-request time budgets.
+    pub deadlines: Deadlines,
+    /// Where shard WALs live (volatile by default: worker death loses
+    /// the shard, as in the paper's stateful architecture).
+    pub durability: Durability,
+    /// Seeded fault plan installed on the transport at start.
+    pub faults: Option<FaultPlan>,
 }
 
 impl ClusterConfig {
@@ -44,6 +80,9 @@ impl ClusterConfig {
             shards: None,
             replication: 1,
             network: None,
+            deadlines: Deadlines::default(),
+            durability: Durability::Volatile,
+            faults: None,
         }
     }
 
@@ -64,6 +103,24 @@ impl ClusterConfig {
         self.network = Some(model);
         self
     }
+
+    /// Builder-style setter for request deadlines.
+    pub fn deadlines(mut self, deadlines: Deadlines) -> Self {
+        self.deadlines = deadlines;
+        self
+    }
+
+    /// Builder-style setter for shard durability.
+    pub fn durability(mut self, durability: Durability) -> Self {
+        self.durability = durability;
+        self
+    }
+
+    /// Builder-style setter for a seeded transport fault plan.
+    pub fn faults(mut self, plan: FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
 }
 
 /// A running cluster of worker threads.
@@ -73,7 +130,14 @@ pub struct Cluster {
     workers: RwLock<Vec<Worker>>,
     collection_config: CollectionConfig,
     cluster_config: ClusterConfig,
+    wal_store: Arc<WalStore>,
+    /// Workers observed dead (killed, or a request to them failed at the
+    /// transport). Routing skips them; `restart_worker` clears them.
+    dead: RwLock<HashSet<WorkerId>>,
     rr_worker: AtomicU64,
+    search_retries: AtomicU64,
+    failovers: AtomicU64,
+    worker_restarts: AtomicU64,
 }
 
 impl Cluster {
@@ -93,6 +157,10 @@ impl Cluster {
             Some(model) => Switchboard::with_model(model),
             None => Switchboard::new(),
         };
+        if let Some(plan) = cluster_config.faults.clone() {
+            switchboard.install_faults(plan);
+        }
+        let wal_store = Arc::new(WalStore::new(cluster_config.durability.clone()));
         let workers = worker_ids
             .iter()
             .map(|&id| {
@@ -103,16 +171,23 @@ impl Cluster {
                     collection_config,
                     placement.clone(),
                     switchboard.clone(),
+                    cluster_config.deadlines,
+                    wal_store.clone(),
                 )
             })
-            .collect();
+            .collect::<VqResult<Vec<_>>>()?;
         Ok(Arc::new(Cluster {
             switchboard,
             placement,
             workers: RwLock::new(workers),
             collection_config,
             cluster_config,
+            wal_store,
+            dead: RwLock::new(HashSet::new()),
             rr_worker: AtomicU64::new(0),
+            search_retries: AtomicU64::new(0),
+            failovers: AtomicU64::new(0),
+            worker_restarts: AtomicU64::new(0),
         }))
     }
 
@@ -154,14 +229,172 @@ impl Cluster {
         }
     }
 
-    fn pick_first_contact(&self) -> VqResult<WorkerId> {
+    /// Cluster layout (deadlines, durability, replication).
+    pub fn config(&self) -> &ClusterConfig {
+        &self.cluster_config
+    }
+
+    /// Workers currently marked dead (sorted).
+    pub fn dead_workers(&self) -> Vec<WorkerId> {
+        let mut v: Vec<WorkerId> = self.dead.read().iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Mark a worker dead for routing purposes. Called automatically
+    /// when a request to it fails at the transport; also callable by
+    /// harnesses that learn of a death out of band.
+    pub fn mark_worker_dead(&self, id: WorkerId) {
+        if self.dead.write().insert(id) {
+            vq_obs::count("cluster.worker_deaths", 1);
+        }
+    }
+
+    /// Workers crashed by the installed fault plan's `KillAfter` rules so
+    /// far (empty without a plan). A chaos harness polls this to learn
+    /// which workers to `restart_worker`.
+    pub fn fault_killed(&self) -> Vec<WorkerId> {
+        self.switchboard.fault_killed()
+    }
+
+    /// Search retries clients performed because a first contact was
+    /// unreachable (mirrors the `cluster.search_retries` counter).
+    pub fn search_retry_count(&self) -> u64 {
+        self.search_retries.load(Ordering::Relaxed)
+    }
+
+    /// Failovers: requests that succeeded on a replica after their
+    /// preferred worker failed (mirrors `cluster.failovers`).
+    pub fn failover_count(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Workers brought back by [`Self::restart_worker`] (mirrors
+    /// `cluster.worker_restarts`).
+    pub fn worker_restart_count(&self) -> u64 {
+        self.worker_restarts.load(Ordering::Relaxed)
+    }
+
+    /// Kill a worker abruptly: its transport endpoint is yanked with no
+    /// deregister/ack handshake (messages already queued still drain, as
+    /// on a real crash where the kernel delivers what it buffered). The
+    /// worker thread exits when it sees the transport gone; its volatile
+    /// shard state is lost. Durable WALs (see [`Durability`]) survive in
+    /// the cluster's [`WalStore`] for [`Self::restart_worker`].
+    pub fn kill_worker(&self, id: WorkerId) -> VqResult<()> {
+        let worker = {
+            let mut workers = self.workers.write();
+            let pos = workers
+                .iter()
+                .position(|w| w.id() == id)
+                .ok_or(VqError::NodeNotFound(id))?;
+            workers.remove(pos)
+        };
+        self.switchboard.crash(id);
+        self.mark_worker_dead(id);
+        worker.join();
+        Ok(())
+    }
+
+    /// Bring a replacement worker up under a previously killed id:
+    /// recover each owned shard from the [`WalStore`] (snapshot restore
+    /// plus WAL replay through the normal apply path — volatile mode
+    /// recovers empty shards), re-register with the switchboard, and
+    /// resume shard ownership. The id must belong to the placement.
+    pub fn restart_worker(self: &Arc<Self>, id: WorkerId) -> VqResult<()> {
+        if !self.placement.read().workers().contains(&id) {
+            return Err(VqError::NodeNotFound(id));
+        }
+        // Reap a live (or fault-killed but still tracked) incumbent.
+        let incumbent = {
+            let mut workers = self.workers.write();
+            workers
+                .iter()
+                .position(|w| w.id() == id)
+                .map(|pos| workers.remove(pos))
+        };
+        if let Some(w) = incumbent {
+            self.switchboard.crash(id);
+            w.join();
+        }
+        let node = id / self.cluster_config.workers_per_node.max(1);
+        let worker = Worker::spawn(
+            id,
+            node,
+            self.collection_config,
+            self.placement.clone(),
+            self.switchboard.clone(),
+            self.cluster_config.deadlines,
+            self.wal_store.clone(),
+        )?;
+        self.workers.write().push(worker);
+        self.dead.write().remove(&id);
+        // The replacement's own WAL ends at the kill: writes a replica
+        // acknowledged while this worker was down exist only on that
+        // replica. Catch up by pulling each shard from a live co-owner —
+        // the same donor path rebalancing uses. The install checkpoints
+        // the shard (snapshot + WAL truncate) and re-journals from there,
+        // so a second crash still recovers the caught-up state. Shards
+        // with no live co-owner (replication 1, or every replica dead)
+        // keep their WAL-replayed copy.
+        let shards = self.placement.read().shards_of(id);
+        let mut client = self.client();
+        for shard in shards {
+            let donor = {
+                let placement = self.placement.read();
+                let dead = self.dead.read();
+                placement
+                    .owners_of(shard)?
+                    .iter()
+                    .copied()
+                    .find(|w| *w != id && !dead.contains(w))
+            };
+            if let Some(donor) = donor {
+                match client.request(donor, Request::TransferShard { shard, to: id })? {
+                    Response::Ok => {}
+                    Response::Error(e) => return Err(e),
+                    other => {
+                        return Err(VqError::Internal(format!(
+                            "unexpected catch-up transfer response: {other:?}"
+                        )))
+                    }
+                }
+            }
+        }
+        self.worker_restarts.fetch_add(1, Ordering::Relaxed);
+        vq_obs::count("cluster.worker_restarts", 1);
+        Ok(())
+    }
+
+    fn pick_first_contact_excluding(&self, excluded: &HashSet<WorkerId>) -> VqResult<WorkerId> {
         let placement = self.placement.read();
         let workers = placement.workers();
-        if workers.is_empty() {
+        let dead = self.dead.read();
+        let live: Vec<WorkerId> = workers
+            .iter()
+            .copied()
+            .filter(|w| !dead.contains(w) && !excluded.contains(w))
+            .collect();
+        // If every live worker was already tried this query, fall back to
+        // anything not yet tried (a "dead" worker may have recovered).
+        let pool = if live.is_empty() {
+            workers
+                .iter()
+                .copied()
+                .filter(|w| !excluded.contains(w))
+                .collect()
+        } else {
+            live
+        };
+        if pool.is_empty() {
             return Err(VqError::NoAvailableWorker);
         }
-        let i = self.rr_worker.fetch_add(1, Ordering::Relaxed) as usize % workers.len();
-        Ok(workers[i])
+        let i = self.rr_worker.fetch_add(1, Ordering::Relaxed) as usize % pool.len();
+        Ok(pool[i])
+    }
+
+    fn pick_first_contact(&self) -> VqResult<WorkerId> {
+        self.pick_first_contact_excluding(&HashSet::new())
     }
 
     /// Grow the cluster by `extra` workers and rebalance shards onto them
@@ -184,7 +417,9 @@ impl Cluster {
                     self.collection_config,
                     self.placement.clone(),
                     self.switchboard.clone(),
-                ));
+                    self.cluster_config.deadlines,
+                    self.wal_store.clone(),
+                )?);
             }
         }
         // Compute the new placement and the moves it requires.
@@ -224,9 +459,27 @@ impl Cluster {
         }
         let mut workers = self.workers.write();
         for w in workers.drain(..) {
+            // A worker the fault plan (or a crash) cut off never saw the
+            // Shutdown request: yank its endpoint so the serve loop exits
+            // instead of blocking the join forever. Workers that did ack
+            // already deregistered themselves — this is a no-op for them.
+            self.switchboard.crash(w.id());
             w.join();
         }
     }
+}
+
+/// Outcome of a batch search: the merged results plus which shards (if
+/// any) had no live owner during the gather. `degraded` empty means every
+/// shard contributed; non-empty means results may be missing points from
+/// the listed shards (the stateful architecture's partial-answer mode
+/// when a worker and all its replicas are down).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SearchOutcome {
+    /// One merged, deduplicated result list per query.
+    pub results: Vec<Vec<ScoredPoint>>,
+    /// Shards not covered by any responding worker.
+    pub degraded: Vec<ShardId>,
 }
 
 /// Application handle to the cluster.
@@ -243,8 +496,23 @@ impl ClusterClient {
         self.id
     }
 
-    /// Send `body` to `worker` and wait for the matching response.
+    /// Send `body` to `worker` and wait for the matching response, within
+    /// the configured request deadline.
     pub fn request(&mut self, worker: WorkerId, body: Request) -> VqResult<Response> {
+        let timeout = self.cluster.cluster_config.deadlines.request;
+        self.request_with_deadline(worker, body, timeout)
+    }
+
+    /// Like [`Self::request`] with an explicit overall budget. The budget
+    /// covers the whole exchange: stale responses drained from earlier
+    /// timed-out requests do not reset it (the old fixed-timeout loop
+    /// restarted its 120 s wait on every stale frame).
+    pub fn request_with_deadline(
+        &mut self,
+        worker: WorkerId,
+        body: Request,
+        timeout: Duration,
+    ) -> VqResult<Response> {
         let tag = self.next_tag;
         self.next_tag += 1;
         let msg = ClusterMsg::Request {
@@ -254,8 +522,13 @@ impl ClusterClient {
         };
         let bytes = msg.approx_wire_bytes();
         self.endpoint.send_sized(worker, msg, bytes)?;
+        let deadline = Instant::now() + timeout;
         loop {
-            let env = self.endpoint.recv_timeout(Duration::from_secs(120))?;
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return Err(VqError::Timeout);
+            }
+            let env = self.endpoint.recv_timeout(remaining)?;
             if let ClusterMsg::Response { tag: t, body } = env.payload {
                 if t == tag {
                     return Ok(body);
@@ -283,18 +556,13 @@ impl ClusterClient {
                 grouped.entry((*last, shard)).or_default().push(p);
             }
         }
-        for ((worker, shard), points) in grouped {
-            match self.request(worker, Request::UpsertBatch { shard, points })? {
-                Response::Ok => {}
-                Response::Error(e) => return Err(e),
-                other => {
-                    return Err(VqError::Internal(format!(
-                        "unexpected response to upsert: {other:?}"
-                    )))
-                }
-            }
-        }
-        Ok(())
+        let writes = grouped
+            .into_iter()
+            .map(|((worker, shard), points)| {
+                (worker, shard, Request::UpsertBatch { shard, points })
+            })
+            .collect();
+        self.flush_replicated_writes(writes)
     }
 
     /// Upsert a columnar block, routed to shard owners (all replicas).
@@ -317,25 +585,20 @@ impl ClusterClient {
                 }
             }
         }
-        for ((worker, shard), rows) in grouped {
-            // Rows are collected in ascending order, so a full-length
-            // group is exactly the whole block.
-            let view = if rows.len() == block.len() {
-                Arc::clone(block)
-            } else {
-                Arc::new(block.select(&rows))
-            };
-            match self.request(worker, Request::UpsertBlock { shard, block: view })? {
-                Response::Ok => {}
-                Response::Error(e) => return Err(e),
-                other => {
-                    return Err(VqError::Internal(format!(
-                        "unexpected response to block upsert: {other:?}"
-                    )))
-                }
-            }
-        }
-        Ok(())
+        let writes = grouped
+            .into_iter()
+            .map(|((worker, shard), rows)| {
+                // Rows are collected in ascending order, so a full-length
+                // group is exactly the whole block.
+                let view = if rows.len() == block.len() {
+                    Arc::clone(block)
+                } else {
+                    Arc::new(block.select(&rows))
+                };
+                (worker, shard, Request::UpsertBlock { shard, block: view })
+            })
+            .collect();
+        self.flush_replicated_writes(writes)
     }
 
     /// Delete a point on every replica.
@@ -345,16 +608,51 @@ impl ClusterClient {
             let shard = placement.shard_of(id);
             (shard, placement.owners_of(shard)?.to_vec())
         };
-        for owner in owners {
-            match self.request(owner, Request::Delete { shard, id })? {
-                Response::Ok => {}
-                Response::Error(e) => return Err(e),
-                other => {
+        let writes = owners
+            .into_iter()
+            .map(|owner| (owner, shard, Request::Delete { shard, id }))
+            .collect();
+        self.flush_replicated_writes(writes)
+    }
+
+    /// Send one prepared write per `(worker, shard)` group and apply the
+    /// replicated-write acknowledgement rule: a shard's write is acked
+    /// when at least one replica applied it. Transport failures on the
+    /// remaining replicas are tolerated (and mark the worker dead for
+    /// routing) — this is what lets the chaos soak promise "every acked
+    /// write is durable somewhere". Errors *returned by* a live worker
+    /// (dimension mismatch, missing shard, …) always propagate: those are
+    /// data problems, not availability problems.
+    fn flush_replicated_writes(
+        &mut self,
+        writes: Vec<(WorkerId, ShardId, Request)>,
+    ) -> VqResult<()> {
+        let mut acked: HashMap<ShardId, usize> = HashMap::new();
+        let mut failed: Vec<(ShardId, VqError)> = Vec::new();
+        for (worker, shard, request) in writes {
+            match self.request(worker, request) {
+                Ok(Response::Ok) => *acked.entry(shard).or_default() += 1,
+                Ok(Response::Error(e)) => return Err(e),
+                Ok(other) => {
                     return Err(VqError::Internal(format!(
-                        "unexpected response to delete: {other:?}"
+                        "unexpected response to write: {other:?}"
                     )))
                 }
+                Err(e) if e.is_retriable() => {
+                    if matches!(e, VqError::Network(_)) {
+                        self.cluster.mark_worker_dead(worker);
+                    }
+                    failed.push((shard, e));
+                }
+                Err(e) => return Err(e),
             }
+        }
+        for (shard, e) in failed {
+            if acked.get(&shard).copied().unwrap_or(0) == 0 {
+                return Err(e);
+            }
+            self.cluster.failovers.fetch_add(1, Ordering::Relaxed);
+            vq_obs::count("cluster.failovers", 1);
         }
         Ok(())
     }
@@ -377,21 +675,35 @@ impl ClusterClient {
 
     /// Batch search through one first-contact worker (round-robin), which
     /// coordinates the broadcast–reduce (§3.4). An unreachable first
-    /// contact is retried through the remaining workers before giving up.
-    pub fn search_batch(
+    /// contact is retried — with exponential backoff, never through a
+    /// worker already observed dead this query — before giving up.
+    /// Returns both the merged results and the shards no live owner
+    /// covered, so callers can distinguish full from partial answers.
+    pub fn search_batch_outcome(
         &mut self,
         queries: Vec<SearchRequest>,
-    ) -> VqResult<Vec<Vec<ScoredPoint>>> {
+    ) -> VqResult<SearchOutcome> {
         // One conversion up front; retries bump a refcount instead of
         // deep-copying every query vector per attempt.
         let queries: Arc<[SearchRequest]> = queries.into();
-        let attempts = self.cluster.worker_count().max(1);
+        let attempts = self.cluster.placement.read().workers().len().max(1);
+        let mut excluded: HashSet<WorkerId> = HashSet::new();
+        let mut backoff = self.cluster.cluster_config.deadlines.retry_backoff;
         let mut last_err = VqError::NoAvailableWorker;
-        for _ in 0..attempts {
-            let first_contact = self.cluster.pick_first_contact()?;
+        for attempt in 0..attempts {
+            let first_contact = match self.cluster.pick_first_contact_excluding(&excluded) {
+                Ok(w) => w,
+                Err(_) => break, // every worker tried this query
+            };
             match self.request(first_contact, Request::SearchBatch { queries: queries.clone() })
             {
-                Ok(Response::Results(r)) => return Ok(r),
+                Ok(Response::Results { results, degraded }) => {
+                    if attempt > 0 {
+                        self.cluster.failovers.fetch_add(1, Ordering::Relaxed);
+                        vq_obs::count("cluster.failovers", 1);
+                    }
+                    return Ok(SearchOutcome { results, degraded });
+                }
                 Ok(Response::Error(e)) => return Err(e),
                 Ok(other) => {
                     return Err(VqError::Internal(format!(
@@ -399,13 +711,36 @@ impl ClusterClient {
                     )))
                 }
                 Err(e) if e.is_retriable() => {
+                    // Never re-send the query to this worker; a transport
+                    // failure also marks it dead cluster-wide so other
+                    // queries stop picking it. A timeout only excludes it
+                    // for *this* query — a busy worker is not a dead one.
+                    excluded.insert(first_contact);
+                    if matches!(e, VqError::Network(_)) {
+                        self.cluster.mark_worker_dead(first_contact);
+                    }
+                    self.cluster.search_retries.fetch_add(1, Ordering::Relaxed);
                     vq_obs::count("cluster.search_retries", 1);
                     last_err = e;
+                    if attempt + 1 < attempts && !backoff.is_zero() {
+                        std::thread::sleep(backoff);
+                        backoff = (backoff * 2).min(Duration::from_secs(1));
+                    }
                 }
                 Err(e) => return Err(e),
             }
         }
         Err(last_err)
+    }
+
+    /// Batch search returning only the merged results (coverage gaps from
+    /// dead workers are silently partial; use
+    /// [`Self::search_batch_outcome`] to observe them).
+    pub fn search_batch(
+        &mut self,
+        queries: Vec<SearchRequest>,
+    ) -> VqResult<Vec<Vec<ScoredPoint>>> {
+        Ok(self.search_batch_outcome(queries)?.results)
     }
 
     /// Single-query convenience over [`Self::search_batch`].
@@ -484,9 +819,14 @@ impl ClusterClient {
             tags.push(tag);
         }
         let mut built = 0;
+        let deadline = Instant::now() + self.cluster.cluster_config.deadlines.index_build;
         let mut remaining: std::collections::HashSet<u64> = tags.into_iter().collect();
         while !remaining.is_empty() {
-            let env = self.endpoint.recv_timeout(Duration::from_secs(600))?;
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(VqError::Timeout);
+            }
+            let env = self.endpoint.recv_timeout(left)?;
             if let ClusterMsg::Response { tag, body } = env.payload {
                 if remaining.remove(&tag) {
                     match body {
@@ -521,19 +861,51 @@ impl ClusterClient {
         Ok(total)
     }
 
-    /// Count live points cluster-wide (replicas counted once per copy on
-    /// unreplicated clusters; with replication, divide by the factor).
+    /// Count live points cluster-wide. Each shard is counted on exactly
+    /// one owner (primary preferred, replicas as failover), so the result
+    /// is exact regardless of the replication factor and survives a dead
+    /// replica. Errors only when some shard has no reachable owner.
     pub fn count(&mut self, filter: Option<vq_core::Filter>) -> VqResult<usize> {
+        let shard_count = self.cluster.placement.read().shard_count();
         let mut total = 0;
-        for worker in self.worker_ids() {
-            match self.request(worker, Request::Count { filter: filter.clone() })? {
-                Response::Count(n) => total += n,
-                Response::Error(e) => return Err(e),
-                other => {
-                    return Err(VqError::Internal(format!(
-                        "unexpected response to count: {other:?}"
-                    )))
+        for shard in 0..shard_count {
+            let owners = self.cluster.placement.read().owners_of(shard)?.to_vec();
+            let dead: HashSet<WorkerId> = self.cluster.dead.read().clone();
+            let mut counted = false;
+            let mut last_err = VqError::NoAvailableWorker;
+            for &owner in owners.iter().filter(|w| !dead.contains(w)) {
+                let req = Request::Count {
+                    shard: Some(shard),
+                    filter: filter.clone(),
+                };
+                match self.request(owner, req) {
+                    Ok(Response::Count(n)) => {
+                        total += n;
+                        counted = true;
+                        if owner != owners[0] {
+                            // Served by a replica, not the primary.
+                            self.cluster.failovers.fetch_add(1, Ordering::Relaxed);
+                            vq_obs::count("cluster.failovers", 1);
+                        }
+                        break;
+                    }
+                    Ok(Response::Error(e)) => return Err(e),
+                    Ok(other) => {
+                        return Err(VqError::Internal(format!(
+                            "unexpected response to count: {other:?}"
+                        )))
+                    }
+                    Err(e) if e.is_retriable() => {
+                        if matches!(e, VqError::Network(_)) {
+                            self.cluster.mark_worker_dead(owner);
+                        }
+                        last_err = e;
+                    }
+                    Err(e) => return Err(e),
                 }
+            }
+            if !counted {
+                return Err(last_err);
             }
         }
         Ok(total)
@@ -541,7 +913,10 @@ impl ClusterClient {
 
     /// Id-ordered page of live points across the whole cluster: up to
     /// `limit` points with id > `after`. The last id returned is the
-    /// cursor for the next page.
+    /// cursor for the next page. Replica copies dedupe by point id, so a
+    /// dead worker is tolerated as long as every shard it owned has
+    /// another live owner; otherwise the page would silently miss that
+    /// shard's points and the call errors instead.
     pub fn scroll(
         &mut self,
         after: Option<PointId>,
@@ -549,7 +924,11 @@ impl ClusterClient {
         filter: Option<vq_core::Filter>,
     ) -> VqResult<Vec<Point>> {
         let mut merged: Vec<Point> = Vec::new();
+        let mut failed: HashSet<WorkerId> = self.cluster.dead.read().clone();
         for worker in self.worker_ids() {
+            if failed.contains(&worker) {
+                continue;
+            }
             match self.request(
                 worker,
                 Request::Scroll {
@@ -557,13 +936,29 @@ impl ClusterClient {
                     limit,
                     filter: filter.clone(),
                 },
-            )? {
-                Response::Points(page) => merged.extend(page),
-                Response::Error(e) => return Err(e),
-                other => {
+            ) {
+                Ok(Response::Points(page)) => merged.extend(page),
+                Ok(Response::Error(e)) => return Err(e),
+                Ok(other) => {
                     return Err(VqError::Internal(format!(
                         "unexpected response to scroll: {other:?}"
                     )))
+                }
+                Err(e) if e.is_retriable() => {
+                    if matches!(e, VqError::Network(_)) {
+                        self.cluster.mark_worker_dead(worker);
+                    }
+                    failed.insert(worker);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Every shard must have been answered by some live owner.
+        {
+            let placement = self.cluster.placement.read();
+            for shard in 0..placement.shard_count() {
+                if placement.owners_of(shard)?.iter().all(|w| failed.contains(w)) {
+                    return Err(VqError::NoAvailableWorker);
                 }
             }
         }
@@ -933,8 +1328,9 @@ mod tests {
         .unwrap();
         let mut client = cluster.client();
         client.upsert_batch(line_points(30)).unwrap();
-        // Count sees both copies (documented); scroll dedupes ids.
-        assert_eq!(client.count(None).unwrap(), 60);
+        // Count resolves each shard on one owner: exact despite two
+        // copies of every point. Scroll dedupes ids.
+        assert_eq!(client.count(None).unwrap(), 30);
         let page = client.scroll(None, 100, None).unwrap();
         let ids: Vec<PointId> = page.iter().map(|p| p.id).collect();
         assert_eq!(ids, (0..30).collect::<Vec<_>>());
@@ -1078,6 +1474,191 @@ mod tests {
         let mut ids: Vec<PointId> = hits.iter().map(|h| h.id).collect();
         ids.sort_unstable();
         assert_eq!(ids, (0..60).collect::<Vec<_>>(), "replication covers the gap");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn count_and_scroll_survive_a_dead_replica() {
+        let cluster = Cluster::start(
+            ClusterConfig::new(3).replication(2),
+            small_collection(),
+        )
+        .unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(30)).unwrap();
+        cluster.kill_worker(1).unwrap();
+        // Every shard still has one live owner: count stays exact and
+        // scroll still covers every id (dedupe by point id, as search).
+        assert_eq!(client.count(None).unwrap(), 30);
+        let page = client.scroll(None, 100, None).unwrap();
+        let ids: Vec<PointId> = page.iter().map(|p| p.id).collect();
+        assert_eq!(ids, (0..30).collect::<Vec<_>>());
+        assert!(cluster.failover_count() > 0, "replica served a shard");
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn killed_worker_bounds_query_latency_to_the_deadline() {
+        // Worker 2 is unreachable (every frame to it is dropped on the
+        // wire), but the drop is silent: senders think the scatter
+        // succeeded. The gather must give up at the configured deadline
+        // and report the uncovered shard — not stall for the old fixed
+        // 60 s / 120 s constants.
+        let deadlines = Deadlines {
+            request: Duration::from_secs(2),
+            gather: Duration::from_millis(250),
+            index_build: Duration::from_secs(10),
+            retry_backoff: Duration::from_millis(5),
+        };
+        let plan = FaultPlan::new(7).drop_on(None, Some(2), 1.0);
+        let cluster = Cluster::start(
+            ClusterConfig::new(3).deadlines(deadlines).faults(plan),
+            small_collection(),
+        )
+        .unwrap();
+        let mut client = cluster.client();
+        // Upsert only ids owned by live workers (writes to worker 2
+        // would be silently dropped and time out).
+        let placement = cluster.placement();
+        let points: Vec<Point> = line_points(90)
+            .into_iter()
+            .filter(|p| placement.primary_of(placement.shard_of(p.id)).unwrap() != 2)
+            .collect();
+        client.upsert_batch(points).unwrap();
+        let t0 = Instant::now();
+        let outcome = client
+            .search_batch_outcome(vec![SearchRequest::new(vec![4.0, 0.0, 0.0, 0.0], 5)])
+            .unwrap();
+        let elapsed = t0.elapsed();
+        assert!(
+            elapsed >= Duration::from_millis(200),
+            "gather must wait out its deadline, finished in {elapsed:?}"
+        );
+        assert!(
+            elapsed < Duration::from_secs(10),
+            "query latency must be deadline-bounded, took {elapsed:?}"
+        );
+        assert_eq!(outcome.degraded, vec![2], "worker 2's shard is uncovered");
+        assert!(!outcome.results[0].is_empty());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn search_retries_go_to_a_different_replica() {
+        let cluster = Cluster::start(
+            ClusterConfig::new(2).replication(2),
+            small_collection(),
+        )
+        .unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(40)).unwrap();
+        // Polite shutdown (not kill_worker): the cluster does not know
+        // worker 0 is gone, so round-robin still offers it as first
+        // contact and the retry path must route around it.
+        client.request(0, Request::Shutdown).unwrap();
+        for i in 0..6 {
+            let outcome = client
+                .search_batch_outcome(vec![SearchRequest::new(
+                    vec![i as f32, 0.0, 0.0, 0.0],
+                    40,
+                )])
+                .unwrap();
+            // Replication 2: the survivor holds every shard.
+            assert_eq!(outcome.results[0].len(), 40, "full coverage");
+            assert!(outcome.degraded.is_empty());
+        }
+        let retries = cluster.search_retry_count();
+        assert!(
+            (1..=2).contains(&retries),
+            "first pick of the dead worker retries on the replica, after \
+             which it is marked dead and skipped (got {retries})"
+        );
+        assert_eq!(cluster.dead_workers(), vec![0]);
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn restart_worker_recovers_acked_writes_from_the_wal() {
+        let cluster = Cluster::start(
+            ClusterConfig::new(2).durability(Durability::SharedMem),
+            small_collection(),
+        )
+        .unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(80)).unwrap();
+        client.delete(5).unwrap();
+        cluster.kill_worker(1).unwrap();
+        assert_eq!(cluster.worker_count(), 1);
+        cluster.restart_worker(1).unwrap();
+        assert_eq!(cluster.worker_count(), 2);
+        assert_eq!(cluster.worker_restart_count(), 1);
+        assert!(cluster.dead_workers().is_empty(), "restart clears the mark");
+        // Everything acknowledged before the kill is back: the shard was
+        // rebuilt from its durable WAL through the normal apply path.
+        assert_eq!(client.count(None).unwrap(), 79);
+        assert_eq!(client.get(5).unwrap(), None, "delete replayed in order");
+        let outcome = client
+            .search_batch_outcome(vec![SearchRequest::new(vec![41.0, 0.0, 0.0, 0.0], 80)])
+            .unwrap();
+        assert!(outcome.degraded.is_empty());
+        let mut ids: Vec<PointId> = outcome.results[0].iter().map(|h| h.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, (0..80).filter(|&i| i != 5).collect::<Vec<_>>());
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn restart_catches_up_from_a_live_replica() {
+        // The replacement's own WAL ends at the kill: writes acked by the
+        // surviving replica during the outage must reach the restarted
+        // worker too, or count/get (which prefer the primary) see a stale
+        // shard. Volatile durability on purpose — catch-up alone must
+        // rebuild the copy from the donor.
+        let cluster = Cluster::start(
+            ClusterConfig::new(2).replication(2),
+            small_collection(),
+        )
+        .unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(40)).unwrap();
+        cluster.kill_worker(1).unwrap();
+        // Acked by worker 0 alone while 1 is down.
+        client
+            .upsert_batch(
+                (40..80)
+                    .map(|i| Point::new(i as PointId, vec![i as f32, 0.0, 0.0, 0.0]))
+                    .collect(),
+            )
+            .unwrap();
+        cluster.restart_worker(1).unwrap();
+        assert_eq!(client.count(None).unwrap(), 80, "no stale primary copy");
+        for probe in [0u64, 39, 40, 79] {
+            assert!(
+                client.get(probe).unwrap().is_some(),
+                "acked point {probe} findable after catch-up"
+            );
+        }
+        cluster.shutdown();
+    }
+
+    #[test]
+    fn restart_without_durability_comes_back_empty() {
+        let cluster = Cluster::start(ClusterConfig::new(2), small_collection()).unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(40)).unwrap();
+        let placement = cluster.placement();
+        let survivors = (0..40)
+            .filter(|&i| placement.primary_of(placement.shard_of(i)).unwrap() == 0)
+            .count();
+        cluster.kill_worker(1).unwrap();
+        cluster.restart_worker(1).unwrap();
+        // Volatile shards die with the worker (the paper's stateful
+        // default); the replacement serves its shard empty.
+        assert_eq!(client.count(None).unwrap(), survivors);
+        assert!(matches!(
+            cluster.restart_worker(99),
+            Err(VqError::NodeNotFound(99))
+        ));
         cluster.shutdown();
     }
 

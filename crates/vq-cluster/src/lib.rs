@@ -8,6 +8,9 @@
 //!   round-robin with optional replication; points hash to shards.
 //! * [`messages`] — the worker RPC protocol (upsert, delete, local and
 //!   fan-out search, index builds, shard transfer, stats).
+//! * [`recovery`] — durable per-shard WALs and snapshot checkpoints
+//!   owned by the cluster, so a killed worker can be restarted and
+//!   recover its shards (snapshot restore + WAL replay).
 //! * [`worker`] — a worker node: one OS thread serving its shards'
 //!   requests over the [`vq_net`] transport, spawning a coordinator
 //!   thread per fan-out search so scatter–gather never deadlocks the
@@ -24,9 +27,11 @@
 pub mod cluster;
 pub mod messages;
 pub mod placement;
+pub mod recovery;
 pub mod worker;
 
-pub use cluster::{Cluster, ClusterClient, ClusterConfig};
+pub use cluster::{Cluster, ClusterClient, ClusterConfig, Deadlines, SearchOutcome};
 pub use messages::{ClusterMsg, Request, Response, WorkerInfo};
 pub use placement::{Placement, ShardId, WorkerId};
+pub use recovery::{Durability, WalStore};
 pub use worker::Worker;

@@ -16,7 +16,7 @@ use vq_storage::SegmentSnapshot;
 pub type WireSearch = SearchRequest;
 
 /// Request bodies.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Request {
     /// Insert/replace points into one shard this worker owns.
     UpsertBatch {
@@ -66,8 +66,13 @@ pub enum Request {
         /// Queries to answer locally.
         queries: Arc<[WireSearch]>,
     },
-    /// Count live points across local shards, optionally filtered.
+    /// Count live points, optionally filtered. With `shard: Some(_)` only
+    /// that shard is counted (the client routes one count per shard to a
+    /// live owner so replicas are never double-counted); `None` sums every
+    /// local shard.
     Count {
+        /// Restrict the count to one shard.
+        shard: Option<ShardId>,
         /// Conjunctive payload filter.
         filter: Option<vq_core::Filter>,
     },
@@ -125,14 +130,21 @@ pub enum Request {
 }
 
 /// Response bodies.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum Response {
     /// Generic success.
     Ok,
     /// Point fetched (or absent).
     Point(Option<Point>),
     /// Merged results, one list per query (SearchBatch).
-    Results(Vec<Vec<ScoredPoint>>),
+    Results {
+        /// One merged, deduplicated list per query.
+        results: Vec<Vec<ScoredPoint>>,
+        /// Shards no live owner answered for during the gather: the
+        /// results may be missing those shards' points. Empty means full
+        /// coverage.
+        degraded: Vec<ShardId>,
+    },
     /// Per-query partials from one worker (LocalSearchBatch).
     Partials(Vec<Vec<ScoredPoint>>),
     /// Indexes built.
@@ -186,7 +198,7 @@ pub struct WorkerInfo {
 }
 
 /// What actually moves through the transport.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum ClusterMsg {
     /// A request, with reply routing info.
     Request {
@@ -232,7 +244,9 @@ impl ClusterMsg {
                 _ => 64,
             },
             ClusterMsg::Response { body, .. } => match body {
-                Response::Results(r) | Response::Partials(r) => 32 + results_bytes(r),
+                Response::Results { results: r, .. } | Response::Partials(r) => {
+                    32 + results_bytes(r)
+                }
                 Response::Point(Some(p)) => 32 + p.approx_bytes() as u64,
                 Response::Points(points) => 32 + points_bytes(points),
                 Response::Segments(segments) => {

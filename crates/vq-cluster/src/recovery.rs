@@ -1,0 +1,155 @@
+//! Durable shard state across worker crashes.
+//!
+//! The paper's stateful architecture (§2.1) ties data lifetime to worker
+//! lifetime: when a worker dies its shards die with it. [`WalStore`] is
+//! the piece that relaxes that — it owns, per `(worker, shard)`, a
+//! write-ahead log plus an optional segment-snapshot checkpoint, living
+//! *outside* the worker thread. A replacement worker spawned with the
+//! same id reopens its shards from here: snapshot restore through
+//! `SegmentStore::apply`, then WAL replay of everything after the
+//! checkpoint. The torn-tail repair in `vq_storage::Wal` makes a log cut
+//! off mid-frame by the crash safe to reopen and append to.
+
+use crate::placement::{ShardId, WorkerId};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use vq_core::VqResult;
+use vq_storage::{FileBackend, SegmentSnapshot, SharedBackend, Wal};
+
+/// Where shard WALs live.
+#[derive(Debug, Clone, Default)]
+pub enum Durability {
+    /// No durable state: a killed worker's shards are gone (the paper's
+    /// stateful default). `restart_worker` brings back empty shards.
+    #[default]
+    Volatile,
+    /// WAL bytes in process-shared memory: they survive worker-*thread*
+    /// death (the chaos-soak mode), not process death.
+    SharedMem,
+    /// File-backed WALs under this directory, one file per
+    /// `(worker, shard)`.
+    Dir(std::path::PathBuf),
+}
+
+/// Per-`(worker, shard)` durable state owned by the `Cluster`, outliving
+/// any individual worker thread. Workers open their shard WALs through it
+/// at spawn/restart; snapshot checkpoints (taken when a shard is
+/// installed wholesale) bound how much WAL a recovery has to replay.
+pub struct WalStore {
+    durability: Durability,
+    mem: Mutex<HashMap<(WorkerId, ShardId), SharedBackend>>,
+    snapshots: Mutex<HashMap<(WorkerId, ShardId), Vec<SegmentSnapshot>>>,
+}
+
+impl WalStore {
+    /// A store with the given durability mode.
+    pub fn new(durability: Durability) -> Self {
+        WalStore {
+            durability,
+            mem: Mutex::new(HashMap::new()),
+            snapshots: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Whether shards opened through this store journal durably at all.
+    pub fn is_durable(&self) -> bool {
+        !matches!(self.durability, Durability::Volatile)
+    }
+
+    /// Open (creating if absent) the WAL for one shard. `None` in
+    /// volatile mode. The returned handle shares bytes with every other
+    /// handle opened for the same key, so a replacement worker sees what
+    /// its predecessor journaled.
+    pub fn open_wal(&self, worker: WorkerId, shard: ShardId) -> VqResult<Option<Wal>> {
+        match &self.durability {
+            Durability::Volatile => Ok(None),
+            Durability::SharedMem => {
+                let backend = self.mem.lock().entry((worker, shard)).or_default().clone();
+                Ok(Some(Wal::with_backend(Box::new(backend))))
+            }
+            Durability::Dir(dir) => {
+                std::fs::create_dir_all(dir).map_err(|e| {
+                    vq_core::VqError::Corruption(format!("wal dir {dir:?}: {e}"))
+                })?;
+                let path = dir.join(format!("worker-{worker}-shard-{shard}.wal"));
+                Ok(Some(Wal::with_backend(Box::new(FileBackend::open(path)?))))
+            }
+        }
+    }
+
+    /// The latest snapshot checkpoint for one shard, if any.
+    pub fn snapshot(&self, worker: WorkerId, shard: ShardId) -> Option<Vec<SegmentSnapshot>> {
+        self.snapshots.lock().get(&(worker, shard)).cloned()
+    }
+
+    /// Record a snapshot checkpoint for one shard and truncate its WAL:
+    /// recovery becomes "restore snapshot, replay (empty) tail". Called
+    /// when a shard is installed wholesale (transfer / snapshot load).
+    pub fn checkpoint(
+        &self,
+        worker: WorkerId,
+        shard: ShardId,
+        segments: Vec<SegmentSnapshot>,
+    ) -> VqResult<()> {
+        if !self.is_durable() {
+            return Ok(());
+        }
+        self.snapshots.lock().insert((worker, shard), segments);
+        if let Some(mut wal) = self.open_wal(worker, shard)? {
+            wal.checkpoint()?;
+        }
+        Ok(())
+    }
+
+    /// Drop a shard's durable state (the shard moved away or was
+    /// dropped); a later restart must not resurrect it.
+    pub fn forget(&self, worker: WorkerId, shard: ShardId) {
+        self.mem.lock().remove(&(worker, shard));
+        self.snapshots.lock().remove(&(worker, shard));
+        if let Durability::Dir(dir) = &self.durability {
+            let _ = std::fs::remove_file(dir.join(format!("worker-{worker}-shard-{shard}.wal")));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vq_storage::WalRecord;
+
+    #[test]
+    fn shared_mem_wal_survives_handle_drop() {
+        let store = WalStore::new(Durability::SharedMem);
+        assert!(store.is_durable());
+        {
+            let mut wal = store.open_wal(1, 0).unwrap().unwrap();
+            wal.append(&WalRecord::Delete(42)).unwrap();
+        }
+        let wal = store.open_wal(1, 0).unwrap().unwrap();
+        let records = wal.replay().unwrap();
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn volatile_store_hands_out_no_wal() {
+        let store = WalStore::new(Durability::Volatile);
+        assert!(!store.is_durable());
+        assert!(store.open_wal(0, 0).unwrap().is_none());
+        // Checkpointing is a no-op rather than an error.
+        store.checkpoint(0, 0, Vec::new()).unwrap();
+        assert!(store.snapshot(0, 0).is_none());
+    }
+
+    #[test]
+    fn checkpoint_truncates_wal_and_stores_snapshot() {
+        let store = WalStore::new(Durability::SharedMem);
+        let mut wal = store.open_wal(2, 1).unwrap().unwrap();
+        wal.append(&WalRecord::Delete(7)).unwrap();
+        store.checkpoint(2, 1, Vec::new()).unwrap();
+        assert_eq!(store.snapshot(2, 1).unwrap().len(), 0);
+        let wal = store.open_wal(2, 1).unwrap().unwrap();
+        assert!(wal.replay().unwrap().is_empty(), "checkpoint truncates");
+        store.forget(2, 1);
+        assert!(store.snapshot(2, 1).is_none());
+    }
+}

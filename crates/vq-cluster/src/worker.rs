@@ -10,8 +10,10 @@
 //! loops. This is the scatter–gather pattern every broadcast–reduce
 //! vector database implements.
 
+use crate::cluster::Deadlines;
 use crate::messages::{ClusterMsg, Request, Response};
 use crate::placement::{Placement, ShardId, WorkerId};
+use crate::recovery::WalStore;
 use parking_lot::RwLock;
 use rayon::prelude::*;
 use std::collections::HashMap;
@@ -47,6 +49,8 @@ struct WorkerState {
     id: WorkerId,
     node: u32,
     config: CollectionConfig,
+    deadlines: Deadlines,
+    wal_store: Arc<WalStore>,
     shards: RwLock<HashMap<ShardId, Arc<LocalCollection>>>,
     placement: Arc<RwLock<Placement>>,
     switchboard: Switchboard<ClusterMsg>,
@@ -114,26 +118,31 @@ pub struct Worker {
 
 impl Worker {
     /// Spawn a worker with endpoint `id` on `node`, hosting its share of
-    /// `placement`'s shards.
+    /// `placement`'s shards. With a durable `wal_store` each shard is
+    /// *recovered* (snapshot restore + WAL replay through the normal
+    /// apply path) rather than created empty, so respawning a killed id
+    /// brings its acknowledged writes back.
     pub fn spawn(
         id: WorkerId,
         node: u32,
         config: CollectionConfig,
         placement: Arc<RwLock<Placement>>,
         switchboard: Switchboard<ClusterMsg>,
-    ) -> Self {
+        deadlines: Deadlines,
+        wal_store: Arc<WalStore>,
+    ) -> VqResult<Self> {
         let endpoint = switchboard.register(id, node);
-        let shards: HashMap<ShardId, Arc<LocalCollection>> = placement
-            .read()
-            .shards_of(id)
-            .into_iter()
-            .map(|s| (s, Arc::new(LocalCollection::new(config))))
-            .collect();
+        let mut shards: HashMap<ShardId, Arc<LocalCollection>> = HashMap::new();
+        for s in placement.read().shards_of(id) {
+            shards.insert(s, Arc::new(open_shard(&wal_store, id, s, config)?));
+        }
         let (coord_tx, coord_rx) = crossbeam::channel::bounded::<CoordJob>(COORDINATOR_QUEUE_DEPTH);
         let state = Arc::new(WorkerState {
             id,
             node,
             config,
+            deadlines,
+            wal_store,
             shards: RwLock::new(shards),
             placement,
             switchboard,
@@ -160,10 +169,10 @@ impl Worker {
             .name(format!("vq-worker-{id}"))
             .spawn(move || serve_loop(state2, endpoint))
             .expect("spawn worker thread");
-        Worker {
+        Ok(Worker {
             state,
             handle: Some(handle),
-        }
+        })
     }
 
     /// Worker id.
@@ -181,6 +190,24 @@ impl Worker {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
+    }
+}
+
+/// Open one shard through the WAL store: recover from durable state when
+/// there is any, otherwise start empty (journaling durably if the store
+/// is durable, so a *future* restart can recover).
+fn open_shard(
+    wal_store: &WalStore,
+    worker: WorkerId,
+    shard: ShardId,
+    config: CollectionConfig,
+) -> VqResult<LocalCollection> {
+    match wal_store.open_wal(worker, shard)? {
+        Some(wal) => {
+            let snapshots = wal_store.snapshot(worker, shard).unwrap_or_default();
+            LocalCollection::recover_with_snapshot(config, snapshots, wal)
+        }
+        None => Ok(LocalCollection::new(config)),
     }
 }
 
@@ -354,15 +381,21 @@ fn handle_local(
                 Err(e) => Response::Error(e),
             }
         }
-        Request::Count { filter } => {
-            let total: usize = state
-                .shards
-                .read()
-                .values()
-                .map(|c| c.count(filter.as_ref()))
-                .sum();
-            Response::Count(total)
-        }
+        Request::Count { shard, filter } => match shard {
+            Some(shard) => match state.shards.read().get(&shard) {
+                Some(c) => Response::Count(c.count(filter.as_ref())),
+                None => Response::Error(VqError::ShardNotFound(shard)),
+            },
+            None => {
+                let total: usize = state
+                    .shards
+                    .read()
+                    .values()
+                    .map(|c| c.count(filter.as_ref()))
+                    .sum();
+                Response::Count(total)
+            }
+        },
         Request::Scroll {
             after,
             limit,
@@ -474,6 +507,9 @@ fn handle_local(
         }
         Request::DropShard { shard } => {
             if state.shards.write().remove(&shard).is_some() {
+                // The shard moved away: a later restart of this worker
+                // must not resurrect it from a stale WAL.
+                state.wal_store.forget(state.id, shard);
                 Response::Ok
             } else {
                 Response::Error(VqError::ShardNotFound(shard))
@@ -484,7 +520,20 @@ fn handle_local(
             None => Response::Error(VqError::ShardNotFound(shard)),
         },
         Request::InstallShard { shard, segments } => {
-            match LocalCollection::from_segments(state.config, segments) {
+            // Installed data becomes the shard's durable checkpoint: the
+            // WAL restarts empty past it, and future writes journal
+            // through a freshly attached WAL.
+            let install = || -> VqResult<LocalCollection> {
+                if state.wal_store.is_durable() {
+                    state.wal_store.checkpoint(state.id, shard, segments.clone())?;
+                }
+                let mut c = LocalCollection::from_segments(state.config, segments)?;
+                if let Some(wal) = state.wal_store.open_wal(state.id, shard)? {
+                    c.set_wal(wal);
+                }
+                Ok(c)
+            };
+            match install() {
                 Ok(c) => {
                     state.shards.write().insert(shard, Arc::new(c));
                     Response::Ok
@@ -538,7 +587,9 @@ fn coordinate_search(
     let eph_id = alloc_ephemeral_id();
     let eph = state.switchboard.register(eph_id, state.node);
 
-    let mut scattered = 0usize;
+    // Scatter. A peer whose send fails (dead endpoint) is excluded from
+    // the gather up front instead of costing a timeout.
+    let mut scattered: Vec<WorkerId> = Vec::with_capacity(peers.len());
     for &peer in &peers {
         let msg = ClusterMsg::Request {
             reply_to: eph_id,
@@ -550,7 +601,7 @@ fn coordinate_search(
         };
         let bytes = msg.approx_wire_bytes();
         if eph.send_sized(peer, msg, bytes).is_ok() {
-            scattered += 1;
+            scattered.push(peer);
         }
     }
 
@@ -563,9 +614,13 @@ fn coordinate_search(
     state.counters.search_nanos.add(search_dur.as_nanos() as u64);
     vq_obs::record_phase("search", u64::from(state.id), search_dur.as_secs_f64());
 
-    // Gather.
+    // Gather under one overall deadline. Peers that miss it (or never
+    // received the scatter) become coverage gaps, not a failed search:
+    // the reduce proceeds with whatever answered and reports the shards
+    // left uncovered. Only a local failure or a peer-*returned* error
+    // fails the whole search.
     let mut partials_per_query: Vec<Vec<Vec<ScoredPoint>>> =
-        vec![Vec::with_capacity(scattered + 1); queries.len()];
+        vec![Vec::with_capacity(scattered.len() + 1); queries.len()];
     let mut failure: Option<VqError> = None;
     match local {
         Ok(lists) => {
@@ -576,44 +631,80 @@ fn coordinate_search(
         Err(e) => failure = Some(e),
     }
     let gather_t0 = std::time::Instant::now();
-    for _ in 0..scattered {
-        match eph.recv_timeout(std::time::Duration::from_secs(60)) {
-            Ok(env) => match env.payload {
-                ClusterMsg::Response {
-                    body: Response::Partials(lists),
-                    ..
-                } => {
-                    for (q, list) in lists.into_iter().enumerate() {
-                        if q < partials_per_query.len() {
-                            partials_per_query[q].push(list);
-                        }
+    let deadline = gather_t0 + state.deadlines.gather;
+    let mut responded: std::collections::HashSet<WorkerId> = std::collections::HashSet::new();
+    while responded.len() < scattered.len() {
+        let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+        if remaining.is_zero() {
+            // A gather stall is exactly what the flight recorder is for:
+            // dump the ring of recent span events so the post-mortem
+            // shows what the cluster was doing when the reduce stopped
+            // hearing from its peers.
+            if let Some(dump) = vq_obs::flight_dump_text() {
+                let waiting: Vec<WorkerId> = scattered
+                    .iter()
+                    .copied()
+                    .filter(|p| !responded.contains(p))
+                    .collect();
+                eprintln!(
+                    "worker {}: gather deadline ({:?}) hit still waiting on peers \
+                     {waiting:?}; flight recorder:\n{dump}",
+                    state.id, state.deadlines.gather,
+                );
+            }
+            break;
+        }
+        let Ok(env) = eph.recv_timeout(remaining) else {
+            // Timed out: loop back so the zero-remaining branch reports
+            // the stall (with the flight recorder) and ends the gather.
+            continue;
+        };
+        let ClusterMsg::Response { tag, body } = env.payload else {
+            continue;
+        };
+        let peer = tag as WorkerId;
+        match body {
+            Response::Partials(lists) => {
+                // A faulty transport can duplicate frames; count each
+                // peer's partials once.
+                if !responded.insert(peer) {
+                    continue;
+                }
+                for (q, list) in lists.into_iter().enumerate() {
+                    if q < partials_per_query.len() {
+                        partials_per_query[q].push(list);
                     }
                 }
-                ClusterMsg::Response {
-                    body: Response::Error(e),
-                    ..
-                } => failure = Some(e),
-                _ => {}
-            },
-            Err(e) => {
-                // A gather stall is exactly what the flight recorder is
-                // for: dump the ring of recent span events so the
-                // post-mortem shows what the cluster was doing when the
-                // reduce stopped hearing from its peers.
-                if let Some(dump) = vq_obs::flight_dump_text() {
-                    eprintln!(
-                        "worker {}: gather failed after {:.1}s waiting on {scattered} peers ({e}); \
-                         flight recorder:\n{dump}",
-                        state.id,
-                        gather_t0.elapsed().as_secs_f64(),
-                    );
-                }
-                failure = Some(e);
-                break;
             }
+            Response::Error(e) => {
+                responded.insert(peer);
+                failure = Some(e);
+            }
+            _ => {}
         }
     }
     vq_obs::record_phase("gather", u64::from(state.id), gather_t0.elapsed().as_secs_f64());
+
+    // Coverage: a shard is degraded when none of its owners contributed
+    // partials (the coordinator itself counts as having contributed).
+    // A shard whose primary is missing but which a replica covered is a
+    // failover, made observable through `cluster.failovers`.
+    let mut degraded: Vec<ShardId> = Vec::new();
+    {
+        let placement = state.placement.read();
+        for shard in 0..placement.shard_count() {
+            let Ok(owners) = placement.owners_of(shard) else {
+                continue;
+            };
+            let covered =
+                |w: &WorkerId| *w == state.id || responded.contains(w);
+            if !owners.iter().any(covered) {
+                degraded.push(shard);
+            } else if !covered(&owners[0]) {
+                vq_obs::count("cluster.failovers", 1);
+            }
+        }
+    }
     let body = match failure {
         Some(e) => Response::Error(e),
         None => {
@@ -637,7 +728,7 @@ fn coordinate_search(
                     out
                 })
                 .collect();
-            Response::Results(results)
+            Response::Results { results, degraded }
         }
     };
     let msg = ClusterMsg::Response { tag, body };

@@ -69,10 +69,38 @@ impl LocalCollection {
         c
     }
 
+    /// Attach (or replace) the journal: subsequent mutations are framed
+    /// through `wal`. Used when a freshly installed shard (restored from
+    /// segments, so journal-less) must journal durably from here on.
+    pub fn set_wal(&mut self, wal: Wal) {
+        self.wal = Some(parking_lot::Mutex::new(wal));
+    }
+
     /// Rebuild a collection from a WAL's records.
     pub fn recover(config: CollectionConfig, wal: Wal) -> VqResult<Self> {
+        Self::recover_with_snapshot(config, Vec::new(), wal)
+    }
+
+    /// Rebuild a collection from a snapshot checkpoint plus the WAL
+    /// records appended after it — the worker-restart path.
+    ///
+    /// The snapshot restores through [`Self::from_segments`] and every
+    /// WAL record goes through the same apply code as live traffic, so
+    /// recovery is by construction the normal write path. The replay is
+    /// recorded as a `phase.wal_replay` span.
+    pub fn recover_with_snapshot(
+        config: CollectionConfig,
+        snapshots: Vec<vq_storage::SegmentSnapshot>,
+        wal: Wal,
+    ) -> VqResult<Self> {
+        let stamp = vq_obs::enabled().then(std::time::Instant::now);
         let records = wal.replay()?;
-        let c = Self::with_wal(config, wal);
+        let mut c = if snapshots.is_empty() {
+            Self::new(config)
+        } else {
+            Self::from_segments(config, snapshots)?
+        };
+        c.wal = Some(parking_lot::Mutex::new(wal));
         for record in records {
             match record {
                 WalRecord::Upsert(p) => c.apply_upsert(p)?,
@@ -96,6 +124,9 @@ impl LocalCollection {
                     }
                 }
             }
+        }
+        if let Some(stamp) = stamp {
+            vq_obs::record_phase("wal_replay", 0, stamp.elapsed().as_secs_f64());
         }
         Ok(c)
     }
@@ -994,6 +1025,36 @@ mod tests {
             a.iter().map(|h| h.id).collect::<Vec<_>>(),
             b.iter().map(|h| h.id).collect::<Vec<_>>()
         );
+    }
+
+    #[test]
+    fn snapshot_plus_wal_recovery_reproduces_state() {
+        // The worker-restart shape: a snapshot checkpoint truncates the
+        // WAL, later writes land only in the WAL, then the "worker" dies
+        // and a replacement recovers from snapshot + replay.
+        let config = small_config();
+        let shared = vq_storage::SharedBackend::new();
+        let c = LocalCollection::with_wal(config, Wal::with_backend(Box::new(shared.clone())));
+        fill(&c, 20);
+        c.delete(3).unwrap();
+        let snapshot = c.export_segments();
+        c.wal.as_ref().unwrap().lock().checkpoint().unwrap();
+        // Post-checkpoint writes live only in the WAL.
+        c.upsert(Point::new(100, vec![100.0, 0.0])).unwrap();
+        c.delete(5).unwrap();
+        drop(c); // crash
+        let r = LocalCollection::recover_with_snapshot(
+            config,
+            snapshot,
+            Wal::with_backend(Box::new(shared)),
+        )
+        .unwrap();
+        assert_eq!(r.len(), 19); // 20 - deleted(3,5) + upserted(100)
+        assert_eq!(r.get(3), None);
+        assert_eq!(r.get(5), None);
+        assert_eq!(r.get(100).unwrap().vector, vec![100.0, 0.0]);
+        let hits = r.search(&SearchRequest::new(vec![100.0, 0.0], 1)).unwrap();
+        assert_eq!(hits[0].id, 100);
     }
 
     #[test]

@@ -1,0 +1,357 @@
+//! Deterministic fault injection for the in-process transport.
+//!
+//! A [`FaultPlan`] is a seeded list of rules, each scoped to an edge
+//! pattern (any combination of source and destination endpoint) and one
+//! action: drop, delay, duplicate, or kill-the-destination-after-N
+//! delivered messages. The plan is evaluated on every send; every random
+//! decision is a pure function of `(seed, rule, edge, per-edge sequence
+//! number)`, so two runs with the same plan and the same message order
+//! make identical fault decisions — chaos soaks are reproducible, and a
+//! failure seed can be replayed in a debugger.
+//!
+//! Faults model the *network's* view of a crash: a killed endpoint simply
+//! stops receiving — no deregistration handshake, no goodbye message.
+//! Peers discover the death the same way they would on real hardware, by
+//! timing out.
+
+use parking_lot::Mutex;
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+/// One fault action.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FaultAction {
+    /// Silently discard the message with this probability. The sender
+    /// still sees a successful send (the bytes "made it onto the wire").
+    Drop {
+        /// Probability in `[0, 1]` that a matching message is dropped.
+        probability: f64,
+    },
+    /// Add latency to the message with this probability.
+    Delay {
+        /// Probability in `[0, 1]` that a matching message is delayed.
+        probability: f64,
+        /// Extra latency added on top of any modeled transfer time.
+        delay: Duration,
+    },
+    /// Deliver the message twice with this probability (receivers must be
+    /// idempotent; the cluster's dedup-by-id merge is exercised by this).
+    Duplicate {
+        /// Probability in `[0, 1]` that a matching message is duplicated.
+        probability: f64,
+    },
+    /// Kill the destination endpoint once it has received `messages`
+    /// deliveries (counted across all senders). The Nth message is the
+    /// last one delivered; everything after fails like a crashed host.
+    KillAfter {
+        /// Deliveries the destination survives before dying.
+        messages: u64,
+    },
+}
+
+/// One rule: an edge pattern plus an action.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRule {
+    /// Match only messages from this endpoint (`None` = any sender).
+    pub from: Option<u32>,
+    /// Match only messages to this endpoint (`None` = any destination).
+    pub to: Option<u32>,
+    /// What to do with matching messages.
+    pub action: FaultAction,
+}
+
+impl FaultRule {
+    fn matches(&self, from: u32, to: u32) -> bool {
+        self.from.map_or(true, |f| f == from) && self.to.map_or(true, |t| t == to)
+    }
+}
+
+/// A seeded, deterministic fault schedule for one transport.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for every probabilistic decision.
+    pub seed: u64,
+    /// Rules, evaluated in order on every send.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// Empty plan with a seed.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Add a drop rule on the `(from, to)` edge pattern.
+    pub fn drop_on(mut self, from: Option<u32>, to: Option<u32>, probability: f64) -> Self {
+        self.rules.push(FaultRule {
+            from,
+            to,
+            action: FaultAction::Drop { probability },
+        });
+        self
+    }
+
+    /// Add a delay rule on the `(from, to)` edge pattern.
+    pub fn delay_on(
+        mut self,
+        from: Option<u32>,
+        to: Option<u32>,
+        probability: f64,
+        delay: Duration,
+    ) -> Self {
+        self.rules.push(FaultRule {
+            from,
+            to,
+            action: FaultAction::Delay { probability, delay },
+        });
+        self
+    }
+
+    /// Add a duplicate rule on the `(from, to)` edge pattern.
+    pub fn duplicate_on(mut self, from: Option<u32>, to: Option<u32>, probability: f64) -> Self {
+        self.rules.push(FaultRule {
+            from,
+            to,
+            action: FaultAction::Duplicate { probability },
+        });
+        self
+    }
+
+    /// Kill endpoint `to` after it has received `messages` deliveries.
+    pub fn kill_after(mut self, to: u32, messages: u64) -> Self {
+        self.rules.push(FaultRule {
+            from: None,
+            to: Some(to),
+            action: FaultAction::KillAfter { messages },
+        });
+        self
+    }
+}
+
+/// What the transport should do with one message.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct SendVerdict {
+    /// Deliver the message at all (false = dropped or sent to a corpse).
+    pub deliver: bool,
+    /// Copies to enqueue when delivering (2 when duplicated).
+    pub copies: u32,
+    /// Injected latency (on top of any modeled transfer time).
+    pub extra_delay: Duration,
+    /// Remove the destination's inbox after delivering this message (it
+    /// just received its fatal Nth message).
+    pub kill_after_delivery: bool,
+    /// The destination is already past its kill threshold: fail the send
+    /// the way a crashed host would.
+    pub dest_dead: bool,
+}
+
+/// Live evaluation state for a [`FaultPlan`].
+pub(crate) struct FaultState {
+    plan: FaultPlan,
+    /// Per-(rule, edge) decision counter: the sequence number feeding the
+    /// deterministic hash, so each matching message gets a fresh but
+    /// reproducible roll.
+    seq: Mutex<HashMap<(usize, u32, u32), u64>>,
+    /// Messages delivered per destination endpoint (for `KillAfter`).
+    delivered: Mutex<HashMap<u32, u64>>,
+    /// Endpoints killed by a `KillAfter` rule, until re-registered.
+    killed: Mutex<HashSet<u32>>,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl FaultState {
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultState {
+            plan,
+            seq: Mutex::new(HashMap::new()),
+            delivered: Mutex::new(HashMap::new()),
+            killed: Mutex::new(HashSet::new()),
+        }
+    }
+
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Uniform roll in `[0, 1)`, deterministic in (seed, rule, edge, seq).
+    fn roll(&self, rule_idx: usize, from: u32, to: u32) -> f64 {
+        let n = {
+            let mut seq = self.seq.lock();
+            let ctr = seq.entry((rule_idx, from, to)).or_insert(0);
+            *ctr += 1;
+            *ctr
+        };
+        let mut h = self.plan.seed;
+        for v in [rule_idx as u64, from as u64, to as u64, n] {
+            h = splitmix64(h ^ v);
+        }
+        (h >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Decide the fate of one message. The caller applies the verdict
+    /// (sleeping, dropping, enqueueing copies, yanking the dead inbox).
+    pub fn on_send(&self, from: u32, to: u32) -> SendVerdict {
+        let mut verdict = SendVerdict {
+            deliver: true,
+            copies: 1,
+            extra_delay: Duration::ZERO,
+            kill_after_delivery: false,
+            dest_dead: false,
+        };
+        if self.killed.lock().contains(&to) {
+            verdict.deliver = false;
+            verdict.dest_dead = true;
+            return verdict;
+        }
+        for (i, rule) in self.plan.rules.iter().enumerate() {
+            if !rule.matches(from, to) {
+                continue;
+            }
+            match rule.action {
+                FaultAction::Drop { probability } => {
+                    if self.roll(i, from, to) < probability {
+                        verdict.deliver = false;
+                        return verdict;
+                    }
+                }
+                FaultAction::Delay { probability, delay } => {
+                    if self.roll(i, from, to) < probability {
+                        verdict.extra_delay += delay;
+                    }
+                }
+                FaultAction::Duplicate { probability } => {
+                    if self.roll(i, from, to) < probability {
+                        verdict.copies = 2;
+                    }
+                }
+                FaultAction::KillAfter { .. } => {} // handled below, after the count
+            }
+        }
+        // The message will be delivered: count it against the
+        // destination's lifetime and check every KillAfter rule.
+        let n = {
+            let mut delivered = self.delivered.lock();
+            let ctr = delivered.entry(to).or_insert(0);
+            *ctr += verdict.copies as u64;
+            *ctr
+        };
+        for rule in &self.plan.rules {
+            if let FaultAction::KillAfter { messages } = rule.action {
+                if rule.matches(from, to) && n >= messages {
+                    self.killed.lock().insert(to);
+                    verdict.kill_after_delivery = true;
+                    break;
+                }
+            }
+        }
+        verdict
+    }
+
+    /// Endpoints currently dead from a `KillAfter` rule.
+    pub fn killed(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.killed.lock().iter().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Forget a kill (the endpoint re-registered — a restarted worker
+    /// gets a fresh lifetime budget).
+    pub fn revive(&self, id: u32) {
+        self.killed.lock().remove(&id);
+        self.delivered.lock().remove(&id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rules_match_edge_patterns() {
+        let any = FaultRule {
+            from: None,
+            to: None,
+            action: FaultAction::Drop { probability: 1.0 },
+        };
+        assert!(any.matches(3, 7));
+        let edge = FaultRule {
+            from: Some(1),
+            to: Some(2),
+            action: FaultAction::Drop { probability: 1.0 },
+        };
+        assert!(edge.matches(1, 2));
+        assert!(!edge.matches(1, 3));
+        assert!(!edge.matches(2, 2));
+    }
+
+    #[test]
+    fn decisions_are_deterministic_in_the_seed() {
+        let plan = FaultPlan::new(0xFA17).drop_on(None, None, 0.5);
+        let a = FaultState::new(plan.clone());
+        let b = FaultState::new(plan);
+        let seq_a: Vec<bool> = (0..64).map(|_| a.on_send(1, 2).deliver).collect();
+        let seq_b: Vec<bool> = (0..64).map(|_| b.on_send(1, 2).deliver).collect();
+        assert_eq!(seq_a, seq_b);
+        // A p=0.5 drop should actually drop *some* and deliver *some*.
+        assert!(seq_a.iter().any(|&d| d));
+        assert!(seq_a.iter().any(|&d| !d));
+        // A different seed produces a different schedule.
+        let c = FaultState::new(FaultPlan::new(0xDEAD).drop_on(None, None, 0.5));
+        let seq_c: Vec<bool> = (0..64).map(|_| c.on_send(1, 2).deliver).collect();
+        assert_ne!(seq_a, seq_c);
+    }
+
+    #[test]
+    fn kill_after_delivers_exactly_n_then_dies() {
+        let state = FaultState::new(FaultPlan::new(7).kill_after(9, 3));
+        for i in 0..3 {
+            let v = state.on_send(1, 9);
+            assert!(v.deliver, "message {i} within budget");
+            assert_eq!(v.kill_after_delivery, i == 2);
+        }
+        let v = state.on_send(1, 9);
+        assert!(!v.deliver);
+        assert!(v.dest_dead);
+        assert_eq!(state.killed(), vec![9]);
+        // Other destinations are unaffected.
+        assert!(state.on_send(1, 8).deliver);
+        // Revival (re-registration) resets the budget.
+        state.revive(9);
+        assert!(state.killed().is_empty());
+        assert!(state.on_send(1, 9).deliver);
+    }
+
+    #[test]
+    fn delay_and_duplicate_compose() {
+        let plan = FaultPlan::new(1)
+            .delay_on(None, Some(2), 1.0, Duration::from_millis(3))
+            .duplicate_on(None, Some(2), 1.0);
+        let state = FaultState::new(plan);
+        let v = state.on_send(1, 2);
+        assert!(v.deliver);
+        assert_eq!(v.copies, 2);
+        assert_eq!(v.extra_delay, Duration::from_millis(3));
+        // Unmatched edge: clean delivery.
+        let clean = state.on_send(1, 3);
+        assert_eq!(clean.copies, 1);
+        assert_eq!(clean.extra_delay, Duration::ZERO);
+    }
+
+    #[test]
+    fn drop_probability_zero_and_one_are_exact() {
+        let never = FaultState::new(FaultPlan::new(3).drop_on(None, None, 0.0));
+        assert!((0..32).all(|_| never.on_send(1, 2).deliver));
+        let always = FaultState::new(FaultPlan::new(3).drop_on(None, None, 1.0));
+        assert!((0..32).all(|_| !always.on_send(1, 2).deliver));
+    }
+}

@@ -12,6 +12,9 @@
 //!   (worker threads exchanging real requests). The transport can
 //!   optionally impose the cost model's delays on delivery so live runs
 //!   exhibit HPC-like latency ratios.
+//! * [`fault`] — a seeded, deterministic **fault plan** the transport can
+//!   evaluate on every send: per-edge drop / delay / duplicate plus
+//!   kill-after-N-messages crashes, so chaos soaks are reproducible.
 //!
 //! Keeping cost and transport separate means the same model constants
 //! drive both the simulator and the live engine.
@@ -20,7 +23,9 @@
 #![warn(clippy::all)]
 
 pub mod cost;
+pub mod fault;
 pub mod transport;
 
 pub use cost::{LinkModel, NetworkModel, Topology};
+pub use fault::{FaultAction, FaultPlan, FaultRule};
 pub use transport::{Endpoint, Switchboard, TransportStats};

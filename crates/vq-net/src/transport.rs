@@ -12,6 +12,7 @@
 //! default for unit tests.
 
 use crate::cost::NetworkModel;
+use crate::fault::{FaultPlan, FaultState};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::RwLock;
 use std::collections::HashMap;
@@ -36,6 +37,8 @@ struct Shared<M> {
     /// may live on one node).
     placement: RwLock<HashMap<u32, u32>>,
     model: Option<NetworkModel>,
+    /// Installed fault plan; `None` = clean network.
+    faults: RwLock<Option<Arc<FaultState>>>,
     messages_sent: std::sync::atomic::AtomicU64,
     bytes_sent: std::sync::atomic::AtomicU64,
     /// Bytes that crossed node boundaries (fabric traffic, as opposed to
@@ -75,6 +78,7 @@ impl<M: Send + 'static> Switchboard<M> {
                 inboxes: RwLock::new(HashMap::new()),
                 placement: RwLock::new(HashMap::new()),
                 model: None,
+                faults: RwLock::new(None),
                 messages_sent: std::sync::atomic::AtomicU64::new(0),
                 bytes_sent: std::sync::atomic::AtomicU64::new(0),
                 fabric_bytes: std::sync::atomic::AtomicU64::new(0),
@@ -92,6 +96,7 @@ impl<M: Send + 'static> Switchboard<M> {
                 inboxes: RwLock::new(HashMap::new()),
                 placement: RwLock::new(HashMap::new()),
                 model: Some(model),
+                faults: RwLock::new(None),
                 messages_sent: std::sync::atomic::AtomicU64::new(0),
                 bytes_sent: std::sync::atomic::AtomicU64::new(0),
                 fabric_bytes: std::sync::atomic::AtomicU64::new(0),
@@ -107,6 +112,11 @@ impl<M: Send + 'static> Switchboard<M> {
         let (tx, rx) = unbounded();
         self.shared.inboxes.write().insert(id, tx);
         self.shared.placement.write().insert(id, node);
+        // A restarted endpoint gets a fresh fault lifetime (its KillAfter
+        // budget starts over).
+        if let Some(faults) = self.shared.faults.read().as_ref() {
+            faults.revive(id);
+        }
         Endpoint {
             id,
             rx,
@@ -118,6 +128,40 @@ impl<M: Send + 'static> Switchboard<M> {
     pub fn deregister(&self, id: u32) {
         self.shared.inboxes.write().remove(&id);
         self.shared.placement.write().remove(&id);
+    }
+
+    /// Install (or replace) a fault plan; subsequent sends evaluate it.
+    pub fn install_faults(&self, plan: FaultPlan) {
+        *self.shared.faults.write() = Some(Arc::new(FaultState::new(plan)));
+    }
+
+    /// Remove the fault plan; the network runs clean again.
+    pub fn clear_faults(&self) {
+        *self.shared.faults.write() = None;
+    }
+
+    /// Endpoints currently dead from a `KillAfter` fault, ascending.
+    ///
+    /// The cluster's chaos driver polls this to learn that an injected
+    /// crash has fired (the killed worker cannot report its own death).
+    pub fn fault_killed(&self) -> Vec<u32> {
+        self.shared
+            .faults
+            .read()
+            .as_ref()
+            .map(|f| f.killed())
+            .unwrap_or_default()
+    }
+
+    /// Crash endpoint `id` from the network's point of view: its inbox is
+    /// yanked without any deregistration handshake, so in-flight and
+    /// future sends fail exactly like sends to a dead host, and the
+    /// endpoint's own `recv` reports the transport gone.
+    pub fn crash(&self, id: u32) {
+        self.shared.inboxes.write().remove(&id);
+        // Placement is left in place: a replacement endpoint for the same
+        // id will re-register and overwrite it anyway, and cost modeling
+        // of in-flight traffic should not panic meanwhile.
     }
 
     /// Aggregate traffic counters since creation.
@@ -159,7 +203,10 @@ impl<M: Send + 'static> Endpoint<M> {
 
     /// Send `payload` to endpoint `to` (treated as zero-sized for the
     /// bandwidth term).
-    pub fn send(&self, to: u32, payload: M) -> VqResult<()> {
+    pub fn send(&self, to: u32, payload: M) -> VqResult<()>
+    where
+        M: Clone,
+    {
         self.send_sized(to, payload, 0)
     }
 
@@ -168,7 +215,15 @@ impl<M: Send + 'static> Endpoint<M> {
     /// With a model attached, the *sender* bears the transfer delay
     /// (stream semantics: the send call returns when the bytes are on the
     /// wire); this keeps the live engine simple while preserving ordering.
-    pub fn send_sized(&self, to: u32, payload: M, bytes: u64) -> VqResult<()> {
+    ///
+    /// With a fault plan installed, the message may additionally be
+    /// dropped (send still reports success — the bytes left the NIC),
+    /// delayed, duplicated (hence `M: Clone`), or be the one that crashes
+    /// its destination.
+    pub fn send_sized(&self, to: u32, payload: M, bytes: u64) -> VqResult<()>
+    where
+        M: Clone,
+    {
         use std::sync::atomic::Ordering::Relaxed;
         let (src, dst) = {
             let placement = self.shared.placement.read();
@@ -192,6 +247,23 @@ impl<M: Send + 'static> Endpoint<M> {
                 }
             }
         }
+        let faults = self.shared.faults.read().clone();
+        let verdict = faults.as_ref().map(|f| f.on_send(self.id, to));
+        if let Some(v) = &verdict {
+            if v.extra_delay > Duration::ZERO {
+                std::thread::sleep(v.extra_delay);
+            }
+            if !v.deliver {
+                if v.dest_dead {
+                    // The destination crashed earlier; make sure its inbox
+                    // is gone and fail like a send to a dead host.
+                    self.shared.inboxes.write().remove(&to);
+                    return Err(VqError::Network(format!("endpoint {to} crashed")));
+                }
+                // Dropped on the wire: the sender cannot tell.
+                return Ok(());
+            }
+        }
         let tx = {
             let inboxes = self.shared.inboxes.read();
             inboxes
@@ -199,12 +271,27 @@ impl<M: Send + 'static> Endpoint<M> {
                 .cloned()
                 .ok_or_else(|| VqError::Network(format!("endpoint {to} not registered")))?
         };
-        tx.send(Envelope {
-            from: self.id,
-            to,
-            payload,
-        })
-        .map_err(|_| VqError::Network(format!("endpoint {to} hung up")))
+        let copies = verdict.as_ref().map_or(1, |v| v.copies);
+        for _ in 1..copies {
+            let _ = tx.send(Envelope {
+                from: self.id,
+                to,
+                payload: payload.clone(),
+            });
+        }
+        let sent = tx
+            .send(Envelope {
+                from: self.id,
+                to,
+                payload,
+            })
+            .map_err(|_| VqError::Network(format!("endpoint {to} hung up")));
+        if verdict.as_ref().is_some_and(|v| v.kill_after_delivery) {
+            // That delivery was the destination's last: crash it now, with
+            // the message still sitting unread in its inbox.
+            self.shared.inboxes.write().remove(&to);
+        }
+        sent
     }
 
     /// Block for the next message.
@@ -323,6 +410,86 @@ mod tests {
         assert_eq!(stats.messages, 3);
         assert_eq!(stats.bytes, 350);
         assert_eq!(stats.fabric_bytes, 250, "loopback bytes excluded");
+    }
+
+    #[test]
+    fn fault_drop_loses_messages_silently() {
+        let sb: Switchboard<u32> = Switchboard::new();
+        sb.install_faults(FaultPlan::new(5).drop_on(Some(1), Some(2), 1.0));
+        let a = sb.register(1, 0);
+        let b = sb.register(2, 0);
+        a.send(2, 7).unwrap(); // sender sees success
+        assert!(b.try_recv().is_none(), "message was dropped on the wire");
+        // The reverse edge is clean.
+        b.send(1, 9).unwrap();
+        assert_eq!(a.recv().unwrap().payload, 9);
+        sb.clear_faults();
+        a.send(2, 8).unwrap();
+        assert_eq!(b.recv().unwrap().payload, 8);
+    }
+
+    #[test]
+    fn fault_duplicate_delivers_twice() {
+        let sb: Switchboard<u32> = Switchboard::new();
+        sb.install_faults(FaultPlan::new(5).duplicate_on(None, Some(2), 1.0));
+        let a = sb.register(1, 0);
+        let b = sb.register(2, 0);
+        a.send(2, 7).unwrap();
+        assert_eq!(b.recv().unwrap().payload, 7);
+        assert_eq!(b.recv().unwrap().payload, 7);
+        assert!(b.try_recv().is_none());
+    }
+
+    #[test]
+    fn fault_delay_injects_latency() {
+        let sb: Switchboard<u8> = Switchboard::new();
+        sb.install_faults(FaultPlan::new(5).delay_on(
+            None,
+            None,
+            1.0,
+            Duration::from_millis(10),
+        ));
+        let a = sb.register(1, 0);
+        let b = sb.register(2, 0);
+        let t0 = std::time::Instant::now();
+        a.send(2, 1).unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+        assert_eq!(b.recv().unwrap().payload, 1);
+    }
+
+    #[test]
+    fn fault_kill_after_n_crashes_the_destination() {
+        let sb: Switchboard<u32> = Switchboard::new();
+        sb.install_faults(FaultPlan::new(5).kill_after(2, 2));
+        let a = sb.register(1, 0);
+        let b = sb.register(2, 0);
+        a.send(2, 1).unwrap();
+        a.send(2, 2).unwrap(); // fatal delivery
+        assert_eq!(sb.fault_killed(), vec![2]);
+        // Already-queued messages drain, then the endpoint sees the
+        // transport gone — the crash shape a dying worker observes.
+        assert_eq!(b.recv().unwrap().payload, 1);
+        assert_eq!(b.recv().unwrap().payload, 2);
+        assert!(b.recv().is_err());
+        // Senders now fail like they would against a dead host.
+        assert!(matches!(a.send(2, 3), Err(VqError::Network(_))));
+        // Re-registering revives the id with a fresh budget.
+        let b2 = sb.register(2, 0);
+        assert!(sb.fault_killed().is_empty());
+        a.send(2, 4).unwrap();
+        assert_eq!(b2.recv().unwrap().payload, 4);
+    }
+
+    #[test]
+    fn crash_is_an_unpolite_deregister() {
+        let sb: Switchboard<u32> = Switchboard::new();
+        let a = sb.register(1, 0);
+        let b = sb.register(2, 0);
+        a.send(2, 1).unwrap();
+        sb.crash(2);
+        assert_eq!(b.recv().unwrap().payload, 1, "queued messages drain");
+        assert!(b.recv().is_err(), "then the transport is gone");
+        assert!(a.send(2, 2).is_err());
     }
 
     #[test]

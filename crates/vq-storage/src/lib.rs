@@ -32,4 +32,4 @@ pub use id_tracker::IdTracker;
 pub use payload_index::PayloadIndex;
 pub use payload_store::PayloadStore;
 pub use segment_store::{SegmentSnapshot, SegmentStore};
-pub use wal::{FileBackend, MemBackend, Wal, WalBackend, WalRecord};
+pub use wal::{FileBackend, MemBackend, SharedBackend, Wal, WalBackend, WalRecord};

@@ -311,6 +311,9 @@ pub trait WalBackend: Send {
     fn read_all(&self) -> VqResult<Vec<u8>>;
     /// Truncate the log to zero length (after a snapshot checkpoint).
     fn truncate(&mut self) -> VqResult<()>;
+    /// Truncate the log to exactly `len` bytes, discarding the tail.
+    /// Used to cut a torn frame off a crashed log before appending again.
+    fn truncate_to(&mut self, len: u64) -> VqResult<()>;
     /// Make everything appended so far durable. The default is a no-op
     /// (volatile backends have no durability point); file-backed logs
     /// flush their buffers and fsync.
@@ -350,8 +353,59 @@ impl WalBackend for MemBackend {
         self.data.clear();
         Ok(())
     }
+    fn truncate_to(&mut self, len: u64) -> VqResult<()> {
+        self.data.truncate(len as usize);
+        Ok(())
+    }
     fn len(&self) -> u64 {
         self.data.len() as u64
+    }
+}
+
+/// Heap-backed WAL storage that outlives any one `Wal` handle.
+///
+/// Clones share the same byte buffer, so the log written by a worker
+/// thread survives that thread's death: a replacement worker opens a new
+/// `Wal` over a clone of the same backend and replays everything the dead
+/// one acknowledged. This is the in-memory-persistent durability mode the
+/// cluster uses for crash/restart testing without touching the filesystem.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBackend {
+    data: std::sync::Arc<std::sync::Mutex<Vec<u8>>>,
+}
+
+impl SharedBackend {
+    /// Empty shared backend.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn buf(&self) -> std::sync::MutexGuard<'_, Vec<u8>> {
+        // A poisoned lock just means some thread panicked mid-append; the
+        // bytes written so far are still the authoritative log (exactly
+        // like a torn file after a crash), so keep serving them.
+        self.data.lock().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl WalBackend for SharedBackend {
+    fn append(&mut self, data: &[u8]) -> VqResult<()> {
+        self.buf().extend_from_slice(data);
+        Ok(())
+    }
+    fn read_all(&self) -> VqResult<Vec<u8>> {
+        Ok(self.buf().clone())
+    }
+    fn truncate(&mut self) -> VqResult<()> {
+        self.buf().clear();
+        Ok(())
+    }
+    fn truncate_to(&mut self, len: u64) -> VqResult<()> {
+        self.buf().truncate(len as usize);
+        Ok(())
+    }
+    fn len(&self) -> u64 {
+        self.buf().len() as u64
     }
 }
 
@@ -415,6 +469,19 @@ impl WalBackend for FileBackend {
         Ok(())
     }
 
+    fn truncate_to(&mut self, len: u64) -> VqResult<()> {
+        use std::io::Write;
+        self.file
+            .flush()
+            .map_err(|e| VqError::Corruption(format!("flush WAL: {e}")))?;
+        self.file
+            .get_ref()
+            .set_len(len)
+            .map_err(|e| VqError::Corruption(format!("truncate WAL to {len}: {e}")))?;
+        self.len = len;
+        Ok(())
+    }
+
     fn sync(&mut self) -> VqResult<()> {
         use std::io::Write;
         self.file
@@ -448,6 +515,12 @@ pub struct Wal {
     backend: Box<dyn WalBackend>,
     records: u64,
     synced_batches: u64,
+    // Whether the tail has been checked for a torn frame since open. A
+    // crashed writer leaves a partial frame at the end; replay skips it,
+    // but an append after it would strand every later record behind
+    // unparseable bytes. The first append therefore truncates the torn
+    // tail first.
+    tail_checked: bool,
     // Registry mirror of `synced_batches`, aggregated across every WAL in
     // the process; the local field keeps per-log group-commit accounting.
     synced_shared: std::sync::Arc<vq_obs::Counter>,
@@ -465,8 +538,34 @@ impl Wal {
             backend,
             records: 0,
             synced_batches: 0,
+            tail_checked: false,
             synced_shared: vq_obs::handle_counter("wal.synced_batches"),
         }
+    }
+
+    /// Cut a torn (partial) frame off the end of the log, if present.
+    ///
+    /// Returns the number of bytes discarded. Complete frames are never
+    /// touched — even ones with a bad CRC, which are corruption that
+    /// [`Self::replay`] must keep reporting, not crash debris to hide.
+    pub fn repair_torn_tail(&mut self) -> VqResult<u64> {
+        let data = self.backend.read_all()?;
+        let mut buf = &data[..];
+        let mut valid = 0u64;
+        while buf.remaining() >= 8 {
+            let len = (&buf[..4]).get_u32_le() as usize;
+            if buf.remaining() < 8 + len {
+                break; // torn tail starts here
+            }
+            buf.advance(8 + len);
+            valid += 8 + len as u64;
+        }
+        let torn = data.len() as u64 - valid;
+        if torn > 0 {
+            self.backend.truncate_to(valid)?;
+        }
+        self.tail_checked = true;
+        Ok(torn)
     }
 
     /// Append one record (framed + checksummed) and sync it durable.
@@ -477,6 +576,9 @@ impl Wal {
     /// batch under a single sync. [`Self::synced_batches`] exposes the
     /// counter so tests can pin that accounting.
     pub fn append(&mut self, record: &WalRecord) -> VqResult<()> {
+        if !self.tail_checked {
+            self.repair_torn_tail()?;
+        }
         let payload = record.encode();
         let mut frame = BytesMut::with_capacity(8 + payload.len());
         frame.put_u32_le(payload.len() as u32);
@@ -542,7 +644,9 @@ impl Wal {
 
     /// Drop all records (after a snapshot made them redundant).
     pub fn checkpoint(&mut self) -> VqResult<()> {
-        self.backend.truncate()
+        self.backend.truncate()?;
+        self.tail_checked = true; // an empty log has no torn tail
+        Ok(())
     }
 }
 
@@ -680,6 +784,105 @@ mod tests {
         let wal2 = Wal::with_backend(Box::new(backend));
         let replayed = wal2.replay().unwrap();
         assert_eq!(replayed, vec![WalRecord::Delete(1)]);
+    }
+
+    #[test]
+    fn reopen_after_torn_tail_keeps_later_appends_reachable() {
+        // Crash shape: a writer dies mid-frame, leaving a torn tail. The
+        // bug: a reopened Wal appended AFTER the torn bytes, so replay
+        // (which stops at the first torn frame) could never reach any
+        // post-crash record. The reopened log must truncate the torn tail
+        // before its first append.
+        let shared = SharedBackend::new();
+        let mut wal = Wal::with_backend(Box::new(shared.clone()));
+        wal.append(&WalRecord::Delete(1)).unwrap();
+        wal.append(&WalRecord::Delete(2)).unwrap();
+        drop(wal);
+        // Torn frame: claims 9 payload bytes, provides 1.
+        let mut raw = shared.clone();
+        raw.append(&[0x09, 0x00, 0x00, 0x00, 0xAA, 0xBB, 0xCC, 0xDD, 0x01])
+            .unwrap();
+        // Reopen, append, replay: the post-crash record must be visible.
+        let mut reopened = Wal::with_backend(Box::new(shared.clone()));
+        reopened.append(&WalRecord::Delete(3)).unwrap();
+        assert_eq!(
+            reopened.replay().unwrap(),
+            vec![
+                WalRecord::Delete(1),
+                WalRecord::Delete(2),
+                WalRecord::Delete(3)
+            ]
+        );
+    }
+
+    #[test]
+    fn repair_torn_tail_reports_bytes_and_spares_intact_logs() {
+        let shared = SharedBackend::new();
+        let mut wal = Wal::with_backend(Box::new(shared.clone()));
+        wal.append(&WalRecord::Delete(1)).unwrap();
+        let intact = wal.bytes();
+        assert_eq!(wal.repair_torn_tail().unwrap(), 0);
+        assert_eq!(wal.bytes(), intact);
+        let mut raw = shared.clone();
+        raw.append(&[0xFF, 0x00, 0x00, 0x00, 0x01]).unwrap();
+        let mut reopened = Wal::with_backend(Box::new(shared));
+        assert_eq!(reopened.repair_torn_tail().unwrap(), 5);
+        assert_eq!(reopened.bytes(), intact);
+        // A complete frame with a bad CRC is corruption, not a torn tail:
+        // repair must keep it so replay still reports the error.
+        let mut backend = MemBackend::new();
+        let mut good = Wal::in_memory();
+        good.append(&WalRecord::Delete(9)).unwrap();
+        let mut bytes = good.backend.read_all().unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        backend.append(&bytes).unwrap();
+        let mut corrupt = Wal::with_backend(Box::new(backend));
+        assert_eq!(corrupt.repair_torn_tail().unwrap(), 0);
+        assert!(matches!(corrupt.replay(), Err(VqError::Corruption(_))));
+    }
+
+    #[test]
+    fn file_backend_reopen_after_torn_tail() {
+        let path = std::env::temp_dir().join(format!(
+            "vq-wal-torn-test-{}.log",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut wal = Wal::with_backend(Box::new(FileBackend::open(&path).unwrap()));
+            wal.append(&WalRecord::Delete(1)).unwrap();
+        }
+        {
+            use std::io::Write;
+            let mut f = std::fs::OpenOptions::new()
+                .append(true)
+                .open(&path)
+                .unwrap();
+            f.write_all(&[0x20, 0x00, 0x00, 0x00, 0xAB]).unwrap(); // torn frame
+        }
+        let mut reopened = Wal::with_backend(Box::new(FileBackend::open(&path).unwrap()));
+        reopened.append(&WalRecord::Delete(2)).unwrap();
+        assert_eq!(
+            reopened.replay().unwrap(),
+            vec![WalRecord::Delete(1), WalRecord::Delete(2)]
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn shared_backend_survives_writer_drop() {
+        let shared = SharedBackend::new();
+        {
+            let mut wal = Wal::with_backend(Box::new(shared.clone()));
+            wal.append(&WalRecord::Upsert(sample_point())).unwrap();
+            // Writer "dies" here; the shared buffer is the durable copy.
+        }
+        let recovered = Wal::with_backend(Box::new(shared));
+        assert_eq!(
+            recovered.replay().unwrap(),
+            vec![WalRecord::Upsert(sample_point())]
+        );
     }
 
     #[test]

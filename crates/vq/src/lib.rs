@@ -72,7 +72,10 @@ pub mod prelude {
         ModeledClusterService, PipelineMode, PipelinePolicy, Plan, Runtime, VirtualClock,
         WallClock,
     };
-    pub use vq_cluster::{Cluster, ClusterClient, ClusterConfig, Placement, WorkerInfo};
+    pub use vq_cluster::{
+        Cluster, ClusterClient, ClusterConfig, Deadlines, Durability, Placement, SearchOutcome,
+        WorkerInfo,
+    };
     pub use vq_collection::{
         CollectionConfig, CollectionStats, IndexingPolicy, LocalCollection, RecommendRequest,
         SearchRequest,

@@ -41,4 +41,7 @@ VQ_FORCE_SCALAR=1 cargo test -q -p vq-core -p vq-index
 echo "==> repro live --check (observability phase coverage)"
 cargo run --release -p vq-bench --bin repro -- live --check
 
+echo "==> repro chaos --check (kill/restart recovery soak)"
+cargo run --release -p vq-bench --bin repro -- chaos --check --scale 0.5
+
 echo "OK"
