@@ -26,6 +26,10 @@
 //!   seeded fault plan while a replicated, WAL-backed cluster ingests;
 //!   `--check` fails on any lost acknowledged write, over-deadline query,
 //!   or unreported coverage loss — the CI chaos-smoke contract.
+//! * `quantized` (not part of `all`) builds a quantized-resident
+//!   collection (PQ codes in RAM, full-precision vectors demand-paged)
+//!   and sweeps rerank depth; `--check` enforces the BENCH_PQ.json
+//!   acceptance floors — the CI quantized-smoke contract.
 
 use serde::Serialize;
 use vq_bench::calib::Calibration;
@@ -90,7 +94,7 @@ fn main() {
     let calib = Calibration::default();
     let known = [
         "table1", "table2", "fig2", "table3", "fig3", "fig4", "fig5", "ablation",
-        "variability", "pipeline", "live", "ingest", "chaos", "all",
+        "variability", "pipeline", "live", "ingest", "chaos", "quantized", "all",
     ];
     if !known.contains(&which) {
         eprintln!("unknown experiment `{which}`; one of: {}", known.join(", "));
@@ -144,6 +148,13 @@ fn main() {
     // cycles, and queries stay deadline-bounded while workers are down.
     if which == "chaos" {
         print_chaos(json, check, scale);
+    }
+    // Quantized-resident memory hierarchy: opt-in only (trains real PQ
+    // codebooks); `--check` makes it the CI quantized-smoke contract —
+    // recall@10 ≥ 0.95 at a measured rerank depth, ≥ 4x resident-byte
+    // reduction, and a coarse-scan speedup over the exact scan.
+    if which == "quantized" {
+        print_quantized(json, check, scale);
     }
 }
 
@@ -1558,6 +1569,265 @@ fn print_chaos(json: bool, check: bool, scale: f64) {
                 (
                     "concurrent searches survived every kill/restart",
                     concurrent_searches > 0,
+                ),
+            ],
+        );
+    }
+}
+
+#[derive(Serialize, Clone)]
+struct QuantizedDepthOut {
+    rerank_depth: usize,
+    recall_at_10: f64,
+    query_us: f64,
+}
+
+#[derive(Serialize)]
+struct QuantizedReport {
+    dim: usize,
+    points: usize,
+    pq_m: usize,
+    pq_ks: usize,
+    quantized_segments: usize,
+    build_secs: f64,
+    depths: Vec<QuantizedDepthOut>,
+    exact_query_us: f64,
+    two_stage_query_us: f64,
+    coarse_scan_us: Option<f64>,
+    coarse_scan_speedup: Option<f64>,
+    quantized_full_bytes: usize,
+    quantized_resident_bytes: usize,
+    resident_reduction: f64,
+    metrics: serde_json::Value,
+}
+
+/// Quantized-resident memory hierarchy: sealed segments hold PQ codes in
+/// RAM, spill full-precision vectors to a demand-paged tier, and serve
+/// searches as SIMD coarse-scan + exact rerank. Opt-in only (trains real
+/// PQ codebooks). `--check` enforces the BENCH_PQ.json acceptance floors
+/// (the CI quantized-smoke contract): recall@10 ≥ 0.95 at some measured
+/// rerank depth, ≥ 4x resident-byte reduction on quantized segments, the
+/// coarse scan ≥ 2x faster than the exact scan it displaces (flight-
+/// recorder phase timing), and two-stage at full depth *identical* to
+/// exact. The byte-ratio floors are defined against the default tier
+/// page budget (8 pages × 256 vectors), which below ~10k points would
+/// cache the whole dataset — so `--scale` only grows this experiment,
+/// never shrinks it.
+fn print_quantized(json: bool, check: bool, scale: f64) {
+    use rand::{Rng, SeedableRng};
+    use std::time::Instant;
+    use vq_collection::{
+        CollectionConfig, IndexingPolicy, LocalCollection, QuantizationConfig, SearchRequest,
+    };
+    use vq_core::{Distance, Point};
+
+    section("Quantized-resident search: SIMD PQ coarse scan + exact rerank");
+    let dim = 512usize;
+    let n = scaled(10_000, scale, 10_000) as usize;
+
+    // Clustered corpus — what embedding corpora look like. Recall on
+    // uniform noise measures distance concentration, not the codec: 128
+    // centers with 0.25-sigma jitter, queries jittered around centers.
+    // Same methodology and seed as BENCH_PQ.json.
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(97);
+    let centers: Vec<Vec<f32>> = (0..128)
+        .map(|_| (0..dim).map(|_| rng.gen_range(-1.0f32..1.0)).collect())
+        .collect();
+    let mut jitter = |c: &[f32]| -> Vec<f32> {
+        c.iter()
+            .map(|&x| x + rng.gen_range(-0.25f32..0.25))
+            .collect()
+    };
+    let points: Vec<Point> = (0..n)
+        .map(|i| Point::new(i as u64, jitter(&centers[i % centers.len()])))
+        .collect();
+    let queries: Vec<Vec<f32>> = (0..30)
+        .map(|i| jitter(&centers[(i * 7) % centers.len()]))
+        .collect();
+
+    let pq_m = dim / 8;
+    let config = CollectionConfig::new(dim, Distance::Euclid)
+        .max_segment_points(n)
+        .indexing(IndexingPolicy::Deferred)
+        .quantization(QuantizationConfig::with_m(pq_m).ks(256).rerank_mult(4));
+    let coll = LocalCollection::new(config);
+    coll.upsert_batch(points).expect("ingest clustered corpus");
+    coll.seal_active();
+    let t0 = Instant::now();
+    let built = coll
+        .build_all_quantized()
+        .expect("quantize sealed segments");
+    let build_secs = t0.elapsed().as_secs_f64();
+    println!(
+        "quantized {built} segment(s): {n} x {dim} points, m={pq_m}, ks=256, {build_secs:.2}s to train+encode+spill"
+    );
+
+    // Exact ground truth through the same API — `exact` bypasses the
+    // quantized path entirely.
+    let truths: Vec<Vec<u64>> = queries
+        .iter()
+        .map(|q| {
+            coll.search(&SearchRequest::new(q.clone(), 10).exact())
+                .expect("exact search")
+                .iter()
+                .map(|p| p.id)
+                .collect()
+        })
+        .collect();
+
+    // Two-stage at full depth must be *identical* to exact: the coarse
+    // scan then only selects candidates (all of them) and the exact
+    // rerank decides.
+    let mut full_depth_identical = true;
+    for (q, truth) in queries.iter().take(5).zip(&truths) {
+        let got: Vec<u64> = coll
+            .search(&SearchRequest::new(q.clone(), 10).rerank_depth(n))
+            .expect("full-depth two-stage search")
+            .iter()
+            .map(|p| p.id)
+            .collect();
+        full_depth_identical &= got == *truth;
+    }
+
+    let mut depths_out = Vec::new();
+    for depth in [10usize, 20, 50, 100, 200] {
+        let mut hit = 0usize;
+        let mut total = 0usize;
+        let t0 = Instant::now();
+        for (q, truth) in queries.iter().zip(&truths) {
+            let got = coll
+                .search(&SearchRequest::new(q.clone(), 10).rerank_depth(depth))
+                .expect("two-stage search");
+            total += truth.len();
+            hit += got.iter().filter(|p| truth.contains(&p.id)).count();
+        }
+        depths_out.push(QuantizedDepthOut {
+            rerank_depth: depth,
+            recall_at_10: hit as f64 / total as f64,
+            query_us: t0.elapsed().as_secs_f64() * 1e6 / queries.len() as f64,
+        });
+    }
+
+    // Timed comparison at the depth the recall gate certifies, against
+    // the exact scan on the same (now warm) collection. The flight
+    // recorder splits the two-stage time into its phases around the
+    // timed run, so the coarse-scan cost — the part the BENCH_PQ.json
+    // throughput floor is about — is measured end to end too. (The
+    // rerank phase pays real demand-paging faults; at this dataset size
+    // the page cache covers a fifth of the data, so total two-stage
+    // latency is a memory-budget trade, not a win.)
+    let coarse_stats = |name: &str| -> Option<(u64, u64)> {
+        let snap = vq_obs::snapshot()?;
+        let h = snap.histogram(name).copied()?;
+        Some((h.sum, h.count))
+    };
+    let time_path = |exact: bool| -> f64 {
+        let iters = 3usize;
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            for q in &queries {
+                let req = if exact {
+                    SearchRequest::new(q.clone(), 10).exact()
+                } else {
+                    SearchRequest::new(q.clone(), 10).rerank_depth(100)
+                };
+                std::hint::black_box(coll.search(&req).expect("timed search"));
+            }
+        }
+        t0.elapsed().as_secs_f64() * 1e6 / (iters * queries.len()) as f64
+    };
+    let before = coarse_stats("phase.coarse_scan");
+    let two_stage_us = time_path(false);
+    let coarse_us = coarse_stats("phase.coarse_scan").zip(before).and_then(
+        |((sum1, n1), (sum0, n0))| {
+            (n1 > n0).then(|| (sum1 - sum0) as f64 / (n1 - n0) as f64 / 1e3)
+        },
+    );
+    let exact_us = time_path(true);
+    let coarse_speedup = coarse_us.map(|c| exact_us / c.max(1e-9));
+
+    let stats = coll.stats();
+    let reduction = stats.quantized_reduction();
+    let best_recall = depths_out
+        .iter()
+        .map(|d| d.recall_at_10)
+        .fold(0.0f64, f64::max);
+
+    let mut t = TextTable::new(["Rerank depth", "Recall@10", "Query us"]);
+    for row in &depths_out {
+        t.row([
+            row.rerank_depth.to_string(),
+            format!("{:.4}", row.recall_at_10),
+            format!("{:.0}", row.query_us),
+        ]);
+    }
+    print!("{}", t.render());
+    println!(
+        "exact scan {exact_us:.0} us/query; two-stage @depth 100 {two_stage_us:.0} us/query, of which coarse scan {} ({} vs exact)",
+        coarse_us.map_or("n/a".into(), |c| format!("{c:.0} us")),
+        coarse_speedup.map_or("n/a".into(), |s| format!("{s:.2}x")),
+    );
+    println!(
+        "resident {} of {} full-precision bytes on quantized segments ({reduction:.2}x reduction)",
+        stats.quantized_resident_bytes, stats.quantized_full_bytes,
+    );
+    if let Some(snap) = vq_obs::snapshot() {
+        println!("phase latency percentiles (flight recorder):");
+        print_phase_percentiles(&snap, &["coarse_scan", "rerank"]);
+    }
+
+    emit(
+        json,
+        "quantized",
+        &QuantizedReport {
+            dim,
+            points: n,
+            pq_m,
+            pq_ks: 256,
+            quantized_segments: stats.quantized_segments,
+            build_secs,
+            depths: depths_out.clone(),
+            exact_query_us: exact_us,
+            two_stage_query_us: two_stage_us,
+            coarse_scan_us: coarse_us,
+            coarse_scan_speedup: coarse_speedup,
+            quantized_full_bytes: stats.quantized_full_bytes,
+            quantized_resident_bytes: stats.quantized_resident_bytes,
+            resident_reduction: reduction,
+            metrics: obs_metrics_json(),
+        },
+    );
+
+    if check {
+        // Recall is monotone in depth by construction (the candidate set
+        // at depth d is a prefix of the set at d' > d, and the rerank is
+        // exact), so a violation means the coarse ordering broke.
+        let monotone = depths_out
+            .windows(2)
+            .all(|w| w[1].recall_at_10 >= w[0].recall_at_10 - 1e-9);
+        enforce_shapes(
+            "quantized",
+            &[
+                (
+                    "some measured rerank depth reaches recall@10 >= 0.95",
+                    best_recall >= 0.95,
+                ),
+                (
+                    "quantized segments keep <= 1/4 of full-precision bytes resident",
+                    reduction >= 4.0,
+                ),
+                (
+                    "coarse scan >= 2x faster than the exact scan it displaces",
+                    coarse_speedup.is_none_or(|s| s >= 2.0),
+                ),
+                (
+                    "two-stage at full rerank depth identical to exact",
+                    full_depth_identical,
+                ),
+                ("recall non-decreasing in rerank depth", monotone),
+                (
+                    "every sealed segment got quantized",
+                    built >= 1 && stats.quantized_segments == built,
                 ),
             ],
         );

@@ -840,6 +840,47 @@ impl ClusterClient {
         Ok(built)
     }
 
+    /// Quantize every eligible sealed segment cluster-wide: each worker
+    /// converts its shards to quantized-resident form (PQ codes in RAM,
+    /// full-precision tier behind them), so subsequent fan-out searches
+    /// run the coarse scan + exact rerank per shard before the gather.
+    /// Returns the total segments quantized.
+    pub fn quantize(&mut self) -> VqResult<usize> {
+        let workers = self.worker_ids();
+        let mut tags = Vec::with_capacity(workers.len());
+        for &worker in &workers {
+            let tag = self.next_tag;
+            self.next_tag += 1;
+            let msg = ClusterMsg::Request {
+                reply_to: self.endpoint.id(),
+                tag,
+                body: Request::Quantize,
+            };
+            self.endpoint.send(worker, msg)?;
+            tags.push(tag);
+        }
+        let mut built = 0;
+        let deadline = Instant::now() + self.cluster.cluster_config.deadlines.index_build;
+        let mut remaining: std::collections::HashSet<u64> = tags.into_iter().collect();
+        while !remaining.is_empty() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Err(VqError::Timeout);
+            }
+            let env = self.endpoint.recv_timeout(left)?;
+            if let ClusterMsg::Response { tag, body } = env.payload {
+                if remaining.remove(&tag) {
+                    match body {
+                        Response::Built(n) => built += n,
+                        Response::Error(e) => return Err(e),
+                        _ => {}
+                    }
+                }
+            }
+        }
+        Ok(built)
+    }
+
     /// Aggregated stats across workers.
     pub fn stats(&mut self) -> VqResult<CollectionStats> {
         let mut total = CollectionStats::default();
@@ -853,6 +894,9 @@ impl ClusterClient {
                     total.total_offsets += s.total_offsets;
                     total.indexed_points += s.indexed_points;
                     total.approx_bytes += s.approx_bytes;
+                    total.quantized_segments += s.quantized_segments;
+                    total.quantized_resident_bytes += s.quantized_resident_bytes;
+                    total.quantized_full_bytes += s.quantized_full_bytes;
                 }
                 Response::Error(e) => return Err(e),
                 _ => {}
@@ -1100,6 +1144,32 @@ mod tests {
         (0..n)
             .map(|i| Point::new(i as PointId, vec![i as f32, 0.0, 0.0, 0.0]))
             .collect()
+    }
+
+    #[test]
+    fn quantized_fanout_search_matches_exact() {
+        let config = small_collection()
+            .quantization(vq_collection::QuantizationConfig::with_m(2).ks(16));
+        let cluster = Cluster::start(ClusterConfig::new(3), config).unwrap();
+        let mut client = cluster.client();
+        client.upsert_batch(line_points(300)).unwrap();
+        let quantized = client.quantize().unwrap();
+        assert!(quantized > 0, "sealed shard segments should quantize");
+        let stats = client.stats().unwrap();
+        assert_eq!(stats.quantized_segments, quantized);
+        assert!(stats.quantized_resident_bytes < stats.quantized_full_bytes);
+        // Params ride the wire: a deep rerank reproduces the exact result
+        // on every shard before the coordinator gathers.
+        let deep = client
+            .search(SearchRequest::new(vec![42.3, 0.0, 0.0, 0.0], 3).rerank_depth(300))
+            .unwrap();
+        let exact = client
+            .search(SearchRequest::new(vec![42.3, 0.0, 0.0, 0.0], 3).exact())
+            .unwrap();
+        let ids = |hits: &[ScoredPoint]| hits.iter().map(|h| h.id).collect::<Vec<_>>();
+        assert_eq!(ids(&deep), vec![42, 43, 41]);
+        assert_eq!(ids(&exact), vec![42, 43, 41]);
+        cluster.shutdown();
     }
 
     #[test]

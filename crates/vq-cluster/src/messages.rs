@@ -90,6 +90,12 @@ pub enum Request {
     /// Build every missing index on local shards (the explicit rebuild of
     /// §3.3). Replies with the number of indexes built.
     BuildIndexes,
+    /// Convert every eligible sealed local segment to quantized-resident
+    /// form (PQ codes in RAM, full-precision vectors in the demand-paged
+    /// tier). Replies with the number of segments quantized. Subsequent
+    /// searches run coarse-scan + exact-rerank per shard, honoring the
+    /// `params` carried by each [`WireSearch`].
+    Quantize,
     /// Collection stats aggregated over local shards.
     Stats,
     /// Per-worker operational info (shards hosted, request counters).

@@ -436,6 +436,26 @@ fn handle_local(
                 None => Response::Built(built),
             }
         }
+        Request::Quantize => {
+            let shards: Vec<Arc<LocalCollection>> =
+                state.shards.read().values().cloned().collect();
+            let mut built = 0;
+            let mut error = None;
+            for c in shards {
+                c.seal_active();
+                match c.build_all_quantized() {
+                    Ok(n) => built += n,
+                    Err(e) => {
+                        error = Some(e);
+                        break;
+                    }
+                }
+            }
+            match error {
+                Some(e) => Response::Error(e),
+                None => Response::Built(built),
+            }
+        }
         Request::Stats => {
             let mut total = CollectionStats::default();
             for c in state.shards.read().values() {
@@ -447,6 +467,9 @@ fn handle_local(
                 total.total_offsets += s.total_offsets;
                 total.indexed_points += s.indexed_points;
                 total.approx_bytes += s.approx_bytes;
+                total.quantized_segments += s.quantized_segments;
+                total.quantized_resident_bytes += s.quantized_resident_bytes;
+                total.quantized_full_bytes += s.quantized_full_bytes;
             }
             Response::Stats(total)
         }

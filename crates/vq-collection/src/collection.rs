@@ -362,13 +362,14 @@ impl LocalCollection {
         let ef = request.ef.unwrap_or(self.config.ef_search);
         let inner = self.inner.read();
         let run = |seg: &Segment| {
-            seg.search(
+            seg.search_with_params(
                 &self.config,
                 &query,
                 request.k,
                 ef,
                 request.filter.as_ref(),
                 request.with_payload,
+                &request.params,
             )
         };
         let partials: Vec<Vec<ScoredPoint>> = if inner.segments.len() > 2 {
@@ -545,6 +546,11 @@ impl LocalCollection {
                 stats.indexed_segments += 1;
                 stats.indexed_points += seg.store().total_offsets();
             }
+            if let Some(q) = seg.quantized() {
+                stats.quantized_segments += 1;
+                stats.quantized_resident_bytes += q.resident_bytes();
+                stats.quantized_full_bytes += q.full_bytes() as usize;
+            }
         }
         stats
     }
@@ -596,10 +602,13 @@ impl LocalCollection {
         }
 
         // 2. Index: build the smallest sealed unindexed segment.
-        if self.config.indexing == IndexingPolicy::Deferred {
-            return Ok(false);
+        if self.config.indexing != IndexingPolicy::Deferred && self.build_one_index()? {
+            return Ok(true);
         }
-        self.build_one_index()
+
+        // 3. Quantize: convert the smallest sealed unquantized segment to
+        // quantized-resident form (codes in RAM, vectors in the tier).
+        self.build_one_quantized()
     }
 
     /// Build indexes for every sealed unindexed segment (the explicit
@@ -649,6 +658,59 @@ impl LocalCollection {
             }
         }
         self.journal(|| WalRecord::IndexBuilt { segment_seq: seq })?;
+        Ok(true)
+    }
+
+    /// Quantize every eligible sealed segment (the bulk conversion the
+    /// repro harness runs after ingest). Returns how many were built.
+    pub fn build_all_quantized(&self) -> VqResult<usize> {
+        let mut built = 0;
+        while self.build_one_quantized()? {
+            built += 1;
+        }
+        Ok(built)
+    }
+
+    fn build_one_quantized(&self) -> VqResult<bool> {
+        if self.config.quantization.is_none() {
+            return Ok(false);
+        }
+        let target = {
+            let inner = self.inner.read();
+            inner
+                .segments
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| {
+                    s.is_sealed() && !s.is_quantized() && s.store().total_offsets() > 0
+                })
+                .min_by_key(|(_, s)| s.store().total_offsets())
+                .map(|(i, s)| (i, s.seq()))
+        };
+        let Some((idx, seq)) = target else {
+            return Ok(false);
+        };
+        // Train + encode + spill under the read lock only, like index
+        // builds: the sealed arena is immutable.
+        let stamp = vq_obs::enabled().then(std::time::Instant::now);
+        let quantized = {
+            let inner = self.inner.read();
+            inner.segments[idx].build_quantized(&self.config)
+        };
+        let Some(quantized) = quantized else {
+            // Not quantizable (dim ∤ m); don't retry this segment forever.
+            return Ok(false);
+        };
+        if let Some(stamp) = stamp {
+            vq_obs::record_phase("quantize_build", seq, stamp.elapsed().as_secs_f64());
+        }
+        vq_obs::count("collection.segments_quantized", 1);
+        {
+            let mut inner = self.inner.write();
+            if inner.segments[idx].seq() == seq && !inner.segments[idx].is_quantized() {
+                inner.segments[idx].install_quantized(quantized);
+            }
+        }
         Ok(true)
     }
 
@@ -775,6 +837,50 @@ mod tests {
         let hits = c.search(&SearchRequest::new(vec![12.3, 0.0], 3)).unwrap();
         let ids: Vec<PointId> = hits.iter().map(|h| h.id).collect();
         assert_eq!(ids, vec![12, 13, 11]);
+    }
+
+    #[test]
+    fn quantized_collection_end_to_end() {
+        let config = small_config()
+            .quantization(crate::config::QuantizationConfig::with_m(2).ks(16));
+        let c = LocalCollection::new(config);
+        fill(&c, 35);
+        let built = c.build_all_quantized().unwrap();
+        assert!(built >= 2, "sealed segments should quantize: {built}");
+        let stats = c.stats();
+        assert_eq!(stats.quantized_segments, built);
+        assert!(stats.quantized_full_bytes > 0);
+        assert!(
+            stats.quantized_resident_bytes < stats.quantized_full_bytes,
+            "{stats:?}"
+        );
+        // Deep rerank reproduces the exact result; `exact()` agrees.
+        let deep = c
+            .search(&SearchRequest::new(vec![12.3, 0.0], 3).rerank_depth(35))
+            .unwrap();
+        let exact = c
+            .search(&SearchRequest::new(vec![12.3, 0.0], 3).exact())
+            .unwrap();
+        let ids = |hits: &[ScoredPoint]| hits.iter().map(|h| h.id).collect::<Vec<_>>();
+        assert_eq!(ids(&deep), vec![12, 13, 11]);
+        assert_eq!(ids(&exact), vec![12, 13, 11]);
+    }
+
+    #[test]
+    fn optimizer_pass_quantizes_sealed_segments() {
+        let config = small_config()
+            .indexing(IndexingPolicy::Deferred)
+            .quantization(crate::config::QuantizationConfig::with_m(2).ks(16));
+        let c = LocalCollection::new(config);
+        fill(&c, 25);
+        let mut passes = 0;
+        while c.optimize_once().unwrap() {
+            passes += 1;
+            assert!(passes < 100, "optimizer must converge");
+        }
+        let stats = c.stats();
+        assert_eq!(stats.quantized_segments, stats.sealed_segments);
+        assert!(stats.quantized_segments >= 2, "{stats:?}");
     }
 
     #[test]

@@ -18,6 +18,78 @@ pub enum IndexingPolicy {
     Deferred,
 }
 
+/// Where a quantized segment's demand-paged full-precision tier lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TierKind {
+    /// Shared heap buffer (the mmap-unavailable / diskless fallback, and
+    /// what the in-memory cluster simulator uses).
+    SharedMem,
+    /// Process-unique temp file with positional reads, unlinked when the
+    /// segment drops.
+    TempFile,
+}
+
+/// PQ quantization of sealed segments plus two-stage search defaults.
+///
+/// When set on a [`CollectionConfig`], the optimizer converts sealed
+/// segments to quantized-resident form: PQ codes stay in RAM, the
+/// full-precision vectors spill to a demand-paged tier, and searches run
+/// coarse-scan + exact-rerank unless the request opts out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QuantizationConfig {
+    /// PQ subspaces (`dim` must be divisible by `m`; segments whose dim
+    /// is not are left unquantized).
+    pub m: usize,
+    /// Codewords per subspace (≤ 256).
+    pub ks: usize,
+    /// Default coarse pool per segment = `k × rerank_mult` when a request
+    /// does not set an explicit `rerank_depth`.
+    pub rerank_mult: usize,
+    /// Backing store for the full-precision tier.
+    pub tier: TierKind,
+}
+
+impl Default for QuantizationConfig {
+    fn default() -> Self {
+        QuantizationConfig {
+            m: 8,
+            ks: 256,
+            rerank_mult: 4,
+            tier: TierKind::SharedMem,
+        }
+    }
+}
+
+impl QuantizationConfig {
+    /// Config with `m` subspaces, everything else defaulted.
+    pub fn with_m(m: usize) -> Self {
+        QuantizationConfig {
+            m,
+            ..Default::default()
+        }
+    }
+
+    /// Builder-style setter for codewords per subspace.
+    pub fn ks(mut self, ks: usize) -> Self {
+        assert!(ks >= 1 && ks <= 256, "ks must be in 1..=256");
+        self.ks = ks;
+        self
+    }
+
+    /// Builder-style setter for the default rerank multiplier.
+    pub fn rerank_mult(mut self, mult: usize) -> Self {
+        assert!(mult >= 1);
+        self.rerank_mult = mult;
+        self
+    }
+
+    /// Builder-style setter for the tier backend kind.
+    pub fn tier(mut self, tier: TierKind) -> Self {
+        self.tier = tier;
+        self
+    }
+}
+
 /// Parameters of a collection (shared by every shard).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CollectionConfig {
@@ -40,6 +112,11 @@ pub struct CollectionConfig {
     /// the durability phase (`phase.wal_sync`) shows up in traces without
     /// touching disk.
     pub journal: bool,
+    /// Quantized-resident mode for sealed segments (off by default).
+    /// `serde(default)` keeps manifests written before this field existed
+    /// loadable.
+    #[serde(default)]
+    pub quantization: Option<QuantizationConfig>,
 }
 
 impl CollectionConfig {
@@ -54,6 +131,7 @@ impl CollectionConfig {
             vacuum_threshold: 0.5,
             indexing: IndexingPolicy::OnSeal,
             journal: false,
+            quantization: None,
         }
     }
 
@@ -87,6 +165,12 @@ impl CollectionConfig {
         self.journal = on;
         self
     }
+
+    /// Builder-style setter enabling quantized-resident segments.
+    pub fn quantization(mut self, q: QuantizationConfig) -> Self {
+        self.quantization = Some(q);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -100,6 +184,29 @@ mod tests {
         assert_eq!(c.hnsw.ef_construct, 100);
         assert_eq!(c.indexing, IndexingPolicy::OnSeal);
         assert!(c.max_segment_points > 0);
+    }
+
+    #[test]
+    fn manifest_without_quantization_field_still_loads() {
+        // Round-trip a config, strip the new field from the JSON, and
+        // make sure pre-quantization manifests deserialize.
+        let c = CollectionConfig::new(8, Distance::Euclid);
+        let mut v: serde_json::Value = serde_json::to_value(c).unwrap();
+        v.as_object_mut().unwrap().remove("quantization");
+        let back: CollectionConfig = serde_json::from_value(v).unwrap();
+        assert_eq!(back, c);
+    }
+
+    #[test]
+    fn quantization_builder() {
+        let q = QuantizationConfig::with_m(4)
+            .ks(64)
+            .rerank_mult(6)
+            .tier(TierKind::TempFile);
+        let c = CollectionConfig::new(16, Distance::Euclid).quantization(q);
+        assert_eq!(c.quantization, Some(q));
+        assert_eq!(q.ks, 64);
+        assert_eq!(q.rerank_mult, 6);
     }
 
     #[test]

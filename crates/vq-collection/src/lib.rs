@@ -30,10 +30,27 @@ pub mod segment;
 pub mod stats;
 
 pub use collection::LocalCollection;
-pub use config::{CollectionConfig, IndexingPolicy};
+pub use config::{CollectionConfig, IndexingPolicy, QuantizationConfig, TierKind};
 pub use optimizer::OptimizerThread;
-pub use segment::Segment;
+pub use segment::{QuantizedSegment, Segment};
 pub use stats::CollectionStats;
+
+/// Two-stage (quantized coarse scan + exact rerank) search knobs.
+///
+/// Only consulted for segments serving the quantized path; full-precision
+/// segments ignore it. Travels with [`SearchRequest`] through the cluster
+/// wire, so a coordinator fan-out runs the quantized coarse scan and the
+/// exact rerank *per shard*, before the gather merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SearchParams {
+    /// Quantized candidates kept per segment for exact rerank. `None`
+    /// uses the collection's configured `rerank_mult × k`. A depth
+    /// covering every candidate makes the two-stage result identical to
+    /// an exact scan.
+    pub rerank_depth: Option<usize>,
+    /// Bypass the quantized path entirely and search full precision.
+    pub exact: bool,
+}
 
 /// Search request against a collection (local or routed).
 #[derive(Debug, Clone)]
@@ -48,6 +65,8 @@ pub struct SearchRequest {
     pub filter: Option<vq_core::payload::Filter>,
     /// Attach payloads to results.
     pub with_payload: bool,
+    /// Two-stage search knobs (rerank depth, exact override).
+    pub params: SearchParams,
 }
 
 /// Recommendation request: find points similar to positive examples and
@@ -140,6 +159,7 @@ impl SearchRequest {
             ef: None,
             filter: None,
             with_payload: false,
+            params: SearchParams::default(),
         }
     }
 
@@ -158,6 +178,18 @@ impl SearchRequest {
     /// Request payloads with results.
     pub fn with_payload(mut self) -> Self {
         self.with_payload = true;
+        self
+    }
+
+    /// Set the per-segment quantized rerank depth.
+    pub fn rerank_depth(mut self, depth: usize) -> Self {
+        self.params.rerank_depth = Some(depth);
+        self
+    }
+
+    /// Force exact full-precision search (skip the quantized path).
+    pub fn exact(mut self) -> Self {
+        self.params.exact = true;
         self
     }
 }

@@ -6,16 +6,65 @@
 //! optimizer deferred — searches fall back to an exact scan, which is why
 //! bulk-loaded data is queryable (slowly) before any index exists.
 
-use crate::config::CollectionConfig;
+use crate::config::{CollectionConfig, TierKind};
+use crate::SearchParams;
 use vq_core::{Filter, Point, PointId, ScoredPoint, VqResult};
+use vq_index::pq::{PqCodec, PqConfig};
+use vq_index::rerank::rerank;
 use vq_index::{FlatIndex, HnswIndex};
+use vq_storage::tier::{
+    FileTierBackend, FullPrecisionTier, SharedTierBackend, TierBackend, TierConfig,
+};
 use vq_storage::SegmentStore;
+
+/// Quantized-resident form of a sealed segment: PQ codes stay in RAM,
+/// full-precision vectors live in a demand-paged [`FullPrecisionTier`].
+/// Searches against it run coarse-scan (quantized) + exact-rerank.
+pub struct QuantizedSegment {
+    codec: PqCodec,
+    tier: FullPrecisionTier,
+}
+
+impl QuantizedSegment {
+    /// Bytes this segment actually keeps in memory: the PQ code slab plus
+    /// whatever the tier's bounded page cache currently holds.
+    pub fn resident_bytes(&self) -> usize {
+        self.codec.code_slab().len() + self.tier.resident_bytes()
+    }
+
+    /// Full-precision bytes spilled to the tier backend (what would be
+    /// resident without quantization).
+    pub fn full_bytes(&self) -> u64 {
+        self.tier.full_bytes()
+    }
+
+    /// The quantized codec.
+    pub fn codec(&self) -> &PqCodec {
+        &self.codec
+    }
+
+    /// The demand-paged full-precision tier.
+    pub fn tier(&self) -> &FullPrecisionTier {
+        &self.tier
+    }
+}
+
+impl std::fmt::Debug for QuantizedSegment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("QuantizedSegment")
+            .field("vectors", &self.codec.len())
+            .field("code_bytes", &self.codec.code_bytes())
+            .field("resident_bytes", &self.resident_bytes())
+            .finish()
+    }
+}
 
 /// One segment of a shard.
 #[derive(Debug)]
 pub struct Segment {
     store: SegmentStore,
     index: Option<HnswIndex>,
+    quantized: Option<QuantizedSegment>,
     /// Monotonic sequence number within the owning shard.
     seq: u64,
 }
@@ -26,6 +75,7 @@ impl Segment {
         Segment {
             store: SegmentStore::new(config.dim),
             index: None,
+            quantized: None,
             seq,
         }
     }
@@ -35,6 +85,7 @@ impl Segment {
         Segment {
             store,
             index: None,
+            quantized: None,
             seq,
         }
     }
@@ -84,6 +135,57 @@ impl Segment {
     /// Drop the index (vacuum rebuilds storage and invalidates offsets).
     pub fn clear_index(&mut self) {
         self.index = None;
+        self.quantized = None;
+    }
+
+    /// Whether the segment serves the quantized two-stage path.
+    pub fn is_quantized(&self) -> bool {
+        self.quantized.is_some()
+    }
+
+    /// The quantized form, if built.
+    pub fn quantized(&self) -> Option<&QuantizedSegment> {
+        self.quantized.as_ref()
+    }
+
+    /// Install a built quantized form (must cover the segment's offsets).
+    pub fn install_quantized(&mut self, q: QuantizedSegment) {
+        debug_assert_eq!(q.codec.len(), self.store.total_offsets());
+        self.quantized = Some(q);
+    }
+
+    /// Build the quantized-resident form of this segment *without*
+    /// installing it (same `&self` pattern as [`Segment::build_index`]:
+    /// sealed arenas are immutable, so builds run under a read lock).
+    ///
+    /// Returns `None` when quantization is not configured, the segment is
+    /// empty, or `dim` is not divisible by the configured `m`.
+    pub fn build_quantized(&self, config: &CollectionConfig) -> Option<QuantizedSegment> {
+        let q = config.quantization?;
+        if self.store.total_offsets() == 0 || config.dim % q.m != 0 {
+            return None;
+        }
+        let pq_cfg = PqConfig {
+            m: q.m,
+            ks: q.ks,
+            seed: self.seq.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ..PqConfig::default()
+        };
+        let codec = PqCodec::build(self.store.arena(), config.metric, pq_cfg);
+        let backend: Box<dyn TierBackend> = match q.tier {
+            TierKind::SharedMem => Box::new(SharedTierBackend::new()),
+            // Diskless hosts degrade to the shared-mem fallback rather
+            // than failing the optimizer pass.
+            TierKind::TempFile => match FileTierBackend::create_temp(&format!("seg{}", self.seq))
+            {
+                Ok(b) => Box::new(b),
+                Err(_) => Box::new(SharedTierBackend::new()),
+            },
+        };
+        let tier =
+            FullPrecisionTier::from_source(self.store.arena(), backend, TierConfig::default())
+                .ok()?;
+        Some(QuantizedSegment { codec, tier })
     }
 
     /// Export the HNSW adjacency, if an index is installed.
@@ -126,6 +228,13 @@ impl Segment {
     ///   proportional to selectivity);
     /// * **post-filter** — otherwise, search the HNSW graph with a
     ///   widened beam and drop non-matching hits.
+    ///
+    /// Quantized segments take a third route unless `params.exact` is
+    /// set: a PQ coarse scan over the resident code slab keeps the top
+    /// `rerank_depth` candidates (`k × rerank_mult` by default), then the
+    /// exact rerank stage rescores them from the demand-paged tier. Both
+    /// stages emit vq-obs phase spans (`phase.coarse_scan`,
+    /// `phase.rerank`) tagged with the segment `seq`.
     pub fn search(
         &self,
         config: &CollectionConfig,
@@ -134,6 +243,29 @@ impl Segment {
         ef: usize,
         filter: Option<&Filter>,
         with_payload: bool,
+    ) -> Vec<ScoredPoint> {
+        self.search_with_params(
+            config,
+            query,
+            k,
+            ef,
+            filter,
+            with_payload,
+            &SearchParams::default(),
+        )
+    }
+
+    /// [`Segment::search`] with explicit two-stage knobs.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_with_params(
+        &self,
+        config: &CollectionConfig,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        filter: Option<&Filter>,
+        with_payload: bool,
+        params: &SearchParams,
     ) -> Vec<ScoredPoint> {
         if self.store.total_offsets() == 0 || k == 0 {
             return Vec::new();
@@ -158,6 +290,7 @@ impl Segment {
                 || self.index.is_none();
             beats_graph.then_some(candidates)
         });
+        let quantized = (!params.exact).then_some(()).and(self.quantized.as_ref());
         let hits = match (&self.index, prefiltered) {
             (_, Some(candidates)) => {
                 let mut top = vq_core::TopK::new(k);
@@ -174,6 +307,34 @@ impl Segment {
                     .into_iter()
                     .map(|p| (p.id as u32, p.score))
                     .collect()
+            }
+            _ if quantized.is_some() => {
+                let q = quantized.expect("guard");
+                let mult = config
+                    .quantization
+                    .map(|c| c.rerank_mult.max(1))
+                    .unwrap_or(4);
+                let depth = params.rerank_depth.unwrap_or(k * mult).max(k);
+                // With no payload filter and no tombstones every offset
+                // is acceptable — skip the per-row liveness closure so
+                // the coarse scan stays on the pure blocked-kernel path.
+                let unfiltered =
+                    filter.is_none() && self.store.live_count() == self.store.total_offsets();
+                let stamp = vq_obs::enabled().then(std::time::Instant::now);
+                let coarse = if unfiltered {
+                    q.codec.search(query, depth, None, None)
+                } else {
+                    q.codec.search(query, depth, None, Some(&accept))
+                };
+                if let Some(stamp) = stamp {
+                    vq_obs::record_phase("coarse_scan", self.seq, stamp.elapsed().as_secs_f64());
+                }
+                let stamp = vq_obs::enabled().then(std::time::Instant::now);
+                let exact = rerank(&q.tier, config.metric, query, &coarse, k);
+                if let Some(stamp) = stamp {
+                    vq_obs::record_phase("rerank", self.seq, stamp.elapsed().as_secs_f64());
+                }
+                exact
             }
             (Some(hnsw), None) => {
                 // Widen the beam when filtering: accepted results shrink
@@ -395,5 +556,71 @@ mod tests {
     fn empty_segment_searches_empty() {
         let s = Segment::new(0, &cfg());
         assert!(s.search(&cfg(), &[0.0, 0.0], 5, 10, None, false).is_empty());
+    }
+
+    fn quant_cfg() -> CollectionConfig {
+        cfg().quantization(crate::config::QuantizationConfig::with_m(2).ks(16))
+    }
+
+    #[test]
+    fn quantized_two_stage_full_depth_matches_exact() {
+        let config = quant_cfg();
+        let mut s = filled_segment(100);
+        s.seal();
+        let q = s.build_quantized(&config).expect("quantizable");
+        s.install_quantized(q);
+        assert!(s.is_quantized());
+        let ids = |hits: &[ScoredPoint]| hits.iter().map(|h| h.id).collect::<Vec<_>>();
+        let want = ids(&filled_segment(100).search(&cfg(), &[31.4, 0.0], 5, 50, None, false));
+        // Depth covering every offset → two-stage ≡ exact.
+        let full = SearchParams {
+            rerank_depth: Some(100),
+            exact: false,
+        };
+        let got = s.search_with_params(&config, &[31.4, 0.0], 5, 50, None, false, &full);
+        assert_eq!(ids(&got), want);
+        // `exact` bypasses the quantized path and agrees too.
+        let exact = SearchParams {
+            rerank_depth: None,
+            exact: true,
+        };
+        let got = s.search_with_params(&config, &[31.4, 0.0], 5, 50, None, false, &exact);
+        assert_eq!(ids(&got), want);
+        // Resident form is strictly smaller than the raw vectors.
+        let quant = s.quantized().unwrap();
+        assert!(quant.full_bytes() > 0);
+        assert!((quant.codec().code_bytes() as u64) < 2 * 4);
+    }
+
+    #[test]
+    fn quantized_respects_tombstones_and_filters() {
+        let config = quant_cfg();
+        let mut s = filled_segment(50);
+        s.store_mut().delete(3).unwrap();
+        s.seal();
+        let q = s.build_quantized(&config).expect("quantizable");
+        s.install_quantized(q);
+        let deep = SearchParams {
+            rerank_depth: Some(50),
+            exact: false,
+        };
+        let hits = s.search_with_params(&config, &[3.0, 0.0], 5, 50, None, false, &deep);
+        assert!(hits.iter().all(|h| h.id != 3), "{hits:?}");
+        let f = Filter::must_match("parity", 0i64);
+        let hits = s.search_with_params(&config, &[5.0, 0.0], 4, 50, Some(&f), false, &deep);
+        assert!(!hits.is_empty());
+        assert!(hits.iter().all(|h| h.id % 2 == 0), "{hits:?}");
+    }
+
+    #[test]
+    fn quantized_skipped_when_dim_indivisible() {
+        let config = CollectionConfig::new(3, Distance::Euclid)
+            .quantization(crate::config::QuantizationConfig::with_m(2));
+        let mut s = Segment::new(0, &config);
+        s.store_mut()
+            .upsert(Point::new(1, vec![1.0, 2.0, 3.0]))
+            .unwrap();
+        s.seal();
+        assert!(s.build_quantized(&config).is_none());
     }
 }

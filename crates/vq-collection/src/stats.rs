@@ -19,6 +19,14 @@ pub struct CollectionStats {
     pub indexed_points: usize,
     /// Approximate stored bytes.
     pub approx_bytes: usize,
+    /// Sealed segments serving the quantized two-stage path.
+    pub quantized_segments: usize,
+    /// Bytes quantized segments actually keep resident (PQ code slabs
+    /// plus tier page caches).
+    pub quantized_resident_bytes: usize,
+    /// Full-precision bytes those segments spilled to tier backends —
+    /// what would be resident without quantization.
+    pub quantized_full_bytes: usize,
 }
 
 impl CollectionStats {
@@ -30,6 +38,17 @@ impl CollectionStats {
             0.0
         } else {
             self.indexed_points as f64 / self.total_offsets as f64
+        }
+    }
+
+    /// Resident-bytes reduction factor on quantized segments (e.g. 4.0 =
+    /// the quantized form keeps a quarter of the full-precision bytes in
+    /// memory). 1.0 when nothing is quantized.
+    pub fn quantized_reduction(&self) -> f64 {
+        if self.quantized_resident_bytes == 0 {
+            1.0
+        } else {
+            self.quantized_full_bytes as f64 / self.quantized_resident_bytes as f64
         }
     }
 }

@@ -32,6 +32,16 @@
 //! row). They process four rows at a time with one accumulator register
 //! per row: four independent dependency chains per lane, and each query
 //! chunk is loaded once per four rows instead of once per row.
+//!
+//! # PQ asymmetric-distance kernels
+//!
+//! [`pq_build_lut`] constructs the per-query ADC lookup table by scoring
+//! each subspace's contiguous codeword slab with the dispatched blocked
+//! kernels; [`pq_score_block`] then scans packed `u8` code slabs with a
+//! LUT gather — 8 rows per iteration on AVX2 (`vgatherdps`), 4 on NEON.
+//! Each lane accumulates its row's contributions in subspace order, the
+//! scalar reference's exact order, so the bit-identity contract extends
+//! to the quantized path.
 
 use std::sync::OnceLock;
 
@@ -48,6 +58,7 @@ struct Kernels {
     dot_i8: fn(&[i8], &[i8]) -> i32,
     l2_i8: fn(&[i8], &[i8]) -> i32,
     l1_i8: fn(&[i8], &[i8]) -> i32,
+    pq_score_block: fn(&[f32], usize, &[u8], &mut [f32]),
 }
 
 const SCALAR_KERNELS: Kernels = Kernels {
@@ -61,6 +72,7 @@ const SCALAR_KERNELS: Kernels = Kernels {
     dot_i8: scalar::dot_i8,
     l2_i8: scalar::l2_squared_i8,
     l1_i8: scalar::l1_i8,
+    pq_score_block: scalar::pq_score_block,
 };
 
 /// Pick the best tier the CPU supports (or scalar when forced).
@@ -84,6 +96,7 @@ fn pick(force_scalar: bool) -> Kernels {
                 dot_i8: avx2_shim::dot_i8,
                 l2_i8: avx2_shim::l2_squared_i8,
                 l1_i8: avx2_shim::l1_i8,
+                pq_score_block: avx2_shim::pq_score_block,
             };
         }
     }
@@ -103,6 +116,7 @@ fn pick(force_scalar: bool) -> Kernels {
                 dot_i8: scalar::dot_i8,
                 l2_i8: scalar::l2_squared_i8,
                 l1_i8: scalar::l1_i8,
+                pq_score_block: neon_shim::pq_score_block,
             };
         }
     }
@@ -203,6 +217,95 @@ pub fn l1_i8(a: &[i8], b: &[i8]) -> i32 {
     (kernels().l1_i8)(a, b)
 }
 
+/// Which score contribution a PQ ADC lookup table carries per codeword.
+///
+/// Distances are negated during table construction so every kind follows
+/// the crate-wide "larger is better" score convention.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LutKind {
+    /// Inner product (`Dot`, or ingest-normalized `Cosine`).
+    Dot,
+    /// Negated squared Euclidean distance.
+    NegL2,
+    /// Negated Manhattan (L1) distance.
+    NegL1,
+}
+
+/// Build the per-query PQ ADC lookup table over contiguous codebooks.
+///
+/// `codebooks` is `[m][ks][sub_dim]` flattened and `lut` is `[m][ks]`
+/// flattened, so `m = lut.len() / ks` and `sub_dim = query.len() / m`.
+/// Entry `lut[sub * ks + k]` receives the score contribution of codeword
+/// `k` in subspace `sub`; contributions sum to the full approximate
+/// score. Each subspace's codeword slab is contiguous, so construction
+/// runs through the dispatched blocked kernels and inherits their
+/// bit-identity contract across tiers.
+pub fn pq_build_lut(kind: LutKind, query: &[f32], codebooks: &[f32], ks: usize, lut: &mut [f32]) {
+    assert!(ks > 0, "ks must be positive");
+    assert_eq!(lut.len() % ks, 0, "lut length must be a multiple of ks");
+    let m = lut.len() / ks;
+    if m == 0 {
+        return;
+    }
+    assert_eq!(query.len() % m, 0, "query dim not divisible by m");
+    let sub_dim = query.len() / m;
+    assert_eq!(
+        codebooks.len(),
+        m * ks * sub_dim,
+        "codebook/lut geometry mismatch"
+    );
+    for sub in 0..m {
+        let qv = &query[sub * sub_dim..(sub + 1) * sub_dim];
+        let slab = &codebooks[sub * ks * sub_dim..(sub + 1) * ks * sub_dim];
+        let row = &mut lut[sub * ks..(sub + 1) * ks];
+        match kind {
+            LutKind::Dot => dot_block(qv, slab, row),
+            LutKind::NegL2 => {
+                l2_squared_block(qv, slab, row);
+                for x in row.iter_mut() {
+                    *x = -*x;
+                }
+            }
+            LutKind::NegL1 => {
+                l1_block(qv, slab, row);
+                for x in row.iter_mut() {
+                    *x = -*x;
+                }
+            }
+        }
+    }
+}
+
+/// ADC LUT-gather scoring of packed PQ codes (dispatched).
+///
+/// `codes` is row-major `[rows][m]` with `rows = out.len()` (so
+/// `m = codes.len() / out.len()`); `lut` is `[m][ks]` flattened as built
+/// by [`pq_build_lut`]. `out[r]` receives
+/// `Σ_sub lut[sub * ks + codes[r][sub]]`, accumulated in subspace order
+/// in every tier — bit-identical to the scalar reference.
+///
+/// Every code byte must be `< ks` (quantizer-produced codes always are);
+/// the AVX2 tier gathers through the table unchecked in release builds.
+#[inline]
+pub fn pq_score_block(lut: &[f32], ks: usize, codes: &[u8], out: &mut [f32]) {
+    if out.is_empty() {
+        return;
+    }
+    assert!(ks > 0, "ks must be positive");
+    assert_eq!(
+        codes.len() % out.len(),
+        0,
+        "code slab not a multiple of the row count"
+    );
+    let m = codes.len() / out.len();
+    assert_eq!(lut.len(), m * ks, "lut/code geometry mismatch");
+    debug_assert!(
+        codes.iter().all(|&c| (c as usize) < ks),
+        "code byte out of codebook range"
+    );
+    (kernels().pq_score_block)(lut, ks, codes, out);
+}
+
 /// Hint the CPU to pull the cache line at `p` into L1.
 ///
 /// Used by gather-scoring loops (HNSW neighbor batches, IVF lists) to
@@ -286,6 +389,31 @@ pub mod scalar {
     scalar_block!(dot_block, dot);
     scalar_block!(l2_squared_block, l2_squared);
     scalar_block!(l1_block, l1);
+
+    /// ADC score of one `m`-byte PQ code against a prebuilt LUT:
+    /// `Σ_sub lut[sub * ks + code[sub]]`, accumulated in subspace order
+    /// (the order every dispatched tier replicates).
+    #[inline]
+    pub fn pq_score_row(lut: &[f32], ks: usize, code: &[u8]) -> f32 {
+        let mut s = 0.0f32;
+        for (sub, &c) in code.iter().enumerate() {
+            s += lut[sub * ks + c as usize];
+        }
+        s
+    }
+
+    /// Blocked ADC LUT-gather scoring (scalar reference): one row per
+    /// output slot, rows packed `[rows][m]`.
+    pub fn pq_score_block(lut: &[f32], ks: usize, codes: &[u8], out: &mut [f32]) {
+        let rows = out.len();
+        if rows == 0 {
+            return;
+        }
+        let m = codes.len() / rows;
+        for (r, slot) in out.iter_mut().enumerate() {
+            *slot = pq_score_row(lut, ks, &codes[r * m..(r + 1) * m]);
+        }
+    }
 
     /// Dot product of `i8` codes, accumulated in `i32` (scalar reference).
     #[inline]
@@ -535,6 +663,46 @@ mod avx2 {
         },
         |x, y| (x - y).abs()
     );
+
+    /// ADC LUT-gather scoring: 8 rows per iteration, one `vgatherdps`
+    /// per subspace. Lane `j` accumulates row `r + j` sequentially over
+    /// the subspaces — the scalar reference's exact order — so results
+    /// stay bit-identical.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub unsafe fn pq_score_block(lut: &[f32], ks: usize, codes: &[u8], out: &mut [f32]) {
+        let rows = out.len();
+        if rows == 0 {
+            return;
+        }
+        let m = codes.len() / rows;
+        let lp = lut.as_ptr();
+        let mut r = 0;
+        while r + 8 <= rows {
+            let base = codes.as_ptr().add(r * m);
+            let mut acc = _mm256_setzero_ps();
+            for sub in 0..m {
+                let p = base.add(sub);
+                let idx = _mm256_setr_epi32(
+                    *p as i32,
+                    *p.add(m) as i32,
+                    *p.add(2 * m) as i32,
+                    *p.add(3 * m) as i32,
+                    *p.add(4 * m) as i32,
+                    *p.add(5 * m) as i32,
+                    *p.add(6 * m) as i32,
+                    *p.add(7 * m) as i32,
+                );
+                let gathered = _mm256_i32gather_ps::<4>(lp.add(sub * ks), idx);
+                acc = _mm256_add_ps(acc, gathered);
+            }
+            _mm256_storeu_ps(out.as_mut_ptr().add(r), acc);
+            r += 8;
+        }
+        while r < rows {
+            out[r] = super::scalar::pq_score_row(lut, ks, &codes[r * m..(r + 1) * m]);
+            r += 1;
+        }
+    }
 }
 
 /// Safe shims around the AVX2 kernels so plain `fn` pointers can live in
@@ -561,6 +729,7 @@ mod avx2_shim {
     shim!(dot_i8, (a: &[i8], b: &[i8]) -> i32);
     shim!(l2_squared_i8, (a: &[i8], b: &[i8]) -> i32);
     shim!(l1_i8, (a: &[i8], b: &[i8]) -> i32);
+    shim!(pq_score_block, (lut: &[f32], ks: usize, codes: &[u8], out: &mut [f32]) -> ());
 }
 
 /// NEON kernels. Two 4-lane accumulators emulate the scalar reference's
@@ -688,6 +857,42 @@ mod neon {
         |va, vb| vabsq_f32(vsubq_f32(va, vb)),
         |x, y| (x - y).abs()
     );
+
+    /// ADC LUT-gather scoring: 4 rows per iteration. NEON has no gather
+    /// instruction, so the four table loads per subspace are scalar, but
+    /// the accumulate stays vectorized and lane `j`'s order matches the
+    /// scalar reference exactly.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn pq_score_block(lut: &[f32], ks: usize, codes: &[u8], out: &mut [f32]) {
+        let rows = out.len();
+        if rows == 0 {
+            return;
+        }
+        let m = codes.len() / rows;
+        let lp = lut.as_ptr();
+        let mut r = 0;
+        while r + 4 <= rows {
+            let base = codes.as_ptr().add(r * m);
+            let mut acc = vdupq_n_f32(0.0);
+            for sub in 0..m {
+                let p = base.add(sub);
+                let sub_lut = lp.add(sub * ks);
+                let g = [
+                    *sub_lut.add(*p as usize),
+                    *sub_lut.add(*p.add(m) as usize),
+                    *sub_lut.add(*p.add(2 * m) as usize),
+                    *sub_lut.add(*p.add(3 * m) as usize),
+                ];
+                acc = vaddq_f32(acc, vld1q_f32(g.as_ptr()));
+            }
+            vst1q_f32(out.as_mut_ptr().add(r), acc);
+            r += 4;
+        }
+        while r < rows {
+            out[r] = super::scalar::pq_score_row(lut, ks, &codes[r * m..(r + 1) * m]);
+            r += 1;
+        }
+    }
 }
 
 /// Safe shims around the NEON kernels for the dispatch table.
@@ -709,6 +914,7 @@ mod neon_shim {
     shim!(dot_block, (q: &[f32], block: &[f32], out: &mut [f32]) -> ());
     shim!(l2_squared_block, (q: &[f32], block: &[f32], out: &mut [f32]) -> ());
     shim!(l1_block, (q: &[f32], block: &[f32], out: &mut [f32]) -> ());
+    shim!(pq_score_block, (lut: &[f32], ks: usize, codes: &[u8], out: &mut [f32]) -> ());
 }
 
 #[cfg(test)]
@@ -851,6 +1057,84 @@ mod tests {
                 "len {len}: {got} vs {naive}"
             );
         }
+    }
+
+    /// Deterministic codes in `0..ks`, derived from the float generator.
+    fn pseudo_pq_codes(seed: u64, len: usize, ks: usize) -> Vec<u8> {
+        pseudo_vec(seed, len)
+            .into_iter()
+            .map(|f| ((f.abs() * 997.0) as usize % ks) as u8)
+            .collect()
+    }
+
+    #[test]
+    fn pq_score_block_bit_identical_to_scalar() {
+        for &m in &[1usize, 2, 3, 8, 16, 32] {
+            for &ks in &[1usize, 2, 16, 256] {
+                for &rows in &[0usize, 1, 3, 4, 7, 8, 9, 16, 33] {
+                    let lut = pseudo_vec((m * ks) as u64 + 11, m * ks);
+                    let codes = pseudo_pq_codes((rows * m) as u64 + 29, rows * m, ks);
+                    let mut out = vec![0.0f32; rows];
+                    let mut want = vec![0.0f32; rows];
+                    pq_score_block(&lut, ks, &codes, &mut out);
+                    scalar::pq_score_block(&lut, ks, &codes, &mut want);
+                    assert_eq!(bits(&out), bits(&want), "m {m} ks {ks} rows {rows}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pq_score_block_matches_per_row_reference() {
+        let (m, ks, rows) = (8usize, 64usize, 21usize);
+        let lut = pseudo_vec(5, m * ks);
+        let codes = pseudo_pq_codes(6, rows * m, ks);
+        let mut out = vec![0.0f32; rows];
+        pq_score_block(&lut, ks, &codes, &mut out);
+        for r in 0..rows {
+            let want = scalar::pq_score_row(&lut, ks, &codes[r * m..(r + 1) * m]);
+            assert_eq!(out[r].to_bits(), want.to_bits(), "row {r}");
+        }
+    }
+
+    #[test]
+    fn pq_build_lut_matches_per_codeword_kernels() {
+        let (m, ks, sub_dim) = (4usize, 8usize, 6usize);
+        let query = pseudo_vec(7, m * sub_dim);
+        let codebooks = pseudo_vec(8, m * ks * sub_dim);
+        let mut lut = vec![0.0f32; m * ks];
+        for (kind, reference) in [
+            (LutKind::Dot, dot as fn(&[f32], &[f32]) -> f32),
+            (
+                LutKind::NegL2,
+                (|a: &[f32], b: &[f32]| -l2_squared(a, b)) as fn(&[f32], &[f32]) -> f32,
+            ),
+            (
+                LutKind::NegL1,
+                (|a: &[f32], b: &[f32]| -l1(a, b)) as fn(&[f32], &[f32]) -> f32,
+            ),
+        ] {
+            pq_build_lut(kind, &query, &codebooks, ks, &mut lut);
+            for sub in 0..m {
+                let qv = &query[sub * sub_dim..(sub + 1) * sub_dim];
+                for k in 0..ks {
+                    let start = (sub * ks + k) * sub_dim;
+                    let cw = &codebooks[start..start + sub_dim];
+                    assert_eq!(
+                        lut[sub * ks + k].to_bits(),
+                        reference(qv, cw).to_bits(),
+                        "{kind:?} sub {sub} k {k}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "geometry mismatch")]
+    fn pq_score_block_rejects_bad_lut_geometry() {
+        let mut out = vec![0.0f32; 2];
+        pq_score_block(&[0.0; 7], 4, &[0u8; 4], &mut out);
     }
 
     #[test]

@@ -246,4 +246,80 @@ proptest! {
         prop_assert_eq!(simd::l2_squared_i8(&a, &b), simd::scalar::l2_squared_i8(&a, &b));
         prop_assert_eq!(simd::l1_i8(&a, &b), simd::scalar::l1_i8(&a, &b));
     }
+
+    // ---- PQ LUT kernel equivalence (quantized-resident ISSUE) --------
+    //
+    // The LUT-gather scoring kernel promises bit-identity between the
+    // dispatched tier and the scalar reference: same floats, not merely
+    // close ones. Geometry is drawn to straddle the 8-row AVX2 block,
+    // the 4-row NEON block, and remainder tails.
+
+    #[test]
+    fn pq_score_block_dispatched_is_bit_identical_to_scalar(
+        m in 1usize..6,
+        ks in 2usize..40,
+        rows in 1usize..40,
+        seed in any::<u64>()
+    ) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s >> 12; s ^= s << 25; s ^= s >> 27;
+            (s.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f32 / 1e4 - 0.8
+        };
+        let lut: Vec<f32> = (0..m * ks).map(|_| next()).collect();
+        let mut code_seed = seed.wrapping_mul(31) | 1;
+        let codes: Vec<u8> = (0..m * rows)
+            .map(|_| {
+                code_seed ^= code_seed >> 13; code_seed ^= code_seed << 7;
+                (code_seed % ks as u64) as u8
+            })
+            .collect();
+        let mut dispatched = vec![0.0f32; rows];
+        let mut reference = vec![0.0f32; rows];
+        simd::pq_score_block(&lut, ks, &codes, &mut dispatched);
+        simd::scalar::pq_score_block(&lut, ks, &codes, &mut reference);
+        for r in 0..rows {
+            prop_assert_eq!(
+                dispatched[r].to_bits(), reference[r].to_bits(),
+                "row {} diverged on backend {}: {} vs {}",
+                r, simd::backend(), dispatched[r], reference[r]
+            );
+        }
+    }
+
+    #[test]
+    fn pq_lut_entries_match_per_codeword_kernels(
+        m in 1usize..5,
+        ks in 2usize..17,
+        sub_dim in 1usize..9,
+        seed in any::<u64>()
+    ) {
+        let mut s = seed | 1;
+        let mut next = move || {
+            s ^= s >> 12; s ^= s << 25; s ^= s >> 27;
+            (s.wrapping_mul(0x2545F4914F6CDD1D) >> 40) as f32 / 1e4 - 0.8
+        };
+        let query: Vec<f32> = (0..m * sub_dim).map(|_| next()).collect();
+        let codebooks: Vec<f32> = (0..m * ks * sub_dim).map(|_| next()).collect();
+        let mut lut = vec![0.0f32; m * ks];
+        for (kind, single) in [
+            (simd::LutKind::Dot, simd::scalar::dot as fn(&[f32], &[f32]) -> f32),
+            (simd::LutKind::NegL2, |a: &[f32], b: &[f32]| -simd::scalar::l2_squared(a, b)),
+            (simd::LutKind::NegL1, |a: &[f32], b: &[f32]| -simd::scalar::l1(a, b)),
+        ] {
+            simd::pq_build_lut(kind, &query, &codebooks, ks, &mut lut);
+            for sub in 0..m {
+                let qv = &query[sub * sub_dim..(sub + 1) * sub_dim];
+                for k in 0..ks {
+                    let cw = &codebooks[(sub * ks + k) * sub_dim..(sub * ks + k + 1) * sub_dim];
+                    let want = single(qv, cw);
+                    prop_assert_eq!(
+                        lut[sub * ks + k].to_bits(), want.to_bits(),
+                        "{:?} entry ({}, {}) diverged on backend {}",
+                        kind, sub, k, simd::backend()
+                    );
+                }
+            }
+        }
+    }
 }

@@ -15,10 +15,11 @@
 
 use crate::ivf::{IvfConfig, IvfIndex};
 use crate::pq::{PqCodec, PqConfig};
+use crate::rerank::{rerank, SourceRerank};
 use crate::source::VectorSource;
 use crate::{OffsetFilter, OffsetHit};
 use serde::{Deserialize, Serialize};
-use vq_core::{Distance, ScoredPoint, TopK};
+use vq_core::{Distance, TopK};
 
 /// IVF-PQ parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -127,45 +128,53 @@ impl IvfPqIndex {
         nprobe: Option<usize>,
         filter: Option<OffsetFilter<'_>>,
     ) -> Vec<OffsetHit> {
+        self.search_with_depth(source, query, k, nprobe, None, filter)
+    }
+
+    /// [`IvfPqIndex::search`] with an explicit rerank pool: when
+    /// `rerank_depth` is `Some(d)`, the coarse stage keeps the top
+    /// `max(d, k)` quantized candidates instead of `k × oversample`.
+    /// With every cell probed and `rerank_depth >= len()` the result
+    /// equals an exact flat scan.
+    pub fn search_with_depth<S: VectorSource>(
+        &self,
+        source: &S,
+        query: &[f32],
+        k: usize,
+        nprobe: Option<usize>,
+        rerank_depth: Option<usize>,
+        filter: Option<OffsetFilter<'_>>,
+    ) -> Vec<OffsetHit> {
         if self.is_empty() || k == 0 {
             return Vec::new();
         }
         let nprobe = nprobe.unwrap_or(self.config.ivf.nprobe).max(1);
-        let pool = k * self.config.oversample.max(1);
+        let pool = rerank_depth
+            .unwrap_or(k * self.config.oversample.max(1))
+            .max(k);
         let mut top = TopK::new(pool);
         let dim = query.len();
         let mut residual = vec![0.0f32; dim];
+        // One LUT buffer reused across probed cells (the table itself
+        // differs per cell — it is built on the query residual — but the
+        // allocation is hoisted out of the loop).
+        let mut table = Vec::new();
         for cell in self.ivf.nearest_lists(query, nprobe) {
-            // Per-cell ADC table on the query residual.
             let centroid = self.ivf.centroid(cell as usize);
             for (i, r) in residual.iter_mut().enumerate() {
                 *r = query[i] - centroid[i];
             }
-            let table = self.pq.adc_table(&residual);
-            for &offset in self.ivf.list(cell as usize) {
-                if let Some(f) = filter {
-                    if !f(offset) {
-                        continue;
-                    }
-                }
-                top.offer(ScoredPoint::new(
-                    offset as u64,
-                    self.pq.adc_score(&table, offset),
-                ));
-            }
+            self.pq.adc_table_into(&residual, &mut table);
+            self.pq
+                .score_candidates_into(&table, self.ivf.list(cell as usize), filter, &mut top);
         }
-        // Full-precision rescoring pass.
-        let mut rescored = TopK::new(k);
-        for p in top.into_sorted() {
-            let offset = p.id as u32;
-            let s = self.metric.score(query, source.vector(offset));
-            rescored.offer(ScoredPoint::new(p.id, s));
-        }
-        rescored
+        // Exact rescoring of the quantized survivors.
+        let coarse: Vec<OffsetHit> = top
             .into_sorted()
             .into_iter()
             .map(|p| (p.id as u32, p.score))
-            .collect()
+            .collect();
+        rerank(&SourceRerank(source), self.metric, query, &coarse, k)
     }
 }
 
@@ -243,6 +252,19 @@ mod tests {
         let hits = idx.search(&s, &[0.0; 8], 20, Some(4), Some(&f));
         assert!(!hits.is_empty());
         assert!(hits.iter().all(|&(o, _)| o % 3 == 0));
+    }
+
+    #[test]
+    fn full_probe_full_depth_equals_flat() {
+        // nprobe = nlist covers every cell and rerank_depth = n keeps
+        // every candidate, so the exact rescoring pass sees all offsets
+        // and must reproduce the flat scan verbatim.
+        let s = clustered(800, 16, 4, 7);
+        let idx = IvfPqIndex::build(&s, Distance::Euclid, cfg(4, 4));
+        let q: Vec<f32> = (0..16).map(|i| 1.0 + 0.05 * i as f32).collect();
+        let got = idx.search_with_depth(&s, &q, 10, Some(4), Some(800), None);
+        let want = FlatIndex::new(Distance::Euclid).search(&s, &q, 10, None);
+        assert_eq!(got, want);
     }
 
     #[test]

@@ -14,7 +14,11 @@
 //! * [`ivf_pq`] — the IVF-PQ composition: PQ-encoded residuals scanned
 //!   per probed cell with per-cell ADC tables and rescoring.
 //! * [`pq`] — product quantization codec with asymmetric-distance (ADC)
-//!   scoring, composable with IVF.
+//!   scoring over packed code slabs, composable with IVF and with the
+//!   filter-then-rerank path.
+//! * [`rerank`] — exact rescoring of quantized candidates against a
+//!   full-precision [`rerank::RerankSource`] (the second stage of
+//!   filter-then-rerank search).
 //! * [`sq`] — int8 scalar quantization with full-precision rescoring
 //!   (the quantization mode Qdrant itself ships).
 //!
@@ -32,6 +36,7 @@ pub mod ivf;
 pub mod ivf_pq;
 pub mod pq;
 pub mod recall;
+pub mod rerank;
 pub mod source;
 pub mod sq;
 
@@ -41,6 +46,7 @@ pub use ivf::{IvfConfig, IvfIndex};
 pub use ivf_pq::{IvfPqConfig, IvfPqIndex};
 pub use pq::{PqCodec, PqConfig};
 pub use recall::recall_at_k;
+pub use rerank::{rerank, RerankSource, SourceRerank};
 pub use source::{DenseVectors, VectorSource};
 pub use sq::{SqCodec, SqConfig};
 

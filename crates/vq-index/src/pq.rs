@@ -9,14 +9,42 @@
 //!
 //! In `vq` the codec composes with [`crate::ivf`]: IVF narrows the
 //! candidate set, PQ makes scanning the survivors cheap — the standard
-//! IVF-PQ configuration the paper's background section describes.
+//! IVF-PQ configuration the paper's background section describes. It
+//! also serves standalone as the coarse stage of the filter-then-rerank
+//! path ([`PqCodec::search_rerank`]): codes live in one contiguous slab
+//! scanned by the dispatched LUT-gather kernels in [`vq_core::simd`],
+//! and the quantized top-`k·α` survivors are rescored exactly against a
+//! full-precision [`crate::rerank::RerankSource`].
 
+use crate::rerank::{rerank, RerankSource};
 use crate::source::VectorSource;
 use crate::{OffsetFilter, OffsetHit};
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use vq_core::simd::LutKind;
 use vq_core::{seed_rng, Distance, ScoredPoint, TopK};
+
+/// Rows scored per [`vq_core::simd::pq_score_block`] call: large enough
+/// to amortize dispatch, small enough that the score buffer stays in L1.
+const SCAN_BLOCK_ROWS: usize = 512;
+
+/// Per-thread ADC scratch, reused across queries *and* segments. The
+/// per-query LUT allocation used to be reallocated inside every
+/// segment's scoring loop; hoisting it here turns multi-segment scans
+/// into zero-allocation steady state. Fresh builds are still observable
+/// via the `index.lut_builds` counter.
+#[derive(Default)]
+struct AdcScratch {
+    lut: Vec<f32>,
+    scores: Vec<f32>,
+    codes: Vec<u8>,
+}
+
+thread_local! {
+    static ADC_SCRATCH: RefCell<AdcScratch> = RefCell::new(AdcScratch::default());
+}
 
 /// PQ parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -171,25 +199,45 @@ impl PqCodec {
         &self.codes[offset as usize * m..(offset as usize + 1) * m]
     }
 
+    /// The whole packed code slab (`[n][m]` row-major), as scanned by
+    /// the blocked LUT-gather kernels.
+    pub fn code_slab(&self) -> &[u8] {
+        &self.codes
+    }
+
+    /// Scoring metric the codec was built with.
+    pub fn metric(&self) -> Distance {
+        self.metric
+    }
+
     /// Build the per-query ADC lookup table: `table[sub][k]` = score
     /// contribution of codeword `k` in subspace `sub`.
     /// Contributions sum to the full approximate score.
     pub fn adc_table(&self, query: &[f32]) -> Vec<f32> {
+        let mut table = Vec::new();
+        self.adc_table_into(query, &mut table);
+        table
+    }
+
+    /// Build the ADC table into a caller-owned buffer (resized to
+    /// `m × ks`), avoiding the per-query allocation on hot scan paths.
+    ///
+    /// Construction runs through the dispatched blocked kernels
+    /// ([`vq_core::simd::pq_build_lut`]) over each subspace's contiguous
+    /// codeword slab, so the table is bit-identical across kernel tiers.
+    /// Each build is counted under `index.lut_builds`.
+    pub fn adc_table_into(&self, query: &[f32], table: &mut Vec<f32>) {
         assert_eq!(query.len(), self.dim);
         let ks = self.config.ks;
-        let mut table = vec![0.0f32; self.config.m * ks];
-        for sub in 0..self.config.m {
-            let qv = &query[sub * self.sub_dim..(sub + 1) * self.sub_dim];
-            for k in 0..ks {
-                let cw = self.codeword(sub, k);
-                table[sub * ks + k] = match self.metric {
-                    Distance::Cosine | Distance::Dot => vq_core::distance::dot(qv, cw),
-                    Distance::Euclid => -vq_core::distance::l2_squared(qv, cw),
-                    Distance::Manhattan => -vq_core::distance::l1(qv, cw),
-                };
-            }
-        }
-        table
+        table.clear();
+        table.resize(self.config.m * ks, 0.0);
+        let kind = match self.metric {
+            Distance::Cosine | Distance::Dot => LutKind::Dot,
+            Distance::Euclid => LutKind::NegL2,
+            Distance::Manhattan => LutKind::NegL1,
+        };
+        vq_core::simd::pq_build_lut(kind, query, &self.codebooks, ks, table);
+        vq_obs::count("index.lut_builds", 1);
     }
 
     /// Approximate score of stored vector `offset` from a prebuilt table.
@@ -205,6 +253,13 @@ impl PqCodec {
     }
 
     /// Approximate top-`k` over all codes (or a candidate subset).
+    ///
+    /// Full scans run directly over the contiguous code slab in
+    /// [`SCAN_BLOCK_ROWS`]-row blocks through the dispatched LUT-gather
+    /// kernel; candidate subsets are gathered into a packed scratch slab
+    /// first so they take the same blocked path. The LUT and both
+    /// scratch buffers are thread-local, so steady-state scans allocate
+    /// nothing.
     pub fn search(
         &self,
         query: &[f32],
@@ -215,24 +270,133 @@ impl PqCodec {
         if self.is_empty() || k == 0 {
             return Vec::new();
         }
-        let table = self.adc_table(query);
-        let mut top = TopK::new(k);
-        let mut offer = |o: u32| {
-            if let Some(f) = filter {
-                if !f(o) {
-                    return;
-                }
+        ADC_SCRATCH.with(|cell| {
+            let AdcScratch { lut, scores, codes } = &mut *cell.borrow_mut();
+            self.adc_table_into(query, lut);
+            let mut top = TopK::new(k);
+            match candidates {
+                None => self.scan_slab(lut, scores, filter, &mut top),
+                Some(cands) => self.scan_candidates(lut, cands, codes, scores, filter, &mut top),
             }
-            top.offer(ScoredPoint::new(o as u64, self.adc_score(&table, o)));
-        };
-        match candidates {
-            Some(cands) => cands.iter().copied().for_each(&mut offer),
-            None => (0..self.len() as u32).for_each(&mut offer),
+            top.into_sorted()
+                .into_iter()
+                .map(|p| (p.id as u32, p.score))
+                .collect()
+        })
+    }
+
+    /// Offer `cands` scored against a prebuilt ADC `table` into `top`,
+    /// through the same blocked gather path as [`PqCodec::search`]. This
+    /// is the entry point IVF-PQ uses: its tables are built per probed
+    /// cell on the query *residual*, so it cannot go through the
+    /// query-keyed table build inside `search`.
+    pub fn score_candidates_into(
+        &self,
+        table: &[f32],
+        cands: &[u32],
+        filter: Option<OffsetFilter<'_>>,
+        top: &mut TopK,
+    ) {
+        ADC_SCRATCH.with(|cell| {
+            let AdcScratch { codes, scores, .. } = &mut *cell.borrow_mut();
+            self.scan_candidates(table, cands, codes, scores, filter, top);
+        })
+    }
+
+    /// Blocked scan of the whole code slab; the filter is applied at
+    /// offer time (scoring a filtered row costs `m` table adds, cheaper
+    /// than breaking the slab into gather chunks).
+    fn scan_slab(
+        &self,
+        lut: &[f32],
+        scores: &mut Vec<f32>,
+        filter: Option<OffsetFilter<'_>>,
+        top: &mut TopK,
+    ) {
+        let m = self.config.m;
+        let ks = self.config.ks;
+        let n = self.len();
+        let mut start = 0usize;
+        while start < n {
+            let rows = SCAN_BLOCK_ROWS.min(n - start);
+            scores.clear();
+            scores.resize(rows, 0.0);
+            vq_core::simd::pq_score_block(
+                lut,
+                ks,
+                &self.codes[start * m..(start + rows) * m],
+                scores,
+            );
+            for (i, &score) in scores.iter().enumerate() {
+                let o = (start + i) as u32;
+                if let Some(f) = filter {
+                    if !f(o) {
+                        continue;
+                    }
+                }
+                top.offer(ScoredPoint::new(o as u64, score));
+            }
+            start += rows;
         }
-        top.into_sorted()
-            .into_iter()
-            .map(|p| (p.id as u32, p.score))
-            .collect()
+    }
+
+    /// Gather candidate codes into a packed scratch slab, then score it
+    /// with the same blocked kernel as a full scan. Filtered candidates
+    /// are dropped before the gather.
+    fn scan_candidates(
+        &self,
+        lut: &[f32],
+        cands: &[u32],
+        codes: &mut Vec<u8>,
+        scores: &mut Vec<f32>,
+        filter: Option<OffsetFilter<'_>>,
+        top: &mut TopK,
+    ) {
+        let m = self.config.m;
+        let ks = self.config.ks;
+        let mut surviving: Vec<u32> = Vec::with_capacity(SCAN_BLOCK_ROWS);
+        let mut rest = cands;
+        while !rest.is_empty() {
+            surviving.clear();
+            codes.clear();
+            let take = rest.len().min(SCAN_BLOCK_ROWS);
+            for &o in &rest[..take] {
+                if let Some(f) = filter {
+                    if !f(o) {
+                        continue;
+                    }
+                }
+                surviving.push(o);
+                codes.extend_from_slice(self.code(o));
+            }
+            rest = &rest[take..];
+            if surviving.is_empty() {
+                continue;
+            }
+            scores.clear();
+            scores.resize(surviving.len(), 0.0);
+            vq_core::simd::pq_score_block(lut, ks, codes, scores);
+            debug_assert_eq!(codes.len(), surviving.len() * m);
+            for (&o, &score) in surviving.iter().zip(scores.iter()) {
+                top.offer(ScoredPoint::new(o as u64, score));
+            }
+        }
+    }
+
+    /// Two-stage search: a quantized coarse scan keeps the approximate
+    /// top-`rerank_depth` (floored at `k`), then [`rerank`] rescores the
+    /// survivors exactly against `full`. With `rerank_depth >= len()`
+    /// the result equals an exact flat scan.
+    pub fn search_rerank<R: RerankSource + ?Sized>(
+        &self,
+        full: &R,
+        query: &[f32],
+        k: usize,
+        rerank_depth: usize,
+        filter: Option<OffsetFilter<'_>>,
+    ) -> Vec<OffsetHit> {
+        let coarse = self.search(query, rerank_depth.max(k), None, filter);
+        rerank(full, self.metric, query, &coarse, k)
     }
 
     fn codeword(&self, sub: usize, k: usize) -> &[f32] {
@@ -419,5 +583,68 @@ mod tests {
         let b = PqCodec::build(&s, Distance::Euclid, PqConfig::with_m(4).ks(16).seed(14));
         assert_eq!(a.codebooks, b.codebooks);
         assert_eq!(a.codes, b.codes);
+    }
+
+    #[test]
+    fn blocked_search_scores_match_per_offset_adc() {
+        // The blocked LUT-gather path must reproduce the per-offset ADC
+        // gather bit for bit (full scan AND candidate-subset gather).
+        let s = random_source(700, 16, 21);
+        let pq = PqCodec::build(&s, Distance::Euclid, PqConfig::with_m(8).ks(32).seed(22));
+        let q: Vec<f32> = (0..16).map(|i| (i as f32).sin()).collect();
+        let table = pq.adc_table(&q);
+        for hits in [
+            pq.search(&q, 25, None, None),
+            pq.search(&q, 25, Some(&(0..700u32).step_by(3).collect::<Vec<_>>()), None),
+        ] {
+            assert!(!hits.is_empty());
+            for &(o, score) in &hits {
+                assert_eq!(
+                    score.to_bits(),
+                    pq.adc_score(&table, o).to_bits(),
+                    "offset {o}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn search_rerank_at_full_depth_equals_flat() {
+        use crate::rerank::SourceRerank;
+        let s = random_source(400, 16, 23);
+        let pq = PqCodec::build(&s, Distance::Euclid, PqConfig::with_m(4).ks(16).seed(24));
+        let q: Vec<f32> = (0..16).map(|i| 0.1 * i as f32 - 0.7).collect();
+        let got = pq.search_rerank(&SourceRerank(&s), &q, 10, s.len(), None);
+        let want = FlatIndex::new(Distance::Euclid).search(&s, &q, 10, None);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pinned_seed_recall_at_10_regression() {
+        // Deterministic end-to-end recall gate: seeds, data, codec, and
+        // kernels (bit-identical across tiers) are all pinned, so this
+        // number cannot drift without a real behavior change.
+        use crate::rerank::SourceRerank;
+        let s = random_source(2000, 32, 42);
+        let pq = PqCodec::build(&s, Distance::Euclid, PqConfig::with_m(8).ks(64).seed(42));
+        let flat = FlatIndex::new(Distance::Euclid);
+        let mut rng = rand::rngs::SmallRng::seed_from_u64(43);
+        let mut recall = 0.0;
+        let queries = 30;
+        for _ in 0..queries {
+            let q: Vec<f32> = (0..32).map(|_| rng.gen_range(-1.0f32..1.0)).collect();
+            let got: Vec<u32> = pq
+                .search_rerank(&SourceRerank(&s), &q, 10, 100, None)
+                .iter()
+                .map(|h| h.0)
+                .collect();
+            let want: Vec<u32> = flat.search(&s, &q, 10, None).iter().map(|h| h.0).collect();
+            recall += recall_at_k(&got, &want);
+        }
+        recall /= queries as f64;
+        assert!(
+            recall >= 0.95,
+            "two-stage recall@10 regressed: {recall:.3} < 0.95"
+        );
     }
 }

@@ -1,0 +1,125 @@
+//! Exact rescoring of quantized candidates — the second stage of the
+//! filter-then-rerank search path.
+//!
+//! The coarse stage (a PQ ADC scan over packed code slabs) ranks
+//! *approximate* scores; this stage re-reads the top `k·α` survivors at
+//! full precision and rescores them exactly, the compressed-serve /
+//! full-rerank split HAKES-style serving systems use to scale past RAM.
+//!
+//! The reader abstraction deliberately copies into a caller buffer
+//! instead of borrowing: the demand-paged tier in `vq-storage` serves
+//! vectors from a bounded page cache whose entries can be evicted, so no
+//! stable `&[f32]` exists to hand out.
+
+use crate::source::VectorSource;
+use crate::OffsetHit;
+use vq_core::{Distance, ScoredPoint, TopK};
+
+/// Read access to full-precision vectors for exact rescoring.
+///
+/// Unlike [`VectorSource`], implementations may materialize the vector
+/// on demand (e.g. a page fault against a file-backed tier), which is
+/// why the contract is copy-out rather than borrow.
+pub trait RerankSource: Sync {
+    /// Dimensionality of every vector.
+    fn dim(&self) -> usize;
+    /// Copy the vector at `offset` into `out` (`out.len() == dim()`).
+    /// Panics if `offset` is out of range.
+    fn read_vector(&self, offset: u32, out: &mut [f32]);
+}
+
+/// Adapter serving any in-memory [`VectorSource`] as a [`RerankSource`].
+///
+/// Explicit rather than a blanket impl: a blanket would forbid foreign
+/// tier types (which cannot hand out `&[f32]`) from implementing
+/// [`RerankSource`] directly.
+pub struct SourceRerank<'a, S: VectorSource>(pub &'a S);
+
+impl<S: VectorSource> RerankSource for SourceRerank<'_, S> {
+    fn dim(&self) -> usize {
+        self.0.dim()
+    }
+
+    fn read_vector(&self, offset: u32, out: &mut [f32]) {
+        out.copy_from_slice(self.0.vector(offset));
+    }
+}
+
+/// Exactly rescore `candidates` against `source` and return the top `k`.
+///
+/// Incoming (approximate) scores are discarded — only the offsets matter
+/// — so when the candidate set covers every live offset the result is
+/// identical to an exact flat scan: [`TopK`] retains the best `k` under
+/// a total order on `(score, id)`, independent of offer order.
+///
+/// Candidates are visited in ascending offset order, which turns the
+/// re-reads against a demand-paged tier into (mostly) sequential page
+/// access. Every rescored candidate is counted under
+/// `index.rerank_candidates`.
+pub fn rerank<R: RerankSource + ?Sized>(
+    source: &R,
+    metric: Distance,
+    query: &[f32],
+    candidates: &[OffsetHit],
+    k: usize,
+) -> Vec<OffsetHit> {
+    if candidates.is_empty() || k == 0 {
+        return Vec::new();
+    }
+    vq_obs::count("index.rerank_candidates", candidates.len() as u64);
+    let mut offsets: Vec<u32> = candidates.iter().map(|&(o, _)| o).collect();
+    offsets.sort_unstable();
+    let mut buf = vec![0.0f32; source.dim()];
+    let mut top = TopK::new(k);
+    for offset in offsets {
+        source.read_vector(offset, &mut buf);
+        top.offer(ScoredPoint::new(offset as u64, metric.score(query, &buf)));
+    }
+    top.into_sorted()
+        .into_iter()
+        .map(|p| (p.id as u32, p.score))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+    use crate::source::DenseVectors;
+
+    fn source() -> DenseVectors {
+        let mut s = DenseVectors::new(2);
+        for i in 0..20 {
+            s.push(&[i as f32, 0.5]);
+        }
+        s
+    }
+
+    #[test]
+    fn rerank_matches_flat_on_full_coverage() {
+        let s = source();
+        let q = [7.3f32, 0.5];
+        // Candidates: every offset, with garbage coarse scores.
+        let cands: Vec<OffsetHit> = (0..20u32).rev().map(|o| (o, -1.0)).collect();
+        let got = rerank(&SourceRerank(&s), Distance::Euclid, &q, &cands, 5);
+        let want = FlatIndex::new(Distance::Euclid).search(&s, &q, 5, None);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rerank_restricted_to_candidates() {
+        let s = source();
+        let cands = [(3u32, 0.0), (15, 0.0), (9, 0.0)];
+        let got = rerank(&SourceRerank(&s), Distance::Euclid, &[9.0, 0.5], &cands, 2);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 9);
+        assert!(got.iter().all(|&(o, _)| cands.iter().any(|&(c, _)| c == o)));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let s = source();
+        assert!(rerank(&SourceRerank(&s), Distance::Dot, &[0.0, 0.0], &[], 3).is_empty());
+        assert!(rerank(&SourceRerank(&s), Distance::Dot, &[0.0, 0.0], &[(1, 0.0)], 0).is_empty());
+    }
+}

@@ -5,7 +5,7 @@ use proptest::prelude::*;
 use vq_core::Distance;
 use vq_index::{
     recall_at_k, DenseVectors, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex,
-    PqCodec, PqConfig, VectorSource,
+    PqCodec, PqConfig, SourceRerank, VectorSource,
 };
 
 fn arb_source(dim: usize, max_n: usize) -> impl Strategy<Value = DenseVectors> {
@@ -152,6 +152,47 @@ proptest! {
             let adc = pq.adc_score(&table, o);
             let direct = -vq_core::distance::l2_squared(&v, &pq.decode(pq.code(o)));
             prop_assert!((adc - direct).abs() < 1e-2 * (1.0 + direct.abs()), "{adc} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn pq_two_stage_full_depth_equals_flat(
+        s in arb_source(8, 120),
+        q in prop::collection::vec(-10.0f32..10.0, 8),
+        m in prop::sample::select(vec![1usize, 2, 4]),
+        ks in 2usize..24,
+        k in 1usize..15
+    ) {
+        prop_assume!(s.len() >= 1);
+        let pq = PqCodec::build(&s, Distance::Euclid, PqConfig::with_m(m).ks(ks).seed(9));
+        // With rerank depth covering every stored code, the quantized
+        // coarse scan only selects candidates (all of them) and the
+        // exact rerank decides — so two-stage must equal the flat scan
+        // exactly, offsets and scores both.
+        let got = pq.search_rerank(&SourceRerank(&s), &q, k, s.len(), None);
+        let want = FlatIndex::new(Distance::Euclid).search(&s, &q, k, None);
+        prop_assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            prop_assert_eq!(g.0, w.0, "offset order diverged");
+            prop_assert_eq!(g.1.to_bits(), w.1.to_bits(), "scores diverged");
+        }
+    }
+
+    #[test]
+    fn pq_rerank_respects_filters_and_depth(
+        s in arb_source(6, 100),
+        q in prop::collection::vec(-10.0f32..10.0, 6),
+        modulo in 2u32..5,
+        depth in 1usize..40
+    ) {
+        prop_assume!(s.len() >= 1);
+        let pq = PqCodec::build(&s, Distance::Euclid, PqConfig::with_m(2).ks(8).seed(3));
+        let pass = |o: u32| o % modulo == 0;
+        let hits = pq.search_rerank(&SourceRerank(&s), &q, 5, depth, Some(&pass));
+        prop_assert!(hits.len() <= 5);
+        prop_assert!(hits.iter().all(|&(o, _)| pass(o)), "filter leaked");
+        for w in hits.windows(2) {
+            prop_assert!(w[0].1 >= w[1].1, "rerank output must stay sorted");
         }
     }
 

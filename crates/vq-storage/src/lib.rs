@@ -13,6 +13,10 @@
 //!   replay, over in-memory or file backends.
 //! * [`segment_store`] — the composition of the above: the durable state
 //!   of one shard replica, with snapshot/restore.
+//! * [`tier`] — demand-paged full-precision vector tier: spills vectors
+//!   to a file (or shared-heap) backend behind a bounded LRU page cache,
+//!   so only PQ codes stay resident and exact rerank re-reads survivors
+//!   on demand.
 //! * [`crc`] — CRC-32 (IEEE) used by WAL framing, implemented locally to
 //!   keep the dependency set minimal.
 
@@ -25,6 +29,7 @@ pub mod id_tracker;
 pub mod payload_index;
 pub mod payload_store;
 pub mod segment_store;
+pub mod tier;
 pub mod wal;
 
 pub use arena::PagedArena;
@@ -32,4 +37,5 @@ pub use id_tracker::IdTracker;
 pub use payload_index::PayloadIndex;
 pub use payload_store::PayloadStore;
 pub use segment_store::{SegmentSnapshot, SegmentStore};
+pub use tier::{FileTierBackend, FullPrecisionTier, SharedTierBackend, TierBackend, TierConfig};
 pub use wal::{FileBackend, MemBackend, SharedBackend, Wal, WalBackend, WalRecord};

@@ -77,17 +77,18 @@ pub mod prelude {
         WorkerInfo,
     };
     pub use vq_collection::{
-        CollectionConfig, CollectionStats, IndexingPolicy, LocalCollection, RecommendRequest,
-        SearchRequest,
+        CollectionConfig, CollectionStats, IndexingPolicy, LocalCollection, QuantizationConfig,
+        RecommendRequest, SearchParams, SearchRequest, TierKind,
     };
     pub use vq_core::{
         DataSize, Distance, Filter, Payload, PayloadValue, Point, PointId, ScoredPoint,
         VectorLayout, VqError, VqResult,
     };
     pub use vq_index::{
-        FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, IvfPqConfig, IvfPqIndex,
-        PqCodec, PqConfig, SqCodec, SqConfig,
+        rerank, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, IvfPqConfig, IvfPqIndex,
+        PqCodec, PqConfig, RerankSource, SourceRerank, SqCodec, SqConfig,
     };
+    pub use vq_storage::{FullPrecisionTier, SharedTierBackend, TierBackend, TierConfig};
     pub use vq_workload::{
         CorpusSpec, DatasetSpec, EmbeddingModel, GroundTruth, TermWorkload,
     };

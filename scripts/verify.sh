@@ -44,4 +44,7 @@ cargo run --release -p vq-bench --bin repro -- live --check
 echo "==> repro chaos --check (kill/restart recovery soak)"
 cargo run --release -p vq-bench --bin repro -- chaos --check --scale 0.5
 
+echo "==> repro quantized --check (two-stage recall / residency gate)"
+cargo run --release -p vq-bench --bin repro -- quantized --check
+
 echo "OK"
