@@ -47,6 +47,7 @@ fn main() {
     let mut json = false;
     let mut check = false;
     let mut scale = 1.0f64;
+    let mut tcp = false;
     let mut which: Option<String> = None;
     let mut i = 0;
     while i < args.len() {
@@ -65,6 +66,19 @@ fn main() {
                         std::process::exit(2);
                     });
             }
+            "--transport" => {
+                i += 1;
+                tcp = match args.get(i).map(String::as_str) {
+                    Some("tcp") => true,
+                    Some("inproc") => false,
+                    other => {
+                        eprintln!("--transport needs inproc|tcp, got {other:?}");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--transport=tcp" => tcp = true,
+            "--transport=inproc" => tcp = false,
             s if s.starts_with("--scale=") => {
                 scale = s["--scale=".len()..]
                     .parse::<f64>()
@@ -94,7 +108,8 @@ fn main() {
     let calib = Calibration::default();
     let known = [
         "table1", "table2", "fig2", "table3", "fig3", "fig4", "fig5", "ablation",
-        "variability", "pipeline", "live", "ingest", "chaos", "quantized", "all",
+        "variability", "pipeline", "live", "ingest", "chaos", "quantized", "protocol",
+        "all",
     ];
     if !known.contains(&which) {
         eprintln!("unknown experiment `{which}`; one of: {}", known.join(", "));
@@ -147,7 +162,7 @@ fn main() {
     // contract — zero acknowledged writes lost across kill/restart
     // cycles, and queries stay deadline-bounded while workers are down.
     if which == "chaos" {
-        print_chaos(json, check, scale);
+        print_chaos(json, check, scale, tcp);
     }
     // Quantized-resident memory hierarchy: opt-in only (trains real PQ
     // codebooks); `--check` makes it the CI quantized-smoke contract —
@@ -155,6 +170,14 @@ fn main() {
     // reduction, and a coarse-scan speedup over the exact scan.
     if which == "quantized" {
         print_quantized(json, check, scale);
+    }
+    // REST-vs-binary serving ablation: opt-in only (binds loopback
+    // listeners and spins up real clusters); `--check` makes it the CI
+    // protocol-smoke contract — the binary hot path is no slower than
+    // REST at p50 for upsert+search, and all three access paths (in-proc,
+    // binary frames, REST JSON) return bit-identical results.
+    if which == "protocol" {
+        print_protocol(json, check, scale);
     }
 }
 
@@ -1299,6 +1322,7 @@ fn print_ingest(json: bool, check: bool, scale: f64) {
 
 #[derive(Serialize)]
 struct ChaosOut {
+    transport: String,
     workers: u32,
     replication: u32,
     kill_restart_cycles: u32,
@@ -1318,8 +1342,8 @@ struct ChaosOut {
 /// Upsert `range` of `dataset` in small batches, recording which ids the
 /// cluster *acknowledged*. A rejected batch is counted, not retried —
 /// the soak invariant is about acked writes only.
-fn chaos_ingest(
-    client: &mut vq_cluster::ClusterClient,
+fn chaos_ingest<T: vq_net::Transport<vq_cluster::ClusterMsg>>(
+    client: &mut vq_cluster::ClusterClient<T>,
     dataset: &vq_workload::DatasetSpec,
     range: std::ops::Range<u64>,
     acked: &mut Vec<u64>,
@@ -1346,17 +1370,18 @@ fn chaos_ingest(
 /// * queries issued while workers are dead stay within the configured
 ///   deadline budget and report uncovered shards via `degraded` instead
 ///   of hanging or erroring.
-fn print_chaos(json: bool, check: bool, scale: f64) {
-    use std::sync::atomic::{AtomicBool, Ordering};
-    use std::sync::Arc;
-    use std::time::{Duration, Instant};
+fn print_chaos(json: bool, check: bool, scale: f64, tcp: bool) {
+    use std::time::Duration;
     use vq_cluster::{Cluster, ClusterConfig, Deadlines, Durability};
-    use vq_collection::{CollectionConfig, SearchRequest};
+    use vq_collection::CollectionConfig;
     use vq_core::Distance;
-    use vq_net::FaultPlan;
+    use vq_net::{FaultPlan, TcpTransport};
     use vq_workload::{DatasetSpec, EmbeddingModel};
 
-    section("Chaos soak: seeded faults, kill/restart under load, zero lost acked writes");
+    section(&format!(
+        "Chaos soak ({} fabric): seeded faults, kill/restart under load, zero lost acked writes",
+        if tcp { "TCP" } else { "in-proc" }
+    ));
     let workers = 3u32;
     let replication = 2u32;
     let dim = 16usize;
@@ -1377,15 +1402,42 @@ fn print_chaos(json: bool, check: bool, scale: f64) {
     let faults = FaultPlan::new(42)
         .delay_on(None, None, 0.05, Duration::from_millis(2))
         .duplicate_on(None, None, 0.03);
-    let cluster = Cluster::start(
-        ClusterConfig::new(workers)
-            .replication(replication)
-            .deadlines(deadlines)
-            .durability(Durability::SharedMem)
-            .faults(faults),
-        CollectionConfig::new(dim, Distance::Cosine).max_segment_points(256),
-    )
-    .expect("cluster start");
+    let cluster_config = ClusterConfig::new(workers)
+        .replication(replication)
+        .deadlines(deadlines)
+        .durability(Durability::SharedMem)
+        .faults(faults);
+    let collection_config = CollectionConfig::new(dim, Distance::Cosine).max_segment_points(256);
+    // The soak body is transport-generic; only the fabric start differs.
+    if tcp {
+        let cluster = Cluster::start_on(TcpTransport::new(), cluster_config, collection_config)
+            .expect("cluster start");
+        run_chaos_soak(cluster, "tcp", &dataset, deadlines, n, workers, replication, json, check);
+    } else {
+        let cluster = Cluster::start(cluster_config, collection_config).expect("cluster start");
+        run_chaos_soak(
+            cluster, "inproc", &dataset, deadlines, n, workers, replication, json, check,
+        );
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_chaos_soak<T: vq_net::Transport<vq_cluster::ClusterMsg> + 'static>(
+    cluster: std::sync::Arc<vq_cluster::Cluster<T>>,
+    transport: &str,
+    dataset: &vq_workload::DatasetSpec,
+    deadlines: vq_cluster::Deadlines,
+    n: u64,
+    workers: u32,
+    replication: u32,
+    json: bool,
+    check: bool,
+) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+    use vq_collection::SearchRequest;
+
     let mut client = cluster.client();
 
     // Concurrent read load across the whole kill/restart phase: retries
@@ -1511,8 +1563,9 @@ fn print_chaos(json: bool, check: bool, scale: f64) {
 
     emit(
         json,
-        "chaos",
+        if transport == "tcp" { "chaos_tcp" } else { "chaos" },
         &ChaosOut {
+            transport: transport.to_string(),
             workers,
             replication,
             kill_restart_cycles: workers,
@@ -1569,6 +1622,248 @@ fn print_chaos(json: bool, check: bool, scale: f64) {
                 (
                     "concurrent searches survived every kill/restart",
                     concurrent_searches > 0,
+                ),
+            ],
+        );
+    }
+}
+
+#[derive(Serialize)]
+struct ProtocolOut {
+    dim: usize,
+    points: u64,
+    batch_points: usize,
+    queries: usize,
+    rest_upsert_ms_p50: f64,
+    bin_upsert_ms_p50: f64,
+    inproc_search_ms_p50: f64,
+    rest_search_ms_p50: f64,
+    bin_search_ms_p50: f64,
+    rest_bytes_per_point: f64,
+    bin_bytes_per_point: f64,
+    identical_results: bool,
+    metrics: serde_json::Value,
+}
+
+fn p50_of(samples: &mut Vec<f64>) -> f64 {
+    samples.sort_by(|a, b| a.total_cmp(b));
+    samples.get(samples.len() / 2).copied().unwrap_or(0.0)
+}
+
+/// REST-vs-binary serving ablation over loopback: the same cluster, the
+/// same batches and queries, once through Qdrant-style JSON over HTTP/1.1
+/// and once through `vbin` frames carrying `PointBlock` slabs. `--check`
+/// pins the shape this layer exists for: the binary hot path no slower
+/// than REST at p50 for upsert+search combined, fewer bytes per point on
+/// the wire, and — the correctness half — results bit-identical across
+/// the in-proc client, the binary client, and the REST client.
+fn print_protocol(json: bool, check: bool, scale: f64) {
+    use std::sync::Arc;
+    use std::time::Instant;
+    use vq_cluster::{Cluster, ClusterConfig};
+    use vq_collection::{CollectionConfig, SearchRequest};
+    use vq_core::{Distance, PointBlock};
+    use vq_net::wire;
+    use vq_server::{
+        client::points_body, BinClient, BinRequest, ClusterBackend, Registry, RestClient,
+        ServerConfig, VqServer,
+    };
+    use vq_workload::{DatasetSpec, EmbeddingModel};
+
+    section("Serving-protocol ablation: Qdrant-style REST JSON vs framed binary (vbin)");
+    let dim = 32usize;
+    let n = scaled(4_096, scale, 512);
+    let batch = 256usize;
+    let queries = 64usize;
+    let corpus = CorpusSpec::small(n);
+    let model = EmbeddingModel::small(&corpus, dim);
+    let dataset = DatasetSpec::with_vectors(corpus, model, n);
+
+    // Three collections on one server: `bench` is populated once through
+    // the in-proc client and queried by every path; `via_rest`/`via_bin`
+    // take identical upsert streams so the per-batch latencies differ
+    // only in protocol.
+    let start_cluster = || {
+        Cluster::start(
+            ClusterConfig::new(2).shards(2),
+            CollectionConfig::new(dim, Distance::Cosine),
+        )
+        .expect("cluster start")
+    };
+    let bench = start_cluster();
+    let via_rest = start_cluster();
+    let via_bin = start_cluster();
+    let registry = Arc::new(Registry::new());
+    registry.insert("bench", Arc::new(ClusterBackend::new(bench.clone())));
+    registry.insert("via_rest", Arc::new(ClusterBackend::new(via_rest.clone())));
+    registry.insert("via_bin", Arc::new(ClusterBackend::new(via_bin.clone())));
+    let mut server = VqServer::serve(
+        registry,
+        &ServerConfig {
+            rest_addr: "127.0.0.1:0".to_string(),
+            bin_addr: Some("127.0.0.1:0".to_string()),
+        },
+    )
+    .expect("server start");
+
+    let mut inproc = bench.client();
+    inproc
+        .upsert_batch(dataset.points_in(0..n))
+        .expect("populate bench");
+
+    let mut rest = RestClient::connect(server.rest_addr()).expect("rest connect");
+    let mut bin = BinClient::connect(server.bin_addr().expect("binary port on")).expect("bin connect");
+
+    // Upsert path: same batches through both protocols, interleaved so
+    // neither side systematically sees a colder cluster.
+    let mut rest_upsert_ms = Vec::new();
+    let mut bin_upsert_ms = Vec::new();
+    let mut lo = 0u64;
+    while lo < n {
+        let hi = (lo + batch as u64).min(n);
+        let points = dataset.points_in(lo..hi);
+        let t0 = Instant::now();
+        rest.upsert_points("via_rest", &points).expect("rest upsert");
+        rest_upsert_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        bin.upsert_points("via_bin", &points).expect("bin upsert");
+        bin_upsert_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        lo = hi;
+    }
+
+    // Wire weight of one batch, exactly as each protocol frames it.
+    let sample = dataset.points_in(0..(batch as u64).min(n));
+    let rest_bytes = points_body(&sample).len();
+    let bin_frame = wire::encode_frame(
+        &wire::to_bytes(&BinRequest::Upsert {
+            collection: "via_bin".to_string(),
+            block: PointBlock::from_points(&sample).expect("block"),
+        })
+        .expect("encode"),
+    );
+    let rest_bytes_per_point = rest_bytes as f64 / sample.len() as f64;
+    let bin_bytes_per_point = bin_frame.len() as f64 / sample.len() as f64;
+
+    // Search path: identical probes, three access paths. A short warmup
+    // keeps connection setup and first-touch costs out of the samples.
+    let probe_at = |i: usize| dataset.point((i as u64 * 13) % n).vector;
+    for i in 0..4 {
+        let request = SearchRequest::new(probe_at(i), 10);
+        inproc.search(request.clone()).expect("warmup");
+        rest.search("bench", &request).expect("warmup");
+        bin.search("bench", &request).expect("warmup");
+    }
+    let mut inproc_ms = Vec::new();
+    let mut rest_ms = Vec::new();
+    let mut bin_ms = Vec::new();
+    let mut identical = true;
+    for i in 0..queries {
+        let mut request = SearchRequest::new(probe_at(i), 10);
+        // Exercise the payload-bearing shape on half the probes — payload
+        // JSON is part of what REST pays for.
+        request.with_payload = i % 2 == 0;
+        let t0 = Instant::now();
+        let direct = inproc.search(request.clone()).expect("in-proc search");
+        inproc_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        let via_rest_hits = rest.search("bench", &request).expect("rest search");
+        rest_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        let via_bin_hits = bin.search("bench", &request).expect("bin search");
+        bin_ms.push(t0.elapsed().as_secs_f64() * 1e3);
+        identical &= direct == via_bin_hits && direct == via_rest_hits && direct.len() == 10;
+    }
+
+    let out = ProtocolOut {
+        dim,
+        points: n,
+        batch_points: batch,
+        queries,
+        rest_upsert_ms_p50: p50_of(&mut rest_upsert_ms),
+        bin_upsert_ms_p50: p50_of(&mut bin_upsert_ms),
+        inproc_search_ms_p50: p50_of(&mut inproc_ms),
+        rest_search_ms_p50: p50_of(&mut rest_ms),
+        bin_search_ms_p50: p50_of(&mut bin_ms),
+        rest_bytes_per_point,
+        bin_bytes_per_point,
+        identical_results: identical,
+        metrics: obs_metrics_json(),
+    };
+
+    server.shutdown();
+    bench.shutdown();
+    via_rest.shutdown();
+    via_bin.shutdown();
+
+    let mut t = TextTable::new(["Path", "Upsert p50 ms/batch", "Search p50 ms", "Bytes/point"]);
+    t.row([
+        "REST (JSON/HTTP)".to_string(),
+        format!("{:.3}", out.rest_upsert_ms_p50),
+        format!("{:.3}", out.rest_search_ms_p50),
+        format!("{:.1}", out.rest_bytes_per_point),
+    ]);
+    t.row([
+        "binary (vbin frames)".to_string(),
+        format!("{:.3}", out.bin_upsert_ms_p50),
+        format!("{:.3}", out.bin_search_ms_p50),
+        format!("{:.1}", out.bin_bytes_per_point),
+    ]);
+    t.row([
+        "in-proc client".to_string(),
+        "-".to_string(),
+        format!("{:.3}", out.inproc_search_ms_p50),
+        "-".to_string(),
+    ]);
+    print!("{}", t.render());
+    println!(
+        "results bit-identical across in-proc / binary / REST: {}",
+        out.identical_results
+    );
+
+    // BENCH_NET.json is the committed repo-root record of this ablation
+    // (same convention as BENCH_PQ.json / BENCH_INGEST.json).
+    let mut bench_net = serde_json::to_value(&out).expect("serializable");
+    if let Some(map) = bench_net.as_object_mut() {
+        map.insert(
+            "description".to_string(),
+            serde_json::to_value(
+                "repro protocol: REST (Qdrant-compatible JSON over HTTP/1.1) vs framed \
+                 binary (vbin + PointBlock slab) over loopback, same cluster and workload",
+            )
+            .expect("string"),
+        );
+        map.remove("metrics");
+    }
+    if std::fs::write(
+        "BENCH_NET.json",
+        serde_json::to_string_pretty(&bench_net).expect("render") + "\n",
+    )
+    .is_ok()
+    {
+        println!("wrote BENCH_NET.json");
+    }
+    emit(json, "protocol", &out);
+
+    if check {
+        enforce_shapes(
+            "protocol",
+            &[
+                (
+                    "in-proc, binary, and REST return bit-identical results",
+                    out.identical_results,
+                ),
+                (
+                    "binary p50 upsert+search no slower than REST",
+                    out.bin_upsert_ms_p50 + out.bin_search_ms_p50
+                        <= out.rest_upsert_ms_p50 + out.rest_search_ms_p50,
+                ),
+                (
+                    "binary frames carry fewer bytes per point than REST JSON",
+                    out.bin_bytes_per_point < out.rest_bytes_per_point,
+                ),
+                (
+                    "both network paths acknowledged every upsert batch",
+                    rest_upsert_ms.len() == bin_upsert_ms.len() && !rest_upsert_ms.is_empty(),
                 ),
             ],
         );

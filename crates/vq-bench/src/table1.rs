@@ -29,7 +29,8 @@ impl Support {
 }
 
 /// One system's row.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+/// (Serialize-only: `&'static str` cannot be deserialized from transient input.)
+#[derive(Debug, Clone, Serialize)]
 pub struct SystemRow {
     /// System name.
     pub system: &'static str,

@@ -19,7 +19,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 use vq_collection::{CollectionConfig, CollectionStats, SearchRequest};
 use vq_core::{Point, PointBlock, PointId, ScoredPoint, VqError, VqResult};
-use vq_net::{Endpoint, FaultPlan, NetworkModel, Switchboard};
+use vq_net::{FaultPlan, NetworkModel, Switchboard, Transport, TransportEndpoint};
 
 /// Per-request time budgets, configured instead of hard-coded (the old
 /// fixed 120 s client / 60 s gather / 600 s build constants meant a dead
@@ -123,11 +123,15 @@ impl ClusterConfig {
     }
 }
 
-/// A running cluster of worker threads.
-pub struct Cluster {
-    switchboard: Switchboard<ClusterMsg>,
+/// A running cluster of worker threads, generic over the transport its
+/// protocol frames travel on: the in-process [`Switchboard`] by default
+/// (the simulation mode every experiment uses), or any other
+/// [`Transport`] — e.g. [`vq_net::TcpTransport`] for real loopback
+/// sockets under a serving deployment.
+pub struct Cluster<T: Transport<ClusterMsg> = Switchboard<ClusterMsg>> {
+    transport: T,
     placement: Arc<RwLock<Placement>>,
-    workers: RwLock<Vec<Worker>>,
+    workers: RwLock<Vec<Worker<T>>>,
     collection_config: CollectionConfig,
     cluster_config: ClusterConfig,
     wal_store: Arc<WalStore>,
@@ -141,8 +145,31 @@ pub struct Cluster {
 }
 
 impl Cluster {
-    /// Start a cluster.
+    /// Start a cluster on an in-process [`Switchboard`], shaped by the
+    /// config's [`NetworkModel`] when one is set.
     pub fn start(
+        cluster_config: ClusterConfig,
+        collection_config: CollectionConfig,
+    ) -> VqResult<Arc<Self>> {
+        let switchboard = match cluster_config.network.clone() {
+            Some(model) => Switchboard::with_model(model),
+            None => Switchboard::new(),
+        };
+        Self::start_on(switchboard, cluster_config, collection_config)
+    }
+}
+
+impl<T: Transport<ClusterMsg>> Cluster<T> {
+    /// Start a cluster on an explicit transport (an in-proc
+    /// [`Switchboard`], a loopback [`vq_net::TcpTransport`], …).
+    ///
+    /// The config's `network` model is *not* applied here — a
+    /// caller-built transport is taken as already configured (pass the
+    /// model to the transport's constructor) — but the config's fault
+    /// plan is installed on it, so chaos experiments run unchanged over
+    /// any transport.
+    pub fn start_on(
+        transport: T,
         cluster_config: ClusterConfig,
         collection_config: CollectionConfig,
     ) -> VqResult<Arc<Self>> {
@@ -153,12 +180,8 @@ impl Cluster {
             &worker_ids,
             cluster_config.replication,
         )?));
-        let switchboard = match cluster_config.network {
-            Some(model) => Switchboard::with_model(model),
-            None => Switchboard::new(),
-        };
         if let Some(plan) = cluster_config.faults.clone() {
-            switchboard.install_faults(plan);
+            transport.install_faults(plan);
         }
         let wal_store = Arc::new(WalStore::new(cluster_config.durability.clone()));
         let workers = worker_ids
@@ -170,14 +193,14 @@ impl Cluster {
                     node,
                     collection_config,
                     placement.clone(),
-                    switchboard.clone(),
+                    transport.clone(),
                     cluster_config.deadlines,
                     wal_store.clone(),
                 )
             })
             .collect::<VqResult<Vec<_>>>()?;
         Ok(Arc::new(Cluster {
-            switchboard,
+            transport,
             placement,
             workers: RwLock::new(workers),
             collection_config,
@@ -210,17 +233,23 @@ impl Cluster {
     /// the cluster started — the broadcast–reduce communication overhead
     /// §3.4 discusses, made observable.
     pub fn network_stats(&self) -> vq_net::TransportStats {
-        self.switchboard.stats()
+        self.transport.stats()
+    }
+
+    /// The transport this cluster runs on (serving layers register their
+    /// own protocol endpoints through it).
+    pub fn transport(&self) -> &T {
+        &self.transport
     }
 
     /// Create a client handle. Clients are cheap; one per driver thread.
-    pub fn client(self: &Arc<Self>) -> ClusterClient {
+    pub fn client(self: &Arc<Self>) -> ClusterClient<T> {
         // Client endpoints share the ephemeral id space (above worker ids).
         let id = alloc_ephemeral_id();
         // Clients run on a notional "client node" beyond every worker node:
         // the paper runs all clients on one separate compute node (§3.2).
         let client_node = u32::MAX;
-        let endpoint = self.switchboard.register(id, client_node);
+        let endpoint = self.transport.register(id, client_node);
         ClusterClient {
             cluster: self.clone(),
             endpoint,
@@ -254,7 +283,7 @@ impl Cluster {
     /// far (empty without a plan). A chaos harness polls this to learn
     /// which workers to `restart_worker`.
     pub fn fault_killed(&self) -> Vec<WorkerId> {
-        self.switchboard.fault_killed()
+        self.transport.fault_killed()
     }
 
     /// Search retries clients performed because a first contact was
@@ -290,7 +319,7 @@ impl Cluster {
                 .ok_or(VqError::NodeNotFound(id))?;
             workers.remove(pos)
         };
-        self.switchboard.crash(id);
+        self.transport.crash(id);
         self.mark_worker_dead(id);
         worker.join();
         Ok(())
@@ -314,7 +343,7 @@ impl Cluster {
                 .map(|pos| workers.remove(pos))
         };
         if let Some(w) = incumbent {
-            self.switchboard.crash(id);
+            self.transport.crash(id);
             w.join();
         }
         let node = id / self.cluster_config.workers_per_node.max(1);
@@ -323,7 +352,7 @@ impl Cluster {
             node,
             self.collection_config,
             self.placement.clone(),
-            self.switchboard.clone(),
+            self.transport.clone(),
             self.cluster_config.deadlines,
             self.wal_store.clone(),
         )?;
@@ -416,7 +445,7 @@ impl Cluster {
                     node,
                     self.collection_config,
                     self.placement.clone(),
-                    self.switchboard.clone(),
+                    self.transport.clone(),
                     self.cluster_config.deadlines,
                     self.wal_store.clone(),
                 )?);
@@ -463,7 +492,7 @@ impl Cluster {
             // Shutdown request: yank its endpoint so the serve loop exits
             // instead of blocking the join forever. Workers that did ack
             // already deregistered themselves — this is a no-op for them.
-            self.switchboard.crash(w.id());
+            self.transport.crash(w.id());
             w.join();
         }
     }
@@ -482,15 +511,15 @@ pub struct SearchOutcome {
     pub degraded: Vec<ShardId>,
 }
 
-/// Application handle to the cluster.
-pub struct ClusterClient {
-    cluster: Arc<Cluster>,
-    endpoint: Endpoint<ClusterMsg>,
+/// Application handle to the cluster, generic over its transport.
+pub struct ClusterClient<T: Transport<ClusterMsg> = Switchboard<ClusterMsg>> {
+    cluster: Arc<Cluster<T>>,
+    endpoint: T::Endpoint,
     id: u32,
     next_tag: u64,
 }
 
-impl ClusterClient {
+impl<T: Transport<ClusterMsg>> ClusterClient<T> {
     /// This client's endpoint id (diagnostics).
     pub fn id(&self) -> u32 {
         self.id
@@ -1125,9 +1154,9 @@ impl ClusterClient {
     }
 }
 
-impl Drop for ClusterClient {
+impl<T: Transport<ClusterMsg>> Drop for ClusterClient<T> {
     fn drop(&mut self) {
-        self.cluster.switchboard.deregister(self.endpoint.id());
+        self.cluster.transport.deregister(self.id);
     }
 }
 

@@ -21,7 +21,7 @@ use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use vq_collection::{CollectionConfig, CollectionStats, LocalCollection, SearchRequest};
 use vq_core::{point::merge_top_k, ScoredPoint, VqError, VqResult};
-use vq_net::{Endpoint, Switchboard};
+use vq_net::{Switchboard, Transport, TransportEndpoint};
 
 /// Ephemeral (scatter-gather reply) endpoints live above this id.
 const EPHEMERAL_BASE: u32 = 1 << 20;
@@ -45,7 +45,7 @@ struct CoordJob {
     queries: Arc<[SearchRequest]>,
 }
 
-struct WorkerState {
+struct WorkerState<T: Transport<ClusterMsg>> {
     id: WorkerId,
     node: u32,
     config: CollectionConfig,
@@ -53,7 +53,7 @@ struct WorkerState {
     wal_store: Arc<WalStore>,
     shards: RwLock<HashMap<ShardId, Arc<LocalCollection>>>,
     placement: Arc<RwLock<Placement>>,
-    switchboard: Switchboard<ClusterMsg>,
+    transport: T,
     /// In-flight outbound shard copies: internal tag → (requester,
     /// requester's tag). The install confirmation from the receiver is
     /// forwarded to the original requester.
@@ -110,13 +110,15 @@ impl Counters {
     }
 }
 
-/// A running worker (serve thread + state handle).
-pub struct Worker {
-    state: Arc<WorkerState>,
+/// A running worker (serve thread + state handle), generic over the
+/// transport carrying its protocol frames (in-proc [`Switchboard`] by
+/// default, a real socket transport in serving deployments).
+pub struct Worker<T: Transport<ClusterMsg> = Switchboard<ClusterMsg>> {
+    state: Arc<WorkerState<T>>,
     handle: Option<std::thread::JoinHandle<()>>,
 }
 
-impl Worker {
+impl<T: Transport<ClusterMsg>> Worker<T> {
     /// Spawn a worker with endpoint `id` on `node`, hosting its share of
     /// `placement`'s shards. With a durable `wal_store` each shard is
     /// *recovered* (snapshot restore + WAL replay through the normal
@@ -127,11 +129,11 @@ impl Worker {
         node: u32,
         config: CollectionConfig,
         placement: Arc<RwLock<Placement>>,
-        switchboard: Switchboard<ClusterMsg>,
+        transport: T,
         deadlines: Deadlines,
         wal_store: Arc<WalStore>,
     ) -> VqResult<Self> {
-        let endpoint = switchboard.register(id, node);
+        let endpoint = transport.register(id, node);
         let mut shards: HashMap<ShardId, Arc<LocalCollection>> = HashMap::new();
         for s in placement.read().shards_of(id) {
             shards.insert(s, Arc::new(open_shard(&wal_store, id, s, config)?));
@@ -145,7 +147,7 @@ impl Worker {
             wal_store,
             shards: RwLock::new(shards),
             placement,
-            switchboard,
+            transport,
             pending_transfers: parking_lot::Mutex::new(HashMap::new()),
             next_internal_tag: std::sync::atomic::AtomicU64::new(1),
             coordinator_tx: parking_lot::Mutex::new(Some(coord_tx)),
@@ -211,14 +213,14 @@ fn open_shard(
     }
 }
 
-fn serve_loop(state: Arc<WorkerState>, endpoint: Endpoint<ClusterMsg>) {
+fn serve_loop<T: Transport<ClusterMsg>>(state: Arc<WorkerState<T>>, endpoint: T::Endpoint) {
     serve_requests(&state, &endpoint);
     // Drop the coordinator pool's sender on every exit path so the pool
     // threads see a disconnected channel and terminate.
     state.coordinator_tx.lock().take();
 }
 
-fn serve_requests(state: &Arc<WorkerState>, endpoint: &Endpoint<ClusterMsg>) {
+fn serve_requests<T: Transport<ClusterMsg>>(state: &Arc<WorkerState<T>>, endpoint: &T::Endpoint) {
     loop {
         let Ok(env) = endpoint.recv() else {
             return; // transport gone
@@ -244,11 +246,11 @@ fn serve_requests(state: &Arc<WorkerState>, endpoint: &Endpoint<ClusterMsg>) {
         };
         let shutdown = matches!(body, Request::Shutdown);
         if shutdown {
-            // Unhook from the switchboard BEFORE acking: the moment the
+            // Unhook from the transport BEFORE acking: the moment the
             // client sees the Ok it may issue a search, and a coordinator
             // that can still reach this endpoint would scatter into a
             // queue nobody will ever drain (a 60s gather timeout).
-            state.switchboard.deregister(state.id);
+            state.transport.deregister(state.id);
         }
         match body {
             Request::SearchBatch { queries } => {
@@ -307,9 +309,9 @@ fn serve_requests(state: &Arc<WorkerState>, endpoint: &Endpoint<ClusterMsg>) {
 /// Handle every request kind except the coordinated `SearchBatch`.
 /// Returns `None` when the handler forwarded responsibility elsewhere
 /// (shard transfer).
-fn handle_local(
-    state: &Arc<WorkerState>,
-    endpoint: &Endpoint<ClusterMsg>,
+fn handle_local<T: Transport<ClusterMsg>>(
+    state: &Arc<WorkerState<T>>,
+    endpoint: &T::Endpoint,
     reply_to: u32,
     tag: u64,
     body: Request,
@@ -574,8 +576,8 @@ fn handle_local(
 /// Queries run in parallel on the shared rayon pool — each one is an
 /// independent top-k scan, so batch latency tracks the slowest query
 /// rather than the sum.
-fn local_search(
-    state: &WorkerState,
+fn local_search<T: Transport<ClusterMsg>>(
+    state: &WorkerState<T>,
     queries: &[SearchRequest],
 ) -> VqResult<Vec<Vec<ScoredPoint>>> {
     let shards: Vec<Arc<LocalCollection>> = state.shards.read().values().cloned().collect();
@@ -591,8 +593,8 @@ fn local_search(
 
 /// The broadcast–reduce coordinator (§3.4): scatter `LocalSearchBatch` to
 /// every peer, search own shards, gather, merge, reply to the client.
-fn coordinate_search(
-    state: &Arc<WorkerState>,
+fn coordinate_search<T: Transport<ClusterMsg>>(
+    state: &Arc<WorkerState<T>>,
     reply_to: u32,
     tag: u64,
     queries: Arc<[SearchRequest]>,
@@ -608,7 +610,7 @@ fn coordinate_search(
         .collect();
     // Ephemeral endpoint for gathering partials.
     let eph_id = alloc_ephemeral_id();
-    let eph = state.switchboard.register(eph_id, state.node);
+    let eph = state.transport.register(eph_id, state.node);
 
     // Scatter. A peer whose send fails (dead endpoint) is excluded from
     // the gather up front instead of costing a timeout.
@@ -757,7 +759,7 @@ fn coordinate_search(
     let msg = ClusterMsg::Response { tag, body };
     let bytes = msg.approx_wire_bytes();
     let _ = eph.send_sized(reply_to, msg, bytes);
-    state.switchboard.deregister(eph_id);
+    state.transport.deregister(eph_id);
     let coord_dur = coord_t0.elapsed();
     state.counters.coordination_nanos.add(coord_dur.as_nanos() as u64);
     vq_obs::record_phase("coordination", u64::from(state.id), coord_dur.as_secs_f64());

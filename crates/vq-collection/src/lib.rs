@@ -41,7 +41,7 @@ pub use stats::CollectionStats;
 /// segments ignore it. Travels with [`SearchRequest`] through the cluster
 /// wire, so a coordinator fan-out runs the quantized coarse scan and the
 /// exact rerank *per shard*, before the gather merge.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
 pub struct SearchParams {
     /// Quantized candidates kept per segment for exact rerank. `None`
     /// uses the collection's configured `rerank_mult × k`. A depth
@@ -53,7 +53,7 @@ pub struct SearchParams {
 }
 
 /// Search request against a collection (local or routed).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct SearchRequest {
     /// Query vector.
     pub vector: Vec<f32>,

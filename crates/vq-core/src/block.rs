@@ -281,6 +281,137 @@ impl PartialEq for PointBlock {
     }
 }
 
+/// Wrapper steering a byte slice through `Serializer::serialize_bytes`
+/// (a bare `&[u8]` would serialize as a tagged sequence).
+struct SlabBytes<'a>(&'a [u8]);
+
+impl serde::Serialize for SlabBytes<'_> {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_bytes(self.0)
+    }
+}
+
+/// Owned byte buffer decoded from a bytes value.
+struct SlabBuf(Vec<u8>);
+
+impl<'de> serde::Deserialize<'de> for SlabBuf {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        struct BytesVisitor;
+        impl<'de> serde::de::Visitor<'de> for BytesVisitor {
+            type Value = SlabBuf;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "a byte buffer")
+            }
+            fn visit_bytes<E: serde::de::Error>(self, v: &[u8]) -> Result<SlabBuf, E> {
+                Ok(SlabBuf(v.to_vec()))
+            }
+            fn visit_byte_buf<E: serde::de::Error>(self, v: Vec<u8>) -> Result<SlabBuf, E> {
+                Ok(SlabBuf(v))
+            }
+            fn visit_seq<A: serde::de::SeqAccess<'de>>(
+                self,
+                mut seq: A,
+            ) -> Result<SlabBuf, A::Error> {
+                // Formats without a native bytes type deliver a u8 seq.
+                let mut out = Vec::with_capacity(seq.size_hint().unwrap_or(0));
+                while let Some(b) = seq.next_element::<u8>()? {
+                    out.push(b);
+                }
+                Ok(SlabBuf(out))
+            }
+        }
+        deserializer.deserialize_byte_buf(BytesVisitor)
+    }
+}
+
+impl serde::Serialize for PointBlock {
+    /// Columnar wire form: `{dim, ids, slab, payloads}` with the vector
+    /// slab as one raw little-endian `f32` byte run. The whole view is
+    /// rendered in row order (a sliced or gathered view serializes as the
+    /// rows it exposes), so decode always yields a dense `Range` block.
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use serde::ser::SerializeStruct;
+        let mut bytes = Vec::with_capacity(self.len() * self.dim * 4);
+        match self.as_contiguous() {
+            Some(slab) => {
+                for v in slab {
+                    bytes.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            None => {
+                for i in 0..self.len() {
+                    for v in self.vector(i) {
+                        bytes.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+        }
+        let ids: Vec<PointId> = (0..self.len()).map(|i| self.id(i)).collect();
+        let payloads: Vec<&Payload> = (0..self.len()).map(|i| self.payload(i)).collect();
+        let mut st = serializer.serialize_struct("PointBlock", 4)?;
+        st.serialize_field("dim", &(self.dim as u64))?;
+        st.serialize_field("ids", &ids)?;
+        st.serialize_field("slab", &SlabBytes(&bytes))?;
+        st.serialize_field("payloads", &payloads)?;
+        st.end()
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for PointBlock {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        use serde::de::Error;
+        struct BlockVisitor;
+        impl<'de> serde::de::Visitor<'de> for BlockVisitor {
+            type Value = PointBlock;
+            fn expecting(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "a PointBlock map")
+            }
+            fn visit_map<A: serde::de::MapAccess<'de>>(
+                self,
+                mut map: A,
+            ) -> Result<PointBlock, A::Error> {
+                let mut dim: Option<u64> = None;
+                let mut ids: Option<Vec<PointId>> = None;
+                let mut slab: Option<SlabBuf> = None;
+                let mut payloads: Option<Vec<Payload>> = None;
+                while let Some(key) = map.next_key::<String>()? {
+                    match key.as_str() {
+                        "dim" => dim = Some(map.next_value()?),
+                        "ids" => ids = Some(map.next_value()?),
+                        "slab" => slab = Some(map.next_value()?),
+                        "payloads" => payloads = Some(map.next_value()?),
+                        other => {
+                            return Err(A::Error::custom(format!(
+                                "unknown PointBlock field `{other}`"
+                            )))
+                        }
+                    }
+                }
+                let dim = dim.ok_or_else(|| A::Error::custom("missing field `dim`"))? as usize;
+                let ids = ids.ok_or_else(|| A::Error::custom("missing field `ids`"))?;
+                let slab = slab.ok_or_else(|| A::Error::custom("missing field `slab`"))?;
+                let payloads =
+                    payloads.ok_or_else(|| A::Error::custom("missing field `payloads`"))?;
+                if slab.0.len() % 4 != 0 {
+                    return Err(A::Error::custom("slab byte length not a multiple of 4"));
+                }
+                let floats: Vec<f32> = slab
+                    .0
+                    .chunks_exact(4)
+                    .map(|c| f32::from_le_bytes(c.try_into().expect("4 bytes")))
+                    .collect();
+                PointBlock::from_columns(dim, ids, floats, payloads)
+                    .map_err(|e| A::Error::custom(format!("invalid PointBlock: {e}")))
+            }
+        }
+        deserializer.deserialize_struct(
+            "PointBlock",
+            &["dim", "ids", "slab", "payloads"],
+            BlockVisitor,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -406,6 +537,17 @@ mod tests {
             block.slice(1..3).approx_bytes(),
             points[1..3].iter().map(Point::approx_bytes).sum::<usize>()
         );
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_view_rows() {
+        let block = PointBlock::from_points(&sample_points(6, 3)).unwrap();
+        let gathered = block.slice(1..5).select(&[2, 0]);
+        let json = serde_json::to_string(&gathered).unwrap();
+        let back: PointBlock = serde_json::from_str(&json).unwrap();
+        // Decode yields a dense block exposing the same logical rows.
+        assert_eq!(back, gathered);
+        assert!(back.as_contiguous().is_some());
     }
 
     #[test]

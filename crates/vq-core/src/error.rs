@@ -12,7 +12,10 @@ use std::fmt;
 pub type VqResult<T> = Result<T, VqError>;
 
 /// Error type shared by every `vq` layer.
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Serializable so a worker's failure can cross a real network transport
+/// inside a `Response::Error` and re-materialize on the client intact.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum VqError {
     /// A vector had the wrong dimensionality for the target collection.
     DimensionMismatch {

@@ -15,17 +15,33 @@
 //! * [`fault`] — a seeded, deterministic **fault plan** the transport can
 //!   evaluate on every send: per-edge drop / delay / duplicate plus
 //!   kill-after-N-messages crashes, so chaos soaks are reproducible.
+//! * [`wire`] — the **binary codec**: a compact serde Serializer /
+//!   Deserializer plus CRC-checked length-prefixed framing, shared by
+//!   every component that moves real bytes.
+//! * [`tcp`] — a **socket transport** implementing the same
+//!   [`Transport`] contract as the in-proc switchboard over real
+//!   `TcpStream`s, with per-peer writer threads and
+//!   reconnect-on-broken-pipe.
 //!
-//! Keeping cost and transport separate means the same model constants
-//! drive both the simulator and the live engine.
+//! The cluster compiles against the [`Transport`] / [`TransportEndpoint`]
+//! traits, so the in-proc and TCP fabrics are interchangeable; the fault
+//! injector and cost model apply uniformly to both. Keeping cost and
+//! transport separate means the same model constants drive both the
+//! simulator and the live engine.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod cost;
 pub mod fault;
+pub mod tcp;
 pub mod transport;
+pub mod wire;
 
 pub use cost::{LinkModel, NetworkModel, Topology};
 pub use fault::{FaultAction, FaultPlan, FaultRule};
-pub use transport::{Endpoint, Switchboard, TransportStats};
+pub use tcp::{TcpEndpoint, TcpTransport};
+pub use transport::{
+    Endpoint, Envelope, Switchboard, Transport, TransportEndpoint, TransportStats,
+};
+pub use wire::WIRE_VERSION;

@@ -13,12 +13,84 @@
 
 use crate::cost::NetworkModel;
 use crate::fault::{FaultPlan, FaultState};
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TrySendError};
 use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 use vq_core::{VqError, VqResult};
+
+/// One side of a [`Transport`]: owned by a single worker/client, it can
+/// send to any registered peer and receive its own inbox.
+///
+/// This is the surface the cluster actually talks through; `Switchboard`'s
+/// [`Endpoint`] (in-process channels) and `TcpTransport`'s endpoint (real
+/// sockets) both implement it, which is what lets `vq-cluster` compile
+/// against `T: Transport` instead of a concrete wiring.
+pub trait TransportEndpoint<M>: Send {
+    /// This endpoint's id.
+    fn id(&self) -> u32;
+
+    /// Send `payload` to endpoint `to` (zero-sized for the cost model).
+    fn send(&self, to: u32, payload: M) -> VqResult<()>;
+
+    /// Send `payload`, declaring its wire size for the cost model.
+    fn send_sized(&self, to: u32, payload: M, bytes: u64) -> VqResult<()>;
+
+    /// Block for the next message.
+    fn recv(&self) -> VqResult<Envelope<M>>;
+
+    /// Block for the next message up to `timeout`.
+    fn recv_timeout(&self, timeout: Duration) -> VqResult<Envelope<M>>;
+
+    /// Non-blocking receive.
+    fn try_recv(&self) -> Option<Envelope<M>>;
+}
+
+/// A message fabric: registers endpoints by id, routes between them, and
+/// supports the fault/cost instrumentation the chaos and modeling layers
+/// rely on.
+///
+/// Implementations must behave identically at the contract level so the
+/// cluster cannot tell them apart (the chaos soak runs against both):
+///
+/// * sends to an unregistered or crashed id fail with
+///   [`VqError::Network`];
+/// * [`Transport::crash`] is an unpolite deregister — queued messages
+///   drain, then the endpoint's `recv` errors;
+/// * re-registering an id revives it with a fresh fault budget;
+/// * an installed [`FaultPlan`] and any [`NetworkModel`] apply on the
+///   send path.
+pub trait Transport<M>: Clone + Send + Sync + 'static {
+    /// Endpoint type handed out by [`Transport::register`].
+    type Endpoint: TransportEndpoint<M>;
+
+    /// Register endpoint `id` hosted on `node`; replaces any previous
+    /// endpoint with the same id.
+    fn register(&self, id: u32, node: u32) -> Self::Endpoint;
+
+    /// Remove an endpoint; future sends to it fail.
+    fn deregister(&self, id: u32);
+
+    /// Crash endpoint `id` from the network's point of view (no
+    /// handshake; queued messages still drain).
+    fn crash(&self, id: u32);
+
+    /// Install (or replace) a fault plan; subsequent sends evaluate it.
+    fn install_faults(&self, plan: FaultPlan);
+
+    /// Remove the fault plan; the network runs clean again.
+    fn clear_faults(&self);
+
+    /// Endpoints currently dead from a `KillAfter` fault, ascending.
+    fn fault_killed(&self) -> Vec<u32>;
+
+    /// Aggregate traffic counters since creation.
+    fn stats(&self) -> TransportStats;
+
+    /// Ids of all registered endpoints, ascending.
+    fn endpoints(&self) -> Vec<u32>;
+}
 
 /// A transport message: source, destination, payload.
 #[derive(Debug)]
@@ -37,6 +109,10 @@ struct Shared<M> {
     /// may live on one node).
     placement: RwLock<HashMap<u32, u32>>,
     model: Option<NetworkModel>,
+    /// Per-endpoint inbox capacity; `None` = unbounded (the default, and
+    /// what the seed tests pin). With a bound, a send to a full inbox
+    /// blocks the sender and bumps `net.backpressure_blocks`.
+    capacity: Option<usize>,
     /// Installed fault plan; `None` = clean network.
     faults: RwLock<Option<Arc<FaultState>>>,
     messages_sent: std::sync::atomic::AtomicU64,
@@ -73,17 +149,7 @@ impl<M> Clone for Switchboard<M> {
 impl<M: Send + 'static> Switchboard<M> {
     /// Switchboard with instantaneous delivery.
     pub fn new() -> Self {
-        Switchboard {
-            shared: Arc::new(Shared {
-                inboxes: RwLock::new(HashMap::new()),
-                placement: RwLock::new(HashMap::new()),
-                model: None,
-                faults: RwLock::new(None),
-                messages_sent: std::sync::atomic::AtomicU64::new(0),
-                bytes_sent: std::sync::atomic::AtomicU64::new(0),
-                fabric_bytes: std::sync::atomic::AtomicU64::new(0),
-            }),
-        }
+        Self::with_options(None, None)
     }
 
     /// Switchboard that delays deliveries per the cost model, using each
@@ -91,11 +157,21 @@ impl<M: Send + 'static> Switchboard<M> {
     /// bandwidth term is provided per send via
     /// [`Endpoint::send_sized`].
     pub fn with_model(model: NetworkModel) -> Self {
+        Self::with_options(Some(model), None)
+    }
+
+    /// Fully-configured switchboard: an optional cost model plus an
+    /// optional per-endpoint inbox capacity. With a capacity, a send to a
+    /// full inbox blocks until the receiver drains (backpressure) instead
+    /// of growing the queue without bound, and each such stall increments
+    /// the `net.backpressure_blocks` counter.
+    pub fn with_options(model: Option<NetworkModel>, capacity: Option<usize>) -> Self {
         Switchboard {
             shared: Arc::new(Shared {
                 inboxes: RwLock::new(HashMap::new()),
                 placement: RwLock::new(HashMap::new()),
-                model: Some(model),
+                model,
+                capacity,
                 faults: RwLock::new(None),
                 messages_sent: std::sync::atomic::AtomicU64::new(0),
                 bytes_sent: std::sync::atomic::AtomicU64::new(0),
@@ -109,7 +185,10 @@ impl<M: Send + 'static> Switchboard<M> {
     /// Re-registering an id replaces the previous endpoint (its receiver
     /// starts draining new messages).
     pub fn register(&self, id: u32, node: u32) -> Endpoint<M> {
-        let (tx, rx) = unbounded();
+        let (tx, rx) = match self.shared.capacity {
+            Some(cap) => bounded(cap),
+            None => unbounded(),
+        };
         self.shared.inboxes.write().insert(id, tx);
         self.shared.placement.write().insert(id, node);
         // A restarted endpoint gets a fresh fault lifetime (its KillAfter
@@ -185,6 +264,19 @@ impl<M: Send + 'static> Switchboard<M> {
 impl<M: Send + 'static> Default for Switchboard<M> {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Enqueue into an inbox, blocking (and counting the stall) when a
+/// bounded inbox is full. Unbounded inboxes never take the slow path.
+fn push_with_backpressure<M>(tx: &Sender<Envelope<M>>, env: Envelope<M>) -> Result<(), ()> {
+    match tx.try_send(env) {
+        Ok(()) => Ok(()),
+        Err(TrySendError::Full(env)) => {
+            vq_obs::count("net.backpressure_blocks", 1);
+            tx.send(env).map_err(|_| ())
+        }
+        Err(TrySendError::Disconnected(_)) => Err(()),
     }
 }
 
@@ -273,19 +365,24 @@ impl<M: Send + 'static> Endpoint<M> {
         };
         let copies = verdict.as_ref().map_or(1, |v| v.copies);
         for _ in 1..copies {
-            let _ = tx.send(Envelope {
-                from: self.id,
-                to,
-                payload: payload.clone(),
-            });
+            let _ = push_with_backpressure(
+                &tx,
+                Envelope {
+                    from: self.id,
+                    to,
+                    payload: payload.clone(),
+                },
+            );
         }
-        let sent = tx
-            .send(Envelope {
+        let sent = push_with_backpressure(
+            &tx,
+            Envelope {
                 from: self.id,
                 to,
                 payload,
-            })
-            .map_err(|_| VqError::Network(format!("endpoint {to} hung up")));
+            },
+        )
+        .map_err(|_| VqError::Network(format!("endpoint {to} hung up")));
         if verdict.as_ref().is_some_and(|v| v.kill_after_delivery) {
             // That delivery was the destination's last: crash it now, with
             // the message still sitting unread in its inbox.
@@ -314,6 +411,68 @@ impl<M: Send + 'static> Endpoint<M> {
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<Envelope<M>> {
         self.rx.try_recv().ok()
+    }
+}
+
+impl<M: Clone + Send + 'static> TransportEndpoint<M> for Endpoint<M> {
+    fn id(&self) -> u32 {
+        Endpoint::id(self)
+    }
+
+    fn send(&self, to: u32, payload: M) -> VqResult<()> {
+        Endpoint::send(self, to, payload)
+    }
+
+    fn send_sized(&self, to: u32, payload: M, bytes: u64) -> VqResult<()> {
+        Endpoint::send_sized(self, to, payload, bytes)
+    }
+
+    fn recv(&self) -> VqResult<Envelope<M>> {
+        Endpoint::recv(self)
+    }
+
+    fn recv_timeout(&self, timeout: Duration) -> VqResult<Envelope<M>> {
+        Endpoint::recv_timeout(self, timeout)
+    }
+
+    fn try_recv(&self) -> Option<Envelope<M>> {
+        Endpoint::try_recv(self)
+    }
+}
+
+impl<M: Clone + Send + 'static> Transport<M> for Switchboard<M> {
+    type Endpoint = Endpoint<M>;
+
+    fn register(&self, id: u32, node: u32) -> Endpoint<M> {
+        Switchboard::register(self, id, node)
+    }
+
+    fn deregister(&self, id: u32) {
+        Switchboard::deregister(self, id)
+    }
+
+    fn crash(&self, id: u32) {
+        Switchboard::crash(self, id)
+    }
+
+    fn install_faults(&self, plan: FaultPlan) {
+        Switchboard::install_faults(self, plan)
+    }
+
+    fn clear_faults(&self) {
+        Switchboard::clear_faults(self)
+    }
+
+    fn fault_killed(&self) -> Vec<u32> {
+        Switchboard::fault_killed(self)
+    }
+
+    fn stats(&self) -> TransportStats {
+        Switchboard::stats(self)
+    }
+
+    fn endpoints(&self) -> Vec<u32> {
+        Switchboard::endpoints(self)
     }
 }
 
@@ -511,5 +670,68 @@ mod tests {
         a.send_sized(2, 42, 1000).unwrap();
         assert_eq!(b.recv().unwrap().payload, 42);
         assert!(t0.elapsed() >= Duration::from_secs_f64(1e-4));
+    }
+
+    #[test]
+    fn bounded_inbox_blocks_instead_of_growing() {
+        let sb: Switchboard<u32> = Switchboard::with_options(None, Some(2));
+        let a = sb.register(1, 0);
+        let b = sb.register(2, 0);
+        a.send(2, 0).unwrap();
+        a.send(2, 1).unwrap();
+        // Third send must wait for the receiver to drain a slot.
+        let sender = std::thread::spawn(move || {
+            a.send(2, 2).unwrap();
+            a
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(!sender.is_finished(), "send should be blocked on the full inbox");
+        assert_eq!(b.recv().unwrap().payload, 0);
+        let a = sender.join().unwrap();
+        assert_eq!(b.recv().unwrap().payload, 1);
+        assert_eq!(b.recv().unwrap().payload, 2);
+        drop(a);
+    }
+
+    #[test]
+    fn backpressure_stalls_are_counted() {
+        let recorder = Arc::new(vq_obs::Recorder::new(16));
+        vq_obs::install(recorder.clone());
+        let sb: Switchboard<u32> = Switchboard::with_options(None, Some(1));
+        let a = sb.register(1, 0);
+        let b = sb.register(2, 0);
+        a.send(2, 0).unwrap();
+        // The inbox (capacity 1) is now full: this send observes the full
+        // queue, counts the stall, and blocks until the receiver drains.
+        let sender = std::thread::spawn(move || a.send(2, 1).unwrap());
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(b.recv().unwrap().payload, 0);
+        sender.join().unwrap();
+        assert_eq!(b.recv().unwrap().payload, 1);
+        vq_obs::uninstall();
+        let snap = recorder.registry().snapshot();
+        assert!(
+            snap.counter("net.backpressure_blocks") >= 1,
+            "full bounded inbox must count a backpressure stall"
+        );
+    }
+
+    /// Compile-and-run proof that the cluster-facing trait surface is
+    /// object-free generic: this helper only knows `T: Transport`.
+    fn ping_pong<T: Transport<u64>>(transport: T) {
+        let a = transport.register(1, 0);
+        let b = transport.register(2, 0);
+        TransportEndpoint::send(&a, 2, 99).unwrap();
+        let env = TransportEndpoint::recv(&b).unwrap();
+        assert_eq!(env.payload, 99);
+        assert_eq!(TransportEndpoint::id(&b), 2);
+        assert_eq!(transport.endpoints(), vec![1, 2]);
+        transport.crash(1);
+        assert!(TransportEndpoint::send(&b, 1, 1).is_err());
+    }
+
+    #[test]
+    fn switchboard_satisfies_transport_trait() {
+        ping_pong(Switchboard::new());
     }
 }

@@ -1,0 +1,381 @@
+//! Clients for both serving frontends: a minimal HTTP/1.1 client for the
+//! REST API and a framed client for the binary protocol. Used by `repro
+//! protocol` (the REST-vs-binary ablation) and the integration tests;
+//! also a reference for what an external caller speaks.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use vq_collection::SearchRequest;
+use vq_core::{Point, PointBlock, ScoredPoint, VqError, VqResult};
+use vq_net::wire;
+
+use crate::protocol::{write_message, BinRequest, BinResponse};
+use crate::rest::{json_escape, json_f64};
+
+// ---------------------------------------------------------------------------
+// REST client
+// ---------------------------------------------------------------------------
+
+/// A blocking HTTP client for the Qdrant-compatible REST API, one
+/// keep-alive connection.
+pub struct RestClient {
+    stream: BufReader<TcpStream>,
+}
+
+/// A decoded HTTP response.
+pub struct RestResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl RestResponse {
+    /// Parse the body as JSON and return the Qdrant envelope's `result`.
+    pub fn result(&self) -> VqResult<serde_json::Value> {
+        let value = serde_json::from_slice::<serde_json::Value>(&self.body)
+            .map_err(|e| VqError::Corruption(format!("REST response not JSON: {e}")))?;
+        if self.status != 200 {
+            let message = value
+                .get("status")
+                .and_then(|s| s.get("error"))
+                .and_then(|e| e.as_str())
+                .unwrap_or("unknown error")
+                .to_string();
+            return Err(VqError::Network(format!("HTTP {}: {message}", self.status)));
+        }
+        value
+            .get("result")
+            .cloned()
+            .ok_or_else(|| VqError::Corruption("REST envelope missing `result`".into()))
+    }
+}
+
+impl RestClient {
+    /// Connect to a REST server.
+    pub fn connect(addr: std::net::SocketAddr) -> VqResult<RestClient> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| VqError::Network(format!("connect {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+        Ok(RestClient {
+            stream: BufReader::new(stream),
+        })
+    }
+
+    /// Issue one request; body `None` sends no Content-Length.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> VqResult<RestResponse> {
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: vq\r\n");
+        if let Some(body) = body {
+            head.push_str(&format!(
+                "Content-Type: application/json\r\nContent-Length: {}\r\n",
+                body.len()
+            ));
+        }
+        head.push_str("\r\n");
+        let writer = self.stream.get_mut();
+        let io_err = |e: std::io::Error| VqError::Network(format!("REST request: {e}"));
+        writer.write_all(head.as_bytes()).map_err(io_err)?;
+        if let Some(body) = body {
+            writer.write_all(body.as_bytes()).map_err(io_err)?;
+        }
+        writer.flush().map_err(io_err)?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> VqResult<RestResponse> {
+        let net_err = |m: &str| VqError::Network(format!("REST response: {m}"));
+        let mut line = String::new();
+        self.stream
+            .read_line(&mut line)
+            .map_err(|e| net_err(&e.to_string()))?;
+        let status: u16 = line
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| net_err(&format!("bad status line {line:?}")))?;
+        let mut content_length = 0usize;
+        loop {
+            let mut header = String::new();
+            let n = self
+                .stream
+                .read_line(&mut header)
+                .map_err(|e| net_err(&e.to_string()))?;
+            if n == 0 {
+                return Err(net_err("EOF in headers"));
+            }
+            let header = header.trim();
+            if header.is_empty() {
+                break;
+            }
+            if let Some((name, value)) = header.split_once(':') {
+                if name.eq_ignore_ascii_case("content-length") {
+                    content_length = value
+                        .trim()
+                        .parse()
+                        .map_err(|_| net_err("bad Content-Length"))?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.stream
+            .read_exact(&mut body)
+            .map_err(|e| net_err(&e.to_string()))?;
+        Ok(RestResponse { status, body })
+    }
+
+    /// `PUT /collections/{name}` with Qdrant's vectors config.
+    pub fn create_collection(&mut self, name: &str, dim: usize, distance: &str) -> VqResult<()> {
+        let body =
+            format!("{{\"vectors\":{{\"size\":{dim},\"distance\":\"{distance}\"}}}}");
+        self.request("PUT", &format!("/collections/{name}"), Some(&body))?
+            .result()
+            .map(|_| ())
+    }
+
+    /// `PUT /collections/{name}/points`.
+    pub fn upsert_points(&mut self, name: &str, points: &[Point]) -> VqResult<()> {
+        let body = points_body(points);
+        self.request(
+            "PUT",
+            &format!("/collections/{name}/points"),
+            Some(&body),
+        )?
+        .result()
+        .map(|_| ())
+    }
+    /// `POST /collections/{name}/points/search`.
+    pub fn search(
+        &mut self,
+        name: &str,
+        request: &SearchRequest,
+    ) -> VqResult<Vec<ScoredPoint>> {
+        let mut body = String::from("{\"vector\":[");
+        for (i, x) in request.vector.iter().enumerate() {
+            if i > 0 {
+                body.push(',');
+            }
+            json_f64(*x as f64, &mut body);
+        }
+        body.push_str("],\"limit\":");
+        body.push_str(&request.k.to_string());
+        if request.with_payload {
+            body.push_str(",\"with_payload\":true");
+        }
+        if let Some(ef) = request.ef {
+            body.push_str(&format!(",\"params\":{{\"hnsw_ef\":{ef}}}"));
+        }
+        body.push('}');
+        let result = self
+            .request(
+                "POST",
+                &format!("/collections/{name}/points/search"),
+                Some(&body),
+            )?
+            .result()?;
+        let items = result
+            .as_array()
+            .ok_or_else(|| VqError::Corruption("search result is not an array".into()))?;
+        let mut hits = Vec::with_capacity(items.len());
+        for item in items.iter() {
+            let id = item
+                .get("id")
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| VqError::Corruption("hit missing id".into()))?;
+            let score = item
+                .get("score")
+                .and_then(|v| v.as_f64())
+                .ok_or_else(|| VqError::Corruption("hit missing score".into()))?
+                as f32;
+            let payload = match item.get("payload").and_then(|p| p.as_object()) {
+                Some(object) => {
+                    let mut payload = vq_core::Payload::new();
+                    for (key, v) in object.iter() {
+                        if let Some(s) = v.as_str() {
+                            payload.insert(key.clone(), s.to_string());
+                        } else if let Some(b) = v.as_bool() {
+                            payload.insert(key.clone(), b);
+                        } else if let Some(n) = v.as_i64() {
+                            payload.insert(key.clone(), n);
+                        } else if let Some(f) = v.as_f64() {
+                            payload.insert(key.clone(), f);
+                        } else if let Some(items) = v.as_array() {
+                            let words: Vec<String> = items
+                                .iter()
+                                .filter_map(|w| w.as_str().map(str::to_string))
+                                .collect();
+                            payload
+                                .0
+                                .insert(key.clone(), vq_core::PayloadValue::Keywords(words));
+                        }
+                    }
+                    Some(payload)
+                }
+                None => None,
+            };
+            hits.push(ScoredPoint { id, score, payload });
+        }
+        Ok(hits)
+    }
+
+    /// `GET /healthz`.
+    pub fn healthz(&mut self) -> VqResult<bool> {
+        Ok(self.request("GET", "/healthz", None)?.status == 200)
+    }
+
+    /// `GET /metrics` Prometheus text.
+    pub fn metrics(&mut self) -> VqResult<String> {
+        let response = self.request("GET", "/metrics", None)?;
+        String::from_utf8(response.body)
+            .map_err(|_| VqError::Corruption("metrics not UTF-8".into()))
+    }
+}
+
+/// The JSON body of `PUT /collections/{name}/points` for `points`.
+///
+/// Public so the REST-vs-binary ablation can weigh the exact bytes the
+/// REST path puts on the wire against the binary frame for the same
+/// batch.
+pub fn points_body(points: &[Point]) -> String {
+    let mut body = String::from("{\"points\":[");
+    for (i, point) in points.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str("{\"id\":");
+        body.push_str(&point.id.to_string());
+        body.push_str(",\"vector\":[");
+        for (j, x) in point.vector.iter().enumerate() {
+            if j > 0 {
+                body.push(',');
+            }
+            json_f64(*x as f64, &mut body);
+        }
+        body.push(']');
+        if !point.payload.is_empty() {
+            body.push_str(",\"payload\":{");
+            for (j, (key, value)) in point.payload.0.iter().enumerate() {
+                if j > 0 {
+                    body.push(',');
+                }
+                json_escape(key, &mut body);
+                body.push(':');
+                match value {
+                    vq_core::PayloadValue::Str(s) => json_escape(s, &mut body),
+                    vq_core::PayloadValue::Int(n) => body.push_str(&n.to_string()),
+                    vq_core::PayloadValue::Float(f) => json_f64(*f, &mut body),
+                    vq_core::PayloadValue::Bool(b) => {
+                        body.push_str(if *b { "true" } else { "false" })
+                    }
+                    vq_core::PayloadValue::Keywords(words) => {
+                        body.push('[');
+                        for (l, w) in words.iter().enumerate() {
+                            if l > 0 {
+                                body.push(',');
+                            }
+                            json_escape(w, &mut body);
+                        }
+                        body.push(']');
+                    }
+                }
+            }
+            body.push('}');
+        }
+        body.push('}');
+    }
+    body.push_str("]}");
+    body
+}
+
+// ---------------------------------------------------------------------------
+// Binary client
+// ---------------------------------------------------------------------------
+
+/// A blocking client for the framed binary protocol, one persistent
+/// connection.
+pub struct BinClient {
+    stream: TcpStream,
+}
+
+impl BinClient {
+    /// Connect to a binary-protocol server.
+    pub fn connect(addr: std::net::SocketAddr) -> VqResult<BinClient> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| VqError::Network(format!("connect {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+        Ok(BinClient { stream })
+    }
+
+    /// One framed request/response exchange.
+    pub fn request(&mut self, request: &BinRequest) -> VqResult<BinResponse> {
+        write_message(&mut self.stream, request)?;
+        let payload = wire::read_frame(&mut self.stream)?
+            .ok_or_else(|| VqError::Network("server closed the connection".into()))?;
+        wire::from_bytes(&payload)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> VqResult<()> {
+        match self.request(&BinRequest::Ping)? {
+            BinResponse::Pong => Ok(()),
+            other => Err(VqError::Network(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Upsert a block of points.
+    pub fn upsert_block(&mut self, collection: &str, block: &Arc<PointBlock>) -> VqResult<u64> {
+        let request = BinRequest::Upsert {
+            collection: collection.to_string(),
+            block: PointBlock::clone(block),
+        };
+        match self.request(&request)? {
+            BinResponse::Upserted { count } => Ok(count),
+            BinResponse::Error { message } => Err(VqError::Network(message)),
+            other => Err(VqError::Network(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Upsert points (packed into a block client-side).
+    pub fn upsert_points(&mut self, collection: &str, points: &[Point]) -> VqResult<u64> {
+        let block = Arc::new(PointBlock::from_points(points)?);
+        self.upsert_block(collection, &block)
+    }
+
+    /// Broadcast–reduce search.
+    pub fn search(
+        &mut self,
+        collection: &str,
+        request: &SearchRequest,
+    ) -> VqResult<Vec<ScoredPoint>> {
+        let request = BinRequest::Search {
+            collection: collection.to_string(),
+            request: request.clone(),
+        };
+        match self.request(&request)? {
+            BinResponse::Hits { hits } => Ok(hits),
+            BinResponse::Error { message } => Err(VqError::Network(message)),
+            other => Err(VqError::Network(format!("unexpected reply {other:?}"))),
+        }
+    }
+
+    /// Live point count.
+    pub fn count(&mut self, collection: &str) -> VqResult<u64> {
+        let request = BinRequest::Count {
+            collection: collection.to_string(),
+        };
+        match self.request(&request)? {
+            BinResponse::Count { count } => Ok(count),
+            BinResponse::Error { message } => Err(VqError::Network(message)),
+            other => Err(VqError::Network(format!("unexpected reply {other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! The binary hot path: `vbin`-encoded request/response frames over a
+//! dedicated TCP port.
+//!
+//! Each frame is one [`vq_net::wire`] envelope (magic + version + length
+//! + CRC) whose payload is a [`BinRequest`] or [`BinResponse`]. Point
+//! batches ride as [`PointBlock`]s, so vectors serialize as one
+//! contiguous f32 slab instead of per-point JSON arrays — this is the
+//! path that makes the REST-vs-binary ablation (`repro protocol`)
+//! meaningful.
+
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+use vq_collection::SearchRequest;
+use vq_core::{PointBlock, ScoredPoint, VqResult};
+use vq_net::wire;
+
+use crate::backend::Registry;
+
+/// A request frame on the binary port.
+///
+/// (No `PartialEq`: `PointBlock` slabs compare by content semantics the
+/// block type deliberately doesn't define.)
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum BinRequest {
+    /// Liveness probe.
+    Ping,
+    /// Upsert a columnar block of points.
+    Upsert {
+        /// Target collection.
+        collection: String,
+        /// The points, as one contiguous block.
+        block: PointBlock,
+    },
+    /// Broadcast–reduce search.
+    Search {
+        /// Target collection.
+        collection: String,
+        /// The query.
+        request: SearchRequest,
+    },
+    /// Live point count.
+    Count {
+        /// Target collection.
+        collection: String,
+    },
+}
+
+/// A response frame on the binary port.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BinResponse {
+    /// Liveness answer.
+    Pong,
+    /// Upsert acknowledged.
+    Upserted {
+        /// Points written.
+        count: u64,
+    },
+    /// Search results.
+    Hits {
+        /// Scored points, best first.
+        hits: Vec<ScoredPoint>,
+    },
+    /// Count answer.
+    Count {
+        /// Live points.
+        count: u64,
+    },
+    /// Any failure, with the error's display text.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+}
+
+fn handle(registry: &Registry, request: BinRequest) -> BinResponse {
+    vq_obs::count("server.bin_requests", 1);
+    let not_found = |name: &str| BinResponse::Error {
+        message: format!("collection `{name}` not found"),
+    };
+    match request {
+        BinRequest::Ping => BinResponse::Pong,
+        BinRequest::Upsert { collection, block } => match registry.get(&collection) {
+            Some(backend) => match backend.upsert_block(Arc::new(block)) {
+                Ok(count) => {
+                    vq_obs::count("server.bin_points_upserted", count as u64);
+                    BinResponse::Upserted {
+                        count: count as u64,
+                    }
+                }
+                Err(e) => BinResponse::Error {
+                    message: e.to_string(),
+                },
+            },
+            None => not_found(&collection),
+        },
+        BinRequest::Search {
+            collection,
+            request,
+        } => match registry.get(&collection) {
+            Some(backend) => match backend.search(request) {
+                Ok(hits) => {
+                    vq_obs::count("server.bin_searches", 1);
+                    BinResponse::Hits { hits }
+                }
+                Err(e) => BinResponse::Error {
+                    message: e.to_string(),
+                },
+            },
+            None => not_found(&collection),
+        },
+        BinRequest::Count { collection } => match registry.get(&collection) {
+            Some(backend) => match backend.count() {
+                Ok(count) => BinResponse::Count {
+                    count: count as u64,
+                },
+                Err(e) => BinResponse::Error {
+                    message: e.to_string(),
+                },
+            },
+            None => not_found(&collection),
+        },
+    }
+}
+
+/// The binary-protocol listener: one thread per connection, one framed
+/// request/response exchange per loop iteration.
+pub struct BinServer {
+    addr: std::net::SocketAddr,
+    running: Arc<AtomicBool>,
+    accept_thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl BinServer {
+    /// Bind `addr` (port 0 for ephemeral) and serve `registry`.
+    pub fn serve(addr: &str, registry: Arc<Registry>) -> std::io::Result<BinServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let running = Arc::new(AtomicBool::new(true));
+        let accept_running = running.clone();
+        let accept_thread = std::thread::Builder::new()
+            .name("vq-bin-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if !accept_running.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let registry = registry.clone();
+                    let running = accept_running.clone();
+                    let _ = std::thread::Builder::new()
+                        .name("vq-bin-conn".into())
+                        .spawn(move || serve_connection(stream, registry, running));
+                }
+            })?;
+        Ok(BinServer {
+            addr,
+            running,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The locally bound address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting and join the accept loop.
+    pub fn shutdown(&mut self) {
+        if self
+            .running
+            .compare_exchange(true, false, Ordering::AcqRel, Ordering::Acquire)
+            .is_err()
+        {
+            return;
+        }
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for BinServer {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn serve_connection(mut stream: TcpStream, registry: Arc<Registry>, running: Arc<AtomicBool>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_nodelay(true);
+    while running.load(Ordering::Acquire) {
+        let payload = match read_frame_patiently(&mut stream, &running) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(_) => {
+                // Corrupt frame: answer with a framed error, then drop
+                // the connection (stream state is unknown).
+                let response = BinResponse::Error {
+                    message: "corrupt frame".to_string(),
+                };
+                let _ = write_message(&mut stream, &response);
+                return;
+            }
+        };
+        let response = match wire::from_bytes::<BinRequest>(&payload) {
+            Ok(request) => handle(&registry, request),
+            Err(e) => BinResponse::Error {
+                message: e.to_string(),
+            },
+        };
+        if write_message(&mut stream, &response).is_err() {
+            return;
+        }
+    }
+}
+
+/// Wait for the next frame: short-timeout `peek` while idle (so shutdown
+/// is noticed), then a long-timeout framed read once bytes start flowing.
+fn read_frame_patiently(
+    stream: &mut TcpStream,
+    running: &AtomicBool,
+) -> VqResult<Option<Vec<u8>>> {
+    let mut probe = [0u8; 1];
+    loop {
+        if !running.load(Ordering::Acquire) {
+            return Ok(None);
+        }
+        match stream.peek(&mut probe) {
+            Ok(0) => return Ok(None), // clean EOF between frames
+            Ok(_) => break,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut
+                    || e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return Ok(None),
+        }
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let frame = wire::read_frame(stream);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    frame
+}
+
+/// Serialize + frame + send one message.
+pub fn write_message<T: Serialize, W: Write>(w: &mut W, message: &T) -> VqResult<()> {
+    let payload = wire::to_bytes(message)?;
+    wire::write_frame(w, &payload).map_err(|e| vq_core::VqError::Network(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bin_messages_roundtrip_through_wire() {
+        let request = BinRequest::Search {
+            collection: "papers".into(),
+            request: SearchRequest::new(vec![0.5, 0.25], 10),
+        };
+        let bytes = wire::to_bytes(&request).expect("encode");
+        let back: BinRequest = wire::from_bytes(&bytes).expect("decode");
+        match back {
+            BinRequest::Search {
+                collection,
+                request: decoded,
+            } => {
+                assert_eq!(collection, "papers");
+                assert_eq!(decoded, SearchRequest::new(vec![0.5, 0.25], 10));
+            }
+            other => panic!("decoded wrong variant: {other:?}"),
+        }
+
+        let response = BinResponse::Hits {
+            hits: vec![ScoredPoint::new(3, 0.75)],
+        };
+        let bytes = wire::to_bytes(&response).expect("encode");
+        let back: BinResponse = wire::from_bytes(&bytes).expect("decode");
+        assert_eq!(back, response);
+    }
+}

@@ -244,7 +244,7 @@ impl SegmentStore {
 }
 
 /// Serialized form of a [`SegmentStore`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SegmentSnapshot {
     /// Vector dimensionality.
     pub dim: usize,

@@ -35,6 +35,7 @@ fn main() -> ExitCode {
         "scroll" => cmd_scroll(&flags),
         "info" => cmd_info(&flags),
         "metrics" => cmd_metrics(&flags),
+        "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
             Ok(())
@@ -61,7 +62,10 @@ USAGE:
   vq search --dir DIR --vector V1,V2,... [--k N] [--ef N] [--filter key=value]
   vq scroll --dir DIR [--after ID] [--limit N]
   vq info   --dir DIR
-  vq metrics [--points N] [--workers N] [--serve ADDR]";
+  vq metrics [--points N] [--workers N] [--serve ADDR]
+  vq serve  [--rest ADDR] [--bin ADDR|off] [--collection NAME] [--dim N]
+            [--metric cosine|euclid|dot] [--workers N] [--shards N]
+            [--transport inproc|tcp]";
 
 type CliResult = Result<(), Box<dyn std::error::Error>>;
 
@@ -294,6 +298,112 @@ fn cmd_info(flags: &HashMap<String, String>) -> CliResult {
     );
     println!("approx bytes:     {}", DataSize(stats.approx_bytes as u64));
     Ok(())
+}
+
+/// Stand up a live cluster and serve it over the network: Qdrant-compatible
+/// REST on `--rest` (default `127.0.0.1:6333`) and the framed binary
+/// protocol on `--bin` (default `127.0.0.1:6334`, `off` to disable).
+/// `--transport tcp` runs the cluster's internal fabric over loopback TCP
+/// instead of the in-process switchboard. Additional collections created
+/// via `PUT /collections/{name}` each get their own cluster with the same
+/// worker/shard topology.
+fn cmd_serve(flags: &HashMap<String, String>) -> CliResult {
+    use std::sync::Arc;
+    use vq::vq_net::TcpTransport;
+    use vq::vq_obs;
+
+    let rest_addr = flags
+        .get("rest")
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:6333".to_string());
+    let bin_addr = match flags.get("bin").map(String::as_str) {
+        Some("off") => None,
+        Some(addr) => Some(addr.to_string()),
+        None => Some("127.0.0.1:6334".to_string()),
+    };
+    let name = flags
+        .get("collection")
+        .cloned()
+        .unwrap_or_else(|| "collection".to_string());
+    let dim: usize = flags
+        .get("dim")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --dim: {e}"))?
+        .unwrap_or(64);
+    let metric = match flags.get("metric").map(String::as_str).unwrap_or("cosine") {
+        "cosine" => Distance::Cosine,
+        "euclid" => Distance::Euclid,
+        "dot" => Distance::Dot,
+        other => return Err(format!("unknown metric `{other}`").into()),
+    };
+    let workers: u32 = flags
+        .get("workers")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --workers: {e}"))?
+        .unwrap_or(4);
+    let shards: Option<u32> = flags
+        .get("shards")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --shards: {e}"))?;
+    let tcp_fabric = match flags.get("transport").map(String::as_str).unwrap_or("inproc") {
+        "inproc" => false,
+        "tcp" => true,
+        other => return Err(format!("unknown transport `{other}` (inproc|tcp)").into()),
+    };
+
+    vq_obs::install_from_env();
+
+    let cluster_config = |shards: Option<u32>| {
+        let mut config = ClusterConfig::new(workers);
+        if let Some(shards) = shards {
+            config = config.shards(shards);
+        }
+        config
+    };
+    let start_backend = move |collection: CollectionConfig| -> VqResult<Arc<dyn vq::vq_server::Backend>> {
+        Ok(if tcp_fabric {
+            Arc::new(ClusterBackend::new(Cluster::start_on(
+                TcpTransport::new(),
+                cluster_config(shards),
+                collection,
+            )?))
+        } else {
+            Arc::new(ClusterBackend::new(Cluster::start(
+                cluster_config(shards),
+                collection,
+            )?))
+        })
+    };
+
+    let factory_start = start_backend;
+    let registry = Arc::new(Registry::with_factory(Box::new(
+        move |_name: &str, config: CollectionConfig| factory_start(config),
+    )));
+    registry.insert(&name, start_backend(CollectionConfig::new(dim, metric))?);
+
+    let server = VqServer::serve(
+        registry,
+        &ServerConfig {
+            rest_addr,
+            bin_addr,
+        },
+    )
+    .map_err(|e| format!("cannot bind: {e}"))?;
+    println!(
+        "collection `{name}` (dim {dim}, metric {metric}) on {workers} workers ({} fabric)",
+        if tcp_fabric { "TCP" } else { "in-proc" }
+    );
+    println!("REST   : http://{}", server.rest_addr());
+    if let Some(addr) = server.bin_addr() {
+        println!("binary : vbin://{addr}");
+    }
+    println!("try    : curl http://{}/collections (Ctrl-C to stop)", server.rest_addr());
+    loop {
+        std::thread::park();
+    }
 }
 
 /// Run a short demo workload on an in-process cluster with the flight

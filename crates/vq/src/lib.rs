@@ -43,8 +43,9 @@
 //! | [`vq_index`] | HNSW / flat / IVF / PQ indexes |
 //! | [`vq_storage`] | segment stores, WAL, snapshots |
 //! | [`vq_collection`] | segments + optimizer = one shard's state |
-//! | [`vq_net`] | network cost model + in-process transport |
+//! | [`vq_net`] | network cost model, in-process + TCP transports, wire codec |
 //! | [`vq_cluster`] | workers, placement, broadcast–reduce |
+//! | [`vq_server`] | Qdrant-compatible REST + binary protocol serving |
 //! | [`vq_client`] | live drivers + calibrated client simulations |
 //! | [`vq_hpc`] | virtual time, DES engine, CPU/GPU/queue models |
 //! | [`vq_obs`] | metrics registry, phase spans, flight recorder |
@@ -62,6 +63,7 @@ pub use vq_hpc;
 pub use vq_index;
 pub use vq_net;
 pub use vq_obs;
+pub use vq_server;
 pub use vq_storage;
 pub use vq_workload;
 
@@ -87,6 +89,9 @@ pub mod prelude {
     pub use vq_index::{
         rerank, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex, IvfPqConfig, IvfPqIndex,
         PqCodec, PqConfig, RerankSource, SourceRerank, SqCodec, SqConfig,
+    };
+    pub use vq_server::{
+        BinClient, ClusterBackend, Registry, RestClient, ServerConfig, VqServer,
     };
     pub use vq_storage::{FullPrecisionTier, SharedTierBackend, TierBackend, TierConfig};
     pub use vq_workload::{

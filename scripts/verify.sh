@@ -44,6 +44,12 @@ cargo run --release -p vq-bench --bin repro -- live --check
 echo "==> repro chaos --check (kill/restart recovery soak)"
 cargo run --release -p vq-bench --bin repro -- chaos --check --scale 0.5
 
+echo "==> repro chaos --check --transport tcp (same soak, loopback TCP fabric)"
+cargo run --release -p vq-bench --bin repro -- chaos --check --scale 0.5 --transport tcp
+
+echo "==> repro protocol --check (REST vs binary serving ablation)"
+cargo run --release -p vq-bench --bin repro -- protocol --check
+
 echo "==> repro quantized --check (two-stage recall / residency gate)"
 cargo run --release -p vq-bench --bin repro -- quantized --check
 
