@@ -30,6 +30,11 @@
 //!   collection (PQ codes in RAM, full-precision vectors demand-paged)
 //!   and sweeps rerank depth; `--check` enforces the BENCH_PQ.json
 //!   acceptance floors — the CI quantized-smoke contract.
+//! * `paradox` (not part of `all`) sweeps workers × threads-per-worker
+//!   over real clusters (global rayon vs per-worker pools vs pinned
+//!   fair-share pools) and over the oversubscription-penalized virtual
+//!   node; `--check` enforces the BENCH_PARADOX.json gates — the CI
+//!   paradox-smoke contract.
 
 use serde::Serialize;
 use vq_bench::calib::Calibration;
@@ -109,7 +114,7 @@ fn main() {
     let known = [
         "table1", "table2", "fig2", "table3", "fig3", "fig4", "fig5", "ablation",
         "variability", "pipeline", "live", "ingest", "chaos", "quantized", "protocol",
-        "all",
+        "paradox", "all",
     ];
     if !known.contains(&which) {
         eprintln!("unknown experiment `{which}`; one of: {}", known.join(", "));
@@ -178,6 +183,14 @@ fn main() {
     // binary frames, REST JSON) return bit-identical results.
     if which == "protocol" {
         print_protocol(json, check, scale);
+    }
+    // Scaling-paradox sweep: opt-in only (spins up one real cluster per
+    // sweep point and arm); `--check` makes it the CI paradox-smoke
+    // contract — the worst oversubscribed configuration stops losing
+    // throughput once search runs on fair-share pinned pools, and no
+    // sweep point falls >10 % below the best smaller configuration.
+    if which == "paradox" {
+        print_paradox(json, check, scale);
     }
 }
 
@@ -2123,6 +2136,200 @@ fn print_quantized(json: bool, check: bool, scale: f64) {
                 (
                     "every sealed segment got quantized",
                     built >= 1 && stats.quantized_segments == built,
+                ),
+            ],
+        );
+    }
+}
+
+#[derive(Serialize)]
+struct ParadoxReport {
+    dim: usize,
+    points: u64,
+    queries: usize,
+    reps: usize,
+    detected_cores: usize,
+    live: Vec<vq_bench::paradox::LivePoint>,
+    virtual_cores: f64,
+    virtual_penalty: f64,
+    virtual_sweep: Vec<vq_bench::paradox::VirtualPoint>,
+    worst_total_threads: usize,
+    worst_global_qps: f64,
+    worst_partitioned_qps: f64,
+    worst_improvement: f64,
+    metrics: serde_json::Value,
+}
+
+/// Scaling-paradox sweep (opt-in; real clusters plus the deterministic
+/// virtual node). `--check` enforces the BENCH_PARADOX.json gates — the
+/// CI paradox-smoke contract.
+fn print_paradox(json: bool, check: bool, scale: f64) {
+    use vq_bench::paradox::{self, LiveScale};
+
+    section("Scaling paradox: workers x threads sweep, before/after the execution layer");
+    // Bursts must be long enough that best-of-reps is a real noise
+    // floor: at the full scale a burst is a few hundred queries (tens of
+    // milliseconds), not a scheduler-jitter-sized blip. The sweep itself
+    // visits the grid twice (see `live_sweep`), so each arm gets
+    // 2 passes x `reps` bursts.
+    let live_scale = LiveScale {
+        points: scaled(8_192, scale, 1_024),
+        dim: 32,
+        queries: scaled(384, scale, 48) as usize,
+        reps: 2,
+    };
+    let cores = vq_hpc::NodeTopology::detect().cores;
+    println!(
+        "{} points, dim {}, {} queries/burst, best of {} bursts, {} detected cores",
+        live_scale.points, live_scale.dim, live_scale.queries, live_scale.reps, cores
+    );
+
+    let live = paradox::live_sweep(&live_scale);
+    let mut t = TextTable::new([
+        "Workers", "Threads/worker", "Total", "global q/s", "colocated q/s",
+        "partitioned q/s", "Steals", "Pinned",
+    ]);
+    for p in &live {
+        t.row([
+            p.workers.to_string(),
+            format!("{} -> {}", p.threads_per_worker, p.partitioned_threads),
+            p.total_threads.to_string(),
+            format!("{:.0}", p.global_qps),
+            format!("{:.0}", p.colocated_qps),
+            format!("{:.0}", p.partitioned_qps),
+            p.pool_steals.to_string(),
+            p.pool_pinned.to_string(),
+        ]);
+    }
+    print!("{}", t.render());
+
+    let virtual_sweep = paradox::virtual_sweep();
+    let mut tv = TextTable::new([
+        "Workers", "Threads/worker", "Total", "before (rel)", "after (rel)",
+    ]);
+    for p in &virtual_sweep {
+        tv.row([
+            p.workers.to_string(),
+            p.threads_per_worker.to_string(),
+            p.total_threads.to_string(),
+            format!("{:.3}", p.before_throughput),
+            format!("{:.3}", p.after_throughput),
+        ]);
+    }
+    println!("\nvirtual node ({} cores, oversubscription penalty {}):",
+        paradox::VIRTUAL_CORES, paradox::VIRTUAL_PENALTY);
+    print!("{}", tv.render());
+
+    let worst = paradox::worst_point(&live).clone();
+    let improvement = worst.partitioned_qps / worst.global_qps.max(1e-9);
+    println!(
+        "worst oversubscribed point ({} workers x {} threads): {:.0} -> {:.0} q/s ({:.2}x vs global pool)",
+        worst.workers, worst.threads_per_worker, worst.global_qps,
+        worst.partitioned_qps, improvement
+    );
+
+    let out = ParadoxReport {
+        dim: live_scale.dim,
+        points: live_scale.points,
+        queries: live_scale.queries,
+        reps: live_scale.reps,
+        detected_cores: cores,
+        live: live.clone(),
+        virtual_cores: paradox::VIRTUAL_CORES,
+        virtual_penalty: paradox::VIRTUAL_PENALTY,
+        virtual_sweep: virtual_sweep.clone(),
+        worst_total_threads: worst.total_threads,
+        worst_global_qps: worst.global_qps,
+        worst_partitioned_qps: worst.partitioned_qps,
+        worst_improvement: improvement,
+        metrics: obs_metrics_json(),
+    };
+
+    // BENCH_PARADOX.json is the committed repo-root record of this sweep
+    // (same convention as BENCH_PQ.json / BENCH_NET.json).
+    let mut bench = serde_json::to_value(&out).expect("serializable");
+    if let Some(map) = bench.as_object_mut() {
+        map.insert(
+            "description".to_string(),
+            serde_json::to_value(
+                "repro paradox: workers x threads-per-worker sweep; global rayon pool vs \
+                 per-worker work-stealing pools (fair-share clamp + core affinity + \
+                 contention-spread placement), live cluster and oversubscription-penalized \
+                 virtual node",
+            )
+            .expect("string"),
+        );
+        map.remove("metrics");
+    }
+    if std::fs::write(
+        "BENCH_PARADOX.json",
+        serde_json::to_string_pretty(&bench).expect("render") + "\n",
+    )
+    .is_ok()
+    {
+        println!("wrote BENCH_PARADOX.json");
+    }
+    emit(json, "paradox", &out);
+
+    if check {
+        // Live gates carry generous tolerances (shared CI boxes, small
+        // smoke workloads); the deterministic virtual curves pin the
+        // exact before/after shape.
+        let worst_not_losing = worst.partitioned_qps >= worst.global_qps * 0.95;
+        let smaller = paradox::best_smaller(&live, |p| p.partitioned_qps);
+        let no_regression = smaller
+            .iter()
+            .all(|&(i, best)| live[i].partitioned_qps >= best * 0.90);
+        // Gate on `pool.injected` (caller-side, deterministic), not
+        // `pool.tasks`: the caller participates in fork–join and can
+        // legitimately drain a small scope before any pool thread wins
+        // a ticket.
+        let counters_recorded = !vq_obs::enabled()
+            || live.iter().all(|p| p.pool_injected > 0);
+
+        let v_worst = virtual_sweep
+            .iter()
+            .max_by_key(|p| p.total_threads)
+            .expect("virtual sweep non-empty");
+        let v_peak_before = virtual_sweep
+            .iter()
+            .map(|p| p.before_throughput)
+            .fold(0.0f64, f64::max);
+        let paradox_exists = v_worst.before_throughput < v_peak_before * 0.95;
+        let paradox_fixed = v_worst.after_throughput > v_worst.before_throughput * 1.05;
+        let after_monotone = virtual_sweep.iter().all(|p| {
+            virtual_sweep
+                .iter()
+                .filter(|q| q.total_threads < p.total_threads)
+                .all(|q| p.after_throughput >= q.after_throughput * 0.90)
+        });
+
+        enforce_shapes(
+            "paradox",
+            &[
+                (
+                    "live: worst oversubscribed point does not lose to the global-pool baseline",
+                    worst_not_losing,
+                ),
+                (
+                    "live: no partitioned point >10% below a smaller config at the same worker count",
+                    no_regression,
+                ),
+                (
+                    "live: pool dispatch/steal counters recorded on every sweep point",
+                    counters_recorded,
+                ),
+                (
+                    "virtual: unclamped arm exhibits the paradox (worst point below peak)",
+                    paradox_exists,
+                ),
+                (
+                    "virtual: fair-share clamp improves the worst oversubscribed point",
+                    paradox_fixed,
+                ),
+                (
+                    "virtual: clamped arm never >10% below any smaller configuration",
+                    after_monotone,
                 ),
             ],
         );

@@ -7,6 +7,9 @@
 //!   sentence it derives from, plus the experiment-scale facts (dataset
 //!   sizes, query counts, worker grids).
 //! * [`fig3`] — the index-build scaling model (Figure 3).
+//! * [`paradox`] — the scaling-paradox sweep: workers × threads on the
+//!   live cluster and the oversubscription-penalized virtual node
+//!   (`repro paradox`, BENCH_PARADOX.json).
 //! * [`table1`] — the feature-comparison matrix (Table 1).
 //! * [`report`] — plain-text table rendering and JSON result emission.
 //! * [`repro`] *(binary)* — `cargo run -p vq-bench --bin repro -- all`
@@ -20,6 +23,7 @@
 
 pub mod calib;
 pub mod fig3;
+pub mod paradox;
 pub mod report;
 pub mod table1;
 

@@ -49,6 +49,52 @@ impl Default for Deadlines {
     }
 }
 
+/// How worker-local search executes: the scaling-paradox control knob.
+#[derive(Debug, Clone, Default)]
+pub struct SearchExec {
+    /// Execution model for `Worker::local_search`.
+    pub mode: ExecMode,
+    /// Pool threads per worker. `None` = the worker's fair share of the
+    /// node (`cores / workers_per_node`, floored at 1), so co-located
+    /// workers never oversubscribe the machine by default.
+    pub threads_per_worker: Option<usize>,
+    /// Pin each worker's pool threads to a disjoint core slice of the
+    /// node ([`vq_hpc::NodeTopology::core_slices`]). Best-effort: on
+    /// platforms without `sched_setaffinity` the pools run unpinned.
+    pub pin_cores: bool,
+    /// Override the width pool scans size their chunks for. Normally
+    /// `None` (= the pool's real thread count); the paradox experiment's
+    /// "before" arm sets it to the node-wide thread total to reproduce
+    /// the legacy global-pool chunk mis-sizing on a narrow pool.
+    pub advertised_width: Option<usize>,
+    /// Use contention-aware shard placement
+    /// ([`Placement::contention_spread`]) instead of plain round-robin.
+    pub contention_spread: bool,
+}
+
+/// Which runtime executes a worker's search fan-out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// A dedicated per-worker work-stealing [`vq_core::ExecPool`]
+    /// (the default): queries dispatch to the owning worker's pool and
+    /// every nested scan sizes its chunks by that pool's width.
+    #[default]
+    PerWorkerPool,
+    /// The legacy model — every worker thread forks into the one global
+    /// rayon pool. Kept as the measurable baseline for `repro paradox`.
+    GlobalRayon,
+}
+
+impl SearchExec {
+    /// The legacy global-rayon configuration (paradox baseline).
+    pub fn global_rayon() -> Self {
+        SearchExec {
+            mode: ExecMode::GlobalRayon,
+            ..SearchExec::default()
+        }
+    }
+}
+
 /// How a cluster is laid out.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -69,6 +115,8 @@ pub struct ClusterConfig {
     pub durability: Durability,
     /// Seeded fault plan installed on the transport at start.
     pub faults: Option<FaultPlan>,
+    /// Search-execution model (per-worker pools by default).
+    pub exec: SearchExec,
 }
 
 impl ClusterConfig {
@@ -83,6 +131,7 @@ impl ClusterConfig {
             deadlines: Deadlines::default(),
             durability: Durability::Volatile,
             faults: None,
+            exec: SearchExec::default(),
         }
     }
 
@@ -120,6 +169,39 @@ impl ClusterConfig {
     pub fn faults(mut self, plan: FaultPlan) -> Self {
         self.faults = Some(plan);
         self
+    }
+
+    /// Builder-style setter for the search-execution model.
+    pub fn exec(mut self, exec: SearchExec) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// Resolve the execution context for worker `id` on this machine:
+    /// `None` for the global-rayon baseline; otherwise a dedicated
+    /// work-stealing pool sized to the worker's fair share of the node,
+    /// optionally pinned to its disjoint core slice.
+    pub(crate) fn build_exec_ctx(&self, id: WorkerId) -> vq_core::ExecCtx {
+        match self.exec.mode {
+            ExecMode::GlobalRayon => vq_core::ExecCtx::Ambient,
+            ExecMode::PerWorkerPool => {
+                let topo = vq_hpc::NodeTopology::detect();
+                let per_node = self.workers_per_node.max(1) as usize;
+                let threads = self
+                    .exec
+                    .threads_per_worker
+                    .unwrap_or_else(|| topo.fair_threads(per_node));
+                let mut pool = vq_core::PoolConfig::new(threads);
+                if let Some(w) = self.exec.advertised_width {
+                    pool = pool.advertised_width(w);
+                }
+                if self.exec.pin_cores {
+                    let slot = id as usize % per_node;
+                    pool = pool.pin_cores(topo.core_slices(per_node)[slot].clone());
+                }
+                vq_core::ExecCtx::pool(vq_core::ExecPool::new(pool))
+            }
+        }
     }
 }
 
@@ -175,11 +257,17 @@ impl<T: Transport<ClusterMsg>> Cluster<T> {
     ) -> VqResult<Arc<Self>> {
         let worker_ids: Vec<WorkerId> = (0..cluster_config.workers).collect();
         let shards = cluster_config.shards.unwrap_or(cluster_config.workers);
-        let placement = Arc::new(RwLock::new(Placement::round_robin(
-            shards,
-            &worker_ids,
-            cluster_config.replication,
-        )?));
+        let placement = if cluster_config.exec.contention_spread {
+            Placement::contention_spread(
+                shards,
+                &worker_ids,
+                cluster_config.replication,
+                cluster_config.workers_per_node,
+            )?
+        } else {
+            Placement::round_robin(shards, &worker_ids, cluster_config.replication)?
+        };
+        let placement = Arc::new(RwLock::new(placement));
         if let Some(plan) = cluster_config.faults.clone() {
             transport.install_faults(plan);
         }
@@ -196,6 +284,7 @@ impl<T: Transport<ClusterMsg>> Cluster<T> {
                     transport.clone(),
                     cluster_config.deadlines,
                     wal_store.clone(),
+                    cluster_config.build_exec_ctx(id),
                 )
             })
             .collect::<VqResult<Vec<_>>>()?;
@@ -355,6 +444,7 @@ impl<T: Transport<ClusterMsg>> Cluster<T> {
             self.transport.clone(),
             self.cluster_config.deadlines,
             self.wal_store.clone(),
+            self.cluster_config.build_exec_ctx(id),
         )?;
         self.workers.write().push(worker);
         self.dead.write().remove(&id);
@@ -448,6 +538,7 @@ impl<T: Transport<ClusterMsg>> Cluster<T> {
                     self.transport.clone(),
                     self.cluster_config.deadlines,
                     self.wal_store.clone(),
+                    self.cluster_config.build_exec_ctx(id),
                 )?);
             }
         }
@@ -1199,6 +1290,59 @@ mod tests {
         assert_eq!(ids(&deep), vec![42, 43, 41]);
         assert_eq!(ids(&exact), vec![42, 43, 41]);
         cluster.shutdown();
+    }
+
+    #[test]
+    fn pool_exec_matches_global_rayon_bitwise() {
+        // The per-worker-pool execution layer must be invisible in the
+        // results: same shards, same queries, bit-identical hits vs the
+        // legacy global-rayon path — with dispatch counters to show the
+        // pools actually ran.
+        let _recorder = vq_obs::install_default();
+        let points = line_points(400);
+        let pooled_exec = SearchExec {
+            threads_per_worker: Some(2),
+            pin_cores: true,
+            contention_spread: true,
+            ..SearchExec::default()
+        };
+        let pooled = Cluster::start(
+            ClusterConfig::new(4).shards(4).exec(pooled_exec),
+            small_collection(),
+        )
+        .unwrap();
+        let legacy = Cluster::start(
+            ClusterConfig::new(4).shards(4).exec(SearchExec::global_rayon()),
+            small_collection(),
+        )
+        .unwrap();
+        let mut pc = pooled.client();
+        let mut lc = legacy.client();
+        pc.upsert_batch(points.clone()).unwrap();
+        lc.upsert_batch(points).unwrap();
+        for probe in [0.3f32, 57.9, 199.2, 399.0] {
+            let q = SearchRequest::new(vec![probe, 0.0, 0.0, 0.0], 7);
+            let a = pc.search(q.clone()).unwrap();
+            let b = lc.search(q).unwrap();
+            assert_eq!(a.len(), 7, "probe {probe}");
+            assert_eq!(a, b, "probe {probe}");
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.score.to_bits(), y.score.to_bits(), "probe {probe}");
+            }
+        }
+        let snap = vq_obs::snapshot().expect("recorder installed");
+        // `pool.injected` is the caller-side dispatch counter and is
+        // deterministic; `pool.tasks` and `pool.steals` only count work
+        // pool threads won the race to run, so presence (possibly 0) is
+        // their contract.
+        assert!(
+            snap.counter("pool.injected") > 0,
+            "pool dispatch must be counted"
+        );
+        let _ = snap.counter("pool.tasks");
+        let _ = snap.counter("pool.steals");
+        pooled.shutdown();
+        legacy.shutdown();
     }
 
     #[test]

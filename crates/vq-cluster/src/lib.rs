@@ -30,7 +30,9 @@ pub mod placement;
 pub mod recovery;
 pub mod worker;
 
-pub use cluster::{Cluster, ClusterClient, ClusterConfig, Deadlines, SearchOutcome};
+pub use cluster::{
+    Cluster, ClusterClient, ClusterConfig, Deadlines, ExecMode, SearchExec, SearchOutcome,
+};
 pub use messages::{ClusterMsg, Request, Response, WorkerInfo};
 pub use placement::{Placement, ShardId, WorkerId};
 pub use recovery::{Durability, WalStore};

@@ -52,6 +52,35 @@ impl Placement {
         })
     }
 
+    /// Contention-aware placement: like [`Placement::round_robin`], but
+    /// the worker order is first interleaved across *nodes* (workers
+    /// `0..g` share node 0, `g..2g` node 1, … for `workers_per_node = g`,
+    /// matching the cluster's id → node mapping). Round-robin over raw
+    /// ids packs consecutive shards onto co-located workers, so a hot
+    /// shard range hammers one node's cores while others idle; the
+    /// interleave sends consecutive shards to *different nodes* first
+    /// and only then to a node's siblings, spreading correlated load
+    /// across the hardware instead of stacking it on the cores the
+    /// search pools were just pinned to.
+    pub fn contention_spread(
+        shard_count: u32,
+        workers: &[WorkerId],
+        replication: u32,
+        workers_per_node: u32,
+    ) -> VqResult<Self> {
+        let g = workers_per_node.max(1) as usize;
+        let nodes = workers.len().div_ceil(g);
+        let mut interleaved = Vec::with_capacity(workers.len());
+        for slot in 0..g {
+            for node in 0..nodes {
+                if let Some(&w) = workers.get(node * g + slot) {
+                    interleaved.push(w);
+                }
+            }
+        }
+        Self::round_robin(shard_count, &interleaved, replication)
+    }
+
     /// One shard per worker, unreplicated — the paper's deployment shape
     /// ("the data is partitioned across workers, with each worker
     /// responsible for approximately 80 GB/#Workers of data", §3.2).
@@ -198,6 +227,43 @@ mod tests {
         // Roughly uniform: every shard within 3x of the mean.
         for &c in &counts {
             assert!((300..3000).contains(&c), "skewed shard: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn contention_spread_alternates_nodes() {
+        // 4 workers, 2 per node: nodes are {0,1} and {2,3}. Consecutive
+        // shards must alternate nodes, not walk worker ids in order.
+        let p = Placement::contention_spread(4, &[0, 1, 2, 3], 1, 2).unwrap();
+        let nodes: Vec<u32> = (0..4)
+            .map(|s| p.primary_of(s).unwrap() / 2)
+            .collect();
+        assert_eq!(nodes, vec![0, 1, 0, 1]);
+        // Still perfectly balanced.
+        assert_eq!(p.imbalance(), 0);
+        for w in 0..4 {
+            assert_eq!(p.shards_of(w).len(), 1);
+        }
+    }
+
+    #[test]
+    fn contention_spread_keeps_replicas_distinct() {
+        let p = Placement::contention_spread(6, &[0, 1, 2, 3, 4, 5], 2, 2).unwrap();
+        for s in 0..6 {
+            let owners = p.owners_of(s).unwrap();
+            assert_eq!(owners.len(), 2);
+            assert_ne!(owners[0], owners[1]);
+        }
+        assert!(p.imbalance() <= 1);
+    }
+
+    #[test]
+    fn contention_spread_single_node_matches_round_robin() {
+        // With every worker on one node there is nothing to spread.
+        let a = Placement::contention_spread(8, &[0, 1, 2, 3], 1, 4).unwrap();
+        let b = Placement::round_robin(8, &[0, 1, 2, 3], 1).unwrap();
+        for s in 0..8 {
+            assert_eq!(a.primary_of(s).unwrap(), b.primary_of(s).unwrap());
         }
     }
 

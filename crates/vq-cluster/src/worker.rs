@@ -54,6 +54,10 @@ struct WorkerState<T: Transport<ClusterMsg>> {
     shards: RwLock<HashMap<ShardId, Arc<LocalCollection>>>,
     placement: Arc<RwLock<Placement>>,
     transport: T,
+    /// Where this worker's local searches execute: a dedicated
+    /// work-stealing pool (default), the ambient global rayon pool
+    /// (legacy baseline), or serial.
+    exec: vq_core::ExecCtx,
     /// In-flight outbound shard copies: internal tag → (requester,
     /// requester's tag). The install confirmation from the receiver is
     /// forwarded to the original requester.
@@ -123,7 +127,11 @@ impl<T: Transport<ClusterMsg>> Worker<T> {
     /// `placement`'s shards. With a durable `wal_store` each shard is
     /// *recovered* (snapshot restore + WAL replay through the normal
     /// apply path) rather than created empty, so respawning a killed id
-    /// brings its acknowledged writes back.
+    /// brings its acknowledged writes back. `exec` decides where the
+    /// worker's local searches run (see
+    /// [`crate::cluster::SearchExec`]); the cluster resolves it per
+    /// worker so co-located workers get disjoint pools.
+    #[allow(clippy::too_many_arguments)]
     pub fn spawn(
         id: WorkerId,
         node: u32,
@@ -132,6 +140,7 @@ impl<T: Transport<ClusterMsg>> Worker<T> {
         transport: T,
         deadlines: Deadlines,
         wal_store: Arc<WalStore>,
+        exec: vq_core::ExecCtx,
     ) -> VqResult<Self> {
         let endpoint = transport.register(id, node);
         let mut shards: HashMap<ShardId, Arc<LocalCollection>> = HashMap::new();
@@ -148,6 +157,7 @@ impl<T: Transport<ClusterMsg>> Worker<T> {
             shards: RwLock::new(shards),
             placement,
             transport,
+            exec,
             pending_transfers: parking_lot::Mutex::new(HashMap::new()),
             next_internal_tag: std::sync::atomic::AtomicU64::new(1),
             coordinator_tx: parking_lot::Mutex::new(Some(coord_tx)),
@@ -581,14 +591,33 @@ fn local_search<T: Transport<ClusterMsg>>(
     queries: &[SearchRequest],
 ) -> VqResult<Vec<Vec<ScoredPoint>>> {
     let shards: Vec<Arc<LocalCollection>> = state.shards.read().values().cloned().collect();
-    queries
-        .par_iter()
-        .map(|q| {
-            let per_shard: VqResult<Vec<Vec<ScoredPoint>>> =
-                shards.iter().map(|c| c.search(q)).collect();
-            Ok(merge_top_k(per_shard?, q.k))
-        })
-        .collect()
+    let run_query = |q: &SearchRequest| -> VqResult<Vec<ScoredPoint>> {
+        let per_shard: VqResult<Vec<Vec<ScoredPoint>>> = shards
+            .iter()
+            .map(|c| c.search_ctx(q, &state.exec))
+            .collect();
+        Ok(merge_top_k(per_shard?, q.k))
+    };
+    match &state.exec {
+        // Queries dispatch to this worker's own pool; nested scans
+        // underneath size their chunks by the same pool's width instead
+        // of the global rayon count.
+        vq_core::ExecCtx::Pool(pool) => {
+            let stamp = vq_obs::enabled().then(std::time::Instant::now);
+            let results = pool.scope_map(queries.len(), |i| run_query(&queries[i]));
+            if let Some(stamp) = stamp {
+                vq_obs::record_phase(
+                    "pool_dispatch",
+                    u64::from(state.id),
+                    stamp.elapsed().as_secs_f64(),
+                );
+            }
+            results.into_iter().collect()
+        }
+        // Legacy model: fork the batch into the one global rayon pool.
+        vq_core::ExecCtx::Ambient => queries.par_iter().map(run_query).collect(),
+        vq_core::ExecCtx::Serial => queries.iter().map(run_query).collect(),
+    }
 }
 
 /// The broadcast–reduce coordinator (§3.4): scatter `LocalSearchBatch` to

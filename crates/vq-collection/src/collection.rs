@@ -346,6 +346,24 @@ impl LocalCollection {
 
     /// Top-`k` search across all segments.
     pub fn search(&self, request: &SearchRequest) -> VqResult<Vec<ScoredPoint>> {
+        self.search_ctx(request, &vq_core::ExecCtx::Ambient)
+    }
+
+    /// Top-`k` search on an explicit execution context.
+    ///
+    /// On a [`vq_core::ExecPool`] context segments fan out as pool tasks
+    /// (the calling thread participates, so a single-segment collection
+    /// pays no dispatch) and the context reaches every segment's chunked
+    /// scans underneath. [`vq_core::ExecCtx::Ambient`] reproduces the
+    /// legacy behaviour: rayon across segments when more than two,
+    /// sequential otherwise. Results are bit-identical across contexts —
+    /// every path selects under [`ScoredPoint`]'s total order and merges
+    /// deterministically.
+    pub fn search_ctx(
+        &self,
+        request: &SearchRequest,
+        ctx: &vq_core::ExecCtx,
+    ) -> VqResult<Vec<ScoredPoint>> {
         if request.vector.len() != self.config.dim {
             return Err(VqError::DimensionMismatch {
                 expected: self.config.dim,
@@ -362,7 +380,7 @@ impl LocalCollection {
         let ef = request.ef.unwrap_or(self.config.ef_search);
         let inner = self.inner.read();
         let run = |seg: &Segment| {
-            seg.search_with_params(
+            seg.search_with_params_ctx(
                 &self.config,
                 &query,
                 request.k,
@@ -370,12 +388,17 @@ impl LocalCollection {
                 request.filter.as_ref(),
                 request.with_payload,
                 &request.params,
+                ctx,
             )
         };
-        let partials: Vec<Vec<ScoredPoint>> = if inner.segments.len() > 2 {
-            inner.segments.par_iter().map(run).collect()
-        } else {
-            inner.segments.iter().map(run).collect()
+        let partials: Vec<Vec<ScoredPoint>> = match ctx {
+            vq_core::ExecCtx::Pool(pool) if inner.segments.len() > 1 => {
+                pool.scope_map(inner.segments.len(), |i| run(&inner.segments[i]))
+            }
+            vq_core::ExecCtx::Ambient if inner.segments.len() > 2 => {
+                inner.segments.par_iter().map(run).collect()
+            }
+            _ => inner.segments.iter().map(run).collect(),
         };
         Ok(merge_top_k(partials, request.k))
     }

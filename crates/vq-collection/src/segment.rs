@@ -267,6 +267,37 @@ impl Segment {
         with_payload: bool,
         params: &SearchParams,
     ) -> Vec<ScoredPoint> {
+        self.search_with_params_ctx(
+            config,
+            query,
+            k,
+            ef,
+            filter,
+            with_payload,
+            params,
+            &vq_core::ExecCtx::Ambient,
+        )
+    }
+
+    /// [`Segment::search_with_params`] on an explicit execution context.
+    ///
+    /// The context reaches the chunked scans underneath — the PQ coarse
+    /// scan and the flat fallback — so their chunk sizing matches the
+    /// pool actually running the query instead of the global rayon
+    /// width. Graph (HNSW) and prefiltered scans are inherently
+    /// sequential per query and ignore it.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_with_params_ctx(
+        &self,
+        config: &CollectionConfig,
+        query: &[f32],
+        k: usize,
+        ef: usize,
+        filter: Option<&Filter>,
+        with_payload: bool,
+        params: &SearchParams,
+        ctx: &vq_core::ExecCtx,
+    ) -> Vec<ScoredPoint> {
         if self.store.total_offsets() == 0 || k == 0 {
             return Vec::new();
         }
@@ -322,9 +353,9 @@ impl Segment {
                     filter.is_none() && self.store.live_count() == self.store.total_offsets();
                 let stamp = vq_obs::enabled().then(std::time::Instant::now);
                 let coarse = if unfiltered {
-                    q.codec.search(query, depth, None, None)
+                    q.codec.search_ctx(query, depth, None, None, ctx)
                 } else {
-                    q.codec.search(query, depth, None, Some(&accept))
+                    q.codec.search_ctx(query, depth, None, Some(&accept), ctx)
                 };
                 if let Some(stamp) = stamp {
                     vq_obs::record_phase("coarse_scan", self.seq, stamp.elapsed().as_secs_f64());
@@ -342,11 +373,12 @@ impl Segment {
                 let ef = if filter.is_some() { ef.max(k * 4) } else { ef };
                 hnsw.search(self.store.arena(), query, k, ef, Some(&accept))
             }
-            (None, None) => FlatIndex::new(config.metric).search(
+            (None, None) => FlatIndex::new(config.metric).search_ctx(
                 self.store.arena(),
                 query,
                 k,
                 Some(&accept),
+                ctx,
             ),
         };
         hits.into_iter()

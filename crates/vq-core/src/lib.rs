@@ -25,6 +25,7 @@ pub mod distance;
 pub mod error;
 pub mod payload;
 pub mod point;
+pub mod pool;
 pub mod rng;
 pub mod simd;
 pub mod size;
@@ -36,6 +37,7 @@ pub use distance::{Distance, ScoreKind};
 pub use error::{VqError, VqResult};
 pub use payload::{Filter, Payload, PayloadValue};
 pub use point::{Point, PointId, ScoredPoint};
+pub use pool::{ExecCtx, ExecPool, PoolConfig};
 pub use rng::{seed_rng, splitmix64, DeterministicSeed};
 pub use size::{DataSize, VectorLayout};
 pub use topk::TopK;

@@ -35,6 +35,9 @@ struct Task {
 
 struct CpuState {
     cores: f64,
+    /// Throughput lost per unit of oversubscription (see
+    /// [`MalleableCpu::with_oversubscription`]). 0 = ideal sharing.
+    oversub_penalty: f64,
     tasks: BTreeMap<u64, Task>,
     next_id: u64,
     last_advance: SimTime,
@@ -57,10 +60,27 @@ impl MalleableCpu {
     /// A CPU with `cores` cores (fractional cores allowed: "effective"
     /// parallelism from calibration is rarely an integer).
     pub fn new(cores: f64) -> Self {
+        Self::with_oversubscription(cores, 0.0)
+    }
+
+    /// A CPU that *loses* throughput when the demanded parallelism
+    /// exceeds its cores — the mechanism behind the scaling paradox
+    /// ("When More Cores Hurts"): once every task's thread count is
+    /// summed past the physical core count, context switching, cache
+    /// thrash, and allocator contention make the node slower in
+    /// aggregate, not merely saturated.
+    ///
+    /// With demand `D = Σ max_parallelism` and `D > cores`, every rate is
+    /// scaled by `1 / (1 + penalty · (D − cores) / cores)`. `penalty = 0`
+    /// recovers ideal max-min sharing; the paradox sweep calibrates
+    /// around 0.3–0.5, which reproduces the measured degradation shape.
+    pub fn with_oversubscription(cores: f64, penalty: f64) -> Self {
         assert!(cores > 0.0, "need positive core count");
+        assert!(penalty >= 0.0, "penalty cannot be negative");
         MalleableCpu {
             state: Rc::new(RefCell::new(CpuState {
                 cores,
+                oversub_penalty: penalty,
                 tasks: BTreeMap::new(),
                 next_id: 0,
                 last_advance: SimTime::ZERO,
@@ -175,9 +195,17 @@ impl MalleableCpu {
                     }
                     unfrozen = still;
                 }
+                // Oversubscription tax: demanded parallelism beyond the
+                // physical cores slows *everything* down.
+                let demand: f64 = s.tasks.values().map(|t| t.max_parallelism).sum();
+                let efficiency = if s.oversub_penalty > 0.0 && demand > s.cores {
+                    1.0 / (1.0 + s.oversub_penalty * (demand - s.cores) / s.cores)
+                } else {
+                    1.0
+                };
                 let mut soonest: Option<f64> = None;
                 for (&id, task) in s.tasks.iter_mut() {
-                    task.rate = *rates.get(&id).unwrap_or(&0.0);
+                    task.rate = *rates.get(&id).unwrap_or(&0.0) * efficiency;
                     if task.rate > 0.0 {
                         let eta = task.remaining / task.rate;
                         soonest = Some(soonest.map_or(eta, |s: f64| s.min(eta)));
@@ -332,6 +360,42 @@ mod tests {
         cpu.submit(&mut e, 0.0, 4.0, move |_, t| d.borrow_mut().push((0, t)));
         e.run_until_idle();
         assert_eq!(finish_times(&done), vec![(0, 0.0)]);
+    }
+
+    #[test]
+    fn oversubscription_penalty_slows_the_node() {
+        // 8 tasks × 8-thread cap on 4 cores: demand 64 vs 4 cores.
+        // Ideal sharing finishes all at 8·10/4 = 20 s; with penalty 0.5
+        // efficiency = 1/(1+0.5·60/4) = 1/8.5 → 170 s.
+        for (penalty, want) in [(0.0, 20.0), (0.5, 170.0)] {
+            let mut e = Engine::new();
+            let cpu = MalleableCpu::with_oversubscription(4.0, penalty);
+            let done = Rc::new(RefCell::new(Vec::new()));
+            for i in 0..8u32 {
+                let d = done.clone();
+                cpu.submit(&mut e, 10.0, 8.0, move |_, t| d.borrow_mut().push((i, t)));
+            }
+            e.run_until_idle();
+            for (_, t) in finish_times(&done) {
+                assert!((t - want).abs() < 1e-6, "penalty {penalty}: got {t}, want {want}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_penalty_when_demand_fits() {
+        // Demand 4 on 4 cores: the penalty must not engage.
+        let mut e = Engine::new();
+        let cpu = MalleableCpu::with_oversubscription(4.0, 0.5);
+        let done = Rc::new(RefCell::new(Vec::new()));
+        for i in 0..2u32 {
+            let d = done.clone();
+            cpu.submit(&mut e, 10.0, 2.0, move |_, t| d.borrow_mut().push((i, t)));
+        }
+        e.run_until_idle();
+        for (_, t) in finish_times(&done) {
+            assert!((t - 5.0).abs() < 1e-6, "got {t}");
+        }
     }
 
     #[test]

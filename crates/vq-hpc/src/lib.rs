@@ -23,6 +23,8 @@
 //! * [`platform`] — the Polaris node/cluster spec plus calibrated service
 //!   -time parameters, each documented against the paper sentence it
 //!   derives from.
+//! * [`topology`] — physical core layout and the disjoint core-slice
+//!   partitioning policy behind worker-pool pinning.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -35,6 +37,7 @@ pub mod jobqueue;
 pub mod platform;
 pub mod server;
 pub mod time;
+pub mod topology;
 
 pub use clock::{timed, Clock, VirtualSource, WallSource};
 pub use cpu::{MalleableCpu, TaskHandle};
@@ -44,3 +47,4 @@ pub use jobqueue::{JobQueue, JobQueueConfig};
 pub use platform::{NodeSpec, PlatformSpec};
 pub use server::FifoServer;
 pub use time::{SimDuration, SimTime};
+pub use topology::NodeTopology;

@@ -1,0 +1,119 @@
+//! Physical node topology and core-partitioning policy.
+//!
+//! The placement half of the scaling-paradox fix: the pool layer in
+//! `vq-core` supplies the *mechanism* (pinning a thread to a core); this
+//! module supplies the *policy* — how many cores the node has and which
+//! disjoint slice each co-located worker should own. On Polaris the
+//! paper co-locates up to 4 Qdrant workers per 32-core node; giving each
+//! worker an exclusive 8-core slice is what keeps them from thrashing
+//! each other's caches once every worker's rayon pool believes it owns
+//! the whole node.
+
+use serde::{Deserialize, Serialize};
+
+/// The core layout of one node, as seen by the scheduling layer.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeTopology {
+    /// Schedulable cores (hardware threads) on this node.
+    pub cores: usize,
+}
+
+impl NodeTopology {
+    /// Topology with an explicit core count (virtual sweeps, tests).
+    pub fn with_cores(cores: usize) -> Self {
+        NodeTopology {
+            cores: cores.max(1),
+        }
+    }
+
+    /// Detect the current machine's topology. Falls back to 1 core when
+    /// the OS refuses to say.
+    pub fn detect() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1);
+        NodeTopology { cores }
+    }
+
+    /// Split the node into `workers` disjoint, contiguous core slices,
+    /// one per co-located worker. Sizes differ by at most one core and
+    /// every core is assigned. With more workers than cores, slices wrap
+    /// round-robin (each gets one core, shared across `workers / cores`
+    /// of them) — oversubscribed, but still spread as evenly as the
+    /// hardware allows.
+    pub fn core_slices(&self, workers: usize) -> Vec<Vec<usize>> {
+        let workers = workers.max(1);
+        let mut slices = vec![Vec::new(); workers];
+        if workers <= self.cores {
+            let base = self.cores / workers;
+            let extra = self.cores % workers;
+            let mut next = 0usize;
+            for (w, slice) in slices.iter_mut().enumerate() {
+                let take = base + usize::from(w < extra);
+                slice.extend(next..next + take);
+                next += take;
+            }
+        } else {
+            for (w, slice) in slices.iter_mut().enumerate() {
+                slice.push(w % self.cores);
+            }
+        }
+        slices
+    }
+
+    /// Threads one of `workers` co-located workers can use without
+    /// oversubscribing the node: its exclusive slice width.
+    pub fn fair_threads(&self, workers: usize) -> usize {
+        (self.cores / workers.max(1)).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detect_reports_at_least_one_core() {
+        assert!(NodeTopology::detect().cores >= 1);
+    }
+
+    #[test]
+    fn slices_are_disjoint_and_cover_the_node() {
+        let topo = NodeTopology::with_cores(32);
+        for workers in [1, 2, 3, 4, 5, 8, 32] {
+            let slices = topo.core_slices(workers);
+            assert_eq!(slices.len(), workers);
+            let mut seen = vec![false; 32];
+            for slice in &slices {
+                assert!(!slice.is_empty());
+                for &c in slice {
+                    assert!(!seen[c], "core {c} assigned twice ({workers} workers)");
+                    seen[c] = true;
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "all cores covered ({workers} workers)");
+            let (min, max) = slices
+                .iter()
+                .fold((usize::MAX, 0), |(lo, hi), s| (lo.min(s.len()), hi.max(s.len())));
+            assert!(max - min <= 1, "balanced within one core");
+        }
+    }
+
+    #[test]
+    fn more_workers_than_cores_wraps() {
+        let topo = NodeTopology::with_cores(2);
+        let slices = topo.core_slices(5);
+        assert_eq!(slices.len(), 5);
+        for (w, slice) in slices.iter().enumerate() {
+            assert_eq!(slice, &vec![w % 2]);
+        }
+    }
+
+    #[test]
+    fn fair_threads_floors_at_one() {
+        let topo = NodeTopology::with_cores(8);
+        assert_eq!(topo.fair_threads(1), 8);
+        assert_eq!(topo.fair_threads(4), 2);
+        assert_eq!(topo.fair_threads(16), 1);
+    }
+}

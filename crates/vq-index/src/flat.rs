@@ -15,7 +15,7 @@
 use crate::source::VectorSource;
 use crate::{OffsetFilter, OffsetHit};
 use rayon::prelude::*;
-use vq_core::{Distance, ScoredPoint, TopK};
+use vq_core::{Distance, ExecCtx, ScoredPoint, TopK};
 
 /// Minimum number of vectors before a scan bothers with rayon; below this
 /// the spawn overhead exceeds the scan cost.
@@ -39,6 +39,9 @@ impl FlatIndex {
     }
 
     /// Exact top-`k` search over `source`, optionally filtered.
+    ///
+    /// Legacy entry point: scans on the ambient (global rayon) runtime.
+    /// Equivalent to `search_ctx(..., &ExecCtx::Ambient)`.
     pub fn search<S: VectorSource>(
         &self,
         source: &S,
@@ -46,38 +49,63 @@ impl FlatIndex {
         k: usize,
         filter: Option<OffsetFilter<'_>>,
     ) -> Vec<OffsetHit> {
+        self.search_ctx(source, query, k, filter, &ExecCtx::Ambient)
+    }
+
+    /// Exact top-`k` search on an explicit execution context.
+    ///
+    /// Chunk sizing uses the *context's* width — a scan dispatched onto a
+    /// 2-thread shard pool cuts the data in 2, not in
+    /// `rayon::current_num_threads()` pieces. (The latter reports the
+    /// global pool even from inside a nested worker task, which is the
+    /// mis-sizing this parameter exists to fix.) Results are
+    /// bit-identical across contexts and chunk widths: every chunk keeps
+    /// a total-order [`TopK`] and the final `merge_top_k` breaks score
+    /// ties by id.
+    pub fn search_ctx<S: VectorSource>(
+        &self,
+        source: &S,
+        query: &[f32],
+        k: usize,
+        filter: Option<OffsetFilter<'_>>,
+        ctx: &ExecCtx,
+    ) -> Vec<OffsetHit> {
         let n = source.len();
         if n == 0 || k == 0 {
             return Vec::new();
         }
         debug_assert_eq!(query.len(), source.dim());
-        if n < PARALLEL_THRESHOLD {
-            self.scan_range(source, query, k, filter, 0, n)
-        } else {
-            // Chunked parallel scan; each chunk keeps its own top-k, the
-            // partials are merged at the end.
-            let chunk = n.div_ceil(rayon::current_num_threads().max(1));
-            let partials: Vec<Vec<OffsetHit>> = (0..n)
-                .into_par_iter()
-                .step_by(chunk)
-                .map(|start| {
-                    let end = (start + chunk).min(n);
-                    self.scan_range(source, query, k, filter, start, end)
-                })
-                .collect();
-            let lists: Vec<Vec<ScoredPoint>> = partials
-                .into_iter()
-                .map(|hits| {
-                    hits.into_iter()
-                        .map(|(o, s)| ScoredPoint::new(o as u64, s))
-                        .collect()
-                })
-                .collect();
-            vq_core::point::merge_top_k(lists, k)
-                .into_iter()
-                .map(|p| (p.id as u32, p.score))
-                .collect()
+        let width = ctx
+            .width_hint()
+            .unwrap_or_else(|| rayon::current_num_threads())
+            .max(1);
+        if n < PARALLEL_THRESHOLD || width == 1 {
+            return self.scan_range(source, query, k, filter, 0, n);
         }
+        // Chunked parallel scan; each chunk keeps its own top-k, the
+        // partials are merged at the end.
+        let chunk = n.div_ceil(width);
+        let starts: Vec<usize> = (0..n).step_by(chunk).collect();
+        let scan = |start: usize| {
+            let end = (start + chunk).min(n);
+            self.scan_range(source, query, k, filter, start, end)
+        };
+        let partials: Vec<Vec<OffsetHit>> = match ctx {
+            ExecCtx::Pool(pool) => pool.scope_map(starts.len(), |i| scan(starts[i])),
+            _ => starts.par_iter().map(|&start| scan(start)).collect(),
+        };
+        let lists: Vec<Vec<ScoredPoint>> = partials
+            .into_iter()
+            .map(|hits| {
+                hits.into_iter()
+                    .map(|(o, s)| ScoredPoint::new(o as u64, s))
+                    .collect()
+            })
+            .collect();
+        vq_core::point::merge_top_k(lists, k)
+            .into_iter()
+            .map(|p| (p.id as u32, p.score))
+            .collect()
     }
 
     /// Number of distance computations an unfiltered scan performs

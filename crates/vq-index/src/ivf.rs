@@ -14,7 +14,7 @@ use crate::{OffsetFilter, OffsetHit};
 use rand::Rng;
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
-use vq_core::{seed_rng, Distance, ScoredPoint, TopK};
+use vq_core::{seed_rng, Distance, ExecCtx, ScoredPoint, TopK};
 
 /// IVF parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -30,6 +30,10 @@ pub struct IvfConfig {
     /// Seed for k-means++ initialization.
     pub seed: u64,
 }
+
+/// Minimum total probed members before a pool-context probe scan forks
+/// one task per list; below this the fork overhead exceeds the scan.
+const PROBE_PARALLEL_THRESHOLD: usize = 2048;
 
 impl Default for IvfConfig {
     fn default() -> Self {
@@ -145,33 +149,83 @@ impl IvfIndex {
         nprobe: Option<usize>,
         filter: Option<OffsetFilter<'_>>,
     ) -> Vec<OffsetHit> {
+        self.search_ctx(source, query, k, nprobe, filter, &ExecCtx::Serial)
+    }
+
+    /// Top-`k` search on an explicit execution context.
+    ///
+    /// A probe scan is sequential by default (the legacy behaviour —
+    /// list members are scattered, and one query's probes rarely justify
+    /// a fork). On a [`vq_core::ExecPool`] context with enough probed
+    /// members, each probed list is scanned as its own task with a
+    /// private [`TopK`] and the partials merge deterministically — the
+    /// result is bit-identical to the sequential scan because both
+    /// select under the same total order.
+    pub fn search_ctx<S: VectorSource>(
+        &self,
+        source: &S,
+        query: &[f32],
+        k: usize,
+        nprobe: Option<usize>,
+        filter: Option<OffsetFilter<'_>>,
+        ctx: &ExecCtx,
+    ) -> Vec<OffsetHit> {
         if self.centroids.is_empty() || k == 0 {
             return Vec::new();
         }
         let nprobe = nprobe.unwrap_or(self.config.nprobe).max(1);
         let probed = self.nearest_lists(query, nprobe);
+        if let ExecCtx::Pool(pool) = ctx {
+            let members: usize = probed
+                .iter()
+                .map(|&c| self.lists[c as usize].len())
+                .sum();
+            if pool.width() > 1 && probed.len() > 1 && members >= PROBE_PARALLEL_THRESHOLD {
+                let partials = pool.scope_map(probed.len(), |i| {
+                    let mut top = TopK::new(k);
+                    self.scan_list(source, query, probed[i], filter, &mut top);
+                    top.into_sorted()
+                });
+                return vq_core::point::merge_top_k(partials, k)
+                    .into_iter()
+                    .map(|p| (p.id as u32, p.score))
+                    .collect();
+            }
+        }
         let mut top = TopK::new(k);
         for c in probed {
-            let list = &self.lists[c as usize];
-            for (i, &o) in list.iter().enumerate() {
-                // List members are scattered offsets: prefetch the next
-                // one's vector while the kernel scores this one.
-                if let Some(&next) = list.get(i + 1) {
-                    vq_core::simd::prefetch_read(source.vector(next).as_ptr() as *const u8);
-                }
-                if let Some(f) = filter {
-                    if !f(o) {
-                        continue;
-                    }
-                }
-                let score = self.metric.score(query, source.vector(o));
-                top.offer(ScoredPoint::new(o as u64, score));
-            }
+            self.scan_list(source, query, c, filter, &mut top);
         }
         top.into_sorted()
             .into_iter()
             .map(|p| (p.id as u32, p.score))
             .collect()
+    }
+
+    /// Score every member of list `c` into `top`.
+    fn scan_list<S: VectorSource>(
+        &self,
+        source: &S,
+        query: &[f32],
+        c: u32,
+        filter: Option<OffsetFilter<'_>>,
+        top: &mut TopK,
+    ) {
+        let list = &self.lists[c as usize];
+        for (i, &o) in list.iter().enumerate() {
+            // List members are scattered offsets: prefetch the next
+            // one's vector while the kernel scores this one.
+            if let Some(&next) = list.get(i + 1) {
+                vq_core::simd::prefetch_read(source.vector(next).as_ptr() as *const u8);
+            }
+            if let Some(f) = filter {
+                if !f(o) {
+                    continue;
+                }
+            }
+            let score = self.metric.score(query, source.vector(o));
+            top.offer(ScoredPoint::new(o as u64, score));
+        }
     }
 
     /// The `nprobe` centroid ids nearest to `query`, best first.

@@ -24,7 +24,7 @@ use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use vq_core::simd::LutKind;
-use vq_core::{seed_rng, Distance, ScoredPoint, TopK};
+use vq_core::{seed_rng, Distance, ExecCtx, ScoredPoint, TopK};
 
 /// Rows scored per [`vq_core::simd::pq_score_block`] call: large enough
 /// to amortize dispatch, small enough that the score buffer stays in L1.
@@ -267,8 +267,59 @@ impl PqCodec {
         candidates: Option<&[u32]>,
         filter: Option<OffsetFilter<'_>>,
     ) -> Vec<OffsetHit> {
+        self.search_ctx(query, k, candidates, filter, &ExecCtx::Serial)
+    }
+
+    /// Approximate top-`k` on an explicit execution context.
+    ///
+    /// On a [`vq_core::ExecPool`] context a full-slab coarse scan splits
+    /// into row-range tasks (aligned to [`SCAN_BLOCK_ROWS`] so kernel
+    /// block shapes are unchanged), each with its own [`TopK`]; the LUT
+    /// is built once here and shared read-only. Per-row ADC scores do
+    /// not depend on chunking, and partials merge under the same total
+    /// order the sequential scan selects with, so results are
+    /// bit-identical to [`PqCodec::search`]. Candidate-subset scans stay
+    /// sequential (they are small by construction).
+    pub fn search_ctx(
+        &self,
+        query: &[f32],
+        k: usize,
+        candidates: Option<&[u32]>,
+        filter: Option<OffsetFilter<'_>>,
+        ctx: &ExecCtx,
+    ) -> Vec<OffsetHit> {
         if self.is_empty() || k == 0 {
             return Vec::new();
+        }
+        if let (ExecCtx::Pool(pool), None) = (ctx, candidates) {
+            let n = self.len();
+            let width = pool.advertised_width().max(1);
+            if width > 1 && n >= 2 * SCAN_BLOCK_ROWS {
+                let mut lut = Vec::new();
+                self.adc_table_into(query, &mut lut);
+                // Chunks sized by the pool's width, rounded up to whole
+                // kernel blocks.
+                let rows = n
+                    .div_ceil(width)
+                    .div_ceil(SCAN_BLOCK_ROWS)
+                    .max(1)
+                    * SCAN_BLOCK_ROWS;
+                let starts: Vec<usize> = (0..n).step_by(rows).collect();
+                let partials = pool.scope_map(starts.len(), |i| {
+                    let start = starts[i];
+                    let end = (start + rows).min(n);
+                    let mut top = TopK::new(k);
+                    ADC_SCRATCH.with(|cell| {
+                        let AdcScratch { scores, .. } = &mut *cell.borrow_mut();
+                        self.scan_rows(&lut, scores, filter, &mut top, start, end);
+                    });
+                    top.into_sorted()
+                });
+                return vq_core::point::merge_top_k(partials, k)
+                    .into_iter()
+                    .map(|p| (p.id as u32, p.score))
+                    .collect();
+            }
         }
         ADC_SCRATCH.with(|cell| {
             let AdcScratch { lut, scores, codes } = &mut *cell.borrow_mut();
@@ -313,10 +364,24 @@ impl PqCodec {
         filter: Option<OffsetFilter<'_>>,
         top: &mut TopK,
     ) {
+        self.scan_rows(lut, scores, filter, top, 0, self.len());
+    }
+
+    /// Blocked scan of rows `start..end` of the code slab — the
+    /// unit of work a pool-context scan forks per chunk.
+    fn scan_rows(
+        &self,
+        lut: &[f32],
+        scores: &mut Vec<f32>,
+        filter: Option<OffsetFilter<'_>>,
+        top: &mut TopK,
+        start: usize,
+        end: usize,
+    ) {
         let m = self.config.m;
         let ks = self.config.ks;
-        let n = self.len();
-        let mut start = 0usize;
+        let n = end;
+        let mut start = start;
         while start < n {
             let rows = SCAN_BLOCK_ROWS.min(n - start);
             scores.clear();
@@ -395,7 +460,22 @@ impl PqCodec {
         rerank_depth: usize,
         filter: Option<OffsetFilter<'_>>,
     ) -> Vec<OffsetHit> {
-        let coarse = self.search(query, rerank_depth.max(k), None, filter);
+        self.search_rerank_ctx(full, query, k, rerank_depth, filter, &ExecCtx::Serial)
+    }
+
+    /// [`PqCodec::search_rerank`] with the coarse scan dispatched on an
+    /// explicit execution context (the rerank stage is already bounded
+    /// by `rerank_depth` and stays sequential).
+    pub fn search_rerank_ctx<R: RerankSource + ?Sized>(
+        &self,
+        full: &R,
+        query: &[f32],
+        k: usize,
+        rerank_depth: usize,
+        filter: Option<OffsetFilter<'_>>,
+        ctx: &ExecCtx,
+    ) -> Vec<OffsetHit> {
+        let coarse = self.search_ctx(query, rerank_depth.max(k), None, filter, ctx);
         rerank(full, self.metric, query, &coarse, k)
     }
 

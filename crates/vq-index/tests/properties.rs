@@ -1,12 +1,48 @@
 //! Property-based tests for the index family: structural invariants on
-//! arbitrary data, agreement with the exact reference, codec totality.
+//! arbitrary data, agreement with the exact reference, codec totality,
+//! and execution-context equivalence (pool scans bit-identical to the
+//! serial and ambient-rayon paths at any width).
 
 use proptest::prelude::*;
-use vq_core::Distance;
+use vq_core::{Distance, ExecCtx, ExecPool, PoolConfig};
 use vq_index::{
     recall_at_k, DenseVectors, FlatIndex, HnswConfig, HnswIndex, IvfConfig, IvfIndex,
     PqCodec, PqConfig, SourceRerank, VectorSource,
 };
+
+/// Deterministic tie-heavy dataset: values quantized to half-integer
+/// steps so many vectors score identically and the merge's id tie-break
+/// is actually exercised. An LCG keeps generation cheap enough for
+/// sizes above the parallel-scan thresholds.
+fn tie_heavy_source(n: usize, dim: usize, seed: u64) -> DenseVectors {
+    let mut s = DenseVectors::new(dim);
+    let mut state = seed | 1;
+    let mut v = vec![0.0f32; dim];
+    for _ in 0..n {
+        for x in v.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            // 8 distinct values per coordinate → plenty of exact ties.
+            *x = ((state >> 33) % 8) as f32 * 0.5 - 2.0;
+        }
+        s.push(&v);
+    }
+    s
+}
+
+/// Assert two hit lists are bit-identical: same offsets in the same
+/// order, and scores equal to the bit.
+fn assert_bit_identical(got: &[(u32, f32)], want: &[(u32, f32)], label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: lengths diverged");
+    for (g, w) in got.iter().zip(want) {
+        assert_eq!(g.0, w.0, "{label}: offsets diverged");
+        assert_eq!(
+            g.1.to_bits(),
+            w.1.to_bits(),
+            "{label}: score bits diverged at offset {}",
+            g.0
+        );
+    }
+}
 
 fn arb_source(dim: usize, max_n: usize) -> impl Strategy<Value = DenseVectors> {
     prop::collection::vec(
@@ -209,5 +245,100 @@ proptest! {
         let idx = HnswIndex::build(&s, Distance::Euclid, HnswConfig::default().seed(6));
         let hnsw_hits = idx.search(&s, &q, 10, 64, Some(&pass));
         prop_assert!(hnsw_hits.iter().all(|&(o, _)| pass(o)));
+    }
+}
+
+// Execution-context equivalence: the per-shard pool path must return
+// results bit-identical (offsets, order, score bits) to the legacy
+// serial and ambient-rayon paths, at every pool width and under
+// advertised-width overrides — the invariant the paradox experiment's
+// before/after comparison rests on. Datasets sit above the
+// parallel-scan thresholds so the pool paths genuinely fork, and are
+// tie-heavy so the id tie-break carries real weight. Both kernel
+// dispatch tiers are covered: CI runs this suite again under
+// `VQ_FORCE_SCALAR=1`.
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn flat_pool_path_bit_identical(
+        seed in any::<u64>(),
+        width in 2usize..6,
+        k in 1usize..48
+    ) {
+        // Above flat's PARALLEL_THRESHOLD (4096) so the scan chunks.
+        let s = tie_heavy_source(4100 + (seed % 257) as usize, 8, seed);
+        let q: Vec<f32> = (0..8).map(|i| (i as f32 * 0.25) - 1.0).collect();
+        let flat = FlatIndex::new(Distance::Euclid);
+        let want = flat.search_ctx(&s, &q, k, None, &ExecCtx::Serial);
+        let ambient = flat.search(&s, &q, k, None);
+        assert_bit_identical(&ambient, &want, "flat ambient-rayon vs serial");
+        let pool = ExecPool::new(PoolConfig::new(width));
+        let got = flat.search_ctx(&s, &q, k, None, &ExecCtx::pool(pool.clone()));
+        assert_bit_identical(&got, &want, "flat pool vs serial");
+        // Mis-advertised width changes chunk sizing, never results.
+        let wide = ExecPool::new(PoolConfig::new(width).advertised_width(width * 4));
+        let got = flat.search_ctx(&s, &q, k, None, &ExecCtx::pool(wide.clone()));
+        assert_bit_identical(&got, &want, "flat over-advertised pool vs serial");
+        // Filtered scans chunk the same way.
+        let pass = |o: u32| o % 3 != 1;
+        let want = flat.search_ctx(&s, &q, k, Some(&pass), &ExecCtx::Serial);
+        let got = flat.search_ctx(&s, &q, k, Some(&pass), &ExecCtx::pool(pool.clone()));
+        assert_bit_identical(&got, &want, "flat filtered pool vs serial");
+        pool.shutdown();
+        wide.shutdown();
+    }
+
+    #[test]
+    fn ivf_pool_path_bit_identical(
+        seed in any::<u64>(),
+        width in 2usize..6,
+        nlist in 4usize..10
+    ) {
+        // Probing every list keeps total members (4096+) above the
+        // probe-parallel threshold, so the pool path forks per list.
+        let s = tie_heavy_source(4096, 6, seed);
+        let q: Vec<f32> = (0..6).map(|i| (i as f32 * 0.5) - 1.5).collect();
+        let idx = IvfIndex::build(&s, Distance::Euclid, IvfConfig::with_nlist(nlist).seed(11));
+        let nl = idx.config().nlist;
+        let want = idx.search_ctx(&s, &q, 13, Some(nl), None, &ExecCtx::Serial);
+        let legacy = idx.search(&s, &q, 13, Some(nl), None);
+        assert_bit_identical(&legacy, &want, "ivf legacy vs serial ctx");
+        let pool = ExecPool::new(PoolConfig::new(width));
+        let got = idx.search_ctx(&s, &q, 13, Some(nl), None, &ExecCtx::pool(pool.clone()));
+        assert_bit_identical(&got, &want, "ivf pool vs serial");
+        let pass = |o: u32| o % 2 == 0;
+        let want = idx.search_ctx(&s, &q, 13, Some(nl), Some(&pass), &ExecCtx::Serial);
+        let got = idx.search_ctx(&s, &q, 13, Some(nl), Some(&pass), &ExecCtx::pool(pool.clone()));
+        assert_bit_identical(&got, &want, "ivf filtered pool vs serial");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn pq_pool_path_bit_identical(
+        seed in any::<u64>(),
+        width in 2usize..6,
+        k in 1usize..32
+    ) {
+        // Above 2 × SCAN_BLOCK_ROWS (1024) so the coarse scan chunks
+        // into whole kernel blocks.
+        let s = tie_heavy_source(1600 + (seed % 129) as usize, 8, seed);
+        let q: Vec<f32> = (0..8).map(|i| (i as f32 * 0.3) - 1.0).collect();
+        let pq = PqCodec::build(&s, Distance::Euclid, PqConfig::with_m(4).ks(16).seed(7));
+        let want = pq.search_ctx(&q, k, None, None, &ExecCtx::Serial);
+        let legacy = pq.search(&q, k, None, None);
+        assert_bit_identical(&legacy, &want, "pq legacy vs serial ctx");
+        let pool = ExecPool::new(PoolConfig::new(width));
+        let got = pq.search_ctx(&q, k, None, None, &ExecCtx::pool(pool.clone()));
+        assert_bit_identical(&got, &want, "pq pool vs serial");
+        let wide = ExecPool::new(PoolConfig::new(width).advertised_width(16));
+        let got = pq.search_ctx(&q, k, None, None, &ExecCtx::pool(wide.clone()));
+        assert_bit_identical(&got, &want, "pq over-advertised pool vs serial");
+        // Two-stage rerank on a pool context stays exact.
+        let want = pq.search_rerank_ctx(&SourceRerank(&s), &q, k, s.len(), None, &ExecCtx::Serial);
+        let got = pq.search_rerank_ctx(&SourceRerank(&s), &q, k, s.len(), None, &ExecCtx::pool(pool.clone()));
+        assert_bit_identical(&got, &want, "pq rerank pool vs serial");
+        pool.shutdown();
+        wide.shutdown();
     }
 }

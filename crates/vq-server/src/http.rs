@@ -1,16 +1,25 @@
 //! A hand-rolled HTTP/1.1 server: request-line + headers + Content-Length
-//! bodies, keep-alive, one thread per connection.
+//! bodies, keep-alive, connections served by a small *bounded* pool.
 //!
 //! Zero dependencies by design — the serving layer has to run on
 //! compute nodes where pulling an async stack is unwarranted for a
 //! fixed five-route API. Chunked transfer encoding is answered with
 //! `501 Not Implemented` rather than guessed at.
+//!
+//! Connections dispatch onto a [`vq_core::ExecPool`] (the same primitive
+//! backing the per-worker search pools) instead of spawning a thread
+//! each: a connection burst is bounded by the pool width plus its
+//! injection queue, so it cannot oversubscribe the cores the search
+//! pools were just pinned to. Overflow connections are answered `503`
+//! and closed, counted under `server.conns_rejected`; accepted
+//! connections are tracked by the `server.conns_active` gauge.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
+use vq_core::{ExecPool, PoolConfig};
 
 /// Largest accepted request body (64 MiB — a generous points batch).
 pub const MAX_BODY: usize = 64 << 20;
@@ -82,27 +91,63 @@ fn status_reason(status: u16) -> &'static str {
         413 => "Payload Too Large",
         500 => "Internal Server Error",
         501 => "Not Implemented",
+        503 => "Service Unavailable",
         _ => "Unknown",
     }
 }
 
-/// The server half: a bound listener plus the accept-loop thread handle.
+/// Sizing of the bounded connection pool.
+#[derive(Debug, Clone, Copy)]
+pub struct HttpConfig {
+    /// Connections served concurrently (pool threads).
+    pub conn_threads: usize,
+    /// Accepted-but-waiting connections; beyond this the server sheds
+    /// load with `503` instead of queueing without bound.
+    pub queue: usize,
+}
+
+impl Default for HttpConfig {
+    fn default() -> Self {
+        HttpConfig {
+            conn_threads: 8,
+            queue: 64,
+        }
+    }
+}
+
+/// The server half: a bound listener, the accept-loop thread handle,
+/// and the bounded connection pool.
 pub struct HttpServer {
     addr: std::net::SocketAddr,
     running: Arc<AtomicBool>,
     accept_thread: Option<std::thread::JoinHandle<()>>,
+    pool: Arc<ExecPool>,
 }
 
 type Handler = Arc<dyn Fn(&HttpRequest) -> HttpResponse + Send + Sync>;
 
 impl HttpServer {
     /// Bind `addr` (use port 0 for an ephemeral port) and serve
-    /// `handler` on every request until [`HttpServer::shutdown`].
+    /// `handler` on every request until [`HttpServer::shutdown`], with
+    /// the default pool sizing.
     pub fn serve(addr: &str, handler: Handler) -> std::io::Result<HttpServer> {
+        Self::serve_with(addr, handler, HttpConfig::default())
+    }
+
+    /// [`HttpServer::serve`] with explicit pool sizing.
+    pub fn serve_with(
+        addr: &str,
+        handler: Handler,
+        config: HttpConfig,
+    ) -> std::io::Result<HttpServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let running = Arc::new(AtomicBool::new(true));
+        let pool = ExecPool::new(
+            PoolConfig::new(config.conn_threads).queue_capacity(config.queue),
+        );
         let accept_running = running.clone();
+        let accept_pool = pool.clone();
         let accept_thread = std::thread::Builder::new()
             .name("vq-http-accept".into())
             .spawn(move || {
@@ -113,15 +158,31 @@ impl HttpServer {
                     let Ok(stream) = stream else { continue };
                     let handler = handler.clone();
                     let running = accept_running.clone();
-                    let _ = std::thread::Builder::new()
-                        .name("vq-http-conn".into())
-                        .spawn(move || serve_connection(stream, handler, running));
+                    // Keep a writer handle so an overflow connection can
+                    // be told why it is being dropped.
+                    let reject_writer = stream.try_clone().ok();
+                    let job = Box::new(move || serve_connection(stream, handler, running));
+                    if accept_pool.spawn(job).is_err() {
+                        vq_obs::count("server.conns_rejected", 1);
+                        if let Some(mut w) = reject_writer {
+                            let _ = write_response(
+                                &mut w,
+                                &HttpResponse::json(
+                                    503,
+                                    "{\"status\":{\"error\":\"Service Unavailable\"}}"
+                                        .to_string(),
+                                ),
+                                false,
+                            );
+                        }
+                    }
                 }
             })?;
         Ok(HttpServer {
             addr,
             running,
             accept_thread: Some(accept_thread),
+            pool,
         })
     }
 
@@ -130,9 +191,10 @@ impl HttpServer {
         self.addr
     }
 
-    /// Stop accepting connections and join the accept loop. In-flight
-    /// connection threads finish their current request and exit on the
-    /// next read.
+    /// Stop accepting connections and join the accept loop, then the
+    /// connection pool. In-flight connections finish their current
+    /// request and exit on the next read (bounded by the 500 ms read
+    /// timeout); queued connections that never started are dropped.
     pub fn shutdown(&mut self) {
         if self
             .running
@@ -146,6 +208,7 @@ impl HttpServer {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        self.pool.shutdown();
     }
 }
 
@@ -155,7 +218,24 @@ impl Drop for HttpServer {
     }
 }
 
+/// Decrements `server.conns_active` even when the handler panics.
+struct ActiveConnGuard;
+
+impl ActiveConnGuard {
+    fn enter() -> Self {
+        vq_obs::handle_gauge("server.conns_active").add(1);
+        ActiveConnGuard
+    }
+}
+
+impl Drop for ActiveConnGuard {
+    fn drop(&mut self) {
+        vq_obs::handle_gauge("server.conns_active").add(-1);
+    }
+}
+
 fn serve_connection(stream: TcpStream, handler: Handler, running: Arc<AtomicBool>) {
+    let _active = ActiveConnGuard::enter();
     // A read timeout bounds how long an idle keep-alive connection can
     // hold its thread after shutdown.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
@@ -451,6 +531,62 @@ mod tests {
         let mut server = echo_server();
         let out = raw_roundtrip(server.addr(), "NOT-HTTP\r\n\r\n");
         assert!(out.starts_with("HTTP/1.1 400"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn overflow_connections_are_shed_with_503() {
+        // A zero-depth queue can never enqueue, so every connection is
+        // deterministically shed — no timing games needed to fill it.
+        let mut server = HttpServer::serve_with(
+            "127.0.0.1:0",
+            Arc::new(|_req: &HttpRequest| HttpResponse::text(200, "ok".into())),
+            HttpConfig {
+                conn_threads: 1,
+                queue: 0,
+            },
+        )
+        .expect("bind");
+        let out = raw_roundtrip(server.addr(), "GET / HTTP/1.1\r\nHost: x\r\n\r\n");
+        assert!(out.starts_with("HTTP/1.1 503"), "{out}");
+        assert!(out.contains("Service Unavailable"), "{out}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn active_connections_are_gauged() {
+        let _recorder = vq_obs::install_default();
+        let mut server = echo_server();
+        let addr = server.addr();
+        // Retry with a fresh connection each round: a concurrent test may
+        // swap the global recorder between our guard's increment and the
+        // read, but a new connection re-enters under the current one.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        loop {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+            s.write_all(b"GET /g HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+            let mut got = Vec::new();
+            let mut buf = [0u8; 4096];
+            loop {
+                let n = s.read(&mut buf).expect("read");
+                got.extend_from_slice(&buf[..n]);
+                if let Some(pos) = find_body(&got) {
+                    if got.len() >= pos + content_length(&got).unwrap() {
+                        break;
+                    }
+                }
+            }
+            // Keep-alive: the connection is still held, so its guard is
+            // live and the gauge must show it.
+            if vq_obs::handle_gauge("server.conns_active").get() >= 1 {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "conns_active never observed >= 1"
+            );
+        }
         server.shutdown();
     }
 

@@ -53,4 +53,7 @@ cargo run --release -p vq-bench --bin repro -- protocol --check
 echo "==> repro quantized --check (two-stage recall / residency gate)"
 cargo run --release -p vq-bench --bin repro -- quantized --check
 
+echo "==> repro paradox --check (workers x threads oversubscription sweep)"
+cargo run --release -p vq-bench --bin repro -- paradox --check --scale 0.25
+
 echo "OK"
