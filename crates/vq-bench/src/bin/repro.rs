@@ -35,6 +35,11 @@
 //!   fair-share pools) and over the oversubscription-penalized virtual
 //!   node; `--check` enforces the BENCH_PARADOX.json gates — the CI
 //!   paradox-smoke contract.
+//! * `trace` (not part of `all`) traces real searches end to end —
+//!   direct over the fabric and through the REST edge with injected
+//!   `x-vq-trace-id`s — and attributes tail latency to phases; `--check`
+//!   requires a complete span tree per request on the chosen
+//!   `--transport` — the CI trace-smoke contract.
 
 use serde::Serialize;
 use vq_bench::calib::Calibration;
@@ -114,7 +119,7 @@ fn main() {
     let known = [
         "table1", "table2", "fig2", "table3", "fig3", "fig4", "fig5", "ablation",
         "variability", "pipeline", "live", "ingest", "chaos", "quantized", "protocol",
-        "paradox", "all",
+        "paradox", "trace", "all",
     ];
     if !known.contains(&which) {
         eprintln!("unknown experiment `{which}`; one of: {}", known.join(", "));
@@ -191,6 +196,15 @@ fn main() {
     // sweep point falls >10 % below the best smaller configuration.
     if which == "paradox" {
         print_paradox(json, check, scale);
+    }
+    // Distributed-tracing probe: opt-in only (real clusters plus a REST
+    // server on loopback); `--check` makes it the CI trace-smoke contract
+    // — every sampled search yields a complete, well-nested span tree
+    // with ids intact across the fabric and the REST edge, slow requests
+    // are always retained, the Chrome export is valid JSON, and the
+    // tail-latency attribution table lands in results/trace.json.
+    if which == "trace" {
+        print_trace(json, check, scale, tcp);
     }
 }
 
@@ -2330,6 +2344,379 @@ fn print_paradox(json: bool, check: bool, scale: f64) {
                 (
                     "virtual: clamped arm never >10% below any smaller configuration",
                     after_monotone,
+                ),
+            ],
+        );
+    }
+}
+
+#[derive(Serialize)]
+struct TracePhaseAttribution {
+    phase: String,
+    /// Mean self-time (span duration minus child durations) per trace
+    /// in the slowest decile, milliseconds.
+    tail_self_ms: f64,
+}
+
+#[derive(Serialize)]
+struct TraceArmOut {
+    /// `direct` (ClusterClient over the fabric) or `rest` (HTTP edge).
+    arm: String,
+    requests: u64,
+    kept: u64,
+    complete_trees: u64,
+    spans_per_trace: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    /// Which phase explains the tail: self-time breakdown of the
+    /// slowest-decile traces, largest first.
+    tail_attribution: Vec<TracePhaseAttribution>,
+}
+
+#[derive(Serialize)]
+struct TraceReport {
+    transport: String,
+    workers: u32,
+    shards: u32,
+    points: u64,
+    arms: Vec<TraceArmOut>,
+    /// Tail-only phase: requests retained with head sampling off.
+    tail_only_kept: u64,
+    tail_only_requests: u64,
+    slow_log_lines: u64,
+    chrome_events: u64,
+    chrome_valid: bool,
+}
+
+/// Structural completeness of one retained search trace: ids intact
+/// (every span carries the trace id, every parent resolves), the
+/// expected tree is present (coordinate under the root, queue-wait /
+/// search / gather children, one `shard_search` span per shard), and
+/// every span's interval nests inside the root's.
+fn trace_complete(t: &vq_obs::FinishedTrace, shards: u64, rest_edge: bool) -> bool {
+    let has = |n: &str| t.spans.iter().any(|s| s.name == n);
+    let shard_spans = t.spans.iter().filter(|s| s.name == "shard_search").count() as u64;
+    // `finish` pushes the root span last.
+    let Some(root) = t.spans.last().filter(|s| s.parent_id == 0) else {
+        return false;
+    };
+    let eps = 5e-3;
+    let nested = t.spans.iter().all(|s| {
+        s.at_secs >= root.at_secs - eps
+            && s.at_secs + s.dur_secs <= root.at_secs + root.dur_secs + eps
+    });
+    t.well_parented()
+        && t.spans.iter().all(|s| s.trace_id == t.trace_id)
+        && has("coordinate")
+        && has("gather")
+        && has("queue_wait")
+        && has("search")
+        && shard_spans == shards
+        && (!rest_edge || has("client_search"))
+        && nested
+}
+
+/// Self-time attribution over the slowest decile of `traces` — the
+/// answer to "which phase explains p99", largest share first.
+fn tail_attribution(traces: &[vq_obs::FinishedTrace]) -> Vec<TracePhaseAttribution> {
+    if traces.is_empty() {
+        return Vec::new();
+    }
+    let mut sorted: Vec<&vq_obs::FinishedTrace> = traces.iter().collect();
+    sorted.sort_by(|a, b| a.dur_secs.total_cmp(&b.dur_secs));
+    let take = (sorted.len() / 10).max(1);
+    let tail = &sorted[sorted.len() - take..];
+    let mut by: std::collections::HashMap<String, f64> = std::collections::HashMap::new();
+    for t in tail {
+        for (name, secs) in t.phase_self_secs() {
+            *by.entry(name).or_default() += secs;
+        }
+    }
+    let mut out: Vec<TracePhaseAttribution> = by
+        .into_iter()
+        .map(|(phase, secs)| TracePhaseAttribution {
+            phase,
+            tail_self_ms: secs * 1e3 / take as f64,
+        })
+        .collect();
+    out.sort_by(|a, b| b.tail_self_ms.total_cmp(&a.tail_self_ms));
+    out
+}
+
+fn percentile_ms(traces: &[vq_obs::FinishedTrace], p: f64) -> f64 {
+    if traces.is_empty() {
+        return 0.0;
+    }
+    let mut durs: Vec<f64> = traces.iter().map(|t| t.dur_secs * 1e3).collect();
+    durs.sort_by(|a, b| a.total_cmp(b));
+    let idx = ((durs.len() as f64 - 1.0) * p / 100.0).round() as usize;
+    durs[idx.min(durs.len() - 1)]
+}
+
+fn summarize_arm(
+    arm: &str,
+    requests: u64,
+    traces: &[vq_obs::FinishedTrace],
+    shards: u64,
+    rest_edge: bool,
+) -> TraceArmOut {
+    let complete = traces
+        .iter()
+        .filter(|t| trace_complete(t, shards, rest_edge))
+        .count() as u64;
+    let spans: usize = traces.iter().map(|t| t.spans.len()).sum();
+    TraceArmOut {
+        arm: arm.to_string(),
+        requests,
+        kept: traces.len() as u64,
+        complete_trees: complete,
+        spans_per_trace: spans as f64 / (traces.len().max(1)) as f64,
+        p50_ms: percentile_ms(traces, 50.0),
+        p99_ms: percentile_ms(traces, 99.0),
+        tail_attribution: tail_attribution(traces),
+    }
+}
+
+/// End-to-end distributed-tracing probe (opt-in; real cluster plus a
+/// loopback REST server). Three phases on one cluster:
+///
+/// 1. **direct** — head-sample every `ClusterClient` search and require
+///    a complete, well-nested tree per request: `client_search` root →
+///    `coordinate` child → `queue_wait`/`search`/`gather` phases and one
+///    `shard_search` span per shard, ids intact across the fabric.
+/// 2. **rest** — the same searches through the HTTP edge with an
+///    injected `x-vq-trace-id`; the server must echo the id and the
+///    whole tree must hang off the `rest_edge` root under that id.
+/// 3. **tail-keep** — head sampling off, zero threshold: every request
+///    must be retained as a tail exemplar with a slow-query log line.
+///
+/// `--check` enforces all of it plus a valid Chrome trace-event export
+/// and a non-empty tail-latency attribution (written to
+/// `results/trace.json`).
+fn print_trace(json: bool, check: bool, scale: f64, tcp: bool) {
+    use vq_cluster::{Cluster, ClusterConfig};
+    use vq_collection::CollectionConfig;
+    use vq_core::Distance;
+    use vq_net::TcpTransport;
+    use vq_workload::{DatasetSpec, EmbeddingModel};
+
+    section(&format!(
+        "Distributed tracing ({} fabric): span trees, id propagation, tail-keep, p99 attribution",
+        if tcp { "TCP" } else { "in-proc" }
+    ));
+    let workers = 2u32;
+    let shards = 4u32;
+    let dim = 16usize;
+    let n = scaled(2_000, scale, 400);
+    let corpus = CorpusSpec::small(n);
+    let model = EmbeddingModel::small(&corpus, dim);
+    let dataset = DatasetSpec::with_vectors(corpus, model, n);
+    let config = ClusterConfig::new(workers).shards(shards);
+    let collection = CollectionConfig::new(dim, Distance::Cosine).max_segment_points(512);
+    if tcp {
+        let cluster = Cluster::start_on(TcpTransport::new(), config, collection)
+            .expect("cluster start");
+        run_trace_probe(cluster, "tcp", &dataset, n, workers, shards, json, check);
+    } else {
+        let cluster = Cluster::start(config, collection).expect("cluster start");
+        run_trace_probe(cluster, "inproc", &dataset, n, workers, shards, json, check);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_trace_probe<T: vq_net::Transport<vq_cluster::ClusterMsg> + 'static>(
+    cluster: std::sync::Arc<vq_cluster::Cluster<T>>,
+    transport: &str,
+    dataset: &vq_workload::DatasetSpec,
+    n: u64,
+    workers: u32,
+    shards: u32,
+    json: bool,
+    check: bool,
+) {
+    use std::sync::Arc;
+    use vq_collection::SearchRequest;
+    use vq_server::{ClusterBackend, Registry, RestClient, ServerConfig, VqServer};
+
+    let queries = 32u64;
+    let head_config = vq_obs::TraceConfig {
+        sample_every: 1,
+        tail_threshold_secs: 0.050,
+        capacity: 512,
+    };
+
+    // Populate before tracing starts so only searches produce traces.
+    let mut client = cluster.client();
+    client
+        .upsert_batch(dataset.points_in(0..n))
+        .expect("populate");
+    let probe_at = |i: u64| dataset.point((i * 13) % n).vector;
+
+    // --- Arm 1: direct (ClusterClient over the fabric) -----------------
+    vq_obs::uninstall_tracer();
+    let tracer = vq_obs::install_tracer_with(head_config);
+    for i in 0..queries {
+        client
+            .search_batch_outcome(vec![SearchRequest::new(probe_at(i), 10)])
+            .expect("direct search");
+    }
+    let direct_traces: Vec<vq_obs::FinishedTrace> = tracer
+        .finished()
+        .into_iter()
+        .filter(|t| t.root_name == "client_search")
+        .collect();
+    let direct = summarize_arm("direct", queries, &direct_traces, u64::from(shards), false);
+
+    // --- Arm 2: REST edge (trace ids across HTTP) ----------------------
+    vq_obs::uninstall_tracer();
+    let tracer = vq_obs::install_tracer_with(head_config);
+    let registry = Arc::new(Registry::new());
+    registry.insert("bench", Arc::new(ClusterBackend::new(cluster.clone())));
+    let mut server = VqServer::serve(
+        registry,
+        &ServerConfig {
+            rest_addr: "127.0.0.1:0".to_string(),
+            bin_addr: None,
+        },
+    )
+    .expect("server start");
+    let mut rest = RestClient::connect(server.rest_addr()).expect("rest connect");
+    let mut injected: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut echoes_ok = true;
+    for i in 0..queries {
+        let want = 0x7ace_0000u64 + i + 1;
+        injected.insert(want);
+        let (hits, echoed) = rest
+            .search_traced("bench", &SearchRequest::new(probe_at(i), 10), Some(want))
+            .expect("rest search");
+        echoes_ok &= echoed == Some(want) && hits.len() == 10;
+    }
+    server.shutdown();
+    let rest_traces: Vec<vq_obs::FinishedTrace> = tracer
+        .finished()
+        .into_iter()
+        .filter(|t| t.root_name == "rest_edge")
+        .collect();
+    let ids_ok = rest_traces.len() as u64 == queries
+        && rest_traces.iter().all(|t| injected.contains(&t.trace_id));
+    let rest_arm = summarize_arm("rest", queries, &rest_traces, u64::from(shards), true);
+
+    // Chrome trace-event export, validated through a real JSON parser.
+    let chrome = tracer.to_chrome_json();
+    let chrome_events = serde_json::from_str::<serde_json::Value>(&chrome)
+        .ok()
+        .and_then(|v| v.get("traceEvents").and_then(|e| e.as_array()).map(Vec::len))
+        .unwrap_or(0) as u64;
+    let chrome_valid = chrome_events > 0;
+
+    // --- Phase 3: tail-keep (head sampling off) ------------------------
+    let tail_requests = 8u64;
+    vq_obs::uninstall_tracer();
+    let tracer = vq_obs::install_tracer_with(vq_obs::TraceConfig {
+        sample_every: 0,
+        tail_threshold_secs: 0.0,
+        capacity: 64,
+    });
+    for i in 0..tail_requests {
+        client
+            .search_batch_outcome(vec![SearchRequest::new(probe_at(i * 29 + 3), 10)])
+            .expect("tail search");
+    }
+    let tail_traces: Vec<vq_obs::FinishedTrace> = tracer
+        .finished()
+        .into_iter()
+        .filter(|t| t.root_name == "client_search")
+        .collect();
+    let tail_only_kept = tail_traces.len() as u64;
+    let tail_all_flagged = tail_traces.iter().all(|t| t.tail_kept && !t.sampled);
+    let slow_log_lines = tracer.slow_query_log().lines().count() as u64;
+    vq_obs::uninstall_tracer();
+    cluster.shutdown();
+
+    let out = TraceReport {
+        transport: transport.to_string(),
+        workers,
+        shards,
+        points: n,
+        arms: vec![direct, rest_arm],
+        tail_only_kept,
+        tail_only_requests: tail_requests,
+        slow_log_lines,
+        chrome_events,
+        chrome_valid,
+    };
+
+    let mut t = TextTable::new([
+        "Arm", "Requests", "Kept", "Complete trees", "Spans/trace", "p50 ms", "p99 ms",
+    ]);
+    for arm in &out.arms {
+        t.row([
+            arm.arm.clone(),
+            arm.requests.to_string(),
+            arm.kept.to_string(),
+            arm.complete_trees.to_string(),
+            format!("{:.1}", arm.spans_per_trace),
+            format!("{:.3}", arm.p50_ms),
+            format!("{:.3}", arm.p99_ms),
+        ]);
+    }
+    print!("{}", t.render());
+    let mut t = TextTable::new(["Phase (tail decile)", "Self ms/trace"]);
+    for a in &out.arms[0].tail_attribution {
+        t.row([a.phase.clone(), format!("{:.3}", a.tail_self_ms)]);
+    }
+    print!("{}", t.render());
+    println!(
+        "tail-only phase: {}/{} retained ({} slow-query log lines); Chrome export: {} events, valid JSON {}",
+        out.tail_only_kept, out.tail_only_requests, out.slow_log_lines, out.chrome_events, out.chrome_valid,
+    );
+    emit(
+        json,
+        if transport == "tcp" { "trace_tcp" } else { "trace" },
+        &out,
+    );
+
+    if check {
+        let direct_arm = &out.arms[0];
+        let rest_arm = &out.arms[1];
+        enforce_shapes(
+            "trace",
+            &[
+                (
+                    "head sampling at 1 keeps every direct search",
+                    direct_arm.kept == queries,
+                ),
+                (
+                    "every direct search yields a complete well-nested span tree",
+                    direct_arm.complete_trees == queries,
+                ),
+                (
+                    "every REST search yields a complete tree under the rest_edge root",
+                    rest_arm.complete_trees == queries,
+                ),
+                (
+                    "REST traces carry the injected trace ids end to end",
+                    ids_ok,
+                ),
+                (
+                    "server echoed every injected x-vq-trace-id",
+                    echoes_ok,
+                ),
+                (
+                    "tail-keep retains every request with head sampling off",
+                    tail_only_kept == tail_requests && tail_all_flagged,
+                ),
+                (
+                    "slow-query log has one line per tail-kept request",
+                    slow_log_lines == tail_requests,
+                ),
+                (
+                    "Chrome trace-event export is valid JSON with events",
+                    chrome_valid,
+                ),
+                (
+                    "tail attribution names at least one phase",
+                    !direct_arm.tail_attribution.is_empty(),
                 ),
             ],
         );

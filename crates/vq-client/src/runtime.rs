@@ -89,6 +89,14 @@ pub trait ClusterService: Sync {
     /// Open one lane's session. Wall-clock runtimes call this from the
     /// lane's own thread (a live session is a real client connection).
     fn open_lane(&self, lane: u32) -> Box<dyn LaneService + '_>;
+
+    /// The `(cpu_stage, rpc_stage)` span names a *virtual* run should
+    /// emit per batch so its trace trees are structurally comparable to
+    /// the live stack's (which records these inside `execute`). `None`
+    /// (the default) emits only the per-batch root span.
+    fn trace_stage_names(&self) -> Option<(&'static str, &'static str)> {
+        None
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -424,6 +432,19 @@ impl ClusterService for ModeledClusterService {
     fn open_lane(&self, _lane: u32) -> Box<dyn LaneService + '_> {
         Box::new(ModeledLane { service: self })
     }
+
+    fn trace_stage_names(&self) -> Option<(&'static str, &'static str)> {
+        // Mirror the span names LiveLane::execute records, per ingest
+        // path, so wall and virtual traces of the same plan have the
+        // same tree shape (pinned by tests/obs_equivalence.rs).
+        match &self.kind {
+            ModeledKind::Insert { ingest, .. } => Some(match ingest {
+                IngestPath::PerPoint => ("point_convert", "upsert_rpc"),
+                IngestPath::Block => ("block_convert", "upsert_rpc"),
+            }),
+            ModeledKind::Query { .. } => None,
+        }
+    }
 }
 
 struct ModeledLane<'a> {
@@ -529,7 +550,23 @@ impl Runtime for WallClock<'_> {
                                 );
                             }
                             let t0 = clock.stamp();
-                            match session.execute(mode, &batch) {
+                            // Each batch is one trace: the root spans the
+                            // whole execute(), and the scope makes every
+                            // phase inside (conversion, rpc, the cluster
+                            // fan-out via the envelope) its descendant.
+                            let root = vq_obs::trace_begin_root(None);
+                            let scope = root.map(vq_obs::TraceScope::enter);
+                            let executed = session.execute(mode, &batch);
+                            drop(scope);
+                            if let Some(root) = root {
+                                vq_obs::trace_finish(
+                                    &root,
+                                    "client_batch",
+                                    u64::from(batch.lane),
+                                    clock.secs_since(t0),
+                                );
+                            }
+                            match executed {
                                 Ok(reply) => {
                                     let call = clock.secs_since(t0);
                                     let mut ws = state.lock();
@@ -631,6 +668,7 @@ fn pump(
     run: &Rc<RefCell<VirtualRunState>>,
     worker: &FifoServer,
     clock: &VirtualSource,
+    stages: Option<(&'static str, &'static str)>,
 ) {
     loop {
         // Bind before matching: the scrutinee's RefMut would otherwise
@@ -663,6 +701,10 @@ fn pump(
         });
         let cost = lane.costs[index as usize];
         let batch_points = batch.end - batch.start;
+        // Each batch is one trace, begun at issue; the spans it records
+        // at completion are stamped with *sim* time via the `_at`
+        // discipline, so wall and virtual trees line up structurally.
+        let root = vq_obs::trace_begin_root(None);
         let lane2 = lane.clone();
         let run2 = run.clone();
         let worker2 = worker.clone();
@@ -692,13 +734,31 @@ fn pump(
                         lane3.state.borrow().outstanding() as i64,
                     );
                 }
+                if let Some(root) = root {
+                    let now = engine.now().as_secs_f64();
+                    let cpu = cost.client_cpu.as_secs_f64();
+                    if let Some((cpu_stage, rpc_stage)) = stages {
+                        // The CPU stage ran on the lane's event loop and
+                        // finished at t0; the service span is the rest.
+                        let t0_secs = t0.as_secs_f64();
+                        vq_obs::trace_leaf_at(&root, cpu_stage, lane_id, None, t0_secs - cpu, cpu);
+                        vq_obs::trace_leaf_at(&root, rpc_stage, lane_id, None, now - call, call);
+                    }
+                    vq_obs::trace_finish_at(
+                        &root,
+                        "client_batch",
+                        lane_id,
+                        now - call - cpu,
+                        call + cpu,
+                    );
+                }
                 {
                     let mut r = run3.borrow_mut();
                     r.done += 1;
                     r.call_time_sum += call;
                     r.call_secs.push(call);
                 }
-                pump(engine, &lane3, &run3, &worker3, &clock3);
+                pump(engine, &lane3, &run3, &worker3, &clock3, stages);
             };
             if cost.queued {
                 // The contacted worker's search path is serial: a batch
@@ -744,8 +804,9 @@ impl Runtime for VirtualClock<'_> {
                 })
             })
             .collect();
+        let stages = self.service.trace_stage_names();
         for lane in &lanes {
-            pump(&mut engine, lane, &run, &worker, &clock);
+            pump(&mut engine, lane, &run, &worker, &clock, stages);
         }
         let end: SimTime = engine.run_until_idle();
         clock.set(end);

@@ -18,6 +18,10 @@ use vq_core::Distance;
 use vq_obs::SpanEvent;
 use vq_workload::{CorpusSpec, DatasetSpec, EmbeddingModel};
 
+/// Serializes the tests in this binary: the recorder *and* the tracer
+/// are process-global, so concurrent installs would cross streams.
+static OBS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 fn dataset(n: u64) -> DatasetSpec {
     let corpus = CorpusSpec::small(10_000);
     let model = EmbeddingModel::small(&corpus, 16);
@@ -35,6 +39,7 @@ fn spans_per_lane(events: &[SpanEvent]) -> HashMap<u64, usize> {
 
 #[test]
 fn wall_and_virtual_runtimes_record_identical_client_metrics() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let d = dataset(611);
     let policy = PipelinePolicy::multi_process(2, 2);
     let plan = Plan::contiguous(d.len(), 32, policy.lanes);
@@ -93,4 +98,110 @@ fn wall_and_virtual_runtimes_record_identical_client_metrics() {
         .map(|l| (u64::from(l.lane), l.batch_count() as usize))
         .collect();
     assert_eq!(wall_spans, from_plan);
+}
+
+/// Client-side span names the two substrates both emit. The wall run
+/// additionally collects worker-side spans through the envelope (the
+/// virtual run models the cluster as a cost, not a participant), so the
+/// tree comparison filters to this set.
+const CLIENT_SPANS: [&str; 4] = ["client_batch", "point_convert", "block_convert", "upsert_rpc"];
+
+/// One trace reduced to a structural signature: `(name, parent-name)`
+/// for every client-side span, sorted. Timestamps, tags, and ids are
+/// substrate-specific; parent/child shape is not allowed to be.
+fn tree_signature(t: &vq_obs::FinishedTrace) -> Vec<(String, String)> {
+    let name_of: HashMap<u64, &str> = t
+        .spans
+        .iter()
+        .map(|s| (s.span_id, s.name.as_str()))
+        .collect();
+    let mut sig: Vec<(String, String)> = t
+        .spans
+        .iter()
+        .filter(|s| CLIENT_SPANS.contains(&s.name.as_str()))
+        .map(|s| {
+            let parent = if s.parent_id == 0 {
+                ""
+            } else {
+                name_of.get(&s.parent_id).copied().unwrap_or("?")
+            };
+            (s.name.clone(), parent.to_string())
+        })
+        .collect();
+    sig.sort();
+    sig
+}
+
+fn tree_signatures(traces: &[vq_obs::FinishedTrace]) -> Vec<Vec<(String, String)>> {
+    let mut sigs: Vec<Vec<(String, String)>> = traces
+        .iter()
+        .filter(|t| t.root_name == "client_batch")
+        .map(tree_signature)
+        .collect();
+    // Completion order is thread-scheduling (or event-queue) dependent;
+    // the comparison is over the multiset of trees.
+    sigs.sort();
+    sigs
+}
+
+/// The tentpole's cross-substrate guarantee, pinned at the *tree* level:
+/// one trace per batch, and every wall-clock trace has the exact same
+/// client-side span tree — names and parent links — as its virtual-time
+/// counterpart (`client_batch` root with `block_convert` and
+/// `upsert_rpc` children).
+#[test]
+fn wall_and_virtual_runtimes_emit_identical_span_trees() {
+    let _guard = OBS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let d = dataset(611);
+    let policy = PipelinePolicy::multi_process(2, 2);
+    let plan = Plan::contiguous(d.len(), 32, policy.lanes);
+    let trace_config = vq_obs::TraceConfig {
+        sample_every: 1,
+        // Head sampling keeps everything; keep tail-keep out of the
+        // comparison (wall durations are real, virtual ones are modeled).
+        tail_threshold_secs: f64::MAX,
+        capacity: 256,
+    };
+
+    // Wall side: a real cluster; spans come from real Instants.
+    let _recorder = vq_obs::install_default();
+    let tracer = vq_obs::install_tracer_with(trace_config);
+    let collection = CollectionConfig::new(16, Distance::Cosine).max_segment_points(256);
+    let cluster = Cluster::start(ClusterConfig::new(2), collection).unwrap();
+    let live = LiveClusterService::upload_blocks(&cluster, &d);
+    WallClock::new(&live)
+        .run(&plan, policy.window, PipelineMode::Upload)
+        .unwrap();
+    cluster.shutdown();
+    let wall_trees = tree_signatures(&tracer.finished());
+    vq_obs::uninstall_tracer();
+    vq_obs::uninstall();
+
+    // Virtual side: the DES engine; spans are stamped with sim time.
+    let _recorder = vq_obs::install_default();
+    let tracer = vq_obs::install_tracer_with(trace_config);
+    let model = InsertCostModel::default();
+    let modeled = ModeledClusterService::upload_blocks(&model, 2, policy.window);
+    VirtualClock::new(&modeled)
+        .run(&plan, policy.window, PipelineMode::Upload)
+        .unwrap();
+    let virt_trees = tree_signatures(&tracer.finished());
+    vq_obs::uninstall_tracer();
+    vq_obs::uninstall();
+
+    assert_eq!(
+        wall_trees.len(),
+        plan.total_batches() as usize,
+        "one retained trace per batch on the wall substrate"
+    );
+    assert_eq!(wall_trees, virt_trees, "client span trees must match");
+
+    // And the shape is the documented one, not accidentally-equal
+    // empties: a root plus both ingest stages as its children.
+    let expect: Vec<(String, String)> = vec![
+        ("block_convert".into(), "client_batch".into()),
+        ("client_batch".into(), "".into()),
+        ("upsert_rpc".into(), "client_batch".into()),
+    ];
+    assert_eq!(wall_trees[0], expect, "tree shape: root + two stage children");
 }

@@ -638,6 +638,9 @@ impl<T: Transport<ClusterMsg>> ClusterClient<T> {
         let msg = ClusterMsg::Request {
             reply_to: self.endpoint.id(),
             tag,
+            // The calling thread's trace context (if tracing) rides the
+            // envelope, so worker-side spans attach to this request.
+            trace: crate::messages::TraceContext::current(),
             body,
         };
         let bytes = msg.approx_wire_bytes();
@@ -803,6 +806,31 @@ impl<T: Transport<ClusterMsg>> ClusterClient<T> {
         &mut self,
         queries: Vec<SearchRequest>,
     ) -> VqResult<SearchOutcome> {
+        // When tracing, the whole search (retries included) is one
+        // "client_search" span: the root of the trace when this client
+        // is the entry point, a child when an edge (REST/bin server)
+        // already opened one. The scope makes the coordinator fan-out
+        // attach underneath via the request envelope.
+        let Some((ctx, is_root)) = vq_obs::trace_begin_here() else {
+            return self.search_batch_attempts(queries);
+        };
+        let scope = vq_obs::TraceScope::enter(ctx);
+        let t0 = Instant::now();
+        let result = self.search_batch_attempts(queries);
+        let dur = t0.elapsed().as_secs_f64();
+        drop(scope);
+        if is_root {
+            vq_obs::trace_finish(&ctx, "client_search", 0, dur);
+        } else {
+            vq_obs::trace_record(&ctx, "client_search", 0, dur);
+        }
+        result
+    }
+
+    fn search_batch_attempts(
+        &mut self,
+        queries: Vec<SearchRequest>,
+    ) -> VqResult<SearchOutcome> {
         // One conversion up front; retries bump a refcount instead of
         // deep-copying every query vector per attempt.
         let queries: Arc<[SearchRequest]> = queries.into();
@@ -933,6 +961,7 @@ impl<T: Transport<ClusterMsg>> ClusterClient<T> {
             let msg = ClusterMsg::Request {
                 reply_to: self.endpoint.id(),
                 tag,
+                trace: crate::messages::TraceContext::current(),
                 body: Request::BuildIndexes,
             };
             self.endpoint.send(worker, msg)?;
@@ -974,6 +1003,7 @@ impl<T: Transport<ClusterMsg>> ClusterClient<T> {
             let msg = ClusterMsg::Request {
                 reply_to: self.endpoint.id(),
                 tag,
+                trace: crate::messages::TraceContext::current(),
                 body: Request::Quantize,
             };
             self.endpoint.send(worker, msg)?;
@@ -1343,6 +1373,11 @@ mod tests {
         let _ = snap.counter("pool.steals");
         pooled.shutdown();
         legacy.shutdown();
+        // The recorder is process-global: leaving it installed makes every
+        // later cluster in this test binary register its WorkerInfo
+        // counters in the shared registry, so per-cluster traffic sums
+        // (`worker_info_reflects_traffic`) accumulate across tests.
+        vq_obs::uninstall();
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod worker;
 pub use cluster::{
     Cluster, ClusterClient, ClusterConfig, Deadlines, ExecMode, SearchExec, SearchOutcome,
 };
-pub use messages::{ClusterMsg, Request, Response, WorkerInfo};
+pub use messages::{ClusterMsg, Request, Response, TraceContext, WorkerInfo};
 pub use placement::{Placement, ShardId, WorkerId};
 pub use recovery::{Durability, WalStore};
 pub use worker::Worker;

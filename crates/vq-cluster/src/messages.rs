@@ -15,6 +15,44 @@ use vq_storage::SegmentSnapshot;
 /// — which there are none of; alias kept for protocol clarity).
 pub type WireSearch = SearchRequest;
 
+/// Trace context as it travels in the request envelope: the requester's
+/// trace id, its open span (the remote side parents onto it), and the
+/// head-sampling verdict. This is the serde-visible mirror of
+/// [`vq_obs::TraceContext`] — vq-obs stays dependency-free, so the wire
+/// shape lives here, next to the envelope that carries it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct TraceContext {
+    /// Trace (request) identity.
+    pub trace_id: u64,
+    /// The sender's open span — the receiver's spans become its children.
+    pub span_id: u64,
+    /// Head-sampling verdict made at the root.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// Capture the calling thread's current trace context for the wire,
+    /// if tracing is active.
+    pub fn current() -> Option<Self> {
+        vq_obs::trace_current().map(Self::from)
+    }
+
+    /// Reconstruct the in-process context on the receiving side.
+    pub fn to_obs(self) -> vq_obs::TraceContext {
+        vq_obs::TraceContext::remote(self.trace_id, self.span_id, self.sampled)
+    }
+}
+
+impl From<vq_obs::TraceContext> for TraceContext {
+    fn from(ctx: vq_obs::TraceContext) -> Self {
+        TraceContext {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            sampled: ctx.sampled,
+        }
+    }
+}
+
 /// Request bodies.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Request {
@@ -216,6 +254,11 @@ pub enum ClusterMsg {
         reply_to: u32,
         /// Correlation tag echoed in the response.
         tag: u64,
+        /// Distributed-trace context, when the requester is tracing.
+        /// `#[serde(default)]` keeps version-1 frames (which predate the
+        /// field) decodable: absent means untraced.
+        #[serde(default)]
+        trace: Option<TraceContext>,
         /// Body.
         body: Request,
     },
@@ -260,20 +303,27 @@ impl ClusterMsg {
                 .sum()
         }
         match self {
-            ClusterMsg::Request { body, .. } => match body {
-                Request::UpsertBatch { points, .. } => 64 + points_bytes(points),
-                Request::UpsertBlock { block, .. } => {
-                    64 + block.approx_bytes() as u64 + 8 * block.len() as u64
-                }
-                Request::SearchBatch { queries } | Request::LocalSearchBatch { queries } => {
-                    64 + queries
-                        .iter()
-                        .map(|q| 4 * q.vector.len() as u64 + 112)
-                        .sum::<u64>()
-                }
-                Request::InstallShard { segments, .. } => 64 + segments_bytes(segments),
-                _ => 64,
-            },
+            ClusterMsg::Request { body, trace, .. } => {
+                // The envelope's trace field: ~70 B encoded when present
+                // (three named scalar fields), ~11 B for the absent marker.
+                let trace_bytes: u64 = if trace.is_some() { 70 } else { 11 };
+                trace_bytes
+                    + match body {
+                        Request::UpsertBatch { points, .. } => 64 + points_bytes(points),
+                        Request::UpsertBlock { block, .. } => {
+                            64 + block.approx_bytes() as u64 + 8 * block.len() as u64
+                        }
+                        Request::SearchBatch { queries }
+                        | Request::LocalSearchBatch { queries } => {
+                            64 + queries
+                                .iter()
+                                .map(|q| 4 * q.vector.len() as u64 + 112)
+                                .sum::<u64>()
+                        }
+                        Request::InstallShard { segments, .. } => 64 + segments_bytes(segments),
+                        _ => 64,
+                    }
+            }
             ClusterMsg::Response { body, .. } => match body {
                 Response::Results { results: r, .. } | Response::Partials(r) => {
                     64 + results_bytes(r)
@@ -298,11 +348,13 @@ mod tests {
         let small = ClusterMsg::Request {
             reply_to: 0,
             tag: 0,
+            trace: None,
             body: Request::Ping,
         };
         let big = ClusterMsg::Request {
             reply_to: 0,
             tag: 0,
+            trace: None,
             body: Request::UpsertBatch {
                 shard: 0,
                 points: vec![Point::new(1, vec![0.0; 2560]); 8],
@@ -318,6 +370,7 @@ mod tests {
         let as_points = ClusterMsg::Request {
             reply_to: 0,
             tag: 0,
+            trace: None,
             body: Request::UpsertBatch {
                 shard: 0,
                 points: points.clone(),
@@ -326,6 +379,7 @@ mod tests {
         let as_block = ClusterMsg::Request {
             reply_to: 0,
             tag: 0,
+            trace: None,
             body: Request::UpsertBlock {
                 shard: 0,
                 block: Arc::new(PointBlock::from_points(&points).unwrap()),
@@ -345,6 +399,7 @@ mod tests {
         let one = ClusterMsg::Request {
             reply_to: 0,
             tag: 0,
+            trace: None,
             body: Request::SearchBatch {
                 queries: vec![SearchRequest::new(vec![0.0; 128], 10)].into(),
             },
@@ -352,6 +407,7 @@ mod tests {
         let four = ClusterMsg::Request {
             reply_to: 0,
             tag: 0,
+            trace: None,
             body: Request::SearchBatch {
                 queries: vec![SearchRequest::new(vec![0.0; 128], 10); 4].into(),
             },

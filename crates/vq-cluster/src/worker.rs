@@ -42,6 +42,10 @@ pub(crate) fn alloc_ephemeral_id() -> u32 {
 struct CoordJob {
     reply_to: u32,
     tag: u64,
+    /// Requester's trace context (from the envelope), if tracing.
+    trace: Option<crate::messages::TraceContext>,
+    /// When the serve loop enqueued the job — the `queue_wait` span.
+    enqueued: std::time::Instant,
     queries: Arc<[SearchRequest]>,
 }
 
@@ -171,7 +175,14 @@ impl<T: Transport<ClusterMsg>> Worker<T> {
                 .spawn(move || {
                     // Terminates when the serve loop drops the sender.
                     while let Ok(job) = rx.recv() {
-                        coordinate_search(&state, job.reply_to, job.tag, job.queries);
+                        coordinate_search(
+                            &state,
+                            job.reply_to,
+                            job.tag,
+                            job.trace,
+                            job.enqueued,
+                            job.queries,
+                        );
                     }
                 })
                 .expect("spawn coordinator thread");
@@ -235,12 +246,13 @@ fn serve_requests<T: Transport<ClusterMsg>>(state: &Arc<WorkerState<T>>, endpoin
         let Ok(env) = endpoint.recv() else {
             return; // transport gone
         };
-        let (reply_to, tag, body) = match env.payload {
+        let (reply_to, tag, trace, body) = match env.payload {
             ClusterMsg::Request {
                 reply_to,
                 tag,
+                trace,
                 body,
-            } => (reply_to, tag, body),
+            } => (reply_to, tag, trace, body),
             ClusterMsg::Response { tag, body } => {
                 // Install confirmation for an outbound shard copy:
                 // forward the outcome to the original requester.
@@ -273,6 +285,8 @@ fn serve_requests<T: Transport<ClusterMsg>>(state: &Arc<WorkerState<T>>, endpoin
                 let job = CoordJob {
                     reply_to,
                     tag,
+                    trace,
+                    enqueued: std::time::Instant::now(),
                     queries,
                 };
                 let sent = match &*state.coordinator_tx.lock() {
@@ -295,12 +309,25 @@ fn serve_requests<T: Transport<ClusterMsg>>(state: &Arc<WorkerState<T>>, endpoin
                 if let Err(job) = sent {
                     let state = state.clone();
                     std::thread::spawn(move || {
-                        coordinate_search(&state, job.reply_to, job.tag, job.queries);
+                        coordinate_search(
+                            &state,
+                            job.reply_to,
+                            job.tag,
+                            job.trace,
+                            job.enqueued,
+                            job.queries,
+                        );
                     });
                 }
                 continue;
             }
             body => {
+                // Enter the requester's trace scope for the duration of
+                // the handler: every record_phase inside (upsert, search,
+                // shard spans) attaches to the sender's open span.
+                let _scope = trace
+                    .filter(|_| vq_obs::tracing_enabled())
+                    .map(|t| vq_obs::TraceScope::enter(t.to_obs()));
                 let response = handle_local(&state, &endpoint, reply_to, tag, body);
                 if let Some(response) = response {
                     let _ = endpoint.send(reply_to, ClusterMsg::Response {
@@ -524,6 +551,10 @@ fn handle_local<T: Transport<ClusterMsg>>(
                     let msg = ClusterMsg::Request {
                         reply_to: state.id,
                         tag: internal_tag,
+                        // Forward the requester's context (this handler
+                        // runs inside its scope) so the install lands in
+                        // the same trace.
+                        trace: crate::messages::TraceContext::current(),
                         body: Request::InstallShard { shard, segments },
                     };
                     let bytes = msg.approx_wire_bytes();
@@ -590,11 +621,42 @@ fn local_search<T: Transport<ClusterMsg>>(
     state: &WorkerState<T>,
     queries: &[SearchRequest],
 ) -> VqResult<Vec<Vec<ScoredPoint>>> {
-    let shards: Vec<Arc<LocalCollection>> = state.shards.read().values().cloned().collect();
+    let shards: Vec<(ShardId, Arc<LocalCollection>)> = state
+        .shards
+        .read()
+        .iter()
+        .map(|(s, c)| (*s, c.clone()))
+        .collect();
+    // Capture the request's trace context by value: queries dispatch to
+    // pool threads, which do not inherit this thread's TraceScope.
+    let trace_ctx = vq_obs::trace_current();
+    let worker = u64::from(state.id);
+    let shard_search = |shard: ShardId,
+                        c: &LocalCollection,
+                        q: &SearchRequest|
+     -> VqResult<Vec<ScoredPoint>> {
+        let Some(child) = trace_ctx.as_ref().and_then(vq_obs::trace_child) else {
+            return c.search_ctx(q, &state.exec);
+        };
+        // One span per shard, tagged worker + shard; phases recorded on
+        // this thread underneath (sequential coarse_scan/rerank) become
+        // its children. Spans from a nested segment fan-out land on pool
+        // threads outside the scope and are not attached — a documented
+        // limitation, not lost time (the shard span still covers it).
+        let _scope = vq_obs::TraceScope::enter(child);
+        let t0 = std::time::Instant::now();
+        let result = c.search_ctx(q, &state.exec);
+        if let Some(t) = vq_obs::tracer() {
+            let dur = t0.elapsed().as_secs_f64();
+            let at = (t.wall_now_secs() - dur).max(0.0);
+            t.record(&child, "shard_search", worker, Some(u64::from(shard)), at, dur);
+        }
+        result
+    };
     let run_query = |q: &SearchRequest| -> VqResult<Vec<ScoredPoint>> {
         let per_shard: VqResult<Vec<Vec<ScoredPoint>>> = shards
             .iter()
-            .map(|c| c.search_ctx(q, &state.exec))
+            .map(|(s, c)| shard_search(*s, c, q))
             .collect();
         Ok(merge_top_k(per_shard?, q.k))
     };
@@ -626,9 +688,22 @@ fn coordinate_search<T: Transport<ClusterMsg>>(
     state: &Arc<WorkerState<T>>,
     reply_to: u32,
     tag: u64,
+    trace: Option<crate::messages::TraceContext>,
+    enqueued: std::time::Instant,
     queries: Arc<[SearchRequest]>,
 ) {
     let coord_t0 = std::time::Instant::now();
+    // The coordination is one child span of the requester's context; the
+    // scope makes every phase recorded on this thread (queue_wait,
+    // search, pool_dispatch, gather) its child, and the scatter envelope
+    // carries it so peer-side spans attach to it too.
+    let coord_ctx = trace.and_then(|t| vq_obs::trace_child(&t.to_obs()));
+    let scope = coord_ctx.map(vq_obs::TraceScope::enter);
+    vq_obs::record_phase(
+        "queue_wait",
+        u64::from(state.id),
+        enqueued.elapsed().as_secs_f64(),
+    );
     let peers: Vec<WorkerId> = state
         .placement
         .read()
@@ -648,6 +723,10 @@ fn coordinate_search<T: Transport<ClusterMsg>>(
         let msg = ClusterMsg::Request {
             reply_to: eph_id,
             tag: peer as u64,
+            // Peers parent their spans onto the coordination span; when
+            // this worker is not tracing, the client's context (if any)
+            // passes through untouched.
+            trace: coord_ctx.map(Into::into).or(trace),
             // Refcount bump, not a deep copy of every query vector.
             body: Request::LocalSearchBatch {
                 queries: queries.clone(),
@@ -690,21 +769,34 @@ fn coordinate_search<T: Transport<ClusterMsg>>(
     while responded.len() < scattered.len() {
         let remaining = deadline.saturating_duration_since(std::time::Instant::now());
         if remaining.is_zero() {
-            // A gather stall is exactly what the flight recorder is for:
-            // dump the ring of recent span events so the post-mortem
-            // shows what the cluster was doing when the reduce stopped
-            // hearing from its peers.
-            if let Some(dump) = vq_obs::flight_dump_text() {
-                let waiting: Vec<WorkerId> = scattered
-                    .iter()
-                    .copied()
-                    .filter(|p| !responded.contains(p))
-                    .collect();
-                eprintln!(
+            // A gather stall is exactly what tracing is for: dump the
+            // failing request's trace id and *that trace's* spans —
+            // bounded output, instead of drowning the post-mortem in the
+            // whole flight ring. The ring dump remains the fallback when
+            // the request is untraced.
+            let waiting: Vec<WorkerId> = scattered
+                .iter()
+                .copied()
+                .filter(|p| !responded.contains(p))
+                .collect();
+            let trace_dump = coord_ctx
+                .as_ref()
+                .and_then(|c| vq_obs::trace_dump_for(c.trace_id));
+            match (trace_dump, coord_ctx.as_ref()) {
+                (Some(dump), Some(ctx)) => eprintln!(
                     "worker {}: gather deadline ({:?}) hit still waiting on peers \
-                     {waiting:?}; flight recorder:\n{dump}",
-                    state.id, state.deadlines.gather,
-                );
+                     {waiting:?}; trace {:016x}:\n{dump}",
+                    state.id, state.deadlines.gather, ctx.trace_id,
+                ),
+                _ => {
+                    if let Some(dump) = vq_obs::flight_dump_text() {
+                        eprintln!(
+                            "worker {}: gather deadline ({:?}) hit still waiting on peers \
+                             {waiting:?}; flight recorder:\n{dump}",
+                            state.id, state.deadlines.gather,
+                        );
+                    }
+                }
             }
             break;
         }
@@ -787,6 +879,20 @@ fn coordinate_search<T: Transport<ClusterMsg>>(
     };
     let msg = ClusterMsg::Response { tag, body };
     let bytes = msg.approx_wire_bytes();
+    // Leave the scope first: "coordination" is the coordinate span
+    // itself (recorded explicitly below), not a child of it. The span
+    // must land *before* the reply leaves — the requester closes the
+    // trace when the response arrives, and spans pushed after the root
+    // finishes are dropped.
+    drop(scope);
+    if let Some(ctx) = coord_ctx {
+        vq_obs::trace_record(
+            &ctx,
+            "coordinate",
+            u64::from(state.id),
+            coord_t0.elapsed().as_secs_f64(),
+        );
+    }
     let _ = eph.send_sized(reply_to, msg, bytes);
     state.transport.deregister(eph_id);
     let coord_dur = coord_t0.elapsed();

@@ -11,7 +11,7 @@
 use proptest::prelude::*;
 use proptest::strategy::Union;
 use std::sync::Arc;
-use vq_cluster::{ClusterMsg, Request, Response, WorkerInfo};
+use vq_cluster::{ClusterMsg, Request, Response, TraceContext, WorkerInfo};
 use vq_collection::{CollectionStats, SearchParams, SearchRequest};
 use vq_core::{Filter, Payload, PayloadValue, Point, PointBlock, ScoredPoint, VqError};
 use vq_net::wire::{encode_frame, from_bytes, read_frame, to_bytes};
@@ -259,15 +259,26 @@ fn response() -> impl Strategy<Value = Response> {
     Union::new(arms)
 }
 
+fn trace_context() -> impl Strategy<Value = Option<TraceContext>> {
+    prop::option::of((any::<u64>(), any::<u64>(), any::<bool>()).prop_map(
+        |(trace_id, span_id, sampled)| TraceContext {
+            trace_id,
+            span_id,
+            sampled,
+        },
+    ))
+}
+
 fn cluster_msg() -> impl Strategy<Value = ClusterMsg> {
     prop_oneof![
-        (any::<u32>(), any::<u64>(), request()).prop_map(|(reply_to, tag, body)| {
-            ClusterMsg::Request {
+        (any::<u32>(), any::<u64>(), trace_context(), request()).prop_map(
+            |(reply_to, tag, trace, body)| ClusterMsg::Request {
                 reply_to,
                 tag,
+                trace,
                 body,
             }
-        }),
+        ),
         (any::<u64>(), response())
             .prop_map(|(tag, body)| ClusterMsg::Response { tag, body }),
     ]
@@ -347,6 +358,11 @@ fn approx_wire_bytes_tracks_real_encoding() {
     let req = |body| ClusterMsg::Request {
         reply_to: 9,
         tag: 7,
+        trace: Some(TraceContext {
+            trace_id: 0xDEAD_BEEF_0042,
+            span_id: 3,
+            sampled: true,
+        }),
         body,
     };
     let cases: Vec<(&str, ClusterMsg)> = vec![
@@ -404,4 +420,91 @@ fn approx_wire_bytes_tracks_real_encoding() {
             "{name}: approx {approx} vs real {real} (ratio {ratio:.3})"
         );
     }
+}
+
+/// The trace-context envelope field survives the full frame path —
+/// encode, frame, read, decode — with ids intact, and a torn frame
+/// carrying a traced request is rejected rather than misread.
+#[test]
+fn trace_context_survives_framing_and_rejects_torn_frames() {
+    let msg = ClusterMsg::Request {
+        reply_to: 3,
+        tag: 41,
+        trace: Some(TraceContext {
+            trace_id: 0x1234_5678_9ABC_DEF0,
+            span_id: 77,
+            sampled: true,
+        }),
+        body: Request::SearchBatch {
+            queries: vec![SearchRequest::new(vec![0.5; 64], 10)].into(),
+        },
+    };
+    let payload = to_bytes(&msg).unwrap();
+    let frame = encode_frame(&payload);
+
+    let mut r = std::io::Cursor::new(frame.clone());
+    let got = read_frame(&mut r).unwrap().expect("one frame");
+    let back: ClusterMsg = from_bytes(&got).unwrap();
+    match &back {
+        ClusterMsg::Request { trace, .. } => {
+            let trace = trace.expect("trace context survives the wire");
+            assert_eq!(trace.trace_id, 0x1234_5678_9ABC_DEF0);
+            assert_eq!(trace.span_id, 77);
+            assert!(trace.sampled);
+        }
+        other => panic!("decoded wrong variant: {other:?}"),
+    }
+    assert_eq!(back, msg);
+
+    // Torn mid-trace-context (and everywhere else inside the frame):
+    // an error, never a silently trace-less request.
+    for cut in 1..frame.len() {
+        let mut torn = std::io::Cursor::new(frame[..cut].to_vec());
+        assert!(read_frame(&mut torn).is_err(), "cut at {cut} must fail");
+    }
+}
+
+/// A version-1 peer's request — no `trace` entry in the envelope map —
+/// still decodes on this build: the field falls back to `None` via
+/// `#[serde(default)]`, and the frame header's version byte is accepted
+/// down to `MIN_WIRE_VERSION`.
+#[test]
+fn version1_frames_without_trace_field_decode() {
+    use vq_net::wire::{MIN_WIRE_VERSION, WIRE_VERSION};
+
+    // The old envelope shape, reconstructed: same variant and field
+    // names, minus `trace`. The codec encodes structs field-by-name, so
+    // this is byte-identical to what a version-1 sender produces.
+    #[derive(serde::Serialize)]
+    enum OldClusterMsg {
+        Request {
+            reply_to: u32,
+            tag: u64,
+            body: Request,
+        },
+    }
+
+    let payload = to_bytes(&OldClusterMsg::Request {
+        reply_to: 5,
+        tag: 99,
+        body: Request::Ping,
+    })
+    .unwrap();
+    let mut frame = encode_frame(&payload);
+    assert_eq!(frame[4], WIRE_VERSION);
+    frame[4] = MIN_WIRE_VERSION;
+
+    let got = read_frame(&mut std::io::Cursor::new(frame))
+        .unwrap()
+        .expect("one frame");
+    let back: ClusterMsg = from_bytes(&got).unwrap();
+    assert_eq!(
+        back,
+        ClusterMsg::Request {
+            reply_to: 5,
+            tag: 99,
+            trace: None,
+            body: Request::Ping,
+        }
+    );
 }

@@ -36,8 +36,15 @@ use std::fmt;
 use std::io::{Read, Write};
 use vq_core::{VqError, VqResult};
 
-/// Codec version carried in every frame header.
-pub const WIRE_VERSION: u8 = 1;
+/// Codec version carried in every frame header. Version 2 added the
+/// optional trace-context field to the `ClusterMsg` request envelope;
+/// because structs encode field-by-name and absent fields fall back to
+/// `#[serde(default)]`, version-1 payloads still decode — the receiver
+/// accepts any version in [`MIN_WIRE_VERSION`]..=[`WIRE_VERSION`].
+pub const WIRE_VERSION: u8 = 2;
+
+/// Oldest frame version this build still decodes.
+pub const MIN_WIRE_VERSION: u8 = 1;
 
 /// Frame magic: rejects cross-protocol garbage (e.g. an HTTP request sent
 /// to the binary port) on the first four bytes.
@@ -126,9 +133,9 @@ pub fn read_frame<R: Read>(r: &mut R) -> VqResult<Option<Vec<u8>>> {
     if header[..4] != FRAME_MAGIC {
         return Err(VqError::Corruption("bad frame magic".into()));
     }
-    if header[4] != WIRE_VERSION {
+    if !(MIN_WIRE_VERSION..=WIRE_VERSION).contains(&header[4]) {
         return Err(VqError::Corruption(format!(
-            "wire version mismatch: got {}, expected {WIRE_VERSION}",
+            "wire version mismatch: got {}, expected {MIN_WIRE_VERSION}..={WIRE_VERSION}",
             header[4]
         )));
     }
@@ -1616,10 +1623,13 @@ mod tests {
             read_frame(&mut &garbage[..]),
             Err(VqError::Corruption(_))
         ));
-        // Version skew.
+        // Version skew: future versions rejected, pre-MIN rejected.
         let mut skew = frame.clone();
         skew[4] = 99;
         assert!(matches!(read_frame(&mut &skew[..]), Err(VqError::Corruption(_))));
+        let mut ancient = frame.clone();
+        ancient[4] = MIN_WIRE_VERSION - 1;
+        assert!(matches!(read_frame(&mut &ancient[..]), Err(VqError::Corruption(_))));
         // Flipped payload bit fails the CRC.
         let mut flipped = frame.clone();
         let last = flipped.len() - 1;
@@ -1632,6 +1642,23 @@ mod tests {
         let mut huge = frame;
         huge[5..9].copy_from_slice(&u32::MAX.to_le_bytes());
         assert!(matches!(read_frame(&mut &huge[..]), Err(VqError::Corruption(_))));
+    }
+
+    #[test]
+    fn older_wire_versions_still_decode() {
+        // A peer running the previous codec stamps version 1; this build
+        // must still read its frames (value-level compat is serde's
+        // field-by-name + #[serde(default)] job).
+        let mut frame = encode_frame(b"old peer payload");
+        frame[4] = MIN_WIRE_VERSION;
+        let back = read_frame(&mut &frame[..]).unwrap().unwrap();
+        assert_eq!(back, b"old peer payload");
+        // And every version in the accepted window decodes.
+        for v in MIN_WIRE_VERSION..=WIRE_VERSION {
+            let mut f = encode_frame(b"x");
+            f[4] = v;
+            assert!(read_frame(&mut &f[..]).unwrap().is_some(), "version {v}");
+        }
     }
 
     #[test]

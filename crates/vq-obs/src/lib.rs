@@ -16,6 +16,12 @@
 //!   instrumentation yields comparable traces from both runtimes.
 //! * [`FlightRecorder`] — a fixed-capacity ring of recent [`SpanEvent`]s,
 //!   dumpable on stall/timeout for post-mortem.
+//! * **Distributed tracing** — [`Tracer`] + [`TraceContext`]: per-request
+//!   span *trees* with parent links, propagated by thread-local
+//!   [`TraceScope`]s within a process and by the `ClusterMsg` envelope /
+//!   `x-vq-trace-id` header across fabrics. Head sampling plus tail-keep
+//!   (slow traces always retained), exported as Chrome trace-event JSON
+//!   and a structured slow-query log. See the [`trace`] module docs.
 //! * Exporters — [`Snapshot::to_json`] for `results/*.json`,
 //!   [`Snapshot::to_prometheus`] for scrape pipelines.
 //!
@@ -39,6 +45,7 @@ mod export;
 mod metrics;
 mod recorder;
 mod registry;
+pub mod trace;
 
 pub use metrics::{
     bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS,
@@ -49,3 +56,10 @@ pub use recorder::{
     snapshot, uninstall, FlightRecorder, Recorder, SpanEvent, SpanGuard, DEFAULT_FLIGHT_CAPACITY,
 };
 pub use registry::{labeled, Metric, MetricValue, Registry, Snapshot, SnapshotEntry};
+pub use trace::{
+    install_tracer, install_tracer_from_env, install_tracer_with, render_trace, trace_begin_here,
+    trace_begin_root, trace_child, trace_current, trace_dump_for, trace_finish, trace_finish_at,
+    trace_leaf, trace_leaf_at, trace_record, trace_record_at, tracer, tracing_enabled,
+    uninstall_tracer, FinishedTrace, TraceConfig, TraceContext, TraceScope, TraceSpan, Tracer,
+    TracerStats, DEFAULT_SAMPLE_EVERY, DEFAULT_TAIL_THRESHOLD_SECS, DEFAULT_TRACE_CAPACITY,
+};

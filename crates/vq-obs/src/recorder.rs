@@ -70,15 +70,19 @@ impl FlightRecorder {
         self.inner.lock().unwrap_or_else(|e| e.into_inner())
     }
 
-    /// Append an event, evicting the oldest when full.
-    pub fn push(&self, name: &str, tag: u64, at_secs: f64, dur_secs: f64) {
+    /// Append an event, evicting the oldest when full. Returns whether
+    /// an event was evicted, so callers can count truncation (the
+    /// `obs.flight_dropped` counter) instead of losing post-mortem
+    /// context silently.
+    pub fn push(&self, name: &str, tag: u64, at_secs: f64, dur_secs: f64) -> bool {
         if self.capacity == 0 {
-            return;
+            return false;
         }
         let mut inner = self.lock();
         let seq = inner.next_seq;
         inner.next_seq += 1;
-        if inner.ring.len() == self.capacity {
+        let evicted = inner.ring.len() == self.capacity;
+        if evicted {
             inner.ring.pop_front();
         }
         inner.ring.push_back(SpanEvent {
@@ -88,6 +92,7 @@ impl FlightRecorder {
             at_secs,
             dur_secs,
         });
+        evicted
     }
 
     /// Copy of the retained events, oldest first.
@@ -126,15 +131,22 @@ impl FlightRecorder {
 pub struct Recorder {
     registry: Registry,
     flight: FlightRecorder,
+    /// Events evicted from the flight ring — registered eagerly as
+    /// `obs.flight_dropped` so it appears (at 0) in every snapshot and
+    /// a truncated post-mortem is detectable.
+    flight_dropped: Arc<Counter>,
     origin: Instant,
 }
 
 impl Recorder {
     /// Recorder with the given flight-ring capacity.
     pub fn new(flight_capacity: usize) -> Self {
+        let registry = Registry::new();
+        let flight_dropped = registry.counter("obs.flight_dropped");
         Recorder {
-            registry: Registry::new(),
+            registry,
             flight: FlightRecorder::new(flight_capacity),
+            flight_dropped,
             origin: Instant::now(),
         }
     }
@@ -269,7 +281,12 @@ fn record_into(r: &Recorder, name: &str, tag: u64, at_secs: f64, dur_secs: f64) 
     r.registry
         .histogram(&format!("phase.{name}"))
         .record_secs(dur_secs);
-    r.flight.push(name, tag, at_secs, dur_secs);
+    if r.flight.push(name, tag, at_secs, dur_secs) {
+        r.flight_dropped.add(1);
+    }
+    // When the calling thread is inside a TraceScope, the same phase
+    // also lands as a child span in the request's trace tree.
+    crate::trace::phase_hook(name, tag, at_secs, dur_secs);
 }
 
 /// Cached counter handle: registered in the installed recorder when
@@ -414,6 +431,22 @@ mod tests {
         let disabled = FlightRecorder::new(0);
         disabled.push("e", 0, 0.0, 0.0);
         assert!(disabled.events().is_empty());
+    }
+
+    #[test]
+    fn flight_eviction_bumps_dropped_counter() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let r = Arc::new(Recorder::new(2));
+        install(r.clone());
+        // Registered eagerly: visible at 0 before any eviction.
+        assert_eq!(snapshot().unwrap().counter("obs.flight_dropped"), 0);
+        for i in 0..5u64 {
+            record_phase("p", i, 0.0);
+        }
+        let snap = snapshot().unwrap();
+        assert_eq!(snap.counter("obs.flight_dropped"), 3, "5 pushes into cap-2 ring");
+        assert_eq!(r.flight().events().len(), 2);
+        uninstall();
     }
 
     #[test]

@@ -1,0 +1,982 @@
+//! Distributed request tracing: per-request span trees with cross-fabric
+//! context propagation.
+//!
+//! The metrics registry answers "how long does `gather` take on
+//! average"; it cannot answer "which phase made *this* p99 request
+//! slow". Tracing fills that gap: every traced request owns a
+//! [`TraceContext`] — a `trace_id` naming the request plus the
+//! `span_id` of the currently open span — and every phase recorded
+//! under that context becomes a [`TraceSpan`] with a parent link, so a
+//! search reconstructs as one tree: server edge → coordinator root →
+//! one child span per shard per worker → gather.
+//!
+//! **Propagation.** Within a thread the context rides a thread-local
+//! (see [`TraceScope`]); [`record_phase`](crate::record_phase) /
+//! [`record_phase_at`](crate::record_phase_at) consult it, so existing
+//! instrumentation sites become child spans with no signature changes.
+//! Across the cluster fabric the context travels as an optional field
+//! in the `ClusterMsg` envelope (both the in-process switchboard and
+//! the TCP transport carry it); across REST it travels as the
+//! `x-vq-trace-id` header and is echoed in the response envelope.
+//!
+//! **Sampling.** Head sampling keeps every `sample_every`-th trace;
+//! tail-keep *always* retains a trace slower than
+//! `tail_threshold_secs`, regardless of the head decision — the p99
+//! exemplars a post-mortem needs. Spans are buffered for every trace
+//! while it is in flight; the keep/drop decision happens once, when the
+//! root span closes and the duration is known.
+//!
+//! **Clocks.** Like the rest of vq-obs, spans are clock-agnostic: the
+//! wall-clock stack stamps real seconds since recorder install, the DES
+//! stack passes sim time through the `_at` variants. A wall trace and a
+//! virtual trace of the same plan are structurally identical.
+//!
+//! **Cost.** Nothing here runs unless a [`Tracer`] is installed: every
+//! entry point first checks one relaxed `AtomicBool`, the same
+//! discipline (and the same overhead test) as the recorder itself.
+
+use std::cell::Cell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Default finished-trace ring capacity.
+pub const DEFAULT_TRACE_CAPACITY: usize = 256;
+/// Default head-sampling period (keep every Nth trace; 0 disables head
+/// sampling so only tail-keep retains traces).
+pub const DEFAULT_SAMPLE_EVERY: u64 = 1;
+/// Default tail-keep threshold in seconds: traces slower than this are
+/// always retained.
+pub const DEFAULT_TAIL_THRESHOLD_SECS: f64 = 0.050;
+/// Spans buffered per trace before truncation.
+const MAX_SPANS_PER_TRACE: usize = 512;
+/// In-flight traces tracked before new ones go unbuffered.
+const MAX_ACTIVE_TRACES: usize = 1024;
+/// Spans printed by a bounded per-trace dump (gather-stall post-mortems).
+const DUMP_SPAN_LIMIT: usize = 64;
+
+/// The propagated identity of one request's trace position: which trace
+/// this is, which span is currently open (children parent onto it), and
+/// the open span's own parent (`0` for a root). `sampled` carries the
+/// head-sampling verdict made at the root so remote participants don't
+/// re-decide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Trace (request) identity; never 0.
+    pub trace_id: u64,
+    /// The currently open span — new children parent onto this.
+    pub span_id: u64,
+    /// The open span's own parent (0 = root).
+    pub parent_id: u64,
+    /// Head-sampling verdict from the root (tail-keep may still retain
+    /// an unsampled trace).
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// Rebuild a context received from the wire: the remote side's open
+    /// span becomes the local parent. The local side does not know (or
+    /// need) the remote span's own parent.
+    pub fn remote(trace_id: u64, span_id: u64, sampled: bool) -> Self {
+        TraceContext {
+            trace_id,
+            span_id,
+            parent_id: 0,
+            sampled,
+        }
+    }
+}
+
+/// One closed span in a trace tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Owning trace.
+    pub trace_id: u64,
+    /// This span's id.
+    pub span_id: u64,
+    /// Parent span id (0 = root).
+    pub parent_id: u64,
+    /// Phase name (`rest_edge`, `coordinate`, `shard_search`, ...).
+    pub name: String,
+    /// Site-defined tag — worker id for cluster spans, lane id for
+    /// client spans.
+    pub tag: u64,
+    /// Shard this span covers, when it covers exactly one.
+    pub shard: Option<u64>,
+    /// Start time in the recording clock's domain (wall seconds since
+    /// recorder install, or sim seconds).
+    pub at_secs: f64,
+    /// Duration in seconds.
+    pub dur_secs: f64,
+}
+
+/// A completed, retained trace: the root's identity and duration plus
+/// every buffered span (root included).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FinishedTrace {
+    /// Trace identity.
+    pub trace_id: u64,
+    /// Root span name.
+    pub root_name: String,
+    /// Root (request) duration in seconds.
+    pub dur_secs: f64,
+    /// Head-sampling verdict.
+    pub sampled: bool,
+    /// Whether tail-keep (duration over threshold) retained this trace.
+    pub tail_kept: bool,
+    /// All spans, in record order; the root span is last.
+    pub spans: Vec<TraceSpan>,
+}
+
+impl FinishedTrace {
+    /// Per-phase *self* time: each span's duration minus its children's,
+    /// clamped at zero, summed by name. Self time is what critical-path
+    /// attribution wants — a `coordinate` span that spends 90 % of its
+    /// duration inside `gather` should attribute the tail to `gather`.
+    pub fn phase_self_secs(&self) -> Vec<(String, f64)> {
+        let mut child_sum: HashMap<u64, f64> = HashMap::new();
+        for s in &self.spans {
+            if s.parent_id != 0 {
+                *child_sum.entry(s.parent_id).or_insert(0.0) += s.dur_secs;
+            }
+        }
+        let mut by_name: HashMap<&str, f64> = HashMap::new();
+        for s in &self.spans {
+            let own = (s.dur_secs - child_sum.get(&s.span_id).copied().unwrap_or(0.0)).max(0.0);
+            *by_name.entry(s.name.as_str()).or_insert(0.0) += own;
+        }
+        let mut out: Vec<(String, f64)> =
+            by_name.into_iter().map(|(n, v)| (n.to_string(), v)).collect();
+        out.sort_by(|a, b| b.1.total_cmp(&a.1));
+        out
+    }
+
+    /// Whether every non-root span's parent exists in this trace — the
+    /// "ids intact across the wire" check.
+    pub fn well_parented(&self) -> bool {
+        let ids: std::collections::HashSet<u64> = self.spans.iter().map(|s| s.span_id).collect();
+        self.spans
+            .iter()
+            .all(|s| s.parent_id == 0 || ids.contains(&s.parent_id))
+    }
+}
+
+/// Sampling and retention policy for a [`Tracer`].
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Keep every Nth trace at the head (1 = all, 0 = head sampling
+    /// off — only tail-keep retains).
+    pub sample_every: u64,
+    /// Always retain traces slower than this many seconds.
+    pub tail_threshold_secs: f64,
+    /// Finished traces retained (ring; oldest evicted).
+    pub capacity: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            sample_every: DEFAULT_SAMPLE_EVERY,
+            tail_threshold_secs: DEFAULT_TAIL_THRESHOLD_SECS,
+            capacity: DEFAULT_TRACE_CAPACITY,
+        }
+    }
+}
+
+/// Counters describing what a [`Tracer`] has seen and kept.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TracerStats {
+    /// Traces begun.
+    pub started: u64,
+    /// Traces retained because head sampling selected them.
+    pub kept_head: u64,
+    /// Traces retained *only* because they crossed the tail threshold.
+    pub kept_tail: u64,
+    /// Traces finished and discarded (unsampled and fast).
+    pub discarded: u64,
+    /// Retained traces evicted from the finished ring.
+    pub evicted: u64,
+    /// Spans dropped because their trace was unknown or over budget.
+    pub dropped_spans: u64,
+}
+
+#[derive(Default)]
+struct TracerInner {
+    active: HashMap<u64, Vec<TraceSpan>>,
+    finished: VecDeque<FinishedTrace>,
+}
+
+/// Process-wide span-tree store: in-flight traces buffer spans, closed
+/// roots decide retention (head sample or tail-keep), retained traces
+/// sit in a bounded ring for export.
+pub struct Tracer {
+    config: TraceConfig,
+    origin: Instant,
+    next_trace: AtomicU64,
+    next_span: AtomicU64,
+    started: AtomicU64,
+    kept_head: AtomicU64,
+    kept_tail: AtomicU64,
+    discarded: AtomicU64,
+    evicted: AtomicU64,
+    dropped_spans: AtomicU64,
+    inner: Mutex<TracerInner>,
+}
+
+impl Tracer {
+    /// Tracer with the given sampling/retention policy.
+    pub fn new(config: TraceConfig) -> Self {
+        Tracer {
+            config,
+            origin: Instant::now(),
+            next_trace: AtomicU64::new(1),
+            next_span: AtomicU64::new(1),
+            started: AtomicU64::new(0),
+            kept_head: AtomicU64::new(0),
+            kept_tail: AtomicU64::new(0),
+            discarded: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            dropped_spans: AtomicU64::new(0),
+            inner: Mutex::new(TracerInner::default()),
+        }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> TraceConfig {
+        self.config
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TracerInner> {
+        self.inner.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn alloc_span(&self) -> u64 {
+        self.next_span.fetch_add(1, Relaxed)
+    }
+
+    /// Seconds on the wall timeline shared with the recorder: the
+    /// recorder's origin when one is installed (so explicit trace spans
+    /// and phase-hook spans line up), this tracer's own otherwise.
+    pub fn wall_now_secs(&self) -> f64 {
+        match crate::installed() {
+            Some(r) => r.elapsed_secs(),
+            None => self.origin.elapsed().as_secs_f64(),
+        }
+    }
+
+    /// Begin a new root trace. The head-sampling verdict is made here
+    /// and travels in the returned context.
+    pub fn begin(&self) -> TraceContext {
+        let id = self.next_trace.fetch_add(1, Relaxed);
+        self.begin_registered(id)
+    }
+
+    /// Begin a root trace under an externally supplied id (REST clients
+    /// propagating `x-vq-trace-id`). Falls back to a fresh id when the
+    /// requested one is already in flight.
+    pub fn begin_with_id(&self, trace_id: u64) -> TraceContext {
+        let in_flight = trace_id == 0 || self.lock().active.contains_key(&trace_id);
+        if in_flight {
+            return self.begin();
+        }
+        self.begin_registered(trace_id)
+    }
+
+    fn begin_registered(&self, trace_id: u64) -> TraceContext {
+        let seq = self.started.fetch_add(1, Relaxed);
+        let sampled = self.config.sample_every != 0 && seq % self.config.sample_every == 0;
+        let span_id = self.alloc_span();
+        {
+            let mut inner = self.lock();
+            if inner.active.len() < MAX_ACTIVE_TRACES {
+                inner.active.insert(trace_id, Vec::new());
+            }
+        }
+        TraceContext {
+            trace_id,
+            span_id,
+            parent_id: 0,
+            sampled,
+        }
+    }
+
+    /// Open a child span under `parent`: allocates an id, records
+    /// nothing yet. Close it with [`Tracer::record`].
+    pub fn child(&self, parent: &TraceContext) -> TraceContext {
+        TraceContext {
+            trace_id: parent.trace_id,
+            span_id: self.alloc_span(),
+            parent_id: parent.span_id,
+            sampled: parent.sampled,
+        }
+    }
+
+    /// Record `ctx`'s own span (the one its `span_id` names) as closed.
+    pub fn record(
+        &self,
+        ctx: &TraceContext,
+        name: &str,
+        tag: u64,
+        shard: Option<u64>,
+        at_secs: f64,
+        dur_secs: f64,
+    ) {
+        self.push_span(TraceSpan {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_id: ctx.parent_id,
+            name: name.to_string(),
+            tag,
+            shard,
+            at_secs,
+            dur_secs,
+        });
+    }
+
+    /// Record a closed leaf span under `parent` in one step (what the
+    /// `record_phase` hook uses).
+    pub fn leaf(
+        &self,
+        parent: &TraceContext,
+        name: &str,
+        tag: u64,
+        shard: Option<u64>,
+        at_secs: f64,
+        dur_secs: f64,
+    ) {
+        self.push_span(TraceSpan {
+            trace_id: parent.trace_id,
+            span_id: self.alloc_span(),
+            parent_id: parent.span_id,
+            name: name.to_string(),
+            tag,
+            shard,
+            at_secs,
+            dur_secs,
+        });
+    }
+
+    fn push_span(&self, span: TraceSpan) {
+        let mut inner = self.lock();
+        match inner.active.get_mut(&span.trace_id) {
+            Some(spans) if spans.len() < MAX_SPANS_PER_TRACE => spans.push(span),
+            _ => {
+                self.dropped_spans.fetch_add(1, Relaxed);
+            }
+        }
+    }
+
+    /// Close the root: record its span, then decide retention — keep
+    /// when head-sampled OR slower than the tail threshold; the second
+    /// arm is what guarantees p99 exemplars survive aggressive head
+    /// sampling.
+    pub fn finish(
+        &self,
+        root: &TraceContext,
+        name: &str,
+        tag: u64,
+        at_secs: f64,
+        dur_secs: f64,
+    ) {
+        let tail = dur_secs >= self.config.tail_threshold_secs;
+        let keep = root.sampled || tail;
+        let mut inner = self.lock();
+        let mut spans = inner.active.remove(&root.trace_id).unwrap_or_default();
+        if !keep {
+            self.discarded.fetch_add(1, Relaxed);
+            return;
+        }
+        if root.sampled {
+            self.kept_head.fetch_add(1, Relaxed);
+        } else {
+            self.kept_tail.fetch_add(1, Relaxed);
+        }
+        spans.push(TraceSpan {
+            trace_id: root.trace_id,
+            span_id: root.span_id,
+            parent_id: 0,
+            name: name.to_string(),
+            tag,
+            shard: None,
+            at_secs,
+            dur_secs,
+        });
+        if inner.finished.len() == self.config.capacity.max(1) {
+            inner.finished.pop_front();
+            self.evicted.fetch_add(1, Relaxed);
+        }
+        inner.finished.push_back(FinishedTrace {
+            trace_id: root.trace_id,
+            root_name: name.to_string(),
+            dur_secs,
+            sampled: root.sampled,
+            tail_kept: tail && !root.sampled,
+            spans,
+        });
+    }
+
+    /// Retained traces, oldest first.
+    pub fn finished(&self) -> Vec<FinishedTrace> {
+        self.lock().finished.iter().cloned().collect()
+    }
+
+    /// Every buffered span of one trace — in flight or retained. Empty
+    /// when the trace is unknown (never sampled in, or discarded).
+    pub fn spans_for(&self, trace_id: u64) -> Vec<TraceSpan> {
+        let inner = self.lock();
+        if let Some(spans) = inner.active.get(&trace_id) {
+            return spans.clone();
+        }
+        inner
+            .finished
+            .iter()
+            .rev()
+            .find(|t| t.trace_id == trace_id)
+            .map(|t| t.spans.clone())
+            .unwrap_or_default()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> TracerStats {
+        TracerStats {
+            started: self.started.load(Relaxed),
+            kept_head: self.kept_head.load(Relaxed),
+            kept_tail: self.kept_tail.load(Relaxed),
+            discarded: self.discarded.load(Relaxed),
+            evicted: self.evicted.load(Relaxed),
+            dropped_spans: self.dropped_spans.load(Relaxed),
+        }
+    }
+
+    /// Retained traces as Chrome trace-event JSON (the `traceEvents`
+    /// array format; loads in Perfetto / `chrome://tracing`). Complete
+    /// (`ph:"X"`) events, microsecond timestamps, `tid` = span tag.
+    pub fn to_chrome_json(&self) -> String {
+        let traces = self.finished();
+        let mut out = String::with_capacity(256 + traces.len() * 256);
+        out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+        let mut first = true;
+        for t in &traces {
+            for s in &t.spans {
+                if !first {
+                    out.push(',');
+                }
+                first = false;
+                out.push_str(&format!(
+                    "{{\"name\":{},\"cat\":\"vq\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\
+                     \"pid\":1,\"tid\":{},\"args\":{{\"trace_id\":\"{:016x}\",\"span_id\":{},\
+                     \"parent_id\":{}{}}}}}",
+                    json_string(&s.name),
+                    s.at_secs * 1e6,
+                    s.dur_secs * 1e6,
+                    s.tag,
+                    s.trace_id,
+                    s.span_id,
+                    s.parent_id,
+                    s.shard
+                        .map(|sh| format!(",\"shard\":{sh}"))
+                        .unwrap_or_default(),
+                ));
+            }
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Structured slow-query log: one `key=value` line per tail-kept
+    /// trace (the requests head sampling would have missed), slowest
+    /// last, with a self-time phase breakdown.
+    pub fn slow_query_log(&self) -> String {
+        let mut out = String::new();
+        for t in self.finished().iter().filter(|t| t.tail_kept) {
+            let phases = t
+                .phase_self_secs()
+                .iter()
+                .take(5)
+                .map(|(n, s)| format!("{n}={:.3}ms", s * 1e3))
+                .collect::<Vec<_>>()
+                .join(",");
+            out.push_str(&format!(
+                "slow_query trace={:016x} root={} dur_ms={:.3} spans={} phases={phases}\n",
+                t.trace_id,
+                t.root_name,
+                t.dur_secs * 1e3,
+                t.spans.len(),
+            ));
+        }
+        out
+    }
+
+    /// Human-readable tree dump of the retained traces, oldest first.
+    pub fn render(&self) -> String {
+        let traces = self.finished();
+        let mut out = format!("tracer: {} trace(s) retained\n", traces.len());
+        for t in &traces {
+            out.push_str(&render_trace(t));
+        }
+        out
+    }
+}
+
+/// Render one trace as an indented tree (children under parents, record
+/// order preserved within a level).
+pub fn render_trace(t: &FinishedTrace) -> String {
+    let mut children: HashMap<u64, Vec<&TraceSpan>> = HashMap::new();
+    let mut roots: Vec<&TraceSpan> = Vec::new();
+    let ids: std::collections::HashSet<u64> = t.spans.iter().map(|s| s.span_id).collect();
+    for s in &t.spans {
+        if s.parent_id != 0 && ids.contains(&s.parent_id) {
+            children.entry(s.parent_id).or_default().push(s);
+        } else {
+            roots.push(s);
+        }
+    }
+    let mut out = format!(
+        "trace {:016x} root={} dur={:.3}ms{}{}\n",
+        t.trace_id,
+        t.root_name,
+        t.dur_secs * 1e3,
+        if t.sampled { " [sampled]" } else { "" },
+        if t.tail_kept { " [tail]" } else { "" },
+    );
+    fn walk(
+        s: &TraceSpan,
+        depth: usize,
+        children: &HashMap<u64, Vec<&TraceSpan>>,
+        out: &mut String,
+    ) {
+        let shard = s.shard.map(|sh| format!(" shard={sh}")).unwrap_or_default();
+        out.push_str(&format!(
+            "{:indent$}{} tag={}{} at={:.6}s dur={:.3}ms\n",
+            "",
+            s.name,
+            s.tag,
+            shard,
+            s.at_secs,
+            s.dur_secs * 1e3,
+            indent = 2 + depth * 2,
+        ));
+        for c in children.get(&s.span_id).into_iter().flatten() {
+            walk(c, depth + 1, children, out);
+        }
+    }
+    for r in roots {
+        walk(r, 0, &children, &mut out);
+    }
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------
+// Global install + thread-local propagation.
+// ---------------------------------------------------------------------
+
+static TRACING: AtomicBool = AtomicBool::new(false);
+static GLOBAL_TRACER: Mutex<Option<Arc<Tracer>>> = Mutex::new(None);
+
+thread_local! {
+    static CURRENT: Cell<Option<TraceContext>> = const { Cell::new(None) };
+}
+
+/// Whether a tracer is installed. One relaxed load — the guard every
+/// tracing entry point checks first, so disabled tracing stays
+/// branch-only (the overhead test pins this together with the
+/// recorder's guard).
+#[inline]
+pub fn tracing_enabled() -> bool {
+    TRACING.load(Relaxed)
+}
+
+/// Install `tracer` as the process-wide tracer (replacing any previous).
+pub fn install_tracer(tracer: Arc<Tracer>) {
+    let mut slot = GLOBAL_TRACER.lock().unwrap_or_else(|e| e.into_inner());
+    *slot = Some(tracer);
+    TRACING.store(true, Relaxed);
+}
+
+/// Create, install, and return a tracer with `config`.
+pub fn install_tracer_with(config: TraceConfig) -> Arc<Tracer> {
+    let t = Arc::new(Tracer::new(config));
+    install_tracer(t.clone());
+    t
+}
+
+/// Honor the `VQ_TRACE` environment toggles: unset/`0`/`off` installs
+/// nothing (tracing stays branch-only); anything else installs a tracer
+/// whose policy reads `VQ_TRACE_SAMPLE` (head period),
+/// `VQ_TRACE_TAIL_MS` (tail-keep threshold) and `VQ_TRACE_CAP`
+/// (finished ring capacity).
+pub fn install_tracer_from_env() -> Option<Arc<Tracer>> {
+    match std::env::var("VQ_TRACE").as_deref() {
+        Ok("0") | Ok("off") | Ok("false") | Err(_) => return None,
+        _ => {}
+    }
+    let mut config = TraceConfig::default();
+    if let Some(v) = std::env::var("VQ_TRACE_SAMPLE").ok().and_then(|v| v.parse().ok()) {
+        config.sample_every = v;
+    }
+    if let Some(ms) = std::env::var("VQ_TRACE_TAIL_MS").ok().and_then(|v| v.parse::<f64>().ok()) {
+        config.tail_threshold_secs = ms / 1e3;
+    }
+    if let Some(v) = std::env::var("VQ_TRACE_CAP").ok().and_then(|v| v.parse().ok()) {
+        config.capacity = v;
+    }
+    Some(install_tracer_with(config))
+}
+
+/// Remove the installed tracer, returning it (tests; export-at-end).
+pub fn uninstall_tracer() -> Option<Arc<Tracer>> {
+    let mut slot = GLOBAL_TRACER.lock().unwrap_or_else(|e| e.into_inner());
+    TRACING.store(false, Relaxed);
+    slot.take()
+}
+
+/// The installed tracer, if any.
+pub fn tracer() -> Option<Arc<Tracer>> {
+    if !tracing_enabled() {
+        return None;
+    }
+    GLOBAL_TRACER.lock().unwrap_or_else(|e| e.into_inner()).clone()
+}
+
+/// The calling thread's current trace context, if inside a
+/// [`TraceScope`].
+pub fn trace_current() -> Option<TraceContext> {
+    if !tracing_enabled() {
+        return None;
+    }
+    CURRENT.with(Cell::get)
+}
+
+/// RAII guard installing `ctx` as the calling thread's current trace
+/// context; restores the previous context on drop. While a scope is
+/// active, every `record_phase`/`record_phase_at` on this thread
+/// records a child span of `ctx` alongside its histogram entry.
+pub struct TraceScope {
+    prev: Option<TraceContext>,
+}
+
+impl TraceScope {
+    /// Enter `ctx` on this thread.
+    pub fn enter(ctx: TraceContext) -> Self {
+        let prev = CURRENT.with(|c| c.replace(Some(ctx)));
+        TraceScope { prev }
+    }
+}
+
+impl Drop for TraceScope {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(self.prev.take()));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Free helpers: no-ops (None) when no tracer is installed.
+// ---------------------------------------------------------------------
+
+/// Begin a span here: a child of the thread's current context when one
+/// is active (`false`), else a fresh root trace (`true`). `None` when
+/// no tracer is installed.
+pub fn trace_begin_here() -> Option<(TraceContext, bool)> {
+    let t = tracer()?;
+    match trace_current() {
+        Some(cur) => Some((t.child(&cur), false)),
+        None => Some((t.begin(), true)),
+    }
+}
+
+/// Begin a root trace, adopting `trace_id` when supplied (REST header
+/// propagation). `None` when no tracer is installed.
+pub fn trace_begin_root(trace_id: Option<u64>) -> Option<TraceContext> {
+    let t = tracer()?;
+    Some(match trace_id {
+        Some(id) => t.begin_with_id(id),
+        None => t.begin(),
+    })
+}
+
+/// Open a child span of a context that arrived over the wire. `None`
+/// when no tracer is installed.
+pub fn trace_child(parent: &TraceContext) -> Option<TraceContext> {
+    tracer().map(|t| t.child(parent))
+}
+
+/// Close `ctx`'s own span, measured on the wall clock ending now.
+pub fn trace_record(ctx: &TraceContext, name: &str, tag: u64, dur_secs: f64) {
+    if let Some(t) = tracer() {
+        let at = (t.wall_now_secs() - dur_secs.max(0.0)).max(0.0);
+        t.record(ctx, name, tag, None, at, dur_secs);
+    }
+}
+
+/// Close `ctx`'s own span with an explicit timestamp (virtual clock).
+pub fn trace_record_at(ctx: &TraceContext, name: &str, tag: u64, at_secs: f64, dur_secs: f64) {
+    if let Some(t) = tracer() {
+        t.record(ctx, name, tag, None, at_secs, dur_secs);
+    }
+}
+
+/// Record a closed leaf span under `parent`, measured on the wall clock
+/// ending now; `shard` tags spans that cover exactly one shard.
+pub fn trace_leaf(parent: &TraceContext, name: &str, tag: u64, shard: Option<u64>, dur_secs: f64) {
+    if let Some(t) = tracer() {
+        let at = (t.wall_now_secs() - dur_secs.max(0.0)).max(0.0);
+        t.leaf(parent, name, tag, shard, at, dur_secs);
+    }
+}
+
+/// Record a closed leaf span under `parent` with an explicit timestamp.
+pub fn trace_leaf_at(
+    parent: &TraceContext,
+    name: &str,
+    tag: u64,
+    shard: Option<u64>,
+    at_secs: f64,
+    dur_secs: f64,
+) {
+    if let Some(t) = tracer() {
+        t.leaf(parent, name, tag, shard, at_secs, dur_secs);
+    }
+}
+
+/// Close a root span, measured on the wall clock ending now, and decide
+/// retention (head sample / tail-keep).
+pub fn trace_finish(root: &TraceContext, name: &str, tag: u64, dur_secs: f64) {
+    if let Some(t) = tracer() {
+        let at = (t.wall_now_secs() - dur_secs.max(0.0)).max(0.0);
+        t.finish(root, name, tag, at, dur_secs);
+    }
+}
+
+/// Close a root span with an explicit timestamp (virtual clock) and
+/// decide retention.
+pub fn trace_finish_at(root: &TraceContext, name: &str, tag: u64, at_secs: f64, dur_secs: f64) {
+    if let Some(t) = tracer() {
+        t.finish(root, name, tag, at_secs, dur_secs);
+    }
+}
+
+/// Bounded dump of one trace's buffered spans (in flight or retained):
+/// the gather-stall post-mortem artifact. `None` when no tracer is
+/// installed or the trace is unknown.
+pub fn trace_dump_for(trace_id: u64) -> Option<String> {
+    let t = tracer()?;
+    let spans = t.spans_for(trace_id);
+    if spans.is_empty() {
+        return None;
+    }
+    let shown = spans.len().min(DUMP_SPAN_LIMIT);
+    let mut out = format!(
+        "trace {:016x}: {} span(s) buffered{}\n",
+        trace_id,
+        spans.len(),
+        if spans.len() > shown {
+            format!(", showing first {shown}")
+        } else {
+            String::new()
+        },
+    );
+    for s in spans.iter().take(shown) {
+        let shard = s.shard.map(|sh| format!(" shard={sh}")).unwrap_or_default();
+        out.push_str(&format!(
+            "  span {:<5} parent {:<5} {:<16} tag={}{} at={:.6}s dur={:.6}s\n",
+            s.span_id, s.parent_id, s.name, s.tag, shard, s.at_secs, s.dur_secs
+        ));
+    }
+    Some(out)
+}
+
+/// Hook called by `record_phase`/`record_phase_at`: when the calling
+/// thread is inside a [`TraceScope`], the phase also lands as a child
+/// span of the current context. Branch-only when tracing is off.
+#[inline]
+pub(crate) fn phase_hook(name: &str, tag: u64, at_secs: f64, dur_secs: f64) {
+    if !tracing_enabled() {
+        return;
+    }
+    let Some(ctx) = CURRENT.with(Cell::get) else {
+        return;
+    };
+    if let Some(t) = tracer() {
+        t.leaf(&ctx, name, tag, None, at_secs, dur_secs);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The global tracer is process-wide; serialize the tests that
+    // install/uninstall it (shared with the recorder's own lock would
+    // be overkill — these tests don't touch the recorder).
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn tracer_with(sample_every: u64, tail_ms: f64) -> Tracer {
+        Tracer::new(TraceConfig {
+            sample_every,
+            tail_threshold_secs: tail_ms / 1e3,
+            capacity: 8,
+        })
+    }
+
+    #[test]
+    fn span_tree_assembles_with_parent_links() {
+        let t = tracer_with(1, 1e9);
+        let root = t.begin();
+        assert!(root.sampled);
+        let coord = t.child(&root);
+        assert_eq!(coord.parent_id, root.span_id);
+        t.leaf(&coord, "queue_wait", 3, None, 0.0, 0.001);
+        t.leaf(&coord, "shard_search", 3, Some(1), 0.001, 0.004);
+        t.record(&coord, "coordinate", 3, None, 0.0, 0.006);
+        t.finish(&root, "client_search", 0, 0.0, 0.008);
+        let finished = t.finished();
+        assert_eq!(finished.len(), 1);
+        let tr = &finished[0];
+        assert_eq!(tr.root_name, "client_search");
+        assert!(tr.well_parented());
+        assert_eq!(tr.spans.len(), 4);
+        let shard = tr.spans.iter().find(|s| s.name == "shard_search").unwrap();
+        assert_eq!(shard.parent_id, coord.span_id);
+        assert_eq!(shard.shard, Some(1));
+        // Self-time attribution: coordinate's 6ms minus 5ms of children.
+        let attribution = tr.phase_self_secs();
+        let coord_self = attribution.iter().find(|(n, _)| n == "coordinate").unwrap();
+        assert!((coord_self.1 - 0.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn head_sampling_and_tail_keep() {
+        // Head: every 2nd trace; tail: anything over 10ms.
+        let t = tracer_with(2, 10.0);
+        let a = t.begin(); // seq 0 → sampled
+        let b = t.begin(); // seq 1 → unsampled
+        let c = t.begin(); // seq 2 → sampled
+        let d = t.begin(); // seq 3 → unsampled but slow
+        assert!(a.sampled && !b.sampled && c.sampled && !d.sampled);
+        t.finish(&a, "r", 0, 0.0, 0.001);
+        t.finish(&b, "r", 0, 0.0, 0.001); // fast + unsampled → dropped
+        t.finish(&c, "r", 0, 0.0, 0.001);
+        t.finish(&d, "r", 0, 0.0, 0.020); // slow → always retained
+        let finished = t.finished();
+        assert_eq!(finished.len(), 3);
+        assert!(finished.iter().any(|tr| tr.trace_id == d.trace_id && tr.tail_kept));
+        assert!(!finished.iter().any(|tr| tr.trace_id == b.trace_id));
+        let stats = t.stats();
+        assert_eq!(stats.started, 4);
+        assert_eq!(stats.kept_head, 2);
+        assert_eq!(stats.kept_tail, 1);
+        assert_eq!(stats.discarded, 1);
+    }
+
+    #[test]
+    fn sample_every_zero_is_tail_only() {
+        let t = tracer_with(0, 0.0);
+        let a = t.begin();
+        assert!(!a.sampled);
+        t.finish(&a, "r", 0, 0.0, 0.0);
+        // Threshold 0: everything counts as tail.
+        assert_eq!(t.finished().len(), 1);
+        assert!(t.finished()[0].tail_kept);
+    }
+
+    #[test]
+    fn finished_ring_evicts_and_counts() {
+        let t = tracer_with(1, 1e9);
+        for _ in 0..10 {
+            let root = t.begin();
+            t.finish(&root, "r", 0, 0.0, 0.0);
+        }
+        assert_eq!(t.finished().len(), 8);
+        assert_eq!(t.stats().evicted, 2);
+    }
+
+    #[test]
+    fn chrome_export_and_slow_log_shape() {
+        let t = tracer_with(0, 0.0); // tail-keep everything
+        let root = t.begin();
+        t.leaf(&root, "gather", 2, Some(1), 0.001, 0.002);
+        t.finish(&root, "coordinate", 2, 0.0, 0.004);
+        let chrome = t.to_chrome_json();
+        assert!(chrome.starts_with('{') && chrome.ends_with('}'));
+        assert!(chrome.contains("\"traceEvents\""));
+        assert!(chrome.contains("\"name\":\"gather\""));
+        assert!(chrome.contains("\"shard\":1"));
+        assert!(chrome.contains(&format!("{:016x}", root.trace_id)));
+        let slow = t.slow_query_log();
+        assert!(slow.contains("slow_query"));
+        assert!(slow.contains("root=coordinate"));
+        assert!(render_trace(&t.finished()[0]).contains("gather"));
+    }
+
+    #[test]
+    fn scope_propagates_and_restores() {
+        let _guard = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        uninstall_tracer();
+        assert!(trace_current().is_none());
+        let t = install_tracer_with(TraceConfig::default());
+        let root = t.begin();
+        {
+            let _scope = TraceScope::enter(root);
+            assert_eq!(trace_current().map(|c| c.trace_id), Some(root.trace_id));
+            let inner = t.child(&root);
+            {
+                let _nested = TraceScope::enter(inner);
+                assert_eq!(trace_current().map(|c| c.span_id), Some(inner.span_id));
+            }
+            assert_eq!(trace_current().map(|c| c.span_id), Some(root.span_id));
+        }
+        assert!(trace_current().is_none());
+        uninstall_tracer();
+        assert!(!tracing_enabled());
+    }
+
+    #[test]
+    fn remote_context_reattaches_across_the_wire() {
+        let t = tracer_with(1, 1e9);
+        let root = t.begin();
+        // Simulate the coordinator side: the envelope carried
+        // (trace_id, span_id, sampled).
+        let remote = TraceContext::remote(root.trace_id, root.span_id, root.sampled);
+        let coord = t.child(&remote);
+        t.record(&coord, "coordinate", 1, None, 0.0, 0.002);
+        t.finish(&root, "client_search", 0, 0.0, 0.003);
+        let tr = &t.finished()[0];
+        assert!(tr.well_parented());
+        let c = tr.spans.iter().find(|s| s.name == "coordinate").unwrap();
+        assert_eq!(c.parent_id, root.span_id);
+        // Bounded per-trace dump names the trace.
+        assert!(t.spans_for(root.trace_id).len() == 2);
+        assert!(t.spans_for(9999).is_empty());
+    }
+
+    #[test]
+    fn span_budget_bounds_memory() {
+        let t = tracer_with(1, 1e9);
+        let root = t.begin();
+        for _ in 0..(MAX_SPANS_PER_TRACE + 10) {
+            t.leaf(&root, "x", 0, None, 0.0, 0.0);
+        }
+        assert_eq!(t.stats().dropped_spans, 10);
+        t.finish(&root, "r", 0, 0.0, 0.0);
+        assert_eq!(t.finished()[0].spans.len(), MAX_SPANS_PER_TRACE + 1);
+    }
+}

@@ -1,7 +1,10 @@
 //! Disabled-recorder overhead: the instrumentation guard pattern used on
 //! the query hot path (`enabled()` check → maybe stamp → maybe record)
 //! must add no measurable cost to `score_block` when no recorder is
-//! installed — one relaxed atomic load and a branch per call.
+//! installed — one relaxed atomic load and a branch per call. The same
+//! contract holds for the tracing guard (`tracing_enabled()` /
+//! `trace_begin_root`): with no tracer installed, the traced shape is
+//! branch-only.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -80,4 +83,56 @@ fn disabled_recorder_adds_no_measurable_cost_to_score_block() {
 
     // And nothing was recorded.
     assert_eq!(vq_obs::snapshot(), None);
+}
+
+fn time_traced(query: &[f32], block: &[f32]) -> (f64, f32) {
+    let mut out = vec![0.0f32; ROWS];
+    let mut sink = 0.0f32;
+    let t0 = Instant::now();
+    for _ in 0..ITERS {
+        // The exact guard shape traced call sites use: try to open a
+        // root, stamp only if one opened, finish only what was opened.
+        let root = vq_obs::trace_begin_root(None);
+        let stamp = root.map(|_| Instant::now());
+        Distance::Dot.score_block(black_box(query), black_box(block), &mut out);
+        if let (Some(root), Some(stamp)) = (root, stamp) {
+            vq_obs::trace_finish(&root, "score_block", 0, stamp.elapsed().as_secs_f64());
+        }
+        sink += out[0];
+    }
+    (t0.elapsed().as_secs_f64(), sink)
+}
+
+#[test]
+fn disabled_tracer_adds_no_measurable_cost_to_score_block() {
+    // Own "no tracer installed" the same way the recorder test owns the
+    // recorder: this is one process, and this test uninstalls first.
+    vq_obs::uninstall_tracer();
+    assert!(!vq_obs::tracing_enabled());
+    assert!(vq_obs::trace_begin_root(None).is_none());
+    assert!(vq_obs::trace_begin_here().is_none());
+    assert!(vq_obs::trace_current().is_none());
+
+    let (query, block) = workload();
+    let _ = time_raw(&query, &block);
+    let _ = time_traced(&query, &block);
+
+    let mut best_raw = f64::INFINITY;
+    let mut best_traced = f64::INFINITY;
+    let mut sinks = 0.0f32;
+    for _ in 0..TRIALS {
+        let (raw, s1) = time_raw(&query, &block);
+        let (traced, s2) = time_traced(&query, &block);
+        best_raw = best_raw.min(raw);
+        best_traced = best_traced.min(traced);
+        sinks += s1 + s2;
+    }
+    assert!(sinks.is_finite(), "keep the scoring loops observable");
+
+    // Same generous bound as the recorder test: the disabled trace path
+    // is one relaxed load + branch; a stray allocation or lock blows it.
+    assert!(
+        best_traced <= best_raw * 1.5 + 1e-3,
+        "disabled-tracing overhead: traced {best_traced:.6}s vs raw {best_raw:.6}s"
+    );
 }

@@ -29,6 +29,8 @@ pub struct RestClient {
 pub struct RestResponse {
     /// HTTP status code.
     pub status: u16,
+    /// Trace id echoed by the server in `x-vq-trace-id`, if any.
+    pub trace_id: Option<u64>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -73,7 +75,23 @@ impl RestClient {
         path: &str,
         body: Option<&str>,
     ) -> VqResult<RestResponse> {
+        self.request_traced(method, path, body, None)
+    }
+
+    /// Issue one request, optionally stamping an `x-vq-trace-id` header
+    /// so the server joins the caller's trace (it echoes the id back;
+    /// see [`RestResponse::trace_id`]).
+    pub fn request_traced(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+        trace_id: Option<u64>,
+    ) -> VqResult<RestResponse> {
         let mut head = format!("{method} {path} HTTP/1.1\r\nHost: vq\r\n");
+        if let Some(id) = trace_id {
+            head.push_str(&format!("x-vq-trace-id: {id:016x}\r\n"));
+        }
         if let Some(body) = body {
             head.push_str(&format!(
                 "Content-Type: application/json\r\nContent-Length: {}\r\n",
@@ -103,6 +121,7 @@ impl RestClient {
             .and_then(|s| s.parse().ok())
             .ok_or_else(|| net_err(&format!("bad status line {line:?}")))?;
         let mut content_length = 0usize;
+        let mut trace_id = None;
         loop {
             let mut header = String::new();
             let n = self
@@ -122,6 +141,8 @@ impl RestClient {
                         .trim()
                         .parse()
                         .map_err(|_| net_err("bad Content-Length"))?;
+                } else if name.eq_ignore_ascii_case("x-vq-trace-id") {
+                    trace_id = u64::from_str_radix(value.trim(), 16).ok();
                 }
             }
         }
@@ -129,7 +150,11 @@ impl RestClient {
         self.stream
             .read_exact(&mut body)
             .map_err(|e| net_err(&e.to_string()))?;
-        Ok(RestResponse { status, body })
+        Ok(RestResponse {
+            status,
+            trace_id,
+            body,
+        })
     }
 
     /// `PUT /collections/{name}` with Qdrant's vectors config.
@@ -158,6 +183,18 @@ impl RestClient {
         name: &str,
         request: &SearchRequest,
     ) -> VqResult<Vec<ScoredPoint>> {
+        self.search_traced(name, request, None).map(|(hits, _)| hits)
+    }
+
+    /// Like [`RestClient::search`], but stamps `trace_id` into the
+    /// `x-vq-trace-id` header and returns the id the server echoed —
+    /// `Some(id)` proves the server joined (or started) a trace.
+    pub fn search_traced(
+        &mut self,
+        name: &str,
+        request: &SearchRequest,
+        trace_id: Option<u64>,
+    ) -> VqResult<(Vec<ScoredPoint>, Option<u64>)> {
         let mut body = String::from("{\"vector\":[");
         for (i, x) in request.vector.iter().enumerate() {
             if i > 0 {
@@ -174,13 +211,14 @@ impl RestClient {
             body.push_str(&format!(",\"params\":{{\"hnsw_ef\":{ef}}}"));
         }
         body.push('}');
-        let result = self
-            .request(
-                "POST",
-                &format!("/collections/{name}/points/search"),
-                Some(&body),
-            )?
-            .result()?;
+        let response = self.request_traced(
+            "POST",
+            &format!("/collections/{name}/points/search"),
+            Some(&body),
+            trace_id,
+        )?;
+        let echoed = response.trace_id;
+        let result = response.result()?;
         let items = result
             .as_array()
             .ok_or_else(|| VqError::Corruption("search result is not an array".into()))?;
@@ -223,7 +261,7 @@ impl RestClient {
             };
             hits.push(ScoredPoint { id, score, payload });
         }
-        Ok(hits)
+        Ok((hits, echoed))
     }
 
     /// `GET /healthz`.

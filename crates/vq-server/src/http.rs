@@ -58,6 +58,9 @@ pub struct HttpResponse {
     pub status: u16,
     /// Content-Type header value.
     pub content_type: &'static str,
+    /// Extra response headers (e.g. `x-vq-trace-id`); names must be
+    /// valid header tokens, values must not contain CR/LF.
+    pub extra_headers: Vec<(String, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -68,6 +71,7 @@ impl HttpResponse {
         HttpResponse {
             status,
             content_type: "application/json",
+            extra_headers: Vec::new(),
             body: body.into_bytes(),
         }
     }
@@ -77,8 +81,15 @@ impl HttpResponse {
         HttpResponse {
             status,
             content_type: "text/plain; version=0.0.4; charset=utf-8",
+            extra_headers: Vec::new(),
             body: body.into_bytes(),
         }
+    }
+
+    /// Attach an extra response header.
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.extra_headers.push((name.to_string(), value));
+        self
     }
 }
 
@@ -406,14 +417,18 @@ fn write_response(
     response: &HttpResponse,
     keep_alive: bool,
 ) -> std::io::Result<()> {
-    let head = format!(
-        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {}\r\n",
         response.status,
         status_reason(response.status),
         response.content_type,
         response.body.len(),
         if keep_alive { "keep-alive" } else { "close" },
     );
+    for (name, value) in &response.extra_headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str("\r\n");
     writer.write_all(head.as_bytes())?;
     writer.write_all(&response.body)?;
     writer.flush()

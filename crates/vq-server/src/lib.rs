@@ -103,6 +103,12 @@ impl VqServer {
 }
 
 #[cfg(test)]
+pub(crate) mod test_support {
+    /// Serializes tests that install the process-global tracer.
+    pub static TRACE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+}
+
+#[cfg(test)]
 mod tests {
     use super::*;
     use vq_cluster::{Cluster, ClusterConfig};

@@ -77,7 +77,22 @@ pub enum BinResponse {
     },
 }
 
+/// Dispatch one decoded request, under a `bin_edge` root span when
+/// tracing is installed (the binary port has no headers, so traces
+/// always start fresh here).
 fn handle(registry: &Registry, request: BinRequest) -> BinResponse {
+    let Some(root) = vq_obs::trace_begin_root(None) else {
+        return handle_inner(registry, request);
+    };
+    let scope = vq_obs::TraceScope::enter(root);
+    let started = std::time::Instant::now();
+    let response = handle_inner(registry, request);
+    drop(scope);
+    vq_obs::trace_finish(&root, "bin_edge", 0, started.elapsed().as_secs_f64());
+    response
+}
+
+fn handle_inner(registry: &Registry, request: BinRequest) -> BinResponse {
     vq_obs::count("server.bin_requests", 1);
     let not_found = |name: &str| BinResponse::Error {
         message: format!("collection `{name}` not found"),

@@ -239,7 +239,48 @@ fn parse_search(value: &serde_json::Value) -> Result<SearchRequest, String> {
 // ---------------------------------------------------------------------------
 
 /// Dispatch one parsed HTTP request against the collection registry.
+///
+/// When tracing is installed this opens a `rest_edge` root span around
+/// the whole dispatch (adopting the caller's trace id from the
+/// `x-vq-trace-id` header when present), echoes the id back in the
+/// same response header, and stamps it into the JSON envelope so the
+/// client can correlate a slow response with a server-side trace.
 pub fn route(registry: &Arc<Registry>, request: &HttpRequest) -> HttpResponse {
+    let Some(root) = begin_edge_trace(request) else {
+        return route_inner(registry, request);
+    };
+    let scope = vq_obs::TraceScope::enter(root);
+    let edge_started = Instant::now();
+    let response = route_inner(registry, request);
+    drop(scope);
+    vq_obs::trace_finish(&root, "rest_edge", 0, edge_started.elapsed().as_secs_f64());
+    attach_trace_id(response, root.trace_id)
+}
+
+fn begin_edge_trace(request: &HttpRequest) -> Option<vq_obs::TraceContext> {
+    if !vq_obs::tracing_enabled() {
+        return None;
+    }
+    let requested = request
+        .header("x-vq-trace-id")
+        .and_then(|v| u64::from_str_radix(v.trim(), 16).ok());
+    vq_obs::trace_begin_root(requested)
+}
+
+/// Echo the trace id in the `x-vq-trace-id` header and, for JSON
+/// envelope bodies, as a top-level `"trace_id"` field.
+fn attach_trace_id(mut response: HttpResponse, trace_id: u64) -> HttpResponse {
+    let id = format!("{trace_id:016x}");
+    if response.content_type.starts_with("application/json") && response.body.ends_with(b"}") {
+        response.body.truncate(response.body.len() - 1);
+        response
+            .body
+            .extend_from_slice(format!(",\"trace_id\":\"{id}\"}}").as_bytes());
+    }
+    response.with_header("x-vq-trace-id", id)
+}
+
+fn route_inner(registry: &Arc<Registry>, request: &HttpRequest) -> HttpResponse {
     let started = Instant::now();
     let segments: Vec<&str> = request
         .path
@@ -454,6 +495,42 @@ mod tests {
         assert_eq!(search.ef, Some(64));
         assert!(search.with_payload);
         assert!(search.params.exact);
+    }
+
+    #[test]
+    fn route_adopts_and_echoes_trace_id() {
+        let _guard = crate::test_support::TRACE_LOCK
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        let registry = Arc::new(Registry::new());
+        let request = HttpRequest {
+            method: "GET".to_string(),
+            path: "/".to_string(),
+            query: String::new(),
+            headers: vec![("x-vq-trace-id".to_string(), "00000000000000ab".to_string())],
+            body: Vec::new(),
+        };
+
+        // Without a tracer installed the response is untouched.
+        let response = route(&registry, &request);
+        assert!(response.extra_headers.is_empty());
+
+        let tracer = vq_obs::install_tracer_with(vq_obs::TraceConfig::default());
+        let response = route(&registry, &request);
+        let echoed = response
+            .extra_headers
+            .iter()
+            .find(|(k, _)| k == "x-vq-trace-id")
+            .map(|(_, v)| v.as_str())
+            .expect("trace id header echoed");
+        assert_eq!(echoed, "00000000000000ab");
+        let body = String::from_utf8(response.body.clone()).unwrap();
+        assert!(body.contains("\"trace_id\":\"00000000000000ab\""), "{body}");
+        let finished = tracer.finished();
+        assert!(finished
+            .iter()
+            .any(|t| t.trace_id == 0xab && t.root_name == "rest_edge"));
+        vq_obs::uninstall_tracer();
     }
 
     #[test]

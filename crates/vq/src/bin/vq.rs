@@ -35,6 +35,7 @@ fn main() -> ExitCode {
         "scroll" => cmd_scroll(&flags),
         "info" => cmd_info(&flags),
         "metrics" => cmd_metrics(&flags),
+        "trace" => cmd_trace(&flags),
         "serve" => cmd_serve(&flags),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -63,6 +64,8 @@ USAGE:
   vq scroll --dir DIR [--after ID] [--limit N]
   vq info   --dir DIR
   vq metrics [--points N] [--workers N] [--serve ADDR]
+  vq trace  [--points N] [--workers N] [--sample N] [--tail-ms MS]
+            [--limit N] [--chrome FILE]
   vq serve  [--rest ADDR] [--bin ADDR|off] [--collection NAME] [--dim N]
             [--metric cosine|euclid|dot] [--workers N] [--shards N]
             [--transport inproc|tcp]";
@@ -355,6 +358,9 @@ fn cmd_serve(flags: &HashMap<String, String>) -> CliResult {
     };
 
     vq_obs::install_from_env();
+    // VQ_TRACE=1 turns on distributed tracing; slow requests land in the
+    // tracer's slow-query log and /traces-style dumps.
+    vq_obs::install_tracer_from_env();
 
     let cluster_config = |shards: Option<u32>| {
         let mut config = ClusterConfig::new(workers);
@@ -427,8 +433,10 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> CliResult {
         .unwrap_or(2);
 
     // Honors VQ_OBS=0 (the command then reports no recorder) and
-    // VQ_OBS_FLIGHT for the ring size.
+    // VQ_OBS_FLIGHT for the ring size; VQ_TRACE=1 additionally records
+    // span trees, served under `/traces` with `--serve`.
     vq_obs::install_from_env();
+    vq_obs::install_tracer_from_env();
 
     let dim = 32usize;
     // Journaled so the durability phase (`phase.wal_sync`) is in the
@@ -452,21 +460,137 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> CliResult {
             let listener = std::net::TcpListener::bind(addr.as_str())
                 .map_err(|e| format!("cannot bind {addr}: {e}"))?;
             println!("serving Prometheus metrics on http://{addr}/metrics (Ctrl-C to stop)");
+            if vq_obs::tracing_enabled() {
+                println!("recent traces (Chrome trace-event JSON) on http://{addr}/traces");
+            }
             for stream in listener.incoming() {
                 let Ok(mut stream) = stream else { continue };
                 use std::io::{Read, Write};
                 let mut request = [0u8; 1024];
-                let _ = stream.read(&mut request);
-                let body = vq_obs::snapshot()
-                    .map(|s| s.to_prometheus())
-                    .unwrap_or_default();
+                let n = stream.read(&mut request).unwrap_or(0);
+                let head = String::from_utf8_lossy(&request[..n]);
+                let path = head.split_whitespace().nth(1).unwrap_or("/metrics");
+                let (content_type, body) = if path.starts_with("/traces") {
+                    (
+                        "application/json",
+                        vq_obs::tracer()
+                            .map(|t| t.to_chrome_json())
+                            .unwrap_or_else(|| "{\"traceEvents\":[]}".to_string()),
+                    )
+                } else {
+                    (
+                        "text/plain; version=0.0.4",
+                        vq_obs::snapshot()
+                            .map(|s| s.to_prometheus())
+                            .unwrap_or_default(),
+                    )
+                };
                 let response = format!(
-                    "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+                    "HTTP/1.1 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
                     body.len()
                 );
                 let _ = stream.write_all(response.as_bytes());
             }
         }
+    }
+    Ok(())
+}
+
+/// Run a short traced workload on an in-process cluster and print the
+/// recent span trees, the slow-query log, and a per-phase self-time
+/// breakdown of the slowest request. `--chrome FILE` additionally
+/// exports Chrome trace-event JSON loadable in Perfetto or
+/// `chrome://tracing`.
+fn cmd_trace(flags: &HashMap<String, String>) -> CliResult {
+    use vq::vq_obs;
+
+    let points: u64 = flags
+        .get("points")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --points: {e}"))?
+        .unwrap_or(2_000);
+    let workers: u32 = flags
+        .get("workers")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --workers: {e}"))?
+        .unwrap_or(2);
+    let sample_every: u64 = flags
+        .get("sample")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --sample: {e}"))?
+        .unwrap_or(1);
+    let tail_ms: f64 = flags
+        .get("tail-ms")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --tail-ms: {e}"))?
+        .unwrap_or(50.0);
+    let limit: usize = flags
+        .get("limit")
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|e| format!("bad --limit: {e}"))?
+        .unwrap_or(3);
+
+    // The phase hook turns existing `record_phase` sites into child
+    // spans, so tracing needs the recorder installed too.
+    vq_obs::install_default();
+    let tracer = vq_obs::install_tracer_with(vq_obs::TraceConfig {
+        sample_every,
+        tail_threshold_secs: tail_ms / 1e3,
+        capacity: vq_obs::DEFAULT_TRACE_CAPACITY,
+    });
+
+    let dim = 32usize;
+    let collection = CollectionConfig::new(dim, Distance::Cosine).max_segment_points(512);
+    let cluster = Cluster::start(ClusterConfig::new(workers), collection)?;
+    let corpus = CorpusSpec::small(points.max(1_000));
+    let model = EmbeddingModel::small(&corpus, dim);
+    let dataset = DatasetSpec::with_vectors(corpus, model, points);
+    LiveUploader::new(32, workers).columnar().upload(&cluster, &dataset)?;
+    let queries: Vec<Vec<f32>> = (0..64).map(|i| dataset.point(i % points).vector).collect();
+    LiveQueryRunner::new(8, 5).run(&cluster, &queries)?;
+    cluster.shutdown();
+
+    let finished = tracer.finished();
+    for t in finished.iter().rev().take(limit) {
+        print!("{}", vq_obs::render_trace(t));
+    }
+    let slow = tracer.slow_query_log();
+    if !slow.is_empty() {
+        println!("-- slow queries (> {tail_ms} ms) --");
+        print!("{slow}");
+    }
+    if let Some(slowest) = finished
+        .iter()
+        .max_by(|a, b| a.dur_secs.total_cmp(&b.dur_secs))
+    {
+        println!(
+            "-- slowest request {:016x} ({:.3} ms) per-phase self time --",
+            slowest.trace_id,
+            slowest.dur_secs * 1e3
+        );
+        for (name, secs) in slowest.phase_self_secs() {
+            println!("  {name:<20} {:9.3} ms", secs * 1e3);
+        }
+    }
+    let stats = tracer.stats();
+    println!(
+        "traces: started {} kept {} (head {}, tail {}) discarded {} evicted {} dropped_spans {}",
+        stats.started,
+        stats.kept_head + stats.kept_tail,
+        stats.kept_head,
+        stats.kept_tail,
+        stats.discarded,
+        stats.evicted,
+        stats.dropped_spans
+    );
+    if let Some(path) = flags.get("chrome") {
+        std::fs::write(path, tracer.to_chrome_json())?;
+        println!("wrote Chrome trace events to {path} (open in Perfetto / chrome://tracing)");
     }
     Ok(())
 }

@@ -56,4 +56,10 @@ cargo run --release -p vq-bench --bin repro -- quantized --check
 echo "==> repro paradox --check (workers x threads oversubscription sweep)"
 cargo run --release -p vq-bench --bin repro -- paradox --check --scale 0.25
 
+echo "==> repro trace --check (distributed tracing, in-proc fabric)"
+cargo run --release -p vq-bench --bin repro -- trace --check --json --scale 0.5
+
+echo "==> repro trace --check --transport tcp (same trees over loopback TCP)"
+cargo run --release -p vq-bench --bin repro -- trace --check --json --scale 0.5 --transport tcp
+
 echo "OK"
