@@ -26,6 +26,12 @@
 //!   seeded fault plan while a replicated, WAL-backed cluster ingests;
 //!   `--check` fails on any lost acknowledged write, over-deadline query,
 //!   or unreported coverage loss — the CI chaos-smoke contract.
+//! * `heal` (not part of `all`) runs the chaos soak with the operator
+//!   deleted: `HealConfig` enabled, a seeded transient refusal plus a
+//!   hard `crash_worker` mid-traffic; `--check` fails unless detection,
+//!   restart, and rebuild all happen autonomously (zero
+//!   `restart_worker` calls), no acked write is lost, and replication
+//!   is restored — the CI heal-smoke contract.
 //! * `quantized` (not part of `all`) builds a quantized-resident
 //!   collection (PQ codes in RAM, full-precision vectors demand-paged)
 //!   and sweeps rerank depth; `--check` enforces the BENCH_PQ.json
@@ -118,8 +124,8 @@ fn main() {
     let calib = Calibration::default();
     let known = [
         "table1", "table2", "fig2", "table3", "fig3", "fig4", "fig5", "ablation",
-        "variability", "pipeline", "live", "ingest", "chaos", "quantized", "protocol",
-        "paradox", "trace", "all",
+        "variability", "pipeline", "live", "ingest", "chaos", "heal", "quantized",
+        "protocol", "paradox", "trace", "all",
     ];
     if !known.contains(&which) {
         eprintln!("unknown experiment `{which}`; one of: {}", known.join(", "));
@@ -173,6 +179,15 @@ fn main() {
     // cycles, and queries stay deadline-bounded while workers are down.
     if which == "chaos" {
         print_chaos(json, check, scale, tcp);
+    }
+    // Self-healing soak: opt-in only (crashes real worker threads and
+    // lets the failure detector + stabilizer repair the cluster with no
+    // operator call); `--check` makes it the CI heal-smoke contract —
+    // bounded detection latency, at least one autonomous restart and one
+    // completed rebuild, zero acked writes lost, replication restored,
+    // and zero operator `restart_worker` calls.
+    if which == "heal" {
+        print_heal(json, check, scale, tcp);
     }
     // Quantized-resident memory hierarchy: opt-in only (trains real PQ
     // codebooks); `--check` makes it the CI quantized-smoke contract —
@@ -1648,6 +1663,339 @@ fn run_chaos_soak<T: vq_net::Transport<vq_cluster::ClusterMsg> + 'static>(
                 ),
                 (
                     "concurrent searches survived every kill/restart",
+                    concurrent_searches > 0,
+                ),
+            ],
+        );
+    }
+}
+
+#[derive(Serialize)]
+struct HealOut {
+    transport: String,
+    workers: u32,
+    replication: u32,
+    points_acked: u64,
+    upserts_rejected: u64,
+    post_recovery_count: u64,
+    lost_acked_points: u64,
+    transient_heal_ms: f64,
+    detection_ms: f64,
+    restart_ms: f64,
+    rebuild_ms: f64,
+    suspicions: u64,
+    autonomous_restarts: u64,
+    operator_restarts: u64,
+    rebuilds_queued: u64,
+    rebuilds_completed: u64,
+    rebuilds_failed: u64,
+    replication_restored: bool,
+    concurrent_searches: u64,
+    metrics: serde_json::Value,
+}
+
+/// Poll `cond` every 2 ms until it holds or `budget` elapses; returns the
+/// elapsed time on success.
+fn wait_until(
+    budget: std::time::Duration,
+    mut cond: impl FnMut() -> bool,
+) -> Option<std::time::Duration> {
+    let t0 = std::time::Instant::now();
+    loop {
+        if cond() {
+            return Some(t0.elapsed());
+        }
+        if t0.elapsed() >= budget {
+            return None;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(2));
+    }
+}
+
+/// Self-healing soak (PR 10's heal-smoke contract): a replicated cluster
+/// with the failure detector + stabilizer enabled absorbs two kinds of
+/// failure with **zero operator calls**:
+///
+/// * a transient fault — the seeded plan refuses the first two frames to
+///   worker 1, which must leave it Suspect, get it re-probed back to
+///   Alive, and re-sync the writes it missed (the PR 10 regression: the
+///   legacy dead-set marked it dead forever on one refused frame);
+/// * a hard crash — `crash_worker` yanks worker 2 without telling the
+///   cluster; detection, autonomous restart, and shard rebuild from live
+///   replicas all have to happen on their own.
+///
+/// `--check` enforces bounded detection, ≥ 1 autonomous restart, ≥ 1
+/// completed rebuild, zero lost acked writes, per-shard replica counts
+/// equal again afterwards, and `worker_restart_count() == 0`.
+fn print_heal(json: bool, check: bool, scale: f64, tcp: bool) {
+    use std::time::Duration;
+    use vq_cluster::{Cluster, ClusterConfig, Deadlines, Durability, HealConfig};
+    use vq_collection::CollectionConfig;
+    use vq_core::Distance;
+    use vq_net::{FaultPlan, TcpTransport};
+    use vq_workload::{DatasetSpec, EmbeddingModel};
+
+    section(&format!(
+        "Self-healing soak ({} fabric): crash under load, autonomous detection/restart/rebuild",
+        if tcp { "TCP" } else { "in-proc" }
+    ));
+    let workers = 3u32;
+    let replication = 2u32;
+    let dim = 16usize;
+    let n = scaled(2_400, scale, 300);
+    let corpus = CorpusSpec::small(n);
+    let model = EmbeddingModel::small(&corpus, dim);
+    let dataset = DatasetSpec::with_vectors(corpus, model, n);
+
+    let deadlines = Deadlines {
+        request: Duration::from_secs(5),
+        gather: Duration::from_millis(500),
+        index_build: Duration::from_secs(60),
+        retry_backoff: Duration::from_millis(5),
+    };
+    // Same background noise as the chaos soak, plus one deterministic
+    // transient: the first two frames delivered to worker 1 bounce with a
+    // connection-refused style error (sender-visible, unlike a drop).
+    let faults = FaultPlan::new(42)
+        .delay_on(None, None, 0.05, Duration::from_millis(2))
+        .duplicate_on(None, None, 0.03)
+        .refuse_on(None, Some(1), 2);
+    // A 25 ms stabilizer tick keeps a safety margin between the last
+    // write of an ingest slice and the earliest rebuild transfer (an
+    // install overwrites the target shard, so the soak never writes while
+    // a transfer can be in flight).
+    let heal = HealConfig {
+        heartbeat_every: Duration::from_millis(10),
+        tick: Duration::from_millis(25),
+        ..HealConfig::default()
+    };
+    let cluster_config = ClusterConfig::new(workers)
+        .replication(replication)
+        .deadlines(deadlines)
+        .durability(Durability::SharedMem)
+        .faults(faults)
+        .heal(heal);
+    let collection_config = CollectionConfig::new(dim, Distance::Cosine).max_segment_points(256);
+    if tcp {
+        let cluster = Cluster::start_on(TcpTransport::new(), cluster_config, collection_config)
+            .expect("cluster start");
+        run_heal_soak(cluster, "tcp", &dataset, n, workers, replication, json, check);
+    } else {
+        let cluster = Cluster::start(cluster_config, collection_config).expect("cluster start");
+        run_heal_soak(cluster, "inproc", &dataset, n, workers, replication, json, check);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_heal_soak<T: vq_net::Transport<vq_cluster::ClusterMsg> + 'static>(
+    cluster: std::sync::Arc<vq_cluster::Cluster<T>>,
+    transport: &str,
+    dataset: &vq_workload::DatasetSpec,
+    n: u64,
+    workers: u32,
+    replication: u32,
+    json: bool,
+    check: bool,
+) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::Duration;
+    use vq_cluster::{Request, Response, WorkerHealth};
+    use vq_collection::SearchRequest;
+
+    let transient = 1u32; // target of the seeded refusals
+    let victim = 2u32; // crashed later, detector must notice
+    let budget = Duration::from_secs(30);
+    let mut client = cluster.client();
+    let mut acked: Vec<u64> = Vec::new();
+    let mut rejected = 0u64;
+    let slice = n / 3;
+
+    // Phase 1 — transient fault. The first frames to worker 1 are the
+    // slice's replicated writes: two bounce, the client fails over and
+    // marks it Suspect, and the stabilizer must probe it back to Alive
+    // and re-sync the missed writes — all without `restart_worker`.
+    chaos_ingest(&mut client, dataset, 0..slice, &mut acked, &mut rejected);
+    let transient_heal = wait_until(budget, || {
+        cluster.worker_health(transient) == WorkerHealth::Alive
+            && cluster.dead_workers().is_empty()
+            && cluster.pending_rebuilds() == 0
+    });
+    let transient_heal_ms = transient_heal.map_or(f64::INFINITY, |d| d.as_secs_f64() * 1e3);
+    let transient_suspected = cluster.suspicion_count() >= 1;
+    let transient_without_restart =
+        cluster.worker_restart_count() == 0 && cluster.autonomous_restart_count() == 0;
+    println!(
+        "transient refusal on worker {transient}: suspected={transient_suspected}, healed in {transient_heal_ms:.0} ms, restarts used: 0"
+    );
+
+    // Concurrent read load across the crash: retries and replica failover
+    // absorb the outage — the searcher never sees an error.
+    let stop = Arc::new(AtomicBool::new(false));
+    let searcher = {
+        let cluster = cluster.clone();
+        let stop = stop.clone();
+        let probe = dataset.point(0).vector;
+        std::thread::spawn(move || {
+            let mut client = cluster.client();
+            let mut ok = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                client
+                    .search_batch_outcome(vec![SearchRequest::new(probe.clone(), 5)])
+                    .expect("concurrent search survives the crash");
+                ok += 1;
+            }
+            ok
+        })
+    };
+
+    // Phase 2 — hard crash, no notification. Detection comes from the
+    // health machinery alone: heartbeat silence trips the phi detector,
+    // and any failed send from live traffic marks the worker Suspect.
+    let restarts_before = cluster.autonomous_restart_count();
+    let t_crash = std::time::Instant::now();
+    cluster.crash_worker(victim).expect("victim is tracked");
+    let detection = wait_until(budget, || {
+        cluster.worker_health(victim) != WorkerHealth::Alive
+    });
+    let detection_ms = detection.map_or(f64::INFINITY, |d| d.as_secs_f64() * 1e3);
+    // Writes keep flowing while the victim is down (replication 2 keeps a
+    // live owner per shard); the missed writes are the rebuild's job.
+    chaos_ingest(&mut client, dataset, slice..2 * slice, &mut acked, &mut rejected);
+    let restart =
+        wait_until(budget, || cluster.autonomous_restart_count() > restarts_before);
+    let restart_ms = restart.map_or(f64::INFINITY, |_| t_crash.elapsed().as_secs_f64() * 1e3);
+    let rebuild = wait_until(budget, || {
+        cluster.worker_health(victim) == WorkerHealth::Alive && cluster.pending_rebuilds() == 0
+    });
+    let rebuild_ms = rebuild.map_or(f64::INFINITY, |_| t_crash.elapsed().as_secs_f64() * 1e3);
+    println!(
+        "crash of worker {victim}: detected in {detection_ms:.0} ms, restarted by {restart_ms:.0} ms, rebuilt by {rebuild_ms:.0} ms"
+    );
+
+    // Phase 3 — the healed cluster takes the rest of the dataset.
+    chaos_ingest(&mut client, dataset, 2 * slice..n, &mut acked, &mut rejected);
+    stop.store(true, Ordering::Relaxed);
+    let concurrent_searches = searcher.join().expect("searcher thread clean exit");
+
+    // Every acked write is findable (`get` asks the shard's primary, so
+    // this also proves re-synced replicas serve reads).
+    let post_count = client.count(None).expect("count after heal") as u64;
+    let mut lost = 0u64;
+    for &id in acked.iter().step_by(7) {
+        if client.get(id).expect("get after heal").is_none() {
+            lost += 1;
+        }
+    }
+    // Replication restored: every replica of every shard the victim owns
+    // reports the same live-point count again.
+    let placement = cluster.placement();
+    let mut replication_restored = true;
+    for shard in placement.shards_of(victim) {
+        let owners = placement.owners_of(shard).expect("placed shard").to_vec();
+        let mut counts = Vec::new();
+        for w in owners {
+            match client.request(w, Request::Count { shard: Some(shard), filter: None }) {
+                Ok(Response::Count(c)) => counts.push(c),
+                _ => replication_restored = false,
+            }
+        }
+        replication_restored &= counts.windows(2).all(|pair| pair[0] == pair[1]);
+    }
+
+    let suspicions = cluster.suspicion_count();
+    let autonomous_restarts = cluster.autonomous_restart_count();
+    let operator_restarts = cluster.worker_restart_count();
+    let (rebuilds_queued, rebuilds_completed, rebuilds_failed) = cluster.rebuild_counts();
+    cluster.shutdown();
+
+    println!(
+        "acked {} upserts ({} rejected); post-heal count {}; {} sampled acked points missing; replicas consistent: {}",
+        acked.len(),
+        rejected,
+        post_count,
+        lost,
+        replication_restored,
+    );
+    println!(
+        "counters: {suspicions} suspicions, {autonomous_restarts} autonomous restarts, {operator_restarts} operator restarts, rebuilds {rebuilds_queued} queued / {rebuilds_completed} completed / {rebuilds_failed} failed; {concurrent_searches} concurrent searches, none errored"
+    );
+    if let Some(snap) = vq_obs::snapshot() {
+        println!("phase latency percentiles (flight recorder):");
+        print_phase_percentiles(&snap, &["wal_replay", "rebuild", "gather", "upsert", "search"]);
+    }
+
+    emit(
+        json,
+        if transport == "tcp" { "heal_tcp" } else { "heal" },
+        &HealOut {
+            transport: transport.to_string(),
+            workers,
+            replication,
+            points_acked: acked.len() as u64,
+            upserts_rejected: rejected,
+            post_recovery_count: post_count,
+            lost_acked_points: lost,
+            transient_heal_ms,
+            detection_ms,
+            restart_ms,
+            rebuild_ms,
+            suspicions,
+            autonomous_restarts,
+            operator_restarts,
+            rebuilds_queued,
+            rebuilds_completed,
+            rebuilds_failed,
+            replication_restored,
+            concurrent_searches,
+            metrics: obs_metrics_json(),
+        },
+    );
+
+    if check {
+        enforce_shapes(
+            "heal",
+            &[
+                (
+                    "transient refusal raised a suspicion, not a permanent death",
+                    transient_suspected,
+                ),
+                (
+                    "transiently refused worker was re-probed back to Alive and routed again",
+                    transient_heal_ms.is_finite(),
+                ),
+                (
+                    "transient heal used zero restarts of any kind",
+                    transient_without_restart,
+                ),
+                (
+                    "crashed worker detected autonomously within 10 s",
+                    detection_ms.is_finite() && detection_ms <= 10_000.0,
+                ),
+                (
+                    "at least one autonomous restart (cluster.autonomous_restarts >= 1)",
+                    autonomous_restarts >= 1,
+                ),
+                (
+                    "at least one completed rebuild (cluster.rebuilds_completed >= 1)",
+                    rebuilds_completed >= 1,
+                ),
+                (
+                    "rejoined worker promoted to Alive with the rebuild queue drained",
+                    rebuild_ms.is_finite(),
+                ),
+                ("zero operator restart_worker calls", operator_restarts == 0),
+                ("zero acked points lost across transient + crash", lost == 0),
+                (
+                    "post-heal count equals acked upserts",
+                    post_count == acked.len() as u64,
+                ),
+                (
+                    "replica counts equal again on every victim-owned shard",
+                    replication_restored,
+                ),
+                (
+                    "concurrent searches survived the crash window",
                     concurrent_searches > 0,
                 ),
             ],

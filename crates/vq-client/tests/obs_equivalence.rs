@@ -45,28 +45,32 @@ fn wall_and_virtual_runtimes_record_identical_client_metrics() {
     let plan = Plan::contiguous(d.len(), 32, policy.lanes);
 
     // Wall side: a real cluster, real threads, real Instants.
-    let recorder = vq_obs::install_default();
-    let collection = CollectionConfig::new(16, Distance::Cosine).max_segment_points(256);
-    let cluster = Cluster::start(ClusterConfig::new(2), collection).unwrap();
-    let live = LiveClusterService::upload_blocks(&cluster, &d);
-    let wall = WallClock::new(&live)
-        .run(&plan, policy.window, PipelineMode::Upload)
-        .unwrap();
-    cluster.shutdown();
-    let wall_snap = vq_obs::snapshot().expect("recorder installed");
-    let wall_spans = spans_per_lane(&recorder.flight().events());
-    vq_obs::uninstall();
+    let (wall, wall_snap, wall_spans) = {
+        let obs = vq_obs::ObsGuard::install_default();
+        let collection = CollectionConfig::new(16, Distance::Cosine).max_segment_points(256);
+        let cluster = Cluster::start(ClusterConfig::new(2), collection).unwrap();
+        let live = LiveClusterService::upload_blocks(&cluster, &d);
+        let wall = WallClock::new(&live)
+            .run(&plan, policy.window, PipelineMode::Upload)
+            .unwrap();
+        cluster.shutdown();
+        let snap = vq_obs::snapshot().expect("recorder installed");
+        let spans = spans_per_lane(&obs.recorder().flight().events());
+        (wall, snap, spans)
+    };
 
     // Virtual side: the DES engine over the calibrated cost model.
-    let recorder = vq_obs::install_default();
-    let model = InsertCostModel::default();
-    let modeled = ModeledClusterService::upload_blocks(&model, 2, policy.window);
-    let virt = VirtualClock::new(&modeled)
-        .run(&plan, policy.window, PipelineMode::Upload)
-        .unwrap();
-    let virt_snap = vq_obs::snapshot().expect("recorder installed");
-    let virt_spans = spans_per_lane(&recorder.flight().events());
-    vq_obs::uninstall();
+    let (virt, virt_snap, virt_spans) = {
+        let obs = vq_obs::ObsGuard::install_default();
+        let model = InsertCostModel::default();
+        let modeled = ModeledClusterService::upload_blocks(&model, 2, policy.window);
+        let virt = VirtualClock::new(&modeled)
+            .run(&plan, policy.window, PipelineMode::Upload)
+            .unwrap();
+        let snap = vq_obs::snapshot().expect("recorder installed");
+        let spans = spans_per_lane(&obs.recorder().flight().events());
+        (virt, snap, spans)
+    };
 
     assert_eq!(wall.batches, virt.batches);
 
@@ -164,30 +168,28 @@ fn wall_and_virtual_runtimes_emit_identical_span_trees() {
     };
 
     // Wall side: a real cluster; spans come from real Instants.
-    let _recorder = vq_obs::install_default();
-    let tracer = vq_obs::install_tracer_with(trace_config);
-    let collection = CollectionConfig::new(16, Distance::Cosine).max_segment_points(256);
-    let cluster = Cluster::start(ClusterConfig::new(2), collection).unwrap();
-    let live = LiveClusterService::upload_blocks(&cluster, &d);
-    WallClock::new(&live)
-        .run(&plan, policy.window, PipelineMode::Upload)
-        .unwrap();
-    cluster.shutdown();
-    let wall_trees = tree_signatures(&tracer.finished());
-    vq_obs::uninstall_tracer();
-    vq_obs::uninstall();
+    let wall_trees = {
+        let obs = vq_obs::ObsGuard::install_default().with_tracer(trace_config);
+        let collection = CollectionConfig::new(16, Distance::Cosine).max_segment_points(256);
+        let cluster = Cluster::start(ClusterConfig::new(2), collection).unwrap();
+        let live = LiveClusterService::upload_blocks(&cluster, &d);
+        WallClock::new(&live)
+            .run(&plan, policy.window, PipelineMode::Upload)
+            .unwrap();
+        cluster.shutdown();
+        tree_signatures(&obs.tracer().expect("tracer installed").finished())
+    };
 
     // Virtual side: the DES engine; spans are stamped with sim time.
-    let _recorder = vq_obs::install_default();
-    let tracer = vq_obs::install_tracer_with(trace_config);
-    let model = InsertCostModel::default();
-    let modeled = ModeledClusterService::upload_blocks(&model, 2, policy.window);
-    VirtualClock::new(&modeled)
-        .run(&plan, policy.window, PipelineMode::Upload)
-        .unwrap();
-    let virt_trees = tree_signatures(&tracer.finished());
-    vq_obs::uninstall_tracer();
-    vq_obs::uninstall();
+    let virt_trees = {
+        let obs = vq_obs::ObsGuard::install_default().with_tracer(trace_config);
+        let model = InsertCostModel::default();
+        let modeled = ModeledClusterService::upload_blocks(&model, 2, policy.window);
+        VirtualClock::new(&modeled)
+            .run(&plan, policy.window, PipelineMode::Upload)
+            .unwrap();
+        tree_signatures(&obs.tracer().expect("tracer installed").finished())
+    };
 
     assert_eq!(
         wall_trees.len(),

@@ -8,14 +8,15 @@
 //! and drives administrative actions (seal, index builds, rebalance,
 //! shutdown).
 
+use crate::detector::{FailureDetector, HealConfig, WorkerHealth};
 use crate::messages::{ClusterMsg, Request, Response};
 use crate::placement::{Placement, ShardId, WorkerId};
 use crate::recovery::{Durability, WalStore};
-use crate::worker::{alloc_ephemeral_id, Worker};
-use parking_lot::RwLock;
-use std::collections::{HashMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use crate::worker::{alloc_ephemeral_id, Worker, MONITOR_ID};
+use parking_lot::{Mutex, RwLock};
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Weak};
 use std::time::{Duration, Instant};
 use vq_collection::{CollectionConfig, CollectionStats, SearchRequest};
 use vq_core::{Point, PointBlock, PointId, ScoredPoint, VqError, VqResult};
@@ -117,6 +118,11 @@ pub struct ClusterConfig {
     pub faults: Option<FaultPlan>,
     /// Search-execution model (per-worker pools by default).
     pub exec: SearchExec,
+    /// Self-healing configuration. `None` (the default) keeps the legacy
+    /// operator-driven behavior: a failed send marks the worker dead until
+    /// `restart_worker`. `Some` turns on heartbeats, the phi-accrual
+    /// failure detector, and the background stabilizer.
+    pub heal: Option<HealConfig>,
 }
 
 impl ClusterConfig {
@@ -132,6 +138,7 @@ impl ClusterConfig {
             durability: Durability::Volatile,
             faults: None,
             exec: SearchExec::default(),
+            heal: None,
         }
     }
 
@@ -177,6 +184,13 @@ impl ClusterConfig {
         self
     }
 
+    /// Builder-style setter enabling self-healing (heartbeat failure
+    /// detection + background stabilizer).
+    pub fn heal(mut self, heal: HealConfig) -> Self {
+        self.heal = Some(heal);
+        self
+    }
+
     /// Resolve the execution context for worker `id` on this machine:
     /// `None` for the global-rayon baseline; otherwise a dedicated
     /// work-stealing pool sized to the worker's fair share of the node,
@@ -217,13 +231,29 @@ pub struct Cluster<T: Transport<ClusterMsg> = Switchboard<ClusterMsg>> {
     collection_config: CollectionConfig,
     cluster_config: ClusterConfig,
     wal_store: Arc<WalStore>,
-    /// Workers observed dead (killed, or a request to them failed at the
-    /// transport). Routing skips them; `restart_worker` clears them.
-    dead: RwLock<HashSet<WorkerId>>,
+    /// Per-worker liveness state; a worker absent from the map is
+    /// [`WorkerHealth::Alive`]. Without healing only `Dead` entries ever
+    /// appear (the legacy "failed send ⇒ dead until `restart_worker`"
+    /// behavior); with healing the full
+    /// alive → suspect → dead → rejoining machine runs.
+    health: RwLock<HashMap<WorkerId, WorkerHealth>>,
+    /// Heartbeat arrival histories (fed by the monitor thread).
+    detector: Mutex<FailureDetector>,
+    /// Pending shard rebuilds `(owner, shard)` the stabilizer drains at a
+    /// bounded rate (`HealConfig::rebuilds_per_tick`).
+    rebuild_queue: Mutex<VecDeque<(WorkerId, ShardId)>>,
+    /// Tells the monitor and stabilizer threads to wind down.
+    heal_stop: Arc<AtomicBool>,
+    heal_threads: Mutex<Vec<std::thread::JoinHandle<()>>>,
     rr_worker: AtomicU64,
     search_retries: AtomicU64,
     failovers: AtomicU64,
     worker_restarts: AtomicU64,
+    suspicions: AtomicU64,
+    autonomous_restarts: AtomicU64,
+    rebuilds_queued: AtomicU64,
+    rebuilds_completed: AtomicU64,
+    rebuilds_failed: AtomicU64,
 }
 
 impl Cluster {
@@ -272,6 +302,11 @@ impl<T: Transport<ClusterMsg>> Cluster<T> {
             transport.install_faults(plan);
         }
         let wal_store = Arc::new(WalStore::new(cluster_config.durability.clone()));
+        let heal = cluster_config.heal;
+        // Register the monitor inbox before any worker spawns so the very
+        // first beacons have somewhere to land.
+        let monitor_endpoint = heal.map(|_| transport.register(MONITOR_ID, u32::MAX));
+        let heartbeat_every = heal.map(|h| h.heartbeat_every);
         let workers = worker_ids
             .iter()
             .map(|&id| {
@@ -285,22 +320,54 @@ impl<T: Transport<ClusterMsg>> Cluster<T> {
                     cluster_config.deadlines,
                     wal_store.clone(),
                     cluster_config.build_exec_ctx(id),
+                    heartbeat_every,
                 )
             })
             .collect::<VqResult<Vec<_>>>()?;
-        Ok(Arc::new(Cluster {
+        let expected = heartbeat_every.unwrap_or(Duration::from_millis(15));
+        let cluster = Arc::new(Cluster {
             transport,
             placement,
             workers: RwLock::new(workers),
             collection_config,
             cluster_config,
             wal_store,
-            dead: RwLock::new(HashSet::new()),
+            health: RwLock::new(HashMap::new()),
+            detector: Mutex::new(FailureDetector::new(expected, 64)),
+            rebuild_queue: Mutex::new(VecDeque::new()),
+            heal_stop: Arc::new(AtomicBool::new(false)),
+            heal_threads: Mutex::new(Vec::new()),
             rr_worker: AtomicU64::new(0),
             search_retries: AtomicU64::new(0),
             failovers: AtomicU64::new(0),
             worker_restarts: AtomicU64::new(0),
-        }))
+            suspicions: AtomicU64::new(0),
+            autonomous_restarts: AtomicU64::new(0),
+            rebuilds_queued: AtomicU64::new(0),
+            rebuilds_completed: AtomicU64::new(0),
+            rebuilds_failed: AtomicU64::new(0),
+        });
+        if let (Some(heal), Some(endpoint)) = (heal, monitor_endpoint) {
+            {
+                let mut det = cluster.detector.lock();
+                let now = Instant::now();
+                for &id in &worker_ids {
+                    det.register(id, now);
+                }
+            }
+            let monitor = {
+                let weak = Arc::downgrade(&cluster);
+                let stop = cluster.heal_stop.clone();
+                std::thread::spawn(move || monitor_loop(weak, endpoint, heal, stop))
+            };
+            let stabilizer = {
+                let weak = Arc::downgrade(&cluster);
+                let stop = cluster.heal_stop.clone();
+                std::thread::spawn(move || stabilizer_loop(weak, heal, stop))
+            };
+            cluster.heal_threads.lock().extend([monitor, stabilizer]);
+        }
+        Ok(cluster)
     }
 
     /// Current placement snapshot.
@@ -354,17 +421,96 @@ impl<T: Transport<ClusterMsg>> Cluster<T> {
 
     /// Workers currently marked dead (sorted).
     pub fn dead_workers(&self) -> Vec<WorkerId> {
-        let mut v: Vec<WorkerId> = self.dead.read().iter().copied().collect();
+        let health = self.health.read();
+        let mut v: Vec<WorkerId> = health
+            .iter()
+            .filter(|(_, h)| **h == WorkerHealth::Dead)
+            .map(|(w, _)| *w)
+            .collect();
         v.sort_unstable();
         v
     }
 
-    /// Mark a worker dead for routing purposes. Called automatically
-    /// when a request to it fails at the transport; also callable by
-    /// harnesses that learn of a death out of band.
-    pub fn mark_worker_dead(&self, id: WorkerId) {
-        if self.dead.write().insert(id) {
+    /// Dead set for routing decisions.
+    fn routing_dead(&self) -> HashSet<WorkerId> {
+        self.health
+            .read()
+            .iter()
+            .filter(|(_, h)| **h == WorkerHealth::Dead)
+            .map(|(w, _)| *w)
+            .collect()
+    }
+
+    /// Liveness state of one worker (workers the detector has no verdict
+    /// on are [`WorkerHealth::Alive`]).
+    pub fn worker_health(&self, id: WorkerId) -> WorkerHealth {
+        self.health
+            .read()
+            .get(&id)
+            .copied()
+            .unwrap_or(WorkerHealth::Alive)
+    }
+
+    /// Health of every placement worker, sorted by id.
+    pub fn health(&self) -> Vec<(WorkerId, WorkerHealth)> {
+        let health = self.health.read();
+        let mut workers = self.placement.read().workers().to_vec();
+        workers.sort_unstable();
+        workers
+            .into_iter()
+            .map(|w| (w, health.get(&w).copied().unwrap_or(WorkerHealth::Alive)))
+            .collect()
+    }
+
+    /// Current phi suspicion level for `id` (0.0 when healing is off or
+    /// the worker is unknown to the detector).
+    pub fn suspicion(&self, id: WorkerId) -> f64 {
+        self.detector.lock().phi(id, Instant::now())
+    }
+
+    fn set_health(&self, id: WorkerId, state: WorkerHealth) {
+        let mut health = self.health.write();
+        if state == WorkerHealth::Alive {
+            health.remove(&id);
+        } else {
+            health.insert(id, state);
+        }
+    }
+
+    /// Record `id` as Dead (idempotent), counting the transition.
+    fn declare_dead(&self, id: WorkerId) {
+        let mut health = self.health.write();
+        if health.insert(id, WorkerHealth::Dead) != Some(WorkerHealth::Dead) {
             vq_obs::count("cluster.worker_deaths", 1);
+        }
+    }
+
+    /// Record `id` as Suspect (idempotent from Alive only), counting the
+    /// transition.
+    fn declare_suspect(&self, id: WorkerId) {
+        let mut health = self.health.write();
+        if health.get(&id).is_none() {
+            health.insert(id, WorkerHealth::Suspect);
+            drop(health);
+            self.suspicions.fetch_add(1, Ordering::Relaxed);
+            vq_obs::count("cluster.suspicions", 1);
+        }
+    }
+
+    /// Mark a worker unreachable for routing purposes. Called
+    /// automatically when a request to it fails at the transport; also
+    /// callable by harnesses that learn of a death out of band.
+    ///
+    /// Without healing this is the legacy judgement: dead until
+    /// `restart_worker`. With healing a single failed send is only
+    /// *suspicion* — the stabilizer re-probes the worker and either
+    /// clears it (transient refusal/partition) or escalates it to Dead
+    /// and restarts it autonomously.
+    pub fn mark_worker_dead(&self, id: WorkerId) {
+        if self.cluster_config.heal.is_some() {
+            self.declare_suspect(id);
+        } else {
+            self.declare_dead(id);
         }
     }
 
@@ -393,6 +539,32 @@ impl<T: Transport<ClusterMsg>> Cluster<T> {
         self.worker_restarts.load(Ordering::Relaxed)
     }
 
+    /// Alive → Suspect transitions so far (mirrors `cluster.suspicions`).
+    pub fn suspicion_count(&self) -> u64 {
+        self.suspicions.load(Ordering::Relaxed)
+    }
+
+    /// Workers the stabilizer restarted without an operator (mirrors
+    /// `cluster.autonomous_restarts`).
+    pub fn autonomous_restart_count(&self) -> u64 {
+        self.autonomous_restarts.load(Ordering::Relaxed)
+    }
+
+    /// Rebuild-queue lifetime counters `(queued, completed, failed)`
+    /// (mirrors `cluster.rebuilds_{queued,completed,failed}`).
+    pub fn rebuild_counts(&self) -> (u64, u64, u64) {
+        (
+            self.rebuilds_queued.load(Ordering::Relaxed),
+            self.rebuilds_completed.load(Ordering::Relaxed),
+            self.rebuilds_failed.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Rebuilds still waiting in the stabilizer's queue.
+    pub fn pending_rebuilds(&self) -> usize {
+        self.rebuild_queue.lock().len()
+    }
+
     /// Kill a worker abruptly: its transport endpoint is yanked with no
     /// deregister/ack handshake (messages already queued still drain, as
     /// on a real crash where the kernel delivers what it buffered). The
@@ -409,7 +581,29 @@ impl<T: Transport<ClusterMsg>> Cluster<T> {
             workers.remove(pos)
         };
         self.transport.crash(id);
-        self.mark_worker_dead(id);
+        // The killer *knows* the worker is gone, so skip the suspicion
+        // ladder even under healing (the stabilizer still notices the
+        // Dead entry and restarts it autonomously).
+        self.declare_dead(id);
+        worker.join();
+        Ok(())
+    }
+
+    /// Crash a worker *without telling the cluster*: the endpoint is
+    /// yanked and the thread reaped, but no health state changes — the
+    /// failure detector has to notice the silence on its own. This is the
+    /// honest way to measure detection latency in the heal soak
+    /// (`kill_worker` would hand the detector the answer).
+    pub fn crash_worker(&self, id: WorkerId) -> VqResult<()> {
+        let worker = {
+            let mut workers = self.workers.write();
+            let pos = workers
+                .iter()
+                .position(|w| w.id() == id)
+                .ok_or(VqError::NodeNotFound(id))?;
+            workers.remove(pos)
+        };
+        self.transport.crash(id);
         worker.join();
         Ok(())
     }
@@ -445,9 +639,18 @@ impl<T: Transport<ClusterMsg>> Cluster<T> {
             self.cluster_config.deadlines,
             self.wal_store.clone(),
             self.cluster_config.build_exec_ctx(id),
+            self.cluster_config.heal.map(|h| h.heartbeat_every),
         )?;
         self.workers.write().push(worker);
-        self.dead.write().remove(&id);
+        {
+            // Fresh incarnation: reset both the health verdict and the
+            // heartbeat history (pre-crash intervals must not skew the
+            // new cadence estimate).
+            let mut det = self.detector.lock();
+            det.forget(id);
+            det.register(id, Instant::now());
+        }
+        self.set_health(id, WorkerHealth::Alive);
         // The replacement's own WAL ends at the kill: writes a replica
         // acknowledged while this worker was down exist only on that
         // replica. Catch up by pulling each shard from a live co-owner —
@@ -461,7 +664,7 @@ impl<T: Transport<ClusterMsg>> Cluster<T> {
         for shard in shards {
             let donor = {
                 let placement = self.placement.read();
-                let dead = self.dead.read();
+                let dead = self.routing_dead();
                 placement
                     .owners_of(shard)?
                     .iter()
@@ -488,22 +691,35 @@ impl<T: Transport<ClusterMsg>> Cluster<T> {
     fn pick_first_contact_excluding(&self, excluded: &HashSet<WorkerId>) -> VqResult<WorkerId> {
         let placement = self.placement.read();
         let workers = placement.workers();
-        let dead = self.dead.read();
+        let health = self.health.read();
+        let state =
+            |w: &WorkerId| health.get(w).copied().unwrap_or(WorkerHealth::Alive);
         let live: Vec<WorkerId> = workers
             .iter()
             .copied()
-            .filter(|w| !dead.contains(w) && !excluded.contains(w))
+            .filter(|w| state(w) == WorkerHealth::Alive && !excluded.contains(w))
             .collect();
-        // If every live worker was already tried this query, fall back to
-        // anything not yet tried (a "dead" worker may have recovered).
-        let pool = if live.is_empty() {
-            workers
+        // Prefer confirmed-healthy workers; then anything not declared
+        // dead (suspects and rejoiners still serve); if every one of
+        // those was already tried this query, fall back to anything not
+        // yet tried (a "dead" worker may have recovered).
+        let pool = if !live.is_empty() {
+            live
+        } else {
+            let not_dead: Vec<WorkerId> = workers
                 .iter()
                 .copied()
-                .filter(|w| !excluded.contains(w))
-                .collect()
-        } else {
-            live
+                .filter(|w| state(w) != WorkerHealth::Dead && !excluded.contains(w))
+                .collect();
+            if !not_dead.is_empty() {
+                not_dead
+            } else {
+                workers
+                    .iter()
+                    .copied()
+                    .filter(|w| !excluded.contains(w))
+                    .collect()
+            }
         };
         if pool.is_empty() {
             return Err(VqError::NoAvailableWorker);
@@ -539,7 +755,15 @@ impl<T: Transport<ClusterMsg>> Cluster<T> {
                     self.cluster_config.deadlines,
                     self.wal_store.clone(),
                     self.cluster_config.build_exec_ctx(id),
+                    self.cluster_config.heal.map(|h| h.heartbeat_every),
                 )?);
+            }
+        }
+        if self.cluster_config.heal.is_some() {
+            let mut det = self.detector.lock();
+            let now = Instant::now();
+            for &id in &new_ids {
+                det.register(id, now);
             }
         }
         // Compute the new placement and the moves it requires.
@@ -570,8 +794,25 @@ impl<T: Transport<ClusterMsg>> Cluster<T> {
         Ok(moves.len())
     }
 
+    /// Stop the monitor and stabilizer threads (idempotent; no-op when
+    /// healing is off).
+    fn stop_healing(&self) {
+        self.heal_stop.store(true, Ordering::Relaxed);
+        if self.cluster_config.heal.is_some() {
+            // Unblock the monitor's recv.
+            self.transport.crash(MONITOR_ID);
+        }
+        let handles: Vec<_> = self.heal_threads.lock().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
     /// Stop every worker and wait for their threads.
     pub fn shutdown(self: &Arc<Self>) {
+        // Heal threads first, or the stabilizer would fight the shutdown
+        // by restarting workers as they go down.
+        self.stop_healing();
         let mut client = self.client();
         let workers: Vec<WorkerId> = self.workers.read().iter().map(Worker::id).collect();
         for w in workers {
@@ -586,6 +827,324 @@ impl<T: Transport<ClusterMsg>> Cluster<T> {
             self.transport.crash(w.id());
             w.join();
         }
+    }
+
+    /// Re-evaluate phi for every placement worker, moving Alive workers
+    /// whose suspicion crossed the threshold to Suspect. Recovery out of
+    /// Suspect is *probe-driven* (see [`Self::stabilize`]) so the
+    /// regression surface — "was this worker actually re-contacted?" —
+    /// is explicit rather than inferred from beacon timing.
+    fn evaluate_suspicions(&self, heal: &HealConfig) {
+        let workers = self.placement.read().workers().to_vec();
+        let now = Instant::now();
+        let suspicious: Vec<WorkerId> = {
+            let det = self.detector.lock();
+            workers
+                .iter()
+                .copied()
+                .filter(|&w| det.phi(w, now) > heal.phi_suspect)
+                .collect()
+        };
+        for w in suspicious {
+            // declare_suspect only transitions Alive → Suspect, so
+            // Dead/Rejoining workers are untouched here.
+            self.declare_suspect(w);
+        }
+    }
+
+    /// One stabilizer tick: probe suspects, restart the dead, drain the
+    /// rebuild queue at a bounded rate, promote rejoiners whose rebuilds
+    /// finished, and periodically diff desired vs actual shard placement.
+    fn stabilize(
+        self: &Arc<Self>,
+        heal: &HealConfig,
+        probe_failures: &mut HashMap<WorkerId, u32>,
+        tick_no: u64,
+    ) {
+        // 1. Re-probe suspects: a transient refusal or partition clears
+        //    itself here; persistent silence escalates to Dead.
+        let suspects: Vec<WorkerId> = {
+            let health = self.health.read();
+            health
+                .iter()
+                .filter(|(_, h)| **h == WorkerHealth::Suspect)
+                .map(|(w, _)| *w)
+                .collect()
+        };
+        probe_failures.retain(|w, _| suspects.contains(w));
+        if !suspects.is_empty() {
+            let mut client = self.client();
+            for w in suspects {
+                match client.request_with_deadline(w, Request::Ping, heal.probe_timeout) {
+                    Ok(Response::Ok) => {
+                        probe_failures.remove(&w);
+                        // Probe answered: the worker is reachable again.
+                        // Stamp an arrival so stale silence accrued while
+                        // Suspect does not immediately re-trip phi.
+                        self.detector.lock().record(w, Instant::now());
+                        self.set_health(w, WorkerHealth::Alive);
+                        vq_obs::count("cluster.reprobe_recoveries", 1);
+                    }
+                    _ => {
+                        let n = probe_failures.entry(w).or_insert(0);
+                        *n += 1;
+                        if *n >= heal.probe_failures {
+                            probe_failures.remove(&w);
+                            self.declare_dead(w);
+                        }
+                    }
+                }
+            }
+        }
+        // 2. Restart dead placement workers autonomously.
+        let deads: Vec<WorkerId> = {
+            let health = self.health.read();
+            let members = self.placement.read().workers().to_vec();
+            members
+                .into_iter()
+                .filter(|w| health.get(w) == Some(&WorkerHealth::Dead))
+                .collect()
+        };
+        for w in deads {
+            if let Err(e) = self.autonomous_restart(w) {
+                vq_obs::count("cluster.autonomous_restart_failures", 1);
+                let _ = e;
+            }
+        }
+        // 3. Drain the rebuild queue, bounded per tick so re-replication
+        //    cannot starve foreground traffic of donor bandwidth.
+        for _ in 0..heal.rebuilds_per_tick {
+            let next = self.rebuild_queue.lock().pop_front();
+            let Some((owner, shard)) = next else { break };
+            self.process_rebuild(owner, shard);
+        }
+        // 4. Rejoining → Alive once nothing is queued for the worker.
+        let rejoining: Vec<WorkerId> = {
+            let health = self.health.read();
+            health
+                .iter()
+                .filter(|(_, h)| **h == WorkerHealth::Rejoining)
+                .map(|(w, _)| *w)
+                .collect()
+        };
+        if !rejoining.is_empty() {
+            let queue = self.rebuild_queue.lock();
+            let drained: Vec<WorkerId> = rejoining
+                .into_iter()
+                .filter(|w| !queue.iter().any(|(owner, _)| owner == w))
+                .collect();
+            drop(queue);
+            for w in drained {
+                self.set_health(w, WorkerHealth::Alive);
+            }
+        }
+        // 5. Every ~64 ticks, diff desired placement against what each
+        //    alive worker actually hosts and queue the gaps (catches
+        //    divergence no crash path reported, e.g. a failed transfer).
+        if tick_no % 64 == 0 {
+            self.diff_placement(heal);
+        }
+    }
+
+    /// Restart a dead worker without an operator: reap the incumbent
+    /// thread, respawn under the same id (recovering durable WALs), mark
+    /// it Rejoining, and queue a rebuild of each owned shard from live
+    /// replicas.
+    fn autonomous_restart(self: &Arc<Self>, id: WorkerId) -> VqResult<()> {
+        let incumbent = {
+            let mut workers = self.workers.write();
+            workers
+                .iter()
+                .position(|w| w.id() == id)
+                .map(|pos| workers.remove(pos))
+        };
+        if let Some(w) = incumbent {
+            self.transport.crash(id);
+            w.join();
+        }
+        let node = id / self.cluster_config.workers_per_node.max(1);
+        let worker = Worker::spawn(
+            id,
+            node,
+            self.collection_config,
+            self.placement.clone(),
+            self.transport.clone(),
+            self.cluster_config.deadlines,
+            self.wal_store.clone(),
+            self.cluster_config.build_exec_ctx(id),
+            self.cluster_config.heal.map(|h| h.heartbeat_every),
+        )?;
+        self.workers.write().push(worker);
+        {
+            let mut det = self.detector.lock();
+            det.forget(id);
+            det.register(id, Instant::now());
+        }
+        self.set_health(id, WorkerHealth::Rejoining);
+        self.autonomous_restarts.fetch_add(1, Ordering::Relaxed);
+        vq_obs::count("cluster.autonomous_restarts", 1);
+        let shards = self.placement.read().shards_of(id);
+        self.queue_rebuilds(id, &shards);
+        Ok(())
+    }
+
+    /// A replicated write failed over: `owner` acked nothing for `shard`
+    /// while a co-owner did, so its copy has silently diverged. Under
+    /// healing the stabilizer re-syncs it from the surviving replica once
+    /// the worker answers probes again; the legacy stack repairs this
+    /// implicitly when the operator calls [`Self::restart_worker`].
+    pub(crate) fn note_write_divergence(&self, owner: WorkerId, shard: ShardId) {
+        if self.cluster_config.heal.is_some() {
+            self.queue_rebuilds(owner, &[shard]);
+        }
+    }
+
+    /// Queue `(owner, shard)` rebuilds, skipping duplicates already
+    /// pending.
+    fn queue_rebuilds(&self, owner: WorkerId, shards: &[ShardId]) {
+        let mut queue = self.rebuild_queue.lock();
+        for &shard in shards {
+            if !queue.iter().any(|e| *e == (owner, shard)) {
+                queue.push_back((owner, shard));
+                self.rebuilds_queued.fetch_add(1, Ordering::Relaxed);
+                vq_obs::count("cluster.rebuilds_queued", 1);
+            }
+        }
+    }
+
+    /// Rebuild one shard on `owner` by pulling it from a live co-owner
+    /// (the `TransferShard` donor path operator restarts already use).
+    /// No live donor means the copy cannot be rebuilt right now — counted
+    /// failed; the periodic placement diff re-queues it later.
+    fn process_rebuild(self: &Arc<Self>, owner: WorkerId, shard: ShardId) {
+        // An unreachable target cannot receive an install; leave the entry
+        // queued. Escalation resolves the wait either way: a probe revives
+        // the worker, or a restart re-queues all its shards (deduped).
+        if matches!(
+            self.worker_health(owner),
+            WorkerHealth::Suspect | WorkerHealth::Dead
+        ) {
+            self.rebuild_queue.lock().push_back((owner, shard));
+            return;
+        }
+        let t0 = Instant::now();
+        let donor = {
+            let health = self.health.read();
+            self.placement
+                .read()
+                .owners_of(shard)
+                .ok()
+                .and_then(|owners| {
+                    owners.iter().copied().find(|w| {
+                        *w != owner
+                            && health.get(w).copied().unwrap_or(WorkerHealth::Alive)
+                                == WorkerHealth::Alive
+                    })
+                })
+        };
+        let ok = match donor {
+            Some(donor) => {
+                let mut client = self.client();
+                matches!(
+                    client.request(donor, Request::TransferShard { shard, to: owner }),
+                    Ok(Response::Ok)
+                )
+            }
+            None => false,
+        };
+        let dur = t0.elapsed().as_secs_f64();
+        vq_obs::record_phase("rebuild", u64::from(owner), dur);
+        if let Some(root) = vq_obs::trace_begin_root(None) {
+            vq_obs::trace_finish(&root, "phase.rebuild", u64::from(shard), dur);
+        }
+        if ok {
+            self.rebuilds_completed.fetch_add(1, Ordering::Relaxed);
+            vq_obs::count("cluster.rebuilds_completed", 1);
+        } else {
+            self.rebuilds_failed.fetch_add(1, Ordering::Relaxed);
+            vq_obs::count("cluster.rebuilds_failed", 1);
+        }
+    }
+
+    /// Desired-vs-actual reconciliation (after sorock's stabilizer): ask
+    /// each Alive worker what it hosts and queue rebuilds for any
+    /// placement-assigned shard it is missing.
+    fn diff_placement(self: &Arc<Self>, heal: &HealConfig) {
+        let alive: Vec<WorkerId> = self
+            .health()
+            .into_iter()
+            .filter(|(_, h)| *h == WorkerHealth::Alive)
+            .map(|(w, _)| w)
+            .collect();
+        if alive.is_empty() {
+            return;
+        }
+        let mut client = self.client();
+        for w in alive {
+            let Ok(Response::WorkerInfo(info)) =
+                client.request_with_deadline(w, Request::WorkerInfo, heal.probe_timeout)
+            else {
+                // Unreachable or busy: the suspicion machinery owns that
+                // judgement; reconciliation just skips the worker.
+                continue;
+            };
+            let desired = self.placement.read().shards_of(w);
+            let missing: Vec<ShardId> = desired
+                .into_iter()
+                .filter(|s| !info.shards.contains(s))
+                .collect();
+            if !missing.is_empty() {
+                self.queue_rebuilds(w, &missing);
+            }
+        }
+    }
+}
+
+/// Monitor thread: drains heartbeat beacons into the failure detector
+/// and re-evaluates suspicion levels. Holds only a [`Weak`] cluster
+/// reference so an abandoned cluster can drop.
+fn monitor_loop<T: Transport<ClusterMsg>>(
+    cluster: Weak<Cluster<T>>,
+    endpoint: T::Endpoint,
+    heal: HealConfig,
+    stop: Arc<AtomicBool>,
+) {
+    while !stop.load(Ordering::Relaxed) {
+        let beat = match endpoint.recv_timeout(heal.tick) {
+            Ok(env) => match env.payload {
+                ClusterMsg::Heartbeat { worker, .. } => Some(worker),
+                _ => None,
+            },
+            Err(VqError::Timeout) => None,
+            // Endpoint crashed: the cluster is shutting down.
+            Err(_) => break,
+        };
+        let Some(cluster) = cluster.upgrade() else { break };
+        if let Some(worker) = beat {
+            cluster.detector.lock().record(worker, Instant::now());
+        }
+        cluster.evaluate_suspicions(&heal);
+    }
+}
+
+/// Stabilizer thread: the reconciliation loop that turns detector
+/// verdicts into repair — probe suspects, restart the dead, rebuild
+/// shards from live replicas — with no operator in the loop.
+fn stabilizer_loop<T: Transport<ClusterMsg>>(
+    cluster: Weak<Cluster<T>>,
+    heal: HealConfig,
+    stop: Arc<AtomicBool>,
+) {
+    let mut probe_failures: HashMap<WorkerId, u32> = HashMap::new();
+    let mut tick_no: u64 = 0;
+    while !stop.load(Ordering::Relaxed) {
+        std::thread::sleep(heal.tick);
+        if stop.load(Ordering::Relaxed) {
+            break;
+        }
+        let Some(cluster) = cluster.upgrade() else { break };
+        tick_no += 1;
+        cluster.stabilize(&heal, &mut probe_failures, tick_no);
     }
 }
 
@@ -751,7 +1310,7 @@ impl<T: Transport<ClusterMsg>> ClusterClient<T> {
         writes: Vec<(WorkerId, ShardId, Request)>,
     ) -> VqResult<()> {
         let mut acked: HashMap<ShardId, usize> = HashMap::new();
-        let mut failed: Vec<(ShardId, VqError)> = Vec::new();
+        let mut failed: Vec<(WorkerId, ShardId, VqError)> = Vec::new();
         for (worker, shard, request) in writes {
             match self.request(worker, request) {
                 Ok(Response::Ok) => *acked.entry(shard).or_default() += 1,
@@ -765,17 +1324,20 @@ impl<T: Transport<ClusterMsg>> ClusterClient<T> {
                     if matches!(e, VqError::Network(_)) {
                         self.cluster.mark_worker_dead(worker);
                     }
-                    failed.push((shard, e));
+                    failed.push((worker, shard, e));
                 }
                 Err(e) => return Err(e),
             }
         }
-        for (shard, e) in failed {
+        for (worker, shard, e) in failed {
             if acked.get(&shard).copied().unwrap_or(0) == 0 {
                 return Err(e);
             }
             self.cluster.failovers.fetch_add(1, Ordering::Relaxed);
             vq_obs::count("cluster.failovers", 1);
+            // The replica that missed this write needs a re-sync before it
+            // can serve the shard again (no-op without healing).
+            self.cluster.note_write_divergence(worker, shard);
         }
         Ok(())
     }
@@ -1064,7 +1626,7 @@ impl<T: Transport<ClusterMsg>> ClusterClient<T> {
         let mut total = 0;
         for shard in 0..shard_count {
             let owners = self.cluster.placement.read().owners_of(shard)?.to_vec();
-            let dead: HashSet<WorkerId> = self.cluster.dead.read().clone();
+            let dead: HashSet<WorkerId> = self.cluster.routing_dead();
             let mut counted = false;
             let mut last_err = VqError::NoAvailableWorker;
             for &owner in owners.iter().filter(|w| !dead.contains(w)) {
@@ -1118,7 +1680,7 @@ impl<T: Transport<ClusterMsg>> ClusterClient<T> {
         filter: Option<vq_core::Filter>,
     ) -> VqResult<Vec<Point>> {
         let mut merged: Vec<Point> = Vec::new();
-        let mut failed: HashSet<WorkerId> = self.cluster.dead.read().clone();
+        let mut failed: HashSet<WorkerId> = self.cluster.routing_dead();
         for worker in self.worker_ids() {
             if failed.contains(&worker) {
                 continue;
@@ -1328,7 +1890,12 @@ mod tests {
         // results: same shards, same queries, bit-identical hits vs the
         // legacy global-rayon path — with dispatch counters to show the
         // pools actually ran.
-        let _recorder = vq_obs::install_default();
+        // The recorder is process-global: leaving it installed would make
+        // every later cluster in this test binary register its WorkerInfo
+        // counters in the shared registry, so per-cluster traffic sums
+        // (`worker_info_reflects_traffic`) would accumulate across tests.
+        // The guard uninstalls on every exit path, including panics.
+        let _obs = vq_obs::ObsGuard::install_default();
         let points = line_points(400);
         let pooled_exec = SearchExec {
             threads_per_worker: Some(2),
@@ -1373,11 +1940,6 @@ mod tests {
         let _ = snap.counter("pool.steals");
         pooled.shutdown();
         legacy.shutdown();
-        // The recorder is process-global: leaving it installed makes every
-        // later cluster in this test binary register its WorkerInfo
-        // counters in the shared registry, so per-cluster traffic sums
-        // (`worker_info_reflects_traffic`) accumulate across tests.
-        vq_obs::uninstall();
     }
 
     #[test]

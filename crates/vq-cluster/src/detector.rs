@@ -1,0 +1,269 @@
+//! Heartbeat failure detection (phi-accrual style) and the self-healing
+//! configuration.
+//!
+//! Workers emit periodic [`ClusterMsg::Heartbeat`](crate::messages::ClusterMsg)
+//! beacons; the cluster's monitor thread feeds their arrival times into a
+//! [`FailureDetector`], which keeps a sliding window of inter-arrival
+//! intervals per worker and exposes a continuous **suspicion level**
+//! (phi). Liveness stops being the binary "a send failed once ⇒ dead
+//! forever" judgement and becomes a measured quantity with explicit state
+//! transitions:
+//!
+//! ```text
+//!   Alive ──(phi > threshold, or a send fails)──▶ Suspect
+//!   Suspect ──(heartbeats resume / probe succeeds)──▶ Alive
+//!   Suspect ──(N consecutive probes fail)──▶ Dead
+//!   Dead ──(stabilizer restarts the worker)──▶ Rejoining
+//!   Rejoining ──(rebuild queue drained)──▶ Alive
+//! ```
+//!
+//! The phi model follows Hayashibara et al.'s accrual detector with an
+//! exponential inter-arrival assumption: `P(silence > t) = exp(-t/mean)`,
+//! so `phi(t) = t / (mean · ln 10)` — phi 1 means "this silence had a 1-in-10
+//! chance under normal operation", phi 8 one-in-10⁸. Unlike a fixed
+//! timeout, the threshold adapts to the measured heartbeat cadence: a
+//! congested fabric with slow-but-regular beacons raises the mean instead
+//! of tripping false positives.
+
+use crate::placement::WorkerId;
+use std::collections::{HashMap, VecDeque};
+use std::time::{Duration, Instant};
+
+/// Liveness state of one worker, as judged by the failure detector and
+/// stabilizer (see the module docs for the transition diagram).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkerHealth {
+    /// Heartbeats arriving on cadence; routed to normally.
+    Alive,
+    /// Suspicion crossed the threshold (or a send to it failed). Still
+    /// routed to as a fallback, and actively re-probed by the stabilizer.
+    Suspect,
+    /// Probes exhausted: excluded from routing until restarted.
+    Dead,
+    /// Autonomously restarted; serving again while the stabilizer rebuilds
+    /// its shards from live replicas.
+    Rejoining,
+}
+
+impl WorkerHealth {
+    /// Short lowercase label (`alive` / `suspect` / `dead` / `rejoining`)
+    /// for health views and logs.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            WorkerHealth::Alive => "alive",
+            WorkerHealth::Suspect => "suspect",
+            WorkerHealth::Dead => "dead",
+            WorkerHealth::Rejoining => "rejoining",
+        }
+    }
+}
+
+/// Self-healing knobs. `ClusterConfig::heal(HealConfig::default())` turns
+/// the machinery on; without it the cluster keeps the legacy operator-driven
+/// behavior (a failed send marks the worker dead until `restart_worker`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealConfig {
+    /// Worker heartbeat emission cadence.
+    pub heartbeat_every: Duration,
+    /// Suspicion threshold: phi above this moves Alive → Suspect.
+    pub phi_suspect: f64,
+    /// Budget for one stabilizer liveness probe (`Request::Ping`).
+    pub probe_timeout: Duration,
+    /// Consecutive failed probes before a Suspect is declared Dead.
+    pub probe_failures: u32,
+    /// Stabilizer loop cadence (probe suspects, restart the dead, drain
+    /// the rebuild queue, diff desired vs actual placement).
+    pub tick: Duration,
+    /// Rebuild-queue entries processed per stabilizer tick (bounds how
+    /// much donor bandwidth re-replication may consume at once).
+    pub rebuilds_per_tick: usize,
+}
+
+impl Default for HealConfig {
+    fn default() -> Self {
+        HealConfig {
+            heartbeat_every: Duration::from_millis(15),
+            phi_suspect: 8.0,
+            probe_timeout: Duration::from_millis(250),
+            probe_failures: 3,
+            tick: Duration::from_millis(10),
+            rebuilds_per_tick: 2,
+        }
+    }
+}
+
+/// Sliding-window arrival history for one worker.
+struct History {
+    last: Instant,
+    /// Recent inter-arrival intervals, seconds.
+    intervals: VecDeque<f64>,
+}
+
+/// Phi-accrual failure detector over per-worker heartbeat arrival
+/// histories. Time is always passed in, never sampled internally, so the
+/// detector is unit-testable with virtual clocks.
+pub struct FailureDetector {
+    /// Sliding-window length (arrival intervals kept per worker).
+    window: usize,
+    /// Assumed mean interval until a worker has real samples (and the
+    /// floor below which a measured mean is never trusted — a burst of
+    /// back-to-back beacons must not make microsecond silences suspicious).
+    bootstrap_interval: f64,
+    histories: HashMap<WorkerId, History>,
+}
+
+impl FailureDetector {
+    /// Detector expecting heartbeats roughly every `expected`, keeping a
+    /// `window`-sample arrival history per worker.
+    pub fn new(expected: Duration, window: usize) -> Self {
+        FailureDetector {
+            window: window.max(2),
+            bootstrap_interval: expected.as_secs_f64().max(1e-6),
+            histories: HashMap::new(),
+        }
+    }
+
+    /// Begin tracking `worker` as of `now` (a synthetic first arrival, so
+    /// a worker that never beats at all accrues suspicion from startup).
+    pub fn register(&mut self, worker: WorkerId, now: Instant) {
+        self.histories.entry(worker).or_insert(History {
+            last: now,
+            intervals: VecDeque::new(),
+        });
+    }
+
+    /// Record a heartbeat arrival from `worker` at `now`.
+    pub fn record(&mut self, worker: WorkerId, now: Instant) {
+        match self.histories.get_mut(&worker) {
+            Some(h) => {
+                let dt = now.saturating_duration_since(h.last).as_secs_f64();
+                h.last = now;
+                h.intervals.push_back(dt);
+                while h.intervals.len() > self.window {
+                    h.intervals.pop_front();
+                }
+            }
+            None => self.register(worker, now),
+        }
+    }
+
+    /// Drop `worker`'s history (its cadence restarts from scratch after a
+    /// restart — pre-crash intervals must not dilute the new estimate).
+    pub fn forget(&mut self, worker: WorkerId) {
+        self.histories.remove(&worker);
+    }
+
+    /// Mean inter-arrival interval estimate for `worker`, seconds.
+    fn mean_interval(&self, worker: WorkerId) -> f64 {
+        match self.histories.get(&worker) {
+            Some(h) if h.intervals.len() >= 2 => {
+                let measured =
+                    h.intervals.iter().sum::<f64>() / h.intervals.len() as f64;
+                measured.max(self.bootstrap_interval)
+            }
+            _ => self.bootstrap_interval,
+        }
+    }
+
+    /// Suspicion level for `worker` at `now`: `-log10 P(silence this long)`
+    /// under the exponential arrival model. `0.0` for an unknown worker
+    /// (never registered — nothing to be suspicious about yet).
+    pub fn phi(&self, worker: WorkerId, now: Instant) -> f64 {
+        let Some(h) = self.histories.get(&worker) else {
+            return 0.0;
+        };
+        let elapsed = now.saturating_duration_since(h.last).as_secs_f64();
+        elapsed / (self.mean_interval(worker) * std::f64::consts::LN_10)
+    }
+
+    /// Seconds since `worker`'s last recorded arrival (`None` if unknown).
+    pub fn silence(&self, worker: WorkerId, now: Instant) -> Option<f64> {
+        self.histories
+            .get(&worker)
+            .map(|h| now.saturating_duration_since(h.last).as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn detector() -> FailureDetector {
+        FailureDetector::new(Duration::from_millis(10), 32)
+    }
+
+    #[test]
+    fn phi_grows_with_silence_and_resets_on_arrival() {
+        let base = Instant::now();
+        let mut d = detector();
+        d.register(0, base);
+        // Regular 10 ms cadence for 20 beats.
+        for i in 1..=20u64 {
+            d.record(0, base + Duration::from_millis(10 * i));
+        }
+        let t = base + Duration::from_millis(200);
+        assert!(d.phi(0, t) < 1.0, "on-cadence worker is not suspicious");
+        // 300 ms of silence against a 10 ms cadence: deeply suspicious.
+        let late = t + Duration::from_millis(300);
+        assert!(d.phi(0, late) > 8.0, "phi {}", d.phi(0, late));
+        // One arrival resets the suspicion.
+        d.record(0, late);
+        assert!(d.phi(0, late + Duration::from_millis(5)) < 1.0);
+    }
+
+    #[test]
+    fn threshold_adapts_to_measured_cadence() {
+        let base = Instant::now();
+        let mut slow = detector();
+        slow.register(1, base);
+        // The same detector config, but this worker beats every 100 ms
+        // (congested fabric). 250 ms of silence is ~2.5 intervals — barely
+        // notable — while it would be fatal under a fixed 10 ms timeout.
+        for i in 1..=20u64 {
+            slow.record(1, base + Duration::from_millis(100 * i));
+        }
+        let t = base + Duration::from_millis(2000 + 250);
+        assert!(slow.phi(1, t) < 2.0, "phi {}", slow.phi(1, t));
+    }
+
+    #[test]
+    fn unheard_worker_accrues_suspicion_from_registration() {
+        let base = Instant::now();
+        let mut d = detector();
+        d.register(2, base);
+        // Never beats: bootstrap interval (10 ms) drives phi up.
+        let t = base + Duration::from_millis(500);
+        assert!(d.phi(2, t) > 8.0);
+        // Unknown workers are never suspicious.
+        assert_eq!(d.phi(99, t), 0.0);
+        assert!(d.silence(99, t).is_none());
+    }
+
+    #[test]
+    fn forget_restarts_the_history() {
+        let base = Instant::now();
+        let mut d = detector();
+        d.register(3, base);
+        let t = base + Duration::from_secs(10);
+        assert!(d.phi(3, t) > 8.0);
+        d.forget(3);
+        assert_eq!(d.phi(3, t), 0.0, "forgotten history carries no suspicion");
+        d.register(3, t);
+        assert!(d.phi(3, t + Duration::from_millis(1)) < 1.0);
+    }
+
+    #[test]
+    fn burst_arrivals_do_not_shrink_the_floor() {
+        let base = Instant::now();
+        let mut d = detector();
+        d.register(4, base);
+        // A queue flush delivers 20 beacons in the same millisecond; the
+        // measured mean would be ~0, making any later silence look fatal.
+        // The bootstrap floor keeps the estimate sane.
+        for i in 0..20u64 {
+            d.record(4, base + Duration::from_micros(50 * i));
+        }
+        let t = base + Duration::from_millis(15);
+        assert!(d.phi(4, t) < 2.0, "phi {}", d.phi(4, t));
+    }
+}

@@ -15,6 +15,10 @@
 //!   requests over the [`vq_net`] transport, spawning a coordinator
 //!   thread per fan-out search so scatter–gather never deadlocks the
 //!   serve loop.
+//! * [`detector`] — heartbeat failure detection: a phi-accrual suspicion
+//!   model over per-worker beacon arrival histories, plus the
+//!   [`HealConfig`] knobs for the cluster's self-healing machinery
+//!   (monitor + stabilizer threads in [`cluster`]).
 //! * [`cluster`] — cluster bring-up/teardown and [`ClusterClient`], the
 //!   handle applications use: routed upserts, broadcast–reduce searches
 //!   (client contacts *one* worker; that worker broadcasts to the rest
@@ -25,6 +29,7 @@
 #![warn(clippy::all)]
 
 pub mod cluster;
+pub mod detector;
 pub mod messages;
 pub mod placement;
 pub mod recovery;
@@ -33,6 +38,7 @@ pub mod worker;
 pub use cluster::{
     Cluster, ClusterClient, ClusterConfig, Deadlines, ExecMode, SearchExec, SearchOutcome,
 };
+pub use detector::{FailureDetector, HealConfig, WorkerHealth};
 pub use messages::{ClusterMsg, Request, Response, TraceContext, WorkerInfo};
 pub use placement::{Placement, ShardId, WorkerId};
 pub use recovery::{Durability, WalStore};

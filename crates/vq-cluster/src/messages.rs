@@ -269,6 +269,17 @@ pub enum ClusterMsg {
         /// Body.
         body: Response,
     },
+    /// Periodic liveness beacon a worker emits to the cluster's monitor
+    /// endpoint (wire version 3). Variants encode by name, so version-1/2
+    /// frames — which never contain this variant — still decode, and a
+    /// version-3 sender never aims a `Heartbeat` at a pre-3 receiver: the
+    /// monitor endpoint only exists on clusters that enabled healing.
+    Heartbeat {
+        /// Emitting worker.
+        worker: u32,
+        /// Monotonic per-worker beacon counter (gap diagnostics).
+        seq: u64,
+    },
 }
 
 impl ClusterMsg {
@@ -335,6 +346,8 @@ impl ClusterMsg {
                 Response::Segments(segments) => 64 + segments_bytes(segments),
                 _ => 64,
             },
+            // Variant name + two named integer fields.
+            ClusterMsg::Heartbeat { .. } => 40,
         }
     }
 }
@@ -413,5 +426,17 @@ mod tests {
             },
         };
         assert!(four.approx_wire_bytes() > 3 * one.approx_wire_bytes());
+    }
+
+    #[test]
+    fn heartbeat_wire_size_is_tiny() {
+        let beat = ClusterMsg::Heartbeat {
+            worker: 7,
+            seq: u64::MAX,
+        };
+        // The detector rides on frequent beacons; the estimate (and the
+        // real encoding, pinned by tests/wire_roundtrip.rs) must stay far
+        // below even the smallest request envelope.
+        assert!(beat.approx_wire_bytes() <= 64);
     }
 }

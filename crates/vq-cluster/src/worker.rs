@@ -27,6 +27,12 @@ use vq_net::{Switchboard, Transport, TransportEndpoint};
 const EPHEMERAL_BASE: u32 = 1 << 20;
 static NEXT_EPHEMERAL: AtomicU32 = AtomicU32::new(EPHEMERAL_BASE);
 
+/// Reserved endpoint id the cluster's heartbeat monitor listens on (just
+/// below the ephemeral range, far above any worker id). Workers aim their
+/// [`ClusterMsg::Heartbeat`] beacons here; on clusters without healing the
+/// endpoint never exists and beats are never emitted.
+pub(crate) const MONITOR_ID: u32 = EPHEMERAL_BASE - 1;
+
 /// Standing coordinator threads per worker.
 const COORDINATOR_POOL_SIZE: usize = 4;
 /// Queued coordinations the pool accepts before overflowing to one-off
@@ -70,6 +76,9 @@ struct WorkerState<T: Transport<ClusterMsg>> {
     /// Job queue feeding the coordinator pool. Taken (dropped) when the
     /// serve loop exits so the pool threads unblock and terminate.
     coordinator_tx: parking_lot::Mutex<Option<crossbeam::channel::Sender<CoordJob>>>,
+    /// Emit a liveness beacon to [`MONITOR_ID`] this often (`None` on
+    /// clusters without self-healing — the legacy silent worker).
+    heartbeat: Option<std::time::Duration>,
     counters: Counters,
 }
 
@@ -134,7 +143,11 @@ impl<T: Transport<ClusterMsg>> Worker<T> {
     /// brings its acknowledged writes back. `exec` decides where the
     /// worker's local searches run (see
     /// [`crate::cluster::SearchExec`]); the cluster resolves it per
-    /// worker so co-located workers get disjoint pools.
+    /// worker so co-located workers get disjoint pools. With `heartbeat`
+    /// set the serve loop additionally emits a liveness beacon to the
+    /// cluster's monitor endpoint on that cadence — beacons stop the
+    /// moment the serve loop stops, which is exactly the signal the
+    /// failure detector feeds on.
     #[allow(clippy::too_many_arguments)]
     pub fn spawn(
         id: WorkerId,
@@ -145,6 +158,7 @@ impl<T: Transport<ClusterMsg>> Worker<T> {
         deadlines: Deadlines,
         wal_store: Arc<WalStore>,
         exec: vq_core::ExecCtx,
+        heartbeat: Option<std::time::Duration>,
     ) -> VqResult<Self> {
         let endpoint = transport.register(id, node);
         let mut shards: HashMap<ShardId, Arc<LocalCollection>> = HashMap::new();
@@ -165,6 +179,7 @@ impl<T: Transport<ClusterMsg>> Worker<T> {
             pending_transfers: parking_lot::Mutex::new(HashMap::new()),
             next_internal_tag: std::sync::atomic::AtomicU64::new(1),
             coordinator_tx: parking_lot::Mutex::new(Some(coord_tx)),
+            heartbeat,
             counters: Counters::for_worker(id),
         });
         for i in 0..COORDINATOR_POOL_SIZE {
@@ -242,9 +257,42 @@ fn serve_loop<T: Transport<ClusterMsg>>(state: Arc<WorkerState<T>>, endpoint: T:
 }
 
 fn serve_requests<T: Transport<ClusterMsg>>(state: &Arc<WorkerState<T>>, endpoint: &T::Endpoint) {
+    let mut beat_seq: u64 = 0;
+    let mut next_beat = state
+        .heartbeat
+        .map(|every| std::time::Instant::now() + every);
     loop {
-        let Ok(env) = endpoint.recv() else {
-            return; // transport gone
+        // With heartbeats enabled the serve loop doubles as the emitter:
+        // it beats on cadence between (and around) requests, from the
+        // worker's own endpoint. No separate emitter thread means the
+        // beacons stop exactly when the serve loop does — a crashed or
+        // wedged worker cannot keep advertising liveness.
+        let env = if let (Some(every), Some(due)) = (state.heartbeat, next_beat.as_mut()) {
+            let now = std::time::Instant::now();
+            if now >= *due {
+                beat_seq += 1;
+                let beat = ClusterMsg::Heartbeat {
+                    worker: state.id,
+                    seq: beat_seq,
+                };
+                let bytes = beat.approx_wire_bytes();
+                // The monitor may not be up yet (bring-up order) or may be
+                // gone (teardown); a failed beacon is not the worker's
+                // problem — silence is the signal.
+                let _ = endpoint.send_sized(MONITOR_ID, beat, bytes);
+                *due = now + every;
+            }
+            let wait = due.saturating_duration_since(std::time::Instant::now());
+            match endpoint.recv_timeout(wait) {
+                Ok(env) => env,
+                Err(VqError::Timeout) => continue, // beat again, keep serving
+                Err(_) => return,                  // transport gone
+            }
+        } else {
+            let Ok(env) = endpoint.recv() else {
+                return; // transport gone
+            };
+            env
         };
         let (reply_to, tag, trace, body) = match env.payload {
             ClusterMsg::Request {
@@ -265,6 +313,8 @@ fn serve_requests<T: Transport<ClusterMsg>>(state: &Arc<WorkerState<T>>, endpoin
                 }
                 continue;
             }
+            // A stray beacon (misrouted or late) is noise to a worker.
+            ClusterMsg::Heartbeat { .. } => continue,
         };
         let shutdown = matches!(body, Request::Shutdown);
         if shutdown {

@@ -1,0 +1,234 @@
+//! Self-healing regression tests (PR 10).
+//!
+//! The headline bug: a worker marked dead on a **single** transient
+//! `Network` error — one connection-refused frame — stayed in the dead
+//! set forever. Nothing ever re-probed it, so a perfectly healthy worker
+//! was never routed to again until an operator called `restart_worker`.
+//!
+//! `transient_refusal_marks_worker_dead_forever_without_healing` pins
+//! that legacy behaviour (it is still the opt-out default), and
+//! `transient_refusal_heals_without_restart` proves the fix: with
+//! [`HealConfig`] enabled the same refused frame only *suspects* the
+//! worker, the stabilizer probes it back to Alive, re-syncs the write it
+//! missed, and first-contact routing uses it again — with zero restarts
+//! of any kind.
+
+use std::time::Duration;
+use vq_cluster::{
+    Cluster, ClusterConfig, Deadlines, Durability, HealConfig, Request, Response, WorkerHealth,
+};
+use vq_collection::{CollectionConfig, SearchRequest};
+use vq_core::{Distance, Point};
+use vq_net::FaultPlan;
+
+const DIM: usize = 8;
+
+fn points(n: u64) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let mut v = vec![0.0f32; DIM];
+            v[(i % DIM as u64) as usize] = 1.0 + i as f32 / n as f32;
+            Point::new(i, v)
+        })
+        .collect()
+}
+
+fn fast_heal() -> HealConfig {
+    // 10 ms beacons trip phi after ~185 ms of silence; the 25 ms
+    // stabilizer tick keeps the periodic placement diff (every 64 ticks)
+    // comfortably after each test's opening writes, so the seeded
+    // refusal is always consumed by a replicated upsert.
+    HealConfig {
+        heartbeat_every: Duration::from_millis(10),
+        tick: Duration::from_millis(25),
+        ..HealConfig::default()
+    }
+}
+
+fn deadlines() -> Deadlines {
+    Deadlines {
+        request: Duration::from_secs(5),
+        gather: Duration::from_millis(500),
+        index_build: Duration::from_secs(60),
+        retry_backoff: Duration::from_millis(5),
+    }
+}
+
+/// Poll `cond` every 2 ms until it holds or `budget` elapses.
+fn wait_until(budget: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let t0 = std::time::Instant::now();
+    loop {
+        if cond() {
+            return true;
+        }
+        if t0.elapsed() >= budget {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Fan-out searches this worker has coordinated (first-contact duty) —
+/// the routing signal: a worker the client refuses to route to never
+/// coordinates.
+fn coordinations<T: vq_net::Transport<vq_cluster::ClusterMsg>>(
+    client: &mut vq_cluster::ClusterClient<T>,
+    worker: u32,
+) -> u64 {
+    match client.request(worker, Request::WorkerInfo) {
+        Ok(Response::WorkerInfo(info)) => info.coordinations,
+        other => panic!("worker {worker} must answer WorkerInfo: {other:?}"),
+    }
+}
+
+/// Two workers, every shard replicated on both, and a fault plan that
+/// refuses exactly **one** frame to worker 0 (the first replicated write
+/// to reach it). Without healing, that single bounced frame is a death
+/// sentence: the worker lands in the dead set, stays there across
+/// arbitrarily many searches, and is never chosen as first contact again
+/// — even though a direct ping proves it healthy the whole time.
+#[test]
+fn transient_refusal_marks_worker_dead_forever_without_healing() {
+    let config = ClusterConfig::new(2)
+        .replication(2)
+        .deadlines(deadlines())
+        .faults(FaultPlan::new(7).refuse_on(None, Some(0), 1));
+    let collection = CollectionConfig::new(DIM, Distance::Cosine);
+    let cluster = Cluster::start(config, collection).expect("cluster start");
+    let mut client = cluster.client();
+
+    // The first batch's write to worker 0 bounces; the replica on worker
+    // 1 acks, so the batch succeeds — and worker 0 is declared dead.
+    client.upsert_batch(points(64)).expect("replica absorbs the refusal");
+    assert_eq!(cluster.dead_workers(), vec![0], "one refused frame marked worker 0 dead");
+    assert_eq!(cluster.worker_health(0), WorkerHealth::Dead);
+
+    // The worker is fine — only the dead-set entry is stale.
+    assert!(
+        matches!(client.request(0, Request::Ping), Ok(Response::Ok)),
+        "worker 0 answers a direct ping while routing considers it dead"
+    );
+
+    // Give any would-be re-prober ample time, keep traffic flowing: the
+    // worker must never be routed to (first-contact) again.
+    std::thread::sleep(Duration::from_millis(300));
+    for i in 0..8u64 {
+        let mut v = vec![0.0f32; DIM];
+        v[(i % DIM as u64) as usize] = 1.0;
+        client.search(SearchRequest::new(v, 3)).expect("search routes around");
+    }
+    assert_eq!(
+        coordinations(&mut client, 0),
+        0,
+        "legacy dead set: a healthy worker is never re-probed or routed to again"
+    );
+    assert_eq!(cluster.dead_workers(), vec![0], "still dead, forever");
+    cluster.shutdown();
+}
+
+/// The same single refused frame with healing enabled: the worker is
+/// only *suspected*, the stabilizer's next probe brings it back to
+/// Alive, the write it missed is re-synced from its replica, and
+/// first-contact routing resumes — all without `restart_worker` or even
+/// an autonomous restart.
+#[test]
+fn transient_refusal_heals_without_restart() {
+    let config = ClusterConfig::new(2)
+        .replication(2)
+        .deadlines(deadlines())
+        .faults(FaultPlan::new(7).refuse_on(None, Some(0), 1))
+        .heal(fast_heal());
+    let collection = CollectionConfig::new(DIM, Distance::Cosine);
+    let cluster = Cluster::start(config, collection).expect("cluster start");
+    let mut client = cluster.client();
+
+    client.upsert_batch(points(64)).expect("replica absorbs the refusal");
+    assert!(cluster.suspicion_count() >= 1, "the refusal raised a suspicion");
+
+    // The stabilizer re-probes the suspect and clears it; the diverged
+    // write is re-synced from the replica that acked it.
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            cluster.worker_health(0) == WorkerHealth::Alive
+                && cluster.dead_workers().is_empty()
+                && cluster.pending_rebuilds() == 0
+        }),
+        "suspect is probed back to Alive with the rebuild queue drained"
+    );
+    assert_eq!(cluster.worker_restart_count(), 0, "no operator restart");
+    assert_eq!(cluster.autonomous_restart_count(), 0, "no autonomous restart either");
+
+    // Routed to again: round-robin first contact alternates between the
+    // two workers, so a healthy worker 0 coordinates some of these.
+    let before = coordinations(&mut client, 0);
+    for i in 0..8u64 {
+        let mut v = vec![0.0f32; DIM];
+        v[(i % DIM as u64) as usize] = 1.0;
+        client.search(SearchRequest::new(v, 3)).expect("search after heal");
+    }
+    assert!(
+        coordinations(&mut client, 0) > before,
+        "recovered worker serves as first contact again"
+    );
+
+    // The missed write is back on worker 0: both replicas of every shard
+    // report the same count.
+    for shard in cluster.placement().shards_of(0) {
+        let counts: Vec<usize> = [0u32, 1u32]
+            .iter()
+            .map(|&w| match client.request(w, Request::Count { shard: Some(shard), filter: None }) {
+                Ok(Response::Count(c)) => c,
+                other => panic!("count on worker {w}: {other:?}"),
+            })
+            .collect();
+        assert_eq!(counts[0], counts[1], "shard {shard} replicas re-synced");
+    }
+    cluster.shutdown();
+}
+
+/// Hard-crash recovery with no traffic and no operator: `crash_worker`
+/// yanks the endpoint without telling the cluster, heartbeat silence
+/// alone trips the phi detector, probes escalate Suspect → Dead, the
+/// stabilizer restarts the worker (WAL recovery) and rebuilds its shards
+/// from live replicas, and every acked write is still findable.
+#[test]
+fn crash_detected_and_healed_autonomously() {
+    let n = 300u64;
+    let config = ClusterConfig::new(3)
+        .replication(2)
+        .deadlines(deadlines())
+        .durability(Durability::SharedMem)
+        .heal(fast_heal());
+    let collection = CollectionConfig::new(DIM, Distance::Cosine);
+    let cluster = Cluster::start(config, collection).expect("cluster start");
+    let mut client = cluster.client();
+    client.upsert_batch(points(n)).expect("seed writes");
+
+    let restarts_before = cluster.autonomous_restart_count();
+    cluster.crash_worker(1).expect("worker 1 tracked");
+    assert!(
+        wait_until(Duration::from_secs(10), || {
+            cluster.worker_health(1) != WorkerHealth::Alive
+        }),
+        "heartbeat silence alone must flag the crashed worker"
+    );
+    assert!(
+        wait_until(Duration::from_secs(20), || {
+            cluster.autonomous_restart_count() > restarts_before
+                && cluster.worker_health(1) == WorkerHealth::Alive
+                && cluster.pending_rebuilds() == 0
+        }),
+        "stabilizer restarts the worker and drains its rebuilds"
+    );
+    assert!(cluster.rebuild_counts().1 >= 1, "at least one completed rebuild");
+    assert_eq!(cluster.worker_restart_count(), 0, "zero operator calls");
+
+    assert_eq!(client.count(None).expect("count after heal"), n as usize);
+    for id in (0..n).step_by(7) {
+        assert!(
+            client.get(id).expect("get after heal").is_some(),
+            "acked point {id} survived the crash"
+        );
+    }
+    cluster.shutdown();
+}

@@ -281,6 +281,8 @@ fn cluster_msg() -> impl Strategy<Value = ClusterMsg> {
         ),
         (any::<u64>(), response())
             .prop_map(|(tag, body)| ClusterMsg::Response { tag, body }),
+        (any::<u32>(), any::<u64>())
+            .prop_map(|(worker, seq)| ClusterMsg::Heartbeat { worker, seq }),
     ]
 }
 
@@ -462,6 +464,40 @@ fn trace_context_survives_framing_and_rejects_torn_frames() {
         let mut torn = std::io::Cursor::new(frame[..cut].to_vec());
         assert!(read_frame(&mut torn).is_err(), "cut at {cut} must fail");
     }
+}
+
+/// Heartbeat beacons (the variant that bumped the protocol to wire
+/// version 3) survive the full frame path bit-exactly, frames carrying
+/// them advertise the bumped version, and the size estimate the fabric
+/// accounting charges for a beacon stays in the right ballpark.
+#[test]
+fn heartbeat_roundtrips_and_bumps_wire_version() {
+    use vq_net::wire::WIRE_VERSION;
+    assert!(WIRE_VERSION >= 3, "heartbeats entered the protocol at v3");
+
+    let msg = ClusterMsg::Heartbeat {
+        worker: 2,
+        seq: 0xFEED_5EED,
+    };
+    let payload = to_bytes(&msg).unwrap();
+    let frame = encode_frame(&payload);
+    assert_eq!(frame[4], WIRE_VERSION);
+
+    let mut r = std::io::Cursor::new(frame);
+    let got = read_frame(&mut r).unwrap().expect("one frame");
+    let back: ClusterMsg = from_bytes(&got).unwrap();
+    assert_eq!(back, msg);
+
+    // Beacons are tiny and constant-size: the estimate must not be off
+    // by more than 2x in either direction, or per-edge fabric-byte
+    // attribution would drown in heartbeat noise.
+    let real = payload.len() as f64;
+    let approx = msg.approx_wire_bytes() as f64;
+    let ratio = approx / real;
+    assert!(
+        (0.5..=2.0).contains(&ratio),
+        "heartbeat: approx {approx} vs real {real} (ratio {ratio:.3})"
+    );
 }
 
 /// A version-1 peer's request — no `trace` entry in the envelope map —

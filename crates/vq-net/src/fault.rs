@@ -47,6 +47,16 @@ pub enum FaultAction {
         /// Deliveries the destination survives before dying.
         messages: u64,
     },
+    /// Refuse the first `count` matching sends with a visible transport
+    /// error — the sender sees `VqError::Network`, as on a TCP
+    /// connection-refused/RST against a *live* host — then let traffic
+    /// flow normally. Unlike [`FaultAction::Drop`], which models loss the
+    /// sender cannot see, this models the transient connection failures
+    /// that historically parked a healthy worker in the dead set forever.
+    RefuseNext {
+        /// Matching sends to refuse before the edge heals.
+        count: u64,
+    },
 }
 
 /// One rule: an edge pattern plus an action.
@@ -129,6 +139,17 @@ impl FaultPlan {
         });
         self
     }
+
+    /// Refuse the first `count` sends matching the `(from, to)` edge
+    /// pattern with a sender-visible `Network` error, then heal.
+    pub fn refuse_on(mut self, from: Option<u32>, to: Option<u32>, count: u64) -> Self {
+        self.rules.push(FaultRule {
+            from,
+            to,
+            action: FaultAction::RefuseNext { count },
+        });
+        self
+    }
 }
 
 /// What the transport should do with one message.
@@ -146,6 +167,9 @@ pub(crate) struct SendVerdict {
     /// The destination is already past its kill threshold: fail the send
     /// the way a crashed host would.
     pub dest_dead: bool,
+    /// Refuse the send with a visible `Network` error (connection
+    /// refused/reset) while leaving the destination alive.
+    pub refused: bool,
 }
 
 /// Live evaluation state for a [`FaultPlan`].
@@ -159,6 +183,9 @@ pub(crate) struct FaultState {
     delivered: Mutex<HashMap<u32, u64>>,
     /// Endpoints killed by a `KillAfter` rule, until re-registered.
     killed: Mutex<HashSet<u32>>,
+    /// Sends refused so far per `RefuseNext` rule (counted across every
+    /// matching edge — "the first N frames", not "the first N per peer").
+    refused: Mutex<HashMap<usize, u64>>,
 }
 
 fn splitmix64(mut x: u64) -> u64 {
@@ -176,6 +203,7 @@ impl FaultState {
             seq: Mutex::new(HashMap::new()),
             delivered: Mutex::new(HashMap::new()),
             killed: Mutex::new(HashSet::new()),
+            refused: Mutex::new(HashMap::new()),
         }
     }
 
@@ -207,6 +235,7 @@ impl FaultState {
             extra_delay: Duration::ZERO,
             kill_after_delivery: false,
             dest_dead: false,
+            refused: false,
         };
         if self.killed.lock().contains(&to) {
             verdict.deliver = false;
@@ -235,6 +264,16 @@ impl FaultState {
                     }
                 }
                 FaultAction::KillAfter { .. } => {} // handled below, after the count
+                FaultAction::RefuseNext { count } => {
+                    let mut refused = self.refused.lock();
+                    let used = refused.entry(i).or_insert(0);
+                    if *used < count {
+                        *used += 1;
+                        verdict.deliver = false;
+                        verdict.refused = true;
+                        return verdict;
+                    }
+                }
             }
         }
         // The message will be delivered: count it against the
@@ -345,6 +384,23 @@ mod tests {
         let clean = state.on_send(1, 3);
         assert_eq!(clean.copies, 1);
         assert_eq!(clean.extra_delay, Duration::ZERO);
+    }
+
+    #[test]
+    fn refuse_next_fails_exactly_n_sends_then_heals() {
+        let state = FaultState::new(FaultPlan::new(11).refuse_on(None, Some(4), 2));
+        for i in 0..2 {
+            let v = state.on_send(1, 4);
+            assert!(!v.deliver, "send {i} refused");
+            assert!(v.refused, "refusal is sender-visible, not a drop");
+            assert!(!v.dest_dead, "the host is alive, only the edge failed");
+        }
+        // Budget spent across *all* matching edges: a different sender
+        // does not get a fresh refusal quota.
+        assert!(state.on_send(2, 4).deliver);
+        assert!(state.on_send(1, 4).deliver);
+        // Non-matching destination was never affected.
+        assert!(state.on_send(1, 5).deliver);
     }
 
     #[test]

@@ -438,6 +438,13 @@ impl<M: WireMsg> TcpEndpoint<M> {
                     }
                     return Err(VqError::Network(format!("endpoint {to} crashed")));
                 }
+                if v.refused {
+                    // Connection refused/reset: sender-visible failure,
+                    // destination stays registered and serving.
+                    return Err(VqError::Network(format!(
+                        "connection to endpoint {to} refused"
+                    )));
+                }
                 return Ok(());
             }
         }

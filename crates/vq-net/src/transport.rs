@@ -352,6 +352,13 @@ impl<M: Send + 'static> Endpoint<M> {
                     self.shared.inboxes.write().remove(&to);
                     return Err(VqError::Network(format!("endpoint {to} crashed")));
                 }
+                if v.refused {
+                    // Connection refused/reset: sender-visible failure,
+                    // destination stays alive and registered.
+                    return Err(VqError::Network(format!(
+                        "connection to endpoint {to} refused"
+                    )));
+                }
                 // Dropped on the wire: the sender cannot tell.
                 return Ok(());
             }
@@ -695,8 +702,7 @@ mod tests {
 
     #[test]
     fn backpressure_stalls_are_counted() {
-        let recorder = Arc::new(vq_obs::Recorder::new(16));
-        vq_obs::install(recorder.clone());
+        let obs = vq_obs::ObsGuard::install(Arc::new(vq_obs::Recorder::new(16)));
         let sb: Switchboard<u32> = Switchboard::with_options(None, Some(1));
         let a = sb.register(1, 0);
         let b = sb.register(2, 0);
@@ -708,8 +714,7 @@ mod tests {
         assert_eq!(b.recv().unwrap().payload, 0);
         sender.join().unwrap();
         assert_eq!(b.recv().unwrap().payload, 1);
-        vq_obs::uninstall();
-        let snap = recorder.registry().snapshot();
+        let snap = obs.recorder().registry().snapshot();
         assert!(
             snap.counter("net.backpressure_blocks") >= 1,
             "full bounded inbox must count a backpressure stall"

@@ -38,10 +38,12 @@ use vq_core::{VqError, VqResult};
 
 /// Codec version carried in every frame header. Version 2 added the
 /// optional trace-context field to the `ClusterMsg` request envelope;
-/// because structs encode field-by-name and absent fields fall back to
-/// `#[serde(default)]`, version-1 payloads still decode — the receiver
-/// accepts any version in [`MIN_WIRE_VERSION`]..=[`WIRE_VERSION`].
-pub const WIRE_VERSION: u8 = 2;
+/// version 3 added the `Heartbeat` envelope variant for the failure
+/// detector. Because structs encode field-by-name (absent fields fall
+/// back to `#[serde(default)]`) and enum variants encode by name,
+/// version-1/2 payloads still decode — the receiver accepts any version
+/// in [`MIN_WIRE_VERSION`]..=[`WIRE_VERSION`].
+pub const WIRE_VERSION: u8 = 3;
 
 /// Oldest frame version this build still decodes.
 pub const MIN_WIRE_VERSION: u8 = 1;

@@ -1,0 +1,100 @@
+//! RAII installation guard for the process-global recorder and tracer.
+//!
+//! The recorder and tracer are process-wide singletons; a test that
+//! installs one and panics (or simply forgets to `uninstall`) leaks it
+//! into every later test in the same binary, turning "works alone,
+//! fails in the suite" into a recurring bug class. [`ObsGuard`] ties
+//! the install to a scope: construction installs, drop uninstalls —
+//! including on panic, since drops run during unwinding.
+//!
+//! ```
+//! let obs = vq_obs::ObsGuard::install_default();
+//! vq_obs::count("jobs", 1);
+//! assert_eq!(obs.recorder().registry().snapshot().counter("jobs"), 1);
+//! // Drop uninstalls; the next test starts clean.
+//! ```
+
+use crate::recorder::{install, install_default, uninstall, Recorder};
+use crate::trace::{install_tracer_with, uninstall_tracer, TraceConfig, Tracer};
+use std::sync::Arc;
+
+/// Scoped ownership of the global recorder (and optionally the global
+/// tracer): whatever this guard installed is uninstalled on drop, even
+/// when the owning test panics.
+pub struct ObsGuard {
+    recorder: Arc<Recorder>,
+    tracer: Option<Arc<Tracer>>,
+}
+
+impl ObsGuard {
+    /// Install a fresh default recorder for this scope.
+    pub fn install_default() -> Self {
+        ObsGuard {
+            recorder: install_default(),
+            tracer: None,
+        }
+    }
+
+    /// Install a caller-built recorder (custom flight capacity, shared
+    /// handles, ...) for this scope.
+    pub fn install(recorder: Arc<Recorder>) -> Self {
+        install(recorder.clone());
+        ObsGuard {
+            recorder,
+            tracer: None,
+        }
+    }
+
+    /// Additionally install a tracer for this scope (uninstalled on drop
+    /// alongside the recorder).
+    pub fn with_tracer(mut self, config: TraceConfig) -> Self {
+        self.tracer = Some(install_tracer_with(config));
+        self
+    }
+
+    /// The recorder this guard installed (snapshot-at-end inspection).
+    pub fn recorder(&self) -> &Arc<Recorder> {
+        &self.recorder
+    }
+
+    /// The tracer this guard installed, if any.
+    pub fn tracer(&self) -> Option<&Arc<Tracer>> {
+        self.tracer.as_ref()
+    }
+}
+
+impl Drop for ObsGuard {
+    fn drop(&mut self) {
+        if self.tracer.is_some() {
+            uninstall_tracer();
+        }
+        uninstall();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::{enabled, snapshot};
+    use crate::trace::tracing_enabled;
+
+    #[test]
+    fn guard_uninstalls_on_drop() {
+        {
+            let obs = ObsGuard::install_default();
+            crate::count("guarded", 3);
+            assert!(enabled());
+            assert_eq!(
+                obs.recorder().registry().snapshot().counter("guarded"),
+                3
+            );
+            let traced = ObsGuard::install(obs.recorder().clone())
+                .with_tracer(TraceConfig::default());
+            assert!(tracing_enabled());
+            drop(traced);
+            assert!(!tracing_enabled(), "tracer removed with its guard");
+        }
+        assert!(!enabled(), "recorder removed with its guard");
+        assert_eq!(snapshot(), None);
+    }
+}

@@ -42,10 +42,13 @@
 //! ```
 
 mod export;
+mod guard;
 mod metrics;
 mod recorder;
 mod registry;
 pub mod trace;
+
+pub use guard::ObsGuard;
 
 pub use metrics::{
     bucket_bounds, bucket_index, Counter, Gauge, Histogram, HistogramSnapshot, HISTOGRAM_BUCKETS,

@@ -570,7 +570,7 @@ mod tests {
 
     #[test]
     fn active_connections_are_gauged() {
-        let _recorder = vq_obs::install_default();
+        let _obs = vq_obs::ObsGuard::install_default();
         let mut server = echo_server();
         let addr = server.addr();
         // Retry with a fresh connection each round: a concurrent test may

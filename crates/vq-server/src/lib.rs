@@ -185,7 +185,7 @@ mod tests {
     fn rest_surface_covers_health_metrics_and_collection_lifecycle() {
         // Counters are no-ops without a recorder; install one so /metrics
         // has something to expose.
-        let _recorder = vq_obs::install_default();
+        let _obs = vq_obs::ObsGuard::install_default();
         let (cluster, mut server) = serve_cluster(4);
         let mut rest = RestClient::connect(server.rest_addr()).expect("rest connect");
 

@@ -515,7 +515,8 @@ mod tests {
         let response = route(&registry, &request);
         assert!(response.extra_headers.is_empty());
 
-        let tracer = vq_obs::install_tracer_with(vq_obs::TraceConfig::default());
+        let obs =
+            vq_obs::ObsGuard::install_default().with_tracer(vq_obs::TraceConfig::default());
         let response = route(&registry, &request);
         let echoed = response
             .extra_headers
@@ -526,11 +527,10 @@ mod tests {
         assert_eq!(echoed, "00000000000000ab");
         let body = String::from_utf8(response.body.clone()).unwrap();
         assert!(body.contains("\"trace_id\":\"00000000000000ab\""), "{body}");
-        let finished = tracer.finished();
+        let finished = obs.tracer().expect("tracer installed").finished();
         assert!(finished
             .iter()
             .any(|t| t.trace_id == 0xab && t.root_name == "rest_edge"));
-        vq_obs::uninstall_tracer();
     }
 
     #[test]

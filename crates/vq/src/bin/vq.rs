@@ -172,20 +172,14 @@ fn cmd_insert(flags: &HashMap<String, String>) -> CliResult {
         let mut payload = Payload::new();
         if let Some(obj) = value.get("payload").and_then(serde_json::Value::as_object) {
             for (k, v) in obj {
-                match v {
-                    serde_json::Value::String(s) => {
-                        payload.insert(k.clone(), s.clone());
-                    }
-                    serde_json::Value::Number(num) if num.is_i64() => {
-                        payload.insert(k.clone(), num.as_i64().unwrap_or(0));
-                    }
-                    serde_json::Value::Number(num) => {
-                        payload.insert(k.clone(), num.as_f64().unwrap_or(0.0));
-                    }
-                    serde_json::Value::Bool(b) => {
-                        payload.insert(k.clone(), *b);
-                    }
-                    _ => {}
+                if let Some(s) = v.as_str() {
+                    payload.insert(k.clone(), s.to_string());
+                } else if let Some(b) = v.as_bool() {
+                    payload.insert(k.clone(), b);
+                } else if let Some(i) = v.as_i64() {
+                    payload.insert(k.clone(), i);
+                } else if let Some(f) = v.as_f64() {
+                    payload.insert(k.clone(), f);
                 }
             }
         }
@@ -362,7 +356,7 @@ fn cmd_serve(flags: &HashMap<String, String>) -> CliResult {
     // tracer's slow-query log and /traces-style dumps.
     vq_obs::install_tracer_from_env();
 
-    let cluster_config = |shards: Option<u32>| {
+    let cluster_config = move |shards: Option<u32>| {
         let mut config = ClusterConfig::new(workers);
         if let Some(shards) = shards {
             config = config.shards(shards);
@@ -444,22 +438,34 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> CliResult {
     let collection = CollectionConfig::new(dim, Distance::Cosine)
         .max_segment_points(512)
         .journal(true);
-    let cluster = Cluster::start(ClusterConfig::new(workers), collection)?;
+    // Self-healing on: the /cluster view (under --serve) reports live
+    // detector verdicts, and any worker that dies while serving is
+    // restarted without an operator.
+    let cluster = Cluster::start(
+        ClusterConfig::new(workers).heal(HealConfig::default()),
+        collection,
+    )?;
     let corpus = CorpusSpec::small(points.max(1_000));
     let model = EmbeddingModel::small(&corpus, dim);
     let dataset = DatasetSpec::with_vectors(corpus, model, points);
     LiveUploader::new(32, workers).columnar().upload(&cluster, &dataset)?;
     let queries: Vec<Vec<f32>> = (0..128).map(|i| dataset.point(i % points).vector).collect();
     LiveQueryRunner::new(16, 5).run(&cluster, &queries)?;
-    cluster.shutdown();
 
-    let snapshot = vq_obs::snapshot().ok_or("no recorder installed (VQ_OBS=0?)")?;
     match flags.get("serve") {
-        None => print!("{}", snapshot.to_prometheus()),
+        None => {
+            cluster.shutdown();
+            let snapshot = vq_obs::snapshot().ok_or("no recorder installed (VQ_OBS=0?)")?;
+            print!("{}", snapshot.to_prometheus());
+        }
         Some(addr) => {
+            // The cluster stays up while serving so /cluster shows the
+            // failure detector's live judgement, not a post-mortem.
+            vq_obs::snapshot().ok_or("no recorder installed (VQ_OBS=0?)")?;
             let listener = std::net::TcpListener::bind(addr.as_str())
                 .map_err(|e| format!("cannot bind {addr}: {e}"))?;
             println!("serving Prometheus metrics on http://{addr}/metrics (Ctrl-C to stop)");
+            println!("cluster health (JSON) on http://{addr}/cluster");
             if vq_obs::tracing_enabled() {
                 println!("recent traces (Chrome trace-event JSON) on http://{addr}/traces");
             }
@@ -477,6 +483,8 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> CliResult {
                             .map(|t| t.to_chrome_json())
                             .unwrap_or_else(|| "{\"traceEvents\":[]}".to_string()),
                     )
+                } else if path.starts_with("/cluster") {
+                    ("application/json", cluster_health_json(&cluster))
                 } else {
                     (
                         "text/plain; version=0.0.4",
@@ -494,6 +502,31 @@ fn cmd_metrics(flags: &HashMap<String, String>) -> CliResult {
         }
     }
     Ok(())
+}
+
+/// The `/cluster` health view: per-worker detector verdicts plus the
+/// self-healing lifetime counters, as JSON.
+fn cluster_health_json(cluster: &std::sync::Arc<Cluster>) -> String {
+    let workers: Vec<String> = cluster
+        .health()
+        .into_iter()
+        .map(|(w, h)| {
+            format!(
+                "{{\"worker\":{w},\"health\":\"{}\",\"phi\":{:.3}}}",
+                h.as_str(),
+                cluster.suspicion(w)
+            )
+        })
+        .collect();
+    let (queued, completed, failed) = cluster.rebuild_counts();
+    format!(
+        "{{\"workers\":[{}],\"suspicions\":{},\"autonomous_restarts\":{},\"worker_restarts\":{},\"rebuilds_queued\":{queued},\"rebuilds_completed\":{completed},\"rebuilds_failed\":{failed},\"pending_rebuilds\":{}}}",
+        workers.join(","),
+        cluster.suspicion_count(),
+        cluster.autonomous_restart_count(),
+        cluster.worker_restart_count(),
+        cluster.pending_rebuilds(),
+    )
 }
 
 /// Run a short traced workload on an in-process cluster and print the

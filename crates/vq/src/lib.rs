@@ -75,8 +75,8 @@ pub mod prelude {
         WallClock,
     };
     pub use vq_cluster::{
-        Cluster, ClusterClient, ClusterConfig, Deadlines, Durability, ExecMode, Placement,
-        SearchExec, SearchOutcome, WorkerInfo,
+        Cluster, ClusterClient, ClusterConfig, Deadlines, Durability, ExecMode, HealConfig,
+        Placement, SearchExec, SearchOutcome, WorkerHealth, WorkerInfo,
     };
     pub use vq_collection::{
         CollectionConfig, CollectionStats, IndexingPolicy, LocalCollection, QuantizationConfig,

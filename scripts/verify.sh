@@ -47,6 +47,12 @@ cargo run --release -p vq-bench --bin repro -- chaos --check --scale 0.5
 echo "==> repro chaos --check --transport tcp (same soak, loopback TCP fabric)"
 cargo run --release -p vq-bench --bin repro -- chaos --check --scale 0.5 --transport tcp
 
+echo "==> repro heal --check (self-healing soak, zero operator calls)"
+cargo run --release -p vq-bench --bin repro -- heal --check --json --scale 0.5
+
+echo "==> repro heal --check --transport tcp (same soak, loopback TCP fabric)"
+cargo run --release -p vq-bench --bin repro -- heal --check --json --scale 0.5 --transport tcp
+
 echo "==> repro protocol --check (REST vs binary serving ablation)"
 cargo run --release -p vq-bench --bin repro -- protocol --check
 
